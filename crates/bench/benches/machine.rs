@@ -1,0 +1,76 @@
+//! Criterion benches over the whole-machine co-simulation: cycle-step
+//! throughput of CPU+NI+network, and mesh saturation behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcni_core::{Message, NodeId};
+use tcni_isa::{Assembler, MsgType, Reg};
+use tcni_net::{Mesh2d, MeshConfig, Network};
+use tcni_sim::{MachineBuilder, Model};
+
+/// A fast configuration: the interesting output is relative timings, not
+/// publication-grade statistics, and the full suite must finish in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+
+fn bench_machine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/idle_step");
+    for nodes in [2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            // Spin programs: every node runs an infinite loop so each step
+            // exercises fetch/execute/inject/eject.
+            let mut a = Assembler::new();
+            a.label("spin");
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.br("spin");
+            a.nop();
+            let p = a.assemble().unwrap();
+            let mut machine = MachineBuilder::new(n)
+                .model(Model::ALL_SIX[0])
+                .program_all(p)
+                .build();
+            b.iter(|| {
+                for _ in 0..100 {
+                    machine.step();
+                }
+                std::hint::black_box(machine.cycle())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh/tick_under_load");
+    for dim in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut net = Mesh2d::new(MeshConfig::new(dim, dim));
+            let n = (dim * dim) as u8;
+            b.iter(|| {
+                // Uniform-random-ish traffic: node i → node (i * 7 + 3) mod N.
+                for i in 0..n {
+                    let dst = NodeId::new((i.wrapping_mul(7).wrapping_add(3)) % n);
+                    let m = Message::to(dst, [0, u32::from(i), 0, 0, 0], MsgType::new(2).unwrap());
+                    let _ = net.inject(NodeId::new(i), m);
+                }
+                net.tick();
+                for i in 0..n {
+                    while net.eject(NodeId::new(i)).is_some() {}
+                }
+                std::hint::black_box(net.in_flight())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_machine_step, bench_mesh_tick
+}
+criterion_main!(benches);

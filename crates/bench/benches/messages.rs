@@ -1,0 +1,72 @@
+//! Criterion benches over the per-message handler simulations (the Table-1
+//! machinery): how fast the cycle simulator executes each handler program,
+//! per model. One bench group per Table-1 action.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcni_cpu::TimingConfig;
+use tcni_eval::handlers::{ProcCase, SendKind};
+use tcni_eval::table1::Table1;
+use tcni_sim::Model;
+
+/// A fast configuration: the interesting output is relative timings, not
+/// publication-grade statistics, and the full suite must finish in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+
+fn bench_table1_full(c: &mut Criterion) {
+    c.bench_function("table1/measure_full", |b| {
+        b.iter(|| std::hint::black_box(Table1::measure()))
+    });
+}
+
+fn bench_per_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/per_model");
+    for model in Model::ALL_SIX {
+        group.bench_function(model.key(), |b| {
+            b.iter(|| {
+                let ctx = tcni_eval::harness::Ctx::from_model(model);
+                std::hint::black_box(tcni_eval::handlers::processing::probe(
+                    ctx,
+                    ProcCase::Read,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sending_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/codegen");
+    let ctx = tcni_eval::harness::Ctx::from_model(Model::ALL_SIX[0]);
+    for kind in SendKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| std::hint::black_box(tcni_eval::handlers::sending::program(ctx, kind, false)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_sweep(c: &mut Criterion) {
+    c.bench_function("table1/measure_offchip8", |b| {
+        b.iter(|| {
+            std::hint::black_box(Table1::measure_with(
+                TimingConfig::new().with_offchip_load_extra(8),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_table1_full,
+    bench_per_model,
+    bench_sending_programs,
+    bench_timing_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches over the TAM workloads: interpreter throughput on the
+//! three benchmark programs at laptop-friendly scales, plus the Figure-12
+//! expansion itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcni_eval::figure12::Figure12;
+use tcni_eval::paper;
+use tcni_tam::programs;
+
+/// A fast configuration: the interesting output is relative timings, not
+/// publication-grade statistics, and the full suite must finish in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tam/matmul");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(programs::matmul::run(n, 16).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamteb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tam/gamteb");
+    for batches in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(batches), &batches, |b, &n| {
+            b.iter(|| std::hint::black_box(programs::gamteb::run(n, 16, 7).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tam/fib");
+    for n in [10u32, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(programs::fib::run(n, 16).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let counts = programs::matmul::run(16, 8).unwrap().counts;
+    let table = paper::published();
+    c.bench_function("figure12/expand", |b| {
+        b.iter(|| std::hint::black_box(Figure12::from_counts("bench", counts, &table)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_matmul, bench_gamteb, bench_fib, bench_expansion
+}
+criterion_main!(benches);

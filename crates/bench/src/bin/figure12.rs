@@ -1,0 +1,65 @@
+//! Regenerates Figure 12 (experiments E2/E3/E5): dynamic cycle counts for
+//! 100×100 Matrix Multiply and 16 Gamteb under the six interface models,
+//! split into non-message work / dispatch / other communication, plus the
+//! headline metrics the paper quotes.
+//!
+//! ```text
+//! cargo run --release -p tcni-bench --bin figure12 [-- matmul|gamteb|fib|all] [--published]
+//! ```
+
+use tcni_eval::figure12::Figure12;
+use tcni_eval::paper;
+use tcni_eval::table1::Table1;
+use tcni_tam::programs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let published = args.iter().any(|a| a == "--published");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let costs = if published {
+        println!("(expanding with the paper's published Table 1)");
+        paper::published()
+    } else {
+        println!("(expanding with the measured Table 1; pass --published to use the paper's)");
+        Table1::measure().models
+    };
+
+    if which == "matmul" || which == "all" {
+        let out = programs::matmul::run(100, 64).expect("matmul runs");
+        eprintln!(
+            "matmul sanity: {:.2} flops/message (paper ≈3), {:.1}% message instructions (paper <10%)",
+            out.counts.flops_per_message(),
+            100.0 * out.counts.message_op_fraction()
+        );
+        let fig = Figure12::from_counts("100×100 Matrix Multiply", out.counts, &costs);
+        println!("\n{fig}");
+        println!("{}", fig.ascii_bars(64));
+    }
+    if which == "gamteb" || which == "all" {
+        let out = programs::gamteb::run(16, 64, 0x6A3).expect("gamteb runs");
+        eprintln!(
+            "gamteb sanity: {} photons → {} absorbed / {} escaped",
+            out.total, out.absorbed, out.escaped
+        );
+        let fig = Figure12::from_counts("16 Gamteb", out.counts, &costs);
+        println!("\n{fig}");
+        println!("{}", fig.ascii_bars(64));
+    }
+    if which == "fib" || which == "all" {
+        let out = programs::fib::run(18, 64).expect("fib runs");
+        eprintln!("fib sanity: fib(18) = {}", out.value);
+        let fig = Figure12::from_counts("fib 18 (extra program)", out.counts, &costs);
+        println!("\n{fig}");
+    }
+    if which == "nqueens" || which == "all" {
+        let out = programs::nqueens::run(8, 64).expect("nqueens runs");
+        eprintln!("nqueens sanity: {} solutions for 8 queens", out.solutions);
+        let fig = Figure12::from_counts("8-queens (extra program)", out.counts, &costs);
+        println!("\n{fig}");
+    }
+}

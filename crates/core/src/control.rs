@@ -1,0 +1,226 @@
+//! The CONTROL register (§2.1).
+//!
+//! "The CONTROL register is used to set values which control the operation of
+//! the network interface. For instance, bits in the CONTROL register specify
+//! what should be done if a new message is to be sent and the output queue is
+//! full." The paper also places the per-queue thresholds of §2.2.4 here
+//! ("The queue threshold at which these bits get set can be set independently
+//! for each queue in the CONTROL register"), and we keep the active process's
+//! PIN (§2.1.3) here as well.
+//!
+//! Architected layout:
+//!
+//! ```text
+//! bit  0      overflow policy: 0 = stall the processor, 1 = raise exception
+//! bit  1      PIN checking enabled
+//! bit  2      privileged-arrival interrupt enabled
+//! bits 7:4    input-queue  threshold (0 = never set iafull)
+//! bits 11:8   output-queue threshold (0 = never set oafull)
+//! bits 23:16  PIN of the currently active process
+//! ```
+
+use std::fmt;
+
+use crate::protection::Pin;
+
+/// What the interface does when `SEND` finds the output queue full (§2.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Stall the processor until the output queue drains. "Stalling the
+    /// processor should not be done if the processor needs to participate in
+    /// emptying the network."
+    #[default]
+    Stall,
+    /// Signal an exception; the message is not queued.
+    Exception,
+}
+
+/// A typed view over the 32-bit CONTROL register value.
+///
+/// # Example
+///
+/// ```
+/// use tcni_core::{Control, OverflowPolicy, Pin};
+///
+/// let c = Control::new()
+///     .with_overflow_policy(OverflowPolicy::Exception)
+///     .with_input_threshold(12)
+///     .with_output_threshold(8)
+///     .with_active_pin(Pin::new(3));
+/// assert_eq!(c.overflow_policy(), OverflowPolicy::Exception);
+/// assert_eq!(c.input_threshold(), 12);
+/// assert_eq!(Control::from_bits(c.bits()), c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Control(u32);
+
+impl Control {
+    const OVERFLOW_BIT: u32 = 1 << 0;
+    const PIN_CHECK_BIT: u32 = 1 << 1;
+    const PRIV_INT_BIT: u32 = 1 << 2;
+    const IN_THRESH_SHIFT: u32 = 4;
+    const OUT_THRESH_SHIFT: u32 = 8;
+    const THRESH_MASK: u32 = 0xF;
+    const PIN_SHIFT: u32 = 16;
+
+    /// The reset value: stall on overflow, no PIN checking, thresholds off.
+    pub fn new() -> Control {
+        Control(0)
+    }
+
+    /// Reinterprets a raw register value.
+    pub fn from_bits(bits: u32) -> Control {
+        Control(bits)
+    }
+
+    /// The raw register value.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The output-queue overflow policy.
+    pub fn overflow_policy(self) -> OverflowPolicy {
+        if self.0 & Self::OVERFLOW_BIT != 0 {
+            OverflowPolicy::Exception
+        } else {
+            OverflowPolicy::Stall
+        }
+    }
+
+    /// Sets the output-queue overflow policy.
+    pub fn with_overflow_policy(mut self, p: OverflowPolicy) -> Control {
+        match p {
+            OverflowPolicy::Stall => self.0 &= !Self::OVERFLOW_BIT,
+            OverflowPolicy::Exception => self.0 |= Self::OVERFLOW_BIT,
+        }
+        self
+    }
+
+    /// Whether arriving messages' PINs are checked against the active PIN.
+    pub fn pin_check_enabled(self) -> bool {
+        self.0 & Self::PIN_CHECK_BIT != 0
+    }
+
+    /// Enables or disables PIN checking.
+    pub fn with_pin_check(mut self, on: bool) -> Control {
+        if on {
+            self.0 |= Self::PIN_CHECK_BIT;
+        } else {
+            self.0 &= !Self::PIN_CHECK_BIT;
+        }
+        self
+    }
+
+    /// Whether a privileged arrival raises the interrupt flag.
+    pub fn privileged_interrupt_enabled(self) -> bool {
+        self.0 & Self::PRIV_INT_BIT != 0
+    }
+
+    /// Enables or disables the privileged-arrival interrupt.
+    pub fn with_privileged_interrupt(mut self, on: bool) -> Control {
+        if on {
+            self.0 |= Self::PRIV_INT_BIT;
+        } else {
+            self.0 &= !Self::PRIV_INT_BIT;
+        }
+        self
+    }
+
+    /// Input-queue threshold in messages; `iafull` is set while the input
+    /// queue holds at least this many. Zero disables the check.
+    pub fn input_threshold(self) -> u32 {
+        (self.0 >> Self::IN_THRESH_SHIFT) & Self::THRESH_MASK
+    }
+
+    /// Sets the input-queue threshold (saturating at 15).
+    pub fn with_input_threshold(mut self, t: u32) -> Control {
+        let t = t.min(Self::THRESH_MASK);
+        self.0 = (self.0 & !(Self::THRESH_MASK << Self::IN_THRESH_SHIFT)) | (t << Self::IN_THRESH_SHIFT);
+        self
+    }
+
+    /// Output-queue threshold in messages; `oafull` is set while the output
+    /// queue holds at least this many. Zero disables the check.
+    pub fn output_threshold(self) -> u32 {
+        (self.0 >> Self::OUT_THRESH_SHIFT) & Self::THRESH_MASK
+    }
+
+    /// Sets the output-queue threshold (saturating at 15).
+    pub fn with_output_threshold(mut self, t: u32) -> Control {
+        let t = t.min(Self::THRESH_MASK);
+        self.0 =
+            (self.0 & !(Self::THRESH_MASK << Self::OUT_THRESH_SHIFT)) | (t << Self::OUT_THRESH_SHIFT);
+        self
+    }
+
+    /// The PIN of the currently active process.
+    pub fn active_pin(self) -> Pin {
+        Pin::new((self.0 >> Self::PIN_SHIFT) as u8)
+    }
+
+    /// Sets the active process's PIN.
+    pub fn with_active_pin(mut self, pin: Pin) -> Control {
+        self.0 = (self.0 & !(0xFF << Self::PIN_SHIFT)) | (u32::from(pin.value()) << Self::PIN_SHIFT);
+        self
+    }
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CONTROL(policy={:?} pin_check={} in_thresh={} out_thresh={} pin={})",
+            self.overflow_policy(),
+            self.pin_check_enabled(),
+            self.input_threshold(),
+            self.output_threshold(),
+            self.active_pin(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_stall_no_thresholds() {
+        let c = Control::new();
+        assert_eq!(c.overflow_policy(), OverflowPolicy::Stall);
+        assert_eq!(c.input_threshold(), 0);
+        assert_eq!(c.output_threshold(), 0);
+        assert!(!c.pin_check_enabled());
+    }
+
+    #[test]
+    fn fields_are_independent() {
+        let c = Control::new()
+            .with_overflow_policy(OverflowPolicy::Exception)
+            .with_input_threshold(5)
+            .with_output_threshold(9)
+            .with_active_pin(Pin::new(0x7F))
+            .with_pin_check(true)
+            .with_privileged_interrupt(true);
+        assert_eq!(c.overflow_policy(), OverflowPolicy::Exception);
+        assert_eq!(c.input_threshold(), 5);
+        assert_eq!(c.output_threshold(), 9);
+        assert_eq!(c.active_pin(), Pin::new(0x7F));
+        assert!(c.pin_check_enabled());
+        assert!(c.privileged_interrupt_enabled());
+        // Clearing one field leaves the others.
+        let c2 = c.with_overflow_policy(OverflowPolicy::Stall);
+        assert_eq!(c2.input_threshold(), 5);
+        assert_eq!(c2.active_pin(), Pin::new(0x7F));
+    }
+
+    #[test]
+    fn threshold_saturates() {
+        assert_eq!(Control::new().with_input_threshold(99).input_threshold(), 15);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let c = Control::new().with_output_threshold(3).with_active_pin(Pin::new(9));
+        assert_eq!(Control::from_bits(c.bits()), c);
+    }
+}

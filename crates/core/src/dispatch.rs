@@ -1,0 +1,213 @@
+//! Hardware-assisted message interpretation (§2.2.3–§2.2.4, Figure 7).
+//!
+//! `MsgIp` precomputes the instruction address of the handler for the current
+//! input message. The computation, reproduced from Figure 7:
+//!
+//! * **Case 2** — no exceptional condition, neither queue over its threshold,
+//!   and the arrived message has type 0: `MsgIp` returns **word 1 of the
+//!   message** (the handler IP travels in the message, the `Send`
+//!   convention).
+//! * **Case 1** — otherwise: `MsgIp` returns `IpBase` with bits 9:4 replaced
+//!   by `{iafull, oafull, type}`, where the type bits are forced to `0000`
+//!   when no message is present and to `0001` when an exception is pending
+//!   (type 1 messages are architecturally disallowed so the slot is free).
+//!
+//! Each handler-table slot is [`SLOT_BYTES`] bytes (four instructions — enough
+//! for a jump to an out-of-line handler, or for a tiny handler inline). The
+//! four `{iafull, oafull}` variants of each type give every message handler
+//! its own queue-pressure versions, "allow\[ing\] each message handler to
+//! independently decide how to respond to these conditions."
+
+use tcni_isa::MsgType;
+
+/// Bytes per handler-table slot (four 4-byte instructions).
+pub const SLOT_BYTES: u32 = 16;
+
+/// Number of slots in the handler table: 16 types × 4 boundary variants.
+pub const SLOT_COUNT: u32 = 64;
+
+/// Total bytes of the handler table; `IpBase` must be aligned to this.
+pub const TABLE_BYTES: u32 = SLOT_COUNT * SLOT_BYTES;
+
+/// The boundary-condition bits folded into the dispatch address (§2.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QueueConditions {
+    /// Input queue at/over its CONTROL threshold.
+    pub iafull: bool,
+    /// Output queue at/over its CONTROL threshold.
+    pub oafull: bool,
+}
+
+impl QueueConditions {
+    /// No condition set.
+    pub const CLEAR: QueueConditions = QueueConditions {
+        iafull: false,
+        oafull: false,
+    };
+
+    /// Whether either condition is set.
+    pub fn any(self) -> bool {
+        self.iafull || self.oafull
+    }
+}
+
+/// What the dispatch hardware sees about the message being dispatched on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchSource {
+    /// No message available.
+    Empty,
+    /// A message of the given type, with its word 1 (the in-message handler
+    /// IP used by type-0 messages).
+    Msg {
+        /// The 4-bit message type.
+        mtype: MsgType,
+        /// Word 1 of the message.
+        word1: u32,
+    },
+}
+
+/// Computes the handler-table slot address for `IpBase`, condition bits, and
+/// a type-field value.
+pub fn slot_address(ip_base: u32, cond: QueueConditions, type_bits: u8) -> u32 {
+    let base = ip_base & !(TABLE_BYTES - 1);
+    base | (u32::from(cond.iafull) << 9) | (u32::from(cond.oafull) << 8) | (u32::from(type_bits & 0xF) << 4)
+}
+
+/// The full Figure-7 `MsgIp` computation.
+///
+/// # Example
+///
+/// ```
+/// use tcni_core::dispatch::{msg_ip, DispatchSource, QueueConditions};
+/// use tcni_isa::MsgType;
+///
+/// let base = 0x4000;
+/// // Case 2: clean type-0 message dispatches straight to its word 1.
+/// let ip = msg_ip(base, QueueConditions::CLEAR, false,
+///                 DispatchSource::Msg { mtype: MsgType::HANDLER_IN_MSG, word1: 0xCAFE0 });
+/// assert_eq!(ip, 0xCAFE0);
+/// // Case 1: a type-3 message indexes slot 3 of the table.
+/// let ip = msg_ip(base, QueueConditions::CLEAR, false,
+///                 DispatchSource::Msg { mtype: MsgType::new(3).unwrap(), word1: 0 });
+/// assert_eq!(ip, base + 3 * 16);
+/// ```
+pub fn msg_ip(ip_base: u32, cond: QueueConditions, exception: bool, src: DispatchSource) -> u32 {
+    if exception {
+        // §2.2.4: "Whenever there is an exception, the four handler ID bits
+        // of MsgIp are set to 0001."
+        return slot_address(ip_base, cond, MsgType::EXCEPTION.bits());
+    }
+    match src {
+        DispatchSource::Empty => slot_address(ip_base, cond, 0),
+        DispatchSource::Msg { mtype, word1 } => {
+            if mtype.is_handler_in_msg() && !cond.any() {
+                word1 // Figure 7, case 2
+            } else {
+                slot_address(ip_base, cond, mtype.bits())
+            }
+        }
+    }
+}
+
+/// The byte offset of a slot within the table, for handler-table layout code.
+pub fn slot_offset(cond: QueueConditions, type_bits: u8) -> u32 {
+    slot_address(0, cond, type_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u32 = 0x0001_0000;
+
+    #[test]
+    fn empty_input_dispatches_to_slot_zero() {
+        assert_eq!(
+            msg_ip(BASE, QueueConditions::CLEAR, false, DispatchSource::Empty),
+            BASE
+        );
+    }
+
+    #[test]
+    fn typed_message_indexes_table() {
+        for t in 2..16u8 {
+            let src = DispatchSource::Msg {
+                mtype: MsgType::new(t).unwrap(),
+                word1: 0xDEAD_BEEC,
+            };
+            assert_eq!(
+                msg_ip(BASE, QueueConditions::CLEAR, false, src),
+                BASE + u32::from(t) * SLOT_BYTES
+            );
+        }
+    }
+
+    #[test]
+    fn type0_returns_word1_only_when_clean() {
+        let src = DispatchSource::Msg {
+            mtype: MsgType::HANDLER_IN_MSG,
+            word1: 0x8000,
+        };
+        assert_eq!(msg_ip(BASE, QueueConditions::CLEAR, false, src), 0x8000);
+        // With a queue condition set, even a type-0 message goes through the
+        // table (its variant slot), so the handler can react to the pressure.
+        let cond = QueueConditions {
+            iafull: true,
+            oafull: false,
+        };
+        assert_eq!(msg_ip(BASE, cond, false, src), BASE + (1 << 9));
+    }
+
+    #[test]
+    fn exception_forces_type_one() {
+        let src = DispatchSource::Msg {
+            mtype: MsgType::new(7).unwrap(),
+            word1: 0,
+        };
+        assert_eq!(
+            msg_ip(BASE, QueueConditions::CLEAR, true, src),
+            BASE + SLOT_BYTES
+        );
+        // Exception wins even over an empty input.
+        assert_eq!(
+            msg_ip(BASE, QueueConditions::CLEAR, true, DispatchSource::Empty),
+            BASE + SLOT_BYTES
+        );
+    }
+
+    #[test]
+    fn condition_bits_select_variants() {
+        let t = MsgType::new(5).unwrap();
+        let mk = |ia, oa| {
+            msg_ip(
+                BASE,
+                QueueConditions { iafull: ia, oafull: oa },
+                false,
+                DispatchSource::Msg { mtype: t, word1: 0 },
+            )
+        };
+        let plain = mk(false, false);
+        assert_eq!(mk(false, true), plain + (1 << 8));
+        assert_eq!(mk(true, false), plain + (1 << 9));
+        assert_eq!(mk(true, true), plain + (1 << 9) + (1 << 8));
+    }
+
+    #[test]
+    fn ip_base_low_bits_ignored() {
+        // IpBase is aligned by hardware: low bits do not leak into MsgIp.
+        let src = DispatchSource::Msg {
+            mtype: MsgType::new(2).unwrap(),
+            word1: 0,
+        };
+        assert_eq!(
+            msg_ip(BASE | 0x3FF, QueueConditions::CLEAR, false, src),
+            msg_ip(BASE, QueueConditions::CLEAR, false, src)
+        );
+    }
+
+    #[test]
+    fn table_constants_consistent() {
+        assert_eq!(SLOT_BYTES * SLOT_COUNT, TABLE_BYTES);
+        assert_eq!(slot_offset(QueueConditions { iafull: true, oafull: true }, 15), TABLE_BYTES - SLOT_BYTES);
+    }
+}

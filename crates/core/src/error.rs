@@ -1,0 +1,48 @@
+//! Error types for interface operations.
+
+use std::fmt;
+
+use crate::regs::InterfaceReg;
+
+/// Errors returned by [`crate::NetworkInterface`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NiError {
+    /// The operation requires an optimization absent at this feature level
+    /// (e.g. a reply-mode SEND on the basic architecture).
+    FeatureDisabled {
+        /// Short name of the missing feature.
+        feature: &'static str,
+    },
+    /// A write was attempted to a read-only interface register.
+    ReadOnly(InterfaceReg),
+    /// A SEND specified the architecturally reserved message type 1.
+    ReservedType,
+    /// A SCROLL-IN was issued with no continuation flit available.
+    NoContinuation,
+}
+
+impl fmt::Display for NiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NiError::FeatureDisabled { feature } => {
+                write!(f, "feature `{feature}` is not present at this feature level")
+            }
+            NiError::ReadOnly(r) => write!(f, "interface register {r} is read-only"),
+            NiError::ReservedType => f.write_str("message type 1 is reserved for exception dispatch"),
+            NiError::NoContinuation => f.write_str("no continuation flit available to scroll in"),
+        }
+    }
+}
+
+impl std::error::Error for NiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NiError::ReservedType.to_string().contains("reserved"));
+        assert!(NiError::ReadOnly(InterfaceReg::Status).to_string().contains("STATUS"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Feature levels: the paper's *basic* vs *optimized* architectures (§2).
+
+use std::fmt;
+
+/// Which architecture level the interface implements.
+///
+/// The performance study of §4 compares each hardware placement with and
+/// without the §2.2 optimizations; this enum selects between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FeatureLevel {
+    /// The basic architecture of §2.1: SEND and NEXT only. The 4-bit type
+    /// field is transmitted but ignored on receipt (software dispatches on a
+    /// 32-bit id in message word 4); reply/forward send modes and the
+    /// `MsgIp`/`NextMsgIp`/`IpBase` registers are absent.
+    Basic,
+    /// The optimized architecture of §2.2: encoded types, fast reply/forward,
+    /// hardware-assisted dispatch, and boundary-condition checks.
+    #[default]
+    Optimized,
+}
+
+impl FeatureLevel {
+    /// Whether the §2.2 optimizations are present.
+    pub fn is_optimized(self) -> bool {
+        matches!(self, FeatureLevel::Optimized)
+    }
+}
+
+impl fmt::Display for FeatureLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureLevel::Basic => f.write_str("basic"),
+            FeatureLevel::Optimized => f.write_str("optimized"),
+        }
+    }
+}
+
+/// Fine-grained switches for the individual §2.2 optimizations, used by the
+/// ablation study (experiment A2 in DESIGN.md). [`FeatureLevel`] maps to the
+/// all-off / all-on corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureSet {
+    /// §2.2.1 encoded types: a 4-bit compile-time type in the SEND command.
+    pub encoded_types: bool,
+    /// §2.2.2 fast reply/forward send modes.
+    pub reply_forward: bool,
+    /// §2.2.3 hardware dispatch via `MsgIp`/`NextMsgIp`/`IpBase`.
+    pub hw_dispatch: bool,
+    /// §2.2.4 boundary-condition checks folded into `MsgIp`.
+    pub boundary_checks: bool,
+}
+
+impl FeatureSet {
+    /// Everything off — the basic architecture.
+    pub const BASIC: FeatureSet = FeatureSet {
+        encoded_types: false,
+        reply_forward: false,
+        hw_dispatch: false,
+        boundary_checks: false,
+    };
+
+    /// Everything on — the optimized architecture.
+    pub const OPTIMIZED: FeatureSet = FeatureSet {
+        encoded_types: true,
+        reply_forward: true,
+        hw_dispatch: true,
+        boundary_checks: true,
+    };
+
+    /// Whether any optimization is enabled.
+    pub fn any(self) -> bool {
+        self.encoded_types || self.reply_forward || self.hw_dispatch || self.boundary_checks
+    }
+}
+
+impl From<FeatureLevel> for FeatureSet {
+    fn from(level: FeatureLevel) -> Self {
+        match level {
+            FeatureLevel::Basic => FeatureSet::BASIC,
+            FeatureLevel::Optimized => FeatureSet::OPTIMIZED,
+        }
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        FeatureSet::OPTIMIZED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_to_set() {
+        assert!(!FeatureSet::from(FeatureLevel::Basic).any());
+        let opt = FeatureSet::from(FeatureLevel::Optimized);
+        assert!(opt.encoded_types && opt.reply_forward && opt.hw_dispatch && opt.boundary_checks);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FeatureLevel::Basic.to_string(), "basic");
+        assert_eq!(FeatureLevel::Optimized.to_string(), "optimized");
+    }
+}

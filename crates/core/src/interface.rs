@@ -1,0 +1,929 @@
+//! The network interface proper: the programmer-visible state machine of
+//! Figure 1 with the command semantics of §2.1–§2.2.
+
+use tcni_isa::{MsgType, SendMode};
+
+use crate::control::{Control, OverflowPolicy};
+use crate::dispatch::{msg_ip, DispatchSource, QueueConditions, TABLE_BYTES};
+use crate::error::NiError;
+use crate::feature::{FeatureLevel, FeatureSet};
+use crate::message::{Message, MSG_WORDS};
+use crate::protection::DivertReason;
+use crate::queue::MsgQueue;
+use crate::regs::InterfaceReg;
+use crate::status::{ExceptionCode, Status};
+
+/// Construction parameters for a [`NetworkInterface`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NiConfig {
+    /// Feature set (basic / optimized / ablation points).
+    pub features: FeatureSet,
+    /// Input queue capacity in messages (paper's example sizing: 16).
+    pub input_capacity: usize,
+    /// Output queue capacity in messages.
+    pub output_capacity: usize,
+    /// Privileged queue capacity in messages (§2.1.3).
+    pub privileged_capacity: usize,
+}
+
+impl NiConfig {
+    /// The paper's example sizing: two 16-message queues (§3.2).
+    pub fn new(level: FeatureLevel) -> NiConfig {
+        NiConfig {
+            features: level.into(),
+            input_capacity: 16,
+            output_capacity: 16,
+            privileged_capacity: 16,
+        }
+    }
+}
+
+impl Default for NiConfig {
+    fn default() -> Self {
+        NiConfig::new(FeatureLevel::Optimized)
+    }
+}
+
+/// The result of a SEND command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message was queued for transmission.
+    Sent,
+    /// The output queue is full and CONTROL selects the stall policy: the
+    /// processor must retry; nothing was consumed (§2.1.1).
+    Stalled,
+    /// The output queue is full and CONTROL selects the exception policy: the
+    /// message was dropped and [`ExceptionCode::OutputOverflow`] latched.
+    Overflowed,
+}
+
+/// Event counters maintained by the interface model (not architectural
+/// state; used by the evaluation harness and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NiStats {
+    /// Messages accepted into the output queue.
+    pub sends: u64,
+    /// Flits sent with SCROLL-OUT.
+    pub scroll_outs: u64,
+    /// Messages popped into the input registers by NEXT.
+    pub receives: u64,
+    /// SENDs that stalled on a full output queue.
+    pub send_stalls: u64,
+    /// SENDs dropped under the exception policy.
+    pub overflows: u64,
+    /// Messages diverted to the privileged queue.
+    pub diverted: u64,
+    /// High-water mark of the input queue.
+    pub input_hwm: usize,
+    /// High-water mark of the output queue.
+    pub output_hwm: usize,
+}
+
+/// The network interface of Figure 1.
+///
+/// The processor side drives it through [`read_reg`](Self::read_reg),
+/// [`write_reg`](Self::write_reg), [`send`](Self::send),
+/// [`next`](Self::next), [`scroll_in`](Self::scroll_in), and
+/// [`scroll_out`](Self::scroll_out); the network side through
+/// [`push_incoming`](Self::push_incoming) and
+/// [`pop_outgoing`](Self::pop_outgoing).
+///
+/// # Example
+///
+/// A round trip through a loopback interface:
+///
+/// ```
+/// use tcni_core::{InterfaceReg, Message, NetworkInterface, NiConfig, SendOutcome};
+/// use tcni_isa::{MsgType, SendMode};
+///
+/// let mut ni = NetworkInterface::new(NiConfig::default());
+/// ni.write_reg(InterfaceReg::O0, 0x1234)?;
+/// let out = ni.send(SendMode::Send, MsgType::new(2).unwrap())?;
+/// assert_eq!(out, SendOutcome::Sent);
+/// let msg = ni.pop_outgoing().expect("queued");
+/// ni.push_incoming(msg).unwrap();
+/// // The arrived message advances into the input registers by itself
+/// // (§2.1.4); NEXT is only needed to dispose of it afterwards.
+/// assert_eq!(ni.read_reg(InterfaceReg::I0)?, 0x1234);
+/// # Ok::<(), tcni_core::NiError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkInterface {
+    features: FeatureSet,
+    control: Control,
+    ip_base: u32,
+    oregs: [u32; MSG_WORDS],
+    iregs: [u32; MSG_WORDS],
+    current_valid: bool,
+    current_type: MsgType,
+    /// Whether the message in the input registers has continuation flits
+    /// still queued (SCROLL, §2.1.2).
+    current_continued: bool,
+    /// Whether an outgoing message is mid-composition via SCROLL-OUT, and
+    /// if so, the route its first flit established.
+    outgoing_open: Option<crate::NodeId>,
+    input_queue: MsgQueue,
+    output_queue: MsgQueue,
+    privileged_queue: MsgQueue,
+    exception: ExceptionCode,
+    privileged_interrupt: bool,
+    diversions: Vec<DivertReason>,
+    stats: NiStats,
+}
+
+impl NetworkInterface {
+    /// Creates an interface in its reset state.
+    pub fn new(config: NiConfig) -> NetworkInterface {
+        NetworkInterface {
+            features: config.features,
+            control: Control::new(),
+            ip_base: 0,
+            oregs: [0; MSG_WORDS],
+            iregs: [0; MSG_WORDS],
+            current_valid: false,
+            current_type: MsgType::default(),
+            current_continued: false,
+            outgoing_open: None,
+            input_queue: MsgQueue::new(config.input_capacity),
+            output_queue: MsgQueue::new(config.output_capacity),
+            privileged_queue: MsgQueue::new(config.privileged_capacity),
+            exception: ExceptionCode::None,
+            privileged_interrupt: false,
+            diversions: Vec::new(),
+            stats: NiStats::default(),
+        }
+    }
+
+    /// The configured feature set.
+    pub fn features(&self) -> FeatureSet {
+        self.features
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> NiStats {
+        self.stats
+    }
+
+    // --- register access ---------------------------------------------------
+
+    /// Reads an interface register.
+    ///
+    /// # Errors
+    ///
+    /// [`NiError::FeatureDisabled`] when reading `MsgIp`/`NextMsgIp`/`IpBase`
+    /// on an interface without hardware dispatch.
+    pub fn read_reg(&self, reg: InterfaceReg) -> Result<u32, NiError> {
+        use InterfaceReg::*;
+        Ok(match reg {
+            O0 | O1 | O2 | O3 | O4 => self.oregs[reg.number() as usize],
+            I0 | I1 | I2 | I3 | I4 => self.iregs[reg.number() as usize - 5],
+            Control => self.control.bits(),
+            Status => self.status().bits(),
+            IpBase => {
+                self.require(self.features.hw_dispatch, "hardware dispatch (IpBase)")?;
+                self.ip_base
+            }
+            MsgIp => {
+                self.require(self.features.hw_dispatch, "hardware dispatch (MsgIp)")?;
+                self.msg_ip()
+            }
+            NextMsgIp => {
+                self.require(self.features.hw_dispatch, "hardware dispatch (NextMsgIp)")?;
+                self.next_msg_ip()
+            }
+        })
+    }
+
+    /// Writes an interface register.
+    ///
+    /// `IpBase` is aligned down to the handler-table size by hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`NiError::ReadOnly`] for `STATUS`, the input registers, `MsgIp`, and
+    /// `NextMsgIp`; [`NiError::FeatureDisabled`] for `IpBase` without
+    /// hardware dispatch.
+    pub fn write_reg(&mut self, reg: InterfaceReg, value: u32) -> Result<(), NiError> {
+        use InterfaceReg::*;
+        match reg {
+            O0 | O1 | O2 | O3 | O4 => self.oregs[reg.number() as usize] = value,
+            Control => self.control = crate::Control::from_bits(value),
+            IpBase => {
+                self.require(self.features.hw_dispatch, "hardware dispatch (IpBase)")?;
+                self.ip_base = value & !(TABLE_BYTES - 1);
+            }
+            _ => return Err(NiError::ReadOnly(reg)),
+        }
+        Ok(())
+    }
+
+    /// The CONTROL register as a typed view.
+    pub fn control(&self) -> Control {
+        self.control
+    }
+
+    /// Replaces the CONTROL register (typed convenience for
+    /// [`write_reg`](Self::write_reg)).
+    pub fn set_control(&mut self, control: Control) {
+        self.control = control;
+    }
+
+    // --- commands ------------------------------------------------------------
+
+    fn require(&self, present: bool, feature: &'static str) -> Result<(), NiError> {
+        if present {
+            Ok(())
+        } else {
+            Err(NiError::FeatureDisabled { feature })
+        }
+    }
+
+    fn compose(&self, mode: SendMode, mtype: MsgType, last_flit: bool) -> Message {
+        let mut words = self.oregs;
+        match mode {
+            SendMode::Reply => {
+                // §2.2.2: "in the REPLY mode, the SEND command composes a
+                // message using registers i1 and i2, in place of o0 and o1."
+                // i1/i2 hold the requester's continuation FP/IP; the FP's
+                // high bits carry the requester's node id, so the reply is
+                // automatically addressed.
+                words[0] = self.iregs[1];
+                words[1] = self.iregs[2];
+            }
+            SendMode::Forward => {
+                // Forward mode reuses the incoming payload (words 1..4);
+                // o0 supplies the new destination/word 0.
+                words[1] = self.iregs[1];
+                words[2] = self.iregs[2];
+                words[3] = self.iregs[3];
+                words[4] = self.iregs[4];
+            }
+            SendMode::Send | SendMode::None => {}
+        }
+        let mut m = Message::new(words, mtype);
+        m.pin = self.control.active_pin();
+        m.last_flit = last_flit;
+        m
+    }
+
+    fn enqueue_outgoing(&mut self, msg: Message) -> SendOutcome {
+        match self.output_queue.push(msg) {
+            Ok(()) => {
+                self.stats.output_hwm = self.stats.output_hwm.max(self.output_queue.len());
+                SendOutcome::Sent
+            }
+            Err(_) => match self.control.overflow_policy() {
+                OverflowPolicy::Stall => {
+                    self.stats.send_stalls += 1;
+                    SendOutcome::Stalled
+                }
+                OverflowPolicy::Exception => {
+                    self.stats.overflows += 1;
+                    self.raise(ExceptionCode::OutputOverflow);
+                    SendOutcome::Overflowed
+                }
+            },
+        }
+    }
+
+    /// Executes a SEND command (§2.1, §2.2.1–§2.2.2).
+    ///
+    /// On the basic architecture the type argument is ignored and type 0 is
+    /// transmitted — basic receivers dispatch on the 32-bit id in word 4.
+    ///
+    /// # Errors
+    ///
+    /// * [`NiError::FeatureDisabled`] for reply/forward modes without the
+    ///   §2.2.2 optimization, or for an explicit non-zero type without
+    ///   §2.2.1 encoded types.
+    /// * [`NiError::ReservedType`] for type 1 (also latches the exception).
+    pub fn send(&mut self, mode: SendMode, mtype: MsgType) -> Result<SendOutcome, NiError> {
+        if mode == SendMode::None {
+            return Ok(SendOutcome::Sent); // architectural no-op
+        }
+        if matches!(mode, SendMode::Reply | SendMode::Forward) {
+            self.require(self.features.reply_forward, "fast reply/forward")?;
+        }
+        let mtype = if self.features.encoded_types {
+            if mtype.is_reserved_exception() {
+                self.raise(ExceptionCode::ReservedType);
+                return Err(NiError::ReservedType);
+            }
+            mtype
+        } else {
+            MsgType::HANDLER_IN_MSG
+        };
+        let mut msg = self.compose(mode, mtype, true);
+        if let Some(route) = self.outgoing_open {
+            // Final flit of an open long message: keep the established route.
+            msg.route = Some(route);
+        }
+        let outcome = self.enqueue_outgoing(msg);
+        if outcome == SendOutcome::Sent {
+            self.stats.sends += 1;
+            self.outgoing_open = None;
+        }
+        Ok(outcome)
+    }
+
+    /// Executes a SCROLL-OUT command (§2.1.2): sends the five output-register
+    /// words as a non-final flit and keeps the message open; a later
+    /// [`send`](Self::send) supplies the final flit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`send`](Self::send).
+    pub fn scroll_out(&mut self, mtype: MsgType) -> Result<SendOutcome, NiError> {
+        let mtype = if self.features.encoded_types {
+            if mtype.is_reserved_exception() {
+                self.raise(ExceptionCode::ReservedType);
+                return Err(NiError::ReservedType);
+            }
+            mtype
+        } else {
+            MsgType::HANDLER_IN_MSG
+        };
+        let mut msg = self.compose(SendMode::Send, mtype, false);
+        // The first flit establishes the route; every later flit reuses it
+        // (its word 0 is ordinary payload).
+        let route = self.outgoing_open.unwrap_or_else(|| msg.dest());
+        msg.route = Some(route);
+        let outcome = self.enqueue_outgoing(msg);
+        if outcome == SendOutcome::Sent {
+            self.stats.scroll_outs += 1;
+            self.outgoing_open = Some(route);
+        }
+        Ok(outcome)
+    }
+
+    /// Whether a SCROLL-OUT sequence is open (continuation flits expected).
+    pub fn outgoing_open(&self) -> bool {
+        self.outgoing_open.is_some()
+    }
+
+    /// Loads the head of the input queue into the input registers when they
+    /// are free. §2.1.4 describes arrived messages as *advancing into* the
+    /// input registers — software never loads the first one explicitly, it
+    /// only disposes of consumed ones with NEXT.
+    fn advance_if_free(&mut self) {
+        if self.current_valid {
+            return;
+        }
+        if let Some(msg) = self.input_queue.pop() {
+            self.iregs = msg.words;
+            self.current_type = msg.mtype;
+            self.current_valid = true;
+            self.current_continued = !msg.last_flit;
+            self.stats.receives += 1;
+        }
+    }
+
+    /// Executes a NEXT command: disposes of the current message (including
+    /// any unconsumed continuation flits); the next message, if one is
+    /// queued, advances into the input registers.
+    ///
+    /// Returns whether the input registers now hold a valid message.
+    ///
+    /// The name mirrors the paper's architected command; the clash with
+    /// `Iterator::next` is deliberate and harmless (the interface is not an
+    /// iterator).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> bool {
+        // Drain unread flits of a long message being abandoned.
+        while self.current_valid && self.current_continued {
+            match self.input_queue.pop() {
+                Some(flit) => self.current_continued = !flit.last_flit,
+                None => break, // trailing flits not yet arrived; drop marker
+            }
+        }
+        self.current_valid = false;
+        self.current_continued = false;
+        self.advance_if_free();
+        self.current_valid
+    }
+
+    /// Executes a SCROLL-IN command (§2.1.2): advances the input registers to
+    /// the next five words of the current long message.
+    ///
+    /// # Errors
+    ///
+    /// [`NiError::NoContinuation`] if the current message has no further
+    /// flits, or the next flit has not yet arrived.
+    pub fn scroll_in(&mut self) -> Result<(), NiError> {
+        if !self.current_valid || !self.current_continued {
+            return Err(NiError::NoContinuation);
+        }
+        match self.input_queue.pop() {
+            Some(flit) => {
+                self.iregs = flit.words;
+                self.current_continued = !flit.last_flit;
+                Ok(())
+            }
+            None => Err(NiError::NoContinuation),
+        }
+    }
+
+    /// Whether a SCROLL-IN issued now would succeed (a continuation flit of
+    /// the current message is already buffered). Processor models stall
+    /// SCROLL-IN until this holds, which is how a consumer waits for the
+    /// tail of a long message still crossing the network.
+    pub fn scroll_in_ready(&self) -> bool {
+        self.current_valid && self.current_continued && !self.input_queue.is_empty()
+    }
+
+    /// Whether the input registers hold a valid message.
+    pub fn msg_valid(&self) -> bool {
+        self.current_valid
+    }
+
+    /// The type of the current message (meaningful only when
+    /// [`msg_valid`](Self::msg_valid)).
+    pub fn current_type(&self) -> MsgType {
+        self.current_type
+    }
+
+    // --- dispatch ------------------------------------------------------------
+
+    fn conditions(&self) -> QueueConditions {
+        if !self.features.boundary_checks {
+            return QueueConditions::CLEAR;
+        }
+        QueueConditions {
+            iafull: self.input_queue.over_threshold(self.control.input_threshold()),
+            oafull: self.output_queue.over_threshold(self.control.output_threshold()),
+        }
+    }
+
+    /// The hardware-computed handler address for the current message
+    /// (Figure 7). See [`crate::dispatch::msg_ip`].
+    pub fn msg_ip(&self) -> u32 {
+        let src = if self.current_valid {
+            DispatchSource::Msg {
+                mtype: self.current_type,
+                word1: self.iregs[1],
+            }
+        } else {
+            DispatchSource::Empty
+        };
+        msg_ip(self.ip_base, self.conditions(), self.exception.is_pending(), src)
+    }
+
+    /// The hardware-computed handler address for the *next* message — what
+    /// `MsgIp` will read after the next NEXT command (§2.2.3). Queue
+    /// conditions are evaluated as they will stand after that NEXT.
+    pub fn next_msg_ip(&self) -> u32 {
+        let mut cond = self.conditions();
+        if self.features.boundary_checks {
+            let thresh = self.control.input_threshold();
+            cond.iafull =
+                thresh != 0 && self.input_queue.len().saturating_sub(1) >= thresh as usize;
+        }
+        let src = match self.input_queue.peek() {
+            Some(m) => DispatchSource::Msg {
+                mtype: m.mtype,
+                word1: m.words[1],
+            },
+            None => DispatchSource::Empty,
+        };
+        msg_ip(self.ip_base, cond, self.exception.is_pending(), src)
+    }
+
+    // --- status & exceptions ---------------------------------------------------
+
+    /// The STATUS register as a typed view.
+    pub fn status(&self) -> Status {
+        let cond = QueueConditions {
+            iafull: self.input_queue.over_threshold(self.control.input_threshold()),
+            oafull: self.output_queue.over_threshold(self.control.output_threshold()),
+        };
+        Status::pack(
+            self.current_valid,
+            cond.iafull,
+            cond.oafull,
+            !self.privileged_queue.is_empty(),
+            if self.current_valid { self.current_type } else { MsgType::default() },
+            self.input_queue.len(),
+            self.output_queue.len(),
+            self.exception,
+        )
+    }
+
+    fn raise(&mut self, code: ExceptionCode) {
+        if !self.exception.is_pending() {
+            self.exception = code;
+        }
+    }
+
+    /// Latches an input-port error (modelling §2.2.4's "error in the message
+    /// input port").
+    pub fn inject_input_port_error(&mut self) {
+        self.raise(ExceptionCode::InputPortError);
+    }
+
+    /// The pending exception, if any.
+    pub fn exception(&self) -> ExceptionCode {
+        self.exception
+    }
+
+    /// Clears the pending exception (done by the exception handler after it
+    /// reads STATUS).
+    pub fn clear_exception(&mut self) {
+        self.exception = ExceptionCode::None;
+    }
+
+    /// Whether a privileged arrival raised an interrupt since the last
+    /// [`take_interrupt`](Self::take_interrupt).
+    pub fn take_interrupt(&mut self) -> bool {
+        std::mem::take(&mut self.privileged_interrupt)
+    }
+
+    // --- network side ------------------------------------------------------------
+
+    /// Offers an arriving message to the interface. Privileged messages and
+    /// PIN mismatches divert to the privileged queue (§2.1.3); everything
+    /// else enters the input queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(msg)` when the input queue is full — the network must
+    /// hold the message and retry, which is how congestion "backs up into
+    /// the network" (§2.1.1).
+    pub fn push_incoming(&mut self, msg: Message) -> Result<(), Message> {
+        let divert = if msg.privileged {
+            Some(DivertReason::Privileged)
+        } else if self.control.pin_check_enabled() && msg.pin != self.control.active_pin() {
+            Some(DivertReason::PinMismatch {
+                got: msg.pin,
+                active: self.control.active_pin(),
+            })
+        } else {
+            None
+        };
+        if let Some(reason) = divert {
+            self.stats.diverted += 1;
+            self.diversions.push(reason);
+            if self.privileged_queue.push(msg).is_err() {
+                self.raise(ExceptionCode::PrivilegedOverflow);
+            } else if self.control.privileged_interrupt_enabled() {
+                self.privileged_interrupt = true;
+            }
+            return Ok(()); // consumed either way
+        }
+        self.input_queue.push(msg)?;
+        self.stats.input_hwm = self.stats.input_hwm.max(self.input_queue.len());
+        self.advance_if_free();
+        Ok(())
+    }
+
+    /// Whether [`push_incoming`](Self::push_incoming) would accept `msg`
+    /// right now. Messages that divert to the privileged queue are always
+    /// acceptable (overflow there latches an exception instead of
+    /// back-pressuring the fabric).
+    pub fn can_accept(&self, msg: &Message) -> bool {
+        let diverts = msg.privileged
+            || (self.control.pin_check_enabled() && msg.pin != self.control.active_pin());
+        diverts || !self.input_queue.is_full()
+    }
+
+    /// Whether a SEND issued now would stall the processor (full output
+    /// queue under the stall policy, §2.1.1). Used by processor models to
+    /// decide whether an instruction carrying a SEND can issue this cycle.
+    pub fn send_would_stall(&self) -> bool {
+        self.output_queue.is_full()
+            && self.control.overflow_policy() == OverflowPolicy::Stall
+    }
+
+    /// Takes the next outgoing message for the network, if any.
+    pub fn pop_outgoing(&mut self) -> Option<Message> {
+        self.output_queue.pop()
+    }
+
+    /// The next outgoing message without removing it.
+    pub fn peek_outgoing(&self) -> Option<&Message> {
+        self.output_queue.peek()
+    }
+
+    /// Pops the oldest privileged message (operating-system side, §2.1.3).
+    pub fn pop_privileged(&mut self) -> Option<Message> {
+        self.privileged_queue.pop()
+    }
+
+    /// Diversion records accumulated so far (model-level observability).
+    pub fn diversions(&self) -> &[DivertReason] {
+        &self.diversions
+    }
+
+    /// Occupancy of the input queue (excluding the input registers).
+    pub fn input_len(&self) -> usize {
+        self.input_queue.len()
+    }
+
+    /// Occupancy of the output queue.
+    pub fn output_len(&self) -> usize {
+        self.output_queue.len()
+    }
+
+    /// Whether every queue and the input registers are empty — used for
+    /// termination detection by the machine simulator.
+    pub fn is_quiescent(&self) -> bool {
+        !self.current_valid
+            && self.input_queue.is_empty()
+            && self.output_queue.is_empty()
+            && self.privileged_queue.is_empty()
+    }
+}
+
+impl Default for NetworkInterface {
+    fn default() -> Self {
+        NetworkInterface::new(NiConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::NodeId;
+    use crate::protection::Pin;
+
+    fn opt() -> NetworkInterface {
+        NetworkInterface::new(NiConfig::default())
+    }
+
+    fn basic() -> NetworkInterface {
+        NetworkInterface::new(NiConfig::new(FeatureLevel::Basic))
+    }
+
+    fn ty(n: u8) -> MsgType {
+        MsgType::new(n).unwrap()
+    }
+
+    #[test]
+    fn send_composes_from_output_registers() {
+        let mut ni = opt();
+        for (i, v) in [10, 20, 30, 40, 50].into_iter().enumerate() {
+            ni.write_reg(InterfaceReg::output(i), v).unwrap();
+        }
+        assert_eq!(ni.send(SendMode::Send, ty(3)).unwrap(), SendOutcome::Sent);
+        let m = ni.pop_outgoing().unwrap();
+        assert_eq!(m.words, [10, 20, 30, 40, 50]);
+        assert_eq!(m.mtype, ty(3));
+        assert!(m.last_flit);
+    }
+
+    #[test]
+    fn reply_mode_substitutes_i1_i2() {
+        let mut ni = opt();
+        // Simulate an arrived request carrying continuation FP/IP in w1/w2.
+        let req = Message::new([0xA0, 0x0101_0000, 0x2222, 0, 0], ty(4));
+        ni.push_incoming(req).unwrap(); // advances into the input registers
+        ni.write_reg(InterfaceReg::O2, 0x5555).unwrap();
+        ni.send(SendMode::Reply, ty(0)).unwrap();
+        let m = ni.pop_outgoing().unwrap();
+        assert_eq!(m.words[0], 0x0101_0000); // from i1 (requester FP → dest)
+        assert_eq!(m.words[1], 0x2222); // from i2 (requester IP)
+        assert_eq!(m.words[2], 0x5555); // from o2
+        assert_eq!(m.dest(), NodeId::new(0x01));
+    }
+
+    #[test]
+    fn forward_mode_reuses_payload() {
+        let mut ni = opt();
+        let incoming = Message::new([9, 1, 2, 3, 4], ty(5));
+        ni.push_incoming(incoming).unwrap(); // advances into the input registers
+        ni.write_reg(InterfaceReg::O0, NodeId::new(7).into_word_bits()).unwrap();
+        ni.send(SendMode::Forward, ty(5)).unwrap();
+        let m = ni.pop_outgoing().unwrap();
+        assert_eq!(m.dest(), NodeId::new(7));
+        assert_eq!(m.words[1..], [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn basic_level_rejects_optimized_features() {
+        let mut ni = basic();
+        assert!(matches!(
+            ni.send(SendMode::Reply, ty(0)),
+            Err(NiError::FeatureDisabled { .. })
+        ));
+        assert!(matches!(
+            ni.read_reg(InterfaceReg::MsgIp),
+            Err(NiError::FeatureDisabled { .. })
+        ));
+        assert!(matches!(
+            ni.write_reg(InterfaceReg::IpBase, 0x4000),
+            Err(NiError::FeatureDisabled { .. })
+        ));
+        // Basic sends ignore the type argument and transmit type 0.
+        ni.send(SendMode::Send, ty(9)).unwrap();
+        assert_eq!(ni.pop_outgoing().unwrap().mtype, MsgType::HANDLER_IN_MSG);
+    }
+
+    #[test]
+    fn reserved_type_send_raises_exception() {
+        let mut ni = opt();
+        assert_eq!(ni.send(SendMode::Send, ty(1)), Err(NiError::ReservedType));
+        assert_eq!(ni.exception(), ExceptionCode::ReservedType);
+        assert!(ni.pop_outgoing().is_none());
+    }
+
+    #[test]
+    fn overflow_policies() {
+        let cfg = NiConfig { output_capacity: 1, ..NiConfig::default() };
+        let mut ni = NetworkInterface::new(cfg);
+        ni.send(SendMode::Send, ty(2)).unwrap();
+        // Stall policy (default): message rejected, no exception.
+        assert_eq!(ni.send(SendMode::Send, ty(2)).unwrap(), SendOutcome::Stalled);
+        assert_eq!(ni.exception(), ExceptionCode::None);
+        // Exception policy: drop + latch.
+        ni.set_control(Control::new().with_overflow_policy(OverflowPolicy::Exception));
+        assert_eq!(ni.send(SendMode::Send, ty(2)).unwrap(), SendOutcome::Overflowed);
+        assert_eq!(ni.exception(), ExceptionCode::OutputOverflow);
+        assert_eq!(ni.stats().overflows, 1);
+        assert_eq!(ni.stats().send_stalls, 1);
+    }
+
+    #[test]
+    fn arrivals_advance_and_next_disposes_in_fifo_order() {
+        let mut ni = opt();
+        assert!(!ni.next());
+        ni.push_incoming(Message::new([1, 0, 0, 0, 0], ty(2))).unwrap();
+        // First arrival advances into the input registers by itself (§2.1.4).
+        assert!(ni.msg_valid());
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 1);
+        assert_eq!(ni.current_type(), ty(2));
+        ni.push_incoming(Message::new([2, 0, 0, 0, 0], ty(3))).unwrap();
+        // Second queues behind it.
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 1);
+        // NEXT disposes the first; the second advances.
+        assert!(ni.next());
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 2);
+        assert_eq!(ni.current_type(), ty(3));
+        assert!(!ni.next());
+        assert!(!ni.status().msg_valid());
+    }
+
+    #[test]
+    fn backpressure_rejects_when_input_full() {
+        let cfg = NiConfig { input_capacity: 2, ..NiConfig::default() };
+        let mut ni = NetworkInterface::new(cfg);
+        ni.push_incoming(Message::default()).unwrap(); // → input registers
+        ni.push_incoming(Message::default()).unwrap(); // queue: 1
+        ni.push_incoming(Message::default()).unwrap(); // queue: 2 (full)
+        assert!(ni.push_incoming(Message::default()).is_err());
+        ni.next(); // dispose; queue: 1
+        assert!(ni.push_incoming(Message::default()).is_ok());
+    }
+
+    #[test]
+    fn pin_mismatch_diverts() {
+        let mut ni = opt();
+        ni.set_control(
+            Control::new()
+                .with_pin_check(true)
+                .with_active_pin(Pin::new(1))
+                .with_privileged_interrupt(true),
+        );
+        let foreign = Message::default().with_pin(Pin::new(2));
+        ni.push_incoming(foreign).unwrap();
+        assert!(!ni.next(), "diverted message must not reach user state");
+        assert!(ni.status().privileged_pending());
+        assert!(ni.take_interrupt());
+        assert!(!ni.take_interrupt());
+        assert_eq!(ni.pop_privileged().unwrap().pin, Pin::new(2));
+        // Matching PIN flows normally (and advances into the registers).
+        let local = Message::default().with_pin(Pin::new(1));
+        ni.push_incoming(local).unwrap();
+        assert!(ni.msg_valid());
+    }
+
+    #[test]
+    fn privileged_message_diverts_even_without_pin_check() {
+        let mut ni = opt();
+        ni.push_incoming(Message::default().into_privileged()).unwrap();
+        assert!(!ni.next());
+        assert_eq!(ni.diversions().len(), 1);
+    }
+
+    #[test]
+    fn scroll_out_then_send_builds_long_message() {
+        let mut ni = opt();
+        ni.write_reg(InterfaceReg::O0, 1).unwrap();
+        ni.scroll_out(ty(6)).unwrap();
+        assert!(ni.outgoing_open());
+        ni.write_reg(InterfaceReg::O0, 2).unwrap();
+        ni.send(SendMode::Send, ty(6)).unwrap();
+        assert!(!ni.outgoing_open());
+        let first = ni.pop_outgoing().unwrap();
+        let second = ni.pop_outgoing().unwrap();
+        assert!(!first.last_flit);
+        assert!(second.last_flit);
+        assert_eq!((first.words[0], second.words[0]), (1, 2));
+    }
+
+    #[test]
+    fn scroll_in_walks_flits_and_next_skips_rest() {
+        let mut ni = opt();
+        let mk = |n: u32, last| {
+            let mut m = Message::new([n, 0, 0, 0, 0], ty(6));
+            m.last_flit = last;
+            m
+        };
+        ni.push_incoming(mk(1, false)).unwrap();
+        ni.push_incoming(mk(2, false)).unwrap();
+        ni.push_incoming(mk(3, true)).unwrap();
+        ni.push_incoming(mk(9, true)).unwrap(); // separate message
+        // The first flit advanced into the input registers on arrival.
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 1);
+        ni.scroll_in().unwrap();
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 2);
+        // Abandon the rest: NEXT must skip flit 3 and land on message 9.
+        assert!(ni.next());
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 9);
+        assert!(ni.scroll_in().is_err());
+    }
+
+    #[test]
+    fn scroll_is_part_of_the_basic_architecture_too() {
+        // §2.1.2 presents SCROLL as an extension of the *basic* architecture.
+        let mut ni = basic();
+        ni.write_reg(InterfaceReg::O0, NodeId::new(0).into_word_bits() | 1).unwrap();
+        ni.scroll_out(ty(6)).unwrap();
+        ni.write_reg(InterfaceReg::O0, 2).unwrap();
+        ni.send(SendMode::Send, ty(6)).unwrap();
+        let first = ni.pop_outgoing().unwrap();
+        let second = ni.pop_outgoing().unwrap();
+        assert!(!first.last_flit && second.last_flit);
+        assert_eq!(second.route, Some(NodeId::new(0)), "route follows flit one");
+        // Receive side: scroll-in readiness and traversal.
+        ni.push_incoming(first).unwrap();
+        assert!(!ni.scroll_in_ready(), "continuation not yet arrived");
+        ni.push_incoming(second).unwrap();
+        assert!(ni.scroll_in_ready());
+        ni.scroll_in().unwrap();
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 2);
+        assert!(!ni.scroll_in_ready());
+    }
+
+    #[test]
+    fn status_reflects_queues_and_conditions() {
+        let mut ni = opt();
+        ni.set_control(Control::new().with_input_threshold(2).with_output_threshold(1));
+        ni.push_incoming(Message::default()).unwrap(); // → input registers
+        ni.push_incoming(Message::default()).unwrap(); // queue: 1
+        assert!(!ni.status().iafull());
+        ni.push_incoming(Message::default()).unwrap(); // queue: 2 = threshold
+        assert!(ni.status().iafull());
+        assert_eq!(ni.status().input_len(), 2);
+        ni.send(SendMode::Send, ty(2)).unwrap();
+        assert!(ni.status().oafull());
+    }
+
+    #[test]
+    fn msg_ip_tracks_interface_state() {
+        let mut ni = opt();
+        ni.write_reg(InterfaceReg::IpBase, 0x4000).unwrap();
+        // Empty: slot 0.
+        assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x4000);
+        // Typed message arrives and advances: its slot.
+        ni.push_incoming(Message::new([0, 0xCAFE, 0, 0, 0], ty(4))).unwrap();
+        assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x4000 + 4 * 16);
+        // Nothing queued behind it yet: NextMsgIp shows the idle slot.
+        assert_eq!(ni.read_reg(InterfaceReg::NextMsgIp).unwrap(), 0x4000);
+        // A type-0 message queues behind: NextMsgIp previews its word 1.
+        ni.push_incoming(Message::new([0, 0x8888, 0, 0, 0], ty(0))).unwrap();
+        assert_eq!(ni.read_reg(InterfaceReg::NextMsgIp).unwrap(), 0x8888);
+        ni.next();
+        assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x8888);
+        // Exception overrides: slot 1.
+        ni.inject_input_port_error();
+        assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x4000 + 16);
+        ni.clear_exception();
+        assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x8888);
+    }
+
+    #[test]
+    fn next_msg_ip_anticipates_queue_drain() {
+        let mut ni = opt();
+        ni.write_reg(InterfaceReg::IpBase, 0x4000).unwrap();
+        ni.set_control(Control::new().with_input_threshold(1));
+        ni.push_incoming(Message::new([0, 0, 0, 0, 0], ty(4))).unwrap(); // current
+        ni.push_incoming(Message::new([0, 0x9999, 0, 0, 0], ty(0))).unwrap(); // queued
+        // Queue holds 1 >= threshold, so the *current* dispatch sees iafull…
+        assert_eq!(
+            ni.read_reg(InterfaceReg::MsgIp).unwrap(),
+            0x4000 + (1 << 9) + 4 * 16
+        );
+        // …but after NEXT the queue will be empty, so NextMsgIp is a clean
+        // type-0 dispatch to the queued message's word 1.
+        assert_eq!(ni.read_reg(InterfaceReg::NextMsgIp).unwrap(), 0x9999);
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut ni = opt();
+        assert!(ni.is_quiescent());
+        ni.push_incoming(Message::default()).unwrap();
+        assert!(!ni.is_quiescent(), "message sits in the input registers");
+        ni.next();
+        assert!(ni.is_quiescent());
+    }
+}

@@ -1,0 +1,91 @@
+//! # tcni-core — the tightly-coupled processor-network interface
+//!
+//! This crate is the primary contribution of the TCNI repository: a
+//! behavioural model of the network interface architecture from Henry &
+//! Joerg, *A Tightly-Coupled Processor-Network Interface* (ASPLOS 1992).
+//!
+//! The programmer's view (Figure 1 of the paper) is fifteen interface
+//! registers — five output words `o0..o4`, five input words `i0..i4`,
+//! `CONTROL`, `STATUS`, and the dispatch triple `IpBase`/`MsgIp`/`NextMsgIp`
+//! — plus a bounded input queue and output queue of five-word messages. Two
+//! commands drive it: **SEND** queues the output registers as a message and
+//! **NEXT** pops the next arrived message into the input registers.
+//!
+//! On top of that basic architecture (§2.1) sit the paper's four
+//! optimizations (§2.2), all modelled here and individually switchable for
+//! ablation:
+//!
+//! * **encoded types** — a 4-bit compile-time message type in the SEND
+//!   command replaces a 32-bit software message id;
+//! * **fast reply/forward** — SEND modes that compose the outgoing message
+//!   from *input* registers, eliminating copy instructions;
+//! * **hardware dispatch** — `MsgIp` precomputes the handler address for the
+//!   current message (Figure 7), `NextMsgIp` for the one behind it;
+//! * **boundary conditions** — queue-threshold (`iafull`/`oafull`) and
+//!   exception bits folded into the dispatch address, giving each handler
+//!   four pressure variants and a free exception path.
+//!
+//! How the interface attaches to a processor — off-chip cache bus, on-chip
+//! cache bus, or the register file itself — is the subject of §3 and of the
+//! [`mapping`] module; the cycle-level co-simulation lives in `tcni-sim`.
+//!
+//! ## Example
+//!
+//! A remote-read request processed with the optimized architecture
+//! (cf. Figure 6 of the paper):
+//!
+//! ```
+//! use tcni_core::{InterfaceReg, Message, NetworkInterface, NiConfig, NodeId};
+//! use tcni_isa::{MsgType, SendMode};
+//!
+//! let read_type = MsgType::new(4).unwrap();
+//! let mut ni = NetworkInterface::new(NiConfig::default());
+//! ni.write_reg(InterfaceReg::IpBase, 0x4000)?;
+//!
+//! // A Read request arrives: [addr, reply FP, reply IP, -, -].
+//! let req = Message::new([0x100, 0x0200_0000, 0x8040, 0, 0], read_type);
+//! ni.push_incoming(req).unwrap(); // advances into the input registers
+//!
+//! // Hardware dispatch: MsgIp points at the Read handler's table slot.
+//! assert_eq!(ni.read_reg(InterfaceReg::MsgIp)?, 0x4000 + 4 * 16);
+//!
+//! // The handler reads i0, loads memory (elided), writes o2, SEND-reply.
+//! let addr = ni.read_reg(InterfaceReg::I0)?;
+//! let value = addr + 0xAB; // stand-in for the memory load
+//! ni.write_reg(InterfaceReg::O2, value)?;
+//! ni.send(SendMode::Reply, MsgType::HANDLER_IN_MSG)?;
+//!
+//! let reply = ni.pop_outgoing().unwrap();
+//! assert_eq!(reply.dest(), NodeId::new(2));      // requester, from its FP
+//! assert_eq!(reply.words[1], 0x8040);            // reply handler IP
+//! assert_eq!(reply.words[2], 0x1AB);             // the value
+//! # Ok::<(), tcni_core::NiError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod control;
+pub mod dispatch;
+mod error;
+mod feature;
+mod interface;
+pub mod mapping;
+mod message;
+mod protection;
+mod queue;
+mod regs;
+mod status;
+
+pub use control::{Control, OverflowPolicy};
+pub use error::NiError;
+pub use feature::{FeatureLevel, FeatureSet};
+pub use interface::{NetworkInterface, NiConfig, NiStats, SendOutcome};
+pub use message::{Message, NodeId, MSG_WORDS};
+pub use protection::{DivertReason, Pin};
+pub use queue::MsgQueue;
+pub use regs::InterfaceReg;
+pub use status::{ExceptionCode, Status};
+
+// Re-export the command surface shared with the ISA so downstream users need
+// only this crate for NI programming.
+pub use tcni_isa::{MsgType, NiCmd, SendMode};

@@ -1,0 +1,277 @@
+//! How the interface maps into the processor (§3, Figures 8–11).
+//!
+//! Two pieces live here because they are architected alongside the interface
+//! itself:
+//!
+//! 1. **Figure 9**: the encoding of NI commands and register numbers into the
+//!    low-order bits of a memory address, used by both cache-based
+//!    implementations. "In a single load or store instruction, the processor
+//!    can do any combination of the following: access one interface register,
+//!    execute a SEND command, and execute a NEXT command."
+//! 2. **§3.3**: the aliasing of interface registers onto general-purpose
+//!    registers `r16..=r30` for the register-file-based implementation.
+//!
+//! ```text
+//! Figure 9 — address lines:
+//!   5:2    interface register number
+//!   9:6    type of message to be sent
+//!   11:10  01 SEND · 10 SEND-reply · 11 SEND-forward · 00 no send
+//!   12     NEXT command
+//!   13     SCROLL (extension, §2.1.2): with a send mode = SCROLL-OUT,
+//!          without one = SCROLL-IN; combining SCROLL with NEXT is undefined
+//! ```
+//!
+//! The paper's Figure 9 stops at bit 12; bit 13 is our encoding of the
+//! SCROLL-IN/SCROLL-OUT commands the paper describes in prose (§2.1.2).
+
+use std::fmt;
+
+use tcni_isa::{MsgType, NiCmd, Reg, SendMode};
+
+use crate::regs::InterfaceReg;
+
+/// The base of the memory window the interface decodes. The paper assumes
+/// "the address to which the interface is mapped consists of all 1's" in its
+/// upper bits; we architect a 16 KiB window at the top of the address space
+/// (bits 31:14 all ones): bits 11:2 carry Figure 9's fields, bit 12 NEXT,
+/// and bit 13 the SCROLL extension.
+pub const NI_WINDOW_BASE: u32 = 0xFFFF_C000;
+
+/// Size of the decode window in bytes.
+pub const NI_WINDOW_SIZE: u32 = 0x4000;
+
+/// Where the §3.3 register-file aliasing starts: interface register `n` is
+/// general-purpose register `r16 + n`.
+pub const NI_GPR_BASE: u8 = 16;
+
+/// Local-address mask. Global addresses (remote-read targets, frame
+/// pointers) carry the destination node in their high [`crate::NodeId::BITS`]
+/// bits; a node's local memory decoder ignores those bits, so a handler can
+/// "load from memory address" straight out of `i0` without masking — exactly
+/// what the paper's optimized Read handler does (Figure 6, line 4). The NI
+/// window is decoded *before* this mask applies.
+pub const LOCAL_ADDR_MASK: u32 = (1 << (32 - crate::NodeId::BITS)) - 1;
+
+/// A decoded memory-mapped interface access (Figure 9 plus the SCROLL bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NiAddress {
+    /// The interface register accessed, if the register number names one
+    /// (number 15 performs a command with no register access).
+    pub reg: Option<InterfaceReg>,
+    /// The NI command encoded in the address bits.
+    pub cmd: NiCmd,
+    /// The SCROLL bit (§2.1.2): SCROLL-OUT when `cmd.mode` sends,
+    /// SCROLL-IN otherwise.
+    pub scroll: bool,
+}
+
+impl NiAddress {
+    /// Whether a byte address falls inside the interface's decode window
+    /// (the window occupies the top `NI_WINDOW_SIZE` bytes of the address
+    /// space, so the check is a single compare — "the upper bits on the
+    /// address bus match a preset constant" of all ones, §3.1).
+    pub fn matches(addr: u32) -> bool {
+        addr >= NI_WINDOW_BASE
+    }
+
+    /// Decodes the Figure-9 fields from an address inside the window.
+    /// Returns `None` for addresses outside the window.
+    pub fn decode(addr: u32) -> Option<NiAddress> {
+        if !Self::matches(addr) {
+            return None;
+        }
+        let reg = InterfaceReg::from_number(((addr >> 2) & 0xF) as u8);
+        let mtype = MsgType::new(((addr >> 6) & 0xF) as u8).expect("4-bit field");
+        let mode = SendMode::from_bits(((addr >> 10) & 0b11) as u8);
+        let next = (addr >> 12) & 1 != 0;
+        let scroll = (addr >> 13) & 1 != 0;
+        Some(NiAddress {
+            reg,
+            cmd: NiCmd { mode, mtype, next },
+            scroll,
+        })
+    }
+
+    /// Builds the address that performs this access (inverse of
+    /// [`decode`](Self::decode)).
+    pub fn encode(self) -> u32 {
+        let regno = self.reg.map(|r| r.number()).unwrap_or(15);
+        NI_WINDOW_BASE
+            | (u32::from(regno) << 2)
+            | (u32::from(self.cmd.mtype.bits()) << 6)
+            | (u32::from(self.cmd.mode.bits()) << 10)
+            | (u32::from(self.cmd.next) << 12)
+            | (u32::from(self.scroll) << 13)
+    }
+}
+
+/// Convenience: the address that accesses `reg` with no command.
+pub fn reg_addr(reg: InterfaceReg) -> u32 {
+    NiAddress { reg: Some(reg), cmd: NiCmd::NONE, scroll: false }.encode()
+}
+
+/// Convenience: the address that accesses `reg` and performs `cmd`.
+pub fn cmd_addr(reg: InterfaceReg, cmd: NiCmd) -> u32 {
+    NiAddress { reg: Some(reg), cmd, scroll: false }.encode()
+}
+
+/// Convenience: the address that performs `cmd` with no register access.
+pub fn bare_cmd_addr(cmd: NiCmd) -> u32 {
+    NiAddress { reg: None, cmd, scroll: false }.encode()
+}
+
+/// Convenience: the SCROLL-OUT address — sends the output registers as a
+/// non-final flit of type `mtype`, optionally also accessing `reg`.
+pub fn scroll_out_addr(reg: Option<InterfaceReg>, mtype: tcni_isa::MsgType) -> u32 {
+    NiAddress {
+        reg,
+        cmd: NiCmd::send(mtype),
+        scroll: true,
+    }
+    .encode()
+}
+
+/// Convenience: the SCROLL-IN address — advances the input registers to the
+/// next flit of the current long message, optionally reading `reg`.
+pub fn scroll_in_addr(reg: Option<InterfaceReg>) -> u32 {
+    NiAddress {
+        reg,
+        cmd: NiCmd::NONE,
+        scroll: true,
+    }
+    .encode()
+}
+
+/// The general-purpose register that aliases `reg` in the register-file
+/// implementation (§3.3).
+pub fn gpr_alias(reg: InterfaceReg) -> Reg {
+    Reg::try_from(NI_GPR_BASE + reg.number()).expect("r16..=r30 in range")
+}
+
+/// The interface register aliased by a general-purpose register, if any.
+pub fn alias_of(gpr: Reg) -> Option<InterfaceReg> {
+    let idx = gpr.index() as u8;
+    if idx < NI_GPR_BASE {
+        return None;
+    }
+    InterfaceReg::from_number(idx - NI_GPR_BASE)
+}
+
+/// Short display of the mapping, for traces.
+pub fn describe(addr: u32) -> impl fmt::Display {
+    struct D(Option<NiAddress>);
+    impl fmt::Display for D {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self.0 {
+                Some(a) => {
+                    match a.reg {
+                        Some(r) => write!(f, "NI[{r}]")?,
+                        None => write!(f, "NI[-]")?,
+                    }
+                    if !a.cmd.is_noop() {
+                        write!(f, " + {}", a.cmd)?;
+                    }
+                    Ok(())
+                }
+                None => f.write_str("not an NI address"),
+            }
+        }
+    }
+    D(NiAddress::decode(addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §3.1's example: "ld r3 r1 C" with low bits
+        // next=1 (bit 12), mode=10 reply (11:10), type=0111 (9:6),
+        // register 0110 = i1 (5:2) — returns i1, sends reply type 7, NEXT.
+        let addr = NI_WINDOW_BASE | (1 << 12) | (0b10 << 10) | (0b0111 << 6) | (0b0110 << 2);
+        let d = NiAddress::decode(addr).unwrap();
+        assert_eq!(d.reg, Some(InterfaceReg::I1));
+        assert_eq!(d.cmd.mode, SendMode::Reply);
+        assert_eq!(d.cmd.mtype.bits(), 7);
+        assert!(d.cmd.next);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_fields() {
+        for reg in InterfaceReg::ALL {
+            for mode in 0..4u8 {
+                for ty in [0u8, 7, 15] {
+                    for next in [false, true] {
+                        for scroll in [false, true] {
+                            let a = NiAddress {
+                                reg: Some(reg),
+                                cmd: NiCmd {
+                                    mode: SendMode::from_bits(mode),
+                                    mtype: MsgType::new(ty).unwrap(),
+                                    next,
+                                },
+                                scroll,
+                            };
+                            assert_eq!(NiAddress::decode(a.encode()), Some(a));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bare_command_has_no_register() {
+        let a = bare_cmd_addr(NiCmd::next());
+        let d = NiAddress::decode(a).unwrap();
+        assert_eq!(d.reg, None);
+        assert!(d.cmd.next);
+        assert!(!d.scroll);
+    }
+
+    #[test]
+    fn scroll_addresses() {
+        let so = scroll_out_addr(Some(InterfaceReg::O4), MsgType::new(6).unwrap());
+        let d = NiAddress::decode(so).unwrap();
+        assert!(d.scroll);
+        assert!(d.cmd.mode.sends());
+        assert_eq!(d.cmd.mtype.bits(), 6);
+        let si = scroll_in_addr(Some(InterfaceReg::I0));
+        let d = NiAddress::decode(si).unwrap();
+        assert!(d.scroll);
+        assert!(!d.cmd.mode.sends());
+        assert_eq!(d.reg, Some(InterfaceReg::I0));
+    }
+
+    #[test]
+    fn window_bounds() {
+        assert!(NiAddress::matches(NI_WINDOW_BASE));
+        assert!(NiAddress::matches(NI_WINDOW_BASE + (NI_WINDOW_SIZE - 4)));
+        assert!(NiAddress::matches(u32::MAX));
+        assert!(!NiAddress::matches(NI_WINDOW_BASE - 4));
+        assert_eq!(NiAddress::decode(0x1000), None);
+    }
+
+    #[test]
+    fn gpr_aliasing() {
+        assert_eq!(gpr_alias(InterfaceReg::O0), Reg::R16);
+        assert_eq!(gpr_alias(InterfaceReg::I0), Reg::R21);
+        assert_eq!(gpr_alias(InterfaceReg::MsgIp), Reg::R29);
+        assert_eq!(gpr_alias(InterfaceReg::NextMsgIp), Reg::R30);
+        assert_eq!(alias_of(Reg::R21), Some(InterfaceReg::I0));
+        assert_eq!(alias_of(Reg::R15), None);
+        assert_eq!(alias_of(Reg::R31), None); // r31 stays a plain GPR
+        for r in InterfaceReg::ALL {
+            assert_eq!(alias_of(gpr_alias(r)), Some(r));
+        }
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let addr = cmd_addr(InterfaceReg::I1, NiCmd::reply(MsgType::new(7).unwrap()).with_next());
+        let text = describe(addr).to_string();
+        assert!(text.contains("i1"), "{text}");
+        assert!(text.contains("SEND-reply"), "{text}");
+    }
+}

@@ -1,0 +1,205 @@
+//! The architected message format (Figure 2 of the paper).
+//!
+//! Every message consists of five 32-bit words `m0..m4` plus a 4-bit type
+//! field. The logical address of the destination processor is carried in the
+//! high bits of the first word; we architect the top [`NodeId::BITS`] bits of
+//! `m0` for it, supporting up to 256 nodes.
+
+use std::fmt;
+
+use tcni_isa::MsgType;
+
+use crate::protection::Pin;
+
+/// Number of data words in a message (or one *flit* of a long message).
+pub const MSG_WORDS: usize = 5;
+
+/// A logical processor (node) number, carried in the high bits of `m0`.
+///
+/// # Example
+///
+/// ```
+/// use tcni_core::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(NodeId::from_word(n.into_word_bits() | 0x1234), n);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u8);
+
+impl NodeId {
+    /// Number of address bits architected in `m0`.
+    pub const BITS: u32 = 8;
+
+    /// Creates a node id.
+    pub fn new(index: u8) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The node's index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Extracts the destination node from a message's first word.
+    pub fn from_word(m0: u32) -> NodeId {
+        NodeId((m0 >> (32 - Self::BITS)) as u8)
+    }
+
+    /// The node id positioned in the high bits of a word, ready to be OR-ed
+    /// with the low-bit payload of `m0`.
+    pub fn into_word_bits(self) -> u32 {
+        u32::from(self.0) << (32 - Self::BITS)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u8> for NodeId {
+    fn from(value: u8) -> Self {
+        NodeId(value)
+    }
+}
+
+/// A five-word message (Figure 2), plus the metadata the architecture
+/// attaches: the 4-bit type (§2.2.1), the sender's process identification
+/// number (§2.1.3), a privilege flag for operating-system messages, and a
+/// `last_flit` marker used by the variable-length SCROLL extension (§2.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Message {
+    /// Data words `m0..m4`. `m0`'s high bits name the destination.
+    pub words: [u32; MSG_WORDS],
+    /// The 4-bit message type. Ignored by the basic architecture, which
+    /// dispatches on a 32-bit id in `m4` instead (§2.1.4).
+    pub mtype: MsgType,
+    /// Process identification number of the sending process.
+    pub pin: Pin,
+    /// Whether the message is destined for the operating system (§2.1.3).
+    pub privileged: bool,
+    /// `false` for all but the final flit of a variable-length message.
+    pub last_flit: bool,
+    /// Routing override for continuation flits: a long message is routed by
+    /// its *first* flit's `m0`, so later flits (whose word 0 is ordinary
+    /// payload) carry the established route here. `None` for ordinary
+    /// messages.
+    pub route: Option<NodeId>,
+}
+
+impl Message {
+    /// Creates an ordinary (single-flit, unprivileged) message.
+    pub fn new(words: [u32; MSG_WORDS], mtype: MsgType) -> Message {
+        Message {
+            words,
+            mtype,
+            pin: Pin::default(),
+            privileged: false,
+            last_flit: true,
+            route: None,
+        }
+    }
+
+    /// Creates a message addressed to `dest`, placing the node id in the high
+    /// bits of `m0` (the rest of `m0` comes from `words[0]`'s low bits).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tcni_core::{Message, NodeId};
+    /// use tcni_isa::MsgType;
+    ///
+    /// let m = Message::to(NodeId::new(2), [0x40, 0, 0, 0, 0], MsgType::new(3).unwrap());
+    /// assert_eq!(m.dest(), NodeId::new(2));
+    /// assert_eq!(m.words[0] & 0x00FF_FFFF, 0x40);
+    /// ```
+    pub fn to(dest: NodeId, mut words: [u32; MSG_WORDS], mtype: MsgType) -> Message {
+        let payload_mask = (1u32 << (32 - NodeId::BITS)) - 1;
+        words[0] = dest.into_word_bits() | (words[0] & payload_mask);
+        Message::new(words, mtype)
+    }
+
+    /// The destination processor: the routing override for continuation
+    /// flits, otherwise decoded from `m0`.
+    pub fn dest(&self) -> NodeId {
+        self.route.unwrap_or_else(|| NodeId::from_word(self.words[0]))
+    }
+
+    /// Tags the message with a sending process.
+    pub fn with_pin(mut self, pin: Pin) -> Message {
+        self.pin = pin;
+        self
+    }
+
+    /// Marks the message privileged (destined for the operating system).
+    pub fn into_privileged(mut self) -> Message {
+        self.privileged = true;
+        self
+    }
+
+    /// Marks this flit as non-final (a SCROLL-OUT continuation follows).
+    pub fn into_continued(mut self) -> Message {
+        self.last_flit = false;
+        self
+    }
+}
+
+impl Default for Message {
+    fn default() -> Self {
+        Message::new([0; MSG_WORDS], MsgType::default())
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msg(type={} dest={} words=[{:#x}, {:#x}, {:#x}, {:#x}, {:#x}]{})",
+            self.mtype,
+            self.dest(),
+            self.words[0],
+            self.words[1],
+            self.words[2],
+            self.words[3],
+            self.words[4],
+            if self.last_flit { "" } else { " …" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_in_high_bits() {
+        let m = Message::to(NodeId::new(0xAB), [0x00FF_FFFF, 1, 2, 3, 4], MsgType::default());
+        assert_eq!(m.dest(), NodeId::new(0xAB));
+        assert_eq!(m.words[0], 0xABFF_FFFF);
+    }
+
+    #[test]
+    fn to_masks_payload_overflow() {
+        // A payload that already had high bits set must not corrupt the dest.
+        let m = Message::to(NodeId::new(1), [0xFFFF_FFFF, 0, 0, 0, 0], MsgType::default());
+        assert_eq!(m.dest(), NodeId::new(1));
+    }
+
+    #[test]
+    fn builder_flags() {
+        let m = Message::default()
+            .with_pin(Pin::new(7))
+            .into_privileged()
+            .into_continued();
+        assert_eq!(m.pin, Pin::new(7));
+        assert!(m.privileged);
+        assert!(!m.last_flit);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Message::default().to_string().is_empty());
+    }
+}

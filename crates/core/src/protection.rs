@@ -1,0 +1,86 @@
+//! Multi-user protection (§2.1.3).
+//!
+//! The paper's basic architecture extends to a multi-user environment with
+//! two mechanisms: *privileged* messages destined for the operating system,
+//! and per-message *process identification numbers* (PINs) checked against
+//! the PIN of the currently active process. A mismatching or privileged
+//! message is diverted into privileged state — it never appears in the
+//! user-visible input registers — and can optionally raise an interrupt for
+//! the operating system. Crucially, none of this interferes with the
+//! dispatch optimizations, which is the property the tests pin down.
+
+use std::fmt;
+
+/// A process identification number (§2.1.3).
+///
+/// # Example
+///
+/// ```
+/// use tcni_core::Pin;
+/// assert_ne!(Pin::new(1), Pin::new(2));
+/// assert_eq!(Pin::default(), Pin::new(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pin(u8);
+
+impl Pin {
+    /// Creates a PIN.
+    pub fn new(value: u8) -> Pin {
+        Pin(value)
+    }
+
+    /// The raw 8-bit value (stored in CONTROL bits 23:16).
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin{}", self.0)
+    }
+}
+
+/// Why a message was diverted to the privileged queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivertReason {
+    /// The message was flagged as destined for the operating system.
+    Privileged,
+    /// The message's PIN did not match the active process's PIN.
+    PinMismatch {
+        /// PIN carried by the message.
+        got: Pin,
+        /// PIN of the currently active process.
+        active: Pin,
+    },
+}
+
+impl fmt::Display for DivertReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivertReason::Privileged => f.write_str("privileged message"),
+            DivertReason::PinMismatch { got, active } => {
+                write!(f, "PIN mismatch (message {got}, active {active})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_value_roundtrip() {
+        assert_eq!(Pin::new(0xAB).value(), 0xAB);
+    }
+
+    #[test]
+    fn divert_reason_display() {
+        let r = DivertReason::PinMismatch {
+            got: Pin::new(1),
+            active: Pin::new(2),
+        };
+        assert!(r.to_string().contains("mismatch"));
+    }
+}

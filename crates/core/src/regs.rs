@@ -1,0 +1,175 @@
+//! The fifteen programmer-visible interface registers (Figure 1) and their
+//! architected numbering, shared by the Figure-9 memory-address encoding and
+//! the register-file aliasing of §3.3.
+
+use std::fmt;
+
+/// One of the fifteen interface registers of Figure 1.
+///
+/// The numbering (0..=14) is architected: it appears in address bits 5:2 of
+/// memory-mapped commands (Figure 9) and selects which general-purpose
+/// register aliases the interface register in the register-mapped
+/// implementation (`r16 + number`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InterfaceReg {
+    /// Output message word 0 (destination in high bits).
+    O0,
+    /// Output message word 1.
+    O1,
+    /// Output message word 2.
+    O2,
+    /// Output message word 3.
+    O3,
+    /// Output message word 4.
+    O4,
+    /// Input message word 0.
+    I0,
+    /// Input message word 1.
+    I1,
+    /// Input message word 2.
+    I2,
+    /// Input message word 3.
+    I3,
+    /// Input message word 4.
+    I4,
+    /// Interface control register (§2.1, [`crate::Control`]).
+    Control,
+    /// Interface status register (§2.1, [`crate::Status`]).
+    Status,
+    /// Base address of the message-handler table (§2.2.3).
+    IpBase,
+    /// Hardware-computed handler address for the current message (§2.2.3).
+    MsgIp,
+    /// Hardware-computed handler address for the next message (§2.2.3).
+    NextMsgIp,
+}
+
+impl InterfaceReg {
+    /// All interface registers in numbering order.
+    pub const ALL: [InterfaceReg; 15] = [
+        InterfaceReg::O0,
+        InterfaceReg::O1,
+        InterfaceReg::O2,
+        InterfaceReg::O3,
+        InterfaceReg::O4,
+        InterfaceReg::I0,
+        InterfaceReg::I1,
+        InterfaceReg::I2,
+        InterfaceReg::I3,
+        InterfaceReg::I4,
+        InterfaceReg::Control,
+        InterfaceReg::Status,
+        InterfaceReg::IpBase,
+        InterfaceReg::MsgIp,
+        InterfaceReg::NextMsgIp,
+    ];
+
+    /// The architected register number (address bits 5:2 of Figure 9).
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a register number; `None` for 15 (unassigned).
+    pub fn from_number(n: u8) -> Option<InterfaceReg> {
+        Self::ALL.get(n as usize).copied()
+    }
+
+    /// The output register carrying message word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 4`.
+    pub fn output(i: usize) -> InterfaceReg {
+        Self::ALL[..5][i]
+    }
+
+    /// The input register carrying message word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 4`.
+    pub fn input(i: usize) -> InterfaceReg {
+        Self::ALL[5..10][i]
+    }
+
+    /// Whether this register is an output message word.
+    pub fn is_output_word(self) -> bool {
+        self.number() < 5
+    }
+
+    /// Whether this register is an input message word.
+    pub fn is_input_word(self) -> bool {
+        (5..10).contains(&self.number())
+    }
+
+    /// Whether writes to this register are architecturally meaningful.
+    /// `STATUS`, `MsgIp`, and `NextMsgIp` are read-only; the input registers
+    /// are written only by the interface itself.
+    pub fn is_writable(self) -> bool {
+        self.is_output_word() || matches!(self, InterfaceReg::Control | InterfaceReg::IpBase)
+    }
+}
+
+impl fmt::Display for InterfaceReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterfaceReg::O0 => "o0",
+            InterfaceReg::O1 => "o1",
+            InterfaceReg::O2 => "o2",
+            InterfaceReg::O3 => "o3",
+            InterfaceReg::O4 => "o4",
+            InterfaceReg::I0 => "i0",
+            InterfaceReg::I1 => "i1",
+            InterfaceReg::I2 => "i2",
+            InterfaceReg::I3 => "i3",
+            InterfaceReg::I4 => "i4",
+            InterfaceReg::Control => "CONTROL",
+            InterfaceReg::Status => "STATUS",
+            InterfaceReg::IpBase => "IpBase",
+            InterfaceReg::MsgIp => "MsgIp",
+            InterfaceReg::NextMsgIp => "NextMsgIp",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_is_stable() {
+        assert_eq!(InterfaceReg::O0.number(), 0);
+        assert_eq!(InterfaceReg::I0.number(), 5);
+        assert_eq!(InterfaceReg::I1.number(), 6);
+        assert_eq!(InterfaceReg::Control.number(), 10);
+        assert_eq!(InterfaceReg::NextMsgIp.number(), 14);
+    }
+
+    #[test]
+    fn from_number_roundtrip() {
+        for r in InterfaceReg::ALL {
+            assert_eq!(InterfaceReg::from_number(r.number()), Some(r));
+        }
+        assert_eq!(InterfaceReg::from_number(15), None);
+    }
+
+    #[test]
+    fn word_register_helpers() {
+        assert_eq!(InterfaceReg::output(3), InterfaceReg::O3);
+        assert_eq!(InterfaceReg::input(4), InterfaceReg::I4);
+        assert!(InterfaceReg::O2.is_output_word());
+        assert!(InterfaceReg::I2.is_input_word());
+        assert!(!InterfaceReg::Status.is_output_word());
+    }
+
+    #[test]
+    fn writability() {
+        assert!(InterfaceReg::O0.is_writable());
+        assert!(InterfaceReg::Control.is_writable());
+        assert!(InterfaceReg::IpBase.is_writable());
+        assert!(!InterfaceReg::Status.is_writable());
+        assert!(!InterfaceReg::I0.is_writable());
+        assert!(!InterfaceReg::MsgIp.is_writable());
+    }
+}

@@ -1,0 +1,243 @@
+//! The STATUS register (§2.1).
+//!
+//! "The bits in the STATUS register indicate the current status of the
+//! network interface. For instance, one field in the STATUS register reports
+//! the number of messages in the input queue." The exceptional conditions of
+//! §2.2.4 are also reported here so the exception handler "can check the
+//! STATUS register to see precisely which exceptional condition has occurred."
+//!
+//! Architected layout:
+//!
+//! ```text
+//! bit  0      message valid (input registers hold an unconsumed message)
+//! bit  1      iafull  (input queue at/over its threshold)
+//! bit  2      oafull  (output queue at/over its threshold)
+//! bit  3      privileged message pending
+//! bits 7:4    type of the current message
+//! bits 15:8   input-queue length (messages)
+//! bits 23:16  output-queue length (messages)
+//! bits 27:24  exception code (0 = none)
+//! ```
+
+use std::fmt;
+
+use tcni_isa::MsgType;
+
+/// Exceptional conditions reported through STATUS bits 27:24 and dispatched
+/// through the reserved type-1 handler slot (§2.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum ExceptionCode {
+    /// No exception pending.
+    #[default]
+    None = 0,
+    /// A SEND found the output queue full under the exception policy.
+    OutputOverflow = 1,
+    /// The message input port reported an error.
+    InputPortError = 2,
+    /// Software attempted to SEND a message of the reserved type 1.
+    ReservedType = 3,
+    /// The privileged queue overflowed.
+    PrivilegedOverflow = 4,
+}
+
+impl ExceptionCode {
+    /// Decodes the 4-bit STATUS field.
+    pub fn from_bits(bits: u32) -> ExceptionCode {
+        match bits {
+            1 => ExceptionCode::OutputOverflow,
+            2 => ExceptionCode::InputPortError,
+            3 => ExceptionCode::ReservedType,
+            4 => ExceptionCode::PrivilegedOverflow,
+            _ => ExceptionCode::None,
+        }
+    }
+
+    /// Whether an exception is pending.
+    pub fn is_pending(self) -> bool {
+        self != ExceptionCode::None
+    }
+}
+
+impl fmt::Display for ExceptionCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExceptionCode::None => "none",
+            ExceptionCode::OutputOverflow => "output queue overflow",
+            ExceptionCode::InputPortError => "input port error",
+            ExceptionCode::ReservedType => "send of reserved message type 1",
+            ExceptionCode::PrivilegedOverflow => "privileged queue overflow",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed, read-only view over the 32-bit STATUS register value.
+///
+/// # Example
+///
+/// ```
+/// use tcni_core::Status;
+///
+/// let s = Status::from_bits(0);
+/// assert!(!s.msg_valid());
+/// assert_eq!(s.input_len(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Status(u32);
+
+impl Status {
+    pub(crate) const MSG_VALID: u32 = 1 << 0;
+    pub(crate) const IAFULL: u32 = 1 << 1;
+    pub(crate) const OAFULL: u32 = 1 << 2;
+    pub(crate) const PRIV_PENDING: u32 = 1 << 3;
+    pub(crate) const TYPE_SHIFT: u32 = 4;
+    pub(crate) const IN_LEN_SHIFT: u32 = 8;
+    pub(crate) const OUT_LEN_SHIFT: u32 = 16;
+    pub(crate) const EXC_SHIFT: u32 = 24;
+
+    /// Reinterprets a raw register value.
+    pub fn from_bits(bits: u32) -> Status {
+        Status(bits)
+    }
+
+    /// The raw register value.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Packs the fields into a register value (used by the interface model).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn pack(
+        msg_valid: bool,
+        iafull: bool,
+        oafull: bool,
+        priv_pending: bool,
+        mtype: MsgType,
+        input_len: usize,
+        output_len: usize,
+        exception: ExceptionCode,
+    ) -> Status {
+        let mut v = 0u32;
+        if msg_valid {
+            v |= Self::MSG_VALID;
+        }
+        if iafull {
+            v |= Self::IAFULL;
+        }
+        if oafull {
+            v |= Self::OAFULL;
+        }
+        if priv_pending {
+            v |= Self::PRIV_PENDING;
+        }
+        v |= u32::from(mtype.bits()) << Self::TYPE_SHIFT;
+        v |= (input_len.min(255) as u32) << Self::IN_LEN_SHIFT;
+        v |= (output_len.min(255) as u32) << Self::OUT_LEN_SHIFT;
+        v |= (exception as u32) << Self::EXC_SHIFT;
+        Status(v)
+    }
+
+    /// Whether the input registers hold a valid, unconsumed message.
+    pub fn msg_valid(self) -> bool {
+        self.0 & Self::MSG_VALID != 0
+    }
+
+    /// Whether the input queue is at or over its CONTROL threshold.
+    pub fn iafull(self) -> bool {
+        self.0 & Self::IAFULL != 0
+    }
+
+    /// Whether the output queue is at or over its CONTROL threshold.
+    pub fn oafull(self) -> bool {
+        self.0 & Self::OAFULL != 0
+    }
+
+    /// Whether a privileged message awaits operating-system attention.
+    pub fn privileged_pending(self) -> bool {
+        self.0 & Self::PRIV_PENDING != 0
+    }
+
+    /// The type of the message in the input registers.
+    pub fn msg_type(self) -> MsgType {
+        MsgType::new(((self.0 >> Self::TYPE_SHIFT) & 0xF) as u8).expect("4-bit field")
+    }
+
+    /// The number of messages buffered in the input queue.
+    pub fn input_len(self) -> usize {
+        ((self.0 >> Self::IN_LEN_SHIFT) & 0xFF) as usize
+    }
+
+    /// The number of messages buffered in the output queue.
+    pub fn output_len(self) -> usize {
+        ((self.0 >> Self::OUT_LEN_SHIFT) & 0xFF) as usize
+    }
+
+    /// The pending exception, if any.
+    pub fn exception(self) -> ExceptionCode {
+        ExceptionCode::from_bits((self.0 >> Self::EXC_SHIFT) & 0xF)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "STATUS(valid={} type={} in={} out={} iafull={} oafull={} exc={})",
+            self.msg_valid(),
+            self.msg_type(),
+            self.input_len(),
+            self.output_len(),
+            self.iafull(),
+            self.oafull(),
+            self.exception(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let s = Status::pack(
+            true,
+            true,
+            false,
+            true,
+            MsgType::new(9).unwrap(),
+            3,
+            17,
+            ExceptionCode::InputPortError,
+        );
+        assert!(s.msg_valid());
+        assert!(s.iafull());
+        assert!(!s.oafull());
+        assert!(s.privileged_pending());
+        assert_eq!(s.msg_type().bits(), 9);
+        assert_eq!(s.input_len(), 3);
+        assert_eq!(s.output_len(), 17);
+        assert_eq!(s.exception(), ExceptionCode::InputPortError);
+    }
+
+    #[test]
+    fn queue_lengths_saturate() {
+        let s = Status::pack(false, false, false, false, MsgType::default(), 999, 1000, ExceptionCode::None);
+        assert_eq!(s.input_len(), 255);
+        assert_eq!(s.output_len(), 255);
+    }
+
+    #[test]
+    fn exception_code_roundtrip() {
+        for code in [
+            ExceptionCode::None,
+            ExceptionCode::OutputOverflow,
+            ExceptionCode::InputPortError,
+            ExceptionCode::ReservedType,
+            ExceptionCode::PrivilegedOverflow,
+        ] {
+            assert_eq!(ExceptionCode::from_bits(code as u32), code);
+        }
+    }
+}

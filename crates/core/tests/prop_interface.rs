@@ -1,0 +1,202 @@
+//! Property tests over the network-interface state machine: under arbitrary
+//! sequences of operations the architectural invariants hold — queues stay
+//! bounded, STATUS reflects reality, nothing is lost or duplicated, and the
+//! Figure-7 dispatch address is always well-formed.
+
+use proptest::prelude::*;
+use tcni_core::{
+    dispatch::TABLE_BYTES, Control, InterfaceReg, Message, MsgType, NetworkInterface, NiConfig,
+    OverflowPolicy, Pin, SendOutcome,
+};
+use tcni_isa::SendMode;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PushIncoming { tag: u32, mtype: u8, pin: u8, privileged: bool },
+    Next,
+    Send { mode: u8, mtype: u8 },
+    WriteOut { idx: u8, value: u32 },
+    PopOutgoing,
+    PopPrivileged,
+    ScrollOut { mtype: u8 },
+    ScrollIn,
+    SetThresholds { input: u32, output: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u32>(), 0u8..16, 0u8..3, any::<bool>()).prop_map(|(tag, mtype, pin, privileged)| {
+            Op::PushIncoming { tag, mtype, pin, privileged }
+        }),
+        Just(Op::Next),
+        (1u8..4, 0u8..16).prop_map(|(mode, mtype)| Op::Send { mode, mtype }),
+        (0u8..5, any::<u32>()).prop_map(|(idx, value)| Op::WriteOut { idx, value }),
+        Just(Op::PopOutgoing),
+        Just(Op::PopPrivileged),
+        (0u8..16).prop_map(|mtype| Op::ScrollOut { mtype }),
+        Just(Op::ScrollIn),
+        (0u32..16, 0u32..16).prop_map(|(input, output)| Op::SetThresholds { input, output }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(arb_op(), 0..120)) {
+        let cfg = NiConfig {
+            input_capacity: 4,
+            output_capacity: 4,
+            privileged_capacity: 4,
+            ..NiConfig::default()
+        };
+        let mut ni = NetworkInterface::new(cfg);
+        ni.write_reg(InterfaceReg::IpBase, 0x4000).unwrap();
+        ni.set_control(Control::new().with_active_pin(Pin::new(0)).with_pin_check(true));
+
+        let mut accepted_user = 0u64; // into the input side
+        let mut consumed_user = 0u64; // NEXT'd or scrolled or currently held
+        let mut sent_ok = 0u64;
+        let mut popped_out = 0u64;
+
+        for op in ops {
+            match op {
+                Op::PushIncoming { tag, mtype, pin, privileged } => {
+                    let mut m = Message::new([0, tag, 0, 0, 0], MsgType::new(mtype).unwrap())
+                        .with_pin(Pin::new(pin));
+                    m.privileged = privileged;
+                    let diverts = privileged || pin != 0;
+                    match ni.push_incoming(m) {
+                        Ok(()) => {
+                            if !diverts {
+                                accepted_user += 1;
+                            }
+                        }
+                        Err(_) => {
+                            // Refusal only legal when the input queue is full.
+                            prop_assert!(!diverts);
+                            prop_assert_eq!(ni.input_len(), 4);
+                        }
+                    }
+                }
+                Op::Next => {
+                    ni.next();
+                }
+                Op::Send { mode, mtype } => {
+                    let mode = SendMode::from_bits(mode);
+                    match ni.send(mode, MsgType::new(mtype).unwrap()) {
+                        Ok(SendOutcome::Sent) => sent_ok += 1,
+                        Ok(SendOutcome::Stalled) => prop_assert_eq!(ni.output_len(), 4),
+                        Ok(SendOutcome::Overflowed) => unreachable!("stall policy"),
+                        Err(e) => {
+                            prop_assert_eq!(e, tcni_core::NiError::ReservedType);
+                            ni.clear_exception();
+                        }
+                    }
+                }
+                Op::WriteOut { idx, value } => {
+                    ni.write_reg(InterfaceReg::output(usize::from(idx)), value).unwrap();
+                }
+                Op::PopOutgoing => {
+                    if ni.pop_outgoing().is_some() {
+                        popped_out += 1;
+                    }
+                }
+                Op::PopPrivileged => {
+                    let _ = ni.pop_privileged();
+                }
+                Op::ScrollOut { mtype } => {
+                    if let Ok(SendOutcome::Sent) = ni.scroll_out(MsgType::new(mtype).unwrap()) {
+                        sent_ok += 1;
+                    }
+                }
+                Op::ScrollIn => {
+                    let _ = ni.scroll_in();
+                }
+                Op::SetThresholds { input, output } => {
+                    let c = ni.control()
+                        .with_input_threshold(input)
+                        .with_output_threshold(output);
+                    ni.set_control(c);
+                }
+            }
+
+            // --- invariants after every operation -------------------------
+            let st = ni.status();
+            prop_assert!(ni.input_len() <= 4);
+            prop_assert!(ni.output_len() <= 4);
+            prop_assert_eq!(st.input_len(), ni.input_len());
+            prop_assert_eq!(st.output_len(), ni.output_len());
+            prop_assert_eq!(st.msg_valid(), ni.msg_valid());
+            // iafull/oafull agree with CONTROL thresholds.
+            let c = ni.control();
+            let ia = c.input_threshold() != 0 && ni.input_len() >= c.input_threshold() as usize;
+            let oa = c.output_threshold() != 0 && ni.output_len() >= c.output_threshold() as usize;
+            prop_assert_eq!(st.iafull(), ia);
+            prop_assert_eq!(st.oafull(), oa);
+            // Figure 7: MsgIp is the in-message IP (clean type-0) or a
+            // 16-byte-aligned slot inside the table.
+            let ip = ni.read_reg(InterfaceReg::MsgIp).unwrap();
+            if !(ni.msg_valid()
+                && ni.current_type().bits() == 0
+                && !st.iafull()
+                && !st.oafull()
+                && !st.exception().is_pending())
+            {
+                prop_assert!((0x4000..0x4000 + TABLE_BYTES).contains(&ip), "MsgIp {ip:#x}");
+                prop_assert_eq!(ip % 16, 0);
+            }
+            // Conservation on the output side.
+            prop_assert_eq!(sent_ok, popped_out + ni.output_len() as u64);
+        }
+        // Conservation on the input side: everything accepted is either
+        // still queued, currently in the registers, or was disposed.
+        consumed_user += ni.input_len() as u64 + u64::from(ni.msg_valid());
+        prop_assert!(consumed_user <= accepted_user + 1);
+    }
+
+    /// Reply/forward composition is a pure function of the input/output
+    /// registers, per §2.2.2.
+    #[test]
+    fn reply_forward_composition(iregs in prop::collection::vec(any::<u32>(), 5),
+                                 oregs in prop::collection::vec(any::<u32>(), 5)) {
+        let mut ni = NetworkInterface::new(NiConfig::default());
+        let incoming = Message::new([iregs[0], iregs[1], iregs[2], iregs[3], iregs[4]],
+                                    MsgType::new(3).unwrap());
+        ni.push_incoming(incoming).unwrap();
+        for (i, v) in oregs.iter().enumerate() {
+            ni.write_reg(InterfaceReg::output(i), *v).unwrap();
+        }
+        ni.send(SendMode::Reply, MsgType::new(0).unwrap()).unwrap();
+        let reply = ni.pop_outgoing().unwrap();
+        prop_assert_eq!(reply.words, [iregs[1], iregs[2], oregs[2], oregs[3], oregs[4]]);
+
+        ni.send(SendMode::Forward, MsgType::new(5).unwrap()).unwrap();
+        let fwd = ni.pop_outgoing().unwrap();
+        prop_assert_eq!(fwd.words, [oregs[0], iregs[1], iregs[2], iregs[3], iregs[4]]);
+
+        ni.send(SendMode::Send, MsgType::new(6).unwrap()).unwrap();
+        let plain = ni.pop_outgoing().unwrap();
+        prop_assert_eq!(plain.words, [oregs[0], oregs[1], oregs[2], oregs[3], oregs[4]]);
+    }
+
+    /// CONTROL field packing round-trips for arbitrary values.
+    #[test]
+    fn control_roundtrip(policy in any::<bool>(), pin in any::<u8>(),
+                         it in 0u32..16, ot in 0u32..16,
+                         chk in any::<bool>(), pi in any::<bool>()) {
+        let c = Control::new()
+            .with_overflow_policy(if policy { OverflowPolicy::Exception } else { OverflowPolicy::Stall })
+            .with_active_pin(Pin::new(pin))
+            .with_input_threshold(it)
+            .with_output_threshold(ot)
+            .with_pin_check(chk)
+            .with_privileged_interrupt(pi);
+        let back = Control::from_bits(c.bits());
+        prop_assert_eq!(back, c);
+        prop_assert_eq!(back.active_pin(), Pin::new(pin));
+        prop_assert_eq!(back.input_threshold(), it);
+        prop_assert_eq!(back.output_threshold(), ot);
+        prop_assert_eq!(back.pin_check_enabled(), chk);
+    }
+}

@@ -1,0 +1,522 @@
+//! The in-order processor core.
+
+use std::fmt;
+
+use tcni_isa::{Instr, Operand, Program, Reg};
+
+use crate::env::{Env, EnvFault};
+use crate::stats::CpuStats;
+use crate::timing::TimingConfig;
+
+/// Processor execution state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuState {
+    /// Executing instructions.
+    Running,
+    /// Stopped by a `halt` instruction.
+    Halted,
+    /// Stopped by an architectural fault.
+    Faulted {
+        /// What went wrong.
+        reason: String,
+        /// Byte address of the faulting instruction.
+        pc: u32,
+    },
+}
+
+impl CpuState {
+    /// Whether the processor can continue.
+    pub fn is_running(&self) -> bool {
+        matches!(self, CpuState::Running)
+    }
+}
+
+/// Architectural effect of one executed instruction.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExecEffect {
+    /// Control-transfer target (applies after the delay slot).
+    control: Option<u32>,
+    /// Whether the instruction was `halt`.
+    halted: bool,
+}
+
+/// What a single [`Cpu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired.
+    Executed,
+    /// The cycle was spent waiting for an operand (load-use interlock).
+    StalledOperand,
+    /// The cycle was spent waiting for the environment (e.g. SEND on a full
+    /// output queue under the stall policy).
+    StalledEnv,
+    /// The processor is halted or faulted; nothing happened.
+    Idle,
+}
+
+/// An in-order, single-issue RISC core in the style of the Motorola 88100:
+/// one instruction per cycle, load-use interlocks, and a single branch delay
+/// slot.
+///
+/// The core holds only architectural CPU state; memory and devices come from
+/// the [`Env`] passed to each [`step`](Cpu::step), so the same core drives
+/// all three network-interface placements of §3.
+///
+/// # Example
+///
+/// ```
+/// use tcni_cpu::{Cpu, MemEnv, TimingConfig};
+/// use tcni_isa::{Assembler, Reg};
+///
+/// let mut a = Assembler::new();
+/// a.addi(Reg::R2, Reg::R0, 20);
+/// a.addi(Reg::R3, Reg::R0, 22);
+/// a.add(Reg::R4, Reg::R2, Reg::R3);
+/// a.halt();
+/// let p = a.assemble().unwrap();
+///
+/// let mut cpu = Cpu::new(TimingConfig::new());
+/// let mut env = MemEnv::new(64);
+/// cpu.run(&p, &mut env, 100);
+/// assert_eq!(cpu.reg(Reg::R4), 42);
+/// assert_eq!(cpu.stats().instructions, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    state: CpuState,
+    cycle: u64,
+    ready_at: [u64; 32],
+    /// Cost class of the instruction that produced each register's pending
+    /// value; operand stalls are charged to the *producer* (an off-chip
+    /// interface load's latency is communication cost even though the
+    /// stalled consumer may be compute).
+    producer_class: [tcni_isa::CostClass; 32],
+    /// Target to jump to after the currently-pending delay slot executes.
+    pending_branch: Option<u32>,
+    /// Cycle at which the current issue group started (scoreboard baseline
+    /// for both instructions of a dual-issue pair).
+    issue_cycle: u64,
+    timing: TimingConfig,
+    stats: CpuStats,
+}
+
+impl Cpu {
+    /// Creates a core at reset: `pc = 0`, registers zero.
+    pub fn new(timing: TimingConfig) -> Cpu {
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            state: CpuState::Running,
+            cycle: 0,
+            ready_at: [0; 32],
+            producer_class: [tcni_isa::CostClass::Compute; 32],
+            pending_branch: None,
+            issue_cycle: 0,
+            timing,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// The current program counter (byte address).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Redirects execution (clears any pending delay-slot branch).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+        self.pending_branch = None;
+    }
+
+    /// Reads an architectural register (`r0` reads as zero). Register
+    /// overrides (register-mapped NI state) are *not* consulted — use the
+    /// environment for that; this accessor is for test harnesses.
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes an architectural register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The execution state.
+    pub fn state(&self) -> &CpuState {
+        &self.state
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// The timing configuration.
+    pub fn timing(&self) -> TimingConfig {
+        self.timing
+    }
+
+    /// Restarts the core at `pc` with fresh statistics, preserving register
+    /// values.
+    pub fn restart_at(&mut self, pc: u32) {
+        self.pc = pc;
+        self.state = CpuState::Running;
+        self.pending_branch = None;
+        self.ready_at = [0; 32];
+    }
+
+    fn fault(&mut self, reason: impl Into<String>) {
+        self.state = CpuState::Faulted {
+            reason: reason.into(),
+            pc: self.pc,
+        };
+    }
+
+    fn read_operand(&mut self, env: &mut dyn Env, r: Reg) -> u32 {
+        if r.is_zero() {
+            return 0;
+        }
+        if let Some(v) = env.reg_read_override(r) {
+            return v;
+        }
+        self.regs[r.index()]
+    }
+
+    fn write_dest(&mut self, env: &mut dyn Env, r: Reg, value: u32) -> Result<(), EnvFault> {
+        if r.is_zero() {
+            return Ok(());
+        }
+        if env.reg_write_override(r, value)? {
+            return Ok(());
+        }
+        self.regs[r.index()] = value;
+        Ok(())
+    }
+
+    /// The register (if any) whose pending value blocks `instr` this cycle.
+    /// Store data is consumed late and tolerates `store_data_slack` cycles
+    /// of remaining latency.
+    fn blocking_source(&self, instr: &Instr) -> Option<Reg> {
+        let sources = instr.sources();
+        let (late, early): (&[Reg], &[Reg]) = match instr {
+            Instr::St { .. } => {
+                let n = sources.len();
+                (&sources[n - 1..], &sources[..n - 1])
+            }
+            _ => (&[], &sources[..]),
+        };
+        let now = self.cycle;
+        early
+            .iter()
+            .find(|r| self.ready_at[r.index()] > now)
+            .or_else(|| {
+                late.iter()
+                    .find(|r| self.ready_at[r.index()] > now + u64::from(self.timing.store_data_slack))
+            })
+            .copied()
+    }
+
+    fn charge_stall_to(&mut self, class: tcni_isa::CostClass) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        self.stats.operand_stalls += 1;
+        self.stats.class_mut(class).cycles += 1;
+    }
+
+    fn charge_cycle(&mut self, program: &Program, outcome: StepOutcome) {
+        let class = program.cost_class(self.pc);
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        match outcome {
+            StepOutcome::Executed => {
+                self.stats.instructions += 1;
+                let c = self.stats.class_mut(class);
+                c.cycles += 1;
+                c.instructions += 1;
+            }
+            StepOutcome::StalledOperand => {
+                self.stats.operand_stalls += 1;
+                self.stats.class_mut(class).cycles += 1;
+            }
+            StepOutcome::StalledEnv => {
+                self.stats.env_stalls += 1;
+                self.stats.class_mut(class).cycles += 1;
+            }
+            StepOutcome::Idle => {}
+        }
+    }
+
+    /// Executes (at most) one cycle: either retires the instruction at `pc`
+    /// (plus, in dual-issue mode, a second independent instruction) or burns
+    /// a stall cycle.
+    pub fn step(&mut self, program: &Program, env: &mut dyn Env) -> StepOutcome {
+        if !self.state.is_running() {
+            return StepOutcome::Idle;
+        }
+        let Some(&instr) = program.fetch(self.pc) else {
+            self.fault(format!("instruction fetch outside program at {:#x}", self.pc));
+            return StepOutcome::Idle;
+        };
+
+        // Load-use interlock: stall cycles are attributed to the class of
+        // the producing instruction (see `producer_class`).
+        if let Some(blocker) = self.blocking_source(&instr) {
+            let class = self.producer_class[blocker.index()];
+            self.charge_stall_to(class);
+            return StepOutcome::StalledOperand;
+        }
+
+        // NI readiness pre-check: a SEND that would stall must not perform
+        // any of the instruction's side effects.
+        let ni = instr.ni_cmd();
+        if !ni.is_noop() && !env.ni_ready(ni) {
+            self.charge_cycle(program, StepOutcome::StalledEnv);
+            return StepOutcome::StalledEnv;
+        }
+
+        let was_slot = self.pending_branch.take();
+        self.issue_cycle = self.cycle;
+
+        let effect = match self.exec_instr(&instr, program, env) {
+            Ok(e) => e,
+            Err(f) => return self.apply_fault(f, program, was_slot),
+        };
+
+        if effect.halted {
+            self.charge_cycle(program, StepOutcome::Executed);
+            self.state = CpuState::Halted;
+            return StepOutcome::Executed;
+        }
+        if effect.control.is_some() && was_slot.is_some() {
+            self.fault("control-transfer instruction in a branch delay slot");
+            return StepOutcome::Idle;
+        }
+
+        self.charge_cycle(program, StepOutcome::Executed);
+        self.pc = match was_slot {
+            Some(target) => target,
+            None => self.pc.wrapping_add(4),
+        };
+        self.pending_branch = effect.control;
+
+        // Dual issue (the 88110MP configuration, §3 of the paper): a second
+        // independent, non-control instruction may retire in the same cycle.
+        // "The network interface can execute two coprocessor network
+        // instructions per cycle", so paired NI commands are allowed.
+        if self.timing.issue_width >= 2
+            && effect.control.is_none()
+            && was_slot.is_none()
+            && !instr.is_control()
+        {
+            self.try_coissue(&instr, program, env);
+        }
+        StepOutcome::Executed
+    }
+
+    /// Attempts to retire the instruction at `pc` in the already-charged
+    /// cycle. Conservative pairing rules: no control transfers, at most one
+    /// memory access per cycle, no register dependence on (or conflict with)
+    /// the first instruction, operands and the interface ready now.
+    fn try_coissue(&mut self, first: &Instr, program: &Program, env: &mut dyn Env) {
+        let Some(&second) = program.fetch(self.pc) else {
+            return;
+        };
+        if second.is_control() || matches!(second, Instr::Halt) {
+            return;
+        }
+        let both_memory = matches!(first, Instr::Ld { .. } | Instr::St { .. })
+            && matches!(second, Instr::Ld { .. } | Instr::St { .. });
+        if both_memory {
+            return; // one load/store unit
+        }
+        if let Some(d) = first.dest() {
+            if !d.is_zero() && (second.sources().contains(&d) || second.dest() == Some(d)) {
+                return; // RAW / WAW with the paired instruction
+            }
+        }
+        if self.blocking_source(&second).is_some() {
+            return;
+        }
+        let ni = second.ni_cmd();
+        if !ni.is_noop() && !env.ni_ready(ni) {
+            return;
+        }
+        match self.exec_instr(&second, program, env) {
+            Ok(effect) => {
+                debug_assert!(effect.control.is_none() && !effect.halted);
+                // Retires for free in the current cycle.
+                self.stats.instructions += 1;
+                let class = program.cost_class(self.pc);
+                self.stats.class_mut(class).instructions += 1;
+                self.pc = self.pc.wrapping_add(4);
+            }
+            Err(EnvFault::Stall) => {
+                // A memory-mapped command could not proceed: simply don't
+                // pair; the instruction reissues alone next cycle (the
+                // environment applies no side effects before refusing).
+            }
+            Err(EnvFault::Fault { reason }) => self.fault(reason),
+        }
+    }
+
+    /// Executes one instruction's architectural effects. Scoreboard entries
+    /// are computed against `issue_cycle` so co-issued instructions get the
+    /// same result latency as the instruction they pair with.
+    fn exec_instr(
+        &mut self,
+        instr: &Instr,
+        program: &Program,
+        env: &mut dyn Env,
+    ) -> Result<ExecEffect, EnvFault> {
+        let mut effect = ExecEffect::default();
+        match *instr {
+            Instr::Alu { op, rd, rs1, rs2, .. } => {
+                let a = self.read_operand(env, rs1);
+                let b = match rs2 {
+                    Operand::Reg(r) => self.read_operand(env, r),
+                    Operand::Imm(_) => rs2.extend(op, &|_| 0),
+                };
+                let v = op.apply(a, b);
+                self.write_dest(env, rd, v)?;
+                if !rd.is_zero() {
+                    let extra = if op == tcni_isa::AluOp::Mul {
+                        u64::from(self.timing.mul_extra)
+                    } else {
+                        0
+                    };
+                    self.ready_at[rd.index()] = self.issue_cycle + 1 + extra;
+                    self.producer_class[rd.index()] = program.cost_class(self.pc);
+                }
+            }
+            Instr::Fp { op, rd, rs1, rs2, .. } => {
+                let a = self.read_operand(env, rs1);
+                let b = self.read_operand(env, rs2);
+                let v = op.apply(a, b);
+                self.write_dest(env, rd, v)?;
+                if !rd.is_zero() {
+                    self.ready_at[rd.index()] =
+                        self.issue_cycle + 1 + u64::from(self.timing.fp_extra);
+                    self.producer_class[rd.index()] = program.cost_class(self.pc);
+                }
+            }
+            Instr::Lui { rd, imm } => {
+                self.write_dest(env, rd, u32::from(imm) << 16)?;
+            }
+            Instr::Ld { rd, base, off, .. } => {
+                let b = self.read_operand(env, base);
+                let o = match off {
+                    Operand::Reg(r) => self.read_operand(env, r),
+                    Operand::Imm(i) => i as i16 as i32 as u32,
+                };
+                let addr = b.wrapping_add(o);
+                let kind = env.access_kind(addr);
+                let v = env.mem_read(addr)?;
+                self.write_dest(env, rd, v)?;
+                if !rd.is_zero() {
+                    self.ready_at[rd.index()] =
+                        self.issue_cycle + 1 + u64::from(self.timing.load_extra(kind));
+                    self.producer_class[rd.index()] = program.cost_class(self.pc);
+                }
+            }
+            Instr::St { rs, base, off, .. } => {
+                let b = self.read_operand(env, base);
+                let o = match off {
+                    Operand::Reg(r) => self.read_operand(env, r),
+                    Operand::Imm(i) => i as i16 as i32 as u32,
+                };
+                let v = self.read_operand(env, rs);
+                env.mem_write(b.wrapping_add(o), v)?;
+            }
+            Instr::Br { target } => effect.control = Some(target),
+            Instr::Bcnd { cond, rs, target } => {
+                let v = self.read_operand(env, rs);
+                if cond.eval(v) {
+                    effect.control = Some(target);
+                }
+            }
+            Instr::Jmp { rs, .. } => {
+                let t = self.read_operand(env, rs);
+                effect.control = Some(t);
+            }
+            Instr::Bsr { target } => {
+                // Return address: past the delay slot.
+                let link = self.pc.wrapping_add(8);
+                self.write_dest(env, Reg::R1, link)?;
+                effect.control = Some(target);
+            }
+            Instr::Jsr { rs } => {
+                let t = self.read_operand(env, rs);
+                let link = self.pc.wrapping_add(8);
+                self.write_dest(env, Reg::R1, link)?;
+                effect.control = Some(t);
+            }
+            Instr::Nop => {}
+            Instr::Halt => effect.halted = true,
+        }
+
+        // NI command side effects happen after write-back, so a `ld o2, …,
+        // SEND` sends the freshly-loaded value (§3.3 semantics).
+        let ni = instr.ni_cmd();
+        if !ni.is_noop() {
+            if !instr.is_triadic() {
+                return Err(EnvFault::fault("NI command on a non-triadic instruction"));
+            }
+            match env.exec_ni(ni) {
+                Ok(()) => {}
+                Err(EnvFault::Stall) => {
+                    // ni_ready said yes but the environment reneged; treat as
+                    // a model inconsistency rather than silently retrying
+                    // after side effects have been applied.
+                    return Err(EnvFault::fault(
+                        "environment stalled an NI command after readiness check",
+                    ));
+                }
+                Err(f) => return Err(f),
+            }
+        }
+        Ok(effect)
+    }
+
+    fn apply_fault(&mut self, f: EnvFault, program: &Program, was_slot: Option<u32>) -> StepOutcome {
+        match f {
+            EnvFault::Stall => {
+                // Retry the whole instruction next cycle; restore the
+                // delay-slot obligation we optimistically took.
+                self.pending_branch = was_slot;
+                self.charge_cycle(program, StepOutcome::StalledEnv);
+                StepOutcome::StalledEnv
+            }
+            EnvFault::Fault { reason } => {
+                self.fault(reason);
+                StepOutcome::Idle
+            }
+        }
+    }
+
+    /// Runs until halt, fault, or `max_cycles`. Returns the final state.
+    pub fn run(&mut self, program: &Program, env: &mut dyn Env, max_cycles: u64) -> &CpuState {
+        let limit = self.cycle + max_cycles;
+        while self.state.is_running() && self.cycle < limit {
+            self.step(program, env);
+        }
+        &self.state
+    }
+}
+
+impl fmt::Display for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu(pc={:#x} cycle={} state={:?})", self.pc, self.cycle, self.state)
+    }
+}

@@ -1,0 +1,187 @@
+//! The processor's environment: memory, devices, and register overrides.
+//!
+//! The CPU core is deliberately ignorant of what it is attached to. Each
+//! [`crate::Cpu::step`] receives an [`Env`] that provides memory, may alias
+//! general-purpose registers (the register-mapped network interface of
+//! §3.3), and executes network-interface commands. `tcni-sim` supplies the
+//! real implementations; [`MemEnv`] here is a plain memory for unit tests
+//! and compute-only programs.
+
+use tcni_isa::{NiCmd, Reg};
+
+use crate::timing::AccessKind;
+
+/// Why an environment access could not complete this cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvFault {
+    /// The access must be retried next cycle (e.g. a SEND under the stall
+    /// policy with a full output queue, §2.1.1). The CPU burns a cycle and
+    /// re-executes the instruction; no side effects may have occurred.
+    Stall,
+    /// The access is architecturally invalid; the CPU enters the faulted
+    /// state.
+    Fault {
+        /// Human-readable reason, surfaced in [`crate::CpuState::Faulted`].
+        reason: String,
+    },
+}
+
+impl EnvFault {
+    /// Convenience constructor for a fatal fault.
+    pub fn fault(reason: impl Into<String>) -> EnvFault {
+        EnvFault::Fault { reason: reason.into() }
+    }
+}
+
+/// The world as seen by the processor core.
+pub trait Env {
+    /// Reads a word of memory (or a memory-mapped device register). May
+    /// perform device side effects (Figure 9 commands ride on addresses).
+    fn mem_read(&mut self, addr: u32) -> Result<u32, EnvFault>;
+
+    /// Writes a word of memory (or a memory-mapped device register).
+    fn mem_write(&mut self, addr: u32, value: u32) -> Result<(), EnvFault>;
+
+    /// Classifies an address for load-latency purposes.
+    fn access_kind(&self, addr: u32) -> AccessKind;
+
+    /// If the register is aliased by a device (register-mapped NI), returns
+    /// its current value; `None` for ordinary registers.
+    fn reg_read_override(&mut self, reg: Reg) -> Option<u32> {
+        let _ = reg;
+        None
+    }
+
+    /// If the register is aliased by a device, consumes the write and
+    /// returns `true`; `false` leaves the write to the ordinary register
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// May fault (e.g. a write to a read-only interface register).
+    fn reg_write_override(&mut self, reg: Reg, value: u32) -> Result<bool, EnvFault> {
+        let _ = (reg, value);
+        Ok(false)
+    }
+
+    /// Whether the NI command bits of an instruction could execute right now
+    /// without stalling. The core consults this *before* applying any of the
+    /// instruction's side effects, so a SEND waiting on a full output queue
+    /// stalls the whole instruction cleanly (§2.1.1).
+    fn ni_ready(&mut self, cmd: NiCmd) -> bool {
+        let _ = cmd;
+        true
+    }
+
+    /// Executes the NI command bits of a triadic instruction (register-mapped
+    /// implementation only; memory-mapped environments fault).
+    ///
+    /// # Errors
+    ///
+    /// `EnvFault::Stall` when a SEND must wait for queue space.
+    fn exec_ni(&mut self, cmd: NiCmd) -> Result<(), EnvFault> {
+        if cmd.is_noop() {
+            Ok(())
+        } else {
+            Err(EnvFault::fault(
+                "NI instruction bits are not supported by this environment",
+            ))
+        }
+    }
+}
+
+/// A plain bounds-checked word memory, byte-addressed.
+///
+/// # Example
+///
+/// ```
+/// use tcni_cpu::MemEnv;
+/// use tcni_cpu::Env;
+///
+/// let mut m = MemEnv::new(1024);
+/// m.mem_write(16, 42).unwrap();
+/// assert_eq!(m.mem_read(16).unwrap(), 42);
+/// assert!(m.mem_read(2048).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemEnv {
+    words: Vec<u32>,
+}
+
+impl MemEnv {
+    /// Creates a zeroed memory of `bytes` bytes (rounded down to words).
+    pub fn new(bytes: usize) -> MemEnv {
+        MemEnv {
+            words: vec![0; bytes / 4],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Direct word access for test setup (byte address).
+    pub fn poke(&mut self, addr: u32, value: u32) {
+        self.words[(addr / 4) as usize] = value;
+    }
+
+    /// Direct word read for assertions (byte address).
+    pub fn peek(&self, addr: u32) -> u32 {
+        self.words[(addr / 4) as usize]
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, EnvFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(EnvFault::fault(format!("misaligned access at {addr:#x}")));
+        }
+        let i = (addr / 4) as usize;
+        if i >= self.words.len() {
+            return Err(EnvFault::fault(format!("access beyond memory at {addr:#x}")));
+        }
+        Ok(i)
+    }
+}
+
+impl Env for MemEnv {
+    fn mem_read(&mut self, addr: u32) -> Result<u32, EnvFault> {
+        let i = self.index(addr)?;
+        Ok(self.words[i])
+    }
+
+    fn mem_write(&mut self, addr: u32, value: u32) -> Result<(), EnvFault> {
+        let i = self.index(addr)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    fn access_kind(&self, _addr: u32) -> AccessKind {
+        AccessKind::Local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misaligned_faults() {
+        let mut m = MemEnv::new(64);
+        assert!(m.mem_read(2).is_err());
+        assert!(m.mem_write(5, 1).is_err());
+    }
+
+    #[test]
+    fn default_overrides_do_nothing() {
+        let mut m = MemEnv::new(64);
+        assert_eq!(m.reg_read_override(Reg::R20), None);
+        assert!(!m.reg_write_override(Reg::R20, 9).unwrap());
+        assert!(m.exec_ni(NiCmd::NONE).is_ok());
+        assert!(m.exec_ni(NiCmd::next()).is_err());
+    }
+}

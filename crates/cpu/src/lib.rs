@@ -1,0 +1,25 @@
+//! # tcni-cpu — an in-order RISC processor model
+//!
+//! The processor substrate for the TCNI reproduction of Henry & Joerg
+//! (ASPLOS 1992). Models an 88100-style single-issue core: one instruction
+//! per cycle, load-use interlocks with access-kind-dependent latency (local
+//! memory vs. on-chip vs. off-chip network interface), late store-data
+//! consumption, and a single branch delay slot. Every cycle is attributed to
+//! the [`tcni_isa::CostClass`] of the address it was spent at, which feeds
+//! the paper's Figure-12 breakdown.
+//!
+//! The core is connected to the world through the [`Env`] trait, so the same
+//! CPU drives all three network-interface placements of §3 of the paper —
+//! `tcni-sim` provides those environments.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+mod env;
+mod stats;
+mod timing;
+
+pub use crate::core::{Cpu, CpuState, StepOutcome};
+pub use env::{Env, EnvFault, MemEnv};
+pub use stats::{ClassStats, CpuStats};
+pub use timing::{AccessKind, TimingConfig};

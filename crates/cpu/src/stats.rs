@@ -1,0 +1,118 @@
+//! Cycle accounting.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use tcni_isa::CostClass;
+
+/// Per-[`CostClass`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Cycles attributed to the class (execution + stalls at its addresses).
+    pub cycles: u64,
+    /// Instructions retired in the class.
+    pub instructions: u64,
+}
+
+/// Counters maintained by the processor model.
+///
+/// Every cycle — whether an instruction retires or the pipeline stalls — is
+/// attributed to the [`CostClass`] of the address it was spent at, which is
+/// how the Figure-12 breakdown (non-message work / dispatch / other
+/// communication) is produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles lost waiting for an operand (load-use interlock).
+    pub operand_stalls: u64,
+    /// Cycles lost waiting for the environment (e.g. SEND on a full queue).
+    pub env_stalls: u64,
+    compute: ClassStats,
+    dispatch: ClassStats,
+    communication: ClassStats,
+}
+
+impl CpuStats {
+    /// Counters for one attribution class.
+    pub fn class(&self, class: CostClass) -> ClassStats {
+        match class {
+            CostClass::Compute => self.compute,
+            CostClass::Dispatch => self.dispatch,
+            CostClass::Communication => self.communication,
+        }
+    }
+
+    pub(crate) fn class_mut(&mut self, class: CostClass) -> &mut ClassStats {
+        match class {
+            CostClass::Compute => &mut self.compute,
+            CostClass::Dispatch => &mut self.dispatch,
+            CostClass::Communication => &mut self.communication,
+        }
+    }
+
+    /// Cycles spent on communication work of both kinds (dispatch + other).
+    pub fn message_cycles(&self) -> u64 {
+        self.dispatch.cycles + self.communication.cycles
+    }
+}
+
+impl Add for CpuStats {
+    type Output = CpuStats;
+
+    fn add(mut self, rhs: CpuStats) -> CpuStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CpuStats {
+    fn add_assign(&mut self, rhs: CpuStats) {
+        self.cycles += rhs.cycles;
+        self.instructions += rhs.instructions;
+        self.operand_stalls += rhs.operand_stalls;
+        self.env_stalls += rhs.env_stalls;
+        for c in CostClass::ALL {
+            self.class_mut(c).cycles += rhs.class(c).cycles;
+            self.class_mut(c).instructions += rhs.class(c).instructions;
+        }
+    }
+}
+
+impl fmt::Display for CpuStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} instrs ({} operand stalls, {} env stalls; compute {}, dispatch {}, comm {})",
+            self.cycles,
+            self.instructions,
+            self.operand_stalls,
+            self.env_stalls,
+            self.compute.cycles,
+            self.dispatch.cycles,
+            self.communication.cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_accessors_and_sum() {
+        let mut a = CpuStats {
+            cycles: 10,
+            ..CpuStats::default()
+        };
+        a.class_mut(CostClass::Dispatch).cycles = 4;
+        a.class_mut(CostClass::Communication).cycles = 3;
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.cycles, 20);
+        assert_eq!(c.class(CostClass::Dispatch).cycles, 8);
+        assert_eq!(c.message_cycles(), 14);
+    }
+}

@@ -1,0 +1,118 @@
+//! The cycle-counting model.
+//!
+//! The paper counts dynamic 88100 cycles for short handler sequences. Our
+//! model, documented in DESIGN.md §5:
+//!
+//! * every instruction issues in one cycle;
+//! * a **load** makes its result available after an access-kind-dependent
+//!   number of *extra* cycles: local memory and the on-chip interface deliver
+//!   by the next instruction (0 extra), the off-chip interface takes
+//!   [`TimingConfig::offchip_load_extra`] extra cycles (default 2 — the
+//!   88100's "loaded value cannot be used in the two cycles following the
+//!   load"). A dependent instruction stalls until the value is ready; the
+//!   compiler can fill those slots with independent work instead.
+//! * **store data is consumed late** (in the memory stage): a store never
+//!   stalls on its data operand unless the value is more than
+//!   [`TimingConfig::store_data_slack`] cycles away. Address operands are
+//!   consumed at issue like any other operand.
+//! * taken and not-taken branches execute their single **delay slot**; there
+//!   is no further branch penalty.
+//!
+//! Experiment E4 (§4.2.3 of the paper) raises `offchip_load_extra` from 2 to
+//! 8 to model future processor/memory speed divergence.
+
+/// What a memory access hit, for latency classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Local memory / data cache.
+    Local,
+    /// The network interface on an on-chip cache bus (§3.2).
+    NiOnChip,
+    /// The network interface on the external cache bus (§3.1).
+    NiOffChip,
+}
+
+/// Latency parameters for the processor model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Extra cycles before a local-memory load's result is usable (0 =
+    /// usable by the next instruction).
+    pub local_load_extra: u32,
+    /// Extra cycles for on-chip interface loads.
+    pub onchip_load_extra: u32,
+    /// Extra cycles for off-chip interface loads (paper default: 2).
+    pub offchip_load_extra: u32,
+    /// How many cycles after issue a store actually consumes its data
+    /// operand (late consumption in the memory stage).
+    pub store_data_slack: u32,
+    /// Extra result-latency cycles for integer multiply.
+    pub mul_extra: u32,
+    /// Extra result-latency cycles for floating-point operations.
+    pub fp_extra: u32,
+    /// Instructions issued per cycle: 1 models the 88100; 2 models the
+    /// 88110MP of §3, which "is dual issue and the network interface can
+    /// execute two coprocessor network instructions per cycle".
+    pub issue_width: u32,
+}
+
+impl TimingConfig {
+    /// The paper's baseline: 2-cycle off-chip load penalty.
+    pub fn new() -> TimingConfig {
+        TimingConfig {
+            local_load_extra: 0,
+            onchip_load_extra: 0,
+            offchip_load_extra: 2,
+            store_data_slack: 2,
+            mul_extra: 0,
+            fp_extra: 0,
+            issue_width: 1,
+        }
+    }
+
+    /// The §4.2.3 sensitivity point: off-chip loads 8 cycles from use.
+    pub fn with_offchip_load_extra(mut self, extra: u32) -> TimingConfig {
+        self.offchip_load_extra = extra;
+        self
+    }
+
+    /// The 88110MP configuration: dual issue.
+    pub fn with_dual_issue(mut self) -> TimingConfig {
+        self.issue_width = 2;
+        self
+    }
+
+    /// Extra result-delay cycles for a load of the given kind.
+    pub fn load_extra(&self, kind: AccessKind) -> u32 {
+        match kind {
+            AccessKind::Local => self.local_load_extra,
+            AccessKind::NiOnChip => self.onchip_load_extra,
+            AccessKind::NiOffChip => self.offchip_load_extra,
+        }
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let t = TimingConfig::new();
+        assert_eq!(t.offchip_load_extra, 2);
+        assert_eq!(t.load_extra(AccessKind::Local), 0);
+        assert_eq!(t.load_extra(AccessKind::NiOnChip), 0);
+        assert_eq!(t.load_extra(AccessKind::NiOffChip), 2);
+    }
+
+    #[test]
+    fn sensitivity_point() {
+        let t = TimingConfig::new().with_offchip_load_extra(8);
+        assert_eq!(t.load_extra(AccessKind::NiOffChip), 8);
+    }
+}

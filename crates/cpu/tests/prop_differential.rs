@@ -1,0 +1,221 @@
+//! Differential testing of the processor core: random programs run on both
+//! the cycle simulator and an independent, timing-free reference interpreter
+//! must produce identical architectural state (registers + memory),
+//! regardless of stalls, scoreboarding, delay-slot bookkeeping, or the
+//! configured interface latency.
+
+use proptest::prelude::*;
+use tcni_cpu::{Cpu, CpuState, Env, MemEnv, TimingConfig};
+use tcni_isa::{AluOp, Assembler, Cond, FpOp, Instr, Operand, Program, Reg};
+
+const MEM_BYTES: usize = 256;
+
+/// The reference interpreter: instruction semantics only, with delay-slot
+/// handling but no notion of cycles. Returns `true` if the program halted.
+fn reference_run(program: &Program, regs: &mut [u32; 32], mem: &mut [u32], max: usize) -> bool {
+    let mut pc = program.base();
+    let mut pending: Option<u32> = None;
+    for _ in 0..max {
+        let Some(instr) = program.fetch(pc) else {
+            return false;
+        };
+        let mut next_pending = None;
+        match *instr {
+            Instr::Alu { op, rd, rs1, rs2, .. } => {
+                let a = regs[rs1.index()];
+                let b = match rs2 {
+                    Operand::Reg(r) => regs[r.index()],
+                    Operand::Imm(i) => match op {
+                        AluOp::Add | AluOp::Sub | AluOp::Mul | AluOp::CmpLt => i as i16 as i32 as u32,
+                        _ => u32::from(i),
+                    },
+                };
+                if !rd.is_zero() {
+                    regs[rd.index()] = op.apply(a, b);
+                }
+            }
+            Instr::Fp { op, rd, rs1, rs2, .. } => {
+                let v = op.apply(regs[rs1.index()], regs[rs2.index()]);
+                if !rd.is_zero() {
+                    regs[rd.index()] = v;
+                }
+            }
+            Instr::Lui { rd, imm } => {
+                if !rd.is_zero() {
+                    regs[rd.index()] = u32::from(imm) << 16;
+                }
+            }
+            Instr::Ld { rd, base, off, .. } => {
+                let o = match off {
+                    Operand::Reg(r) => regs[r.index()],
+                    Operand::Imm(i) => i as i16 as i32 as u32,
+                };
+                let addr = regs[base.index()].wrapping_add(o);
+                let v = mem[(addr / 4) as usize];
+                if !rd.is_zero() {
+                    regs[rd.index()] = v;
+                }
+            }
+            Instr::St { rs, base, off, .. } => {
+                let o = match off {
+                    Operand::Reg(r) => regs[r.index()],
+                    Operand::Imm(i) => i as i16 as i32 as u32,
+                };
+                let addr = regs[base.index()].wrapping_add(o);
+                mem[(addr / 4) as usize] = regs[rs.index()];
+            }
+            Instr::Br { target } => next_pending = Some(target),
+            Instr::Bcnd { cond, rs, target } => {
+                if cond.eval(regs[rs.index()]) {
+                    next_pending = Some(target);
+                }
+            }
+            Instr::Jmp { rs, .. } => next_pending = Some(regs[rs.index()]),
+            Instr::Bsr { target } => {
+                regs[Reg::R1.index()] = pc.wrapping_add(8);
+                next_pending = Some(target);
+            }
+            Instr::Jsr { rs } => {
+                let t = regs[rs.index()];
+                regs[Reg::R1.index()] = pc.wrapping_add(8);
+                next_pending = Some(t);
+            }
+            Instr::Nop => {}
+            Instr::Halt => return true,
+        }
+        pc = match pending.take() {
+            Some(t) => t,
+            None => pc.wrapping_add(4),
+        };
+        pending = next_pending;
+    }
+    false
+}
+
+#[derive(Debug, Clone)]
+enum DataOp {
+    AluR(AluOp, Reg, Reg, Reg),
+    AluI(AluOp, Reg, Reg, u16),
+    Fp(FpOp, Reg, Reg, Reg),
+    Lui(Reg, u16),
+    Ld(Reg, u8),
+    St(Reg, u8),
+}
+
+fn arb_data_op() -> impl Strategy<Value = DataOp> {
+    let reg = || (1u8..8).prop_map(|i| Reg::try_from(i).unwrap());
+    prop_oneof![
+        (prop::sample::select(AluOp::ALL.to_vec()), reg(), reg(), reg())
+            .prop_map(|(op, rd, a, b)| DataOp::AluR(op, rd, a, b)),
+        (prop::sample::select(AluOp::ALL.to_vec()), reg(), reg(), any::<u16>())
+            .prop_map(|(op, rd, a, i)| DataOp::AluI(op, rd, a, i)),
+        (prop::sample::select(FpOp::ALL.to_vec()), reg(), reg(), reg())
+            .prop_map(|(op, rd, a, b)| DataOp::Fp(op, rd, a, b)),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| DataOp::Lui(rd, imm)),
+        (reg(), 0u8..((MEM_BYTES / 4) as u8)).prop_map(|(rd, w)| DataOp::Ld(rd, w)),
+        (reg(), 0u8..((MEM_BYTES / 4) as u8)).prop_map(|(rs, w)| DataOp::St(rs, w)),
+    ]
+}
+
+fn emit(a: &mut Assembler, op: &DataOp) {
+    match *op {
+        DataOp::AluR(op, rd, x, y) => {
+            a.alu(op, rd, x, y);
+        }
+        DataOp::AluI(op, rd, x, i) => {
+            a.alu(op, rd, x, i);
+        }
+        DataOp::Fp(op, rd, x, y) => {
+            a.fp(op, rd, x, y);
+        }
+        DataOp::Lui(rd, imm) => {
+            a.lui(rd, imm);
+        }
+        DataOp::Ld(rd, w) => {
+            a.ld(rd, Reg::R0, i16::from(w) * 4);
+        }
+        DataOp::St(rs, w) => {
+            a.st(rs, Reg::R0, i16::from(w) * 4);
+        }
+    }
+}
+
+type Block = (Vec<DataOp>, Cond, u8);
+
+/// Builds a loop-free program: each block is guarded by a forward branch
+/// with a genuinely executed delay slot, so both interpreters must agree on
+/// delay-slot semantics to agree on results.
+fn build_program(blocks: &[Block]) -> Program {
+    let mut a = Assembler::new();
+    for (i, (ops, cond, reg)) in blocks.iter().enumerate() {
+        let label = format!("after{i}");
+        let r = Reg::try_from(1 + (reg % 7)).unwrap();
+        a.bcnd(*cond, r, &label);
+        if let Some(first) = ops.first() {
+            emit(&mut a, first); // delay slot
+        } else {
+            a.nop();
+        }
+        for op in ops.iter().skip(1) {
+            emit(&mut a, op);
+        }
+        a.label(&label);
+    }
+    a.halt();
+    a.assemble().expect("random program assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cycle_simulator_matches_reference(
+        blocks in prop::collection::vec(
+            (
+                prop::collection::vec(arb_data_op(), 0..12),
+                prop::sample::select(Cond::ALL.to_vec()),
+                any::<u8>(),
+            ),
+            1..6,
+        ),
+        seed_regs in prop::collection::vec(any::<u32>(), 7),
+        timing_extra in 0u32..9,
+    ) {
+        let program = build_program(&blocks);
+
+        // Reference.
+        let mut ref_regs = [0u32; 32];
+        for (i, v) in seed_regs.iter().enumerate() {
+            ref_regs[i + 1] = *v;
+        }
+        let mut ref_mem = vec![0u32; MEM_BYTES / 4];
+        prop_assert!(
+            reference_run(&program, &mut ref_regs, &mut ref_mem, 100_000),
+            "reference must halt\n{program}"
+        );
+
+        // Cycle simulator, under a random load latency (architecturally
+        // invisible).
+        let mut cpu = Cpu::new(TimingConfig::new().with_offchip_load_extra(timing_extra));
+        for (i, v) in seed_regs.iter().enumerate() {
+            cpu.set_reg(Reg::try_from(i as u8 + 1).unwrap(), *v);
+        }
+        let mut env = MemEnv::new(MEM_BYTES);
+        while cpu.state().is_running() && cpu.cycle() < 1_000_000 {
+            cpu.step(&program, &mut env);
+        }
+        prop_assert_eq!(cpu.state(), &CpuState::Halted, "{}", program);
+        for r in Reg::ALL {
+            prop_assert_eq!(cpu.reg(r), ref_regs[r.index()], "register {} differs\n{}", r, program);
+        }
+        for (w, expected) in ref_mem.iter().enumerate() {
+            prop_assert_eq!(
+                env.mem_read(w as u32 * 4).unwrap(),
+                *expected,
+                "mem[{}]\n{}",
+                w,
+                program
+            );
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Timing-model tests: the cycle-counting conventions that Table 1 rests on.
+
+use tcni_cpu::{AccessKind, Cpu, CpuState, Env, EnvFault, MemEnv, StepOutcome, TimingConfig};
+use tcni_isa::{Assembler, Cond, CostClass, NiCmd, Program, Reg};
+
+fn run(p: &Program, env: &mut dyn DynEnv, timing: TimingConfig) -> Cpu {
+    let mut cpu = Cpu::new(timing);
+    cpu.run_dyn(p, env, 10_000);
+    assert_eq!(*cpu.state(), CpuState::Halted, "program must halt cleanly");
+    cpu
+}
+
+// Small shim so tests can pass &mut concrete env where &mut dyn Env is wanted.
+trait DynEnv: Env {}
+impl<T: Env> DynEnv for T {}
+trait RunDyn {
+    fn run_dyn(&mut self, p: &Program, env: &mut dyn DynEnv, max: u64);
+}
+impl RunDyn for Cpu {
+    fn run_dyn(&mut self, p: &Program, env: &mut dyn DynEnv, max: u64) {
+        while self.state().is_running() && self.cycle() < max {
+            self.step(p, env);
+        }
+    }
+}
+
+#[test]
+fn one_cycle_per_independent_instruction() {
+    let mut a = Assembler::new();
+    for i in 0..10u16 {
+        a.addi(Reg::R2, Reg::R0, i);
+    }
+    a.halt();
+    let p = a.assemble().unwrap();
+    let cpu = run(&p, &mut MemEnv::new(64), TimingConfig::new());
+    assert_eq!(cpu.stats().cycles, 11);
+    assert_eq!(cpu.stats().instructions, 11);
+    assert_eq!(cpu.stats().operand_stalls, 0);
+}
+
+#[test]
+fn local_load_usable_next_instruction() {
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 16);
+    a.addi(Reg::R3, Reg::R2, 1); // dependent immediately: no stall for local
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = MemEnv::new(64);
+    env.poke(16, 41);
+    let cpu = run(&p, &mut env, TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R3), 42);
+    assert_eq!(cpu.stats().operand_stalls, 0);
+    assert_eq!(cpu.stats().cycles, 3);
+}
+
+/// An env that classifies a window of addresses as off-chip NI for latency
+/// purposes while behaving like plain memory.
+struct OffchipWindow {
+    mem: MemEnv,
+    window: std::ops::Range<u32>,
+}
+
+impl Env for OffchipWindow {
+    fn mem_read(&mut self, addr: u32) -> Result<u32, EnvFault> {
+        self.mem.mem_read(addr)
+    }
+    fn mem_write(&mut self, addr: u32, value: u32) -> Result<(), EnvFault> {
+        self.mem.mem_write(addr, value)
+    }
+    fn access_kind(&self, addr: u32) -> AccessKind {
+        if self.window.contains(&addr) {
+            AccessKind::NiOffChip
+        } else {
+            AccessKind::Local
+        }
+    }
+}
+
+#[test]
+fn offchip_load_stalls_dependent_use_two_cycles() {
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 0x100); // off-chip window
+    a.addi(Reg::R3, Reg::R2, 0); // dependent: must wait 2 extra cycles
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = OffchipWindow {
+        mem: MemEnv::new(0x200),
+        window: 0x100..0x140,
+    };
+    env.mem.poke(0x100, 7);
+    let cpu = run(&p, &mut env, TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R3), 7);
+    assert_eq!(cpu.stats().operand_stalls, 2);
+    assert_eq!(cpu.stats().cycles, 5); // ld + 2 stalls + add + halt
+}
+
+#[test]
+fn offchip_stalls_hidden_by_independent_work() {
+    // The compiler filling the two delay slots with independent instructions
+    // hides the off-chip latency completely (§2.2.3's overlap argument).
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 0x100);
+    a.addi(Reg::R4, Reg::R0, 1);
+    a.addi(Reg::R5, Reg::R0, 2);
+    a.addi(Reg::R3, Reg::R2, 0);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = OffchipWindow {
+        mem: MemEnv::new(0x200),
+        window: 0x100..0x140,
+    };
+    env.mem.poke(0x100, 9);
+    let cpu = run(&p, &mut env, TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R3), 9);
+    assert_eq!(cpu.stats().operand_stalls, 0);
+    assert_eq!(cpu.stats().cycles, 5);
+}
+
+#[test]
+fn store_consumes_data_late() {
+    // ld (off-chip) immediately followed by st of the loaded value: no
+    // stall, because store data is consumed in the memory stage.
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 0x100);
+    a.st(Reg::R2, Reg::R0, 0x10);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = OffchipWindow {
+        mem: MemEnv::new(0x200),
+        window: 0x100..0x140,
+    };
+    env.mem.poke(0x100, 0xAB);
+    let cpu = run(&p, &mut env, TimingConfig::new());
+    assert_eq!(env.mem.peek(0x10), 0xAB);
+    assert_eq!(cpu.stats().operand_stalls, 0);
+    assert_eq!(cpu.stats().cycles, 3);
+}
+
+#[test]
+fn store_address_operand_is_not_late() {
+    // Using an off-chip-loaded value as the store *base* must stall.
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 0x100); // loads 0x10
+    a.st(Reg::R0, Reg::R2, 0); // address depends on r2
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = OffchipWindow {
+        mem: MemEnv::new(0x200),
+        window: 0x100..0x140,
+    };
+    env.mem.poke(0x100, 0x10);
+    let cpu = run(&p, &mut env, TimingConfig::new());
+    assert_eq!(cpu.stats().operand_stalls, 2);
+}
+
+#[test]
+fn configurable_offchip_latency_for_sweep() {
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 0x100);
+    a.addi(Reg::R3, Reg::R2, 0);
+    a.halt();
+    let p = a.assemble().unwrap();
+    for extra in [2u32, 4, 8] {
+        let mut env = OffchipWindow {
+            mem: MemEnv::new(0x200),
+            window: 0x100..0x140,
+        };
+        let cpu = run(&p, &mut env, TimingConfig::new().with_offchip_load_extra(extra));
+        assert_eq!(cpu.stats().operand_stalls, u64::from(extra));
+    }
+}
+
+#[test]
+fn branch_has_one_delay_slot() {
+    let mut a = Assembler::new();
+    a.br("target");
+    a.addi(Reg::R2, Reg::R0, 1); // delay slot: executes
+    a.addi(Reg::R3, Reg::R0, 1); // skipped
+    a.label("target");
+    a.addi(Reg::R4, Reg::R0, 1);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let cpu = run(&p, &mut MemEnv::new(64), TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R2), 1, "delay slot must execute");
+    assert_eq!(cpu.reg(Reg::R3), 0, "fall-through must be skipped");
+    assert_eq!(cpu.reg(Reg::R4), 1);
+    assert_eq!(cpu.stats().cycles, 4); // br + slot + add + halt
+}
+
+#[test]
+fn untaken_bcnd_falls_through_with_slot() {
+    let mut a = Assembler::new();
+    a.bcnd(Cond::Ne0, Reg::R0, "away"); // r0 == 0: not taken
+    a.addi(Reg::R2, Reg::R0, 5);
+    a.halt();
+    a.label("away");
+    a.addi(Reg::R3, Reg::R0, 9);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let cpu = run(&p, &mut MemEnv::new(64), TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R2), 5);
+    assert_eq!(cpu.reg(Reg::R3), 0);
+}
+
+#[test]
+fn loop_with_bcnd_counts_correctly() {
+    // 3 iterations of a 3-instruction loop body (sub, bcnd, slot-nop).
+    let mut a = Assembler::new();
+    a.addi(Reg::R2, Reg::R0, 3);
+    a.label("loop");
+    a.alu(tcni_isa::AluOp::Sub, Reg::R2, Reg::R2, 1u16);
+    a.bcnd(Cond::Ne0, Reg::R2, "loop");
+    a.nop();
+    a.halt();
+    let p = a.assemble().unwrap();
+    let cpu = run(&p, &mut MemEnv::new(64), TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R2), 0);
+    assert_eq!(cpu.stats().cycles, 1 + 3 * 3 + 1);
+}
+
+#[test]
+fn jsr_links_past_delay_slot() {
+    let mut a = Assembler::new();
+    a.li(Reg::R5, 24); // address of "sub"
+    a.jsr(Reg::R5);
+    a.nop(); // delay slot
+    a.addi(Reg::R2, Reg::R0, 7); // return point
+    a.halt();
+    a.org(24);
+    a.label("sub");
+    a.ret();
+    a.nop(); // delay slot of ret
+    let p = a.assemble().unwrap();
+    assert_eq!(p.resolve("sub"), Some(24));
+    let cpu = run(&p, &mut MemEnv::new(64), TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R2), 7);
+}
+
+#[test]
+fn branch_in_delay_slot_faults() {
+    let mut a = Assembler::new();
+    a.br("x");
+    a.br("x"); // in the slot: architectural error
+    a.label("x");
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut cpu = Cpu::new(TimingConfig::new());
+    let mut env = MemEnv::new(64);
+    cpu.run_dyn(&p, &mut env, 100);
+    assert!(matches!(cpu.state(), CpuState::Faulted { .. }));
+}
+
+#[test]
+fn fetch_outside_program_faults() {
+    let mut a = Assembler::new();
+    a.nop();
+    let p = a.assemble().unwrap(); // no halt: falls off the end
+    let mut cpu = Cpu::new(TimingConfig::new());
+    let mut env = MemEnv::new(64);
+    cpu.run_dyn(&p, &mut env, 100);
+    assert!(matches!(cpu.state(), CpuState::Faulted { .. }));
+}
+
+#[test]
+fn cycles_attributed_by_cost_class() {
+    let mut a = Assembler::new();
+    a.set_class(CostClass::Dispatch);
+    a.nop();
+    a.nop();
+    a.set_class(CostClass::Communication);
+    a.ld(Reg::R2, Reg::R0, 0x100); // off-chip: dependent use stalls here
+    a.addi(Reg::R3, Reg::R2, 0);
+    a.set_class(CostClass::Compute);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = OffchipWindow {
+        mem: MemEnv::new(0x200),
+        window: 0x100..0x140,
+    };
+    let cpu = run(&p, &mut env, TimingConfig::new());
+    let s = cpu.stats();
+    assert_eq!(s.class(CostClass::Dispatch).cycles, 2);
+    assert_eq!(s.class(CostClass::Communication).cycles, 4); // ld + 2 stalls + add
+    assert_eq!(s.class(CostClass::Compute).cycles, 1); // halt
+    assert_eq!(s.message_cycles(), 6);
+}
+
+#[test]
+fn ni_bits_fault_in_plain_memory_env() {
+    let mut a = Assembler::new();
+    a.mov_ni(Reg::R2, Reg::R3, NiCmd::next());
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut cpu = Cpu::new(TimingConfig::new());
+    let mut env = MemEnv::new(64);
+    cpu.run_dyn(&p, &mut env, 100);
+    assert!(matches!(cpu.state(), CpuState::Faulted { .. }));
+}
+
+#[test]
+fn r0_is_always_zero() {
+    let mut a = Assembler::new();
+    a.addi(Reg::R0, Reg::R0, 99); // write discarded
+    a.addi(Reg::R2, Reg::R0, 1);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let cpu = run(&p, &mut MemEnv::new(64), TimingConfig::new());
+    assert_eq!(cpu.reg(Reg::R0), 0);
+    assert_eq!(cpu.reg(Reg::R2), 1);
+}
+
+#[test]
+fn mul_extra_latency_applies() {
+    let mut timing = TimingConfig::new();
+    timing.mul_extra = 3;
+    let mut a = Assembler::new();
+    a.addi(Reg::R2, Reg::R0, 6);
+    a.alu(tcni_isa::AluOp::Mul, Reg::R3, Reg::R2, 7u16);
+    a.addi(Reg::R4, Reg::R3, 0); // dependent on mul
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = MemEnv::new(64);
+    let mut cpu = Cpu::new(timing);
+    cpu.run_dyn(&p, &mut env, 100);
+    assert_eq!(cpu.reg(Reg::R4), 42);
+    assert_eq!(cpu.stats().operand_stalls, 3);
+}
+
+#[test]
+fn step_outcomes_reported() {
+    let mut a = Assembler::new();
+    a.ld(Reg::R2, Reg::R0, 0x100);
+    a.addi(Reg::R3, Reg::R2, 0);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut env = OffchipWindow {
+        mem: MemEnv::new(0x200),
+        window: 0x100..0x140,
+    };
+    let mut cpu = Cpu::new(TimingConfig::new());
+    assert_eq!(cpu.step(&p, &mut env), StepOutcome::Executed);
+    assert_eq!(cpu.step(&p, &mut env), StepOutcome::StalledOperand);
+    assert_eq!(cpu.step(&p, &mut env), StepOutcome::StalledOperand);
+    assert_eq!(cpu.step(&p, &mut env), StepOutcome::Executed);
+    assert_eq!(cpu.step(&p, &mut env), StepOutcome::Executed); // halt
+    assert_eq!(cpu.step(&p, &mut env), StepOutcome::Idle);
+}

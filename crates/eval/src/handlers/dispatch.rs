@@ -1,0 +1,120 @@
+//! DISPATCHING-section code: get from "a message may have arrived" to "the
+//! right handler is executing".
+//!
+//! Optimized (§2.2.3): read `MsgIp` and jump — the queue checks, the type
+//! decode, and the poll are all folded into the hardware-computed address.
+//! On the memory-mapped implementations the load is issued early so that
+//! handler work (stand-in `nop`s here, tagged compute) covers its latency,
+//! which is exactly the overlap the `NextMsgIp` register exists to enable.
+//!
+//! Basic (§2.1.4 / Figure 5): poll STATUS, extract the valid bit, branch;
+//! read the 32-bit id from `i4`; scale it by the 16-byte slot size; merge
+//! with the table base; jump. On the off-chip implementation the two
+//! interface loads are hoisted together so one load's delay hides the
+//! other's.
+
+use tcni_core::InterfaceReg;
+use tcni_isa::{AluOp, Assembler, Cond, CostClass, Reg};
+
+use super::{alias, off};
+use crate::harness::{regs, Ctx};
+use tcni_sim::NiMapping;
+
+/// Emits dispatch code at the current location. Control ends up at the
+/// handler (table slot, or the in-message IP for type-0 messages). Dispatch
+/// instructions are tagged [`CostClass::Dispatch`]; overlap fillers and
+/// delay slots are compute.
+pub fn emit(a: &mut Assembler, ctx: Ctx) {
+    if ctx.features.hw_dispatch {
+        match ctx.mapping {
+            NiMapping::RegisterFile => {
+                a.set_class(CostClass::Dispatch);
+                a.jmp(alias::msg_ip());
+                a.set_class(CostClass::Compute);
+                a.nop(); // delay slot: fillable with handler epilogue work
+            }
+            _ => {
+                a.set_class(CostClass::Dispatch);
+                a.ld(Reg::R3, regs::NI_BASE, off(InterfaceReg::MsgIp));
+                a.set_class(CostClass::Compute);
+                a.nop(); // overlappable work (the NextMsgIp pipeline, §2.2.3)
+                a.nop();
+                a.set_class(CostClass::Dispatch);
+                a.jmp(Reg::R3);
+                a.set_class(CostClass::Compute);
+                a.nop(); // delay slot
+            }
+        }
+    } else {
+        match ctx.mapping {
+            NiMapping::RegisterFile => {
+                a.label("poll");
+                a.set_class(CostClass::Dispatch);
+                a.maski(Reg::R3, alias::status(), 1); // valid bit
+                a.bcnd(Cond::Eq0, Reg::R3, "poll");
+                a.set_class(CostClass::Compute);
+                a.nop(); // branch delay slot
+                a.set_class(CostClass::Dispatch);
+                a.shli(Reg::R5, alias::i(4), 4); // id → slot offset
+                a.alu(AluOp::Or, Reg::R6, regs::TABLE_BASE, Reg::R5);
+                a.jmp(Reg::R6);
+                a.set_class(CostClass::Compute);
+                a.nop(); // delay slot
+            }
+            _ => {
+                a.label("poll");
+                a.set_class(CostClass::Dispatch);
+                a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::Status));
+                // Hoisted id load: fills the STATUS load's delay off-chip.
+                a.ld(Reg::R5, regs::NI_BASE, off(InterfaceReg::I4));
+                a.maski(Reg::R3, Reg::R2, 1);
+                a.bcnd(Cond::Eq0, Reg::R3, "poll");
+                a.set_class(CostClass::Compute);
+                a.nop(); // branch delay slot
+                a.set_class(CostClass::Dispatch);
+                a.shli(Reg::R6, Reg::R5, 4);
+                a.alu(AluOp::Or, Reg::R7, regs::TABLE_BASE, Reg::R6);
+                a.jmp(Reg::R7);
+                a.set_class(CostClass::Compute);
+                a.nop(); // delay slot
+            }
+        }
+    }
+}
+
+/// Emits the §2.2.3 software-pipelined handler tail for the register-mapped
+/// optimized model: dispatch the *next* message while finishing the current
+/// one. `NextMsgIp` already accounts for the NEXT this instruction pair
+/// performs, so the jump lands on the right handler even though the current
+/// message is still in the input registers when the jump issues.
+///
+/// ```text
+/// jmp NextMsgIp, NEXT   ; dispatch next + dispose current
+/// <delay slot>          ; the caller's final instruction goes here
+/// ```
+pub fn emit_steady_tail(a: &mut Assembler, final_op: tcni_isa::Instr) {
+    a.set_class(CostClass::Dispatch);
+    a.jmp_ni(alias::next_msg_ip(), tcni_core::NiCmd::next());
+    a.set_class(CostClass::Compute);
+    a.emit(final_op); // delay slot
+}
+
+/// Emits the basic architecture's second-level dispatch for `Send` messages:
+/// the id-0 slot holds a generic thread invoker that jumps through the IP in
+/// message word 1. (The optimized architecture gets this for free — type-0
+/// `MsgIp` *is* word 1.)
+pub fn emit_send_invoker(a: &mut Assembler, ctx: Ctx) {
+    debug_assert!(!ctx.features.hw_dispatch);
+    a.set_class(CostClass::Dispatch);
+    match ctx.mapping {
+        NiMapping::RegisterFile => {
+            a.jmp(alias::i(1));
+        }
+        _ => {
+            a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I1));
+            a.jmp(Reg::R2);
+        }
+    }
+    a.set_class(CostClass::Compute);
+    a.nop(); // delay slot
+}

@@ -1,0 +1,168 @@
+//! Hand-written (well — hand-*generated*) 88100 handler code for every
+//! Table-1 cell: sending, dispatching, and processing each message kind,
+//! under each interface placement and feature set.
+//!
+//! The code follows the register conventions of [`crate::harness::regs`]
+//! and the message formats of [`crate::protocol`]. Every program is
+//! *executed* on the cycle simulator; nothing here is a hand count.
+
+pub mod dispatch;
+pub mod processing;
+pub mod remote_read;
+pub mod sending;
+
+use tcni_core::mapping::{cmd_addr, gpr_alias, reg_addr, NI_WINDOW_BASE};
+use tcni_core::{InterfaceReg, NiCmd};
+use tcni_isa::Reg;
+
+/// GPR aliases of the interface registers (register-file implementation).
+pub(crate) mod alias {
+    use super::*;
+
+    pub fn o(i: usize) -> Reg {
+        gpr_alias(InterfaceReg::output(i))
+    }
+
+    pub fn i(idx: usize) -> Reg {
+        gpr_alias(InterfaceReg::input(idx))
+    }
+
+    pub fn status() -> Reg {
+        gpr_alias(InterfaceReg::Status)
+    }
+
+    pub fn msg_ip() -> Reg {
+        gpr_alias(InterfaceReg::MsgIp)
+    }
+
+    pub fn next_msg_ip() -> Reg {
+        gpr_alias(InterfaceReg::NextMsgIp)
+    }
+}
+
+/// Offset of an interface register's plain address from the window base
+/// (fits a load/store immediate).
+pub(crate) fn off(reg: InterfaceReg) -> i16 {
+    (reg_addr(reg) - NI_WINDOW_BASE) as i16
+}
+
+/// Offset of an interface register's address *with a command* (Figure 9)
+/// from the window base.
+pub(crate) fn cmd_off(reg: InterfaceReg, cmd: NiCmd) -> i16 {
+    (cmd_addr(reg, cmd) - NI_WINDOW_BASE) as i16
+}
+
+/// The request kinds of Table 1's SENDING section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SendKind {
+    /// `Send` with `k` payload words (0–2).
+    Send(usize),
+    /// Remote read request.
+    Read,
+    /// Remote write.
+    Write,
+    /// I-structure read request.
+    PRead,
+    /// I-structure write.
+    PWrite,
+}
+
+impl SendKind {
+    /// All rows of the SENDING section, in paper order.
+    pub const ALL: [SendKind; 7] = [
+        SendKind::Send(0),
+        SendKind::Send(1),
+        SendKind::Send(2),
+        SendKind::PRead,
+        SendKind::PWrite,
+        SendKind::Read,
+        SendKind::Write,
+    ];
+
+    /// The 4-bit message type (and basic-architecture id).
+    pub fn mtype(self) -> u8 {
+        use crate::protocol::*;
+        match self {
+            SendKind::Send(_) => TYPE_SEND,
+            SendKind::Read => TYPE_READ,
+            SendKind::Write => TYPE_WRITE,
+            SendKind::PRead => TYPE_PREAD,
+            SendKind::PWrite => TYPE_PWRITE,
+        }
+    }
+
+    /// Display label matching the paper's row names.
+    pub fn label(self) -> String {
+        match self {
+            SendKind::Send(k) => format!("Send ({k} words)"),
+            SendKind::Read => "Read".to_owned(),
+            SendKind::Write => "Write".to_owned(),
+            SendKind::PRead => "PRead".to_owned(),
+            SendKind::PWrite => "PWrite".to_owned(),
+        }
+    }
+}
+
+/// The handler cases of Table 1's PROCESSING section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcCase {
+    /// `Send` with `k` payload words stored into the frame.
+    Send(usize),
+    /// Remote read: load and reply.
+    Read,
+    /// Remote write: store.
+    Write,
+    /// PRead hitting a full element: reply immediately.
+    PReadFull,
+    /// PRead hitting an empty element: first deferral.
+    PReadEmpty,
+    /// PRead hitting an already-deferred element: append.
+    PReadDeferred,
+    /// PWrite to an empty element.
+    PWriteEmpty,
+    /// PWrite satisfying `n` deferred readers.
+    PWriteDeferred(u32),
+}
+
+impl ProcCase {
+    /// The paper's processing rows (deferred PWrite measured at n = 1; the
+    /// table code sweeps n to fit the linear `base + slope·n` form).
+    pub const ALL: [ProcCase; 10] = [
+        ProcCase::Send(0),
+        ProcCase::Send(1),
+        ProcCase::Send(2),
+        ProcCase::Read,
+        ProcCase::Write,
+        ProcCase::PReadFull,
+        ProcCase::PReadEmpty,
+        ProcCase::PReadDeferred,
+        ProcCase::PWriteEmpty,
+        ProcCase::PWriteDeferred(1),
+    ];
+
+    /// The message type/id that reaches this handler.
+    pub fn mtype(self) -> u8 {
+        use crate::protocol::*;
+        match self {
+            ProcCase::Send(_) => TYPE_SEND,
+            ProcCase::Read => TYPE_READ,
+            ProcCase::Write => TYPE_WRITE,
+            ProcCase::PReadFull | ProcCase::PReadEmpty | ProcCase::PReadDeferred => TYPE_PREAD,
+            ProcCase::PWriteEmpty | ProcCase::PWriteDeferred(_) => TYPE_PWRITE,
+        }
+    }
+
+    /// Display label matching the paper's row names.
+    pub fn label(self) -> String {
+        match self {
+            ProcCase::Send(k) => format!("Send ({k} words)"),
+            ProcCase::Read => "Read".to_owned(),
+            ProcCase::Write => "Write".to_owned(),
+            ProcCase::PReadFull => "PRead (full)".to_owned(),
+            ProcCase::PReadEmpty => "PRead (empty)".to_owned(),
+            ProcCase::PReadDeferred => "PRead (deferred)".to_owned(),
+            ProcCase::PWriteEmpty => "PWrite (empty)".to_owned(),
+            ProcCase::PWriteDeferred(n) => format!("PWrite (deferred, n={n})"),
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! PROCESSING-section programs: each runs dispatch + the real handler for
+//! one staged message, then halts. The handler bodies are the library this
+//! repository's multi-node programs reuse; measuring them doubles as a
+//! functional test of the protocol.
+
+use tcni_core::mapping::bare_cmd_addr;
+use tcni_core::mapping::NI_WINDOW_BASE;
+use tcni_core::{InterfaceReg, Message, NiCmd, NodeId};
+use tcni_isa::{AluOp, Assembler, Cond, CostClass, Program, Reg};
+
+use super::{alias, cmd_off, dispatch, off, ProcCase};
+use crate::harness::{layout, regs, Ctx};
+use crate::protocol::{self, mt, node, tag};
+use tcni_sim::NiMapping;
+
+/// A processing measurement: the program plus the staged incoming message.
+pub struct ProcProbe {
+    /// The program (dispatch + handler table + inlets).
+    pub program: Program,
+    /// The message to push before running.
+    pub incoming: Message,
+    /// How the I-structure cell / node pool must be staged.
+    pub case: ProcCase,
+}
+
+/// Offset of a register-less (bare) command address from the window base.
+fn bare_off(cmd: NiCmd) -> i16 {
+    (bare_cmd_addr(cmd) - NI_WINDOW_BASE) as i16
+}
+
+/// The reply SEND command for value responses: reply mode when the
+/// architecture has it, plain send otherwise.
+fn reply_cmd(ctx: Ctx) -> NiCmd {
+    if ctx.features.reply_forward {
+        NiCmd::reply(mt(protocol::TYPE_SEND))
+    } else {
+        NiCmd::send(mt(protocol::TYPE_SEND))
+    }
+}
+
+/// Builds the probe for one processing case.
+pub fn probe(ctx: Ctx, case: ProcCase) -> ProcProbe {
+    let mut a = Assembler::new();
+    dispatch::emit(&mut a, ctx);
+    a.org(layout::TABLE);
+
+    match case {
+        ProcCase::Send(k) => emit_send_path(&mut a, ctx, k),
+        ProcCase::Read => {
+            a.org(layout::slot(protocol::TYPE_READ));
+            emit_read(&mut a, ctx);
+        }
+        ProcCase::Write => {
+            a.org(layout::slot(protocol::TYPE_WRITE));
+            emit_write(&mut a, ctx);
+        }
+        ProcCase::PReadFull | ProcCase::PReadEmpty | ProcCase::PReadDeferred => {
+            a.org(layout::slot(protocol::TYPE_PREAD));
+            emit_pread(&mut a, ctx);
+        }
+        ProcCase::PWriteEmpty | ProcCase::PWriteDeferred(_) => {
+            a.org(layout::slot(protocol::TYPE_PWRITE));
+            emit_pwrite(&mut a, ctx);
+        }
+    }
+
+    let program = a.assemble().expect("processing program assembles");
+    let incoming = build_message(&program, case);
+    ProcProbe {
+        program,
+        incoming,
+        case,
+    }
+}
+
+/// The staged incoming message for a case (Send messages carry the inlet
+/// label as their IP).
+fn build_message(program: &Program, case: ProcCase) -> Message {
+    let here = NodeId::new(0); // arriving at the node under test
+    let requester = NodeId::new(2);
+    let reply_fp = requester.into_word_bits() | 0x0800;
+    let reply_ip = 0x9100;
+    match case {
+        ProcCase::Send(k) => {
+            let inlet = program.resolve("inlet").expect("send probes define `inlet`");
+            let mut words = [layout::FRAME, inlet, 0, 0, 0];
+            if k >= 1 {
+                words[2] = 0xD0;
+            }
+            if k >= 2 {
+                words[3] = 0xD1;
+            }
+            words[4] = u32::from(protocol::TYPE_SEND);
+            Message::new(words, mt(protocol::TYPE_SEND))
+        }
+        ProcCase::Read => Message::new(
+            [
+                here.into_word_bits() | layout::DATUM,
+                reply_fp,
+                reply_ip,
+                0,
+                u32::from(protocol::TYPE_READ),
+            ],
+            mt(protocol::TYPE_READ),
+        ),
+        ProcCase::Write => Message::new(
+            [
+                here.into_word_bits() | layout::DATUM,
+                0xBEEF,
+                0,
+                0,
+                u32::from(protocol::TYPE_WRITE),
+            ],
+            mt(protocol::TYPE_WRITE),
+        ),
+        ProcCase::PReadFull | ProcCase::PReadEmpty | ProcCase::PReadDeferred => Message::new(
+            [
+                here.into_word_bits() | layout::CELL,
+                reply_fp,
+                reply_ip,
+                0,
+                u32::from(protocol::TYPE_PREAD),
+            ],
+            mt(protocol::TYPE_PREAD),
+        ),
+        ProcCase::PWriteEmpty | ProcCase::PWriteDeferred(_) => Message::new(
+            [
+                here.into_word_bits() | layout::CELL,
+                0xABCD,
+                0,
+                0,
+                u32::from(protocol::TYPE_PWRITE),
+            ],
+            mt(protocol::TYPE_PWRITE),
+        ),
+    }
+}
+
+// --- Send(k): deposit payload into the frame, dispose of the message -------
+
+fn emit_send_path(a: &mut Assembler, ctx: Ctx, k: usize) {
+    if !ctx.features.hw_dispatch {
+        // Basic: the id-0 slot holds the generic thread invoker.
+        dispatch::emit_send_invoker(a, ctx);
+    }
+    // Place the inlet clear of the table either way.
+    a.org(layout::TABLE + 0x400);
+    a.label("inlet");
+    a.set_class(CostClass::Communication);
+    match ctx.mapping {
+        NiMapping::RegisterFile => {
+            if k >= 1 {
+                a.st(alias::i(2), alias::i(0), 8);
+            }
+            if k >= 2 {
+                a.st(alias::i(3), alias::i(0), 12);
+            }
+            // Bring the frame pointer into a thread register + NEXT.
+            a.mov_ni(Reg::R2, alias::i(0), NiCmd::next());
+        }
+        _ => {
+            match k {
+                0 => {
+                    a.ld(Reg::R2, regs::NI_BASE, cmd_off(InterfaceReg::I0, NiCmd::next()));
+                }
+                1 => {
+                    a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
+                    a.ld(Reg::R5, regs::NI_BASE, cmd_off(InterfaceReg::I2, NiCmd::next()));
+                    a.st(Reg::R5, Reg::R2, 8);
+                }
+                _ => {
+                    a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
+                    a.ld(Reg::R5, regs::NI_BASE, off(InterfaceReg::I2));
+                    a.ld(Reg::R6, regs::NI_BASE, cmd_off(InterfaceReg::I3, NiCmd::next()));
+                    a.st(Reg::R5, Reg::R2, 8);
+                    a.st(Reg::R6, Reg::R2, 12);
+                }
+            };
+        }
+    }
+    a.set_class(CostClass::Compute);
+    // The receiving thread's first use of the frame pointer: its stall (the
+    // off-chip FP-load latency) is charged to the producing load's class.
+    a.add(Reg::R3, Reg::R2, Reg::R0);
+    a.halt();
+}
+
+// --- Read: load the requested word, reply ----------------------------------
+
+fn emit_read(a: &mut Assembler, ctx: Ctx) {
+    a.set_class(CostClass::Communication);
+    match ctx.mapping {
+        NiMapping::RegisterFile => {
+            if ctx.features.reply_forward {
+                // THE two-instruction remote read (§3.3): one instruction
+                // here plus one dispatch instruction.
+                a.ld_r_ni(alias::o(2), alias::i(0), Reg::R0, reply_cmd(ctx).with_next());
+            } else {
+                a.mov(alias::o(0), alias::i(1));
+                a.mov(alias::o(1), alias::i(2));
+                a.mov(alias::o(4), Reg::R0); // reply id 0
+                a.ld_r_ni(alias::o(2), alias::i(0), Reg::R0, NiCmd::send(mt(0)).with_next());
+            }
+        }
+        _ => {
+            if ctx.features.reply_forward {
+                a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
+                a.ld(Reg::R5, Reg::R2, 0);
+                a.st(
+                    Reg::R5,
+                    regs::NI_BASE,
+                    cmd_off(InterfaceReg::O2, reply_cmd(ctx).with_next()),
+                );
+            } else {
+                // Loads hoisted so their delays overlap off-chip.
+                a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I1));
+                a.ld(Reg::R3, regs::NI_BASE, off(InterfaceReg::I2));
+                a.ld(Reg::R5, regs::NI_BASE, off(InterfaceReg::I0));
+                a.st(Reg::R2, regs::NI_BASE, off(InterfaceReg::O0));
+                a.st(Reg::R3, regs::NI_BASE, off(InterfaceReg::O1));
+                a.ld(Reg::R6, Reg::R5, 0);
+                a.st(Reg::R6, regs::NI_BASE, off(InterfaceReg::O2));
+                a.st(
+                    Reg::R0,
+                    regs::NI_BASE,
+                    cmd_off(InterfaceReg::O4, NiCmd::send(mt(0)).with_next()),
+                );
+            }
+        }
+    }
+    a.set_class(CostClass::Compute);
+    a.halt();
+}
+
+// --- Write: store the value --------------------------------------------------
+
+fn emit_write(a: &mut Assembler, ctx: Ctx) {
+    a.set_class(CostClass::Communication);
+    match ctx.mapping {
+        NiMapping::RegisterFile => {
+            a.st_r_ni(alias::i(1), alias::i(0), Reg::R0, NiCmd::next());
+        }
+        _ => {
+            a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
+            a.ld(Reg::R5, regs::NI_BASE, cmd_off(InterfaceReg::I1, NiCmd::next()));
+            a.st(Reg::R5, Reg::R2, 0);
+        }
+    }
+    a.set_class(CostClass::Compute);
+    a.halt();
+}
+
+// --- PRead: full / empty / deferred ------------------------------------------
+
+fn emit_pread(a: &mut Assembler, ctx: Ctx) {
+    a.set_class(CostClass::Communication);
+    match ctx.mapping {
+        NiMapping::RegisterFile => {
+            a.ld(Reg::R5, alias::i(0), 0); // tag
+            a.alu(AluOp::Sub, Reg::R6, Reg::R5, 1u16);
+            a.bcnd(Cond::Ne0, Reg::R6, "pr_notfull");
+            a.nop();
+            // full:
+            if ctx.features.reply_forward {
+                a.ld_r_ni(alias::o(2), alias::i(0), regs::FOUR, reply_cmd(ctx).with_next());
+            } else {
+                a.mov(alias::o(0), alias::i(1));
+                a.mov(alias::o(1), alias::i(2));
+                a.mov(alias::o(4), Reg::R0);
+                a.ld_r_ni(alias::o(2), alias::i(0), regs::FOUR, NiCmd::send(mt(0)).with_next());
+            }
+            a.set_class(CostClass::Compute);
+            a.halt();
+            a.label("pr_notfull");
+            a.set_class(CostClass::Communication);
+            a.bcnd(Cond::Ne0, Reg::R5, "pr_deferred");
+            a.nop();
+            // empty: build a fresh single-node deferred list.
+            a.ld(Reg::R2, regs::FREE, node::NEXT); // next free node
+            a.st(Reg::R0, regs::FREE, node::NEXT);
+            a.st(alias::i(1), regs::FREE, node::FP);
+            a.st(alias::i(2), regs::FREE, node::IP);
+            a.st(regs::TWO, alias::i(0), 0); // tag = DEFERRED
+            a.st(regs::FREE, alias::i(0), 4); // cell.value = node
+            a.mov_ni(regs::FREE, Reg::R2, NiCmd::next());
+            a.set_class(CostClass::Compute);
+            a.halt();
+            a.label("pr_deferred");
+            a.set_class(CostClass::Communication);
+            a.ld(Reg::R2, regs::FREE, node::NEXT);
+            a.ld(Reg::R7, alias::i(0), 4); // old list head
+            a.st(Reg::R7, regs::FREE, node::NEXT);
+            a.st(alias::i(1), regs::FREE, node::FP);
+            a.st(alias::i(2), regs::FREE, node::IP);
+            a.st(regs::FREE, alias::i(0), 4);
+            a.mov_ni(regs::FREE, Reg::R2, NiCmd::next());
+            a.set_class(CostClass::Compute);
+            a.halt();
+        }
+        _ => {
+            // Prefetch everything the paths may need; the loads pipeline.
+            a.ld(Reg::R3, regs::NI_BASE, off(InterfaceReg::I0)); // cell
+            a.ld(Reg::R7, regs::NI_BASE, off(InterfaceReg::I1)); // FP
+            a.ld(Reg::R8, regs::NI_BASE, off(InterfaceReg::I2)); // IP
+            a.ld(Reg::R5, Reg::R3, 0); // tag
+            a.alu(AluOp::Sub, Reg::R6, Reg::R5, 1u16);
+            a.bcnd(Cond::Ne0, Reg::R6, "pr_notfull");
+            a.nop();
+            // full:
+            if ctx.features.reply_forward {
+                a.ld(Reg::R2, Reg::R3, 4);
+                a.st(
+                    Reg::R2,
+                    regs::NI_BASE,
+                    cmd_off(InterfaceReg::O2, reply_cmd(ctx).with_next()),
+                );
+            } else {
+                a.ld(Reg::R2, Reg::R3, 4);
+                a.st(Reg::R7, regs::NI_BASE, off(InterfaceReg::O0));
+                a.st(Reg::R8, regs::NI_BASE, off(InterfaceReg::O1));
+                a.st(Reg::R2, regs::NI_BASE, off(InterfaceReg::O2));
+                a.st(
+                    Reg::R0,
+                    regs::NI_BASE,
+                    cmd_off(InterfaceReg::O4, NiCmd::send(mt(0)).with_next()),
+                );
+            }
+            a.set_class(CostClass::Compute);
+            a.halt();
+            a.label("pr_notfull");
+            a.set_class(CostClass::Communication);
+            a.bcnd(Cond::Ne0, Reg::R5, "pr_deferred");
+            a.nop();
+            // empty:
+            a.ld(Reg::R2, regs::FREE, node::NEXT);
+            a.st(Reg::R0, regs::FREE, node::NEXT);
+            a.st(Reg::R7, regs::FREE, node::FP);
+            a.st(Reg::R8, regs::FREE, node::IP);
+            a.st(regs::TWO, Reg::R3, 0);
+            a.st(regs::FREE, Reg::R3, 4);
+            a.mov(regs::FREE, Reg::R2);
+            a.st(Reg::R0, regs::NI_BASE, bare_off(NiCmd::next()));
+            a.set_class(CostClass::Compute);
+            a.halt();
+            a.label("pr_deferred");
+            a.set_class(CostClass::Communication);
+            a.ld(Reg::R2, regs::FREE, node::NEXT);
+            a.ld(Reg::R6, Reg::R3, 4); // old head
+            a.st(Reg::R6, regs::FREE, node::NEXT);
+            a.st(Reg::R7, regs::FREE, node::FP);
+            a.st(Reg::R8, regs::FREE, node::IP);
+            a.st(regs::FREE, Reg::R3, 4);
+            a.mov(regs::FREE, Reg::R2);
+            a.st(Reg::R0, regs::NI_BASE, bare_off(NiCmd::next()));
+            a.set_class(CostClass::Compute);
+            a.halt();
+        }
+    }
+}
+
+// --- PWrite: empty / deferred(n) -----------------------------------------------
+
+fn emit_pwrite(a: &mut Assembler, ctx: Ctx) {
+    a.set_class(CostClass::Communication);
+    match ctx.mapping {
+        NiMapping::RegisterFile => {
+            a.ld(Reg::R5, alias::i(0), 0); // tag
+            a.bcnd(Cond::Ne0, Reg::R5, "pw_deferred");
+            a.nop();
+            // empty:
+            a.st(alias::i(1), alias::i(0), 4);
+            a.st(regs::ONE, alias::i(0), 0);
+            a.mov_ni(Reg::R2, Reg::R0, NiCmd::next());
+            a.set_class(CostClass::Compute);
+            a.halt();
+            a.label("pw_deferred");
+            a.set_class(CostClass::Communication);
+            a.ld(Reg::R7, alias::i(0), 4); // deferred-list head
+            a.st(alias::i(1), alias::i(0), 4);
+            a.st(regs::ONE, alias::i(0), 0);
+            a.mov(alias::o(2), alias::i(1)); // reply value, set once
+            if !ctx.features.encoded_types {
+                a.mov(alias::o(4), Reg::R0); // reply id, set once
+            }
+            a.label("pw_loop");
+            a.ld(Reg::R8, Reg::R7, node::NEXT);
+            a.ld(Reg::R2, Reg::R7, node::FP);
+            a.ld(Reg::R3, Reg::R7, node::IP);
+            a.mov(alias::o(0), Reg::R2);
+            a.mov_ni(alias::o(1), Reg::R3, NiCmd::send(mt(0)));
+            a.bcnd(Cond::Ne0, Reg::R8, "pw_loop");
+            a.mov(Reg::R7, Reg::R8); // delay slot: advance
+            a.mov_ni(Reg::R2, Reg::R0, NiCmd::next());
+            a.set_class(CostClass::Compute);
+            a.halt();
+        }
+        _ => {
+            a.ld(Reg::R3, regs::NI_BASE, off(InterfaceReg::I0)); // cell
+            a.ld(Reg::R6, regs::NI_BASE, off(InterfaceReg::I1)); // value
+            a.ld(Reg::R5, Reg::R3, 0); // tag
+            a.bcnd(Cond::Ne0, Reg::R5, "pw_deferred");
+            a.nop();
+            // empty:
+            a.st(Reg::R6, Reg::R3, 4);
+            a.st(regs::ONE, Reg::R3, 0);
+            a.st(Reg::R0, regs::NI_BASE, bare_off(NiCmd::next()));
+            a.set_class(CostClass::Compute);
+            a.halt();
+            a.label("pw_deferred");
+            a.set_class(CostClass::Communication);
+            a.ld(Reg::R7, Reg::R3, 4); // list head
+            a.st(Reg::R6, Reg::R3, 4);
+            a.st(regs::ONE, Reg::R3, 0);
+            a.st(Reg::R6, regs::NI_BASE, off(InterfaceReg::O2)); // once
+            if !ctx.features.encoded_types {
+                a.st(Reg::R0, regs::NI_BASE, off(InterfaceReg::O4)); // once
+            }
+            a.label("pw_loop");
+            a.ld(Reg::R8, Reg::R7, node::NEXT);
+            a.ld(Reg::R2, Reg::R7, node::FP);
+            a.ld(Reg::R5, Reg::R7, node::IP);
+            a.st(Reg::R2, regs::NI_BASE, off(InterfaceReg::O0));
+            a.st(
+                Reg::R5,
+                regs::NI_BASE,
+                cmd_off(InterfaceReg::O1, NiCmd::send(mt(0))),
+            );
+            a.bcnd(Cond::Ne0, Reg::R8, "pw_loop");
+            a.mov(Reg::R7, Reg::R8); // delay slot
+            a.st(Reg::R0, regs::NI_BASE, bare_off(NiCmd::next()));
+            a.set_class(CostClass::Compute);
+            a.halt();
+        }
+    }
+}
+
+/// Stages memory for a case: I-structure cell, free list, deferred chains.
+pub fn stage_memory(mem: &mut tcni_cpu::MemEnv, case: ProcCase) {
+    // A small free list of deferred nodes, linked through NEXT.
+    let free = layout::NODES;
+    for i in 0..4u32 {
+        let addr = free + i * node::SIZE;
+        let next = if i == 3 { 0 } else { addr + node::SIZE };
+        mem.poke(addr, next);
+    }
+    match case {
+        ProcCase::Read => mem.poke(layout::DATUM, 0x1234),
+        ProcCase::Write | ProcCase::Send(_) => {}
+        ProcCase::PReadFull => {
+            mem.poke(layout::CELL, tag::FULL);
+            mem.poke(layout::CELL + 4, 0x5678);
+        }
+        ProcCase::PReadEmpty | ProcCase::PWriteEmpty => {
+            mem.poke(layout::CELL, tag::EMPTY);
+        }
+        ProcCase::PReadDeferred => {
+            // One reader already waiting, in a node outside the free list.
+            let existing = layout::NODES + 0x40;
+            mem.poke(layout::CELL, tag::DEFERRED);
+            mem.poke(layout::CELL + 4, existing);
+            mem.poke(existing, 0);
+            mem.poke(existing + 4, 0x0200_0900);
+            mem.poke(existing + 8, 0x9200);
+        }
+        ProcCase::PWriteDeferred(n) => {
+            // A chain of n waiting readers at NODES+0x40…
+            let base = layout::NODES + 0x40;
+            mem.poke(layout::CELL, tag::DEFERRED);
+            mem.poke(layout::CELL + 4, base);
+            for i in 0..n {
+                let addr = base + i * node::SIZE;
+                let next = if i + 1 == n { 0 } else { addr + node::SIZE };
+                mem.poke(addr, next);
+                mem.poke(addr + 4, NodeId::new(2).into_word_bits() | (0x800 + i * 0x10));
+                mem.poke(addr + 8, 0x9100 + i * 4);
+            }
+        }
+    }
+}

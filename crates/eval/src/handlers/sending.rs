@@ -1,0 +1,217 @@
+//! SENDING-section programs: compose and send one message of each kind.
+//!
+//! Host-staged registers (see [`crate::harness::regs`]):
+//!
+//! * `r2` — word 0 (pre-combined `dest|FP` for `Send`; `dest|addr` for
+//!   `Write`; bare destination bits for `Read`/`PRead`/`PWrite`, whose
+//!   address composition is part of the send)
+//! * `r3` — word 1 (IP / value / FP per kind), `r5`/`r6` — further words
+//! * `r8` — the local address to be combined with destination bits
+//!
+//! On the basic architecture the 32-bit message id must be *generated and
+//! stored into word 4* (the paper's basic-handler lines 14–15); the
+//! optimized architecture encodes the type in the SEND command instead.
+//!
+//! The register-file implementation is measured at both ends of the paper's
+//! range: `best` assumes message words are computed directly into output
+//! registers by instructions that exist anyway (tagged compute, with the
+//! SEND riding the last one); worst moves every word explicitly.
+
+use tcni_core::{InterfaceReg, NiCmd};
+use tcni_isa::{Assembler, CostClass, Program, Reg};
+
+use super::{alias, cmd_off, off, SendKind};
+use crate::harness::{regs, Ctx};
+use crate::protocol::mt;
+use tcni_sim::NiMapping;
+
+/// Builds the sending program for one Table-1 SENDING cell.
+///
+/// `best` selects the low end of the register-mapped range (ignored for the
+/// memory-mapped implementations, which have no such freedom).
+pub fn program(ctx: Ctx, kind: SendKind, best: bool) -> Program {
+    let mut a = Assembler::new();
+    if ctx.mapping == NiMapping::RegisterFile {
+        register_mapped(&mut a, ctx, kind, best);
+    } else {
+        memory_mapped(&mut a, ctx, kind);
+    }
+    a.set_class(CostClass::Compute);
+    a.halt();
+    a.assemble().expect("sending program assembles")
+}
+
+fn send_cmd(ctx: Ctx, kind: SendKind) -> NiCmd {
+    if ctx.features.encoded_types {
+        NiCmd::send(mt(kind.mtype()))
+    } else {
+        NiCmd::send(mt(0)) // the basic SEND carries no meaningful type
+    }
+}
+
+fn memory_mapped(a: &mut Assembler, ctx: Ctx, kind: SendKind) {
+    let nib = regs::NI_BASE;
+    let send = send_cmd(ctx, kind);
+    a.set_class(CostClass::Communication);
+    // Word composition: kinds that embed a locally-computed address combine
+    // it with the destination bits as part of the send.
+    let composes_addr = matches!(kind, SendKind::Read | SendKind::PRead | SendKind::PWrite);
+    if composes_addr {
+        a.alu(tcni_isa::AluOp::Or, Reg::R7, Reg::R2, Reg::R8);
+    }
+    let w0 = if composes_addr { Reg::R7 } else { Reg::R2 };
+    // Gather the words after w0.
+    let words: &[Reg] = match kind {
+        SendKind::Send(0) => &[Reg::R3],
+        SendKind::Send(1) => &[Reg::R3, Reg::R5],
+        SendKind::Send(2) => &[Reg::R3, Reg::R5, Reg::R6],
+        SendKind::Read | SendKind::PRead => &[Reg::R3, Reg::R5], // FP, IP
+        SendKind::Write | SendKind::PWrite => &[Reg::R3],        // value
+        SendKind::Send(_) => unreachable!("k ≤ 2"),
+    };
+    a.st(w0, nib, off(InterfaceReg::O0));
+    if ctx.features.encoded_types {
+        // All data stores; SEND (with its immediate type) rides the last.
+        for (i, w) in words.iter().enumerate() {
+            let reg = InterfaceReg::output(1 + i);
+            if i + 1 == words.len() {
+                a.st(*w, nib, cmd_off(reg, send));
+            } else {
+                a.st(*w, nib, off(reg));
+            }
+        }
+    } else {
+        for (i, w) in words.iter().enumerate() {
+            a.st(*w, nib, off(InterfaceReg::output(1 + i)));
+        }
+        // Basic: generate the 32-bit message id and store it into word 4;
+        // the SEND command rides that store (paper Figure 5, lines 14–16).
+        a.ori(regs::MSG_ID, Reg::R0, u16::from(kind.mtype()));
+        a.st(regs::MSG_ID, nib, cmd_off(InterfaceReg::O4, send));
+    }
+}
+
+fn register_mapped(a: &mut Assembler, ctx: Ctx, kind: SendKind, best: bool) {
+    let send = send_cmd(ctx, kind);
+    let composes_addr = matches!(kind, SendKind::Read | SendKind::PRead | SendKind::PWrite);
+    // Payload words after w0/w1, as (source reg, output index).
+    let tail: &[(Reg, usize)] = match kind {
+        SendKind::Send(0) => &[],
+        SendKind::Send(1) => &[(Reg::R5, 2)],
+        SendKind::Send(2) => &[(Reg::R5, 2), (Reg::R6, 3)],
+        SendKind::Read | SendKind::PRead => &[(Reg::R5, 2)], // IP
+        SendKind::Write | SendKind::PWrite => &[],
+        SendKind::Send(_) => unreachable!("k ≤ 2"),
+    };
+
+    if !ctx.features.encoded_types {
+        // Generate the id into o4 (dyadic or-immediate through the alias).
+        a.set_class(CostClass::Communication);
+        a.ori(alias::o(4), Reg::R0, u16::from(kind.mtype()));
+    }
+
+    if best {
+        // Data words are produced directly into the output registers by
+        // instructions the computation needs anyway.
+        a.set_class(CostClass::Compute);
+        if composes_addr {
+            a.alu(tcni_isa::AluOp::Or, alias::o(0), Reg::R2, Reg::R8);
+        }
+        for (src, oi) in tail {
+            a.add(alias::o(*oi), *src, Reg::R0);
+        }
+        // Value-carrying w1 of Write/PWrite also comes from computation; the
+        // SEND rides it, making the marginal send cost zero.
+        if matches!(kind, SendKind::Write | SendKind::PWrite) {
+            if !composes_addr {
+                // Write's pre-combined address is likewise a product of the
+                // surrounding computation.
+                a.add(alias::o(0), Reg::R2, Reg::R0);
+            }
+            a.add_ni(alias::o(1), Reg::R3, Reg::R0, send);
+            return;
+        }
+        a.set_class(CostClass::Communication);
+        if !composes_addr {
+            a.mov(alias::o(0), Reg::R2);
+        }
+        a.mov_ni(alias::o(1), Reg::R3, send);
+    } else {
+        a.set_class(CostClass::Communication);
+        if composes_addr {
+            a.alu(tcni_isa::AluOp::Or, alias::o(0), Reg::R2, Reg::R8);
+        } else {
+            a.mov(alias::o(0), Reg::R2);
+        }
+        for (src, oi) in tail {
+            a.mov(alias::o(*oi), *src);
+        }
+        a.mov_ni(alias::o(1), Reg::R3, send);
+    }
+}
+
+/// The staged register values and the message the program must emit; used by
+/// the measurement code to validate each cell's behaviour.
+pub mod expect {
+    use tcni_core::{Message, NodeId};
+
+    use super::SendKind;
+    use crate::protocol::mt;
+
+    /// Destination node used by all sending probes.
+    pub fn dest() -> NodeId {
+        NodeId::new(3)
+    }
+
+    /// Stage values: (r2, r3, r5, r6, r8).
+    pub fn staged(kind: SendKind) -> (u32, u32, u32, u32, u32) {
+        let dest = dest().into_word_bits();
+        match kind {
+            SendKind::Send(_) => (dest | 0x0800, 0x4242, 0xD0, 0xD1, 0),
+            SendKind::Read | SendKind::PRead => (dest, 0x0800, 0x4242, 0, 0x650),
+            SendKind::Write | SendKind::PWrite => {
+                if kind == SendKind::Write {
+                    (dest | 0x650, 0x77, 0, 0, 0)
+                } else {
+                    (dest, 0x77, 0, 0, 0x650)
+                }
+            }
+        }
+    }
+
+    /// The message the probe must have queued.
+    pub fn message(kind: SendKind, encoded_types: bool) -> Message {
+        let (r2, r3, r5, r6, r8) = staged(kind);
+        let ty = if encoded_types { mt(kind.mtype()) } else { mt(0) };
+        let mut words = [0u32; 5];
+        match kind {
+            SendKind::Send(k) => {
+                words[0] = r2;
+                words[1] = r3;
+                if k >= 1 {
+                    words[2] = r5;
+                }
+                if k >= 2 {
+                    words[3] = r6;
+                }
+            }
+            SendKind::Read | SendKind::PRead => {
+                words[0] = r2 | r8;
+                words[1] = r3;
+                words[2] = r5;
+            }
+            SendKind::Write => {
+                words[0] = r2;
+                words[1] = r3;
+            }
+            SendKind::PWrite => {
+                words[0] = r2 | r8;
+                words[1] = r3;
+            }
+        }
+        if !encoded_types {
+            words[4] = u32::from(kind.mtype());
+        }
+        Message::new(words, ty)
+    }
+}

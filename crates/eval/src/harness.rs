@@ -1,0 +1,172 @@
+//! The single-node measurement harness behind Table 1.
+//!
+//! Each Table-1 cell is measured by *executing* a small handler program on
+//! the `tcni-cpu` cycle simulator coupled to a real `tcni-core` interface
+//! through the mapping under test. The harness owns the machine state, lets
+//! the caller stage registers / memory / incoming messages, runs the program
+//! to completion, and returns the per-[`CostClass`] cycle counts — the
+//! measured number is whatever the cycle counter says, not a hand count.
+
+use tcni_core::{FeatureSet, NetworkInterface, NiConfig};
+use tcni_cpu::{Cpu, CpuState, MemEnv, TimingConfig};
+use tcni_isa::{CostClass, Program, Reg};
+use tcni_sim::{NiMapping, NodeEnv};
+
+/// A mapping plus an exact feature set (finer-grained than
+/// [`tcni_sim::Model`], for the per-optimization ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ctx {
+    /// Interface placement.
+    pub mapping: NiMapping,
+    /// Which §2.2 optimizations are present.
+    pub features: FeatureSet,
+}
+
+impl Ctx {
+    /// The context for one of the six §4 models.
+    pub fn from_model(model: tcni_sim::Model) -> Ctx {
+        Ctx {
+            mapping: model.mapping,
+            features: model.level.into(),
+        }
+    }
+}
+
+/// The machine state after a measurement run.
+pub struct MeasureRun {
+    /// The processor (cycle counters, registers).
+    pub cpu: Cpu,
+    /// The interface (output queue holds anything the handler sent).
+    pub ni: NetworkInterface,
+    /// Local memory.
+    pub mem: MemEnv,
+}
+
+impl MeasureRun {
+    /// Cycles attributed to a class.
+    pub fn cycles(&self, class: CostClass) -> u64 {
+        self.cpu.stats().class(class).cycles
+    }
+}
+
+/// Runs `program` under `ctx`/`timing` after applying `stage` to the fresh
+/// machine state.
+///
+/// # Panics
+///
+/// Panics if the program faults or fails to halt within 100k cycles — a
+/// measurement program must terminate cleanly.
+pub fn measure(
+    ctx: Ctx,
+    timing: TimingConfig,
+    program: &Program,
+    stage: impl FnOnce(&mut Cpu, &mut NetworkInterface, &mut MemEnv),
+) -> MeasureRun {
+    let config = NiConfig {
+        features: ctx.features,
+        ..NiConfig::default()
+    };
+    let mut ni = NetworkInterface::new(config);
+    let mut mem = MemEnv::new(64 * 1024);
+    let mut cpu = Cpu::new(timing);
+    cpu.set_pc(program.base());
+    stage(&mut cpu, &mut ni, &mut mem);
+    {
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni,
+            mapping: ctx.mapping,
+        };
+        while cpu.state().is_running() && cpu.cycle() < 100_000 {
+            cpu.step(program, &mut env);
+        }
+    }
+    match cpu.state() {
+        CpuState::Halted => {}
+        CpuState::Faulted { reason, pc } => {
+            panic!("measurement program faulted at {pc:#x}: {reason}\n{program}")
+        }
+        CpuState::Running => panic!("measurement program did not halt"),
+    }
+    MeasureRun { cpu, ni, mem }
+}
+
+/// Handler-convention registers the harness pre-loads (host-side, costing
+/// zero cycles — they are long-lived values a real handler loop keeps
+/// resident).
+pub mod regs {
+    use super::Reg;
+
+    /// NI window base (memory-mapped implementations).
+    pub const NI_BASE: Reg = Reg::R9;
+    /// Handler-table base (software dispatch on the basic architecture).
+    pub const TABLE_BASE: Reg = Reg::R10;
+    /// Constant 1 (the FULL presence tag).
+    pub const ONE: Reg = Reg::R11;
+    /// Constant 2 (the DEFERRED presence tag).
+    pub const TWO: Reg = Reg::R12;
+    /// Message-id constant (basic-architecture sending).
+    pub const MSG_ID: Reg = Reg::R13;
+    /// Deferred-node free-list head.
+    pub const FREE: Reg = Reg::R14;
+    /// Constant 4 (word offset for triadic loads).
+    pub const FOUR: Reg = Reg::R4;
+}
+
+/// Common memory-layout constants for measurement programs.
+pub mod layout {
+    /// Base of the dispatch handler table (1 KiB aligned per §2.2.3).
+    pub const TABLE: u32 = 0x4000;
+    /// Byte address of an I-structure cell's tag word (value at +4).
+    pub const CELL: u32 = 0x600;
+    /// Base of the deferred-node free list / staged deferred chains.
+    pub const NODES: u32 = 0x700;
+    /// A thread frame (Send processing stores payload at +8, +12).
+    pub const FRAME: u32 = 0x800;
+    /// A remote memory location served by Read/Write handlers.
+    pub const DATUM: u32 = 0x500;
+
+    /// The slot address for a message type (variant 00).
+    pub fn slot(mtype: u8) -> u32 {
+        TABLE + u32::from(mtype) * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcni_core::FeatureLevel;
+    use tcni_isa::Assembler;
+
+    #[test]
+    fn measure_runs_and_attributes() {
+        let mut a = Assembler::new();
+        a.set_class(CostClass::Communication);
+        a.nop();
+        a.nop();
+        a.set_class(CostClass::Compute);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let ctx = Ctx {
+            mapping: NiMapping::OnChipCache,
+            features: FeatureLevel::Optimized.into(),
+        };
+        let run = measure(ctx, TimingConfig::new(), &p, |_, _, _| {});
+        assert_eq!(run.cycles(CostClass::Communication), 2);
+        assert_eq!(run.cycles(CostClass::Compute), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "faulted")]
+    fn faulting_program_panics() {
+        let mut a = Assembler::new();
+        a.ld(Reg::R2, Reg::R0, 0x7FF0); // misaligned? no: beyond? 0x7FF0 < 64k, fine
+        a.nop();
+        let p = a.assemble().unwrap(); // falls off the end → fetch fault
+        let ctx = Ctx {
+            mapping: NiMapping::OnChipCache,
+            features: FeatureLevel::Optimized.into(),
+        };
+        let _ = measure(ctx, TimingConfig::new(), &p, |_, _, _| {});
+    }
+}

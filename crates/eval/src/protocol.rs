@@ -1,0 +1,91 @@
+//! The message protocol the handlers implement — the paper's conventions
+//! from §2.1.4, §4.1, and Figures 3/4, made concrete.
+//!
+//! Message formats (word 0 always carries the destination node in its high
+//! bits):
+//!
+//! | kind      | type | w0            | w1    | w2    | w3     | w4 (basic) |
+//! |-----------|------|---------------|-------|-------|--------|------------|
+//! | Send(k)   | 0    | dest ∣ FP     | IP    | data… |        | id 0       |
+//! | Read      | 4    | dest ∣ addr   | FP    | IP    | —      | id 4       |
+//! | Write     | 5    | dest ∣ addr   | value | —     | —      | id 5       |
+//! | PRead     | 6    | dest ∣ cell   | FP    | IP    | —      | id 6       |
+//! | PWrite    | 7    | dest ∣ cell   | value | —     | —      | id 7       |
+//! | reply     | 0    | FP            | IP    | value | —      | id 0       |
+//!
+//! `Send` messages are type 0 — the handler IP travels in word 1, so the
+//! optimized dispatch hardware jumps straight to the receiving thread
+//! (Figure 7, case 2). Replies are ordinary `Send(1 word)` messages; on the
+//! optimized architecture they are composed for free by the reply send mode.
+//!
+//! On the **basic** architecture the 4-bit type field carries no meaning;
+//! software dispatches on the 32-bit id in word 4, which indexes the same
+//! 16-byte handler table slots.
+//!
+//! I-structure elements are `[tag, value]` word pairs (`cell` addresses the
+//! tag): tag 0 = empty, 1 = full, 2 = deferred with the value word holding
+//! the head of a deferred-reader list. Deferred nodes are `[next, FP, IP]`
+//! triples carved from a free list whose head lives in register `r14` by
+//! handler convention.
+
+use tcni_isa::MsgType;
+
+/// Message type (and basic-architecture id) of `Send` messages and replies.
+pub const TYPE_SEND: u8 = 0;
+/// Message type/id of remote-read requests.
+pub const TYPE_READ: u8 = 4;
+/// Message type/id of remote-write requests.
+pub const TYPE_WRITE: u8 = 5;
+/// Message type/id of I-structure read requests.
+pub const TYPE_PREAD: u8 = 6;
+/// Message type/id of I-structure write requests.
+pub const TYPE_PWRITE: u8 = 7;
+
+/// I-structure tag values.
+pub mod tag {
+    /// Never written.
+    pub const EMPTY: u32 = 0;
+    /// Holds a value.
+    pub const FULL: u32 = 1;
+    /// Readers waiting; the value word heads the deferred list.
+    pub const DEFERRED: u32 = 2;
+}
+
+/// Offsets within a `[next, FP, IP]` deferred-list node.
+pub mod node {
+    /// Next-node pointer (0 terminates).
+    pub const NEXT: i16 = 0;
+    /// Reader frame pointer.
+    pub const FP: i16 = 4;
+    /// Reader instruction pointer.
+    pub const IP: i16 = 8;
+    /// Node size in bytes.
+    pub const SIZE: u32 = 12;
+}
+
+/// The typed constant for a protocol type byte.
+///
+/// # Panics
+///
+/// Panics if `t` exceeds 15 (protocol constants never do).
+pub fn mt(t: u8) -> MsgType {
+    MsgType::new(t).expect("protocol type fits in 4 bits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_distinct_and_legal() {
+        let all = [TYPE_SEND, TYPE_READ, TYPE_WRITE, TYPE_PREAD, TYPE_PWRITE];
+        for t in all {
+            assert_ne!(t, 1, "type 1 is reserved for exceptions");
+            let _ = mt(t);
+        }
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+}

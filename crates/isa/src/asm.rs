@@ -1,0 +1,547 @@
+//! A small structured assembler.
+//!
+//! The assembler is the way handler code is written throughout this
+//! repository: the evaluation crate builds every Table-1 handler with it, and
+//! the machine simulator loads the resulting [`Program`]s. It supports labels
+//! with forward references, `org` placement (used to lay out the 16-byte
+//! dispatch-table slots of §2.2.3), and cost-class region tagging for the
+//! Figure-12 cycle breakdown.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, CostClass, FpOp, Instr, Operand};
+use crate::ni::NiCmd;
+use crate::program::{Program, Region};
+use crate::reg::Reg;
+
+/// A branch target that may be a not-yet-defined label.
+#[derive(Debug, Clone)]
+enum TargetRef {
+    Label(String),
+}
+
+/// Errors reported by [`Assembler::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch referenced an undefined label.
+    UndefinedLabel(String),
+    /// `org` tried to move the location counter backwards.
+    OrgBackwards {
+        /// Current location counter.
+        at: u32,
+        /// Requested (earlier) address.
+        requested: u32,
+    },
+    /// `org` target was not 4-byte aligned.
+    Misaligned(u32),
+    /// An NI command was attached to a non-triadic instruction.
+    NiOnNonTriadic(usize),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "label `{l}` defined twice"),
+            AsmError::UndefinedLabel(l) => write!(f, "branch to undefined label `{l}`"),
+            AsmError::OrgBackwards { at, requested } => {
+                write!(f, "org {requested:#x} is behind the location counter {at:#x}")
+            }
+            AsmError::Misaligned(a) => write!(f, "address {a:#x} is not 4-byte aligned"),
+            AsmError::NiOnNonTriadic(i) => {
+                write!(f, "instruction #{i} carries an NI command but is not triadic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Item {
+    Instr(Instr),
+    /// A control-flow instruction whose target still needs resolution.
+    Branch {
+        kind: BranchKind,
+        target: TargetRef,
+    },
+}
+
+enum BranchKind {
+    Br,
+    Bcnd(Cond, Reg),
+    Bsr,
+}
+
+/// Builds a [`Program`] incrementally.
+///
+/// All emit methods return `&mut Self` so short sequences can be chained.
+///
+/// # Example
+///
+/// ```
+/// use tcni_isa::{Assembler, Cond, Reg};
+///
+/// let mut a = Assembler::new();
+/// a.label("loop");
+/// a.addi(Reg::R2, Reg::R2, 0xFFFF); // r2 -= 1 (sign-extended -1)
+/// a.bcnd(Cond::Ne0, Reg::R2, "loop");
+/// a.nop(); // delay slot
+/// a.halt();
+/// let p = a.assemble().unwrap();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Default)]
+pub struct Assembler {
+    base: u32,
+    items: Vec<Item>,
+    labels: BTreeMap<String, u32>,
+    regions: Vec<Region>,
+    open_class: Option<(u32, CostClass)>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Creates an assembler with base address 0.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Creates an assembler whose first instruction lives at `base`.
+    pub fn with_base(base: u32) -> Assembler {
+        Assembler {
+            base,
+            ..Assembler::default()
+        }
+    }
+
+    /// The current location counter (byte address of the next instruction).
+    pub fn pc(&self) -> u32 {
+        self.base + (self.items.len() as u32) * 4
+    }
+
+    fn record_error(&mut self, e: AsmError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Defines a label at the current location counter.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_owned(), self.pc()).is_some() {
+            self.record_error(AsmError::DuplicateLabel(name.to_owned()));
+        }
+        self
+    }
+
+    /// Pads with `halt` up to `addr` (must be 4-aligned and not behind the
+    /// location counter). Used to place handler-table slots.
+    pub fn org(&mut self, addr: u32) -> &mut Self {
+        if !addr.is_multiple_of(4) {
+            self.record_error(AsmError::Misaligned(addr));
+            return self;
+        }
+        if addr < self.pc() {
+            self.record_error(AsmError::OrgBackwards {
+                at: self.pc(),
+                requested: addr,
+            });
+            return self;
+        }
+        while self.pc() < addr {
+            self.items.push(Item::Instr(Instr::Halt));
+        }
+        self
+    }
+
+    /// Starts a new cost-attribution region at the current location counter.
+    pub fn set_class(&mut self, class: CostClass) -> &mut Self {
+        let pc = self.pc();
+        if let Some((start, prev)) = self.open_class.take() {
+            if start < pc {
+                self.regions.push(Region {
+                    range: start..pc,
+                    class: prev,
+                });
+            }
+        }
+        self.open_class = Some((pc, class));
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.items.push(Item::Instr(instr));
+        self
+    }
+
+    // --- integer ALU -----------------------------------------------------
+
+    /// Emits an ALU instruction with an explicit NI command.
+    pub fn alu_ni(
+        &mut self,
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: impl Into<Operand>,
+        ni: NiCmd,
+    ) -> &mut Self {
+        self.emit(Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2: rs2.into(),
+            ni,
+        })
+    }
+
+    /// Emits an ALU instruction.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: impl Into<Operand>) -> &mut Self {
+        self.alu_ni(op, rd, rs1, rs2, NiCmd::NONE)
+    }
+
+    /// `rd = rs1 + rs2` (triadic).
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 + rs2` with an NI command.
+    pub fn add_ni(&mut self, rd: Reg, rs1: Reg, rs2: Reg, ni: NiCmd) -> &mut Self {
+        self.alu_ni(AluOp::Add, rd, rs1, rs2, ni)
+    }
+
+    /// `rd = rs1 + sext(imm)`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: u16) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 | zext(imm)`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: u16) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 & zext(imm)` (88100 `mask`).
+    pub fn maski(&mut self, rd: Reg, rs1: Reg, imm: u16) -> &mut Self {
+        self.alu(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 << sh`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, sh: u16) -> &mut Self {
+        self.alu(AluOp::Shl, rd, rs1, sh)
+    }
+
+    /// `rd = rs1 >> sh` (logical).
+    pub fn shri(&mut self, rd: Reg, rs1: Reg, sh: u16) -> &mut Self {
+        self.alu(AluOp::Shr, rd, rs1, sh)
+    }
+
+    /// Register move: `rd = rs` (triadic `or rd, rs, r0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs, Reg::R0)
+    }
+
+    /// Register move carrying an NI command.
+    pub fn mov_ni(&mut self, rd: Reg, rs: Reg, ni: NiCmd) -> &mut Self {
+        self.alu_ni(AluOp::Or, rd, rs, Reg::R0, ni)
+    }
+
+    /// `rd = imm << 16`.
+    pub fn lui(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.emit(Instr::Lui { rd, imm })
+    }
+
+    /// Loads an arbitrary 32-bit constant, in one instruction when the upper
+    /// half is zero and two otherwise.
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        let hi = (value >> 16) as u16;
+        let lo = value as u16;
+        if hi == 0 {
+            self.ori(rd, Reg::R0, lo)
+        } else {
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.ori(rd, rd, lo);
+            }
+            self
+        }
+    }
+
+    // --- floating point ---------------------------------------------------
+
+    /// Emits a floating-point instruction.
+    pub fn fp(&mut self, op: FpOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Fp {
+            op,
+            rd,
+            rs1,
+            rs2,
+            ni: NiCmd::NONE,
+        })
+    }
+
+    /// Emits a floating-point instruction with an NI command.
+    pub fn fp_ni(&mut self, op: FpOp, rd: Reg, rs1: Reg, rs2: Reg, ni: NiCmd) -> &mut Self {
+        self.emit(Instr::Fp { op, rd, rs1, rs2, ni })
+    }
+
+    // --- memory -----------------------------------------------------------
+
+    /// `rd = mem[base + sext(off)]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i16) -> &mut Self {
+        self.emit(Instr::Ld {
+            rd,
+            base,
+            off: Operand::Imm(off as u16),
+            ni: NiCmd::NONE,
+        })
+    }
+
+    /// `rd = mem[base + offr]` (triadic form).
+    pub fn ld_r(&mut self, rd: Reg, base: Reg, offr: Reg) -> &mut Self {
+        self.ld_r_ni(rd, base, offr, NiCmd::NONE)
+    }
+
+    /// Triadic load carrying an NI command.
+    pub fn ld_r_ni(&mut self, rd: Reg, base: Reg, offr: Reg, ni: NiCmd) -> &mut Self {
+        self.emit(Instr::Ld {
+            rd,
+            base,
+            off: Operand::Reg(offr),
+            ni,
+        })
+    }
+
+    /// `mem[base + sext(off)] = rs`.
+    pub fn st(&mut self, rs: Reg, base: Reg, off: i16) -> &mut Self {
+        self.emit(Instr::St {
+            rs,
+            base,
+            off: Operand::Imm(off as u16),
+            ni: NiCmd::NONE,
+        })
+    }
+
+    /// `mem[base + offr] = rs` (triadic form).
+    pub fn st_r(&mut self, rs: Reg, base: Reg, offr: Reg) -> &mut Self {
+        self.st_r_ni(rs, base, offr, NiCmd::NONE)
+    }
+
+    /// Triadic store carrying an NI command.
+    pub fn st_r_ni(&mut self, rs: Reg, base: Reg, offr: Reg, ni: NiCmd) -> &mut Self {
+        self.emit(Instr::St {
+            rs,
+            base,
+            off: Operand::Reg(offr),
+            ni,
+        })
+    }
+
+    // --- control ----------------------------------------------------------
+
+    /// Unconditional branch to a label.
+    pub fn br(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Branch {
+            kind: BranchKind::Br,
+            target: TargetRef::Label(label.to_owned()),
+        });
+        self
+    }
+
+    /// Unconditional branch to an absolute byte address.
+    pub fn br_abs(&mut self, target: u32) -> &mut Self {
+        self.emit(Instr::Br { target })
+    }
+
+    /// Conditional branch to a label.
+    pub fn bcnd(&mut self, cond: Cond, rs: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch {
+            kind: BranchKind::Bcnd(cond, rs),
+            target: TargetRef::Label(label.to_owned()),
+        });
+        self
+    }
+
+    /// Branch-and-link to a label (return address in `r1`).
+    pub fn bsr(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Branch {
+            kind: BranchKind::Bsr,
+            target: TargetRef::Label(label.to_owned()),
+        });
+        self
+    }
+
+    /// Indirect jump through a register.
+    pub fn jmp(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Instr::Jmp { rs, ni: NiCmd::NONE })
+    }
+
+    /// Indirect jump carrying an NI command (`jmp MsgIp, NEXT` style).
+    pub fn jmp_ni(&mut self, rs: Reg, ni: NiCmd) -> &mut Self {
+        self.emit(Instr::Jmp { rs, ni })
+    }
+
+    /// Jump-and-link through a register.
+    pub fn jsr(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Instr::Jsr { rs })
+    }
+
+    /// Return: `jmp r1`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.jmp(Reg::R1)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// Halt the processor.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    // --- finalization -------------------------------------------------------
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered while building or resolving.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        // Close the trailing region.
+        let end_pc = self.base + (self.items.len() as u32) * 4;
+        if let Some((start, class)) = self.open_class.take() {
+            if start < end_pc {
+                self.regions.push(Region {
+                    range: start..end_pc,
+                    class,
+                });
+            }
+        }
+        let mut instrs = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.into_iter().enumerate() {
+            let instr = match item {
+                Item::Instr(instr) => {
+                    if !instr.ni_cmd().is_noop() && !instr.is_triadic() {
+                        return Err(AsmError::NiOnNonTriadic(i));
+                    }
+                    instr
+                }
+                Item::Branch { kind, target } => {
+                    let target = match target {
+                        TargetRef::Label(l) => self
+                            .labels
+                            .get(&l)
+                            .copied()
+                            .ok_or(AsmError::UndefinedLabel(l))?,
+                    };
+                    match kind {
+                        BranchKind::Br => Instr::Br { target },
+                        BranchKind::Bcnd(cond, rs) => Instr::Bcnd { cond, rs, target },
+                        BranchKind::Bsr => Instr::Bsr { target },
+                    }
+                }
+            };
+            instrs.push(instr);
+        }
+        Ok(Program::new(self.base, instrs, self.labels, self.regions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_reference_resolves() {
+        let mut a = Assembler::new();
+        a.br("end");
+        a.nop();
+        a.nop();
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.resolve("end"), Some(12));
+        assert_eq!(p.fetch(0), Some(&Instr::Br { target: 12 }));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Assembler::new();
+        a.br("nowhere");
+        a.nop();
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".to_owned())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".to_owned()));
+    }
+
+    #[test]
+    fn org_pads_with_halt() {
+        let mut a = Assembler::new();
+        a.nop();
+        a.org(16);
+        a.label("slot1");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.resolve("slot1"), Some(16));
+        assert_eq!(p.fetch(4), Some(&Instr::Halt)); // padding
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn org_backwards_errors() {
+        let mut a = Assembler::new();
+        a.nop();
+        a.nop();
+        a.org(4);
+        assert!(matches!(a.assemble(), Err(AsmError::OrgBackwards { .. })));
+    }
+
+    #[test]
+    fn org_misaligned_errors() {
+        let mut a = Assembler::new();
+        a.org(6);
+        assert_eq!(a.assemble().unwrap_err(), AsmError::Misaligned(6));
+    }
+
+    #[test]
+    fn li_single_or_pair() {
+        let mut a = Assembler::new();
+        a.li(Reg::R2, 0x1234);
+        a.li(Reg::R3, 0xABCD_0000);
+        a.li(Reg::R4, 0xABCD_1234);
+        a.halt();
+        let p = a.assemble().unwrap();
+        // 1 + 1 + 2 + 1 instructions
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn base_offsets_labels() {
+        let mut a = Assembler::with_base(0x1000);
+        a.label("entry");
+        a.nop();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.resolve("entry"), Some(0x1000));
+    }
+}

@@ -1,0 +1,389 @@
+//! Binary instruction encoding.
+//!
+//! The paper's interface commands "take up only seven bits" and "could be
+//! incorporated into the unused bits of many existing instructions" (§3).
+//! This module demonstrates that claim concretely: every triadic instruction
+//! of our 32-bit encoding has exactly seven unused bits, and the [`NiCmd`]
+//! packs into them. The encoding is not the real 88100 one — it is a clean
+//! fixed-width format sufficient to show the bits fit and to round-trip
+//! programs.
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! ```text
+//! opcode[31:26] | fields...
+//! ALU-reg : op4 | rd5 | rs1_5 | rs2_5 | ni7
+//! ALU-imm : (per-op opcode) rd5 | rs1_5 | imm16
+//! FP      : op3 | rd5 | rs1_5 | rs2_5 | ni7 | pad1
+//! LUI     : rd5 | imm16
+//! LD/ST-imm: r5 | base5 | imm16
+//! LD/ST-reg: r5 | base5 | off5 | ni7
+//! BR/BSR  : word-target26
+//! BCND    : cond3 | rs5 | word-target18
+//! JMP     : rs5 | ni7        JSR: rs5
+//! ```
+
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, FpOp, Instr, Operand};
+use crate::ni::NiCmd;
+use crate::reg::Reg;
+
+const OP_NOP: u32 = 0x00;
+const OP_HALT: u32 = 0x01;
+const OP_ALU_REG: u32 = 0x02;
+const OP_FP: u32 = 0x04;
+const OP_LUI: u32 = 0x05;
+const OP_LD_IMM: u32 = 0x06;
+const OP_LD_REG: u32 = 0x07;
+const OP_ST_IMM: u32 = 0x08;
+const OP_ST_REG: u32 = 0x09;
+const OP_BR: u32 = 0x0A;
+const OP_BCND: u32 = 0x0B;
+const OP_JMP: u32 = 0x0C;
+const OP_BSR: u32 = 0x0D;
+const OP_JSR: u32 = 0x0E;
+/// ALU-immediate opcodes occupy `0x10 + alu_op_index`.
+const OP_ALU_IMM_BASE: u32 = 0x10;
+
+fn alu_index(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u32
+}
+
+fn fp_index(op: FpOp) -> u32 {
+    FpOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u32
+}
+
+fn cond_index(c: Cond) -> u32 {
+    Cond::ALL.iter().position(|x| *x == c).expect("cond in ALL") as u32
+}
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A branch target does not fit in the instruction's target field or is
+    /// misaligned.
+    TargetOutOfRange(u32),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TargetOutOfRange(t) => {
+                write!(f, "branch target {t:#x} unencodable (misaligned or too far)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode or a sub-field is not a defined encoding.
+    Illegal(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal(w) => write!(f, "illegal instruction word {w:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg_field(r: Reg, shift: u32) -> u32 {
+    (r.index() as u32) << shift
+}
+
+fn word_target(target: u32, bits: u32) -> Result<u32, EncodeError> {
+    if !target.is_multiple_of(4) {
+        return Err(EncodeError::TargetOutOfRange(target));
+    }
+    let w = target / 4;
+    if w >> bits != 0 {
+        return Err(EncodeError::TargetOutOfRange(target));
+    }
+    Ok(w)
+}
+
+/// Encodes an instruction into a 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::TargetOutOfRange`] if a branch target is misaligned
+/// or beyond the reach of its target field (`br`/`bsr`: 256 MiB;
+/// `bcnd`: 1 MiB).
+pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
+    let w = match *instr {
+        Instr::Nop => OP_NOP << 26,
+        Instr::Halt => OP_HALT << 26,
+        Instr::Alu { op, rd, rs1, rs2, ni } => match rs2 {
+            Operand::Reg(r2) => {
+                (OP_ALU_REG << 26)
+                    | (alu_index(op) << 22)
+                    | reg_field(rd, 17)
+                    | reg_field(rs1, 12)
+                    | reg_field(r2, 7)
+                    | u32::from(ni.bits())
+            }
+            Operand::Imm(imm) => {
+                ((OP_ALU_IMM_BASE + alu_index(op)) << 26)
+                    | reg_field(rd, 21)
+                    | reg_field(rs1, 16)
+                    | u32::from(imm)
+            }
+        },
+        Instr::Fp { op, rd, rs1, rs2, ni } => {
+            (OP_FP << 26)
+                | (fp_index(op) << 23)
+                | reg_field(rd, 18)
+                | reg_field(rs1, 13)
+                | reg_field(rs2, 8)
+                | (u32::from(ni.bits()) << 1)
+        }
+        Instr::Lui { rd, imm } => (OP_LUI << 26) | reg_field(rd, 21) | u32::from(imm),
+        Instr::Ld { rd, base, off, ni } => match off {
+            Operand::Imm(imm) => {
+                (OP_LD_IMM << 26) | reg_field(rd, 21) | reg_field(base, 16) | u32::from(imm)
+            }
+            Operand::Reg(r) => {
+                (OP_LD_REG << 26)
+                    | reg_field(rd, 21)
+                    | reg_field(base, 16)
+                    | reg_field(r, 11)
+                    | u32::from(ni.bits())
+            }
+        },
+        Instr::St { rs, base, off, ni } => match off {
+            Operand::Imm(imm) => {
+                (OP_ST_IMM << 26) | reg_field(rs, 21) | reg_field(base, 16) | u32::from(imm)
+            }
+            Operand::Reg(r) => {
+                (OP_ST_REG << 26)
+                    | reg_field(rs, 21)
+                    | reg_field(base, 16)
+                    | reg_field(r, 11)
+                    | u32::from(ni.bits())
+            }
+        },
+        Instr::Br { target } => (OP_BR << 26) | word_target(target, 26)?,
+        Instr::Bcnd { cond, rs, target } => {
+            (OP_BCND << 26) | (cond_index(cond) << 23) | reg_field(rs, 18) | word_target(target, 18)?
+        }
+        Instr::Jmp { rs, ni } => (OP_JMP << 26) | reg_field(rs, 21) | u32::from(ni.bits()),
+        Instr::Bsr { target } => (OP_BSR << 26) | word_target(target, 26)?,
+        Instr::Jsr { rs } => (OP_JSR << 26) | reg_field(rs, 21),
+    };
+    Ok(w)
+}
+
+fn reg_at(w: u32, shift: u32) -> Reg {
+    Reg::try_from(((w >> shift) & 0x1F) as u8).expect("5-bit field in range")
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Illegal`] for undefined opcodes or sub-operations.
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let opcode = w >> 26;
+    let instr = match opcode {
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        OP_ALU_REG => {
+            let op = *AluOp::ALL
+                .get(((w >> 22) & 0xF) as usize)
+                .ok_or(DecodeError::Illegal(w))?;
+            Instr::Alu {
+                op,
+                rd: reg_at(w, 17),
+                rs1: reg_at(w, 12),
+                rs2: Operand::Reg(reg_at(w, 7)),
+                ni: NiCmd::from_bits((w & 0x7F) as u8),
+            }
+        }
+        OP_FP => {
+            let op = *FpOp::ALL
+                .get(((w >> 23) & 0x7) as usize)
+                .ok_or(DecodeError::Illegal(w))?;
+            Instr::Fp {
+                op,
+                rd: reg_at(w, 18),
+                rs1: reg_at(w, 13),
+                rs2: reg_at(w, 8),
+                ni: NiCmd::from_bits(((w >> 1) & 0x7F) as u8),
+            }
+        }
+        OP_LUI => Instr::Lui {
+            rd: reg_at(w, 21),
+            imm: w as u16,
+        },
+        OP_LD_IMM => Instr::Ld {
+            rd: reg_at(w, 21),
+            base: reg_at(w, 16),
+            off: Operand::Imm(w as u16),
+            ni: NiCmd::NONE,
+        },
+        OP_LD_REG => Instr::Ld {
+            rd: reg_at(w, 21),
+            base: reg_at(w, 16),
+            off: Operand::Reg(reg_at(w, 11)),
+            ni: NiCmd::from_bits((w & 0x7F) as u8),
+        },
+        OP_ST_IMM => Instr::St {
+            rs: reg_at(w, 21),
+            base: reg_at(w, 16),
+            off: Operand::Imm(w as u16),
+            ni: NiCmd::NONE,
+        },
+        OP_ST_REG => Instr::St {
+            rs: reg_at(w, 21),
+            base: reg_at(w, 16),
+            off: Operand::Reg(reg_at(w, 11)),
+            ni: NiCmd::from_bits((w & 0x7F) as u8),
+        },
+        OP_BR => Instr::Br {
+            target: (w & 0x03FF_FFFF) * 4,
+        },
+        OP_BCND => {
+            let cond = *Cond::ALL
+                .get(((w >> 23) & 0x7) as usize)
+                .ok_or(DecodeError::Illegal(w))?;
+            Instr::Bcnd {
+                cond,
+                rs: reg_at(w, 18),
+                target: (w & 0x3_FFFF) * 4,
+            }
+        }
+        OP_JMP => Instr::Jmp {
+            rs: reg_at(w, 21),
+            ni: NiCmd::from_bits((w & 0x7F) as u8),
+        },
+        OP_BSR => Instr::Bsr {
+            target: (w & 0x03FF_FFFF) * 4,
+        },
+        OP_JSR => Instr::Jsr { rs: reg_at(w, 21) },
+        op if (OP_ALU_IMM_BASE..OP_ALU_IMM_BASE + 12).contains(&op) => {
+            let alu = AluOp::ALL[(op - OP_ALU_IMM_BASE) as usize];
+            Instr::Alu {
+                op: alu,
+                rd: reg_at(w, 21),
+                rs1: reg_at(w, 16),
+                rs2: Operand::Imm(w as u16),
+                ni: NiCmd::NONE,
+            }
+        }
+        _ => return Err(DecodeError::Illegal(w)),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgType;
+
+    fn roundtrip(i: Instr) {
+        let w = encode(&i).expect("encodes");
+        assert_eq!(decode(w).expect("decodes"), i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        roundtrip(Instr::Nop);
+        roundtrip(Instr::Halt);
+        roundtrip(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R17,
+            rs1: Reg::R21,
+            rs2: Operand::Reg(Reg::R22),
+            ni: NiCmd::send(MsgType::new(5).unwrap()).with_next(),
+        });
+        roundtrip(Instr::Alu {
+            op: AluOp::CmpLtu,
+            rd: Reg::R3,
+            rs1: Reg::R4,
+            rs2: Operand::Imm(0xBEEF),
+            ni: NiCmd::NONE,
+        });
+        roundtrip(Instr::Fp {
+            op: FpOp::FMul,
+            rd: Reg::R9,
+            rs1: Reg::R10,
+            rs2: Reg::R11,
+            ni: NiCmd::next(),
+        });
+        roundtrip(Instr::Lui { rd: Reg::R31, imm: 0xFFFF });
+        roundtrip(Instr::Ld {
+            rd: Reg::R2,
+            base: Reg::R3,
+            off: Operand::Imm(0xFFFC),
+            ni: NiCmd::NONE,
+        });
+        roundtrip(Instr::St {
+            rs: Reg::R2,
+            base: Reg::R3,
+            off: Operand::Reg(Reg::R4),
+            ni: NiCmd::reply(MsgType::new(7).unwrap()),
+        });
+        roundtrip(Instr::Br { target: 0x1000 });
+        roundtrip(Instr::Bcnd {
+            cond: Cond::Ne0,
+            rs: Reg::R5,
+            target: 0x40,
+        });
+        roundtrip(Instr::Jmp {
+            rs: Reg::R29,
+            ni: NiCmd::next(),
+        });
+        roundtrip(Instr::Bsr { target: 0x200 });
+        roundtrip(Instr::Jsr { rs: Reg::R1 });
+    }
+
+    #[test]
+    fn misaligned_target_rejected() {
+        assert_eq!(
+            encode(&Instr::Br { target: 6 }),
+            Err(EncodeError::TargetOutOfRange(6))
+        );
+    }
+
+    #[test]
+    fn bcnd_reach_limited() {
+        assert!(encode(&Instr::Bcnd {
+            cond: Cond::Eq0,
+            rs: Reg::R0,
+            target: 4 << 18,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn illegal_word_rejected() {
+        assert_eq!(decode(0xFFFF_FFFF), Err(DecodeError::Illegal(0xFFFF_FFFF)));
+        // ALU-reg with sub-op 12 (out of range)
+        let bad = (OP_ALU_REG << 26) | (12 << 22);
+        assert_eq!(decode(bad), Err(DecodeError::Illegal(bad)));
+    }
+
+    #[test]
+    fn ni_bits_fit_in_triadic_encodings() {
+        // The paper's claim: 7 NI bits fit in unused bits of triadic forms.
+        for bits in [0u8, 0x7F, 0x55] {
+            let ni = NiCmd::from_bits(bits);
+            roundtrip(Instr::Alu {
+                op: AluOp::Or,
+                rd: Reg::R16,
+                rs1: Reg::R0,
+                rs2: Operand::Reg(Reg::R0),
+                ni,
+            });
+            roundtrip(Instr::Jmp { rs: Reg::R30, ni });
+        }
+    }
+}

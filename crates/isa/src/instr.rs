@@ -1,0 +1,588 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+use crate::ni::NiCmd;
+use crate::reg::Reg;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition (wrapping).
+    Add,
+    /// Two's-complement subtraction (wrapping).
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `rs2 & 31`.
+    Shl,
+    /// Logical shift right by `rs2 & 31`.
+    Shr,
+    /// Arithmetic shift right by `rs2 & 31`.
+    Sar,
+    /// Integer multiply (wrapping; multi-cycle per the timing model).
+    Mul,
+    /// Set-if-equal: `rd = (rs1 == rs2) as u32`.
+    CmpEq,
+    /// Set-if-less-than, signed.
+    CmpLt,
+    /// Set-if-less-than, unsigned.
+    CmpLtu,
+}
+
+impl AluOp {
+    /// All ALU operations, for exhaustive testing.
+    pub const ALL: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Mul,
+        AluOp::CmpEq,
+        AluOp::CmpLt,
+        AluOp::CmpLtu,
+    ];
+
+    /// Applies the operation to two 32-bit values.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b & 31),
+            AluOp::Shr => a.wrapping_shr(b & 31),
+            AluOp::Sar => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::CmpEq => u32::from(a == b),
+            AluOp::CmpLt => u32::from((a as i32) < (b as i32)),
+            AluOp::CmpLtu => u32::from(a < b),
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Mul => "mul",
+            AluOp::CmpEq => "cmpeq",
+            AluOp::CmpLt => "cmplt",
+            AluOp::CmpLtu => "cmpltu",
+        }
+    }
+}
+
+/// Floating-point operations over IEEE-754 single precision, stored in GPRs
+/// as raw bit patterns (the 88100 likewise shares its register file between
+/// integer and floating-point values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Single-precision addition.
+    FAdd,
+    /// Single-precision subtraction.
+    FSub,
+    /// Single-precision multiplication.
+    FMul,
+    /// Single-precision division.
+    FDiv,
+    /// Set-if-less-than over single-precision values.
+    FCmpLt,
+}
+
+impl FpOp {
+    /// All floating-point operations, for exhaustive testing.
+    pub const ALL: [FpOp; 5] = [FpOp::FAdd, FpOp::FSub, FpOp::FMul, FpOp::FDiv, FpOp::FCmpLt];
+
+    /// Applies the operation to two values given as raw f32 bit patterns,
+    /// returning a raw bit pattern (or a 0/1 flag for comparisons).
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+        match self {
+            FpOp::FAdd => (x + y).to_bits(),
+            FpOp::FSub => (x - y).to_bits(),
+            FpOp::FMul => (x * y).to_bits(),
+            FpOp::FDiv => (x / y).to_bits(),
+            FpOp::FCmpLt => u32::from(x < y),
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::FAdd => "fadd",
+            FpOp::FSub => "fsub",
+            FpOp::FMul => "fmul",
+            FpOp::FDiv => "fdiv",
+            FpOp::FCmpLt => "fcmplt",
+        }
+    }
+}
+
+/// Branch conditions, evaluated against a single source register
+/// (88100 `bcnd` style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if the register is zero.
+    Eq0,
+    /// Branch if the register is non-zero.
+    Ne0,
+    /// Branch if the register is negative (signed).
+    Lt0,
+    /// Branch if the register is non-negative (signed).
+    Ge0,
+    /// Branch if the register is strictly positive (signed).
+    Gt0,
+    /// Branch if the register is zero or negative (signed).
+    Le0,
+}
+
+impl Cond {
+    /// All branch conditions, for exhaustive testing.
+    pub const ALL: [Cond; 6] = [Cond::Eq0, Cond::Ne0, Cond::Lt0, Cond::Ge0, Cond::Gt0, Cond::Le0];
+
+    /// Evaluates the condition against a register value.
+    pub fn eval(self, v: u32) -> bool {
+        let s = v as i32;
+        match self {
+            Cond::Eq0 => s == 0,
+            Cond::Ne0 => s != 0,
+            Cond::Lt0 => s < 0,
+            Cond::Ge0 => s >= 0,
+            Cond::Gt0 => s > 0,
+            Cond::Le0 => s <= 0,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq0 => "eq0",
+            Cond::Ne0 => "ne0",
+            Cond::Lt0 => "lt0",
+            Cond::Ge0 => "ge0",
+            Cond::Gt0 => "gt0",
+            Cond::Le0 => "le0",
+        }
+    }
+}
+
+/// The second source operand of an ALU instruction: a register (making the
+/// instruction *triadic*, and therefore able to carry an [`NiCmd`]) or a
+/// 16-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand (triadic form).
+    Reg(Reg),
+    /// 16-bit immediate, zero-extended for logical operations and
+    /// sign-extended for arithmetic ones (see `Operand::extend`).
+    Imm(u16),
+}
+
+impl Operand {
+    /// Resolves the operand: immediates are extended according to the
+    /// consuming operation (arithmetic sign-extends, logical zero-extends,
+    /// as on the 88100).
+    pub fn extend(self, op: AluOp, regs: &dyn Fn(Reg) -> u32) -> u32 {
+        match self {
+            Operand::Reg(r) => regs(r),
+            Operand::Imm(imm) => match op {
+                AluOp::Add | AluOp::Sub | AluOp::Mul | AluOp::CmpLt => imm as i16 as i32 as u32,
+                _ => imm as u32,
+            },
+        }
+    }
+
+    /// Whether this operand makes the instruction triadic.
+    pub fn is_reg(self) -> bool {
+        matches!(self, Operand::Reg(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(value: Reg) -> Self {
+        Operand::Reg(value)
+    }
+}
+
+impl From<u16> for Operand {
+    fn from(value: u16) -> Self {
+        Operand::Imm(value)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i:#x}"),
+        }
+    }
+}
+
+/// Cycle-attribution class for a region of code, used by the evaluation
+/// harness to split program time into the three components of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CostClass {
+    /// Ordinary (non-message-passing) work.
+    #[default]
+    Compute,
+    /// Message dispatch: polling for and jumping to the handler.
+    Dispatch,
+    /// All other communication work: composing, sending, and receiving
+    /// message values.
+    Communication,
+}
+
+impl CostClass {
+    /// All cost classes.
+    pub const ALL: [CostClass; 3] = [CostClass::Compute, CostClass::Dispatch, CostClass::Communication];
+}
+
+impl fmt::Display for CostClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CostClass::Compute => "compute",
+            CostClass::Dispatch => "dispatch",
+            CostClass::Communication => "communication",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded instruction.
+///
+/// Branch and jump targets are absolute byte addresses (the assembler resolves
+/// labels). Every instruction occupies 4 bytes. Taken control transfers have a
+/// single architectural **delay slot**, as on the 88100; the `.n` (nullify)
+/// form is modelled by the assembler inserting an explicit `Nop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Integer ALU operation, optionally carrying an NI command when triadic.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source operand.
+        rs2: Operand,
+        /// NI command (register-mapped implementation only; must be
+        /// [`NiCmd::NONE`] unless `rs2` is a register).
+        ni: NiCmd,
+    },
+    /// Floating-point operation (always triadic).
+    Fp {
+        /// Operation.
+        op: FpOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+        /// NI command (register-mapped implementation only).
+        ni: NiCmd,
+    },
+    /// Load upper immediate: `rd = imm << 16` (88100 `or.u` with r0).
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate placed in the upper half-word.
+        imm: u16,
+    },
+    /// Word load: `rd = mem[rs1 + offset]`. The register-offset form is
+    /// triadic and may carry an NI command.
+    Ld {
+        /// Destination register.
+        rd: Reg,
+        /// Base register.
+        base: Reg,
+        /// Offset: immediate (sign-extended) or register.
+        off: Operand,
+        /// NI command (register-offset form only).
+        ni: NiCmd,
+    },
+    /// Word store: `mem[rs1 + offset] = rs`. Register-offset form is triadic.
+    St {
+        /// Source register (store data).
+        rs: Reg,
+        /// Base register.
+        base: Reg,
+        /// Offset: immediate (sign-extended) or register.
+        off: Operand,
+        /// NI command (register-offset form only).
+        ni: NiCmd,
+    },
+    /// Unconditional branch to an absolute byte address; one delay slot.
+    Br {
+        /// Absolute byte address of the target.
+        target: u32,
+    },
+    /// Conditional branch; one delay slot when taken and when not taken
+    /// (the slot instruction always executes, as on the 88100 non-`.n` form).
+    Bcnd {
+        /// Condition evaluated on `rs`.
+        cond: Cond,
+        /// Register tested.
+        rs: Reg,
+        /// Absolute byte address of the target.
+        target: u32,
+    },
+    /// Indirect jump to the byte address in `rs`; one delay slot. Triadic
+    /// (it reads a register), so it may carry an NI command — this is how the
+    /// register-mapped model dispatches with `jmp MsgIp` in one instruction.
+    Jmp {
+        /// Register holding the target byte address.
+        rs: Reg,
+        /// NI command (register-mapped implementation only).
+        ni: NiCmd,
+    },
+    /// Branch-and-link: saves the return address (next instruction after the
+    /// delay slot) into `r1` and branches; one delay slot.
+    Bsr {
+        /// Absolute byte address of the target.
+        target: u32,
+    },
+    /// Jump-and-link through a register; one delay slot.
+    Jsr {
+        /// Register holding the target byte address.
+        rs: Reg,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the processor (simulation artifact; real hardware would idle).
+    Halt,
+}
+
+impl Instr {
+    /// The NI command attached to the instruction, if any.
+    pub fn ni_cmd(&self) -> NiCmd {
+        match self {
+            Instr::Alu { ni, .. }
+            | Instr::Fp { ni, .. }
+            | Instr::Ld { ni, .. }
+            | Instr::St { ni, .. }
+            | Instr::Jmp { ni, .. } => *ni,
+            _ => NiCmd::NONE,
+        }
+    }
+
+    /// Whether the instruction is triadic (three-register form) and may
+    /// therefore legally carry an NI command in the register-mapped model.
+    pub fn is_triadic(&self) -> bool {
+        match self {
+            Instr::Alu { rs2, .. } => rs2.is_reg(),
+            Instr::Fp { .. } | Instr::Jmp { .. } => true,
+            Instr::Ld { off, .. } | Instr::St { off, .. } => off.is_reg(),
+            _ => false,
+        }
+    }
+
+    /// Whether the instruction transfers control (and therefore has a delay
+    /// slot).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Br { .. }
+                | Instr::Bcnd { .. }
+                | Instr::Jmp { .. }
+                | Instr::Bsr { .. }
+                | Instr::Jsr { .. }
+        )
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match self {
+            Instr::Alu { rd, .. } | Instr::Fp { rd, .. } | Instr::Lui { rd, .. } | Instr::Ld { rd, .. } => {
+                Some(*rd)
+            }
+            Instr::Bsr { .. } | Instr::Jsr { .. } => Some(Reg::R1),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction, in evaluation order.
+    /// Store data counts as a *late* operand (see `tcni-cpu` timing); it is
+    /// reported last.
+    pub fn sources(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(3);
+        match self {
+            Instr::Alu { rs1, rs2, .. } => {
+                v.push(*rs1);
+                if let Operand::Reg(r) = rs2 {
+                    v.push(*r);
+                }
+            }
+            Instr::Fp { rs1, rs2, .. } => {
+                v.push(*rs1);
+                v.push(*rs2);
+            }
+            Instr::Ld { base, off, .. } => {
+                v.push(*base);
+                if let Operand::Reg(r) = off {
+                    v.push(*r);
+                }
+            }
+            Instr::St { rs, base, off, .. } => {
+                v.push(*base);
+                if let Operand::Reg(r) = off {
+                    v.push(*r);
+                }
+                v.push(*rs); // late operand
+            }
+            Instr::Bcnd { rs, .. } => v.push(*rs),
+            Instr::Jmp { rs, .. } | Instr::Jsr { rs, .. } => v.push(*rs),
+            _ => {}
+        }
+        v
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ni_suffix(f: &mut fmt::Formatter<'_>, ni: &NiCmd) -> fmt::Result {
+            if !ni.is_noop() {
+                write!(f, ", {ni}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Instr::Alu { op, rd, rs1, rs2, ni } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())?;
+                ni_suffix(f, ni)
+            }
+            Instr::Fp { op, rd, rs1, rs2, ni } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())?;
+                ni_suffix(f, ni)
+            }
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Instr::Ld { rd, base, off, ni } => {
+                write!(f, "ld {rd}, [{base} + {off}]")?;
+                ni_suffix(f, ni)
+            }
+            Instr::St { rs, base, off, ni } => {
+                write!(f, "st {rs}, [{base} + {off}]")?;
+                ni_suffix(f, ni)
+            }
+            Instr::Br { target } => write!(f, "br {target:#x}"),
+            Instr::Bcnd { cond, rs, target } => {
+                write!(f, "bcnd.{} {rs}, {target:#x}", cond.mnemonic())
+            }
+            Instr::Jmp { rs, ni } => {
+                write!(f, "jmp {rs}")?;
+                ni_suffix(f, ni)
+            }
+            Instr::Bsr { target } => write!(f, "bsr {target:#x}"),
+            Instr::Jsr { rs } => write!(f, "jsr {rs}"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgType;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(3, u32::MAX), 2);
+        assert_eq!(AluOp::Sub.apply(3, 5), (-2i32) as u32);
+        assert_eq!(AluOp::Shl.apply(1, 33), 2); // shift amount masked
+        assert_eq!(AluOp::Sar.apply(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::CmpLt.apply((-1i32) as u32, 0), 1);
+        assert_eq!(AluOp::CmpLtu.apply((-1i32) as u32, 0), 0);
+    }
+
+    #[test]
+    fn fp_semantics() {
+        let two = 2.0f32.to_bits();
+        let three = 3.0f32.to_bits();
+        assert_eq!(f32::from_bits(FpOp::FMul.apply(two, three)), 6.0);
+        assert_eq!(FpOp::FCmpLt.apply(two, three), 1);
+        assert_eq!(FpOp::FCmpLt.apply(three, two), 0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        let neg = (-5i32) as u32;
+        assert!(Cond::Lt0.eval(neg));
+        assert!(!Cond::Ge0.eval(neg));
+        assert!(Cond::Eq0.eval(0));
+        assert!(Cond::Le0.eval(0));
+        assert!(Cond::Gt0.eval(7));
+    }
+
+    #[test]
+    fn triadic_detection() {
+        let triadic = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R2,
+            rs1: Reg::R3,
+            rs2: Operand::Reg(Reg::R4),
+            ni: NiCmd::NONE,
+        };
+        assert!(triadic.is_triadic());
+        let dyadic = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R2,
+            rs1: Reg::R3,
+            rs2: Operand::Imm(1),
+            ni: NiCmd::NONE,
+        };
+        assert!(!dyadic.is_triadic());
+        assert!(Instr::Jmp { rs: Reg::R2, ni: NiCmd::NONE }.is_triadic());
+    }
+
+    #[test]
+    fn sources_and_dest() {
+        let st = Instr::St {
+            rs: Reg::R5,
+            base: Reg::R6,
+            off: Operand::Imm(4),
+            ni: NiCmd::NONE,
+        };
+        assert_eq!(st.sources(), vec![Reg::R6, Reg::R5]);
+        assert_eq!(st.dest(), None);
+        let bsr = Instr::Bsr { target: 0x100 };
+        assert_eq!(bsr.dest(), Some(Reg::R1));
+    }
+
+    #[test]
+    fn ni_cmd_accessor() {
+        let i = Instr::Jmp {
+            rs: Reg::R29,
+            ni: NiCmd::next(),
+        };
+        assert!(i.ni_cmd().next);
+        assert_eq!(Instr::Nop.ni_cmd(), NiCmd::NONE);
+    }
+
+    #[test]
+    fn display_with_ni() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R17,
+            rs1: Reg::R21,
+            rs2: Operand::Reg(Reg::R22),
+            ni: NiCmd::send(MsgType::new(5).unwrap()).with_next(),
+        };
+        assert_eq!(i.to_string(), "add r17, r21, r22, SEND type=5, NEXT");
+    }
+}

@@ -1,0 +1,53 @@
+//! # tcni-isa — an 88100-flavoured RISC instruction set
+//!
+//! This crate is the instruction-set substrate for the TCNI reproduction of
+//! Henry & Joerg, *A Tightly-Coupled Processor-Network Interface* (ASPLOS
+//! 1992). The paper hand-writes message handlers for "the 88100 Motorola RISC
+//! processor — a typical RISC processor" and counts dynamic cycles; we instead
+//! define a compact, self-consistent RISC ISA in the same style, an assembler
+//! for it, and a binary encoding, so that handler costs can be *measured* by
+//! execution rather than hand-counted.
+//!
+//! The one architecturally novel feature, straight from §3.3 of the paper, is
+//! that every *triadic* (three-register) instruction carries an optional
+//! 7-bit **network-interface command field** ([`NiCmd`]): a 2-bit send mode
+//! (none / send / reply / forward), a 4-bit message type, and a NEXT bit.
+//! On the register-mapped NI implementation this lets a single instruction
+//! such as
+//!
+//! ```text
+//! add o1, i1, i2, SEND type=5, NEXT
+//! ```
+//!
+//! compute into an output register, send a message, and advance the input
+//! registers — the paper's headline mechanism.
+//!
+//! ## Example
+//!
+//! ```
+//! use tcni_isa::{Assembler, Reg};
+//!
+//! let mut a = Assembler::new();
+//! a.label("start");
+//! a.addi(Reg::R2, Reg::R0, 41);
+//! a.addi(Reg::R2, Reg::R2, 1);
+//! a.halt();
+//! let program = a.assemble().expect("assembles");
+//! assert_eq!(program.len(), 3);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod encode;
+mod instr;
+mod ni;
+mod program;
+mod reg;
+
+pub use asm::{AsmError, Assembler};
+pub use encode::{decode, encode, DecodeError, EncodeError};
+pub use instr::{AluOp, Cond, CostClass, FpOp, Instr, Operand};
+pub use ni::{MsgType, NiCmd, SendMode};
+pub use program::{Program, Region};
+pub use reg::Reg;

@@ -1,0 +1,312 @@
+//! The network-interface command surface shared between the instruction set
+//! and the NI device model.
+//!
+//! §3.3 of the paper encodes NI commands "into the unused bits of every
+//! triadic (three-register) 88100 instruction". The command occupies seven
+//! bits: a 2-bit send mode, a 4-bit message type, and a NEXT bit. The same
+//! seven bits of information are encoded into low-order *address* bits for the
+//! memory-mapped implementations (Figure 9); that encoding lives in
+//! `tcni-core` next to the device it controls.
+
+use std::fmt;
+
+/// A 4-bit message type, `0..=15`.
+///
+/// Types carry dispatch meaning in the optimized architecture (§2.2.1):
+/// type 0 marks messages that carry their handler's instruction pointer in
+/// word 1 (e.g. `Send` messages), and type 1 is architecturally disallowed —
+/// the dispatch hardware uses it to report exceptions (§2.2.4).
+///
+/// # Example
+///
+/// ```
+/// use tcni_isa::MsgType;
+/// let t = MsgType::new(7).unwrap();
+/// assert_eq!(t.bits(), 7);
+/// assert!(MsgType::new(16).is_none());
+/// assert!(MsgType::HANDLER_IN_MSG.is_handler_in_msg());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MsgType(u8);
+
+impl MsgType {
+    /// Type 0: the handler instruction pointer travels in word 1 of the
+    /// message itself (the paper's `Send` convention, §2.2.3).
+    pub const HANDLER_IN_MSG: MsgType = MsgType(0);
+
+    /// Type 1: reserved by the dispatch hardware for exception reporting
+    /// (§2.2.4). Messages of this type must never be sent.
+    pub const EXCEPTION: MsgType = MsgType(1);
+
+    /// Creates a message type from its 4-bit encoding, or `None` if
+    /// `bits > 15`.
+    pub fn new(bits: u8) -> Option<MsgType> {
+        (bits <= 0xF).then_some(MsgType(bits))
+    }
+
+    /// The 4-bit encoding.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is type 0 (handler IP supplied by the message).
+    pub fn is_handler_in_msg(self) -> bool {
+        self == Self::HANDLER_IN_MSG
+    }
+
+    /// Whether this is the architecturally disallowed exception type.
+    pub fn is_reserved_exception(self) -> bool {
+        self == Self::EXCEPTION
+    }
+
+    /// All sixteen message types.
+    pub fn all() -> impl Iterator<Item = MsgType> {
+        (0..16).map(MsgType)
+    }
+}
+
+impl fmt::Display for MsgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The send mode of an NI command (§2.2.2).
+///
+/// `Reply` and `Forward` are the paper's *fast reply/forward* optimization:
+/// the SEND command composes the outgoing message using certain **input**
+/// registers in place of output registers, removing explicit copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SendMode {
+    /// No send is performed.
+    #[default]
+    None,
+    /// Plain send: all five words come from the output registers.
+    Send,
+    /// Reply mode: words 0 and 1 come from input registers `i1`/`i2`
+    /// (the requester's continuation FP/IP), the rest from output registers.
+    Reply,
+    /// Forward mode: words 1..=4 come from input registers `i1..=i4`,
+    /// word 0 from `o0` (the new destination).
+    Forward,
+}
+
+impl SendMode {
+    /// The 2-bit encoding used both in triadic instructions and in
+    /// memory-mapped command addresses (Figure 9): `00` none, `01` send,
+    /// `10` reply, `11` forward.
+    pub fn bits(self) -> u8 {
+        match self {
+            SendMode::None => 0b00,
+            SendMode::Send => 0b01,
+            SendMode::Reply => 0b10,
+            SendMode::Forward => 0b11,
+        }
+    }
+
+    /// Decodes the 2-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    pub fn from_bits(bits: u8) -> SendMode {
+        match bits {
+            0b00 => SendMode::None,
+            0b01 => SendMode::Send,
+            0b10 => SendMode::Reply,
+            0b11 => SendMode::Forward,
+            _ => panic!("send mode encoding {bits} out of range"),
+        }
+    }
+
+    /// Whether any message is emitted.
+    pub fn sends(self) -> bool {
+        self != SendMode::None
+    }
+}
+
+impl fmt::Display for SendMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SendMode::None => "none",
+            SendMode::Send => "SEND",
+            SendMode::Reply => "SEND-reply",
+            SendMode::Forward => "SEND-forward",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 7-bit network-interface command carried by a triadic instruction
+/// (register-mapped implementation, §3.3) or encoded into address bits
+/// (memory-mapped implementations, Figure 9).
+///
+/// # Example
+///
+/// ```
+/// use tcni_isa::{MsgType, NiCmd, SendMode};
+///
+/// let cmd = NiCmd::send(MsgType::new(5).unwrap()).with_next();
+/// assert_eq!(cmd.mode, SendMode::Send);
+/// assert!(cmd.next);
+/// assert_eq!(NiCmd::from_bits(cmd.bits()), cmd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NiCmd {
+    /// Send mode (2 bits).
+    pub mode: SendMode,
+    /// Message type transmitted with the message (4 bits). Ignored unless
+    /// `mode` sends, and ignored by the *basic* architecture, which reads the
+    /// 32-bit handler id from message word 4 instead (§2.1.4).
+    pub mtype: MsgType,
+    /// Whether to pop the next message into the input registers (NEXT).
+    pub next: bool,
+}
+
+impl NiCmd {
+    /// A command that does nothing (all bits zero).
+    pub const NONE: NiCmd = NiCmd {
+        mode: SendMode::None,
+        mtype: MsgType(0),
+        next: false,
+    };
+
+    /// A plain SEND of the given type.
+    pub fn send(mtype: MsgType) -> NiCmd {
+        NiCmd {
+            mode: SendMode::Send,
+            mtype,
+            next: false,
+        }
+    }
+
+    /// A SEND in reply mode (§2.2.2).
+    pub fn reply(mtype: MsgType) -> NiCmd {
+        NiCmd {
+            mode: SendMode::Reply,
+            mtype,
+            next: false,
+        }
+    }
+
+    /// A SEND in forward mode (§2.2.2).
+    pub fn forward(mtype: MsgType) -> NiCmd {
+        NiCmd {
+            mode: SendMode::Forward,
+            mtype,
+            next: false,
+        }
+    }
+
+    /// A bare NEXT command.
+    pub fn next() -> NiCmd {
+        NiCmd {
+            mode: SendMode::None,
+            mtype: MsgType(0),
+            next: true,
+        }
+    }
+
+    /// Adds the NEXT bit to this command.
+    pub fn with_next(mut self) -> NiCmd {
+        self.next = true;
+        self
+    }
+
+    /// Whether the command has any effect.
+    pub fn is_noop(self) -> bool {
+        self == Self::NONE || (self.mode == SendMode::None && !self.next)
+    }
+
+    /// Packs the command into its 7-bit encoding:
+    /// bit 6 = NEXT, bits 5:4 = send mode, bits 3:0 = type.
+    pub fn bits(self) -> u8 {
+        (u8::from(self.next) << 6) | (self.mode.bits() << 4) | self.mtype.bits()
+    }
+
+    /// Unpacks a 7-bit encoding produced by [`NiCmd::bits`].
+    ///
+    /// Bits above 6 are ignored.
+    pub fn from_bits(bits: u8) -> NiCmd {
+        NiCmd {
+            next: bits & 0x40 != 0,
+            mode: SendMode::from_bits((bits >> 4) & 0b11),
+            mtype: MsgType(bits & 0xF),
+        }
+    }
+}
+
+impl fmt::Display for NiCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.mode.sends() {
+            write!(f, "{} type={}", self.mode, self.mtype)?;
+            first = false;
+        }
+        if self.next {
+            if !first {
+                f.write_str(", ")?;
+            }
+            f.write_str("NEXT")?;
+            first = false;
+        }
+        if first {
+            f.write_str("no-op")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_type_bounds() {
+        assert_eq!(MsgType::new(15).unwrap().bits(), 15);
+        assert!(MsgType::new(16).is_none());
+        assert_eq!(MsgType::all().count(), 16);
+    }
+
+    #[test]
+    fn send_mode_roundtrip() {
+        for mode in [
+            SendMode::None,
+            SendMode::Send,
+            SendMode::Reply,
+            SendMode::Forward,
+        ] {
+            assert_eq!(SendMode::from_bits(mode.bits()), mode);
+        }
+    }
+
+    #[test]
+    fn ni_cmd_bits_roundtrip() {
+        for next in [false, true] {
+            for mode_bits in 0..4u8 {
+                for ty in 0..16u8 {
+                    let cmd = NiCmd {
+                        next,
+                        mode: SendMode::from_bits(mode_bits),
+                        mtype: MsgType::new(ty).unwrap(),
+                    };
+                    assert_eq!(NiCmd::from_bits(cmd.bits()), cmd);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noop_detection() {
+        assert!(NiCmd::NONE.is_noop());
+        assert!(!NiCmd::next().is_noop());
+        assert!(!NiCmd::send(MsgType::HANDLER_IN_MSG).is_noop());
+    }
+
+    #[test]
+    fn display_formats() {
+        let cmd = NiCmd::reply(MsgType::new(7).unwrap()).with_next();
+        assert_eq!(cmd.to_string(), "SEND-reply type=7, NEXT");
+        assert_eq!(NiCmd::NONE.to_string(), "no-op");
+    }
+}

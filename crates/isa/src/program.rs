@@ -1,0 +1,194 @@
+//! Assembled programs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+use crate::instr::{CostClass, Instr};
+
+/// A half-open byte-address range tagged with a cycle-attribution class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Byte addresses covered by the region.
+    pub range: Range<u32>,
+    /// The class charged for cycles spent at these addresses.
+    pub class: CostClass,
+}
+
+/// An assembled program: a contiguous block of instructions, the label map,
+/// and cost-attribution regions.
+///
+/// Instructions are 4 bytes each; `base` is the byte address of the first
+/// instruction.
+///
+/// # Example
+///
+/// ```
+/// use tcni_isa::{Assembler, Reg};
+/// let mut a = Assembler::new();
+/// a.label("entry");
+/// a.nop();
+/// a.halt();
+/// let p = a.assemble().unwrap();
+/// assert_eq!(p.resolve("entry"), Some(0));
+/// assert!(p.fetch(0).is_some());
+/// assert!(p.fetch(8).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    base: u32,
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, u32>,
+    regions: Vec<Region>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        base: u32,
+        instrs: Vec<Instr>,
+        labels: BTreeMap<String, u32>,
+        regions: Vec<Region>,
+    ) -> Program {
+        Program {
+            base,
+            instrs,
+            labels,
+            regions,
+        }
+    }
+
+    /// The byte address of the first instruction.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Total size in bytes.
+    pub fn byte_len(&self) -> u32 {
+        (self.instrs.len() as u32) * 4
+    }
+
+    /// One past the last instruction's byte address.
+    pub fn end(&self) -> u32 {
+        self.base + self.byte_len()
+    }
+
+    /// Fetches the instruction at byte address `addr`, or `None` if the
+    /// address is outside the program or misaligned.
+    pub fn fetch(&self, addr: u32) -> Option<&Instr> {
+        if addr < self.base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        self.instrs.get(((addr - self.base) / 4) as usize)
+    }
+
+    /// The byte address of a label, if defined.
+    pub fn resolve(&self, label: &str) -> Option<u32> {
+        self.labels.get(label).copied()
+    }
+
+    /// All labels with their addresses, in name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The cost class of a byte address (last matching region wins;
+    /// [`CostClass::Compute`] when untagged).
+    pub fn cost_class(&self, addr: u32) -> CostClass {
+        self.regions
+            .iter()
+            .rev()
+            .find(|r| r.range.contains(&addr))
+            .map(|r| r.class)
+            .unwrap_or_default()
+    }
+
+    /// All attribution regions in definition order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Iterates over `(byte address, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Instr)> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(move |(i, ins)| (self.base + (i as u32) * 4, ins))
+    }
+
+    /// The raw instruction slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let by_addr: BTreeMap<u32, &str> = self.labels.iter().map(|(k, v)| (*v, k.as_str())).collect();
+        for (addr, ins) in self.iter() {
+            if let Some(name) = by_addr.get(&addr) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "  {addr:#06x}: {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Assembler, CostClass, Reg};
+
+    #[test]
+    fn fetch_and_bounds() {
+        let mut a = Assembler::with_base(0x100);
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.base(), 0x100);
+        assert_eq!(p.end(), 0x108);
+        assert!(p.fetch(0x100).is_some());
+        assert!(p.fetch(0x104).is_some());
+        assert!(p.fetch(0x108).is_none());
+        assert!(p.fetch(0x0).is_none());
+        assert!(p.fetch(0x102).is_none()); // misaligned
+    }
+
+    #[test]
+    fn cost_class_regions() {
+        let mut a = Assembler::new();
+        a.set_class(CostClass::Dispatch);
+        a.nop();
+        a.set_class(CostClass::Communication);
+        a.nop();
+        a.set_class(CostClass::Compute);
+        a.addi(Reg::R2, Reg::R0, 1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.cost_class(0), CostClass::Dispatch);
+        assert_eq!(p.cost_class(4), CostClass::Communication);
+        assert_eq!(p.cost_class(8), CostClass::Compute);
+        assert_eq!(p.cost_class(12), CostClass::Compute);
+    }
+
+    #[test]
+    fn display_lists_labels() {
+        let mut a = Assembler::new();
+        a.label("top");
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("top:"));
+        assert!(text.contains("nop"));
+    }
+}

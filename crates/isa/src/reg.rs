@@ -1,0 +1,173 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// `R0` is hardwired to zero, as on the 88100. On the register-mapped network
+/// interface implementation (§3.3 of the paper) registers `R16..=R30` alias
+/// the fifteen interface registers; that aliasing is defined by `tcni-core`
+/// and enforced by `tcni-sim` — at the ISA level they are ordinary registers.
+///
+/// # Example
+///
+/// ```
+/// use tcni_isa::Reg;
+/// let r = Reg::try_from(5u8).unwrap();
+/// assert_eq!(r, Reg::R5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+#[derive(Default)]
+pub enum Reg {
+    #[default]
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+        Reg::R16,
+        Reg::R17,
+        Reg::R18,
+        Reg::R19,
+        Reg::R20,
+        Reg::R21,
+        Reg::R22,
+        Reg::R23,
+        Reg::R24,
+        Reg::R25,
+        Reg::R26,
+        Reg::R27,
+        Reg::R28,
+        Reg::R29,
+        Reg::R30,
+        Reg::R31,
+    ];
+
+    /// The register's index, `0..=31`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns `true` for `R0`, whose value is architecturally always zero.
+    pub fn is_zero(self) -> bool {
+        self == Reg::R0
+    }
+}
+
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Error returned when converting an out-of-range index into a [`Reg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryFromRegError(pub(crate) u8);
+
+impl fmt::Display for TryFromRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range (0..=31)", self.0)
+    }
+}
+
+impl std::error::Error for TryFromRegError {}
+
+impl TryFrom<u8> for Reg {
+    type Error = TryFromRegError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Reg::ALL
+            .get(value as usize)
+            .copied()
+            .ok_or(TryFromRegError(value))
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(value: Reg) -> Self {
+        value as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::try_from(i as u8).unwrap(), *r);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Reg::try_from(32).is_err());
+        assert!(Reg::try_from(255).is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R31.to_string(), "r31");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests: binary encoding round-trips for arbitrary well-formed
+//! instructions, and the NI command bits survive every triadic encoding.
+
+use proptest::prelude::*;
+use tcni_isa::{decode, encode, AluOp, Cond, FpOp, Instr, MsgType, NiCmd, Operand, Reg, SendMode};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::try_from(i).unwrap())
+}
+
+fn arb_ni() -> impl Strategy<Value = NiCmd> {
+    (0u8..4, 0u8..16, any::<bool>()).prop_map(|(mode, ty, next)| NiCmd {
+        mode: SendMode::from_bits(mode),
+        mtype: MsgType::new(ty).unwrap(),
+        next,
+    })
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg(), arb_ni()).prop_map(
+            |(op, rd, rs1, rs2, ni)| Instr::Alu {
+                op,
+                rd,
+                rs1,
+                rs2: Operand::Reg(rs2),
+                ni,
+            }
+        ),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<u16>()).prop_map(|(op, rd, rs1, imm)| {
+            Instr::Alu {
+                op,
+                rd,
+                rs1,
+                rs2: Operand::Imm(imm),
+                ni: NiCmd::NONE,
+            }
+        }),
+        (
+            prop::sample::select(FpOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            arb_reg(),
+            arb_ni()
+        )
+            .prop_map(|(op, rd, rs1, rs2, ni)| Instr::Fp { op, rd, rs1, rs2, ni }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rd, base, imm)| Instr::Ld {
+            rd,
+            base,
+            off: Operand::Imm(imm),
+            ni: NiCmd::NONE,
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), arb_ni()).prop_map(|(rd, base, off, ni)| Instr::Ld {
+            rd,
+            base,
+            off: Operand::Reg(off),
+            ni,
+        }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs, base, imm)| Instr::St {
+            rs,
+            base,
+            off: Operand::Imm(imm),
+            ni: NiCmd::NONE,
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), arb_ni()).prop_map(|(rs, base, off, ni)| Instr::St {
+            rs,
+            base,
+            off: Operand::Reg(off),
+            ni,
+        }),
+        (0u32..(1 << 26)).prop_map(|w| Instr::Br { target: w * 4 }),
+        (
+            prop::sample::select(Cond::ALL.to_vec()),
+            arb_reg(),
+            0u32..(1 << 18)
+        )
+            .prop_map(|(cond, rs, w)| Instr::Bcnd {
+                cond,
+                rs,
+                target: w * 4
+            }),
+        (arb_reg(), arb_ni()).prop_map(|(rs, ni)| Instr::Jmp { rs, ni }),
+        (0u32..(1 << 26)).prop_map(|w| Instr::Bsr { target: w * 4 }),
+        arb_reg().prop_map(|rs| Instr::Jsr { rs }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let w = encode(&instr).expect("well-formed instructions always encode");
+        let back = decode(w).expect("encoded words always decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        let _ = decode(w);
+    }
+
+    #[test]
+    fn decode_encode_fixpoint(w in any::<u32>()) {
+        // Any word that decodes must re-encode to a word that decodes to the
+        // same instruction (the encoding may canonicalize ignored bits).
+        if let Ok(i) = decode(w) {
+            let w2 = encode(&i).expect("decoded instructions re-encode");
+            prop_assert_eq!(decode(w2).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn ni_cmd_survives_triadic(bits in 0u8..0x80, rd in arb_reg(), rs in arb_reg()) {
+        let ni = NiCmd::from_bits(bits);
+        let i = Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1: rs,
+            rs2: Operand::Reg(Reg::R0),
+            ni,
+        };
+        let back = decode(encode(&i).unwrap()).unwrap();
+        prop_assert_eq!(back.ni_cmd(), ni);
+    }
+}

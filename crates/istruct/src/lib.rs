@@ -1,0 +1,342 @@
+//! # tcni-istruct — I-structure memory
+//!
+//! I-structures (Arvind, Nikhil & Pingali, *I-Structures: Data Structures
+//! for Parallel Computing*, TOPLAS 1989 — reference \[ANP89\] of the paper)
+//! are write-once array slots with presence bits. They are the substrate
+//! behind the paper's `PRead`/`PWrite` messages:
+//!
+//! * a **PRead** of a *full* slot replies immediately;
+//! * a PRead of an *empty* slot is **deferred** — the reader's continuation
+//!   (frame pointer + instruction pointer) is queued on the slot;
+//! * a **PWrite** of an empty slot fills it; if readers were deferred, the
+//!   handler forwards the value to each of the *n* deferred readers (the
+//!   `15 + 6n` cost row of Table 1);
+//! * a second PWrite to the same slot is an error (write-once semantics).
+//!
+//! The statistics kept here — how many PReads found the slot full, empty, or
+//! already-deferred, and the deferred-reader counts satisfied by PWrites —
+//! are exactly the mix the paper measured with the Mint Monsoon simulator
+//! (§4.2.1) and that the Figure-12 cost model consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use tcni_istruct::{FetchOutcome, IStructure, Reader, StoreOutcome};
+//!
+//! let mut m = IStructure::new(4);
+//! let reader = Reader { fp: 0x100, ip: 0x40 };
+//! // Reading an empty slot defers the reader…
+//! assert_eq!(m.fetch(2, reader), FetchOutcome::Deferred);
+//! // …and the write satisfies it.
+//! match m.store(2, 99).unwrap() {
+//!     StoreOutcome::SatisfiedDeferred(rs) => assert_eq!(rs, vec![reader]),
+//!     other => panic!("expected deferred readers, got {other:?}"),
+//! }
+//! assert_eq!(m.fetch(2, reader), FetchOutcome::Value(99));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A deferred reader's continuation: where to send the value once written.
+///
+/// In the message protocol these are the FP/IP pair the PRead request
+/// carried (Figure 3 of the paper); the FP's high bits address the reader's
+/// node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reader {
+    /// Frame pointer of the thread awaiting the value.
+    pub fp: u32,
+    /// Instruction pointer of that thread's receive handler.
+    pub ip: u32,
+}
+
+/// One I-structure slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum Slot {
+    /// Never written, no waiting readers.
+    #[default]
+    Empty,
+    /// Written once.
+    Full(u32),
+    /// Not yet written; readers waiting.
+    Deferred(Vec<Reader>),
+}
+
+/// Result of a fetch (PRead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The slot was full: the value is available immediately.
+    Value(u32),
+    /// The slot was empty or already deferred: the reader has been queued.
+    Deferred,
+}
+
+/// Result of a successful store (PWrite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The slot was empty: value recorded, nobody was waiting.
+    FilledEmpty,
+    /// The slot had deferred readers: value recorded, and these readers must
+    /// now be sent the value (in deferral order).
+    SatisfiedDeferred(Vec<Reader>),
+}
+
+/// Error: I-structure slots are write-once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultipleWriteError {
+    /// The slot index written twice.
+    pub index: usize,
+    /// The value already present.
+    pub existing: u32,
+    /// The value the failed write carried.
+    pub attempted: u32,
+}
+
+impl fmt::Display for MultipleWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "multiple write to I-structure slot {} (holds {:#x}, attempted {:#x})",
+            self.index, self.existing, self.attempted
+        )
+    }
+}
+
+impl std::error::Error for MultipleWriteError {}
+
+/// Counters matching the handler variants of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IStructStats {
+    /// PReads that found the slot full (immediate reply).
+    pub fetch_full: u64,
+    /// PReads that found the slot empty (first deferral).
+    pub fetch_empty: u64,
+    /// PReads that found the slot already deferred (appended).
+    pub fetch_deferred: u64,
+    /// PWrites that filled an empty slot.
+    pub store_empty: u64,
+    /// PWrites that satisfied deferred readers.
+    pub store_deferred_events: u64,
+    /// Total readers satisfied by deferred-satisfying PWrites (the Σn of the
+    /// `15 + 6n` row).
+    pub store_deferred_readers: u64,
+}
+
+impl IStructStats {
+    /// Total fetches.
+    pub fn fetches(&self) -> u64 {
+        self.fetch_full + self.fetch_empty + self.fetch_deferred
+    }
+
+    /// Total stores.
+    pub fn stores(&self) -> u64 {
+        self.store_empty + self.store_deferred_events
+    }
+}
+
+impl std::ops::AddAssign for IStructStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.fetch_full += rhs.fetch_full;
+        self.fetch_empty += rhs.fetch_empty;
+        self.fetch_deferred += rhs.fetch_deferred;
+        self.store_empty += rhs.store_empty;
+        self.store_deferred_events += rhs.store_deferred_events;
+        self.store_deferred_readers += rhs.store_deferred_readers;
+    }
+}
+
+/// An array of write-once slots with presence bits and deferred-reader
+/// queues.
+#[derive(Debug, Clone, Default)]
+pub struct IStructure {
+    slots: Vec<Slot>,
+    stats: IStructStats,
+}
+
+impl IStructure {
+    /// Creates an I-structure of `len` empty slots.
+    pub fn new(len: usize) -> IStructure {
+        IStructure {
+            slots: vec![Slot::Empty; len],
+            stats: IStructStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the structure has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> IStructStats {
+        self.stats
+    }
+
+    /// Whether a slot currently holds a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn is_full(&self, index: usize) -> bool {
+        matches!(self.slots[index], Slot::Full(_))
+    }
+
+    /// Number of readers currently deferred on a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn deferred_count(&self, index: usize) -> usize {
+        match &self.slots[index] {
+            Slot::Deferred(rs) => rs.len(),
+            _ => 0,
+        }
+    }
+
+    /// Performs a PRead: returns the value if present, otherwise defers
+    /// `reader` on the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn fetch(&mut self, index: usize, reader: Reader) -> FetchOutcome {
+        match &mut self.slots[index] {
+            Slot::Full(v) => {
+                self.stats.fetch_full += 1;
+                FetchOutcome::Value(*v)
+            }
+            slot @ Slot::Empty => {
+                self.stats.fetch_empty += 1;
+                *slot = Slot::Deferred(vec![reader]);
+                FetchOutcome::Deferred
+            }
+            Slot::Deferred(rs) => {
+                self.stats.fetch_deferred += 1;
+                rs.push(reader);
+                FetchOutcome::Deferred
+            }
+        }
+    }
+
+    /// Performs a PWrite: fills the slot and releases any deferred readers.
+    ///
+    /// # Errors
+    ///
+    /// [`MultipleWriteError`] if the slot is already full (the value is left
+    /// unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn store(&mut self, index: usize, value: u32) -> Result<StoreOutcome, MultipleWriteError> {
+        match std::mem::take(&mut self.slots[index]) {
+            Slot::Empty => {
+                self.slots[index] = Slot::Full(value);
+                self.stats.store_empty += 1;
+                Ok(StoreOutcome::FilledEmpty)
+            }
+            Slot::Deferred(readers) => {
+                self.slots[index] = Slot::Full(value);
+                self.stats.store_deferred_events += 1;
+                self.stats.store_deferred_readers += readers.len() as u64;
+                Ok(StoreOutcome::SatisfiedDeferred(readers))
+            }
+            Slot::Full(existing) => {
+                self.slots[index] = Slot::Full(existing);
+                Err(MultipleWriteError {
+                    index,
+                    existing,
+                    attempted: value,
+                })
+            }
+        }
+    }
+
+    /// Reads a slot's value without presence semantics (test/debug helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn peek(&self, index: usize) -> Option<u32> {
+        match self.slots[index] {
+            Slot::Full(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd(n: u32) -> Reader {
+        Reader { fp: n, ip: n * 2 }
+    }
+
+    #[test]
+    fn fetch_after_store_is_immediate() {
+        let mut m = IStructure::new(2);
+        m.store(0, 7).unwrap();
+        assert_eq!(m.fetch(0, rd(1)), FetchOutcome::Value(7));
+        assert_eq!(m.stats().fetch_full, 1);
+    }
+
+    #[test]
+    fn deferral_order_is_fifo() {
+        let mut m = IStructure::new(1);
+        assert_eq!(m.fetch(0, rd(1)), FetchOutcome::Deferred);
+        assert_eq!(m.fetch(0, rd(2)), FetchOutcome::Deferred);
+        assert_eq!(m.fetch(0, rd(3)), FetchOutcome::Deferred);
+        assert_eq!(m.deferred_count(0), 3);
+        let out = m.store(0, 42).unwrap();
+        assert_eq!(
+            out,
+            StoreOutcome::SatisfiedDeferred(vec![rd(1), rd(2), rd(3)])
+        );
+        let s = m.stats();
+        assert_eq!(s.fetch_empty, 1);
+        assert_eq!(s.fetch_deferred, 2);
+        assert_eq!(s.store_deferred_events, 1);
+        assert_eq!(s.store_deferred_readers, 3);
+    }
+
+    #[test]
+    fn multiple_write_rejected_and_preserves_value() {
+        let mut m = IStructure::new(1);
+        m.store(0, 1).unwrap();
+        let err = m.store(0, 2).unwrap_err();
+        assert_eq!(err.existing, 1);
+        assert_eq!(err.attempted, 2);
+        assert_eq!(m.peek(0), Some(1));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn store_to_empty_is_quiet() {
+        let mut m = IStructure::new(1);
+        assert_eq!(m.store(0, 5).unwrap(), StoreOutcome::FilledEmpty);
+        assert_eq!(m.stats().store_empty, 1);
+        assert!(m.is_full(0));
+    }
+
+    #[test]
+    fn stats_totals_and_merge() {
+        let mut m = IStructure::new(4);
+        m.store(0, 1).unwrap();
+        m.fetch(0, rd(9));
+        m.fetch(1, rd(9));
+        m.store(1, 2).unwrap();
+        let mut s = m.stats();
+        assert_eq!(s.fetches(), 2);
+        assert_eq!(s.stores(), 2);
+        s += m.stats();
+        assert_eq!(s.fetches(), 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! # tcni-net — interconnection-network substrate
+//!
+//! The network models for the TCNI reproduction of Henry & Joerg (ASPLOS
+//! 1992). The paper's flow-control story (§2.1.1) needs a network with
+//! finite buffering: "If the receiving processor does not process messages as
+//! fast as the network delivers them, its input message queue backs up into
+//! the network. As the network becomes clogged, processors can no longer
+//! transmit messages and eventually their output queues fill up."
+//!
+//! Two implementations are provided behind the [`Network`] trait:
+//!
+//! * [`IdealNetwork`] — fixed-latency, contention-free delivery; used where
+//!   the paper's methodology explicitly excludes network effects (the
+//!   Figure-12 accounting) and for functional tests;
+//! * [`Mesh2d`] — a 2-D mesh with XY dimension-order routing, one packet per
+//!   link per cycle, finite per-channel FIFOs, and credit-style
+//!   backpressure all the way into the sender's output queue; used by the
+//!   saturation/boundary-condition experiments.
+//!
+//! Both preserve point-to-point ordering between any source/destination
+//! pair, which the SCROLL (variable-length message) extension of §2.1.2
+//! relies on.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ideal;
+mod mesh;
+mod stats;
+
+pub use ideal::IdealNetwork;
+pub use mesh::{Mesh2d, MeshConfig};
+pub use stats::NetStats;
+
+use tcni_core::{Message, NodeId};
+
+/// A message-delivery fabric connecting the nodes' network interfaces.
+///
+/// The machine simulator drives it with a three-phase cycle: `inject` drains
+/// NI output queues (refusals back-pressure into them), [`tick`](Network::tick)
+/// advances packets, and `peek_eject`/`eject` fill NI input queues (refusals
+/// leave messages in the network).
+pub trait Network {
+    /// Number of attached nodes.
+    fn node_count(&self) -> usize;
+
+    /// Offers a message for injection at `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(msg)` when the injection buffer is full; the caller must
+    /// keep the message queued and retry — this is the boundary where
+    /// congestion backs up into the sender's output queue.
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), Message>;
+
+    /// The message ready for delivery at `dst` this cycle, if any.
+    fn peek_eject(&self, dst: NodeId) -> Option<&Message>;
+
+    /// Removes and returns the message ready at `dst`.
+    fn eject(&mut self, dst: NodeId) -> Option<Message>;
+
+    /// Advances the fabric by one cycle.
+    fn tick(&mut self);
+
+    /// Messages currently inside the fabric (injected, not yet ejected).
+    fn in_flight(&self) -> usize;
+
+    /// Delivery statistics.
+    fn stats(&self) -> NetStats;
+}

@@ -1,0 +1,57 @@
+//! Network delivery statistics.
+
+use std::fmt;
+
+/// Counters common to all [`crate::Network`] implementations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted for injection.
+    pub injected: u64,
+    /// Messages delivered (ejected).
+    pub delivered: u64,
+    /// Injections refused because the entry buffer was full.
+    pub inject_refusals: u64,
+    /// Sum of per-message latencies (inject→eject), in cycles.
+    pub total_latency: u64,
+    /// Packet moves blocked by a full downstream buffer (contention measure;
+    /// always zero for the ideal network).
+    pub blocked_hops: u64,
+    /// High-water mark of in-flight messages.
+    pub in_flight_hwm: usize,
+}
+
+impl NetStats {
+    /// Mean delivery latency in cycles, or `None` before any delivery.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.total_latency as f64 / self.delivered as f64)
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net(injected={} delivered={} refusals={} mean_latency={:.2} blocked={} hwm={})",
+            self.injected,
+            self.delivered,
+            self.inject_refusals,
+            self.mean_latency().unwrap_or(0.0),
+            self.blocked_hops,
+            self.in_flight_hwm,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency() {
+        let mut s = NetStats::default();
+        assert_eq!(s.mean_latency(), None);
+        s.delivered = 4;
+        s.total_latency = 10;
+        assert_eq!(s.mean_latency(), Some(2.5));
+    }
+}

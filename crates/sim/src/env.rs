@@ -1,0 +1,349 @@
+//! The per-node processor environment: glues a CPU to its local memory and
+//! network interface according to the model's mapping.
+
+use tcni_core::mapping::{alias_of, NiAddress};
+use tcni_core::{NetworkInterface, NiError, SendOutcome};
+use tcni_cpu::{AccessKind, Env, EnvFault, MemEnv};
+use tcni_isa::{NiCmd, Reg};
+
+use crate::model::NiMapping;
+
+/// Environment for one simulation step of one node.
+///
+/// Borrows the node's memory and interface; constructed afresh each step by
+/// [`crate::Node`].
+pub struct NodeEnv<'a> {
+    /// Local data memory.
+    pub mem: &'a mut MemEnv,
+    /// The node's network interface.
+    pub ni: &'a mut NetworkInterface,
+    /// How the interface is attached (§3).
+    pub mapping: NiMapping,
+}
+
+impl NodeEnv<'_> {
+    /// Pre-checks and side effects for the SCROLL bit of a memory-mapped
+    /// access (§2.1.2 extension). Returns `Stall` when a SCROLL-IN must wait
+    /// for a flit still in the network, *before* any side effects.
+    fn pre_check_scroll(&mut self, nia: &NiAddress) -> Result<(), EnvFault> {
+        if !nia.scroll {
+            return Ok(());
+        }
+        if nia.cmd.next {
+            return Err(EnvFault::fault("SCROLL combined with NEXT is undefined"));
+        }
+        if nia.cmd.mode.sends() {
+            if self.ni.send_would_stall() {
+                return Err(EnvFault::Stall);
+            }
+        } else if !self.ni.scroll_in_ready() {
+            // Wait for the continuation flit (or fault if the message has no
+            // continuation at all — that is a protocol bug, but the hardware
+            // cannot distinguish it from a late flit, so it waits).
+            return Err(EnvFault::Stall);
+        }
+        Ok(())
+    }
+
+    fn apply_scroll(&mut self, nia: &NiAddress) -> Result<(), EnvFault> {
+        if !nia.scroll {
+            return Ok(());
+        }
+        if nia.cmd.mode.sends() {
+            match self.ni.scroll_out(nia.cmd.mtype) {
+                Ok(tcni_core::SendOutcome::Sent) | Ok(tcni_core::SendOutcome::Overflowed) => Ok(()),
+                Ok(tcni_core::SendOutcome::Stalled) => {
+                    Err(EnvFault::fault("SCROLL-OUT stalled after readiness check"))
+                }
+                Err(e) => Err(EnvFault::fault(format!("SCROLL-OUT rejected: {e}"))),
+            }
+        } else {
+            self.ni
+                .scroll_in()
+                .map_err(|e| EnvFault::fault(format!("SCROLL-IN failed after readiness check: {e}")))
+        }
+    }
+
+    /// Executes the command half of an access: SEND first (it reads the
+    /// input registers), then NEXT (which replaces them) — the ordering that
+    /// makes `SEND-reply, NEXT` meaningful in a single instruction.
+    fn apply_cmd(&mut self, cmd: NiCmd) -> Result<(), EnvFault> {
+        if cmd.mode.sends() {
+            match self.ni.send(cmd.mode, cmd.mtype) {
+                Ok(SendOutcome::Sent) | Ok(SendOutcome::Overflowed) => {}
+                Ok(SendOutcome::Stalled) => {
+                    // The caller pre-checks send_would_stall; reaching here
+                    // means side effects may already be applied, so surface a
+                    // model error rather than retrying unsoundly.
+                    return Err(EnvFault::fault("SEND stalled after readiness check"));
+                }
+                Err(NiError::ReservedType) => {
+                    // Architectural: the exception is latched in STATUS and
+                    // dispatched through the type-1 slot; execution continues.
+                }
+                Err(e) => return Err(EnvFault::fault(format!("SEND rejected: {e}"))),
+            }
+        }
+        if cmd.next {
+            self.ni.next();
+        }
+        Ok(())
+    }
+
+    fn ni_window_access(&self) -> Result<(), EnvFault> {
+        if self.mapping.is_memory_mapped() {
+            Ok(())
+        } else {
+            Err(EnvFault::fault(
+                "memory-mapped NI access on the register-file implementation",
+            ))
+        }
+    }
+}
+
+impl Env for NodeEnv<'_> {
+    fn mem_read(&mut self, addr: u32) -> Result<u32, EnvFault> {
+        let Some(nia) = NiAddress::decode(addr) else {
+            // Local decoder ignores the node field of global addresses.
+            return self.mem.mem_read(addr & tcni_core::mapping::LOCAL_ADDR_MASK);
+        };
+        self.ni_window_access()?;
+        if nia.cmd.mode.sends() && self.ni.send_would_stall() {
+            return Err(EnvFault::Stall);
+        }
+        self.pre_check_scroll(&nia)?;
+        let value = match nia.reg {
+            Some(r) => self
+                .ni
+                .read_reg(r)
+                .map_err(|e| EnvFault::fault(format!("NI register read: {e}")))?,
+            None => 0,
+        };
+        if nia.scroll {
+            self.apply_scroll(&nia)?;
+        } else {
+            self.apply_cmd(nia.cmd)?;
+        }
+        Ok(value)
+    }
+
+    fn mem_write(&mut self, addr: u32, value: u32) -> Result<(), EnvFault> {
+        let Some(nia) = NiAddress::decode(addr) else {
+            return self
+                .mem
+                .mem_write(addr & tcni_core::mapping::LOCAL_ADDR_MASK, value);
+        };
+        self.ni_window_access()?;
+        if nia.cmd.mode.sends() && self.ni.send_would_stall() {
+            return Err(EnvFault::Stall);
+        }
+        self.pre_check_scroll(&nia)?;
+        if let Some(r) = nia.reg {
+            self.ni
+                .write_reg(r, value)
+                .map_err(|e| EnvFault::fault(format!("NI register write: {e}")))?;
+        }
+        if nia.scroll {
+            self.apply_scroll(&nia)
+        } else {
+            self.apply_cmd(nia.cmd)
+        }
+    }
+
+    fn access_kind(&self, addr: u32) -> AccessKind {
+        if NiAddress::matches(addr) {
+            match self.mapping {
+                NiMapping::OffChipCache => AccessKind::NiOffChip,
+                NiMapping::OnChipCache => AccessKind::NiOnChip,
+                // No memory window exists, but classify sanely anyway.
+                NiMapping::RegisterFile => AccessKind::Local,
+            }
+        } else {
+            AccessKind::Local
+        }
+    }
+
+    fn reg_read_override(&mut self, reg: Reg) -> Option<u32> {
+        if self.mapping != NiMapping::RegisterFile {
+            return None;
+        }
+        let ir = alias_of(reg)?;
+        // Registers absent at this feature level (e.g. MsgIp on the basic
+        // architecture) fall back to the ordinary register file.
+        self.ni.read_reg(ir).ok()
+    }
+
+    fn reg_write_override(&mut self, reg: Reg, value: u32) -> Result<bool, EnvFault> {
+        if self.mapping != NiMapping::RegisterFile {
+            return Ok(false);
+        }
+        let Some(ir) = alias_of(reg) else {
+            return Ok(false);
+        };
+        match self.ni.write_reg(ir, value) {
+            Ok(()) => Ok(true),
+            // Absent at this feature level: plain GPR behaviour.
+            Err(NiError::FeatureDisabled { .. }) => Ok(false),
+            Err(e) => Err(EnvFault::fault(format!("NI register write: {e}"))),
+        }
+    }
+
+    fn ni_ready(&mut self, cmd: NiCmd) -> bool {
+        if self.mapping != NiMapping::RegisterFile {
+            return true; // exec_ni will fault; don't mask the bug as a stall
+        }
+        !(cmd.mode.sends() && self.ni.send_would_stall())
+    }
+
+    fn exec_ni(&mut self, cmd: NiCmd) -> Result<(), EnvFault> {
+        if cmd.is_noop() {
+            return Ok(());
+        }
+        if self.mapping != NiMapping::RegisterFile {
+            return Err(EnvFault::fault(
+                "NI instruction bits on a memory-mapped implementation",
+            ));
+        }
+        self.apply_cmd(cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcni_core::mapping::{cmd_addr, reg_addr};
+    use tcni_core::{InterfaceReg, Message, MsgType, NiConfig};
+
+    fn parts() -> (MemEnv, NetworkInterface) {
+        (MemEnv::new(256), NetworkInterface::new(NiConfig::default()))
+    }
+
+    #[test]
+    fn plain_memory_passes_through() {
+        let (mut mem, mut ni) = parts();
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni,
+            mapping: NiMapping::OffChipCache,
+        };
+        env.mem_write(8, 77).unwrap();
+        assert_eq!(env.mem_read(8).unwrap(), 77);
+        assert_eq!(env.access_kind(8), AccessKind::Local);
+    }
+
+    #[test]
+    fn memory_mapped_store_with_send_and_next() {
+        let (mut mem, mut ni) = parts();
+        ni.push_incoming(Message::new([5, 6, 7, 8, 9], MsgType::new(3).unwrap()))
+            .unwrap(); // → input registers
+        ni.push_incoming(Message::new([50, 60, 70, 80, 90], MsgType::new(3).unwrap()))
+            .unwrap(); // queued behind
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni,
+            mapping: NiMapping::OnChipCache,
+        };
+        // One store: writes o0, SENDs type 2, NEXTs.
+        let addr = cmd_addr(
+            InterfaceReg::O0,
+            tcni_isa::NiCmd::send(MsgType::new(2).unwrap()).with_next(),
+        );
+        env.mem_write(addr, 0xAA).unwrap();
+        let sent = ni.pop_outgoing().unwrap();
+        assert_eq!(sent.words[0], 0xAA);
+        assert_eq!(sent.mtype.bits(), 2);
+        assert!(ni.msg_valid(), "NEXT advanced the queued message");
+        assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 50);
+    }
+
+    #[test]
+    fn memory_mapped_load_returns_old_value_before_next() {
+        let (mut mem, mut ni) = parts();
+        ni.push_incoming(Message::new([1, 2, 3, 4, 5], MsgType::new(3).unwrap()))
+            .unwrap();
+        ni.push_incoming(Message::new([10, 20, 30, 40, 50], MsgType::new(3).unwrap()))
+            .unwrap();
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni,
+            mapping: NiMapping::OffChipCache,
+        };
+        let addr = cmd_addr(InterfaceReg::I1, tcni_isa::NiCmd::next());
+        // Load i1 of the *current* message, then advance.
+        assert_eq!(env.mem_read(addr).unwrap(), 2);
+        assert_eq!(ni.read_reg(InterfaceReg::I1).unwrap(), 20);
+    }
+
+    #[test]
+    fn register_file_mapping_rejects_window() {
+        let (mut mem, mut ni) = parts();
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni,
+            mapping: NiMapping::RegisterFile,
+        };
+        assert!(env.mem_read(reg_addr(InterfaceReg::I0)).is_err());
+    }
+
+    #[test]
+    fn register_aliases_route_to_ni() {
+        let (mut mem, mut ni) = parts();
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni,
+            mapping: NiMapping::RegisterFile,
+        };
+        // r16 = o0
+        assert!(env.reg_write_override(Reg::R16, 0x99).unwrap());
+        assert_eq!(env.reg_read_override(Reg::R16), Some(0x99));
+        // r2 is a plain GPR
+        assert_eq!(env.reg_read_override(Reg::R2), None);
+        assert!(!env.reg_write_override(Reg::R2, 1).unwrap());
+        // r21 = i0 is read-only: writing is a program bug
+        assert!(env.reg_write_override(Reg::R21, 1).is_err());
+    }
+
+    #[test]
+    fn send_stall_precheck() {
+        let (mut mem, _) = parts();
+        let cfg = NiConfig {
+            output_capacity: 1,
+            ..NiConfig::default()
+        };
+        let mut ni_small = NetworkInterface::new(cfg);
+        let mut env = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni_small,
+            mapping: NiMapping::RegisterFile,
+        };
+        let send = tcni_isa::NiCmd::send(MsgType::new(2).unwrap());
+        assert!(env.ni_ready(send));
+        env.exec_ni(send).unwrap();
+        assert!(!env.ni_ready(send), "full queue under stall policy");
+        // Memory-mapped flavour of the same check:
+        let mut env2 = NodeEnv {
+            mem: &mut mem,
+            ni: &mut ni_small,
+            mapping: NiMapping::OnChipCache,
+        };
+        let addr = cmd_addr(InterfaceReg::O0, send);
+        assert_eq!(env2.mem_write(addr, 1), Err(EnvFault::Stall));
+    }
+
+    #[test]
+    fn access_kind_by_mapping() {
+        let (mut mem, mut ni) = parts();
+        let addr = reg_addr(InterfaceReg::Status);
+        for (mapping, kind) in [
+            (NiMapping::OffChipCache, AccessKind::NiOffChip),
+            (NiMapping::OnChipCache, AccessKind::NiOnChip),
+        ] {
+            let env = NodeEnv {
+                mem: &mut mem,
+                ni: &mut ni,
+                mapping,
+            };
+            assert_eq!(env.access_kind(addr), kind);
+        }
+    }
+}

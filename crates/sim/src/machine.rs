@@ -1,0 +1,338 @@
+//! The multicomputer: nodes co-simulated with a network, cycle by cycle.
+
+use tcni_core::{FeatureLevel, NiConfig, NodeId};
+use tcni_cpu::TimingConfig;
+use tcni_isa::Program;
+use tcni_net::{IdealNetwork, Mesh2d, MeshConfig, NetStats, Network};
+
+use crate::model::{Model, NiMapping};
+use crate::node::Node;
+use crate::trace::{Trace, TraceEvent};
+
+/// Why a [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every processor stopped and no messages remain anywhere.
+    Quiescent,
+    /// Every processor stopped but messages remain in flight or queued
+    /// (usually a protocol bug in the loaded programs).
+    StoppedWithTraffic,
+    /// The cycle budget ran out first.
+    CycleLimit,
+}
+
+/// A complete simulated multicomputer.
+///
+/// Each global cycle: every processor steps once; interfaces offer their
+/// oldest outgoing message to the network (refusals stay queued —
+/// backpressure, §2.1.1); the network advances one cycle; arrived messages
+/// move into interfaces that can accept them.
+///
+/// # Example
+///
+/// ```
+/// use tcni_isa::{Assembler, Reg};
+/// use tcni_sim::{MachineBuilder, Model, RunOutcome};
+///
+/// let mut a = Assembler::new();
+/// a.addi(Reg::R2, Reg::R0, 7);
+/// a.halt();
+/// let p = a.assemble().unwrap();
+///
+/// let mut machine = MachineBuilder::new(2)
+///     .model(Model::ALL_SIX[0])
+///     .program_all(p)
+///     .build();
+/// assert_eq!(machine.run(100), RunOutcome::Quiescent);
+/// assert_eq!(machine.node(0).cpu().reg(Reg::R2), 7);
+/// ```
+pub struct Machine {
+    nodes: Vec<Node>,
+    net: Box<dyn Network>,
+    cycle: u64,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Elapsed global cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// A node by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Mutable node access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Messages currently inside the network fabric.
+    pub fn net_in_flight(&self) -> usize {
+        self.net.in_flight()
+    }
+
+    /// Enables event tracing with the given capacity (see [`Trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Advances the whole machine one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        // Phase 1: processors execute.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let was_running = !node.is_stopped();
+            node.step();
+            if was_running && node.is_stopped() {
+                if let Some(t) = self.trace.as_mut() {
+                    match node.cpu_state() {
+                        tcni_cpu::CpuState::Halted => {
+                            t.record(TraceEvent::Halted { cycle, node: i });
+                        }
+                        tcni_cpu::CpuState::Faulted { reason, .. } => {
+                            t.record(TraceEvent::Faulted {
+                                cycle,
+                                node: i,
+                                reason: reason.clone(),
+                            });
+                        }
+                        tcni_cpu::CpuState::Running => {}
+                    }
+                }
+            }
+        }
+        // Phase 2: interfaces → network (one injection attempt per node).
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let src = NodeId::new(i as u8);
+            let ni = node.ni_mut();
+            if let Some(msg) = ni.peek_outgoing().copied() {
+                if self.net.inject(src, msg).is_ok() {
+                    ni.pop_outgoing();
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Sent { cycle, node: i, msg });
+                    }
+                }
+            }
+        }
+        // Phase 3: the fabric advances.
+        self.net.tick();
+        // Phase 4: network → interfaces (drain whatever fits).
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let dst = NodeId::new(i as u8);
+            let ni = node.ni_mut();
+            while let Some(peeked) = self.net.peek_eject(dst) {
+                if !ni.can_accept(peeked) {
+                    break; // backpressure: leave it in the network
+                }
+                let msg = self.net.eject(dst).expect("peeked");
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent::Delivered { cycle, node: i, msg });
+                }
+                ni.push_incoming(msg).expect("can_accept checked");
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Whether every processor has stopped and all message state is empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes.iter().all(Node::is_quiescent) && self.net.in_flight() == 0
+    }
+
+    /// Runs until every processor stops (halt or fault) or `max_cycles`
+    /// elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let limit = self.cycle + max_cycles;
+        while self.cycle < limit {
+            if self.nodes.iter().all(Node::is_stopped) {
+                return if self.is_quiescent() {
+                    RunOutcome::Quiescent
+                } else {
+                    RunOutcome::StoppedWithTraffic
+                };
+            }
+            self.step();
+        }
+        if self.nodes.iter().all(Node::is_stopped) && self.is_quiescent() {
+            RunOutcome::Quiescent
+        } else {
+            RunOutcome::CycleLimit
+        }
+    }
+}
+
+/// Which network fabric a [`MachineBuilder`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetChoice {
+    Ideal {
+        latency: u64,
+    },
+    Mesh(MeshConfig),
+}
+
+/// Builds a [`Machine`].
+///
+/// Defaults: optimized register-mapped model, paper timing (2-cycle off-chip
+/// penalty), 16-message queues, 64 KiB memory per node, ideal zero-latency
+/// network, and an empty (immediately halting) program on every node.
+pub struct MachineBuilder {
+    node_count: usize,
+    model: Model,
+    timing: TimingConfig,
+    ni_config: NiConfig,
+    memory_bytes: usize,
+    net: NetChoice,
+    programs: Vec<Option<Program>>,
+    default_program: Program,
+}
+
+impl MachineBuilder {
+    /// Starts a builder for `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero or exceeds the 256-node address space.
+    pub fn new(node_count: usize) -> MachineBuilder {
+        assert!(node_count > 0, "a machine needs at least one node");
+        assert!(node_count <= 256, "NodeId address space is 256 nodes");
+        let mut halt = tcni_isa::Assembler::new();
+        halt.halt();
+        MachineBuilder {
+            node_count,
+            model: Model::new(NiMapping::RegisterFile, FeatureLevel::Optimized),
+            timing: TimingConfig::new(),
+            ni_config: NiConfig::default(),
+            memory_bytes: 64 * 1024,
+            net: NetChoice::Ideal { latency: 0 },
+            programs: vec![None; node_count],
+            default_program: halt.assemble().expect("trivial program"),
+        }
+    }
+
+    /// Selects one of the six §4 models.
+    pub fn model(mut self, model: Model) -> MachineBuilder {
+        self.model = model;
+        self.ni_config.features = model.level.into();
+        self
+    }
+
+    /// Overrides the timing configuration (e.g. the off-chip latency sweep).
+    pub fn timing(mut self, timing: TimingConfig) -> MachineBuilder {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides interface queue sizing (keeps the model's feature set).
+    pub fn ni_queues(mut self, input: usize, output: usize) -> MachineBuilder {
+        self.ni_config.input_capacity = input;
+        self.ni_config.output_capacity = output;
+        self
+    }
+
+    /// Sets per-node memory size in bytes.
+    pub fn memory_bytes(mut self, bytes: usize) -> MachineBuilder {
+        self.memory_bytes = bytes;
+        self
+    }
+
+    /// Uses an ideal fixed-latency network (default: latency 0).
+    pub fn network_ideal(mut self, latency: u64) -> MachineBuilder {
+        self.net = NetChoice::Ideal { latency };
+        self
+    }
+
+    /// Uses a 2-D mesh network.
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`build`](Self::build) if the mesh is smaller than the node
+    /// count.
+    pub fn network_mesh(mut self, config: MeshConfig) -> MachineBuilder {
+        self.net = NetChoice::Mesh(config);
+        self
+    }
+
+    /// Loads a program on one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn program(mut self, node: usize, program: Program) -> MachineBuilder {
+        self.programs[node] = Some(program);
+        self
+    }
+
+    /// Loads the same program on every node.
+    pub fn program_all(mut self, program: Program) -> MachineBuilder {
+        self.default_program = program;
+        self
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Machine {
+        let net: Box<dyn Network> = match self.net {
+            NetChoice::Ideal { latency } => Box::new(IdealNetwork::new(self.node_count, latency)),
+            NetChoice::Mesh(cfg) => {
+                let mesh = Mesh2d::new(cfg);
+                assert!(
+                    mesh.node_count() >= self.node_count,
+                    "mesh ({}×{}) smaller than node count {}",
+                    cfg.width,
+                    cfg.height,
+                    self.node_count
+                );
+                Box::new(mesh)
+            }
+        };
+        let nodes = self
+            .programs
+            .into_iter()
+            .map(|p| {
+                Node::new(
+                    self.model,
+                    self.timing,
+                    self.ni_config,
+                    self.memory_bytes,
+                    p.unwrap_or_else(|| self.default_program.clone()),
+                )
+            })
+            .collect();
+        Machine {
+            nodes,
+            net,
+            cycle: 0,
+            trace: None,
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The six evaluation models of §4: {basic, optimized} × {register-file,
+//! on-chip cache, off-chip cache}.
+
+use std::fmt;
+
+use tcni_core::FeatureLevel;
+
+/// Where the network interface sits (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NiMapping {
+    /// §3.1: the interface is a chip on the external cache bus; registers and
+    /// commands are memory-mapped (Figure 9) and accesses pay off-chip
+    /// latency.
+    OffChipCache,
+    /// §3.2: same memory-mapped protocol, but the interface sits on an
+    /// internal cache bus — single-cycle access.
+    OnChipCache,
+    /// §3.3: interface registers live in the processor's register file
+    /// (`r16..=r30`) and commands ride in unused bits of triadic
+    /// instructions — zero additional cycles.
+    RegisterFile,
+}
+
+impl NiMapping {
+    /// All mappings, slowest first.
+    pub const ALL: [NiMapping; 3] = [
+        NiMapping::OffChipCache,
+        NiMapping::OnChipCache,
+        NiMapping::RegisterFile,
+    ];
+
+    /// Whether interface access is through loads/stores to the Figure-9
+    /// address window.
+    pub fn is_memory_mapped(self) -> bool {
+        !matches!(self, NiMapping::RegisterFile)
+    }
+}
+
+impl fmt::Display for NiMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NiMapping::OffChipCache => "off-chip cache",
+            NiMapping::OnChipCache => "on-chip cache",
+            NiMapping::RegisterFile => "register mapped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the six network-interface models compared in §4 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use tcni_sim::Model;
+/// assert_eq!(Model::ALL_SIX.len(), 6);
+/// let best = Model::ALL_SIX[0];
+/// assert_eq!(best.to_string(), "optimized register mapped");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Model {
+    /// Interface placement.
+    pub mapping: NiMapping,
+    /// Architecture level (basic vs optimized).
+    pub level: FeatureLevel,
+}
+
+impl Model {
+    /// The six models, in the column order of Table 1: optimized
+    /// register/on-chip/off-chip, then basic register/on-chip/off-chip.
+    pub const ALL_SIX: [Model; 6] = [
+        Model {
+            mapping: NiMapping::RegisterFile,
+            level: FeatureLevel::Optimized,
+        },
+        Model {
+            mapping: NiMapping::OnChipCache,
+            level: FeatureLevel::Optimized,
+        },
+        Model {
+            mapping: NiMapping::OffChipCache,
+            level: FeatureLevel::Optimized,
+        },
+        Model {
+            mapping: NiMapping::RegisterFile,
+            level: FeatureLevel::Basic,
+        },
+        Model {
+            mapping: NiMapping::OnChipCache,
+            level: FeatureLevel::Basic,
+        },
+        Model {
+            mapping: NiMapping::OffChipCache,
+            level: FeatureLevel::Basic,
+        },
+    ];
+
+    /// Creates a model.
+    pub fn new(mapping: NiMapping, level: FeatureLevel) -> Model {
+        Model { mapping, level }
+    }
+
+    /// Short machine-readable name (`opt-reg`, `basic-off`, …).
+    pub fn key(&self) -> &'static str {
+        use FeatureLevel::*;
+        use NiMapping::*;
+        match (self.level, self.mapping) {
+            (Optimized, RegisterFile) => "opt-reg",
+            (Optimized, OnChipCache) => "opt-on",
+            (Optimized, OffChipCache) => "opt-off",
+            (Basic, RegisterFile) => "basic-reg",
+            (Basic, OnChipCache) => "basic-on",
+            (Basic, OffChipCache) => "basic-off",
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.level, self.mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_models() {
+        let mut keys: Vec<_> = Model::ALL_SIX.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn memory_mapped_classification() {
+        assert!(NiMapping::OffChipCache.is_memory_mapped());
+        assert!(NiMapping::OnChipCache.is_memory_mapped());
+        assert!(!NiMapping::RegisterFile.is_memory_mapped());
+    }
+}

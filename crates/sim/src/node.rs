@@ -1,0 +1,105 @@
+//! One machine node: processor + network interface + local memory + program.
+
+use tcni_core::{NetworkInterface, NiConfig};
+use tcni_cpu::{Cpu, CpuState, MemEnv, StepOutcome, TimingConfig};
+use tcni_isa::Program;
+
+use crate::env::NodeEnv;
+use crate::model::{Model, NiMapping};
+
+/// A single node of the simulated multicomputer.
+#[derive(Debug, Clone)]
+pub struct Node {
+    cpu: Cpu,
+    ni: NetworkInterface,
+    mem: MemEnv,
+    program: Program,
+    mapping: NiMapping,
+}
+
+impl Node {
+    /// Creates a node running `program` under the given model.
+    pub fn new(
+        model: Model,
+        timing: TimingConfig,
+        ni_config: NiConfig,
+        memory_bytes: usize,
+        program: Program,
+    ) -> Node {
+        let mut cpu = Cpu::new(timing);
+        cpu.set_pc(program.base());
+        Node {
+            cpu,
+            ni: NetworkInterface::new(ni_config),
+            mem: MemEnv::new(memory_bytes),
+            program,
+            mapping: model.mapping,
+        }
+    }
+
+    /// Executes one processor cycle.
+    pub fn step(&mut self) -> StepOutcome {
+        let mut env = NodeEnv {
+            mem: &mut self.mem,
+            ni: &mut self.ni,
+            mapping: self.mapping,
+        };
+        self.cpu.step(&self.program, &mut env)
+    }
+
+    /// Whether the processor has stopped (halted or faulted).
+    pub fn is_stopped(&self) -> bool {
+        !self.cpu.state().is_running()
+    }
+
+    /// Whether the node has stopped *and* its interface holds no messages.
+    pub fn is_quiescent(&self) -> bool {
+        self.is_stopped() && self.ni.is_quiescent()
+    }
+
+    /// The processor state.
+    pub fn cpu_state(&self) -> &CpuState {
+        self.cpu.state()
+    }
+
+    /// The processor.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable processor access (test setup: seed registers, redirect pc).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The network interface.
+    pub fn ni(&self) -> &NetworkInterface {
+        &self.ni
+    }
+
+    /// Mutable interface access (setup: CONTROL, IpBase; draining privileged
+    /// messages).
+    pub fn ni_mut(&mut self) -> &mut NetworkInterface {
+        &mut self.ni
+    }
+
+    /// Local memory.
+    pub fn mem(&self) -> &MemEnv {
+        &self.mem
+    }
+
+    /// Mutable memory access (test setup and result inspection).
+    pub fn mem_mut(&mut self) -> &mut MemEnv {
+        &mut self.mem
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The interface mapping this node uses.
+    pub fn mapping(&self) -> NiMapping {
+        self.mapping
+    }
+}

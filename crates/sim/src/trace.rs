@@ -1,0 +1,166 @@
+//! Machine-level event tracing: what crossed the network, when, and what
+//! each processor was doing — the observability layer for debugging
+//! multi-node protocols.
+
+use std::fmt;
+
+use tcni_core::Message;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message left `node`'s output queue for the network.
+    Sent {
+        /// Global cycle of the injection.
+        cycle: u64,
+        /// Sending node index.
+        node: usize,
+        /// The message.
+        msg: Message,
+    },
+    /// A message was accepted into `node`'s interface.
+    Delivered {
+        /// Global cycle of the delivery.
+        cycle: u64,
+        /// Receiving node index.
+        node: usize,
+        /// The message.
+        msg: Message,
+    },
+    /// A processor halted.
+    Halted {
+        /// Global cycle.
+        cycle: u64,
+        /// Node index.
+        node: usize,
+    },
+    /// A processor faulted.
+    Faulted {
+        /// Global cycle.
+        cycle: u64,
+        /// Node index.
+        node: usize,
+        /// The fault reason.
+        reason: String,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred at.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Sent { cycle, .. }
+            | TraceEvent::Delivered { cycle, .. }
+            | TraceEvent::Halted { cycle, .. }
+            | TraceEvent::Faulted { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Sent { cycle, node, msg } => {
+                write!(f, "[{cycle:>6}] n{node} → net  {msg}")
+            }
+            TraceEvent::Delivered { cycle, node, msg } => {
+                write!(f, "[{cycle:>6}] net → n{node}  {msg}")
+            }
+            TraceEvent::Halted { cycle, node } => write!(f, "[{cycle:>6}] n{node} halted"),
+            TraceEvent::Faulted { cycle, node, reason } => {
+                write!(f, "[{cycle:>6}] n{node} FAULTED: {reason}")
+            }
+        }
+    }
+}
+
+/// A bounded event log. Recording stops (and [`truncated`](Trace::truncated)
+/// is set) once the capacity is reached, so tracing a runaway machine cannot
+/// exhaust memory.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.truncated = true;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether events were dropped after the capacity was reached.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Events involving one node.
+    pub fn for_node(&self, node: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::Sent { node: n, .. }
+            | TraceEvent::Delivered { node: n, .. }
+            | TraceEvent::Halted { node: n, .. }
+            | TraceEvent::Faulted { node: n, .. } => *n == node,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        if self.truncated {
+            writeln!(f, "… trace truncated at {} events", self.capacity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_recording() {
+        let mut t = Trace::new(2);
+        for i in 0..4 {
+            t.record(TraceEvent::Halted { cycle: i, node: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn display_and_filter() {
+        let mut t = Trace::new(8);
+        t.record(TraceEvent::Sent {
+            cycle: 3,
+            node: 1,
+            msg: Message::default(),
+        });
+        t.record(TraceEvent::Halted { cycle: 9, node: 2 });
+        assert_eq!(t.for_node(2).count(), 1);
+        let text = t.to_string();
+        assert!(text.contains("n1 → net"));
+        assert!(text.contains("n2 halted"));
+    }
+}

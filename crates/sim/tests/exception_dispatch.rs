@@ -1,0 +1,146 @@
+//! The §2.2.4 exception path: "we disallow messages of type 1. Whenever
+//! there is an exception, the four handler ID bits of MsgIp are set to 0001
+//! … The exception handler can then check the STATUS register to see
+//! precisely which exceptional condition has occurred."
+
+use tcni_core::mapping::{cmd_addr, reg_addr, NI_WINDOW_BASE};
+use tcni_core::{Control, ExceptionCode, InterfaceReg, MsgType, NiCmd, OverflowPolicy, Status};
+use tcni_isa::{Assembler, Reg};
+use tcni_sim::{MachineBuilder, Model, NiMapping, RunOutcome};
+
+const TABLE: u32 = 0x4000;
+
+fn off(addr: u32) -> i16 {
+    (addr - NI_WINDOW_BASE) as i16
+}
+
+/// A node whose input port fails mid-run: the hardware latches the
+/// exception, dispatch lands in slot 1, the handler captures STATUS and
+/// halts.
+#[test]
+fn input_port_error_dispatches_through_slot_one() {
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    a.li(Reg::R2, TABLE);
+    a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
+    a.label("dispatch");
+    a.ld(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::MsgIp)));
+    a.jmp(Reg::R3);
+    a.nop();
+    a.br("dispatch");
+    a.nop();
+    a.org(TABLE); // idle: keep polling until the error is injected
+    a.br("dispatch");
+    a.nop();
+    a.org(TABLE + 16); // slot 1: the exception handler
+    a.ld(Reg::R5, Reg::R9, off(reg_addr(InterfaceReg::Status)));
+    a.st(Reg::R5, Reg::R0, 0x100); // record precisely what happened
+    a.halt();
+    let program = a.assemble().unwrap();
+
+    let mut machine = MachineBuilder::new(1)
+        .model(Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized))
+        .program(0, program)
+        .build();
+    // Let the node spin in its idle loop, then break the input port.
+    for _ in 0..50 {
+        machine.step();
+    }
+    assert!(
+        !machine.node(0).is_stopped(),
+        "node should be polling its idle handler"
+    );
+    machine.node_mut(0).ni_mut().inject_input_port_error();
+    let outcome = machine.run(1_000);
+    assert!(
+        matches!(outcome, RunOutcome::Quiescent | RunOutcome::StoppedWithTraffic),
+        "{outcome:?}"
+    );
+    let recorded = Status::from_bits(machine.node(0).mem().peek(0x100));
+    assert_eq!(recorded.exception(), ExceptionCode::InputPortError);
+}
+
+/// A send of the reserved type 1 (a software bug) must not transmit; it
+/// latches [`ExceptionCode::ReservedType`] and the very next dispatch lands
+/// in the exception slot.
+#[test]
+fn reserved_type_send_latches_and_dispatches() {
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    a.li(Reg::R2, TABLE);
+    a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
+    // The buggy send: type 1.
+    a.li(Reg::R3, 0x44);
+    a.st(
+        Reg::R3,
+        Reg::R9,
+        off(cmd_addr(InterfaceReg::O0, NiCmd::send(MsgType::new(1).unwrap()))),
+    );
+    // Dispatch: must land in slot 1 even though no message ever arrived.
+    a.ld(Reg::R4, Reg::R9, off(reg_addr(InterfaceReg::MsgIp)));
+    a.jmp(Reg::R4);
+    a.nop();
+    a.org(TABLE); // idle slot: would mean the exception was missed
+    a.halt();
+    a.org(TABLE + 16); // exception slot
+    a.ld(Reg::R5, Reg::R9, off(reg_addr(InterfaceReg::Status)));
+    a.st(Reg::R5, Reg::R0, 0x100);
+    a.halt();
+    let program = a.assemble().unwrap();
+
+    let mut machine = MachineBuilder::new(1)
+        .model(Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized))
+        .program(0, program)
+        .build();
+    assert_eq!(machine.run(1_000), RunOutcome::Quiescent);
+    let recorded = Status::from_bits(machine.node(0).mem().peek(0x100));
+    assert_eq!(recorded.exception(), ExceptionCode::ReservedType);
+    assert_eq!(
+        machine.node(0).ni().stats().sends,
+        0,
+        "the reserved-type message must not have been queued"
+    );
+}
+
+/// Output-queue overflow under the exception policy (§2.1.1): the dropped
+/// send latches the exception and the handler observes it.
+#[test]
+fn output_overflow_exception_policy() {
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    a.li(Reg::R2, TABLE);
+    a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
+    // Burst more sends than the whole path can buffer (nobody consumes, and
+    // the mesh's finite FIFOs fill), so some sends must overflow.
+    a.li(Reg::R3, 0x00); // self-addressed payload (node 0)
+    for _ in 0..40 {
+        a.st(
+            Reg::R3,
+            Reg::R9,
+            off(cmd_addr(InterfaceReg::O0, NiCmd::send(MsgType::new(2).unwrap()))),
+        );
+    }
+    a.ld(Reg::R4, Reg::R9, off(reg_addr(InterfaceReg::Status)));
+    a.st(Reg::R4, Reg::R0, 0x100);
+    a.halt();
+    let program = a.assemble().unwrap();
+
+    let mut machine = MachineBuilder::new(1)
+        .model(Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized))
+        .ni_queues(2, 2)
+        .program(0, program)
+        .network_mesh(tcni_net::MeshConfig::new(1, 1))
+        .build();
+    machine
+        .node_mut(0)
+        .ni_mut()
+        .set_control(Control::new().with_overflow_policy(OverflowPolicy::Exception));
+    let outcome = machine.run(1_000);
+    assert!(
+        matches!(outcome, RunOutcome::Quiescent | RunOutcome::StoppedWithTraffic),
+        "{outcome:?}"
+    );
+    let recorded = Status::from_bits(machine.node(0).mem().peek(0x100));
+    assert_eq!(recorded.exception(), ExceptionCode::OutputOverflow);
+    assert!(machine.node(0).ni().stats().overflows > 0);
+}

@@ -1,0 +1,214 @@
+//! Variable-length messages end to end (§2.1.2): a 15-word (3-flit) message
+//! streamed from node 0 to node 1 over the mesh with SCROLL-OUT, consumed
+//! with SCROLL-IN. The consumer naturally *stalls* on SCROLL-IN whenever the
+//! next flit is still crossing the network — the waiting semantics fall out
+//! of the flow-control model.
+
+use tcni_core::mapping::{cmd_addr, reg_addr, scroll_in_addr, scroll_out_addr, NI_WINDOW_BASE};
+use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni_isa::{Assembler, Program, Reg};
+use tcni_net::MeshConfig;
+use tcni_sim::{MachineBuilder, Model, NiMapping, RunOutcome};
+
+const TABLE: u32 = 0x4000;
+const LONG_TYPE: u8 = 6;
+const SINK: i16 = 0x200; // receiver memory where the 15 words land
+
+fn ty(n: u8) -> MsgType {
+    MsgType::new(n).unwrap()
+}
+
+fn off(addr: u32) -> i16 {
+    (addr - NI_WINDOW_BASE) as i16
+}
+
+/// Sender: three flits of five words each; words are 100·flit + lane.
+/// `delay` inserts busy-work between flits so a consumer can outrun the
+/// producer (exercising the SCROLL-IN wait).
+fn sender(delay: usize) -> Program {
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    for flit in 0..3u32 {
+        for _ in 0..(if flit > 0 { delay } else { 0 }) {
+            a.nop();
+        }
+        // o0 of the first flit carries the destination; the architecture
+        // routes the whole message by its first flit.
+        for lane in 0..5u32 {
+            let value = 100 * flit + lane;
+            let value = if flit == 0 && lane == 0 {
+                NodeId::new(1).into_word_bits() | value
+            } else {
+                value
+            };
+            a.li(Reg::R2, value);
+            let reg = InterfaceReg::output(lane as usize);
+            if lane == 4 {
+                // Last lane: attach SCROLL-OUT (flits 0,1) or the final SEND.
+                let addr = if flit < 2 {
+                    scroll_out_addr(Some(reg), ty(LONG_TYPE))
+                } else {
+                    cmd_addr(reg, NiCmd::send(ty(LONG_TYPE)))
+                };
+                a.st(Reg::R2, Reg::R9, off(addr));
+            } else {
+                a.st(Reg::R2, Reg::R9, off(reg_addr(reg)));
+            }
+        }
+    }
+    a.halt();
+    a.assemble().expect("sender assembles")
+}
+
+/// Receiver: dispatch on the long-message type; copy 5 words, SCROLL-IN,
+/// repeat; NEXT; halt.
+fn receiver() -> Program {
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    a.li(Reg::R2, TABLE);
+    a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
+    a.label("dispatch");
+    a.ld(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::MsgIp)));
+    a.jmp(Reg::R3);
+    a.nop();
+    a.br("dispatch");
+    a.nop();
+    a.org(TABLE); // idle
+    a.br("dispatch");
+    a.nop();
+    a.org(TABLE + u32::from(LONG_TYPE) * 16);
+    for flit in 0..3i16 {
+        for lane in 0..5i16 {
+            let reg = InterfaceReg::input(lane as usize);
+            if lane == 4 {
+                // Read the last lane and advance the window (or dispose).
+                let addr = if flit < 2 {
+                    scroll_in_addr(Some(reg))
+                } else {
+                    cmd_addr(reg, NiCmd::next())
+                };
+                a.ld(Reg::R4, Reg::R9, off(addr));
+            } else {
+                a.ld(Reg::R4, Reg::R9, off(reg_addr(reg)));
+            }
+            a.st(Reg::R4, Reg::R0, SINK + (flit * 5 + lane) * 4);
+        }
+    }
+    a.halt();
+    a.assemble().expect("receiver assembles")
+}
+
+#[test]
+fn fifteen_word_message_streams_across_the_mesh() {
+    let model = Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized);
+    let mut machine = MachineBuilder::new(2)
+        .model(model)
+        .program(0, sender(0))
+        .program(1, receiver())
+        .network_mesh(MeshConfig::new(2, 1))
+        .build();
+    let outcome = machine.run(10_000);
+    assert_eq!(outcome, RunOutcome::Quiescent, "{outcome:?}");
+    for flit in 0..3u32 {
+        for lane in 0..5u32 {
+            let expect = if flit == 0 && lane == 0 {
+                NodeId::new(1).into_word_bits()
+            } else {
+                100 * flit + lane
+            };
+            let got = machine.node(1).mem().peek(0x200 + (flit * 5 + lane) * 4);
+            assert_eq!(got, expect, "flit {flit} lane {lane}");
+        }
+    }
+    // The three flits crossed as three network messages.
+    assert_eq!(machine.net_stats().delivered, 3);
+}
+
+#[test]
+fn scroll_in_waits_for_a_slow_producer() {
+    // With a deliberately slow sender, the consumer reaches SCROLL-IN before
+    // the next flit exists and must stall until it crosses the mesh.
+    let model = Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized);
+    let mut machine = MachineBuilder::new(2)
+        .model(model)
+        .program(0, sender(60))
+        .program(1, receiver())
+        .network_mesh(MeshConfig::new(2, 1))
+        .build();
+    assert_eq!(machine.run(10_000), RunOutcome::Quiescent);
+    for flit in 0..3u32 {
+        for lane in 0..5u32 {
+            let expect = if flit == 0 && lane == 0 {
+                NodeId::new(1).into_word_bits()
+            } else {
+                100 * flit + lane
+            };
+            assert_eq!(
+                machine.node(1).mem().peek(0x200 + (flit * 5 + lane) * 4),
+                expect
+            );
+        }
+    }
+    assert!(
+        machine.node(1).cpu().stats().env_stalls > 0,
+        "SCROLL-IN must have waited for the in-flight flit"
+    );
+}
+
+#[test]
+fn next_abandons_unread_flits() {
+    // A receiver that NEXTs after the first window must land on the *next
+    // message*, not a stale flit.
+    let model = Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized);
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    a.li(Reg::R2, TABLE);
+    a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
+    a.label("dispatch");
+    a.ld(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::MsgIp)));
+    a.jmp(Reg::R3);
+    a.nop();
+    a.br("dispatch");
+    a.nop();
+    a.org(TABLE);
+    a.br("dispatch");
+    a.nop();
+    a.org(TABLE + 2 * 16); // type-2 slot: the trailing short message
+    a.ld(Reg::R4, Reg::R9, off(cmd_addr(InterfaceReg::I1, NiCmd::next())));
+    a.st(Reg::R4, Reg::R0, SINK + 4);
+    a.halt();
+    a.org(TABLE + u32::from(LONG_TYPE) * 16);
+    // Abandon the long message immediately.
+    a.ld(Reg::R4, Reg::R9, off(cmd_addr(InterfaceReg::I1, NiCmd::next())));
+    a.st(Reg::R4, Reg::R0, SINK);
+    a.br("dispatch");
+    a.nop();
+    let receiver = a.assemble().unwrap();
+
+    // Sender: the 3-flit long message, then a short type-2 message.
+    let mut a = Assembler::new();
+    a.li(Reg::R9, NI_WINDOW_BASE);
+    a.li(Reg::R2, NodeId::new(1).into_word_bits() | 0x11);
+    a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
+    a.li(Reg::R3, 0xF1);
+    a.st(Reg::R3, Reg::R9, off(scroll_out_addr(Some(InterfaceReg::O1), ty(LONG_TYPE))));
+    a.li(Reg::R3, 0xF2);
+    a.st(Reg::R3, Reg::R9, off(scroll_out_addr(Some(InterfaceReg::O1), ty(LONG_TYPE))));
+    a.li(Reg::R3, 0xF3);
+    a.st(Reg::R3, Reg::R9, off(cmd_addr(InterfaceReg::O1, NiCmd::send(ty(LONG_TYPE)))));
+    // Short message, type 2, w1 = 0x99.
+    a.li(Reg::R3, 0x99);
+    a.st(Reg::R3, Reg::R9, off(cmd_addr(InterfaceReg::O1, NiCmd::send(ty(2)))));
+    a.halt();
+    let sender = a.assemble().unwrap();
+
+    let mut machine = MachineBuilder::new(2)
+        .model(model)
+        .program(0, sender)
+        .program(1, receiver)
+        .network_ideal(1)
+        .build();
+    assert_eq!(machine.run(10_000), RunOutcome::Quiescent);
+    assert_eq!(machine.node(1).mem().peek(SINK as u32), 0xF1, "first window seen");
+    assert_eq!(machine.node(1).mem().peek(SINK as u32 + 4), 0x99, "short message seen");
+}

@@ -1,0 +1,319 @@
+//! Code blocks and the program builder.
+
+use std::collections::HashMap;
+
+use crate::instr::{CodeBlockId, InletId, Slot, TamOp, ThreadId};
+
+/// An inlet: a compiler-generated message handler that deposits a message's
+/// payload words into frame slots and enables a thread ([CSS+91]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inlet {
+    /// Slots receiving the payload words, in order.
+    pub dsts: Vec<Slot>,
+    /// Thread enabled after the deposit.
+    pub thread: ThreadId,
+}
+
+/// A code block: the unit of frame allocation — threads plus inlets over a
+/// fixed-size frame.
+#[derive(Debug, Clone, Default)]
+pub struct CodeBlock {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Number of frame slots an instance needs.
+    pub frame_size: usize,
+    /// Straight-line threads.
+    pub threads: Vec<Vec<TamOp>>,
+    /// Message-receive handlers.
+    pub inlets: Vec<Inlet>,
+    /// Compiler-initialized slot values applied at frame allocation — TAM's
+    /// entry counts for synchronization counters live here.
+    pub init: Vec<(Slot, u32)>,
+}
+
+/// A whole TAM program: a set of code blocks, one of which is `main`.
+#[derive(Debug, Clone, Default)]
+pub struct TamProgram {
+    blocks: Vec<CodeBlock>,
+    by_name: HashMap<String, CodeBlockId>,
+}
+
+impl TamProgram {
+    /// Creates an empty program.
+    pub fn new() -> TamProgram {
+        TamProgram::default()
+    }
+
+    /// Adds a code block built by `f`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block of this name already exists, or if the builder
+    /// produced dangling thread/inlet references.
+    pub fn block(&mut self, name: &str, frame_size: usize, f: impl FnOnce(&mut BlockBuilder)) -> CodeBlockId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "code block `{name}` defined twice"
+        );
+        let mut b = BlockBuilder {
+            block: CodeBlock {
+                name: name.to_owned(),
+                frame_size,
+                threads: Vec::new(),
+                inlets: Vec::new(),
+                init: Vec::new(),
+            },
+        };
+        f(&mut b);
+        b.validate();
+        let id = CodeBlockId(self.blocks.len() as u32);
+        self.by_name.insert(name.to_owned(), id);
+        self.blocks.push(b.block);
+        id
+    }
+
+    /// The id the next [`block`](Self::block) call will receive — lets a
+    /// block refer to itself (recursion) or to a block defined later.
+    pub fn next_block_id(&self) -> CodeBlockId {
+        CodeBlockId(self.blocks.len() as u32)
+    }
+
+    /// Looks a block up by name.
+    pub fn lookup(&self, name: &str) -> Option<CodeBlockId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The block table.
+    pub fn blocks(&self) -> &[CodeBlock] {
+        &self.blocks
+    }
+
+    /// A block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is dangling.
+    pub fn get(&self, id: CodeBlockId) -> &CodeBlock {
+        &self.blocks[id.0 as usize]
+    }
+}
+
+/// Builds one code block: threads are added as complete op vectors; inlets
+/// reference threads by id.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    block: CodeBlock,
+}
+
+impl BlockBuilder {
+    /// Reserves a thread id to be filled in later (for mutually-referencing
+    /// threads).
+    pub fn declare_thread(&mut self) -> ThreadId {
+        let id = ThreadId(self.block.threads.len() as u16);
+        self.block.threads.push(Vec::new());
+        id
+    }
+
+    /// Fills a previously declared thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread was already filled.
+    pub fn define_thread(&mut self, id: ThreadId, ops: Vec<TamOp>) {
+        let t = &mut self.block.threads[id.0 as usize];
+        assert!(t.is_empty(), "thread {} defined twice", id.0);
+        assert!(!ops.is_empty(), "thread {} must not be empty", id.0);
+        *t = ops;
+    }
+
+    /// Adds a complete thread; returns its id.
+    pub fn thread(&mut self, ops: Vec<TamOp>) -> ThreadId {
+        let id = self.declare_thread();
+        self.define_thread(id, ops);
+        id
+    }
+
+    /// Sets a frame slot's compiler-initialized value (entry counts).
+    pub fn init(&mut self, slot: Slot, value: u32) {
+        self.block.init.push((slot, value));
+    }
+
+    /// Adds an inlet depositing into `dsts` and enabling `thread`.
+    pub fn inlet(&mut self, dsts: Vec<Slot>, thread: ThreadId) -> InletId {
+        let id = InletId(self.block.inlets.len() as u16);
+        self.block.inlets.push(Inlet { dsts, thread });
+        id
+    }
+
+    fn validate(&self) {
+        let nthreads = self.block.threads.len();
+        let check_thread = |t: ThreadId| {
+            assert!(
+                (t.0 as usize) < nthreads,
+                "dangling thread reference {} in block `{}`",
+                t.0,
+                self.block.name
+            );
+        };
+        let check_slot = |s: Slot| {
+            assert!(
+                (s as usize) < self.block.frame_size,
+                "slot {} out of frame (size {}) in block `{}`",
+                s,
+                self.block.frame_size,
+                self.block.name
+            );
+        };
+        for (i, t) in self.block.threads.iter().enumerate() {
+            assert!(!t.is_empty(), "thread {i} of `{}` left undefined", self.block.name);
+            for op in t {
+                match op {
+                    TamOp::Imm { dst, .. } | TamOp::Rand { dst } => check_slot(*dst),
+                    TamOp::Mov { dst, src } => {
+                        check_slot(*dst);
+                        check_slot(*src);
+                    }
+                    TamOp::Int { dst, a, b, .. } | TamOp::Float { dst, a, b, .. } => {
+                        check_slot(*dst);
+                        check_slot(*a);
+                        check_slot(*b);
+                    }
+                    TamOp::IntI { dst, a, .. } => {
+                        check_slot(*dst);
+                        check_slot(*a);
+                    }
+                    TamOp::Fork { thread } => check_thread(*thread),
+                    TamOp::Switch { cond, if_true, if_false } => {
+                        check_slot(*cond);
+                        check_thread(*if_true);
+                        check_thread(*if_false);
+                    }
+                    TamOp::Join { counter, thread } => {
+                        check_slot(*counter);
+                        check_thread(*thread);
+                    }
+                    TamOp::Falloc { dst_fp, .. } => check_slot(*dst_fp),
+                    TamOp::SendArgsDyn { fp, inlet_slot, args } => {
+                        check_slot(*fp);
+                        check_slot(*inlet_slot);
+                        assert!(
+                            args.len() <= crate::MAX_SEND_ARGS,
+                            "SendArgsDyn with {} args (max {}) in `{}`",
+                            args.len(),
+                            crate::MAX_SEND_ARGS,
+                            self.block.name
+                        );
+                        for a in args {
+                            check_slot(*a);
+                        }
+                    }
+                    TamOp::SendArgs { fp, args, .. } => {
+                        check_slot(*fp);
+                        assert!(
+                            args.len() <= crate::MAX_SEND_ARGS,
+                            "SendArgs with {} args (max {}) in `{}`",
+                            args.len(),
+                            crate::MAX_SEND_ARGS,
+                            self.block.name
+                        );
+                        for a in args {
+                            check_slot(*a);
+                        }
+                    }
+                    TamOp::IFetch { arr, idx, .. } | TamOp::ReadG { arr, idx, .. } => {
+                        check_slot(*arr);
+                        check_slot(*idx);
+                    }
+                    TamOp::IStore { arr, idx, val } | TamOp::WriteG { arr, idx, val } => {
+                        check_slot(*arr);
+                        check_slot(*idx);
+                        check_slot(*val);
+                    }
+                    TamOp::HAlloc { dst, len } | TamOp::GAlloc { dst, len } => {
+                        check_slot(*dst);
+                        check_slot(*len);
+                    }
+                    TamOp::HaltMachine => {}
+                }
+            }
+        }
+        for (slot, _) in &self.block.init {
+            check_slot(*slot);
+        }
+        for (i, inlet) in self.block.inlets.iter().enumerate() {
+            assert!(
+                inlet.dsts.len() <= crate::MAX_SEND_ARGS,
+                "inlet {i} of `{}` expects {} words (max {})",
+                self.block.name,
+                inlet.dsts.len(),
+                crate::MAX_SEND_ARGS
+            );
+            for s in &inlet.dsts {
+                check_slot(*s);
+            }
+            check_thread(inlet.thread);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::IntOp;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut p = TamProgram::new();
+        let id = p.block("main", 4, |b| {
+            let t = b.thread(vec![TamOp::Imm { dst: 0, value: 1 }, TamOp::HaltMachine]);
+            b.inlet(vec![1], t);
+        });
+        assert_eq!(p.lookup("main"), Some(id));
+        assert_eq!(p.get(id).threads.len(), 1);
+        assert_eq!(p.get(id).inlets.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_block_panics() {
+        let mut p = TamProgram::new();
+        p.block("x", 1, |b| {
+            b.thread(vec![TamOp::HaltMachine]);
+        });
+        p.block("x", 1, |b| {
+            b.thread(vec![TamOp::HaltMachine]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 9 out of frame")]
+    fn out_of_frame_slot_panics() {
+        let mut p = TamProgram::new();
+        p.block("bad", 2, |b| {
+            b.thread(vec![TamOp::Imm { dst: 9, value: 0 }]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling thread")]
+    fn dangling_thread_panics() {
+        let mut p = TamProgram::new();
+        p.block("bad", 2, |b| {
+            b.thread(vec![TamOp::Fork { thread: ThreadId(7) }]);
+        });
+    }
+
+    #[test]
+    fn declare_then_define_mutual_threads() {
+        let mut p = TamProgram::new();
+        p.block("loop", 2, |b| {
+            let t_a = b.declare_thread();
+            let t_b = b.declare_thread();
+            b.define_thread(
+                t_a,
+                vec![TamOp::IntI { op: IntOp::Add, dst: 0, a: 0, imm: 1 }, TamOp::Fork { thread: t_b }],
+            );
+            b.define_thread(t_b, vec![TamOp::Switch { cond: 0, if_true: t_a, if_false: t_a }]);
+        });
+    }
+}

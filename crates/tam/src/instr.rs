@@ -1,0 +1,419 @@
+//! The TAM instruction set.
+//!
+//! Modelled on TL0, the Threaded Abstract Machine assembly of Culler et
+//! al.'s *Fine Grain Parallelism with Minimal Hardware Support* ([CSS+91],
+//! the compilation target the paper's benchmarks used). Threads are
+//! straight-line sequences of these operations; control flow happens by
+//! forking other threads; synchronization by entry counters; communication
+//! by inter-frame sends and split-phase heap (I-structure) accesses — every
+//! one of which is a network message under the paper's "any two procedure
+//! invocations communicate across the network" compilation convention.
+
+use std::fmt;
+
+/// A frame-slot index. All TAM values are 32-bit words, matching the
+/// machine's message format.
+pub type Slot = u16;
+
+/// Identifies a code block within a [`crate::TamProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeBlockId(pub u32);
+
+/// Identifies a thread within a code block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadId(pub u16);
+
+/// Identifies an inlet (message-receive handler) within a code block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InletId(pub u16);
+
+/// Integer operations (two's-complement on 32-bit words; comparisons
+/// produce 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IntOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Eq,
+    Ne,
+}
+
+impl IntOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        let (x, y) = (a as i32, b as i32);
+        match self {
+            IntOp::Add => x.wrapping_add(y) as u32,
+            IntOp::Sub => x.wrapping_sub(y) as u32,
+            IntOp::Mul => x.wrapping_mul(y) as u32,
+            IntOp::Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_div(y) as u32
+                }
+            }
+            IntOp::Rem => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_rem(y) as u32
+                }
+            }
+            IntOp::And => a & b,
+            IntOp::Or => a | b,
+            IntOp::Xor => a ^ b,
+            IntOp::Shl => a.wrapping_shl(b & 31),
+            IntOp::Shr => a.wrapping_shr(b & 31),
+            IntOp::Lt => u32::from(x < y),
+            IntOp::Le => u32::from(x <= y),
+            IntOp::Eq => u32::from(a == b),
+            IntOp::Ne => u32::from(a != b),
+        }
+    }
+}
+
+/// Floating-point operations on IEEE-754 single precision (stored as raw
+/// bits in frame slots); comparisons produce integer 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FloatOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Lt,
+    /// Convert an integer slot to float (`b` ignored).
+    FromInt,
+    /// Truncate a float slot to integer (`b` ignored).
+    ToInt,
+}
+
+impl FloatOp {
+    /// Applies the operation to raw-bit operands.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+        match self {
+            FloatOp::Add => (x + y).to_bits(),
+            FloatOp::Sub => (x - y).to_bits(),
+            FloatOp::Mul => (x * y).to_bits(),
+            FloatOp::Div => (x / y).to_bits(),
+            FloatOp::Lt => u32::from(x < y),
+            FloatOp::FromInt => (a as i32 as f32).to_bits(),
+            FloatOp::ToInt => (f32::from_bits(a) as i32) as u32,
+        }
+    }
+}
+
+/// A TAM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TamOp {
+    /// `frame[dst] = value`.
+    Imm {
+        /// Destination slot.
+        dst: Slot,
+        /// Constant (raw word; use `f32::to_bits` for floats).
+        value: u32,
+    },
+    /// `frame[dst] = frame[src]`.
+    Mov {
+        /// Destination slot.
+        dst: Slot,
+        /// Source slot.
+        src: Slot,
+    },
+    /// Integer ALU: `frame[dst] = op(frame[a], frame[b])`.
+    Int {
+        /// Operation.
+        op: IntOp,
+        /// Destination slot.
+        dst: Slot,
+        /// Left operand slot.
+        a: Slot,
+        /// Right operand slot.
+        b: Slot,
+    },
+    /// Integer ALU with immediate: `frame[dst] = op(frame[a], imm)`.
+    IntI {
+        /// Operation.
+        op: IntOp,
+        /// Destination slot.
+        dst: Slot,
+        /// Left operand slot.
+        a: Slot,
+        /// Immediate right operand.
+        imm: u32,
+    },
+    /// Floating-point ALU: `frame[dst] = op(frame[a], frame[b])`.
+    Float {
+        /// Operation.
+        op: FloatOp,
+        /// Destination slot.
+        dst: Slot,
+        /// Left operand slot.
+        a: Slot,
+        /// Right operand slot (ignored by unary conversions).
+        b: Slot,
+    },
+    /// Draw a pseudo-random 31-bit integer into `frame[dst]` (Gamteb's
+    /// sampling; deterministic per machine seed).
+    Rand {
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// Schedule another thread of this frame.
+    Fork {
+        /// Thread to schedule.
+        thread: ThreadId,
+    },
+    /// Schedule one of two threads depending on `frame[cond] != 0`
+    /// (TAM's SWITCH).
+    Switch {
+        /// Condition slot.
+        cond: Slot,
+        /// Thread when non-zero.
+        if_true: ThreadId,
+        /// Thread when zero.
+        if_false: ThreadId,
+    },
+    /// Decrement the synchronization counter in `frame[counter]`; schedule
+    /// `thread` when it reaches zero (TAM entry counts).
+    Join {
+        /// Counter slot.
+        counter: Slot,
+        /// Thread enabled when the counter hits zero.
+        thread: ThreadId,
+    },
+    /// Allocate a frame for `block` (runtime service; placement is
+    /// round-robin across nodes) and store its global frame pointer.
+    Falloc {
+        /// Code block to instantiate.
+        block: CodeBlockId,
+        /// Slot receiving the new frame pointer.
+        dst_fp: Slot,
+    },
+    /// Send `args` (0–2 payload words) to an inlet of the frame named by
+    /// `frame[fp]` — a `Send(k)` message.
+    SendArgs {
+        /// Slot holding the destination frame pointer.
+        fp: Slot,
+        /// Inlet of the destination code block.
+        inlet: InletId,
+        /// Payload slots (at most [`crate::MAX_SEND_ARGS`]).
+        args: Vec<Slot>,
+    },
+    /// Send `args` to an inlet whose number is taken from a frame slot —
+    /// the general continuation form (the reply side of call/return passes
+    /// `(fp, inlet)` pairs around). Also a `Send(k)` message.
+    SendArgsDyn {
+        /// Slot holding the destination frame pointer.
+        fp: Slot,
+        /// Slot holding the destination inlet number.
+        inlet_slot: Slot,
+        /// Payload slots.
+        args: Vec<Slot>,
+    },
+    /// Split-phase I-structure read of `array[frame[idx]]` — a `PRead`
+    /// message; the value arrives at `inlet` of this frame.
+    IFetch {
+        /// Slot holding the array handle.
+        arr: Slot,
+        /// Slot holding the element index.
+        idx: Slot,
+        /// Inlet of this code block that receives the value.
+        inlet: InletId,
+    },
+    /// I-structure write of `array[frame[idx]] = frame[val]` — a `PWrite`
+    /// message.
+    IStore {
+        /// Slot holding the array handle.
+        arr: Slot,
+        /// Slot holding the element index.
+        idx: Slot,
+        /// Slot holding the value.
+        val: Slot,
+    },
+    /// Allocate an I-structure array of `frame[len]` slots (runtime
+    /// service; elements are distributed across nodes).
+    HAlloc {
+        /// Slot receiving the array handle.
+        dst: Slot,
+        /// Slot holding the length.
+        len: Slot,
+    },
+    /// Split-phase read of plain (non-presence) global memory — a `Read`
+    /// message; the value arrives at `inlet`.
+    ReadG {
+        /// Slot holding the global address (array handle, plain array).
+        arr: Slot,
+        /// Slot holding the element index.
+        idx: Slot,
+        /// Inlet of this code block that receives the value.
+        inlet: InletId,
+    },
+    /// Write to plain global memory — a `Write` message.
+    WriteG {
+        /// Slot holding the global address.
+        arr: Slot,
+        /// Slot holding the element index.
+        idx: Slot,
+        /// Slot holding the value.
+        val: Slot,
+    },
+    /// Allocate a plain global array (runtime service).
+    GAlloc {
+        /// Slot receiving the handle.
+        dst: Slot,
+        /// Slot holding the length.
+        len: Slot,
+    },
+    /// Stop the whole machine (main's final thread).
+    HaltMachine,
+}
+
+/// Dynamic instruction classes, the unit of Figure-12 accounting.
+///
+/// Message classes (`SendArgs`, `IFetch`, `IStore`, `ReadG`, `WriteG`) are
+/// costed from Table 1; the others get fixed RISC-cycle costs (see
+/// `tcni-eval`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TamClass {
+    Move,
+    IntAlu,
+    FloatAlu,
+    Rand,
+    Control,
+    Fork,
+    Join,
+    Falloc,
+    HeapAlloc,
+    Stop,
+    SendArgs,
+    IFetch,
+    IStore,
+    ReadG,
+    WriteG,
+}
+
+impl TamClass {
+    /// All classes, in display order.
+    pub const ALL: [TamClass; 15] = [
+        TamClass::Move,
+        TamClass::IntAlu,
+        TamClass::FloatAlu,
+        TamClass::Rand,
+        TamClass::Control,
+        TamClass::Fork,
+        TamClass::Join,
+        TamClass::Falloc,
+        TamClass::HeapAlloc,
+        TamClass::Stop,
+        TamClass::SendArgs,
+        TamClass::IFetch,
+        TamClass::IStore,
+        TamClass::ReadG,
+        TamClass::WriteG,
+    ];
+
+    /// Index into count arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("class in ALL")
+    }
+
+    /// Whether this class expands into a network message.
+    pub fn is_message(self) -> bool {
+        matches!(
+            self,
+            TamClass::SendArgs | TamClass::IFetch | TamClass::IStore | TamClass::ReadG | TamClass::WriteG
+        )
+    }
+}
+
+impl fmt::Display for TamClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TamClass::Move => "move",
+            TamClass::IntAlu => "int-alu",
+            TamClass::FloatAlu => "float-alu",
+            TamClass::Rand => "rand",
+            TamClass::Control => "control",
+            TamClass::Fork => "fork",
+            TamClass::Join => "join",
+            TamClass::Falloc => "falloc",
+            TamClass::HeapAlloc => "heap-alloc",
+            TamClass::Stop => "stop",
+            TamClass::SendArgs => "send-args",
+            TamClass::IFetch => "ifetch",
+            TamClass::IStore => "istore",
+            TamClass::ReadG => "read-global",
+            TamClass::WriteG => "write-global",
+        };
+        f.write_str(s)
+    }
+}
+
+impl TamOp {
+    /// The accounting class of this operation.
+    pub fn class(&self) -> TamClass {
+        match self {
+            TamOp::Imm { .. } | TamOp::Mov { .. } => TamClass::Move,
+            TamOp::Int { .. } | TamOp::IntI { .. } => TamClass::IntAlu,
+            TamOp::Float { .. } => TamClass::FloatAlu,
+            TamOp::Rand { .. } => TamClass::Rand,
+            TamOp::Switch { .. } => TamClass::Control,
+            TamOp::Fork { .. } => TamClass::Fork,
+            TamOp::Join { .. } => TamClass::Join,
+            TamOp::Falloc { .. } => TamClass::Falloc,
+            TamOp::HAlloc { .. } | TamOp::GAlloc { .. } => TamClass::HeapAlloc,
+            TamOp::SendArgs { .. } | TamOp::SendArgsDyn { .. } => TamClass::SendArgs,
+            TamOp::IFetch { .. } => TamClass::IFetch,
+            TamOp::IStore { .. } => TamClass::IStore,
+            TamOp::ReadG { .. } => TamClass::ReadG,
+            TamOp::WriteG { .. } => TamClass::WriteG,
+            TamOp::HaltMachine => TamClass::Control,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_op_semantics() {
+        assert_eq!(IntOp::Add.apply(3, (-1i32) as u32), 2);
+        assert_eq!(IntOp::Div.apply(7, 2), 3);
+        assert_eq!(IntOp::Div.apply(7, 0), 0);
+        assert_eq!(IntOp::Lt.apply((-1i32) as u32, 0), 1);
+        assert_eq!(IntOp::Eq.apply(5, 5), 1);
+    }
+
+    #[test]
+    fn float_op_semantics() {
+        let two = 2.0f32.to_bits();
+        let half = 0.5f32.to_bits();
+        assert_eq!(f32::from_bits(FloatOp::Mul.apply(two, half)), 1.0);
+        assert_eq!(FloatOp::ToInt.apply(2.9f32.to_bits(), 0), 2);
+        assert_eq!(f32::from_bits(FloatOp::FromInt.apply(7, 0)), 7.0);
+    }
+
+    #[test]
+    fn classes_cover_all_ops() {
+        for c in TamClass::ALL {
+            assert_eq!(TamClass::ALL[c.index()], c);
+        }
+        assert!(TamClass::IFetch.is_message());
+        assert!(!TamClass::FloatAlu.is_message());
+    }
+}

@@ -1,0 +1,47 @@
+//! # tcni-tam — a Threaded Abstract Machine runtime
+//!
+//! The workload substrate for the TCNI reproduction of Henry & Joerg
+//! (ASPLOS 1992). The paper's program-level evaluation (§4.2, Figure 12)
+//! compiled Id programs to Berkeley's Threaded Abstract Machine
+//! ([CSS+91]), ran them on a TAM instruction-set simulator to obtain
+//! dynamic instruction counts per class, and expanded each class into RISC
+//! cycles per network-interface model.
+//!
+//! This crate rebuilds that pipeline: a TAM bytecode ([`TamOp`]) with
+//! threads, inlets, frames, and synchronization counters; an interpreter
+//! ([`TamMachine`]) with per-node LIFO scheduling that counts dynamic
+//! instructions and the message mix; and the benchmark programs —
+//! [`programs::matmul`] (blocked 4×4 matrix multiply), [`programs::gamteb`]
+//! (Monte Carlo photon transport), and [`programs::fib`] (an extra
+//! send-heavy program; the paper notes its other benchmarks "give similar
+//! results").
+//!
+//! ## Example
+//!
+//! ```
+//! use tcni_tam::programs;
+//!
+//! // A small matrix multiply; counts feed the Figure-12 cost model.
+//! let out = programs::matmul::run(8, 2).unwrap();
+//! assert!(out.counts.msgs.preads() > 0);
+//! assert!(out.counts.flops_per_message() > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod counts;
+mod instr;
+mod listing;
+pub mod programs;
+mod runtime;
+
+pub use block::{BlockBuilder, CodeBlock, Inlet, TamProgram};
+pub use counts::{MessageMix, TamCounts};
+pub use instr::{CodeBlockId, FloatOp, InletId, IntOp, Slot, TamClass, TamOp, ThreadId};
+pub use runtime::{RunReport, TamError, TamMachine, MAX_SEND_ARGS};
+
+/// Raw-bit helper: a float constant for [`TamOp::Imm`].
+pub fn f32bits(x: f32) -> u32 {
+    x.to_bits()
+}

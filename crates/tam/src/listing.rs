@@ -1,0 +1,140 @@
+//! Human-readable listings of TAM programs — a TL0-style "assembly view"
+//! for debugging the hand-built benchmark code blocks.
+
+use std::fmt;
+
+use crate::block::TamProgram;
+use crate::instr::{FloatOp, IntOp, TamOp};
+
+fn int_op(op: IntOp) -> &'static str {
+    match op {
+        IntOp::Add => "iadd",
+        IntOp::Sub => "isub",
+        IntOp::Mul => "imul",
+        IntOp::Div => "idiv",
+        IntOp::Rem => "irem",
+        IntOp::And => "iand",
+        IntOp::Or => "ior",
+        IntOp::Xor => "ixor",
+        IntOp::Shl => "ishl",
+        IntOp::Shr => "ishr",
+        IntOp::Lt => "ilt",
+        IntOp::Le => "ile",
+        IntOp::Eq => "ieq",
+        IntOp::Ne => "ine",
+    }
+}
+
+impl fmt::Display for TamOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamOp::Imm { dst, value } => write!(f, "imm    s{dst} = {value:#x}"),
+            TamOp::Mov { dst, src } => write!(f, "mov    s{dst} = s{src}"),
+            TamOp::Int { op, dst, a, b } => write!(f, "{:<6} s{dst} = s{a}, s{b}", int_op(*op)),
+            TamOp::IntI { op, dst, a, imm } => {
+                write!(f, "{:<6} s{dst} = s{a}, #{}", int_op(*op), *imm as i32)
+            }
+            TamOp::Float { op, dst, a, b } => {
+                let name = match op {
+                    FloatOp::Add => "fadd",
+                    FloatOp::Sub => "fsub",
+                    FloatOp::Mul => "fmul",
+                    FloatOp::Div => "fdiv",
+                    FloatOp::Lt => "flt",
+                    FloatOp::FromInt => "itof",
+                    FloatOp::ToInt => "ftoi",
+                };
+                write!(f, "{name:<6} s{dst} = s{a}, s{b}")
+            }
+            TamOp::Rand { dst } => write!(f, "rand   s{dst}"),
+            TamOp::Fork { thread } => write!(f, "fork   t{}", thread.0),
+            TamOp::Switch { cond, if_true, if_false } => {
+                write!(f, "switch s{cond} ? t{} : t{}", if_true.0, if_false.0)
+            }
+            TamOp::Join { counter, thread } => write!(f, "join   s{counter} → t{}", thread.0),
+            TamOp::Falloc { block, dst_fp } => write!(f, "falloc s{dst_fp} = cb{}", block.0),
+            TamOp::SendArgs { fp, inlet, args } => {
+                write!(f, "send   [s{fp}].in{} (", inlet.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "s{a}")?;
+                }
+                f.write_str(")")
+            }
+            TamOp::SendArgsDyn { fp, inlet_slot, args } => {
+                write!(f, "send   [s{fp}].in[s{inlet_slot}] (")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "s{a}")?;
+                }
+                f.write_str(")")
+            }
+            TamOp::IFetch { arr, idx, inlet } => {
+                write!(f, "ifetch s{arr}[s{idx}] → in{}", inlet.0)
+            }
+            TamOp::IStore { arr, idx, val } => write!(f, "istore s{arr}[s{idx}] = s{val}"),
+            TamOp::HAlloc { dst, len } => write!(f, "halloc s{dst} = [s{len}]"),
+            TamOp::ReadG { arr, idx, inlet } => write!(f, "readg  s{arr}[s{idx}] → in{}", inlet.0),
+            TamOp::WriteG { arr, idx, val } => write!(f, "writeg s{arr}[s{idx}] = s{val}"),
+            TamOp::GAlloc { dst, len } => write!(f, "galloc s{dst} = [s{len}]"),
+            TamOp::HaltMachine => f.write_str("halt-machine"),
+        }
+    }
+}
+
+impl fmt::Display for TamProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks().iter().enumerate() {
+            writeln!(f, "codeblock cb{i} `{}` (frame {})", b.name, b.frame_size)?;
+            for (slot, value) in &b.init {
+                writeln!(f, "  .init s{slot} = {value}")?;
+            }
+            for (j, inlet) in b.inlets.iter().enumerate() {
+                let dsts: Vec<String> = inlet.dsts.iter().map(|s| format!("s{s}")).collect();
+                writeln!(f, "  inlet in{j} ({}) → t{}", dsts.join(", "), inlet.thread.0)?;
+            }
+            for (j, t) in b.threads.iter().enumerate() {
+                writeln!(f, "  thread t{j}:")?;
+                for op in t {
+                    writeln!(f, "    {op}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::programs;
+
+    #[test]
+    fn listing_is_complete_and_readable() {
+        let p = programs::fib::build(5);
+        let text = p.to_string();
+        assert!(text.contains("codeblock cb0 `fib`"));
+        assert!(text.contains(".init s4 = 2"));
+        assert!(text.contains("inlet in0 (s1, s2)"));
+        assert!(text.contains("switch"));
+        assert!(text.contains("send   [s1].in[s2]"));
+        // Every thread of every block appears.
+        for (i, b) in p.blocks().iter().enumerate() {
+            for j in 0..b.threads.len() {
+                assert!(text.contains(&format!("thread t{j}")), "cb{i} t{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_op_kind_has_a_listing_form() {
+        let p = programs::gamteb::build(1);
+        let text = p.to_string();
+        for needle in ["ifetch", "istore", "readg", "writeg", "halloc", "galloc", "rand", "join", "fork"] {
+            assert!(text.contains(needle), "missing `{needle}` in listing");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Recursive Fibonacci — an extra, send-dominated fine-grain program.
+//!
+//! The paper reports results for two programs and notes "the rest give
+//! similar results"; `fib` stands in for those: pure call/return traffic
+//! (`Send(1)`/`Send(2)` messages), no heap, maximal frame churn. It also
+//! exercises the general continuation form: children reply through an
+//! `(fp, inlet)` pair passed in their argument message.
+
+use crate::block::TamProgram;
+use crate::counts::TamCounts;
+use crate::instr::{InletId, IntOp, TamOp};
+use crate::runtime::{TamError, TamMachine};
+
+use super::util::imm;
+
+/// Result of a fib run.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Dynamic instruction counts and message mix.
+    pub counts: TamCounts,
+    /// The computed value (fib(0) = fib(1) = 1).
+    pub value: u32,
+}
+
+/// The reference value.
+pub fn reference(n: u32) -> u32 {
+    let (mut a, mut b) = (1u32, 1u32);
+    for _ in 0..n {
+        let t = a + b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Builds the TAM program.
+pub fn build(n: u32) -> TamProgram {
+    let mut p = TamProgram::new();
+
+    // fib slots: 0 SELF, 1 parent fp, 2 return inlet, 3 n, 4 arg counter,
+    //            5 child1, 6 child2, 7 r1, 8 r2, 9 result counter,
+    //            10 tmp, 11 cmp, 12 const
+    let fib_self = p.next_block_id();
+    let fib = p.block("fib", 13, |b| {
+        b.init(4, 2); // two argument messages
+        b.init(9, 2); // two child results
+        let t_arg = b.declare_thread();
+        let t_start = b.declare_thread();
+        let t_base = b.declare_thread();
+        let t_rec = b.declare_thread();
+        let t_res = b.declare_thread();
+        let t_sum = b.declare_thread();
+
+        let cont = b.inlet(vec![1, 2], t_arg);
+        let n_in = b.inlet(vec![3], t_arg);
+        let r1 = b.inlet(vec![7], t_res);
+        let r2 = b.inlet(vec![8], t_res);
+        assert_eq!(
+            (cont, n_in, r1, r2),
+            (FIB_CONT_INLET, FIB_N_INLET, InletId(2), InletId(3))
+        );
+
+        b.define_thread(t_arg, vec![TamOp::Join { counter: 4, thread: t_start }]);
+        b.define_thread(
+            t_start,
+            vec![
+                TamOp::IntI { op: IntOp::Lt, dst: 11, a: 3, imm: 2 },
+                TamOp::Switch { cond: 11, if_true: t_base, if_false: t_rec },
+            ],
+        );
+        b.define_thread(
+            t_base,
+            vec![
+                imm(10, 1),
+                TamOp::SendArgsDyn { fp: 1, inlet_slot: 2, args: vec![10] },
+            ],
+        );
+        b.define_thread(
+            t_rec,
+            vec![
+                TamOp::Falloc { block: fib_self, dst_fp: 5 },
+                TamOp::Falloc { block: fib_self, dst_fp: 6 },
+                imm(12, 2), // reply to inlet r1
+                TamOp::SendArgs { fp: 5, inlet: FIB_CONT_INLET, args: vec![0, 12] },
+                TamOp::IntI { op: IntOp::Sub, dst: 10, a: 3, imm: 1 },
+                TamOp::SendArgs { fp: 5, inlet: FIB_N_INLET, args: vec![10] },
+                imm(12, 3), // reply to inlet r2
+                TamOp::SendArgs { fp: 6, inlet: FIB_CONT_INLET, args: vec![0, 12] },
+                TamOp::IntI { op: IntOp::Sub, dst: 10, a: 3, imm: 2 },
+                TamOp::SendArgs { fp: 6, inlet: FIB_N_INLET, args: vec![10] },
+            ],
+        );
+        b.define_thread(t_res, vec![TamOp::Join { counter: 9, thread: t_sum }]);
+        b.define_thread(
+            t_sum,
+            vec![
+                TamOp::Int { op: IntOp::Add, dst: 10, a: 7, b: 8 },
+                TamOp::SendArgsDyn { fp: 1, inlet_slot: 2, args: vec![10] },
+            ],
+        );
+    });
+
+    // main slots: 0 SELF, 1 result, 2 child, 3 tmp, 4 done flag
+    p.block("main", 5, |b| {
+        let t_entry = b.declare_thread();
+        let t_got = b.declare_thread();
+        b.define_thread(
+            t_entry,
+            vec![
+                TamOp::Falloc { block: fib, dst_fp: 2 },
+                imm(3, 0), // main's result inlet number
+                TamOp::SendArgs { fp: 2, inlet: FIB_CONT_INLET, args: vec![0, 3] },
+                imm(3, n),
+                TamOp::SendArgs { fp: 2, inlet: FIB_N_INLET, args: vec![3] },
+            ],
+        );
+        b.define_thread(t_got, vec![imm(4, 1)]);
+        let result = b.inlet(vec![1], t_got);
+        assert_eq!(result, InletId(0));
+    });
+
+    debug_assert_eq!(fib, fib_self);
+    let _ = fib;
+    p
+}
+
+/// `fib` replies through inlet numbers passed as data; these are the
+/// argument inlets.
+const FIB_CONT_INLET: InletId = InletId(0);
+const FIB_N_INLET: InletId = InletId(1);
+
+/// Runs fib(n) on `nodes` logical nodes.
+///
+/// # Errors
+///
+/// Propagates [`TamError`].
+pub fn run(n: u32, nodes: usize) -> Result<Output, TamError> {
+    let program = build(n);
+    let main = program.lookup("main").expect("main exists");
+    let mut m = TamMachine::new(program, nodes, 1);
+    let root = m.spawn_main(main);
+    m.run(200_000_000)?;
+    assert_eq!(m.frame_slot(root, 4), 1, "main must receive the result");
+    Ok(Output {
+        counts: *m.counts(),
+        value: m.frame_slot(root, 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_match_reference() {
+        for n in 0..12 {
+            let out = run(n, 4).unwrap();
+            assert_eq!(out.value, reference(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn traffic_is_all_sends() {
+        let out = run(10, 4).unwrap();
+        let m = &out.counts.msgs;
+        assert!(m.send[1] > 0 && m.send[2] > 0);
+        assert_eq!(m.preads() + m.pwrites() + m.read + m.write, 0);
+        assert_eq!(m.responses, 0);
+    }
+
+    #[test]
+    fn frame_count_matches_call_tree() {
+        // Calls(n) = 1 + calls(n-1) + calls(n-2), calls(0)=calls(1)=1; +1 main.
+        fn calls(n: u32) -> u64 {
+            if n < 2 {
+                1
+            } else {
+                1 + calls(n - 1) + calls(n - 2)
+            }
+        }
+        let out = run(9, 2).unwrap();
+        assert_eq!(out.counts.frames, calls(9) + 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Gamteb — Monte Carlo photon transport, the paper's second Figure-12
+//! benchmark.
+//!
+//! The original Gamteb (from the Los Alamos benchmark suite, written in Id)
+//! tracks photons through a carbon cylinder. We reproduce its *computational
+//! shape* rather than its physics (per the substitution policy in
+//! DESIGN.md): photons carry an energy bin and undergo collisions; each
+//! collision samples a random number and looks up a scattering probability
+//! in a shared cross-section table (an I-structure, so lookups are `PRead`
+//! messages and early photons defer behind the table producer); photons that
+//! stop scattering consult a geometry constant (`Read` message) and either
+//! escape or are absorbed; every terminated photon sends its weight to a
+//! tally frame (`Send(1)`). The scale parameter — the paper runs "16
+//! Gamteb" — is the number of source batches.
+//!
+//! The result is an irregular, data-dependent message mix over `Send`,
+//! `Read`, `PRead`, and `PWrite` traffic, which is what Figure 12 needs.
+
+use crate::block::TamProgram;
+use crate::counts::TamCounts;
+use crate::instr::{InletId, IntOp, TamOp};
+use crate::runtime::{TamError, TamMachine};
+use crate::FloatOp;
+
+use super::util::{fimm, ii, imm};
+
+/// Number of energy bins in the cross-section table.
+pub const NBINS: u32 = 8;
+
+/// Photons per source batch.
+pub const PHOTONS_PER_BATCH: u32 = 64;
+
+/// Scale of 2^-31: converts `Rand`'s 31-bit integers to [0, 1).
+const RAND_SCALE: f32 = 4.656_613e-10;
+
+/// Result of a Gamteb run.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Dynamic instruction counts and message mix.
+    pub counts: TamCounts,
+    /// Photons absorbed in the medium.
+    pub absorbed: u32,
+    /// Photons that escaped the cylinder.
+    pub escaped: u32,
+    /// Photons sourced.
+    pub total: u32,
+}
+
+const TALLY_ABSORB: InletId = InletId(0);
+const TALLY_ESCAPE: InletId = InletId(1);
+const TALLY_ARGS: InletId = InletId(2);
+const MAIN_DONE: InletId = InletId(0);
+const ARGS0: InletId = InletId(0);
+const PHOTON_SIGMA: InletId = InletId(1);
+const PHOTON_GEOM: InletId = InletId(2);
+
+/// Builds the program for `batches` source batches.
+pub fn build(batches: u32) -> TamProgram {
+    assert!(batches > 0, "need at least one batch");
+    let total = batches * PHOTONS_PER_BATCH;
+    let mut p = TamProgram::new();
+
+    // ---- xsfill: produces the cross-section table -------------------------
+    // xs[e] = 0.3 + 0.08 e — scattering probability per energy bin.
+    // slots: 0 SELF, 1 xs, 2 i, 3 sigma, 4 tmp, 5 cmp
+    let xsfill = p.block("xsfill", 6, |b| {
+        let t_loop = b.declare_thread();
+        let t_end = b.declare_thread();
+        let t_entry = b.thread(vec![imm(2, 0), TamOp::Fork { thread: t_loop }]);
+        b.define_thread(
+            t_loop,
+            vec![
+                TamOp::Float { op: FloatOp::FromInt, dst: 3, a: 2, b: 2 },
+                fimm(4, 0.08),
+                TamOp::Float { op: FloatOp::Mul, dst: 3, a: 3, b: 4 },
+                fimm(4, 0.3),
+                TamOp::Float { op: FloatOp::Add, dst: 3, a: 3, b: 4 },
+                TamOp::IStore { arr: 1, idx: 2, val: 3 },
+                ii(IntOp::Add, 2, 2, 1),
+                ii(IntOp::Lt, 5, 2, NBINS as i32),
+                TamOp::Switch { cond: 5, if_true: t_loop, if_false: t_end },
+            ],
+        );
+        b.define_thread(t_end, vec![TamOp::Mov { dst: 5, src: 5 }]);
+        let args = b.inlet(vec![1], t_entry);
+        assert_eq!(args, ARGS0);
+    });
+
+    // ---- tally: accumulates photon fates, reports to main -----------------
+    // slots: 0 SELF, 1 main fp, 2 absorbed, 3 escaped, 4 remaining, 5 wtmp
+    let tally = p.block("tally", 6, |b| {
+        b.init(4, total + 1); // all photons + the argument message
+        let t_a = b.declare_thread();
+        let t_e = b.declare_thread();
+        let t_arg = b.declare_thread();
+        let t_done = b.declare_thread();
+        b.define_thread(
+            t_a,
+            vec![ii(IntOp::Add, 2, 2, 1), TamOp::Join { counter: 4, thread: t_done }],
+        );
+        b.define_thread(
+            t_e,
+            vec![ii(IntOp::Add, 3, 3, 1), TamOp::Join { counter: 4, thread: t_done }],
+        );
+        b.define_thread(t_arg, vec![TamOp::Join { counter: 4, thread: t_done }]);
+        b.define_thread(
+            t_done,
+            vec![TamOp::SendArgs { fp: 1, inlet: MAIN_DONE, args: vec![] }],
+        );
+        let absorb = b.inlet(vec![5], t_a);
+        let escape = b.inlet(vec![5], t_e);
+        let args = b.inlet(vec![1], t_arg);
+        assert_eq!((absorb, escape, args), (TALLY_ABSORB, TALLY_ESCAPE, TALLY_ARGS));
+    });
+
+    // ---- photon: one history --------------------------------------------
+    // slots: 0 SELF, 1 tally, 2 e, 3 weight, 4 r, 5 sigma, 6 rf, 7 cmp,
+    //        8 const, 9 pesc, 10 handle
+    let photon = p.block("photon", 11, |b| {
+        let t_track = b.declare_thread();
+        let t_decide = b.declare_thread();
+        let t_scatter = b.declare_thread();
+        let t_exit_try = b.declare_thread();
+        let t_exit_decide = b.declare_thread();
+        let t_absorb = b.declare_thread();
+        let t_escape = b.declare_thread();
+
+        let args = b.inlet(vec![1, 2], t_track);
+        let sigma_in = b.inlet(vec![5], t_decide);
+        let geom_in = b.inlet(vec![9], t_exit_decide);
+        assert_eq!((args, sigma_in, geom_in), (ARGS0, PHOTON_SIGMA, PHOTON_GEOM));
+
+        // Collision: sample r, look up σ_s(e) in the shared table (PRead).
+        b.define_thread(
+            t_track,
+            vec![
+                TamOp::Rand { dst: 4 },
+                TamOp::Float { op: FloatOp::FromInt, dst: 6, a: 4, b: 4 },
+                fimm(8, RAND_SCALE),
+                TamOp::Float { op: FloatOp::Mul, dst: 6, a: 6, b: 8 },
+                imm(10, XS_HANDLE),
+                TamOp::IFetch { arr: 10, idx: 2, inlet: sigma_in },
+            ],
+        );
+        b.define_thread(
+            t_decide,
+            vec![
+                TamOp::Float { op: FloatOp::Lt, dst: 7, a: 6, b: 5 },
+                TamOp::Switch { cond: 7, if_true: t_scatter, if_false: t_exit_try },
+            ],
+        );
+        // Compton scattering: lose one energy bin; full absorption at e < 0.
+        b.define_thread(
+            t_scatter,
+            vec![
+                ii(IntOp::Sub, 2, 2, 1),
+                ii(IntOp::Lt, 7, 2, 0),
+                TamOp::Switch { cond: 7, if_true: t_absorb, if_false: t_track },
+            ],
+        );
+        // No scatter: consult the geometry (plain Read) for the escape
+        // probability.
+        b.define_thread(
+            t_exit_try,
+            vec![
+                imm(10, GEOM_HANDLE),
+                imm(8, 0),
+                TamOp::ReadG { arr: 10, idx: 8, inlet: geom_in },
+            ],
+        );
+        b.define_thread(
+            t_exit_decide,
+            vec![
+                TamOp::Rand { dst: 4 },
+                TamOp::Float { op: FloatOp::FromInt, dst: 6, a: 4, b: 4 },
+                fimm(8, RAND_SCALE),
+                TamOp::Float { op: FloatOp::Mul, dst: 6, a: 6, b: 8 },
+                TamOp::Float { op: FloatOp::Lt, dst: 7, a: 6, b: 9 },
+                TamOp::Switch { cond: 7, if_true: t_escape, if_false: t_absorb },
+            ],
+        );
+        b.define_thread(
+            t_absorb,
+            vec![
+                fimm(3, 1.0),
+                TamOp::SendArgs { fp: 1, inlet: TALLY_ABSORB, args: vec![3] },
+            ],
+        );
+        b.define_thread(
+            t_escape,
+            vec![
+                fimm(3, 1.0),
+                TamOp::SendArgs { fp: 1, inlet: TALLY_ESCAPE, args: vec![3] },
+            ],
+        );
+    });
+
+    // ---- batch: sources PHOTONS_PER_BATCH photons -------------------------
+    // slots: 0 SELF, 1 tally, 2 batch#, 3 p, 4 child, 5 cmp, 6 e0
+    let batch = p.block("batch", 7, |b| {
+        let t_loop = b.declare_thread();
+        let t_end = b.declare_thread();
+        let t_entry = b.thread(vec![imm(3, 0), TamOp::Fork { thread: t_loop }]);
+        b.define_thread(
+            t_loop,
+            vec![
+                TamOp::Falloc { block: photon, dst_fp: 4 },
+                imm(6, NBINS - 1), // source photons at the highest energy
+                TamOp::SendArgs { fp: 4, inlet: ARGS0, args: vec![1, 6] },
+                ii(IntOp::Add, 3, 3, 1),
+                ii(IntOp::Lt, 5, 3, PHOTONS_PER_BATCH as i32),
+                TamOp::Switch { cond: 5, if_true: t_loop, if_false: t_end },
+            ],
+        );
+        b.define_thread(t_end, vec![TamOp::Mov { dst: 5, src: 5 }]);
+        let args = b.inlet(vec![1, 2], t_entry);
+        assert_eq!(args, ARGS0);
+    });
+
+    // ---- main -------------------------------------------------------------
+    // slots: 0 SELF, 1 xs, 2 geom, 3 tally, 4 child, 5 tmp, 6 done, 7 len,
+    //        8 b, 9 cmp
+    p.block("main", 10, |b| {
+        let t_entry = b.declare_thread();
+        let t_spawn = b.declare_thread();
+        let t_spawned = b.declare_thread();
+        let t_done = b.declare_thread();
+        b.define_thread(
+            t_entry,
+            vec![
+                imm(7, NBINS),
+                TamOp::HAlloc { dst: 1, len: 7 }, // handle 0 = XS_HANDLE
+                imm(7, 4),
+                TamOp::GAlloc { dst: 2, len: 7 }, // handle 0x8000_0000 = GEOM
+                fimm(5, 0.4),                     // escape probability
+                imm(7, 0),
+                TamOp::WriteG { arr: 2, idx: 7, val: 5 },
+                TamOp::Falloc { block: tally, dst_fp: 3 },
+                TamOp::SendArgs { fp: 3, inlet: TALLY_ARGS, args: vec![0] },
+                TamOp::Falloc { block: xsfill, dst_fp: 4 },
+                TamOp::SendArgs { fp: 4, inlet: ARGS0, args: vec![1] },
+                imm(8, 0),
+                TamOp::Fork { thread: t_spawn },
+            ],
+        );
+        b.define_thread(
+            t_spawn,
+            vec![
+                TamOp::Falloc { block: batch, dst_fp: 4 },
+                TamOp::SendArgs { fp: 4, inlet: ARGS0, args: vec![3, 8] },
+                ii(IntOp::Add, 8, 8, 1),
+                ii(IntOp::Lt, 9, 8, batches as i32),
+                TamOp::Switch { cond: 9, if_true: t_spawn, if_false: t_spawned },
+            ],
+        );
+        b.define_thread(t_spawned, vec![TamOp::Mov { dst: 9, src: 9 }]);
+        b.define_thread(t_done, vec![imm(6, 1)]);
+        let done = b.inlet(vec![], t_done);
+        assert_eq!(done, MAIN_DONE);
+    });
+
+    let _ = xsfill;
+    p
+}
+
+/// The cross-section table is the program's first I-structure allocation.
+const XS_HANDLE: u32 = 0;
+/// The geometry table is the program's first plain-global allocation.
+const GEOM_HANDLE: u32 = 0x8000_0000;
+
+/// Runs Gamteb with the given batch count (the paper's figure uses 16).
+///
+/// # Errors
+///
+/// Propagates [`TamError`].
+pub fn run(batches: u32, nodes: usize, seed: u64) -> Result<Output, TamError> {
+    let program = build(batches);
+    let main = program.lookup("main").expect("main exists");
+    let mut m = TamMachine::new(program, nodes, seed);
+    let root = m.spawn_main(main);
+    let budget = u64::from(batches) * 2_000_000 + 1_000_000;
+    m.run(budget)?;
+    assert_eq!(m.frame_slot(root, 6), 1, "tally must complete");
+    let tally_fp = m.frame_slot(root, 3);
+    let absorbed = m.frame_slot(tally_fp, 2);
+    let escaped = m.frame_slot(tally_fp, 3);
+    Ok(Output {
+        counts: *m.counts(),
+        absorbed,
+        escaped,
+        total: batches * PHOTONS_PER_BATCH,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_photon_is_accounted_for() {
+        let out = run(4, 8, 42).unwrap();
+        assert_eq!(out.absorbed + out.escaped, out.total);
+        assert!(out.absorbed > 0, "some photons must be absorbed");
+        assert!(out.escaped > 0, "some photons must escape");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed_and_sensitive_to_it() {
+        let a = run(2, 4, 7).unwrap();
+        let b = run(2, 4, 7).unwrap();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!((a.absorbed, a.escaped), (b.absorbed, b.escaped));
+        let c = run(2, 4, 8).unwrap();
+        assert_ne!(
+            (a.absorbed, a.counts.msgs.preads()),
+            (c.absorbed, c.counts.msgs.preads()),
+            "different seed should change photon histories"
+        );
+    }
+
+    #[test]
+    fn message_mix_is_irregular_and_complete() {
+        let out = run(4, 8, 1).unwrap();
+        let m = &out.counts.msgs;
+        assert_eq!(m.pwrites(), u64::from(NBINS), "one PWrite per table entry");
+        assert!(m.preads() >= u64::from(out.total), "≥1 collision per photon");
+        assert!(m.read > 0, "geometry consultations are plain Reads");
+        assert_eq!(m.write, 1, "one geometry write");
+        assert!(m.send[1] >= u64::from(out.total), "every photon tallies");
+        // Early photons race the table producer: deferrals must occur.
+        assert!(m.pread_empty + m.pread_deferred > 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Blocked matrix multiply — the paper's first Figure-12 benchmark.
+//!
+//! "The matrix multiply program subdivides matrices into 4 by 4 blocks and
+//! computes their products" (§4.2). Structure:
+//!
+//! * `main` allocates I-structure arrays `A`, `B`, `C` (`n×n` each), spawns
+//!   two `fill` invocations that produce `A` and `B`, and — without waiting,
+//!   Id being non-strict — spawns one `block_job` invocation per 4×4 output
+//!   block. Consumers therefore race producers, and the PRead
+//!   full/empty/deferred mix arises naturally, exactly the quantity the
+//!   paper measured with Mint.
+//! * each `block_job(bi, bj)` loops over the `n/4` block row/column,
+//!   fetching a 4×4 block of `A` and of `B` (32 `PRead`s), synchronizing on
+//!   an entry counter, and accumulating 64 multiply-adds — ≈3 floating-point
+//!   operations per message, matching the paper's grain-size remark — then
+//!   stores its 16 results (`PWrite`s) and signals `main` (`Send(0)`).
+//!
+//! At `n = 100` this reproduces the paper's left bar group of Figure 12.
+
+use crate::block::TamProgram;
+use crate::counts::TamCounts;
+use crate::instr::{InletId, IntOp, TamOp, ThreadId};
+use crate::runtime::{TamError, TamMachine};
+
+use super::util::{ii, imm};
+
+/// Result of a matmul run.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Dynamic instruction counts and message mix.
+    pub counts: TamCounts,
+    /// The computed product, row-major.
+    pub c: Vec<f32>,
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl Output {
+    /// Element `C[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn c(&self, i: usize, j: usize) -> f32 {
+        self.c[i * self.n + j]
+    }
+}
+
+/// The fill function: `A[idx] = B[idx] = (idx mod 7)` as a float. Small
+/// integers keep every intermediate product exact in `f32`, so correctness
+/// checks can use exact comparison.
+pub fn fill_value(idx: usize) -> f32 {
+    (idx % 7) as f32
+}
+
+/// The reference product for validation.
+pub fn reference(n: usize) -> Vec<f32> {
+    let a: Vec<f32> = (0..n * n).map(fill_value).collect();
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * a[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Builds the TAM program for an `n×n` multiply (n divisible by 4).
+pub fn build(n: usize) -> TamProgram {
+    assert!(n >= 4 && n.is_multiple_of(4), "n must be a positive multiple of 4");
+    let n32 = n as u32;
+    let nb = (n / 4) as u32;
+    let nn = (n * n) as u32;
+
+    let mut p = TamProgram::new();
+
+    // ---- fill: writes `arr[i] = fill_value(i)` for i in 0..n*n -----------
+    // slots: 0 SELF, 1 arr, 2 parent, 3 i, 4 val, 5 tmp, 6 cmp
+    let fill = p.block("fill", 7, |b| {
+        let t_loop = b.declare_thread();
+        let t_done = b.declare_thread();
+        let t_entry = b.thread(vec![imm(3, 0), TamOp::Fork { thread: t_loop }]);
+        b.define_thread(
+            t_loop,
+            vec![
+                ii(IntOp::Rem, 5, 3, 7),
+                TamOp::Float {
+                    op: crate::FloatOp::FromInt,
+                    dst: 4,
+                    a: 5,
+                    b: 5,
+                },
+                TamOp::IStore { arr: 1, idx: 3, val: 4 },
+                ii(IntOp::Add, 3, 3, 1),
+                ii(IntOp::Lt, 6, 3, nn as i32),
+                TamOp::Switch {
+                    cond: 6,
+                    if_true: t_loop,
+                    if_false: t_done,
+                },
+            ],
+        );
+        // Send(0): tell main this producer finished.
+        b.define_thread(
+            t_done,
+            vec![TamOp::SendArgs {
+                fp: 2,
+                inlet: MAIN_DONE_INLET,
+                args: vec![],
+            }],
+        );
+        let args = b.inlet(vec![1, 2], t_entry);
+        assert_eq!(args, FILL_ARGS_INLET);
+    });
+
+    // ---- block_job: one 4×4 output block ---------------------------------
+    // slots: 0 SELF, 1 bi, 2 bj, 3 A, 4 B, 5 C, 6 parent, 7 argcnt, 8 bk,
+    //        9 fetchcnt, 10..25 a[e], 26..41 b[e], 42..57 c[e],
+    //        58/59 idx tmps, 60 cmp, 61 prod tmp
+    let block_job = p.block("block_job", 62, |b| {
+        b.init(7, 3); // three argument messages
+        let t_arg = b.declare_thread();
+        let t_start = b.declare_thread();
+        let t_bk = b.declare_thread();
+        let t_fetch = b.declare_thread();
+        let t_joinf = b.declare_thread();
+        let t_compute = b.declare_thread();
+        let t_store = b.declare_thread();
+
+        // Inlets: argument pairs then the 32 element inlets.
+        let ab = b.inlet(vec![3, 4], t_arg);
+        let cp = b.inlet(vec![5, 6], t_arg);
+        let bij = b.inlet(vec![1, 2], t_arg);
+        assert_eq!((ab, cp, bij), (BJ_AB_INLET, BJ_CP_INLET, BJ_BIJ_INLET));
+        let mut a_inlets = Vec::new();
+        let mut b_inlets = Vec::new();
+        for e in 0..16u16 {
+            a_inlets.push(b.inlet(vec![10 + e], t_joinf));
+        }
+        for e in 0..16u16 {
+            b_inlets.push(b.inlet(vec![26 + e], t_joinf));
+        }
+
+        b.define_thread(t_arg, vec![TamOp::Join { counter: 7, thread: t_start }]);
+
+        let mut start_ops = vec![imm(8, 0)];
+        for e in 0..16u16 {
+            start_ops.push(imm(42 + e, 0)); // f32 0.0 has bit pattern 0
+        }
+        start_ops.push(TamOp::Fork { thread: t_bk });
+        b.define_thread(t_start, start_ops);
+
+        b.define_thread(
+            t_bk,
+            vec![
+                ii(IntOp::Lt, 60, 8, nb as i32),
+                TamOp::Switch {
+                    cond: 60,
+                    if_true: t_fetch,
+                    if_false: t_store,
+                },
+            ],
+        );
+
+        // Fetch a 4×4 block of A (rows 4bi+r, cols 4bk+k) and of B
+        // (rows 4bk+k, cols 4bj+c).
+        let mut fetch_ops = vec![imm(9, 32)];
+        for e in 0..16u16 {
+            let (r, k) = (e / 4, e % 4);
+            fetch_ops.extend([
+                ii(IntOp::Mul, 58, 1, 4),
+                ii(IntOp::Add, 58, 58, i32::from(r)),
+                ii(IntOp::Mul, 58, 58, n32 as i32),
+                ii(IntOp::Mul, 59, 8, 4),
+                ii(IntOp::Add, 59, 59, i32::from(k)),
+                TamOp::Int { op: IntOp::Add, dst: 58, a: 58, b: 59 },
+                TamOp::IFetch { arr: 3, idx: 58, inlet: a_inlets[e as usize] },
+            ]);
+        }
+        for e in 0..16u16 {
+            let (k, c) = (e / 4, e % 4);
+            fetch_ops.extend([
+                ii(IntOp::Mul, 58, 8, 4),
+                ii(IntOp::Add, 58, 58, i32::from(k)),
+                ii(IntOp::Mul, 58, 58, n32 as i32),
+                ii(IntOp::Mul, 59, 2, 4),
+                ii(IntOp::Add, 59, 59, i32::from(c)),
+                TamOp::Int { op: IntOp::Add, dst: 58, a: 58, b: 59 },
+                TamOp::IFetch { arr: 4, idx: 58, inlet: b_inlets[e as usize] },
+            ]);
+        }
+        b.define_thread(t_fetch, fetch_ops);
+
+        b.define_thread(t_joinf, vec![TamOp::Join { counter: 9, thread: t_compute }]);
+
+        // 4×4×4 multiply-accumulate: 128 floating-point operations.
+        let mut comp_ops = Vec::new();
+        for r in 0..4u16 {
+            for c in 0..4u16 {
+                for k in 0..4u16 {
+                    comp_ops.push(TamOp::Float {
+                        op: crate::FloatOp::Mul,
+                        dst: 61,
+                        a: 10 + r * 4 + k,
+                        b: 26 + k * 4 + c,
+                    });
+                    comp_ops.push(TamOp::Float {
+                        op: crate::FloatOp::Add,
+                        dst: 42 + r * 4 + c,
+                        a: 42 + r * 4 + c,
+                        b: 61,
+                    });
+                }
+            }
+        }
+        comp_ops.push(ii(IntOp::Add, 8, 8, 1));
+        comp_ops.push(TamOp::Fork { thread: t_bk });
+        b.define_thread(t_compute, comp_ops);
+
+        // Store the 16 results and signal completion.
+        let mut store_ops = Vec::new();
+        for e in 0..16u16 {
+            let (r, c) = (e / 4, e % 4);
+            store_ops.extend([
+                ii(IntOp::Mul, 58, 1, 4),
+                ii(IntOp::Add, 58, 58, i32::from(r)),
+                ii(IntOp::Mul, 58, 58, n32 as i32),
+                ii(IntOp::Mul, 59, 2, 4),
+                ii(IntOp::Add, 59, 59, i32::from(c)),
+                TamOp::Int { op: IntOp::Add, dst: 58, a: 58, b: 59 },
+                TamOp::IStore { arr: 5, idx: 58, val: 42 + e },
+            ]);
+        }
+        store_ops.push(TamOp::SendArgs {
+            fp: 6,
+            inlet: MAIN_DONE_INLET,
+            args: vec![],
+        });
+        b.define_thread(t_store, store_ops);
+    });
+
+    // ---- main -------------------------------------------------------------
+    // slots: 0 SELF, 1 n, 2 A, 3 B, 4 C, 5 nn, 6 completions, 7 child,
+    //        8 bi, 9 bj, 10 cmp, 11 (unused), 12 done flag
+    p.block("main", 13, |b| {
+        // Completions: 2 fills + nb*nb block jobs.
+        b.init(6, 2 + nb * nb);
+        // Thread 0 is the program entry (spawn_main schedules it).
+        let t_entry = b.declare_thread();
+        let t_spawn_loop = b.declare_thread();
+        let t_row = b.declare_thread();
+        let t_spawned = b.declare_thread();
+        let t_join = b.declare_thread();
+        let t_done = b.declare_thread();
+
+        let entry = vec![
+            imm(1, n32),
+            ii(IntOp::Mul, 5, 1, n32 as i32),
+            TamOp::HAlloc { dst: 2, len: 5 },
+            TamOp::HAlloc { dst: 3, len: 5 },
+            TamOp::HAlloc { dst: 4, len: 5 },
+            // Producers…
+            TamOp::Falloc { block: fill, dst_fp: 7 },
+            TamOp::SendArgs { fp: 7, inlet: FILL_ARGS_INLET, args: vec![2, 0] },
+            TamOp::Falloc { block: fill, dst_fp: 7 },
+            TamOp::SendArgs { fp: 7, inlet: FILL_ARGS_INLET, args: vec![3, 0] },
+            // …and consumers, concurrently (non-strictness).
+            imm(8, 0),
+            imm(9, 0),
+            TamOp::Fork { thread: t_spawn_loop },
+        ];
+        b.define_thread(t_entry, entry);
+        assert_eq!(t_entry, ThreadId(0), "spawn_main runs thread 0");
+
+        b.define_thread(
+            t_spawn_loop,
+            vec![
+                TamOp::Falloc { block: block_job, dst_fp: 7 },
+                TamOp::SendArgs { fp: 7, inlet: BJ_AB_INLET, args: vec![2, 3] },
+                TamOp::SendArgs { fp: 7, inlet: BJ_CP_INLET, args: vec![4, 0] },
+                TamOp::SendArgs { fp: 7, inlet: BJ_BIJ_INLET, args: vec![8, 9] },
+                ii(IntOp::Add, 9, 9, 1),
+                ii(IntOp::Eq, 10, 9, nb as i32),
+                TamOp::Switch {
+                    cond: 10,
+                    if_true: t_row,
+                    if_false: t_spawn_loop,
+                },
+            ],
+        );
+        b.define_thread(
+            t_row,
+            vec![
+                imm(9, 0),
+                ii(IntOp::Add, 8, 8, 1),
+                ii(IntOp::Lt, 10, 8, nb as i32),
+                TamOp::Switch {
+                    cond: 10,
+                    if_true: t_spawn_loop,
+                    if_false: t_spawned,
+                },
+            ],
+        );
+        b.define_thread(t_spawned, vec![TamOp::Mov { dst: 10, src: 10 }]);
+        b.define_thread(t_join, vec![TamOp::Join { counter: 6, thread: t_done }]);
+        b.define_thread(t_done, vec![imm(12, 1)]);
+
+        let done = b.inlet(vec![], t_join);
+        assert_eq!(done, MAIN_DONE_INLET);
+    });
+
+    p
+}
+
+/// Inlet numbering contracts between blocks (asserted in [`build`]).
+const FILL_ARGS_INLET: InletId = InletId(0);
+const BJ_AB_INLET: InletId = InletId(0);
+const BJ_CP_INLET: InletId = InletId(1);
+const BJ_BIJ_INLET: InletId = InletId(2);
+const MAIN_DONE_INLET: InletId = InletId(0);
+
+/// Runs the benchmark on `nodes` logical nodes.
+///
+/// # Errors
+///
+/// Propagates [`TamError`] (a multiple write would indicate a program bug).
+pub fn run(n: usize, nodes: usize) -> Result<Output, TamError> {
+    let program = build(n);
+    let main = program.lookup("main").expect("main exists");
+    let mut m = TamMachine::new(program, nodes, 0x5EED);
+    let root = m.spawn_main(main);
+    // Generous budget: ~50 continuations per element-fetch.
+    let budget = (n as u64).pow(2) * 2_000 + 100_000;
+    m.run(budget)?;
+    assert_eq!(m.frame_slot(root, 12), 1, "main must observe completion");
+    let c_handle = m.frame_slot(root, 4);
+    let ist = m.istructure(c_handle).expect("C is an I-structure");
+    let c: Vec<f32> = (0..n * n)
+        .map(|i| f32::from_bits(ist.peek(i).expect("C fully written")))
+        .collect();
+    Ok(Output {
+        counts: *m.counts(),
+        c,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TamClass;
+
+    #[test]
+    fn small_product_matches_reference() {
+        let out = run(8, 4).unwrap();
+        let reference = reference(8);
+        assert_eq!(out.c, reference, "blocked TAM product must equal reference");
+    }
+
+    #[test]
+    fn twelve_by_twelve_on_various_node_counts() {
+        let reference = reference(12);
+        for nodes in [1, 3, 16] {
+            let out = run(12, nodes).unwrap();
+            assert_eq!(out.c, reference, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn message_mix_is_plausible() {
+        let n = 8;
+        let nb = (n / 4) as u64;
+        let out = run(n, 4).unwrap();
+        let m = &out.counts.msgs;
+        // 32 PReads per block-job bk-iteration.
+        assert_eq!(m.preads(), nb * nb * nb * 32);
+        // Every element of A, B, C is PWritten exactly once.
+        assert_eq!(m.pwrites(), 3 * (n * n) as u64);
+        // Every PRead eventually produces exactly one value reply.
+        assert_eq!(m.responses, m.preads());
+        // Fine-grain ratio: a handful of FP ops per message (paper: ~3).
+        let f = out.counts.flops_per_message();
+        assert!(f > 1.0 && f < 8.0, "flops/message = {f}");
+        // The consumer/producer race must actually defer some readers.
+        assert!(m.pread_deferred + m.pread_empty > 0, "expected deferrals: {m:?}");
+        assert!(m.pwrite_deferred_events > 0);
+    }
+
+    #[test]
+    fn deterministic_counts() {
+        let a = run(8, 4).unwrap();
+        let b = run(8, 4).unwrap();
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn float_work_dominates_over_messages_modestly() {
+        let out = run(8, 4).unwrap();
+        // 128 FP ops per (block, bk) iteration.
+        let nb = 2u64;
+        assert!(out.counts.ops(TamClass::FloatAlu) >= nb * nb * nb * 128);
+        // The paper: "dynamic frequency of executing a message sending
+        // instruction … is under 10%".
+        assert!(out.counts.message_op_fraction() < 0.25);
+    }
+}

@@ -1,0 +1,41 @@
+//! The benchmark programs of the paper's §4.2, expressed directly in TAM
+//! bytecode.
+//!
+//! Each program follows the paper's compilation convention: every procedure
+//! invocation gets its own frame, all arguments/results travel as `Send`
+//! messages, and all heap traffic is split-phase `PRead`/`PWrite` (or plain
+//! `Read`/`Write`) messages. The returned [`Output`](matmul::Output)s carry
+//! the dynamic [`crate::TamCounts`] that the Figure-12 cost model consumes,
+//! plus enough of the computed result to validate correctness.
+
+pub mod fib;
+pub mod gamteb;
+pub mod matmul;
+pub mod nqueens;
+
+pub(crate) mod util {
+    use crate::instr::{IntOp, Slot, TamOp};
+
+    /// `dst = op(a, imm)`.
+    pub fn ii(op: IntOp, dst: Slot, a: Slot, imm: i32) -> TamOp {
+        TamOp::IntI {
+            op,
+            dst,
+            a,
+            imm: imm as u32,
+        }
+    }
+
+    /// Integer constant.
+    pub fn imm(dst: Slot, value: u32) -> TamOp {
+        TamOp::Imm { dst, value }
+    }
+
+    /// Float constant.
+    pub fn fimm(dst: Slot, value: f32) -> TamOp {
+        TamOp::Imm {
+            dst,
+            value: value.to_bits(),
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! The TAM interpreter.
+//!
+//! Executes a [`TamProgram`] over a set of logical nodes, exactly in the
+//! spirit of the Berkeley TAM simulator the paper used (§4.2.1): threads
+//! run sequentially, no processor count or network latency is modelled, and
+//! the output is *dynamic instruction counts* plus the message mix. LIFO
+//! scheduling (per node) mirrors the Mint configuration the paper used to
+//! measure the PRead/PWrite outcome mix.
+//!
+//! Placement: frames are dealt round-robin across nodes; I-structure and
+//! plain heap arrays are distributed element-chunk-wise. Every inter-frame
+//! send and every heap access is a message — the paper compiled its
+//! benchmarks "so that any two procedure invocations would communicate
+//! across the network".
+
+use std::fmt;
+use std::rc::Rc;
+
+use tcni_istruct::{FetchOutcome, IStructure, Reader, StoreOutcome};
+
+use crate::block::TamProgram;
+use crate::counts::TamCounts;
+use crate::instr::{CodeBlockId, InletId, TamClass, TamOp, ThreadId};
+
+/// Maximum payload words of a `Send` (Table 1 covers 0–2).
+pub const MAX_SEND_ARGS: usize = 2;
+
+/// Elements per distribution chunk of a heap array.
+const HEAP_CHUNK: u32 = 16;
+
+/// Errors surfaced by [`TamMachine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamError {
+    /// A PWrite hit an already-full I-structure slot.
+    MultipleWrite {
+        /// Array handle.
+        array: u32,
+        /// Element index.
+        index: usize,
+    },
+    /// A frame pointer, handle, or index did not name a live object.
+    BadReference {
+        /// What went wrong.
+        what: String,
+    },
+    /// The step budget ran out before the program quiesced.
+    StepLimit,
+}
+
+impl fmt::Display for TamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamError::MultipleWrite { array, index } => {
+                write!(f, "multiple write to I-structure {array}[{index}]")
+            }
+            TamError::BadReference { what } => write!(f, "bad reference: {what}"),
+            TamError::StepLimit => f.write_str("step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for TamError {}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Continuations executed.
+    pub steps: u64,
+    /// Whether `HaltMachine` was executed (vs. natural quiescence).
+    pub halted_explicitly: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    node: usize,
+    block: CodeBlockId,
+    slots: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArgBuf {
+    words: [u32; MAX_SEND_ARGS],
+    len: u8,
+}
+
+impl ArgBuf {
+    fn new(words: &[u32]) -> ArgBuf {
+        let mut buf = [0; MAX_SEND_ARGS];
+        buf[..words.len()].copy_from_slice(words);
+        ArgBuf {
+            words: buf,
+            len: words.len() as u8,
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.words[..self.len as usize]
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Continuation {
+    /// Run a thread of a frame.
+    Run { frame: u32, thread: ThreadId },
+    /// Deliver a message payload to an inlet (arrival side of a Send or a
+    /// value reply).
+    Deliver {
+        frame: u32,
+        inlet: InletId,
+        args: ArgBuf,
+    },
+    /// Service a heap request at the owning node. `presence` selects
+    /// I-structure (PRead/PWrite) vs plain (Read/Write) semantics.
+    ServiceFetch {
+        array: u32,
+        index: u32,
+        reader_frame: u32,
+        reader_inlet: InletId,
+        presence: bool,
+    },
+    ServiceStore {
+        array: u32,
+        index: u32,
+        value: u32,
+        presence: bool,
+    },
+}
+
+/// The machine: program + heap + frames + per-node LIFO scheduler.
+///
+/// # Example
+///
+/// ```
+/// use tcni_tam::{TamMachine, TamOp, TamProgram};
+///
+/// let mut p = TamProgram::new();
+/// let main = p.block("main", 2, |b| {
+///     b.thread(vec![TamOp::Imm { dst: 1, value: 42 }, TamOp::HaltMachine]);
+/// });
+/// let mut m = TamMachine::new(p, 4, 1);
+/// let root = m.spawn_main(main);
+/// m.run(1_000).unwrap();
+/// assert_eq!(m.frame_slot(root, 1), 42);
+/// ```
+pub struct TamMachine {
+    program: Rc<TamProgram>,
+    frames: Vec<Frame>,
+    istructs: Vec<IStructure>,
+    gmem: Vec<Vec<u32>>,
+    node_count: usize,
+    next_frame_node: usize,
+    queues: Vec<Vec<Continuation>>,
+    scan: usize,
+    counts: TamCounts,
+    halted: bool,
+    rng: u64,
+}
+
+impl TamMachine {
+    /// Creates a machine over `node_count` logical nodes with the given RNG
+    /// seed (Gamteb sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    pub fn new(program: TamProgram, node_count: usize, seed: u64) -> TamMachine {
+        assert!(node_count > 0, "need at least one node");
+        TamMachine {
+            program: Rc::new(program),
+            frames: Vec::new(),
+            istructs: Vec::new(),
+            gmem: Vec::new(),
+            node_count,
+            next_frame_node: 0,
+            queues: (0..node_count).map(|_| Vec::new()).collect(),
+            scan: 0,
+            counts: TamCounts::default(),
+            halted: false,
+            rng: seed | 1,
+        }
+    }
+
+    /// Dynamic counts accumulated so far.
+    pub fn counts(&self) -> &TamCounts {
+        &self.counts
+    }
+
+    /// Number of logical nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Allocates the root frame of `block` and schedules its thread 0.
+    /// Returns the root frame pointer. Frame slot 0 of every frame holds its
+    /// own frame pointer (the SELF convention programs use to pass return
+    /// continuations).
+    pub fn spawn_main(&mut self, block: CodeBlockId) -> u32 {
+        let fp = self.alloc_frame(block);
+        self.queues[self.frames[fp as usize].node].push(Continuation::Run {
+            frame: fp,
+            thread: ThreadId(0),
+        });
+        fp
+    }
+
+    /// Reads a frame slot (inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame pointer or slot is out of range.
+    pub fn frame_slot(&self, fp: u32, slot: u16) -> u32 {
+        self.frames[fp as usize].slots[slot as usize]
+    }
+
+    /// The I-structure behind a heap handle, if `handle` names one
+    /// (inspection).
+    pub fn istructure(&self, handle: u32) -> Option<&IStructure> {
+        self.istructs.get((handle & 0x7FFF_FFFF) as usize).filter(|_| handle & 0x8000_0000 == 0)
+    }
+
+    /// Reads a plain-global-array element (inspection).
+    pub fn gmem_peek(&self, handle: u32, index: usize) -> Option<u32> {
+        if handle & 0x8000_0000 == 0 {
+            return None;
+        }
+        self.gmem
+            .get((handle & 0x7FFF_FFFF) as usize)
+            .and_then(|a| a.get(index))
+            .copied()
+    }
+
+    fn alloc_frame(&mut self, block: CodeBlockId) -> u32 {
+        let size = self.program.get(block).frame_size;
+        let node = self.next_frame_node;
+        self.next_frame_node = (self.next_frame_node + 1) % self.node_count;
+        let fp = self.frames.len() as u32;
+        let mut slots = vec![0u32; size];
+        if size > 0 {
+            slots[0] = fp; // SELF convention
+        }
+        for (slot, value) in &self.program.get(block).init {
+            slots[*slot as usize] = *value;
+        }
+        self.frames.push(Frame { node, block, slots });
+        self.counts.frames += 1;
+        fp
+    }
+
+    fn heap_owner(&self, array: u32, index: u32) -> usize {
+        ((array.wrapping_add(index / HEAP_CHUNK)) as usize) % self.node_count
+    }
+
+    fn frame_node(&self, fp: u32) -> Result<usize, TamError> {
+        self.frames
+            .get(fp as usize)
+            .map(|f| f.node)
+            .ok_or_else(|| TamError::BadReference {
+                what: format!("frame pointer {fp}"),
+            })
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D)) >> 33) as u32
+    }
+
+    /// Runs until quiescence, `HaltMachine`, or the step budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program errors (multiple writes, bad references) and
+    /// [`TamError::StepLimit`].
+    pub fn run(&mut self, max_steps: u64) -> Result<RunReport, TamError> {
+        let mut steps = 0u64;
+        while !self.halted {
+            let Some(cont) = self.pop_next() else {
+                break; // quiescent
+            };
+            if steps >= max_steps {
+                return Err(TamError::StepLimit);
+            }
+            steps += 1;
+            self.execute(cont)?;
+        }
+        Ok(RunReport {
+            steps,
+            halted_explicitly: self.halted,
+        })
+    }
+
+    /// Pops the next continuation: nodes round-robin, per-node LIFO.
+    fn pop_next(&mut self) -> Option<Continuation> {
+        for i in 0..self.node_count {
+            let n = (self.scan + i) % self.node_count;
+            if let Some(c) = self.queues[n].pop() {
+                self.scan = (n + 1) % self.node_count;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn push_at(&mut self, node: usize, cont: Continuation) {
+        self.queues[node].push(cont);
+    }
+
+    fn execute(&mut self, cont: Continuation) -> Result<(), TamError> {
+        match cont {
+            Continuation::Run { frame, thread } => self.run_thread(frame, thread),
+            Continuation::Deliver { frame, inlet, args } => self.deliver(frame, inlet, args),
+            Continuation::ServiceFetch {
+                array,
+                index,
+                reader_frame,
+                reader_inlet,
+                presence,
+            } => self.service_fetch(array, index, reader_frame, reader_inlet, presence),
+            Continuation::ServiceStore {
+                array,
+                index,
+                value,
+                presence,
+            } => self.service_store(array, index, value, presence),
+        }
+    }
+
+    fn deliver(&mut self, frame: u32, inlet: InletId, args: ArgBuf) -> Result<(), TamError> {
+        let block = self
+            .frames
+            .get(frame as usize)
+            .map(|f| f.block)
+            .ok_or_else(|| TamError::BadReference {
+                what: format!("deliver to frame {frame}"),
+            })?;
+        let program = Rc::clone(&self.program);
+        let inlet_def = program
+            .get(block)
+            .inlets
+            .get(inlet.0 as usize)
+            .ok_or_else(|| TamError::BadReference {
+                what: format!("inlet {} of block {}", inlet.0, program.get(block).name),
+            })?;
+        debug_assert_eq!(
+            inlet_def.dsts.len(),
+            args.as_slice().len(),
+            "inlet arity mismatch in `{}`",
+            program.get(block).name
+        );
+        let f = &mut self.frames[frame as usize];
+        for (dst, v) in inlet_def.dsts.iter().zip(args.as_slice()) {
+            f.slots[*dst as usize] = *v;
+        }
+        self.run_thread(frame, inlet_def.thread)
+    }
+
+    fn service_fetch(
+        &mut self,
+        array: u32,
+        index: u32,
+        reader_frame: u32,
+        reader_inlet: InletId,
+        presence: bool,
+    ) -> Result<(), TamError> {
+        if presence {
+            let ist = self
+                .istructs
+                .get_mut(array as usize)
+                .ok_or_else(|| TamError::BadReference {
+                    what: format!("I-structure {array}"),
+                })?;
+            let idx = index as usize;
+            if idx >= ist.len() {
+                return Err(TamError::BadReference {
+                    what: format!("I-structure {array}[{idx}] (len {})", ist.len()),
+                });
+            }
+            // Classify the outcome for the message mix before mutating.
+            if ist.is_full(idx) {
+                self.counts.msgs.pread_full += 1;
+            } else if ist.deferred_count(idx) == 0 {
+                self.counts.msgs.pread_empty += 1;
+            } else {
+                self.counts.msgs.pread_deferred += 1;
+            }
+            match ist.fetch(
+                idx,
+                Reader {
+                    fp: reader_frame,
+                    ip: u32::from(reader_inlet.0),
+                },
+            ) {
+                FetchOutcome::Value(v) => {
+                    self.counts.msgs.responses += 1;
+                    let node = self.frame_node(reader_frame)?;
+                    self.push_at(
+                        node,
+                        Continuation::Deliver {
+                            frame: reader_frame,
+                            inlet: reader_inlet,
+                            args: ArgBuf::new(&[v]),
+                        },
+                    );
+                }
+                FetchOutcome::Deferred => {}
+            }
+        } else {
+            let idx = (array & 0x7FFF_FFFF) as usize;
+            let arr = self.gmem.get(idx).ok_or_else(|| TamError::BadReference {
+                what: format!("global array {array:#x}"),
+            })?;
+            let v = *arr.get(index as usize).ok_or_else(|| TamError::BadReference {
+                what: format!("global array {array:#x}[{index}]"),
+            })?;
+            self.counts.msgs.responses += 1;
+            let node = self.frame_node(reader_frame)?;
+            self.push_at(
+                node,
+                Continuation::Deliver {
+                    frame: reader_frame,
+                    inlet: reader_inlet,
+                    args: ArgBuf::new(&[v]),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn service_store(
+        &mut self,
+        array: u32,
+        index: u32,
+        value: u32,
+        presence: bool,
+    ) -> Result<(), TamError> {
+        if presence {
+            let ist = self
+                .istructs
+                .get_mut(array as usize)
+                .ok_or_else(|| TamError::BadReference {
+                    what: format!("I-structure {array}"),
+                })?;
+            let idx = index as usize;
+            if idx >= ist.len() {
+                return Err(TamError::BadReference {
+                    what: format!("I-structure {array}[{idx}] (len {})", ist.len()),
+                });
+            }
+            match ist.store(idx, value) {
+                Ok(StoreOutcome::FilledEmpty) => {
+                    self.counts.msgs.pwrite_empty += 1;
+                }
+                Ok(StoreOutcome::SatisfiedDeferred(readers)) => {
+                    self.counts.msgs.pwrite_deferred_events += 1;
+                    self.counts.msgs.pwrite_deferred_readers += readers.len() as u64;
+                    self.counts.msgs.responses += readers.len() as u64;
+                    for r in readers {
+                        let node = self.frame_node(r.fp)?;
+                        self.push_at(
+                            node,
+                            Continuation::Deliver {
+                                frame: r.fp,
+                                inlet: InletId(r.ip as u16),
+                                args: ArgBuf::new(&[value]),
+                            },
+                        );
+                    }
+                }
+                Err(_) => {
+                    return Err(TamError::MultipleWrite {
+                        array,
+                        index: idx,
+                    })
+                }
+            }
+        } else {
+            let aidx = (array & 0x7FFF_FFFF) as usize;
+            let arr = self.gmem.get_mut(aidx).ok_or_else(|| TamError::BadReference {
+                what: format!("global array {array:#x}"),
+            })?;
+            let slot = arr.get_mut(index as usize).ok_or_else(|| TamError::BadReference {
+                what: format!("global array {array:#x}[{index}]"),
+            })?;
+            *slot = value;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_thread(&mut self, frame: u32, thread: ThreadId) -> Result<(), TamError> {
+        let block_id = self.frames[frame as usize].block;
+        let node = self.frames[frame as usize].node;
+        // Threads are immutable: hold the program by Rc so ops can be
+        // borrowed while the machine state mutates.
+        let program = Rc::clone(&self.program);
+        let ops = &program.get(block_id).threads[thread.0 as usize];
+        for op in ops {
+            self.counts.bump(op.class());
+            match *op {
+                TamOp::Imm { dst, value } => self.frames[frame as usize].slots[dst as usize] = value,
+                TamOp::Mov { dst, src } => {
+                    let v = self.frames[frame as usize].slots[src as usize];
+                    self.frames[frame as usize].slots[dst as usize] = v;
+                }
+                TamOp::Int { op, dst, a, b } => {
+                    let f = &mut self.frames[frame as usize].slots;
+                    f[dst as usize] = op.apply(f[a as usize], f[b as usize]);
+                }
+                TamOp::IntI { op, dst, a, imm } => {
+                    let f = &mut self.frames[frame as usize].slots;
+                    f[dst as usize] = op.apply(f[a as usize], imm);
+                }
+                TamOp::Float { op, dst, a, b } => {
+                    let f = &mut self.frames[frame as usize].slots;
+                    f[dst as usize] = op.apply(f[a as usize], f[b as usize]);
+                }
+                TamOp::Rand { dst } => {
+                    let v = self.next_rand();
+                    self.frames[frame as usize].slots[dst as usize] = v;
+                }
+                TamOp::Fork { thread } => {
+                    self.push_at(node, Continuation::Run { frame, thread });
+                }
+                TamOp::Switch { cond, if_true, if_false } => {
+                    let c = self.frames[frame as usize].slots[cond as usize];
+                    let t = if c != 0 { if_true } else { if_false };
+                    self.push_at(node, Continuation::Run { frame, thread: t });
+                }
+                TamOp::Join { counter, thread } => {
+                    let f = &mut self.frames[frame as usize].slots;
+                    let c = f[counter as usize].wrapping_sub(1);
+                    f[counter as usize] = c;
+                    if c == 0 {
+                        self.push_at(node, Continuation::Run { frame, thread });
+                    }
+                }
+                TamOp::Falloc { block, dst_fp } => {
+                    let fp = self.alloc_frame(block);
+                    self.frames[frame as usize].slots[dst_fp as usize] = fp;
+                }
+                TamOp::SendArgs { fp, inlet, ref args } => {
+                    let dest = self.frames[frame as usize].slots[fp as usize];
+                    let words: Vec<u32> = args
+                        .iter()
+                        .map(|s| self.frames[frame as usize].slots[*s as usize])
+                        .collect();
+                    self.counts.msgs.send[words.len().min(2)] += 1;
+                    let dest_node = self.frame_node(dest)?;
+                    self.push_at(
+                        dest_node,
+                        Continuation::Deliver {
+                            frame: dest,
+                            inlet,
+                            args: ArgBuf::new(&words),
+                        },
+                    );
+                }
+                TamOp::SendArgsDyn { fp, inlet_slot, ref args } => {
+                    let dest = self.frames[frame as usize].slots[fp as usize];
+                    let inlet = InletId(self.frames[frame as usize].slots[inlet_slot as usize] as u16);
+                    let words: Vec<u32> = args
+                        .iter()
+                        .map(|s| self.frames[frame as usize].slots[*s as usize])
+                        .collect();
+                    self.counts.msgs.send[words.len().min(2)] += 1;
+                    let dest_node = self.frame_node(dest)?;
+                    self.push_at(
+                        dest_node,
+                        Continuation::Deliver {
+                            frame: dest,
+                            inlet,
+                            args: ArgBuf::new(&words),
+                        },
+                    );
+                }
+                TamOp::IFetch { arr, idx, inlet } => {
+                    let f = &self.frames[frame as usize].slots;
+                    let (a, i) = (f[arr as usize], f[idx as usize]);
+                    let owner = self.heap_owner(a, i);
+                    self.push_at(
+                        owner,
+                        Continuation::ServiceFetch {
+                            array: a,
+                            index: i,
+                            reader_frame: frame,
+                            reader_inlet: inlet,
+                            presence: true,
+                        },
+                    );
+                }
+                TamOp::IStore { arr, idx, val } => {
+                    let f = &self.frames[frame as usize].slots;
+                    let (a, i, v) = (f[arr as usize], f[idx as usize], f[val as usize]);
+                    let owner = self.heap_owner(a, i);
+                    self.push_at(
+                        owner,
+                        Continuation::ServiceStore {
+                            array: a,
+                            index: i,
+                            value: v,
+                            presence: true,
+                        },
+                    );
+                }
+                TamOp::HAlloc { dst, len } => {
+                    let n = self.frames[frame as usize].slots[len as usize] as usize;
+                    let handle = self.istructs.len() as u32;
+                    self.istructs.push(IStructure::new(n));
+                    self.counts.arrays += 1;
+                    self.frames[frame as usize].slots[dst as usize] = handle;
+                }
+                // Plain global memory has no presence bits, so nothing
+                // protects a read that overtakes an earlier write; the real
+                // machine's network preserves point-to-point order, which
+                // the instant-delivery LIFO scheduler here does not. Plain
+                // accesses are therefore serviced at issue (counted as
+                // messages all the same); split-phase I-structure traffic
+                // keeps queue-based servicing because presence bits make it
+                // order-safe.
+                TamOp::ReadG { arr, idx, inlet } => {
+                    let f = &self.frames[frame as usize].slots;
+                    let (a, i) = (f[arr as usize], f[idx as usize]);
+                    self.counts.msgs.read += 1;
+                    self.service_fetch(a, i, frame, inlet, false)?;
+                }
+                TamOp::WriteG { arr, idx, val } => {
+                    let f = &self.frames[frame as usize].slots;
+                    let (a, i, v) = (f[arr as usize], f[idx as usize], f[val as usize]);
+                    self.counts.msgs.write += 1;
+                    self.service_store(a, i, v, false)?;
+                }
+                TamOp::GAlloc { dst, len } => {
+                    let n = self.frames[frame as usize].slots[len as usize] as usize;
+                    let handle = 0x8000_0000 | self.gmem.len() as u32;
+                    self.gmem.push(vec![0; n]);
+                    self.counts.arrays += 1;
+                    self.frames[frame as usize].slots[dst as usize] = handle;
+                }
+                TamOp::HaltMachine => {
+                    self.halted = true;
+                    return Ok(());
+                }
+            }
+        }
+        self.counts.bump(TamClass::Stop);
+        Ok(())
+    }
+
+}

@@ -1,0 +1,295 @@
+//! Direct semantics tests of the TAM interpreter: scheduling, frames,
+//! synchronization, split-phase heap, and error paths.
+
+use tcni_tam::{
+    CodeBlockId, FloatOp, InletId, IntOp, TamClass, TamError, TamMachine, TamOp, TamProgram,
+};
+
+fn machine_with(f: impl FnOnce(&mut TamProgram) -> CodeBlockId, nodes: usize) -> (TamMachine, u32) {
+    let mut p = TamProgram::new();
+    let main = f(&mut p);
+    let mut m = TamMachine::new(p, nodes, 1);
+    let root = m.spawn_main(main);
+    (m, root)
+}
+
+#[test]
+fn fork_runs_lifo_within_a_node() {
+    // The entry thread forks A then B; per-node LIFO runs B first. Each
+    // thread appends its id to slot 1 through a shift, so the order is
+    // observable: B-then-A yields (1 << 4) | 2 = 0x12.
+    let (mut m, root) = machine_with(
+        |p| {
+            p.block("main", 3, |b| {
+                let t0 = b.declare_thread(); // entry
+                let t_a = b.declare_thread();
+                let t_b = b.declare_thread();
+                b.define_thread(
+                    t0,
+                    vec![TamOp::Fork { thread: t_a }, TamOp::Fork { thread: t_b }],
+                );
+                for (t, id) in [(t_a, 2u32), (t_b, 1)] {
+                    b.define_thread(
+                        t,
+                        vec![
+                            TamOp::IntI { op: IntOp::Shl, dst: 1, a: 1, imm: 4 },
+                            TamOp::IntI { op: IntOp::Or, dst: 1, a: 1, imm: id },
+                        ],
+                    );
+                }
+            })
+        },
+        1,
+    );
+    m.run(1000).unwrap();
+    assert_eq!(m.frame_slot(root, 1), 0x12, "LIFO: B then A");
+}
+
+#[test]
+fn switch_selects_by_condition() {
+    let (mut m, root) = machine_with(
+        |p| {
+            p.block("main", 3, |b| {
+                let t0 = b.declare_thread();
+                let t_true = b.declare_thread();
+                let t_false = b.declare_thread();
+                b.define_thread(
+                    t0,
+                    vec![
+                        TamOp::Imm { dst: 1, value: 5 },
+                        TamOp::Switch { cond: 1, if_true: t_true, if_false: t_false },
+                    ],
+                );
+                b.define_thread(t_true, vec![TamOp::Imm { dst: 2, value: 0xAA }]);
+                b.define_thread(t_false, vec![TamOp::Imm { dst: 2, value: 0xBB }]);
+            })
+        },
+        1,
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.frame_slot(root, 2), 0xAA);
+}
+
+#[test]
+fn join_fires_exactly_at_zero() {
+    let (mut m, root) = machine_with(
+        |p| {
+            p.block("main", 3, |b| {
+                b.init(1, 3);
+                let t0 = b.declare_thread();
+                let t_j = b.declare_thread();
+                let t_fire = b.declare_thread();
+                b.define_thread(
+                    t0,
+                    vec![
+                        TamOp::Fork { thread: t_j },
+                        TamOp::Fork { thread: t_j },
+                        TamOp::Fork { thread: t_j },
+                    ],
+                );
+                b.define_thread(t_j, vec![TamOp::Join { counter: 1, thread: t_fire }]);
+                b.define_thread(
+                    t_fire,
+                    vec![TamOp::IntI { op: IntOp::Add, dst: 2, a: 2, imm: 1 }],
+                );
+            })
+        },
+        1,
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.frame_slot(root, 2), 1, "fires once, not per decrement");
+    assert_eq!(m.counts().ops(TamClass::Join), 3);
+}
+
+#[test]
+fn self_convention_and_falloc_round_robin() {
+    let (mut m, root) = machine_with(
+        |p| {
+            let _leaf = p.block("leaf", 1, |b| {
+                b.thread(vec![TamOp::Mov { dst: 0, src: 0 }]);
+            });
+            p.block("main", 5, |b| {
+                b.thread(vec![
+                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 1 },
+                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 2 },
+                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 3 },
+                ]);
+            })
+        },
+        4,
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.frame_slot(root, 0), root, "slot 0 holds SELF");
+    let fps: Vec<u32> = (1..4).map(|s| m.frame_slot(root, s)).collect();
+    assert_eq!(fps, vec![root + 1, root + 2, root + 3], "arena order");
+    assert_eq!(m.counts().frames, 4);
+}
+
+#[test]
+fn send_deposits_and_enables_inlet_thread() {
+    let (mut m, root) = machine_with(
+        |p| {
+            let _child = p.block("child", 4, |b| {
+                let t = b.declare_thread();
+                let got = b.inlet(vec![1, 2], t);
+                assert_eq!(got, InletId(0));
+                b.define_thread(
+                    t,
+                    vec![TamOp::Int { op: IntOp::Add, dst: 3, a: 1, b: 2 }],
+                );
+            });
+            p.block("main", 4, |b| {
+                b.thread(vec![
+                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 1 },
+                    TamOp::Imm { dst: 2, value: 30 },
+                    TamOp::Imm { dst: 3, value: 12 },
+                    TamOp::SendArgs { fp: 1, inlet: InletId(0), args: vec![2, 3] },
+                ]);
+            })
+        },
+        2,
+    );
+    m.run(100).unwrap();
+    let child_fp = m.frame_slot(root, 1);
+    assert_eq!(m.frame_slot(child_fp, 3), 42);
+    assert_eq!(m.counts().msgs.send[2], 1);
+}
+
+#[test]
+fn halt_stops_before_queue_drain() {
+    let (mut m, root) = machine_with(
+        |p| {
+            p.block("main", 2, |b| {
+                let t0 = b.declare_thread();
+                let t_never = b.declare_thread();
+                b.define_thread(
+                    t0,
+                    vec![TamOp::Fork { thread: t_never }, TamOp::HaltMachine],
+                );
+                b.define_thread(t_never, vec![TamOp::Imm { dst: 1, value: 9 }]);
+            })
+        },
+        1,
+    );
+    let report = m.run(100).unwrap();
+    assert!(report.halted_explicitly);
+    assert_eq!(m.frame_slot(root, 1), 0, "forked thread never ran");
+}
+
+#[test]
+fn step_limit_is_an_error() {
+    let (mut m, _root) = machine_with(
+        |p| {
+            p.block("main", 2, |b| {
+                let t0 = b.declare_thread();
+                b.define_thread(t0, vec![TamOp::Fork { thread: t0 }]); // forever
+            })
+        },
+        1,
+    );
+    assert_eq!(m.run(50), Err(TamError::StepLimit));
+}
+
+#[test]
+fn multiple_istore_is_reported() {
+    let (mut m, _root) = machine_with(
+        |p| {
+            p.block("main", 3, |b| {
+                b.thread(vec![
+                    TamOp::Imm { dst: 1, value: 4 },
+                    TamOp::HAlloc { dst: 2, len: 1 },
+                    TamOp::Imm { dst: 1, value: 7 },
+                    TamOp::IStore { arr: 2, idx: 0, val: 1 }, // idx slot 0 = SELF = 0 ✓
+                    TamOp::IStore { arr: 2, idx: 0, val: 1 },
+                ]);
+            })
+        },
+        1,
+    );
+    let err = m.run(100).unwrap_err();
+    assert!(matches!(err, TamError::MultipleWrite { .. }), "{err}");
+}
+
+#[test]
+fn bad_frame_pointer_is_reported() {
+    let (mut m, _root) = machine_with(
+        |p| {
+            p.block("main", 2, |b| {
+                b.thread(vec![
+                    TamOp::Imm { dst: 1, value: 999 },
+                    TamOp::SendArgs { fp: 1, inlet: InletId(0), args: vec![] },
+                ]);
+            })
+        },
+        1,
+    );
+    assert!(matches!(m.run(100), Err(TamError::BadReference { .. })));
+}
+
+#[test]
+fn rand_is_deterministic_per_seed() {
+    let prog = |p: &mut TamProgram| {
+        p.block("main", 3, |b| {
+            b.thread(vec![TamOp::Rand { dst: 1 }, TamOp::Rand { dst: 2 }]);
+        })
+    };
+    let (mut a, ra) = machine_with(prog, 1);
+    a.run(10).unwrap();
+    let mut p2 = TamProgram::new();
+    let main2 = prog(&mut p2);
+    let mut b = TamMachine::new(p2, 1, 1);
+    let rb = b.spawn_main(main2);
+    b.run(10).unwrap();
+    assert_eq!(a.frame_slot(ra, 1), b.frame_slot(rb, 1));
+    assert_eq!(a.frame_slot(ra, 2), b.frame_slot(rb, 2));
+    assert_ne!(a.frame_slot(ra, 1), a.frame_slot(ra, 2));
+}
+
+#[test]
+fn float_ops_on_frame_slots() {
+    let (mut m, root) = machine_with(
+        |p| {
+            p.block("main", 4, |b| {
+                b.thread(vec![
+                    TamOp::Imm { dst: 1, value: 1.5f32.to_bits() },
+                    TamOp::Imm { dst: 2, value: 2.5f32.to_bits() },
+                    TamOp::Float { op: FloatOp::Add, dst: 3, a: 1, b: 2 },
+                ]);
+            })
+        },
+        1,
+    );
+    m.run(10).unwrap();
+    assert_eq!(f32::from_bits(m.frame_slot(root, 3)), 4.0);
+}
+
+#[test]
+fn plain_global_memory_read_writes_in_order() {
+    let (mut m, root) = machine_with(
+        |p| {
+            p.block("main", 6, |b| {
+                let t0 = b.declare_thread();
+                let t_got = b.declare_thread();
+                let got = b.inlet(vec![4], t_got);
+                b.define_thread(
+                    t0,
+                    vec![
+                        TamOp::Imm { dst: 1, value: 8 },
+                        TamOp::GAlloc { dst: 2, len: 1 },
+                        TamOp::Imm { dst: 3, value: 0x77 },
+                        TamOp::Imm { dst: 5, value: 2 }, // index
+                        TamOp::WriteG { arr: 2, idx: 5, val: 3 },
+                        TamOp::ReadG { arr: 2, idx: 5, inlet: got },
+                    ],
+                );
+                b.define_thread(t_got, vec![TamOp::Mov { dst: 1, src: 4 }]);
+            })
+        },
+        3,
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.frame_slot(root, 1), 0x77, "read observes preceding write");
+    assert_eq!(m.counts().msgs.read, 1);
+    assert_eq!(m.counts().msgs.write, 1);
+    assert_eq!(m.counts().msgs.responses, 1);
+}

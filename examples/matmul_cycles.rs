@@ -1,0 +1,35 @@
+//! A miniature Figure 12: run a blocked matrix multiply on the TAM runtime,
+//! validate the numeric result, and expand the dynamic counts into 88100
+//! cycles under all six interface models — with both our measured Table 1
+//! and the paper's published one.
+//!
+//! ```text
+//! cargo run --release --example matmul_cycles
+//! ```
+
+use tcni::eval::figure12::Figure12;
+use tcni::eval::{paper, table1::Table1};
+use tcni::tam::programs::matmul;
+
+fn main() {
+    let n = 24;
+    let out = matmul::run(n, 16).expect("matmul runs");
+    assert_eq!(out.c, matmul::reference(n), "product must match the reference");
+    println!(
+        "{n}×{n} blocked matmul: {} messages, {:.2} floating-point ops per message",
+        out.counts.msgs.dispatches(),
+        out.counts.flops_per_message()
+    );
+    println!(
+        "(the paper quotes ≈3 FP ops per message for its matrix multiply, and a\n\
+         message-instruction frequency under 10% — ours is {:.1}%)\n",
+        100.0 * out.counts.message_op_fraction()
+    );
+
+    let measured = Table1::measure();
+    println!("{}", Figure12::from_counts("matmul (measured Table 1)", out.counts, &measured.models));
+    println!(
+        "{}",
+        Figure12::from_counts("matmul (published Table 1)", out.counts, &paper::published())
+    );
+}

@@ -1,0 +1,287 @@
+//! Quickstart: the paper's flagship scenario, end to end.
+//!
+//! Two nodes. Node 0 sends a remote-read request for a word in node 1's
+//! memory; node 1's handler loads the word and replies; node 0 stores the
+//! value and halts. We run the same protocol under all six network-interface
+//! models of §4 and print how long each takes — including the headline
+//! §3.3 configuration where node 1 serves the request in **two RISC
+//! instructions** (`jmp MsgIp` + `ld o2,[i0],SEND-reply,NEXT`).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tcni::core::mapping::{cmd_addr, gpr_alias, reg_addr, NI_WINDOW_BASE};
+use tcni::core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni::isa::{AluOp, Assembler, Cond, Program, Reg};
+use tcni::sim::{MachineBuilder, Model, NiMapping, RunOutcome};
+
+const READ_TYPE: u8 = 4;
+const TABLE: u32 = 0x4000;
+const REMOTE_ADDR: u32 = 0x100;
+const RESULT_ADDR: u32 = 0x80;
+const SECRET: u32 = 0x5EC2E7;
+
+fn ty(n: u8) -> MsgType {
+    MsgType::new(n).unwrap()
+}
+
+fn off(addr: u32) -> i16 {
+    (addr - NI_WINDOW_BASE) as i16
+}
+
+fn slot(t: u8) -> u32 {
+    TABLE + u32::from(t) * 16
+}
+
+/// Emits the dispatch loop for the model; falls into the handler table.
+fn emit_dispatch(a: &mut Assembler, model: Model) {
+    match (model.level, model.mapping) {
+        (FeatureLevel::Optimized, NiMapping::RegisterFile) => {
+            a.label("dispatch");
+            a.jmp(gpr_alias(InterfaceReg::MsgIp));
+            a.nop();
+            a.br("dispatch");
+            a.nop();
+        }
+        (FeatureLevel::Optimized, _) => {
+            a.label("dispatch");
+            a.ld(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::MsgIp)));
+            a.jmp(Reg::R3);
+            a.nop();
+            a.br("dispatch");
+            a.nop();
+        }
+        (FeatureLevel::Basic, NiMapping::RegisterFile) => {
+            a.label("dispatch");
+            a.maski(Reg::R3, gpr_alias(InterfaceReg::Status), 1);
+            a.bcnd(Cond::Eq0, Reg::R3, "dispatch");
+            a.nop();
+            a.shli(Reg::R5, gpr_alias(InterfaceReg::input(4)), 4);
+            a.alu(AluOp::Or, Reg::R6, Reg::R10, Reg::R5);
+            a.jmp(Reg::R6);
+            a.nop();
+        }
+        (FeatureLevel::Basic, _) => {
+            a.label("dispatch");
+            a.ld(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::Status)));
+            a.ld(Reg::R5, Reg::R9, off(reg_addr(InterfaceReg::I4)));
+            a.maski(Reg::R3, Reg::R2, 1);
+            a.bcnd(Cond::Eq0, Reg::R3, "dispatch");
+            a.nop();
+            a.shli(Reg::R6, Reg::R5, 4);
+            a.alu(AluOp::Or, Reg::R7, Reg::R10, Reg::R6);
+            a.jmp(Reg::R7);
+            a.nop();
+        }
+    }
+}
+
+/// Shared setup: r9 = NI base, r10 = table base, IpBase (optimized).
+fn emit_setup(a: &mut Assembler, model: Model) {
+    if model.mapping.is_memory_mapped() {
+        a.li(Reg::R9, NI_WINDOW_BASE);
+    }
+    a.li(Reg::R10, TABLE);
+    if model.level == FeatureLevel::Optimized {
+        match model.mapping {
+            NiMapping::RegisterFile => {
+                a.mov(gpr_alias(InterfaceReg::IpBase), Reg::R10);
+            }
+            _ => {
+                a.st(Reg::R10, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
+            }
+        }
+    }
+}
+
+/// The server: serves exactly one Read request, then halts.
+fn server(model: Model) -> Program {
+    let mut a = Assembler::new();
+    emit_setup(&mut a, model);
+    emit_dispatch(&mut a, model);
+    a.org(slot(0)); // idle (optimized) — basic never dispatches id 0 here
+    a.br("dispatch");
+    a.nop();
+    a.org(slot(READ_TYPE));
+    match (model.level, model.mapping) {
+        (FeatureLevel::Optimized, NiMapping::RegisterFile) => {
+            // THE two-instruction remote read (one here + the dispatch jmp).
+            a.ld_r_ni(
+                gpr_alias(InterfaceReg::O2),
+                gpr_alias(InterfaceReg::input(0)),
+                Reg::R0,
+                NiCmd::reply(ty(0)).with_next(),
+            );
+            a.halt();
+        }
+        (FeatureLevel::Basic, NiMapping::RegisterFile) => {
+            a.mov(gpr_alias(InterfaceReg::O0), gpr_alias(InterfaceReg::input(1)));
+            a.mov(gpr_alias(InterfaceReg::O1), gpr_alias(InterfaceReg::input(2)));
+            a.mov(gpr_alias(InterfaceReg::O4), Reg::R0); // reply id = 0
+            a.ld_r_ni(
+                gpr_alias(InterfaceReg::O2),
+                gpr_alias(InterfaceReg::input(0)),
+                Reg::R0,
+                NiCmd::send(ty(0)).with_next(),
+            );
+            a.halt();
+        }
+        (FeatureLevel::Optimized, _) => {
+            a.ld(Reg::R4, Reg::R9, off(reg_addr(InterfaceReg::I0)));
+            a.ld(Reg::R5, Reg::R4, 0);
+            a.st(
+                Reg::R5,
+                Reg::R9,
+                off(cmd_addr(InterfaceReg::O2, NiCmd::reply(ty(0)).with_next())),
+            );
+            a.halt();
+        }
+        (FeatureLevel::Basic, _) => {
+            a.ld(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::I1)));
+            a.ld(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::I2)));
+            a.ld(Reg::R4, Reg::R9, off(reg_addr(InterfaceReg::I0)));
+            a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
+            a.st(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::O1)));
+            a.ld(Reg::R5, Reg::R4, 0);
+            a.st(Reg::R5, Reg::R9, off(reg_addr(InterfaceReg::O2)));
+            a.st(
+                Reg::R0,
+                Reg::R9,
+                off(cmd_addr(InterfaceReg::O4, NiCmd::send(ty(0)).with_next())),
+            );
+            a.halt();
+        }
+    }
+    a.assemble().expect("server assembles")
+}
+
+/// The requester: sends the request, dispatch-loops, stores the reply value,
+/// halts. Two-pass assembly resolves the reply-handler address.
+fn requester(model: Model, server_node: NodeId) -> Program {
+    let build = |reply_ip: u32| -> Program {
+        let mut a = Assembler::new();
+        emit_setup(&mut a, model);
+        // Compose the request: [dest|addr, FP (this node 0 ⇒ plain), IP].
+        a.li(Reg::R2, server_node.into_word_bits() | REMOTE_ADDR);
+        a.li(Reg::R3, 0x200); // reply FP
+        a.li(Reg::R5, reply_ip);
+        match model.mapping {
+            NiMapping::RegisterFile => {
+                if model.level == FeatureLevel::Basic {
+                    a.ori(gpr_alias(InterfaceReg::O4), Reg::R0, u16::from(READ_TYPE));
+                }
+                a.mov(gpr_alias(InterfaceReg::O0), Reg::R2);
+                a.mov(gpr_alias(InterfaceReg::O1), Reg::R3);
+                a.mov_ni(gpr_alias(InterfaceReg::O2), Reg::R5, NiCmd::send(ty(READ_TYPE)));
+            }
+            _ => {
+                a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
+                a.st(Reg::R3, Reg::R9, off(reg_addr(InterfaceReg::O1)));
+                if model.level == FeatureLevel::Basic {
+                    a.st(Reg::R5, Reg::R9, off(reg_addr(InterfaceReg::O2)));
+                    a.ori(Reg::R6, Reg::R0, u16::from(READ_TYPE));
+                    a.st(
+                        Reg::R6,
+                        Reg::R9,
+                        off(cmd_addr(InterfaceReg::O4, NiCmd::send(ty(READ_TYPE)))),
+                    );
+                } else {
+                    a.st(
+                        Reg::R5,
+                        Reg::R9,
+                        off(cmd_addr(InterfaceReg::O2, NiCmd::send(ty(READ_TYPE)))),
+                    );
+                }
+            }
+        }
+        emit_dispatch(&mut a, model);
+        a.org(slot(0)); // optimized idle handler / basic id-0 thread invoker
+        if model.level == FeatureLevel::Basic {
+            // Basic: id 0 = Send message ⇒ invoke the thread at word 1.
+            match model.mapping {
+                NiMapping::RegisterFile => {
+                    a.jmp(gpr_alias(InterfaceReg::input(1)));
+                    a.nop();
+                }
+                _ => {
+                    a.ld(Reg::R6, Reg::R9, off(reg_addr(InterfaceReg::I1)));
+                    a.jmp(Reg::R6);
+                    a.nop();
+                }
+            }
+        } else {
+            a.br("dispatch");
+            a.nop();
+        }
+        a.org(slot(0) + 0x400);
+        a.label("reply_handler");
+        match model.mapping {
+            NiMapping::RegisterFile => {
+                a.st(gpr_alias(InterfaceReg::input(2)), Reg::R0, RESULT_ADDR as i16);
+                a.mov_ni(Reg::R2, Reg::R2, NiCmd::next());
+            }
+            _ => {
+                a.ld(Reg::R7, Reg::R9, off(cmd_addr(InterfaceReg::I2, NiCmd::next())));
+                a.st(Reg::R7, Reg::R0, RESULT_ADDR as i16);
+            }
+        }
+        a.halt();
+        a.assemble().expect("requester assembles")
+    };
+    let pass1 = build(0);
+    let ip = pass1.resolve("reply_handler").expect("label defined");
+    let pass2 = build(ip);
+    assert_eq!(pass2.resolve("reply_handler"), Some(ip), "stable layout");
+    pass2
+}
+
+fn main() {
+    println!("Remote read across two nodes, all six interface models (§4):\n");
+    println!(
+        "{:<30} {:>14} {:>22}",
+        "model", "total cycles", "server instructions"
+    );
+    let mut cycles_by_model = Vec::new();
+    let mut first_trace = None;
+    for model in Model::ALL_SIX {
+        let mut machine = MachineBuilder::new(2)
+            .model(model)
+            .program(0, requester(model, NodeId::new(1)))
+            .program(1, server(model))
+            .network_ideal(1)
+            .build();
+        machine.enable_trace(16);
+        machine.node_mut(1).mem_mut().poke(REMOTE_ADDR, SECRET);
+        let outcome = machine.run(10_000);
+        assert_eq!(outcome, RunOutcome::Quiescent, "{model}: {outcome:?}");
+        assert_eq!(
+            machine.node(0).mem().peek(RESULT_ADDR),
+            SECRET,
+            "{model}: wrong value"
+        );
+        println!(
+            "{:<30} {:>14} {:>22}",
+            model.to_string(),
+            machine.cycle(),
+            machine.node(1).cpu().stats().instructions,
+        );
+        cycles_by_model.push(machine.cycle());
+        if first_trace.is_none() {
+            first_trace = machine.trace().map(|t| t.to_string());
+        }
+    }
+    println!("\nmessage trace of the first (optimized register-mapped) run:");
+    print!("{}", first_trace.unwrap_or_default());
+    println!();
+    println!(
+        "fastest optimized ({} cycles) vs slowest basic ({} cycles): ×{:.2}",
+        cycles_by_model[0],
+        cycles_by_model[5],
+        cycles_by_model[5] as f64 / cycles_by_model[0] as f64
+    );
+    println!(
+        "\nOn the optimized register-mapped model the server's Read service is the"
+    );
+    println!("paper's two RISC instructions: `jmp MsgIp` + `ld o2,[i0], SEND-reply, NEXT`.");
+}

@@ -1,0 +1,155 @@
+//! Remote memory with I-structure semantics: a producer/consumer TAM
+//! program where consumers race the producer, so early `PRead`s defer and
+//! the producer's `PWrite`s forward values to the waiting readers — the
+//! `15 + 6n` deferred path of Table 1, observed live.
+//!
+//! ```text
+//! cargo run --release --example remote_memory
+//! ```
+
+use tcni::tam::{FloatOp, IntOp, TamMachine, TamOp, TamProgram};
+
+const N: u32 = 64; // array elements
+const CONSUMERS: u32 = 8; // each sums the whole array
+
+fn build() -> TamProgram {
+    let mut p = TamProgram::new();
+
+    // producer: arr[i] = float(i), slowly (extra arithmetic per element).
+    // slots: 0 SELF, 1 arr, 2 i, 3 val, 4 cmp, 5 scratch
+    p.block("producer", 6, |b| {
+        let t_loop = b.declare_thread();
+        let t_end = b.declare_thread();
+        let t_entry = b.thread(vec![
+            TamOp::Imm { dst: 2, value: 0 },
+            TamOp::Fork { thread: t_loop },
+        ]);
+        b.define_thread(
+            t_loop,
+            vec![
+                TamOp::Float { op: FloatOp::FromInt, dst: 3, a: 2, b: 2 },
+                // Busywork: makes the producer slow enough to lose the race.
+                TamOp::Int { op: IntOp::Add, dst: 5, a: 5, b: 2 },
+                TamOp::Int { op: IntOp::Add, dst: 5, a: 5, b: 2 },
+                TamOp::IStore { arr: 1, idx: 2, val: 3 },
+                TamOp::IntI { op: IntOp::Add, dst: 2, a: 2, imm: 1 },
+                TamOp::IntI { op: IntOp::Lt, dst: 4, a: 2, imm: N },
+                TamOp::Switch { cond: 4, if_true: t_loop, if_false: t_end },
+            ],
+        );
+        b.define_thread(t_end, vec![TamOp::Mov { dst: 4, src: 4 }]);
+        b.inlet(vec![1], t_entry);
+    });
+
+    // consumer: sum = Σ arr[i], element at a time (split-phase reads).
+    // slots: 0 SELF, 1 arr, 2 parent, 3 i, 4 sum, 5 v, 6 cmp
+    p.block("consumer", 7, |b| {
+        let t_fetch = b.declare_thread();
+        let t_accum = b.declare_thread();
+        let t_done = b.declare_thread();
+        let t_entry = b.declare_thread();
+        let v_in = {
+            let inlet_args = b.inlet(vec![1, 2], t_entry);
+            assert_eq!(inlet_args.0, 0);
+            b.inlet(vec![5], t_accum)
+        };
+        b.define_thread(
+            t_entry,
+            vec![TamOp::Imm { dst: 3, value: 0 }, TamOp::Fork { thread: t_fetch }],
+        );
+        b.define_thread(t_fetch, vec![TamOp::IFetch { arr: 1, idx: 3, inlet: v_in }]);
+        b.define_thread(
+            t_accum,
+            vec![
+                TamOp::Float { op: FloatOp::Add, dst: 4, a: 4, b: 5 },
+                TamOp::IntI { op: IntOp::Add, dst: 3, a: 3, imm: 1 },
+                TamOp::IntI { op: IntOp::Lt, dst: 6, a: 3, imm: N },
+                TamOp::Switch { cond: 6, if_true: t_fetch, if_false: t_done },
+            ],
+        );
+        b.define_thread(
+            t_done,
+            vec![TamOp::SendArgs { fp: 2, inlet: tcni::tam::InletId(0), args: vec![4] }],
+        );
+    });
+
+    // main: allocate, spawn producer + consumers, await all sums.
+    // slots: 0 SELF, 1 arr, 2 child, 3 len, 4 remaining, 5 sum-in, 6 done,
+    //        7 b, 8 cmp
+    p.block("main", 9, |b| {
+        b.init(4, CONSUMERS);
+        // Thread 0 is the entry: spawn_main schedules it.
+        let t_entry = b.declare_thread();
+        let t_got = b.declare_thread();
+        let t_fin = b.declare_thread();
+        let t_spawn = b.declare_thread();
+        let t_end = b.declare_thread();
+        let got = b.inlet(vec![5], t_got);
+        assert_eq!(got.0, 0);
+        b.define_thread(
+            t_entry,
+            vec![
+                TamOp::Imm { dst: 3, value: N },
+                TamOp::HAlloc { dst: 1, len: 3 },
+                TamOp::Falloc {
+                    block: tcni::tam::CodeBlockId(0),
+                    dst_fp: 2,
+                },
+                TamOp::SendArgs { fp: 2, inlet: tcni::tam::InletId(0), args: vec![1] },
+                TamOp::Imm { dst: 7, value: 0 },
+                TamOp::Fork { thread: t_spawn },
+            ],
+        );
+        b.define_thread(
+            t_spawn,
+            vec![
+                TamOp::Falloc {
+                    block: tcni::tam::CodeBlockId(1),
+                    dst_fp: 2,
+                },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: tcni::tam::InletId(0),
+                    args: vec![1, 0],
+                },
+                TamOp::IntI { op: IntOp::Add, dst: 7, a: 7, imm: 1 },
+                TamOp::IntI { op: IntOp::Lt, dst: 8, a: 7, imm: CONSUMERS },
+                TamOp::Switch { cond: 8, if_true: t_spawn, if_false: t_end },
+            ],
+        );
+        b.define_thread(t_end, vec![TamOp::Mov { dst: 8, src: 8 }]);
+        b.define_thread(t_got, vec![TamOp::Join { counter: 4, thread: t_fin }]);
+        b.define_thread(t_fin, vec![TamOp::Imm { dst: 6, value: 1 }]);
+    });
+
+    p
+}
+
+fn main() {
+    let program = build();
+    let main_id = program.lookup("main").unwrap();
+    let mut m = TamMachine::new(program, 16, 99);
+    let root = m.spawn_main(main_id);
+    m.run(10_000_000).expect("runs to completion");
+    assert_eq!(m.frame_slot(root, 6), 1, "all consumers reported");
+
+    let sum = f32::from_bits(m.frame_slot(root, 5));
+    let expect: f32 = (0..N).map(|i| i as f32).sum();
+    println!("each consumer's sum of arr[0..{N}]: {sum} (expected {expect})");
+    assert_eq!(sum, expect);
+
+    let msgs = &m.counts().msgs;
+    println!("\nI-structure traffic while {CONSUMERS} consumers raced one producer:");
+    println!("  PRead full      : {:>6}  (value already present)", msgs.pread_full);
+    println!("  PRead empty     : {:>6}  (first reader deferred)", msgs.pread_empty);
+    println!("  PRead deferred  : {:>6}  (queued behind other readers)", msgs.pread_deferred);
+    println!(
+        "  PWrite deferred : {:>6}  satisfying {} waiting readers (the 15+6n path)",
+        msgs.pwrite_deferred_events, msgs.pwrite_deferred_readers
+    );
+    assert!(msgs.pread_empty + msgs.pread_deferred > 0, "the race must defer someone");
+    assert_eq!(
+        msgs.pread_full + msgs.pread_empty + msgs.pread_deferred,
+        u64::from(N * CONSUMERS)
+    );
+}

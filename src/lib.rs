@@ -1,0 +1,44 @@
+//! # tcni — A Tightly-Coupled Processor-Network Interface, reproduced
+//!
+//! A from-scratch Rust reproduction of Henry & Joerg, *A Tightly-Coupled
+//! Processor-Network Interface* (ASPLOS 1992): the network-interface
+//! architecture itself plus every substrate the paper's evaluation rests on,
+//! and the code that regenerates its Table 1 and Figure 12.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] (`tcni-core`) | **the paper's contribution**: interface registers, message queues, SEND/NEXT, reply/forward, `MsgIp` dispatch, boundary conditions, protection |
+//! | [`isa`] (`tcni-isa`) | 88100-flavoured RISC ISA, assembler, NI instruction extensions |
+//! | [`cpu`] (`tcni-cpu`) | in-order cycle simulator with load-use interlocks and delay slots |
+//! | [`net`] (`tcni-net`) | ideal fabric + 2-D mesh with finite buffers and backpressure |
+//! | [`sim`] (`tcni-sim`) | multi-node machines under the six §4 models |
+//! | [`istruct`] (`tcni-istruct`) | I-structure memory (presence bits, deferred readers) |
+//! | [`tam`] (`tcni-tam`) | Threaded Abstract Machine runtime + matmul/gamteb/fib |
+//! | [`eval`] (`tcni-eval`) | measured Table 1, Figure 12 expansion, sweeps and ablations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tcni::sim::{MachineBuilder, Model};
+//!
+//! // A 4-node machine with the optimized register-mapped interface.
+//! let machine = MachineBuilder::new(4).model(Model::ALL_SIX[0]).build();
+//! assert_eq!(machine.node_count(), 4);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the binaries that regenerate the paper's
+//! tables and figures.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tcni_core as core;
+pub use tcni_cpu as cpu;
+pub use tcni_eval as eval;
+pub use tcni_isa as isa;
+pub use tcni_istruct as istruct;
+pub use tcni_net as net;
+pub use tcni_sim as sim;
+pub use tcni_tam as tam;
