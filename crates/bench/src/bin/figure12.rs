@@ -3,14 +3,21 @@
 //! split into non-message work / dispatch / other communication, plus the
 //! headline metrics the paper quotes.
 //!
+//! The workload panels are independent (each runs its own TAM interpreter)
+//! and are computed in parallel; output order is fixed regardless.
+//!
 //! ```text
-//! cargo run --release -p tcni-bench --bin figure12 [-- matmul|gamteb|fib|all] [--published]
+//! cargo run --release -p tcni-bench --bin figure12 [-- matmul|gamteb|fib|nqueens|all] [--published]
 //! ```
 
 use tcni_eval::figure12::Figure12;
 use tcni_eval::paper;
-use tcni_eval::table1::Table1;
+use tcni_eval::table1::{ModelCosts, Table1};
 use tcni_tam::programs;
+
+/// One panel's rendered output: (stderr sanity line, stdout body).
+type PanelOutput = (String, String);
+type Panel = Box<dyn FnOnce() -> PanelOutput + Send>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +28,7 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
 
-    let costs = if published {
+    let costs: [ModelCosts; 6] = if published {
         println!("(expanding with the paper's published Table 1)");
         paper::published()
     } else {
@@ -29,37 +36,49 @@ fn main() {
         Table1::measure().models
     };
 
+    let mut panels: Vec<Panel> = Vec::new();
     if which == "matmul" || which == "all" {
-        let out = programs::matmul::run(100, 64).expect("matmul runs");
-        eprintln!(
-            "matmul sanity: {:.2} flops/message (paper ≈3), {:.1}% message instructions (paper <10%)",
-            out.counts.flops_per_message(),
-            100.0 * out.counts.message_op_fraction()
-        );
-        let fig = Figure12::from_counts("100×100 Matrix Multiply", out.counts, &costs);
-        println!("\n{fig}");
-        println!("{}", fig.ascii_bars(64));
+        panels.push(Box::new(move || {
+            let out = programs::matmul::run(100, 64).expect("matmul runs");
+            let sanity = format!(
+                "matmul sanity: {:.2} flops/message (paper ≈3), {:.1}% message instructions (paper <10%)",
+                out.counts.flops_per_message(),
+                100.0 * out.counts.message_op_fraction()
+            );
+            let fig = Figure12::from_counts("100×100 Matrix Multiply", out.counts, &costs);
+            (sanity, format!("\n{fig}\n{}", fig.ascii_bars(64)))
+        }));
     }
     if which == "gamteb" || which == "all" {
-        let out = programs::gamteb::run(16, 64, 0x6A3).expect("gamteb runs");
-        eprintln!(
-            "gamteb sanity: {} photons → {} absorbed / {} escaped",
-            out.total, out.absorbed, out.escaped
-        );
-        let fig = Figure12::from_counts("16 Gamteb", out.counts, &costs);
-        println!("\n{fig}");
-        println!("{}", fig.ascii_bars(64));
+        panels.push(Box::new(move || {
+            let out = programs::gamteb::run(16, 64, 0x6A3).expect("gamteb runs");
+            let sanity = format!(
+                "gamteb sanity: {} photons → {} absorbed / {} escaped",
+                out.total, out.absorbed, out.escaped
+            );
+            let fig = Figure12::from_counts("16 Gamteb", out.counts, &costs);
+            (sanity, format!("\n{fig}\n{}", fig.ascii_bars(64)))
+        }));
     }
     if which == "fib" || which == "all" {
-        let out = programs::fib::run(18, 64).expect("fib runs");
-        eprintln!("fib sanity: fib(18) = {}", out.value);
-        let fig = Figure12::from_counts("fib 18 (extra program)", out.counts, &costs);
-        println!("\n{fig}");
+        panels.push(Box::new(move || {
+            let out = programs::fib::run(18, 64).expect("fib runs");
+            let sanity = format!("fib sanity: fib(18) = {}", out.value);
+            let fig = Figure12::from_counts("fib 18 (extra program)", out.counts, &costs);
+            (sanity, format!("\n{fig}"))
+        }));
     }
     if which == "nqueens" || which == "all" {
-        let out = programs::nqueens::run(8, 64).expect("nqueens runs");
-        eprintln!("nqueens sanity: {} solutions for 8 queens", out.solutions);
-        let fig = Figure12::from_counts("8-queens (extra program)", out.counts, &costs);
-        println!("\n{fig}");
+        panels.push(Box::new(move || {
+            let out = programs::nqueens::run(8, 64).expect("nqueens runs");
+            let sanity = format!("nqueens sanity: {} solutions for 8 queens", out.solutions);
+            let fig = Figure12::from_counts("8-queens (extra program)", out.counts, &costs);
+            (sanity, format!("\n{fig}"))
+        }));
+    }
+
+    for (sanity, body) in tcni_eval::par::par_map(panels, |panel| panel()) {
+        eprintln!("{sanity}");
+        println!("{body}");
     }
 }

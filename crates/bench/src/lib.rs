@@ -10,12 +10,16 @@
 //! * `sweep` — the §4.2.3 off-chip-latency sensitivity sweep and the
 //!   queue-capacity / per-optimization ablations (E4, A1, A2).
 //!
-//! Criterion benches (`cargo bench`) measure the simulators themselves:
-//! per-message handler simulation, TAM workload throughput, and whole-machine
-//! co-simulation.
+//! * `perf` — the in-tree performance benches of the simulators themselves
+//!   (see [`perf`]): machine-step throughput, mesh delivery rate, and the
+//!   serial-vs-parallel evaluation pipeline, written to
+//!   `BENCH_simulator.json`. This replaces the former Criterion benches so
+//!   the workspace builds with zero external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use tcni_eval::table1::{ModelCosts, Table1};
 use tcni_sim::Model;

@@ -1,9 +1,9 @@
-//! Property tests over the network-interface state machine: under arbitrary
-//! sequences of operations the architectural invariants hold — queues stay
-//! bounded, STATUS reflects reality, nothing is lost or duplicated, and the
-//! Figure-7 dispatch address is always well-formed.
+//! Randomized tests (tcni-check) over the network-interface state machine:
+//! under arbitrary sequences of operations the architectural invariants hold
+//! — queues stay bounded, STATUS reflects reality, nothing is lost or
+//! duplicated, and the Figure-7 dispatch address is always well-formed.
 
-use proptest::prelude::*;
+use tcni_check::{check, Rng};
 use tcni_core::{
     dispatch::TABLE_BYTES, Control, InterfaceReg, Message, MsgType, NetworkInterface, NiConfig,
     OverflowPolicy, Pin, SendOutcome,
@@ -23,27 +23,40 @@ enum Op {
     SetThresholds { input: u32, output: u32 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u32>(), 0u8..16, 0u8..3, any::<bool>()).prop_map(|(tag, mtype, pin, privileged)| {
-            Op::PushIncoming { tag, mtype, pin, privileged }
-        }),
-        Just(Op::Next),
-        (1u8..4, 0u8..16).prop_map(|(mode, mtype)| Op::Send { mode, mtype }),
-        (0u8..5, any::<u32>()).prop_map(|(idx, value)| Op::WriteOut { idx, value }),
-        Just(Op::PopOutgoing),
-        Just(Op::PopPrivileged),
-        (0u8..16).prop_map(|mtype| Op::ScrollOut { mtype }),
-        Just(Op::ScrollIn),
-        (0u32..16, 0u32..16).prop_map(|(input, output)| Op::SetThresholds { input, output }),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.below(9) {
+        0 => Op::PushIncoming {
+            tag: rng.u32(),
+            mtype: rng.below(16) as u8,
+            pin: rng.below(3) as u8,
+            privileged: rng.bool(),
+        },
+        1 => Op::Next,
+        2 => Op::Send {
+            mode: rng.range(1, 4) as u8,
+            mtype: rng.below(16) as u8,
+        },
+        3 => Op::WriteOut {
+            idx: rng.below(5) as u8,
+            value: rng.u32(),
+        },
+        4 => Op::PopOutgoing,
+        5 => Op::PopPrivileged,
+        6 => Op::ScrollOut {
+            mtype: rng.below(16) as u8,
+        },
+        7 => Op::ScrollIn,
+        _ => Op::SetThresholds {
+            input: rng.below(16) as u32,
+            output: rng.below(16) as u32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(arb_op(), 0..120)) {
+#[test]
+fn invariants_hold_under_arbitrary_ops() {
+    check("invariants_hold_under_arbitrary_ops", 128, |rng| {
+        let ops: Vec<Op> = (0..rng.below(120)).map(|_| arb_op(rng)).collect();
         let cfg = NiConfig {
             input_capacity: 4,
             output_capacity: 4,
@@ -74,8 +87,8 @@ proptest! {
                         }
                         Err(_) => {
                             // Refusal only legal when the input queue is full.
-                            prop_assert!(!diverts);
-                            prop_assert_eq!(ni.input_len(), 4);
+                            assert!(!diverts);
+                            assert_eq!(ni.input_len(), 4);
                         }
                     }
                 }
@@ -86,10 +99,10 @@ proptest! {
                     let mode = SendMode::from_bits(mode);
                     match ni.send(mode, MsgType::new(mtype).unwrap()) {
                         Ok(SendOutcome::Sent) => sent_ok += 1,
-                        Ok(SendOutcome::Stalled) => prop_assert_eq!(ni.output_len(), 4),
+                        Ok(SendOutcome::Stalled) => assert_eq!(ni.output_len(), 4),
                         Ok(SendOutcome::Overflowed) => unreachable!("stall policy"),
                         Err(e) => {
-                            prop_assert_eq!(e, tcni_core::NiError::ReservedType);
+                            assert_eq!(e, tcni_core::NiError::ReservedType);
                             ni.clear_exception();
                         }
                     }
@@ -123,17 +136,17 @@ proptest! {
 
             // --- invariants after every operation -------------------------
             let st = ni.status();
-            prop_assert!(ni.input_len() <= 4);
-            prop_assert!(ni.output_len() <= 4);
-            prop_assert_eq!(st.input_len(), ni.input_len());
-            prop_assert_eq!(st.output_len(), ni.output_len());
-            prop_assert_eq!(st.msg_valid(), ni.msg_valid());
+            assert!(ni.input_len() <= 4);
+            assert!(ni.output_len() <= 4);
+            assert_eq!(st.input_len(), ni.input_len());
+            assert_eq!(st.output_len(), ni.output_len());
+            assert_eq!(st.msg_valid(), ni.msg_valid());
             // iafull/oafull agree with CONTROL thresholds.
             let c = ni.control();
             let ia = c.input_threshold() != 0 && ni.input_len() >= c.input_threshold() as usize;
             let oa = c.output_threshold() != 0 && ni.output_len() >= c.output_threshold() as usize;
-            prop_assert_eq!(st.iafull(), ia);
-            prop_assert_eq!(st.oafull(), oa);
+            assert_eq!(st.iafull(), ia);
+            assert_eq!(st.oafull(), oa);
             // Figure 7: MsgIp is the in-message IP (clean type-0) or a
             // 16-byte-aligned slot inside the table.
             let ip = ni.read_reg(InterfaceReg::MsgIp).unwrap();
@@ -143,48 +156,59 @@ proptest! {
                 && !st.oafull()
                 && !st.exception().is_pending())
             {
-                prop_assert!((0x4000..0x4000 + TABLE_BYTES).contains(&ip), "MsgIp {ip:#x}");
-                prop_assert_eq!(ip % 16, 0);
+                assert!((0x4000..0x4000 + TABLE_BYTES).contains(&ip), "MsgIp {ip:#x}");
+                assert_eq!(ip % 16, 0);
             }
             // Conservation on the output side.
-            prop_assert_eq!(sent_ok, popped_out + ni.output_len() as u64);
+            assert_eq!(sent_ok, popped_out + ni.output_len() as u64);
         }
         // Conservation on the input side: everything accepted is either
         // still queued, currently in the registers, or was disposed.
         consumed_user += ni.input_len() as u64 + u64::from(ni.msg_valid());
-        prop_assert!(consumed_user <= accepted_user + 1);
-    }
+        assert!(consumed_user <= accepted_user + 1);
+    });
+}
 
-    /// Reply/forward composition is a pure function of the input/output
-    /// registers, per §2.2.2.
-    #[test]
-    fn reply_forward_composition(iregs in prop::collection::vec(any::<u32>(), 5),
-                                 oregs in prop::collection::vec(any::<u32>(), 5)) {
+/// Reply/forward composition is a pure function of the input/output
+/// registers, per §2.2.2.
+#[test]
+fn reply_forward_composition() {
+    check("reply_forward_composition", 256, |rng| {
+        let iregs: Vec<u32> = (0..5).map(|_| rng.u32()).collect();
+        let oregs: Vec<u32> = (0..5).map(|_| rng.u32()).collect();
         let mut ni = NetworkInterface::new(NiConfig::default());
-        let incoming = Message::new([iregs[0], iregs[1], iregs[2], iregs[3], iregs[4]],
-                                    MsgType::new(3).unwrap());
+        let incoming = Message::new(
+            [iregs[0], iregs[1], iregs[2], iregs[3], iregs[4]],
+            MsgType::new(3).unwrap(),
+        );
         ni.push_incoming(incoming).unwrap();
         for (i, v) in oregs.iter().enumerate() {
             ni.write_reg(InterfaceReg::output(i), *v).unwrap();
         }
         ni.send(SendMode::Reply, MsgType::new(0).unwrap()).unwrap();
         let reply = ni.pop_outgoing().unwrap();
-        prop_assert_eq!(reply.words, [iregs[1], iregs[2], oregs[2], oregs[3], oregs[4]]);
+        assert_eq!(reply.words, [iregs[1], iregs[2], oregs[2], oregs[3], oregs[4]]);
 
         ni.send(SendMode::Forward, MsgType::new(5).unwrap()).unwrap();
         let fwd = ni.pop_outgoing().unwrap();
-        prop_assert_eq!(fwd.words, [oregs[0], iregs[1], iregs[2], iregs[3], iregs[4]]);
+        assert_eq!(fwd.words, [oregs[0], iregs[1], iregs[2], iregs[3], iregs[4]]);
 
         ni.send(SendMode::Send, MsgType::new(6).unwrap()).unwrap();
         let plain = ni.pop_outgoing().unwrap();
-        prop_assert_eq!(plain.words, [oregs[0], oregs[1], oregs[2], oregs[3], oregs[4]]);
-    }
+        assert_eq!(plain.words, [oregs[0], oregs[1], oregs[2], oregs[3], oregs[4]]);
+    });
+}
 
-    /// CONTROL field packing round-trips for arbitrary values.
-    #[test]
-    fn control_roundtrip(policy in any::<bool>(), pin in any::<u8>(),
-                         it in 0u32..16, ot in 0u32..16,
-                         chk in any::<bool>(), pi in any::<bool>()) {
+/// CONTROL field packing round-trips for arbitrary values.
+#[test]
+fn control_roundtrip() {
+    check("control_roundtrip", 256, |rng| {
+        let policy = rng.bool();
+        let pin = rng.u8();
+        let it = rng.below(16) as u32;
+        let ot = rng.below(16) as u32;
+        let chk = rng.bool();
+        let pi = rng.bool();
         let c = Control::new()
             .with_overflow_policy(if policy { OverflowPolicy::Exception } else { OverflowPolicy::Stall })
             .with_active_pin(Pin::new(pin))
@@ -193,10 +217,10 @@ proptest! {
             .with_pin_check(chk)
             .with_privileged_interrupt(pi);
         let back = Control::from_bits(c.bits());
-        prop_assert_eq!(back, c);
-        prop_assert_eq!(back.active_pin(), Pin::new(pin));
-        prop_assert_eq!(back.input_threshold(), it);
-        prop_assert_eq!(back.output_threshold(), ot);
-        prop_assert_eq!(back.pin_check_enabled(), chk);
-    }
+        assert_eq!(back, c);
+        assert_eq!(back.active_pin(), Pin::new(pin));
+        assert_eq!(back.input_threshold(), it);
+        assert_eq!(back.output_threshold(), ot);
+        assert_eq!(back.pin_check_enabled(), chk);
+    });
 }

@@ -258,6 +258,30 @@ impl Cpu {
         }
     }
 
+    /// Bulk-charges `cycles` environment-stall cycles, exactly as if
+    /// [`step`](Cpu::step) had returned [`StepOutcome::StalledEnv`] that many
+    /// times in a row: elapsed cycles, `env_stalls`, and the cost class of
+    /// the stalled instruction's address all advance; no architectural state
+    /// changes (a stalled instruction has no side effects, §2.1.1).
+    ///
+    /// This is the machine simulator's quiescence fast-forward: when every
+    /// running processor is environment-stalled and the network state cannot
+    /// change until a known future cycle, the elapsed time is charged in one
+    /// call instead of one `step` per cycle. The caller must guarantee the
+    /// processor really would have stalled for each skipped cycle (i.e. the
+    /// environment state it is waiting on did not change in between);
+    /// otherwise cycle accounting diverges from the naive loop.
+    pub fn skip_env_stall(&mut self, program: &Program, cycles: u64) {
+        if cycles == 0 || !self.state.is_running() {
+            return;
+        }
+        let class = program.cost_class(self.pc);
+        self.cycle += cycles;
+        self.stats.cycles += cycles;
+        self.stats.env_stalls += cycles;
+        self.stats.class_mut(class).cycles += cycles;
+    }
+
     /// Executes (at most) one cycle: either retires the instruction at `pc`
     /// (plus, in dual-issue mode, a second independent instruction) or burns
     /// a stall cycle.

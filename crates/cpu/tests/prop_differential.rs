@@ -4,11 +4,12 @@
 //! regardless of stalls, scoreboarding, delay-slot bookkeeping, or the
 //! configured interface latency.
 
-use proptest::prelude::*;
+use tcni_check::{check, Rng};
 use tcni_cpu::{Cpu, CpuState, Env, MemEnv, TimingConfig};
 use tcni_isa::{AluOp, Assembler, Cond, FpOp, Instr, Operand, Program, Reg};
 
 const MEM_BYTES: usize = 256;
+const CASES: u64 = 256;
 
 /// The reference interpreter: instruction semantics only, with delay-slot
 /// handling but no notion of cycles. Returns `true` if the program halted.
@@ -102,19 +103,17 @@ enum DataOp {
     St(Reg, u8),
 }
 
-fn arb_data_op() -> impl Strategy<Value = DataOp> {
-    let reg = || (1u8..8).prop_map(|i| Reg::try_from(i).unwrap());
-    prop_oneof![
-        (prop::sample::select(AluOp::ALL.to_vec()), reg(), reg(), reg())
-            .prop_map(|(op, rd, a, b)| DataOp::AluR(op, rd, a, b)),
-        (prop::sample::select(AluOp::ALL.to_vec()), reg(), reg(), any::<u16>())
-            .prop_map(|(op, rd, a, i)| DataOp::AluI(op, rd, a, i)),
-        (prop::sample::select(FpOp::ALL.to_vec()), reg(), reg(), reg())
-            .prop_map(|(op, rd, a, b)| DataOp::Fp(op, rd, a, b)),
-        (reg(), any::<u16>()).prop_map(|(rd, imm)| DataOp::Lui(rd, imm)),
-        (reg(), 0u8..((MEM_BYTES / 4) as u8)).prop_map(|(rd, w)| DataOp::Ld(rd, w)),
-        (reg(), 0u8..((MEM_BYTES / 4) as u8)).prop_map(|(rs, w)| DataOp::St(rs, w)),
-    ]
+fn arb_data_op(rng: &mut Rng) -> DataOp {
+    let reg = |rng: &mut Rng| Reg::try_from(rng.range(1, 8) as u8).unwrap();
+    let word = (MEM_BYTES / 4) as u64;
+    match rng.below(6) {
+        0 => DataOp::AluR(*rng.pick(&AluOp::ALL), reg(rng), reg(rng), reg(rng)),
+        1 => DataOp::AluI(*rng.pick(&AluOp::ALL), reg(rng), reg(rng), rng.u16()),
+        2 => DataOp::Fp(*rng.pick(&FpOp::ALL), reg(rng), reg(rng), reg(rng)),
+        3 => DataOp::Lui(reg(rng), rng.u16()),
+        4 => DataOp::Ld(reg(rng), rng.below(word) as u8),
+        _ => DataOp::St(reg(rng), rng.below(word) as u8),
+    }
 }
 
 fn emit(a: &mut Assembler, op: &DataOp) {
@@ -142,6 +141,16 @@ fn emit(a: &mut Assembler, op: &DataOp) {
 
 type Block = (Vec<DataOp>, Cond, u8);
 
+fn arb_blocks(rng: &mut Rng) -> Vec<Block> {
+    let n = rng.range(1, 6) as usize;
+    (0..n)
+        .map(|_| {
+            let ops = (0..rng.below(12)).map(|_| arb_data_op(rng)).collect();
+            (ops, *rng.pick(&Cond::ALL), rng.u8())
+        })
+        .collect()
+}
+
 /// Builds a loop-free program: each block is guarded by a forward branch
 /// with a genuinely executed delay slot, so both interpreters must agree on
 /// delay-slot semantics to agree on results.
@@ -165,22 +174,12 @@ fn build_program(blocks: &[Block]) -> Program {
     a.assemble().expect("random program assembles")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cycle_simulator_matches_reference(
-        blocks in prop::collection::vec(
-            (
-                prop::collection::vec(arb_data_op(), 0..12),
-                prop::sample::select(Cond::ALL.to_vec()),
-                any::<u8>(),
-            ),
-            1..6,
-        ),
-        seed_regs in prop::collection::vec(any::<u32>(), 7),
-        timing_extra in 0u32..9,
-    ) {
+#[test]
+fn cycle_simulator_matches_reference() {
+    check("cycle_simulator_matches_reference", CASES, |rng| {
+        let blocks = arb_blocks(rng);
+        let seed_regs: Vec<u32> = (0..7).map(|_| rng.u32()).collect();
+        let timing_extra = rng.below(9) as u32;
         let program = build_program(&blocks);
 
         // Reference.
@@ -189,7 +188,7 @@ proptest! {
             ref_regs[i + 1] = *v;
         }
         let mut ref_mem = vec![0u32; MEM_BYTES / 4];
-        prop_assert!(
+        assert!(
             reference_run(&program, &mut ref_regs, &mut ref_mem, 100_000),
             "reference must halt\n{program}"
         );
@@ -204,18 +203,12 @@ proptest! {
         while cpu.state().is_running() && cpu.cycle() < 1_000_000 {
             cpu.step(&program, &mut env);
         }
-        prop_assert_eq!(cpu.state(), &CpuState::Halted, "{}", program);
+        assert_eq!(cpu.state(), &CpuState::Halted, "{program}");
         for r in Reg::ALL {
-            prop_assert_eq!(cpu.reg(r), ref_regs[r.index()], "register {} differs\n{}", r, program);
+            assert_eq!(cpu.reg(r), ref_regs[r.index()], "register {r} differs\n{program}");
         }
         for (w, expected) in ref_mem.iter().enumerate() {
-            prop_assert_eq!(
-                env.mem_read(w as u32 * 4).unwrap(),
-                *expected,
-                "mem[{}]\n{}",
-                w,
-                program
-            );
+            assert_eq!(env.mem_read(w as u32 * 4).unwrap(), *expected, "mem[{w}]\n{program}");
         }
-    }
+    });
 }

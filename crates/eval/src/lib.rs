@@ -11,6 +11,10 @@
 //!   {non-message work, dispatch, other communication};
 //! * [`sweep`] — the §4.2.3 off-chip-latency sensitivity experiment and the
 //!   ablation studies (queue sizing, individual optimizations).
+//!
+//! Every measurement point (model × timing × workload) is independent, so
+//! the harness fans them out across threads (see [`par`]); set
+//! `TCNI_THREADS=1` or call [`par::set_threads`]`(1)` for the serial path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +23,7 @@ pub mod figure12;
 pub mod handlers;
 pub mod harness;
 pub mod paper;
+pub mod par;
 pub mod protocol;
 pub mod sweep;
 pub mod table1;

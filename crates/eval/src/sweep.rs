@@ -35,20 +35,17 @@ pub struct OffchipPoint {
 }
 
 /// Sweeps the off-chip load latency, re-measuring Table 1 at each point and
-/// expanding the same dynamic counts.
+/// expanding the same dynamic counts. Points are measured in parallel.
 pub fn offchip_sweep(counts: &TamCounts, extras: &[u32]) -> Vec<OffchipPoint> {
     let base = NonMessageCosts::new();
-    extras
-        .iter()
-        .map(|&e| {
-            let t = Table1::measure_with(TimingConfig::new().with_offchip_load_extra(e));
-            OffchipPoint {
-                load_extra: e,
-                optimized_offchip: breakdown(counts, t.model(Model::ALL_SIX[2]), &base),
-                basic_offchip: breakdown(counts, t.model(Model::ALL_SIX[5]), &base),
-            }
-        })
-        .collect()
+    crate::par::par_map(extras.to_vec(), |e| {
+        let t = Table1::measure_with(TimingConfig::new().with_offchip_load_extra(e));
+        OffchipPoint {
+            load_extra: e,
+            optimized_offchip: breakdown(counts, t.model(Model::ALL_SIX[2]), &base),
+            basic_offchip: breakdown(counts, t.model(Model::ALL_SIX[5]), &base),
+        }
+    })
 }
 
 /// One row of the per-optimization ablation.
@@ -99,20 +96,18 @@ pub fn feature_ablation(counts: &TamCounts) -> Vec<AblationRow> {
         ),
         ("all (optimized)", FeatureSet::OPTIMIZED),
     ];
-    sets.into_iter()
-        .map(|(label, features)| {
-            let per_mapping = Table1::measure_features(features, TimingConfig::new());
-            let comm = std::array::from_fn(|i| {
-                let b = breakdown(counts, &per_mapping[i], &base);
-                b.comm()
-            });
-            AblationRow {
-                label: label.to_owned(),
-                features,
-                comm,
-            }
-        })
-        .collect()
+    crate::par::par_map(sets.to_vec(), |(label, features)| {
+        let per_mapping = Table1::measure_features(features, TimingConfig::new());
+        let comm = std::array::from_fn(|i| {
+            let b = breakdown(counts, &per_mapping[i], &base);
+            b.comm()
+        });
+        AblationRow {
+            label: label.to_owned(),
+            features,
+            comm,
+        }
+    })
 }
 
 /// The 88110MP experiment (extension A3): Table 1 re-measured under dual
@@ -195,39 +190,36 @@ fn consumer_program() -> tcni_isa::Program {
 ///
 /// Panics if a run fails to quiesce (would indicate a flow-control bug).
 pub fn queue_sweep(capacities: &[usize]) -> Vec<QueuePoint> {
-    capacities
-        .iter()
-        .map(|&cap| {
-            let model = Model::new(NiMapping::RegisterFile, FeatureLevel::Optimized);
-            // A finite-buffered fabric, so congestion genuinely backs up
-            // into the sender's output queue (§2.1.1).
-            let mut machine = MachineBuilder::new(2)
-                .model(model)
-                .ni_queues(cap, cap)
-                .program(0, producer_program())
-                .program(1, consumer_program())
-                .network_mesh(MeshConfig::new(2, 1))
-                .build();
-            machine
-                .node_mut(1)
-                .ni_mut()
-                .write_reg(InterfaceReg::IpBase, 0x4000)
-                .expect("IpBase writable");
-            machine.node_mut(1).cpu_mut().set_reg(Reg::R8, u32::from(BURST));
-            let outcome = machine.run(200_000);
-            assert_eq!(outcome, RunOutcome::Quiescent, "queue sweep cap={cap}: {outcome:?}");
-            assert_eq!(
-                machine.node(1).cpu().reg(Reg::R6),
-                u32::from(BURST),
-                "all messages processed"
-            );
-            QueuePoint {
-                capacity: cap,
-                cycles: machine.cycle(),
-                producer_env_stalls: machine.node(0).cpu().stats().env_stalls,
-            }
-        })
-        .collect()
+    crate::par::par_map(capacities.to_vec(), |cap| {
+        let model = Model::new(NiMapping::RegisterFile, FeatureLevel::Optimized);
+        // A finite-buffered fabric, so congestion genuinely backs up
+        // into the sender's output queue (§2.1.1).
+        let mut machine = MachineBuilder::new(2)
+            .model(model)
+            .ni_queues(cap, cap)
+            .program(0, producer_program())
+            .program(1, consumer_program())
+            .network_mesh(MeshConfig::new(2, 1))
+            .build();
+        machine
+            .node_mut(1)
+            .ni_mut()
+            .write_reg(InterfaceReg::IpBase, 0x4000)
+            .expect("IpBase writable");
+        machine.node_mut(1).cpu_mut().set_reg(Reg::R8, u32::from(BURST));
+        let outcome = machine.run(200_000);
+        assert_eq!(outcome, RunOutcome::Quiescent, "queue sweep cap={cap}: {outcome:?}");
+        assert_eq!(
+            machine.node(1).cpu().reg(Reg::R6),
+            u32::from(BURST),
+            "all messages processed"
+        );
+        QueuePoint {
+            capacity: cap,
+            cycles: machine.cycle(),
+            producer_env_stalls: machine.node(0).cpu().stats().env_stalls,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -125,9 +125,11 @@ impl Table1 {
     }
 
     /// Measures the table under an explicit timing configuration (the
-    /// off-chip latency sweep of §4.2.3 uses this).
+    /// off-chip latency sweep of §4.2.3 uses this). The six models are
+    /// measured in parallel (each on its own private simulator).
     pub fn measure_with(timing: TimingConfig) -> Table1 {
-        let models = Model::ALL_SIX.map(|m| measure_model(Ctx::from_model(m), timing));
+        let models =
+            crate::par::par_map_array(Model::ALL_SIX, |m| measure_model(Ctx::from_model(m), timing));
         Table1 { timing, models }
     }
 
@@ -135,7 +137,9 @@ impl Table1 {
     /// the per-optimization ablation. Returns placements in
     /// [`NiMapping::ALL`] order (off-chip, on-chip, register).
     pub fn measure_features(features: tcni_core::FeatureSet, timing: TimingConfig) -> [ModelCosts; 3] {
-        NiMapping::ALL.map(|mapping| measure_model(Ctx { mapping, features }, timing))
+        crate::par::par_map_array(NiMapping::ALL, |mapping| {
+            measure_model(Ctx { mapping, features }, timing)
+        })
     }
 
     /// The costs for a model.

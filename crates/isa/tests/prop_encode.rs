@@ -1,131 +1,141 @@
-//! Property tests: binary encoding round-trips for arbitrary well-formed
-//! instructions, and the NI command bits survive every triadic encoding.
+//! Randomized tests (tcni-check): binary encoding round-trips for arbitrary
+//! well-formed instructions, and the NI command bits survive every triadic
+//! encoding.
 
-use proptest::prelude::*;
+use tcni_check::{check, Rng};
 use tcni_isa::{decode, encode, AluOp, Cond, FpOp, Instr, MsgType, NiCmd, Operand, Reg, SendMode};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::try_from(i).unwrap())
+const CASES: u64 = 256;
+
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::try_from(rng.below(32) as u8).unwrap()
 }
 
-fn arb_ni() -> impl Strategy<Value = NiCmd> {
-    (0u8..4, 0u8..16, any::<bool>()).prop_map(|(mode, ty, next)| NiCmd {
-        mode: SendMode::from_bits(mode),
-        mtype: MsgType::new(ty).unwrap(),
-        next,
-    })
+fn arb_ni(rng: &mut Rng) -> NiCmd {
+    NiCmd {
+        mode: SendMode::from_bits(rng.below(4) as u8),
+        mtype: MsgType::new(rng.below(16) as u8).unwrap(),
+        next: rng.bool(),
+    }
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
+fn arb_alu_op(rng: &mut Rng) -> AluOp {
+    *rng.pick(&AluOp::ALL)
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg(), arb_ni()).prop_map(
-            |(op, rd, rs1, rs2, ni)| Instr::Alu {
-                op,
-                rd,
-                rs1,
-                rs2: Operand::Reg(rs2),
-                ni,
-            }
-        ),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<u16>()).prop_map(|(op, rd, rs1, imm)| {
-            Instr::Alu {
-                op,
-                rd,
-                rs1,
-                rs2: Operand::Imm(imm),
-                ni: NiCmd::NONE,
-            }
-        }),
-        (
-            prop::sample::select(FpOp::ALL.to_vec()),
-            arb_reg(),
-            arb_reg(),
-            arb_reg(),
-            arb_ni()
-        )
-            .prop_map(|(op, rd, rs1, rs2, ni)| Instr::Fp { op, rd, rs1, rs2, ni }),
-        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rd, base, imm)| Instr::Ld {
-            rd,
-            base,
-            off: Operand::Imm(imm),
+fn arb_instr(rng: &mut Rng) -> Instr {
+    match rng.below(15) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::Alu {
+            op: arb_alu_op(rng),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: Operand::Reg(arb_reg(rng)),
+            ni: arb_ni(rng),
+        },
+        3 => Instr::Alu {
+            op: arb_alu_op(rng),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: Operand::Imm(rng.u16()),
             ni: NiCmd::NONE,
-        }),
-        (arb_reg(), arb_reg(), arb_reg(), arb_ni()).prop_map(|(rd, base, off, ni)| Instr::Ld {
-            rd,
-            base,
-            off: Operand::Reg(off),
-            ni,
-        }),
-        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs, base, imm)| Instr::St {
-            rs,
-            base,
-            off: Operand::Imm(imm),
+        },
+        4 => Instr::Fp {
+            op: *rng.pick(&FpOp::ALL),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            ni: arb_ni(rng),
+        },
+        5 => Instr::Lui {
+            rd: arb_reg(rng),
+            imm: rng.u16(),
+        },
+        6 => Instr::Ld {
+            rd: arb_reg(rng),
+            base: arb_reg(rng),
+            off: Operand::Imm(rng.u16()),
             ni: NiCmd::NONE,
-        }),
-        (arb_reg(), arb_reg(), arb_reg(), arb_ni()).prop_map(|(rs, base, off, ni)| Instr::St {
-            rs,
-            base,
-            off: Operand::Reg(off),
-            ni,
-        }),
-        (0u32..(1 << 26)).prop_map(|w| Instr::Br { target: w * 4 }),
-        (
-            prop::sample::select(Cond::ALL.to_vec()),
-            arb_reg(),
-            0u32..(1 << 18)
-        )
-            .prop_map(|(cond, rs, w)| Instr::Bcnd {
-                cond,
-                rs,
-                target: w * 4
-            }),
-        (arb_reg(), arb_ni()).prop_map(|(rs, ni)| Instr::Jmp { rs, ni }),
-        (0u32..(1 << 26)).prop_map(|w| Instr::Bsr { target: w * 4 }),
-        arb_reg().prop_map(|rs| Instr::Jsr { rs }),
-    ]
+        },
+        7 => Instr::Ld {
+            rd: arb_reg(rng),
+            base: arb_reg(rng),
+            off: Operand::Reg(arb_reg(rng)),
+            ni: arb_ni(rng),
+        },
+        8 => Instr::St {
+            rs: arb_reg(rng),
+            base: arb_reg(rng),
+            off: Operand::Imm(rng.u16()),
+            ni: NiCmd::NONE,
+        },
+        9 => Instr::St {
+            rs: arb_reg(rng),
+            base: arb_reg(rng),
+            off: Operand::Reg(arb_reg(rng)),
+            ni: arb_ni(rng),
+        },
+        10 => Instr::Br {
+            target: rng.below(1 << 26) as u32 * 4,
+        },
+        11 => Instr::Bcnd {
+            cond: *rng.pick(&Cond::ALL),
+            rs: arb_reg(rng),
+            target: rng.below(1 << 18) as u32 * 4,
+        },
+        12 => Instr::Jmp {
+            rs: arb_reg(rng),
+            ni: arb_ni(rng),
+        },
+        13 => Instr::Bsr {
+            target: rng.below(1 << 26) as u32 * 4,
+        },
+        _ => Instr::Jsr { rs: arb_reg(rng) },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instr()) {
+#[test]
+fn encode_decode_roundtrip() {
+    check("encode_decode_roundtrip", CASES, |rng| {
+        let instr = arb_instr(rng);
         let w = encode(&instr).expect("well-formed instructions always encode");
         let back = decode(w).expect("encoded words always decode");
-        prop_assert_eq!(back, instr);
-    }
+        assert_eq!(back, instr);
+    });
+}
 
-    #[test]
-    fn decode_never_panics(w in any::<u32>()) {
-        let _ = decode(w);
-    }
+#[test]
+fn decode_never_panics() {
+    check("decode_never_panics", CASES, |rng| {
+        let _ = decode(rng.u32());
+    });
+}
 
-    #[test]
-    fn decode_encode_fixpoint(w in any::<u32>()) {
+#[test]
+fn decode_encode_fixpoint() {
+    check("decode_encode_fixpoint", CASES, |rng| {
         // Any word that decodes must re-encode to a word that decodes to the
         // same instruction (the encoding may canonicalize ignored bits).
-        if let Ok(i) = decode(w) {
+        if let Ok(i) = decode(rng.u32()) {
             let w2 = encode(&i).expect("decoded instructions re-encode");
-            prop_assert_eq!(decode(w2).unwrap(), i);
+            assert_eq!(decode(w2).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ni_cmd_survives_triadic(bits in 0u8..0x80, rd in arb_reg(), rs in arb_reg()) {
-        let ni = NiCmd::from_bits(bits);
+#[test]
+fn ni_cmd_survives_triadic() {
+    check("ni_cmd_survives_triadic", CASES, |rng| {
+        let ni = NiCmd::from_bits(rng.below(0x80) as u8);
         let i = Instr::Alu {
             op: AluOp::Or,
-            rd,
-            rs1: rs,
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
             rs2: Operand::Reg(Reg::R0),
             ni,
         };
         let back = decode(encode(&i).unwrap()).unwrap();
-        prop_assert_eq!(back.ni_cmd(), ni);
-    }
+        assert_eq!(back.ni_cmd(), ni);
+    });
 }

@@ -1,9 +1,11 @@
-//! Property tests of I-structure semantics: under any interleaving of
-//! fetches and (write-once) stores, every reader observes the written value
-//! exactly once, in deferral order, and the statistics balance.
+//! Randomized tests (tcni-check) of I-structure semantics: under any
+//! interleaving of fetches and (write-once) stores, every reader observes the
+//! written value exactly once, in deferral order, and the statistics balance.
 
-use proptest::prelude::*;
+use tcni_check::{check, Rng};
 use tcni_istruct::{FetchOutcome, IStructure, Reader, StoreOutcome};
+
+const CASES: u64 = 256;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -11,21 +13,24 @@ enum Op {
     Store { slot: usize, value: u32 },
 }
 
-fn arb_ops(slots: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..slots, any::<u32>()).prop_map(|(slot, reader)| Op::Fetch { slot, reader }),
-            (0..slots, any::<u32>()).prop_map(|(slot, value)| Op::Store { slot, value }),
-        ],
-        0..len,
-    )
+fn arb_ops(rng: &mut Rng, slots: usize, len: usize) -> Vec<Op> {
+    let n = rng.below(len as u64) as usize;
+    (0..n)
+        .map(|_| {
+            let slot = rng.index(slots);
+            if rng.bool() {
+                Op::Fetch { slot, reader: rng.u32() }
+            } else {
+                Op::Store { slot, value: rng.u32() }
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn every_reader_gets_the_value_exactly_once(ops in arb_ops(6, 80)) {
+#[test]
+fn every_reader_gets_the_value_exactly_once() {
+    check("every_reader_gets_the_value_exactly_once", CASES, |rng| {
+        let ops = arb_ops(rng, 6, 80);
         let mut ist = IStructure::new(6);
         // Ground truth per slot.
         let mut written: Vec<Option<u32>> = vec![None; 6];
@@ -39,11 +44,11 @@ proptest! {
                     let r = Reader { fp: reader, ip: reader ^ 1 };
                     match ist.fetch(slot, r) {
                         FetchOutcome::Value(v) => {
-                            prop_assert_eq!(Some(v), written[slot], "full fetch sees the write");
+                            assert_eq!(Some(v), written[slot], "full fetch sees the write");
                             immediate[slot].push((reader, v));
                         }
                         FetchOutcome::Deferred => {
-                            prop_assert!(written[slot].is_none(), "deferral only before the write");
+                            assert!(written[slot].is_none(), "deferral only before the write");
                             expected_deferred[slot].push(reader);
                         }
                     }
@@ -51,24 +56,24 @@ proptest! {
                 Op::Store { slot, value } => {
                     match ist.store(slot, value) {
                         Ok(StoreOutcome::FilledEmpty) => {
-                            prop_assert!(written[slot].is_none());
-                            prop_assert!(expected_deferred[slot].is_empty());
+                            assert!(written[slot].is_none());
+                            assert!(expected_deferred[slot].is_empty());
                             written[slot] = Some(value);
                         }
                         Ok(StoreOutcome::SatisfiedDeferred(readers)) => {
-                            prop_assert!(written[slot].is_none());
+                            assert!(written[slot].is_none());
                             let got: Vec<u32> = readers.iter().map(|r| r.fp).collect();
-                            prop_assert_eq!(&got, &expected_deferred[slot], "deferral order");
+                            assert_eq!(&got, &expected_deferred[slot], "deferral order");
                             for r in readers {
-                                prop_assert_eq!(r.ip, r.fp ^ 1, "continuation intact");
+                                assert_eq!(r.ip, r.fp ^ 1, "continuation intact");
                                 satisfied[slot].push((r.fp, value));
                             }
                             expected_deferred[slot].clear();
                             written[slot] = Some(value);
                         }
                         Err(e) => {
-                            prop_assert_eq!(Some(e.existing), written[slot]);
-                            prop_assert_eq!(e.attempted, value);
+                            assert_eq!(Some(e.existing), written[slot]);
+                            assert_eq!(e.attempted, value);
                         }
                     }
                 }
@@ -79,32 +84,34 @@ proptest! {
         let s = ist.stats();
         let total_satisfied: usize = satisfied.iter().map(Vec::len).sum();
         let still_waiting: usize = (0..6).map(|i| ist.deferred_count(i)).sum();
-        prop_assert_eq!(s.store_deferred_readers as usize, total_satisfied);
-        prop_assert_eq!(
+        assert_eq!(s.store_deferred_readers as usize, total_satisfied);
+        assert_eq!(
             (s.fetch_empty + s.fetch_deferred) as usize,
             total_satisfied + still_waiting
         );
         let total_immediate: usize = immediate.iter().map(Vec::len).sum();
-        prop_assert_eq!(s.fetch_full as usize, total_immediate);
+        assert_eq!(s.fetch_full as usize, total_immediate);
         // Every satisfied reader observed the slot's final value.
         for slot in 0..6 {
             for (_, v) in &satisfied[slot] {
-                prop_assert_eq!(Some(*v), written[slot]);
+                assert_eq!(Some(*v), written[slot]);
             }
-            prop_assert_eq!(ist.peek(slot), written[slot]);
+            assert_eq!(ist.peek(slot), written[slot]);
         }
-    }
+    });
+}
 
-    /// Write-once: after any successful store, the slot's value never
-    /// changes, no matter how many further stores are attempted.
-    #[test]
-    fn value_is_immutable_after_first_store(first in any::<u32>(),
-                                            rest in prop::collection::vec(any::<u32>(), 1..20)) {
+/// Write-once: after any successful store, the slot's value never changes, no
+/// matter how many further stores are attempted.
+#[test]
+fn value_is_immutable_after_first_store() {
+    check("value_is_immutable_after_first_store", CASES, |rng| {
+        let first = rng.u32();
         let mut ist = IStructure::new(1);
         ist.store(0, first).unwrap();
-        for v in rest {
-            let _ = ist.store(0, v);
-            prop_assert_eq!(ist.peek(0), Some(first));
+        for _ in 0..rng.range(1, 20) {
+            let _ = ist.store(0, rng.u32());
+            assert_eq!(ist.peek(0), Some(first));
         }
-    }
+    });
 }

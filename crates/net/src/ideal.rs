@@ -122,6 +122,20 @@ impl Network for IdealNetwork {
     fn stats(&self) -> NetStats {
         self.stats
     }
+
+    fn next_arrival(&self) -> Option<u64> {
+        // Per-destination queues are ordered by arrival time, so only the
+        // fronts need inspecting.
+        self.queues
+            .iter()
+            .filter_map(|q| q.front().map(|p| p.arrives_at))
+            .min()
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        // Tick is pure time-keeping here; jumping is exact.
+        self.now += cycles;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,119 @@
+//! Static dispatch over the two fabric implementations.
+
+use tcni_core::{Message, NodeId};
+
+use crate::stats::NetStats;
+use crate::{IdealNetwork, Mesh2d, Network};
+
+/// The two fabrics, as a closed enum.
+///
+/// The machine simulator drives the network once per phase of every cycle;
+/// with a `Box<dyn Network>` each of those calls is an indirect jump the
+/// compiler cannot inline. This enum makes the dispatch a predictable branch
+/// and lets the per-cycle fast paths (`tick`, `in_flight`, `peek_eject`)
+/// inline into the stepping loop.
+pub enum NetworkKind {
+    /// Contention-free fixed-latency fabric.
+    Ideal(IdealNetwork),
+    /// 2-D mesh with finite buffers and backpressure.
+    Mesh(Mesh2d),
+}
+
+impl NetworkKind {
+    /// The ideal fabric, if that is what this is.
+    pub fn as_ideal(&self) -> Option<&IdealNetwork> {
+        match self {
+            NetworkKind::Ideal(n) => Some(n),
+            NetworkKind::Mesh(_) => None,
+        }
+    }
+
+    /// The mesh fabric, if that is what this is.
+    pub fn as_mesh(&self) -> Option<&Mesh2d> {
+        match self {
+            NetworkKind::Ideal(_) => None,
+            NetworkKind::Mesh(n) => Some(n),
+        }
+    }
+}
+
+impl From<IdealNetwork> for NetworkKind {
+    fn from(n: IdealNetwork) -> NetworkKind {
+        NetworkKind::Ideal(n)
+    }
+}
+
+impl From<Mesh2d> for NetworkKind {
+    fn from(n: Mesh2d) -> NetworkKind {
+        NetworkKind::Mesh(n)
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $n:ident => $body:expr) => {
+        match $self {
+            NetworkKind::Ideal($n) => $body,
+            NetworkKind::Mesh($n) => $body,
+        }
+    };
+}
+
+impl Network for NetworkKind {
+    fn node_count(&self) -> usize {
+        delegate!(self, n => n.node_count())
+    }
+
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), Message> {
+        delegate!(self, n => n.inject(src, msg))
+    }
+
+    fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
+        delegate!(self, n => n.peek_eject(dst))
+    }
+
+    fn eject(&mut self, dst: NodeId) -> Option<Message> {
+        delegate!(self, n => n.eject(dst))
+    }
+
+    fn tick(&mut self) {
+        delegate!(self, n => n.tick())
+    }
+
+    fn in_flight(&self) -> usize {
+        delegate!(self, n => n.in_flight())
+    }
+
+    fn stats(&self) -> NetStats {
+        delegate!(self, n => n.stats())
+    }
+
+    fn next_arrival(&self) -> Option<u64> {
+        delegate!(self, n => n.next_arrival())
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        delegate!(self, n => n.advance(cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcni_isa::MsgType;
+
+    #[test]
+    fn delegates_to_the_wrapped_fabric() {
+        let mut net = NetworkKind::from(IdealNetwork::new(2, 3));
+        assert_eq!(net.node_count(), 2);
+        assert!(net.as_ideal().is_some() && net.as_mesh().is_none());
+        let m = Message::to(NodeId::new(1), [0, 7, 0, 0, 0], MsgType::new(2).unwrap());
+        net.inject(NodeId::new(0), m).unwrap();
+        assert_eq!(net.next_arrival(), Some(3));
+        net.advance(3);
+        assert_eq!(net.eject(NodeId::new(1)).unwrap().words[1], 7);
+
+        let mesh = NetworkKind::from(Mesh2d::new(crate::MeshConfig::new(2, 2)));
+        assert_eq!(mesh.node_count(), 4);
+        assert_eq!(mesh.next_arrival(), None, "the mesh cannot predict arrivals");
+    }
+}

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 
 mod ideal;
+mod kind;
 mod mesh;
 mod stats;
 
 pub use ideal::IdealNetwork;
+pub use kind::NetworkKind;
 pub use mesh::{Mesh2d, MeshConfig};
 pub use stats::NetStats;
 
@@ -66,4 +68,26 @@ pub trait Network {
 
     /// Delivery statistics.
     fn stats(&self) -> NetStats;
+
+    /// The earliest cycle (in this network's own tick count) at which any
+    /// in-flight message becomes deliverable, if the fabric can predict it.
+    ///
+    /// Contention-free fabrics like [`IdealNetwork`] know this exactly, which
+    /// lets the machine simulator fast-forward a fully-stalled system in one
+    /// jump. Fabrics with contention (the mesh) return `None` and must be
+    /// ticked cycle by cycle.
+    fn next_arrival(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances the fabric by `cycles` cycles at once.
+    ///
+    /// Must be observably identical to calling [`tick`](Network::tick) that
+    /// many times; the default does exactly that. Fabrics whose tick is pure
+    /// time-keeping (the ideal network) override it with O(1) arithmetic.
+    fn advance(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
 }

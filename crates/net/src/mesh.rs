@@ -111,9 +111,16 @@ impl Mesh2d {
             "capacities must be non-zero"
         );
         let n = config.width * config.height;
+        // Every FIFO is preallocated to its capacity so the steady-state
+        // tick/inject path never allocates.
+        let cap = |i: usize| match i % DIR_COUNT {
+            i if i == Dir::Inject as usize => config.inject_capacity,
+            i if i == Dir::Eject as usize => config.eject_capacity,
+            _ => config.channel_capacity,
+        };
         Mesh2d {
             config,
-            chans: (0..n * DIR_COUNT).map(|_| VecDeque::new()).collect(),
+            chans: (0..n * DIR_COUNT).map(|i| VecDeque::with_capacity(cap(i))).collect(),
             now: 0,
             in_flight: 0,
             stats: NetStats::default(),

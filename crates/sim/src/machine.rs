@@ -1,9 +1,11 @@
 //! The multicomputer: nodes co-simulated with a network, cycle by cycle.
 
+use std::sync::Arc;
+
 use tcni_core::{FeatureLevel, NiConfig, NodeId};
-use tcni_cpu::TimingConfig;
+use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::Program;
-use tcni_net::{IdealNetwork, Mesh2d, MeshConfig, NetStats, Network};
+use tcni_net::{IdealNetwork, Mesh2d, MeshConfig, NetStats, Network, NetworkKind};
 
 use crate::model::{Model, NiMapping};
 use crate::node::Node;
@@ -28,6 +30,20 @@ pub enum RunOutcome {
 /// backpressure, §2.1.1); the network advances one cycle; arrived messages
 /// move into interfaces that can accept them.
 ///
+/// The stepping loop is the simulator's hot path and carries three
+/// optimizations, none of which change observable behaviour:
+///
+/// * the fabric is a [`NetworkKind`] enum (static dispatch, inlinable);
+/// * stopped processors leave the active list and are never re-scanned —
+///   only their interfaces keep draining until empty;
+/// * when every running processor is environment-stalled and a network
+///   phase changes no interface state, [`run`](Machine::run) *fast-forwards*:
+///   network-only cycles (or, on a predictive fabric, one arithmetic jump)
+///   replace full machine cycles, and the elapsed stall time is bulk-charged
+///   to the processors afterwards. Cycle accounting is bit-identical to the
+///   naive loop (see `tests/prop_fast_forward.rs`); disable with
+///   [`set_skip_ahead`](Machine::set_skip_ahead) to cross-check.
+///
 /// # Example
 ///
 /// ```
@@ -48,9 +64,21 @@ pub enum RunOutcome {
 /// ```
 pub struct Machine {
     nodes: Vec<Node>,
-    net: Box<dyn Network>,
+    net: NetworkKind,
     cycle: u64,
     trace: Option<Trace>,
+    /// Indices of nodes whose processor is still running, ascending. The
+    /// ascending order matters: phase 2 injects in node order, which is the
+    /// fabric's arbitration order for same-destination traffic.
+    running: Vec<usize>,
+    /// Stopped nodes whose interface still holds outgoing messages,
+    /// ascending. Shrinks monotonically (a stopped processor sends nothing).
+    draining: Vec<usize>,
+    /// Set by [`node_mut`](Machine::node_mut): external mutation may have
+    /// restarted or stopped a processor, so the lists must be rebuilt.
+    lists_dirty: bool,
+    skip_ahead: bool,
+    skipped_cycles: u64,
 }
 
 impl Machine {
@@ -79,6 +107,7 @@ impl Machine {
     ///
     /// Panics if `i` is out of range.
     pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        self.lists_dirty = true;
         &mut self.nodes[i]
     }
 
@@ -107,62 +136,231 @@ impl Machine {
         self.trace.as_ref()
     }
 
+    /// Enables or disables the quiescence fast-forward (enabled by default).
+    /// Results are identical either way; disabling forces the naive
+    /// one-cycle-at-a-time loop, which the equivalence tests cross-check
+    /// against.
+    pub fn set_skip_ahead(&mut self, enabled: bool) {
+        self.skip_ahead = enabled;
+    }
+
+    /// Whether the quiescence fast-forward is enabled.
+    pub fn skip_ahead(&self) -> bool {
+        self.skip_ahead
+    }
+
+    /// Cycles that were fast-forwarded (charged in bulk rather than stepped)
+    /// since construction. Observability only; `cycle()` already includes
+    /// them.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    fn refresh_lists(&mut self) {
+        self.running.clear();
+        self.draining.clear();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.is_stopped() {
+                self.running.push(i);
+            } else if n.ni().peek_outgoing().is_some() {
+                self.draining.push(i);
+            }
+        }
+        self.lists_dirty = false;
+    }
+
     /// Advances the whole machine one cycle.
     pub fn step(&mut self) {
+        if self.lists_dirty {
+            self.refresh_lists();
+        }
+        if self.trace.is_some() {
+            self.step_once::<true>();
+        } else {
+            self.step_once::<false>();
+        }
+    }
+
+    /// One full cycle. Returns (every running CPU environment-stalled,
+    /// any interface state changed by the network phases).
+    fn step_once<const TRACED: bool>(&mut self) -> (bool, bool) {
+        let all_stalled = self.step_cpus::<TRACED>();
+        let changed = self.step_network::<TRACED>();
+        self.cycle += 1;
+        (all_stalled, changed)
+    }
+
+    /// Phase 1: processors execute. Only nodes on the active list step;
+    /// stopping nodes migrate to the draining list (if their interface still
+    /// holds messages) or drop out entirely.
+    fn step_cpus<const TRACED: bool>(&mut self) -> bool {
         let cycle = self.cycle;
-        // Phase 1: processors execute.
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let was_running = !node.is_stopped();
-            node.step();
-            if was_running && node.is_stopped() {
-                if let Some(t) = self.trace.as_mut() {
-                    match node.cpu_state() {
-                        tcni_cpu::CpuState::Halted => {
-                            t.record(TraceEvent::Halted { cycle, node: i });
+        let mut all_env_stalled = true;
+        let mut k = 0;
+        while k < self.running.len() {
+            let i = self.running[k];
+            let outcome = self.nodes[i].step();
+            if outcome != StepOutcome::StalledEnv {
+                all_env_stalled = false;
+            }
+            if self.nodes[i].is_stopped() {
+                self.running.remove(k);
+                if self.nodes[i].ni().peek_outgoing().is_some() {
+                    let pos = self.draining.partition_point(|&d| d < i);
+                    self.draining.insert(pos, i);
+                }
+                if TRACED {
+                    if let Some(t) = self.trace.as_mut() {
+                        match self.nodes[i].cpu_state() {
+                            tcni_cpu::CpuState::Halted => {
+                                t.record(TraceEvent::Halted { cycle, node: i });
+                            }
+                            tcni_cpu::CpuState::Faulted { reason, .. } => {
+                                t.record(TraceEvent::Faulted {
+                                    cycle,
+                                    node: i,
+                                    reason: reason.clone(),
+                                });
+                            }
+                            tcni_cpu::CpuState::Running => {}
                         }
-                        tcni_cpu::CpuState::Faulted { reason, .. } => {
-                            t.record(TraceEvent::Faulted {
-                                cycle,
-                                node: i,
-                                reason: reason.clone(),
-                            });
+                    }
+                }
+            } else {
+                k += 1;
+            }
+        }
+        all_env_stalled
+    }
+
+    /// Phases 2–4: interfaces → network, fabric tick, network → interfaces.
+    /// Returns whether any interface state changed (a message left an output
+    /// queue or entered an input queue).
+    fn step_network<const TRACED: bool>(&mut self) -> bool {
+        let cycle = self.cycle;
+        let mut changed = false;
+        // Phase 2: one injection attempt per node with outgoing traffic, in
+        // ascending node order (merge of the two sorted lists).
+        let (mut r, mut d) = (0, 0);
+        loop {
+            let i = match (self.running.get(r), self.draining.get(d)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        r += 1;
+                        a
+                    } else {
+                        d += 1;
+                        b
+                    }
+                }
+                (Some(&a), None) => {
+                    r += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    d += 1;
+                    b
+                }
+                (None, None) => break,
+            };
+            let ni = self.nodes[i].ni_mut();
+            if let Some(msg) = ni.peek_outgoing().copied() {
+                if self.net.inject(NodeId::new(i as u8), msg).is_ok() {
+                    self.nodes[i].ni_mut().pop_outgoing();
+                    changed = true;
+                    if TRACED {
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::Sent { cycle, node: i, msg });
                         }
-                        tcni_cpu::CpuState::Running => {}
                     }
                 }
             }
         }
-        // Phase 2: interfaces → network (one injection attempt per node).
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let src = NodeId::new(i as u8);
-            let ni = node.ni_mut();
-            if let Some(msg) = ni.peek_outgoing().copied() {
-                if self.net.inject(src, msg).is_ok() {
-                    ni.pop_outgoing();
-                    if let Some(t) = self.trace.as_mut() {
-                        t.record(TraceEvent::Sent { cycle, node: i, msg });
-                    }
-                }
-            }
+        // Stopped nodes whose last message just left stop being scanned.
+        if !self.draining.is_empty() {
+            let nodes = &self.nodes;
+            self.draining.retain(|&i| nodes[i].ni().peek_outgoing().is_some());
         }
         // Phase 3: the fabric advances.
         self.net.tick();
-        // Phase 4: network → interfaces (drain whatever fits).
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let dst = NodeId::new(i as u8);
-            let ni = node.ni_mut();
-            while let Some(peeked) = self.net.peek_eject(dst) {
-                if !ni.can_accept(peeked) {
-                    break; // backpressure: leave it in the network
+        // Phase 4: network → interfaces — skipped when the fabric is empty.
+        if self.net.in_flight() > 0 {
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let dst = NodeId::new(i as u8);
+                let ni = node.ni_mut();
+                while let Some(peeked) = self.net.peek_eject(dst) {
+                    if !ni.can_accept(peeked) {
+                        break; // backpressure: leave it in the network
+                    }
+                    let msg = self.net.eject(dst).expect("peeked");
+                    if TRACED {
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::Delivered { cycle, node: i, msg });
+                        }
+                    }
+                    ni.push_incoming(msg).expect("can_accept checked");
+                    changed = true;
                 }
-                let msg = self.net.eject(dst).expect("peeked");
-                if let Some(t) = self.trace.as_mut() {
-                    t.record(TraceEvent::Delivered { cycle, node: i, msg });
-                }
-                ni.push_incoming(msg).expect("can_accept checked");
             }
         }
-        self.cycle += 1;
+        changed
+    }
+
+    /// Whether any node (running or draining) holds outgoing messages.
+    fn any_outgoing(&self) -> bool {
+        !self.draining.is_empty()
+            || self
+                .running
+                .iter()
+                .any(|&i| self.nodes[i].ni().peek_outgoing().is_some())
+    }
+
+    /// The quiescence fast-forward. Entry condition (established by the
+    /// caller): every running processor just spent a cycle
+    /// environment-stalled *and* the network phases changed no interface
+    /// state. A stalled instruction has no side effects and re-executes
+    /// identically while the interface state it waits on is unchanged, so
+    /// until an injection or delivery succeeds the processor phase is pure
+    /// accounting: run network-only cycles — or jump, when the fabric can
+    /// predict its next arrival — and bulk-charge the stall cycles at the
+    /// end.
+    fn fast_forward<const TRACED: bool>(&mut self, limit: u64) {
+        let mut skipped: u64 = 0;
+        while self.cycle < limit {
+            if !self.any_outgoing() {
+                if self.net.in_flight() == 0 {
+                    // Nothing in flight and nothing to send: every stalled
+                    // processor waits forever (e.g. SCROLL-IN on a flit that
+                    // was never sent). Charge the remaining budget at once.
+                    skipped += limit - self.cycle;
+                    self.cycle = limit;
+                    break;
+                }
+                if let Some(arrival) = self.net.next_arrival() {
+                    // The tick of cycle c raises network time to c+1, so the
+                    // earliest cycle whose delivery phase can see a message
+                    // arriving at network time `a` is cycle a−1.
+                    let target = arrival.saturating_sub(1).min(limit);
+                    if target > self.cycle {
+                        let delta = target - self.cycle;
+                        self.net.advance(delta);
+                        self.cycle += delta;
+                        skipped += delta;
+                        continue;
+                    }
+                }
+            }
+            let changed = self.step_network::<TRACED>();
+            self.cycle += 1;
+            skipped += 1;
+            if changed {
+                break;
+            }
+        }
+        self.skipped_cycles += skipped;
+        for &i in &self.running {
+            self.nodes[i].skip_env_stall(skipped);
+        }
     }
 
     /// Whether every processor has stopped and all message state is empty.
@@ -173,18 +371,32 @@ impl Machine {
     /// Runs until every processor stops (halt or fault) or `max_cycles`
     /// elapse.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
-        let limit = self.cycle + max_cycles;
+        if self.lists_dirty {
+            self.refresh_lists();
+        }
+        if self.trace.is_some() {
+            self.run_impl::<true>(max_cycles)
+        } else {
+            self.run_impl::<false>(max_cycles)
+        }
+    }
+
+    fn run_impl<const TRACED: bool>(&mut self, max_cycles: u64) -> RunOutcome {
+        let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
-            if self.nodes.iter().all(Node::is_stopped) {
+            if self.running.is_empty() {
                 return if self.is_quiescent() {
                     RunOutcome::Quiescent
                 } else {
                     RunOutcome::StoppedWithTraffic
                 };
             }
-            self.step();
+            let (all_stalled, changed) = self.step_once::<TRACED>();
+            if self.skip_ahead && all_stalled && !changed && !self.running.is_empty() {
+                self.fast_forward::<TRACED>(limit);
+            }
         }
-        if self.nodes.iter().all(Node::is_stopped) && self.is_quiescent() {
+        if self.is_quiescent() {
             RunOutcome::Quiescent
         } else {
             RunOutcome::CycleLimit
@@ -215,6 +427,7 @@ pub struct MachineBuilder {
     net: NetChoice,
     programs: Vec<Option<Program>>,
     default_program: Program,
+    skip_ahead: bool,
 }
 
 impl MachineBuilder {
@@ -237,6 +450,7 @@ impl MachineBuilder {
             net: NetChoice::Ideal { latency: 0 },
             programs: vec![None; node_count],
             default_program: halt.assemble().expect("trivial program"),
+            skip_ahead: true,
         }
     }
 
@@ -283,6 +497,12 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables or disables the quiescence fast-forward (default: enabled).
+    pub fn skip_ahead(mut self, enabled: bool) -> MachineBuilder {
+        self.skip_ahead = enabled;
+        self
+    }
+
     /// Loads a program on one node.
     ///
     /// # Panics
@@ -301,8 +521,10 @@ impl MachineBuilder {
 
     /// Builds the machine.
     pub fn build(self) -> Machine {
-        let net: Box<dyn Network> = match self.net {
-            NetChoice::Ideal { latency } => Box::new(IdealNetwork::new(self.node_count, latency)),
+        let net: NetworkKind = match self.net {
+            NetChoice::Ideal { latency } => {
+                IdealNetwork::new(self.node_count, latency).into()
+            }
             NetChoice::Mesh(cfg) => {
                 let mesh = Mesh2d::new(cfg);
                 assert!(
@@ -312,27 +534,34 @@ impl MachineBuilder {
                     cfg.height,
                     self.node_count
                 );
-                Box::new(mesh)
+                mesh.into()
             }
         };
-        let nodes = self
+        // The default program is shared across nodes, not cloned per node.
+        let default_program = Arc::new(self.default_program);
+        let nodes: Vec<Node> = self
             .programs
             .into_iter()
             .map(|p| {
-                Node::new(
-                    self.model,
-                    self.timing,
-                    self.ni_config,
-                    self.memory_bytes,
-                    p.unwrap_or_else(|| self.default_program.clone()),
-                )
+                let program = match p {
+                    Some(p) => Arc::new(p),
+                    None => Arc::clone(&default_program),
+                };
+                Node::new(self.model, self.timing, self.ni_config, self.memory_bytes, program)
             })
             .collect();
-        Machine {
+        let mut machine = Machine {
             nodes,
             net,
             cycle: 0,
             trace: None,
-        }
+            running: Vec::new(),
+            draining: Vec::new(),
+            lists_dirty: true,
+            skip_ahead: self.skip_ahead,
+            skipped_cycles: 0,
+        };
+        machine.refresh_lists();
+        machine
     }
 }

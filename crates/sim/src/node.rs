@@ -1,5 +1,7 @@
 //! One machine node: processor + network interface + local memory + program.
 
+use std::sync::Arc;
+
 use tcni_core::{NetworkInterface, NiConfig};
 use tcni_cpu::{Cpu, CpuState, MemEnv, StepOutcome, TimingConfig};
 use tcni_isa::Program;
@@ -8,24 +10,30 @@ use crate::env::NodeEnv;
 use crate::model::{Model, NiMapping};
 
 /// A single node of the simulated multicomputer.
+///
+/// The program is held behind an [`Arc`]: machines routinely load the same
+/// program on hundreds of nodes, and sharing it keeps building a machine
+/// O(program) instead of O(program × nodes).
 #[derive(Debug, Clone)]
 pub struct Node {
     cpu: Cpu,
     ni: NetworkInterface,
     mem: MemEnv,
-    program: Program,
+    program: Arc<Program>,
     mapping: NiMapping,
 }
 
 impl Node {
-    /// Creates a node running `program` under the given model.
+    /// Creates a node running `program` under the given model. Accepts
+    /// either a plain [`Program`] or an already-shared `Arc<Program>`.
     pub fn new(
         model: Model,
         timing: TimingConfig,
         ni_config: NiConfig,
         memory_bytes: usize,
-        program: Program,
+        program: impl Into<Arc<Program>>,
     ) -> Node {
+        let program = program.into();
         let mut cpu = Cpu::new(timing);
         cpu.set_pc(program.base());
         Node {
@@ -45,6 +53,12 @@ impl Node {
             mapping: self.mapping,
         };
         self.cpu.step(&self.program, &mut env)
+    }
+
+    /// Bulk-charges `cycles` environment-stall cycles to the processor (see
+    /// [`Cpu::skip_env_stall`]); the machine's quiescence fast-forward.
+    pub(crate) fn skip_env_stall(&mut self, cycles: u64) {
+        self.cpu.skip_env_stall(&self.program, cycles);
     }
 
     /// Whether the processor has stopped (halted or faulted).

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline CI gate for the tcni workspace.
+#
+# The workspace has zero third-party dependencies, so everything here runs
+# with --offline: a network-less builder must pass this script end to end.
+#
+#   scripts/ci.sh           build + full test suite + smoke runs
+#   scripts/ci.sh --soak    same, with 10x randomized-test cases
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--soak" ]]; then
+    export TCNI_CHECK_CASES=2560
+fi
+
+echo "== build (offline) =="
+cargo build --workspace --release --offline
+
+echo "== tests (offline, all crates) =="
+cargo test --workspace --release --offline -q
+
+echo "== smoke: Table 1 =="
+cargo run --release --offline -p tcni-bench --bin table1 > /dev/null
+
+echo "== smoke: perf harness (quick) =="
+TCNI_BENCH_OUT=target/BENCH_simulator.ci.json \
+    cargo run --release --offline -p tcni-bench --bin perf -- --quick
+
+echo "ci.sh: all green"

@@ -1,0 +1,67 @@
+//! Randomized fast-forward equivalence across the full §4 matrix: the
+//! remote-read protocol runs on every one of the six models, over both
+//! fabrics and arbitrary latencies, and the machine with the quiescence
+//! fast-forward enabled must be bit-identical to the naive loop — registers,
+//! memory result, per-node cycles, statistics, and network counters.
+//!
+//! The sim-crate test `prop_fast_forward.rs` drives the skip paths hard with
+//! purpose-built stall workloads; this test establishes that no model/fabric
+//! combination behaves differently when the optimization is armed.
+
+use tcni::core::NodeId;
+use tcni::eval::handlers::remote_read::{self, REMOTE_ADDR, RESULT_ADDR};
+use tcni::isa::Reg;
+use tcni::net::MeshConfig;
+use tcni::sim::{Machine, MachineBuilder, Model, RunOutcome};
+use tcni_check::check;
+
+const SECRET: u32 = 0xFEED_0042;
+
+fn build(model: Model, mesh: bool, latency: u64, skip: bool) -> Machine {
+    let b = MachineBuilder::new(2)
+        .model(model)
+        .program(0, remote_read::requester(model, NodeId::new(1)))
+        .program(1, remote_read::server(model))
+        .skip_ahead(skip);
+    let mut machine = if mesh {
+        b.network_mesh(MeshConfig::new(2, 1)).build()
+    } else {
+        b.network_ideal(latency).build()
+    };
+    machine.node_mut(1).mem_mut().poke(REMOTE_ADDR, SECRET);
+    machine
+}
+
+#[test]
+fn remote_read_is_equivalent_on_all_six_models() {
+    check("remote_read_is_equivalent_on_all_six_models", 48, |rng| {
+        let model = *rng.pick(&Model::ALL_SIX);
+        let mesh = rng.bool();
+        let latency = rng.below(80);
+        let budget = rng.range(4_000, 20_000);
+
+        let mut fast = build(model, mesh, latency, true);
+        let mut slow = build(model, mesh, latency, false);
+        let of = fast.run(budget);
+        let os = slow.run(budget);
+
+        assert_eq!(of, os, "{model} mesh={mesh} latency={latency}");
+        assert_eq!(of, RunOutcome::Quiescent, "{model} must finish in budget {budget}");
+        assert_eq!(fast.cycle(), slow.cycle(), "{model} machine cycle");
+        assert_eq!(fast.net_stats(), slow.net_stats(), "{model} network stats");
+        assert_eq!(
+            fast.node(0).mem().peek(RESULT_ADDR),
+            SECRET,
+            "{model}: requester must observe the remote value"
+        );
+        assert_eq!(slow.node(0).mem().peek(RESULT_ADDR), SECRET);
+        for i in 0..2 {
+            let (f, s) = (fast.node(i), slow.node(i));
+            assert_eq!(f.cpu().cycle(), s.cpu().cycle(), "{model} node {i} cycles");
+            assert_eq!(f.cpu().stats(), s.cpu().stats(), "{model} node {i} stats");
+            for r in Reg::ALL {
+                assert_eq!(f.cpu().reg(r), s.cpu().reg(r), "{model} node {i} reg {r}");
+            }
+        }
+    });
+}

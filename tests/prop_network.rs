@@ -1,11 +1,13 @@
-//! Property tests across crates: the mesh and the ideal network agree on
-//! *what* is delivered (the mesh only changes *when*), point-to-point order
-//! survives both fabrics, and the interface's queueing is loss-free under
-//! arbitrary traffic.
+//! Randomized tests (tcni-check) across crates: the mesh and the ideal
+//! network agree on *what* is delivered (the mesh only changes *when*),
+//! point-to-point order survives both fabrics, and the interface's queueing
+//! is loss-free under arbitrary traffic.
 
-use proptest::prelude::*;
 use tcni::core::{Message, MsgType, NetworkInterface, NiConfig, NodeId};
 use tcni::net::{IdealNetwork, Mesh2d, MeshConfig, Network};
+use tcni_check::{check, Rng};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 struct Traffic {
@@ -14,11 +16,14 @@ struct Traffic {
     tag: u32,
 }
 
-fn arb_traffic(nodes: u8, len: usize) -> impl Strategy<Value = Vec<Traffic>> {
-    prop::collection::vec(
-        (0..nodes, 0..nodes, any::<u32>()).prop_map(|(src, dst, tag)| Traffic { src, dst, tag }),
-        0..len,
-    )
+fn arb_traffic(rng: &mut Rng, nodes: u8, len: usize) -> Vec<Traffic> {
+    (0..rng.below(len as u64))
+        .map(|_| Traffic {
+            src: rng.below(u64::from(nodes)) as u8,
+            dst: rng.below(u64::from(nodes)) as u8,
+            tag: rng.u32(),
+        })
+        .collect()
 }
 
 fn push_through(net: &mut dyn Network, traffic: &[Traffic]) -> Vec<(u8, u32)> {
@@ -58,38 +63,43 @@ fn push_through(net: &mut dyn Network, traffic: &[Traffic]) -> Vec<(u8, u32)> {
     delivered
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Both fabrics deliver exactly the same multiset of (destination, tag).
-    #[test]
-    fn mesh_and_ideal_deliver_the_same_messages(traffic in arb_traffic(9, 60)) {
+/// Both fabrics deliver exactly the same multiset of (destination, tag).
+#[test]
+fn mesh_and_ideal_deliver_the_same_messages() {
+    check("mesh_and_ideal_deliver_the_same_messages", CASES, |rng| {
+        let traffic = arb_traffic(rng, 9, 60);
         let mut mesh = Mesh2d::new(MeshConfig::new(3, 3));
         let mut ideal = IdealNetwork::new(9, 2);
         let mut got_mesh = push_through(&mut mesh, &traffic);
         let mut got_ideal = push_through(&mut ideal, &traffic);
-        prop_assert_eq!(mesh.in_flight(), 0, "mesh must drain");
+        assert_eq!(mesh.in_flight(), 0, "mesh must drain");
         got_mesh.sort_unstable();
         got_ideal.sort_unstable();
-        prop_assert_eq!(got_mesh, got_ideal);
-    }
+        assert_eq!(got_mesh, got_ideal);
+    });
+}
 
-    /// Point-to-point order: tags from one source to one destination arrive
-    /// in injection order over the mesh (the SCROLL flit requirement).
-    #[test]
-    fn mesh_preserves_pairwise_order(tags in prop::collection::vec(any::<u32>(), 1..24)) {
+/// Point-to-point order: tags from one source to one destination arrive in
+/// injection order over the mesh (the SCROLL flit requirement).
+#[test]
+fn mesh_preserves_pairwise_order() {
+    check("mesh_preserves_pairwise_order", CASES, |rng| {
+        let count = rng.range(1, 24) as u32;
         let mut mesh = Mesh2d::new(MeshConfig::new(3, 2));
         let traffic: Vec<Traffic> =
-            tags.iter().enumerate().map(|(i, _)| Traffic { src: 0, dst: 5, tag: i as u32 }).collect();
+            (0..count).map(|i| Traffic { src: 0, dst: 5, tag: i }).collect();
         let got = push_through(&mut mesh, &traffic);
         let order: Vec<u32> = got.into_iter().map(|(_, tag)| tag).collect();
-        prop_assert_eq!(order, (0..tags.len() as u32).collect::<Vec<_>>());
-    }
+        assert_eq!(order, (0..count).collect::<Vec<_>>());
+    });
+}
 
-    /// The interface never loses or duplicates a message: everything pushed
-    /// in (that is not diverted) comes out of NEXT exactly once, in order.
-    #[test]
-    fn interface_queueing_is_loss_free(tags in prop::collection::vec(any::<u32>(), 0..64)) {
+/// The interface never loses or duplicates a message: everything pushed in
+/// (that is not diverted) comes out of NEXT exactly once, in order.
+#[test]
+fn interface_queueing_is_loss_free() {
+    check("interface_queueing_is_loss_free", CASES, |rng| {
+        let tags: Vec<u32> = (0..rng.below(64)).map(|_| rng.u32()).collect();
         let cfg = NiConfig { input_capacity: 4, ..NiConfig::default() };
         let mut ni = NetworkInterface::new(cfg);
         let mut accepted = Vec::new();
@@ -110,21 +120,26 @@ proptest! {
                 ni.next();
             }
         }
-        prop_assert_eq!(&accepted, &tags);
-        prop_assert_eq!(received, tags);
-        prop_assert!(ni.is_quiescent());
-    }
+        assert_eq!(&accepted, &tags);
+        assert_eq!(received, tags);
+        assert!(ni.is_quiescent());
+    });
+}
 
-    /// Figure-7 dispatch: MsgIp is always either the in-message IP (clean
-    /// type-0) or inside the handler table.
-    #[test]
-    fn msg_ip_is_always_well_formed(
-        mtype in 0u8..16,
-        w1 in any::<u32>(),
-        thresh in 0u32..4,
-        fill in 0usize..8,
-    ) {
-        prop_assume!(mtype != 1);
+/// Figure-7 dispatch: MsgIp is always either the in-message IP (clean
+/// type-0) or inside the handler table.
+#[test]
+fn msg_ip_is_always_well_formed() {
+    check("msg_ip_is_always_well_formed", CASES, |rng| {
+        // Type 1 is reserved for this test's filler traffic; redraw around it
+        // (the proptest original used prop_assume! the same way).
+        let mtype = match rng.below(15) as u8 {
+            t if t >= 1 => t + 1,
+            t => t,
+        };
+        let w1 = rng.u32();
+        let thresh = rng.below(4) as u32;
+        let fill = rng.below(8) as usize;
         let mut ni = NetworkInterface::new(NiConfig::default());
         ni.write_reg(tcni::core::InterfaceReg::IpBase, 0x8000).unwrap();
         ni.set_control(tcni::core::Control::new().with_input_threshold(thresh));
@@ -138,10 +153,10 @@ proptest! {
         if current_type.bits() == 0 && !ni.status().iafull() && !ni.status().oafull() {
             // Clean type-0 currently in the registers: must be its word 1.
             let w1_now = ni.read_reg(tcni::core::InterfaceReg::I1).unwrap();
-            prop_assert_eq!(ip, w1_now);
+            assert_eq!(ip, w1_now);
         } else {
-            prop_assert!(in_table, "MsgIp {ip:#x} must fall in the table");
-            prop_assert_eq!(ip % 16, 0, "slot-aligned");
+            assert!(in_table, "MsgIp {ip:#x} must fall in the table");
+            assert_eq!(ip % 16, 0, "slot-aligned");
         }
-    }
+    });
 }
