@@ -7,9 +7,15 @@
 //! and are computed in parallel; output order is fixed regardless.
 //!
 //! ```text
-//! cargo run --release -p tcni-bench --bin figure12 [-- matmul|gamteb|fib|nqueens|all] [--published]
+//! cargo run --release -p tcni-bench --bin figure12 \
+//!     [-- matmul|gamteb|fib|nqueens|all] [--published] [--obs]
 //! ```
+//!
+//! With `--obs`, additionally runs an instrumented 4×4 mesh ring workload,
+//! prints the observability summary, and writes the `tcni-trace/1` artifact
+//! to `TRACE_figure12.json` (see EXPERIMENTS.md, "instrumenting a run").
 
+use tcni_bench::obs_run;
 use tcni_eval::figure12::Figure12;
 use tcni_eval::paper;
 use tcni_eval::table1::{ModelCosts, Table1};
@@ -22,6 +28,7 @@ type Panel = Box<dyn FnOnce() -> PanelOutput + Send>;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let published = args.iter().any(|a| a == "--published");
+    let obs = args.iter().any(|a| a == "--obs");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -80,5 +87,14 @@ fn main() {
     for (sanity, body) in tcni_eval::par::par_map(panels, |panel| panel()) {
         eprintln!("{sanity}");
         println!("{body}");
+    }
+
+    if obs {
+        println!("== instrumented mesh ring workload (--obs) ==\n");
+        let report = obs_run::run_instrumented(obs_run::ring_machine(4, 4, 8), 4096, 200_000);
+        print!("{report}");
+        let path = "TRACE_figure12.json";
+        std::fs::write(path, report.to_json()).expect("write trace artifact");
+        println!("wrote {path} (schema tcni-trace/1)");
     }
 }

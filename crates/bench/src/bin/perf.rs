@@ -66,7 +66,11 @@ fn clogged_mesh_machine(skip: bool) -> Machine {
     a.li(Reg::R3, NodeId::new(1).into_word_bits());
     a.label("loop");
     a.mov(o0, Reg::R3);
-    a.mov_ni(o1, Reg::R2, tcni_core::NiCmd::send(MsgType::new(2).unwrap()));
+    a.mov_ni(
+        o1,
+        Reg::R2,
+        tcni_core::NiCmd::send(MsgType::new(2).unwrap()),
+    );
     a.br("loop");
     a.nop();
     let producer = a.assemble().expect("producer assembles");
@@ -117,7 +121,7 @@ fn pipeline(counts: &tcni_tam::TamCounts) -> f64 {
     std::hint::black_box(sweep::offchip_sweep(counts, &[2, 8]));
     std::hint::black_box(sweep::feature_ablation(counts));
     std::hint::black_box(sweep::queue_sweep(&[2, 4, 8, 16]));
-    let fig = tcni_eval::figure12::Figure12::from_counts("bench", counts.clone(), &t.models);
+    let fig = tcni_eval::figure12::Figure12::from_counts("bench", *counts, &t.models);
     std::hint::black_box(&fig);
     t0.elapsed().as_secs_f64() * 1e3
 }
@@ -133,8 +137,13 @@ fn main() {
             }
         }
     }
-    let out_path = std::env::var("TCNI_BENCH_OUT").unwrap_or_else(|_| "BENCH_simulator.json".into());
-    let (cycles, warmup, reps) = if quick { (20_000u64, 1, 3) } else { (100_000u64, 2, 7) };
+    let out_path =
+        std::env::var("TCNI_BENCH_OUT").unwrap_or_else(|_| "BENCH_simulator.json".into());
+    let (cycles, warmup, reps) = if quick {
+        (20_000u64, 1, 3)
+    } else {
+        (100_000u64, 2, 7)
+    };
     let mesh_target = if quick { 2_000u64 } else { 20_000 };
 
     let mut report = Report::default();
@@ -161,11 +170,19 @@ fn main() {
             || m.run(cycles),
         ));
     }
-    for (name, skip) in [("machine_run/clogged_mesh_skip", true), ("machine_run/clogged_mesh_noskip", false)] {
+    for (name, skip) in [
+        ("machine_run/clogged_mesh_skip", true),
+        ("machine_run/clogged_mesh_noskip", false),
+    ] {
         let mut m = clogged_mesh_machine(skip);
-        report.results.push(bench(name, "cycles/sec", cycles as f64, warmup, reps, || {
-            m.run(cycles)
-        }));
+        report.results.push(bench(
+            name,
+            "cycles/sec",
+            cycles as f64,
+            warmup,
+            reps,
+            || m.run(cycles),
+        ));
     }
     report.results.push(bench(
         "mesh/delivered",

@@ -13,7 +13,10 @@ fn main() {
 
     if which == "offchip" || which == "all" {
         println!("== E4: off-chip load latency sweep (§4.2.3) ==");
-        println!("{:<8} {:>16} {:>16} {:>10}", "latency", "opt-off comm", "basic-off comm", "opt ratio");
+        println!(
+            "{:<8} {:>16} {:>16} {:>10}",
+            "latency", "opt-off comm", "basic-off comm", "opt ratio"
+        );
         let pts = sweep::offchip_sweep(&counts, &[2, 4, 6, 8]);
         let base = pts[0].optimized_offchip.comm();
         for p in &pts {
@@ -80,9 +83,15 @@ fn main() {
 
     if which == "queues" || which == "all" {
         println!("== A1: queue-capacity ablation (burst over a 2×1 mesh) ==");
-        println!("{:<10} {:>10} {:>16}", "capacity", "cycles", "producer stalls");
+        println!(
+            "{:<10} {:>10} {:>16}",
+            "capacity", "cycles", "producer stalls"
+        );
         for p in sweep::queue_sweep(&[2, 4, 8, 16]) {
-            println!("{:<10} {:>10} {:>16}", p.capacity, p.cycles, p.producer_env_stalls);
+            println!(
+                "{:<10} {:>10} {:>16}",
+                p.capacity, p.cycles, p.producer_env_stalls
+            );
         }
     }
 }

@@ -3,11 +3,18 @@
 //! numbers and a per-cell delta matrix.
 //!
 //! ```text
-//! cargo run --release -p tcni-bench --bin table1
+//! cargo run --release -p tcni-bench --bin table1 [-- --obs]
 //! ```
+//!
+//! With `--obs`, additionally runs the two-node remote-read protocol under
+//! each of the six models with message-lifecycle observability enabled and
+//! prints a per-model span summary (see EXPERIMENTS.md, "instrumenting a
+//! run").
 
+use tcni_bench::obs_run;
 use tcni_eval::paper;
 use tcni_eval::table1::Table1;
+use tcni_sim::Model;
 
 fn render_published() -> String {
     // Reuse the Display machinery by wrapping the published numbers in a
@@ -19,7 +26,34 @@ fn render_published() -> String {
     t.to_string()
 }
 
+fn obs_summary() {
+    println!("\n== remote-read message lifecycle per model (--obs) ==\n");
+    println!(
+        "{:<28} {:>9} {:>9} {:>10} {:>9} {:>9}",
+        "model", "delivered", "out-queue", "transit", "in-queue", "cycles"
+    );
+    for model in Model::ALL_SIX {
+        let report = obs_run::run_instrumented(obs_run::remote_read_machine(model, 2), 64, 50_000);
+        let (mut outq, mut transit, mut inq) = (0u64, 0u64, 0u64);
+        for n in &report.nodes {
+            outq += n.msgs.out_queue_cycles;
+            transit += n.msgs.transit_cycles;
+            inq += n.msgs.in_queue_cycles;
+        }
+        println!(
+            "{:<28} {:>9} {:>9} {:>10} {:>9} {:>9}",
+            model.to_string(),
+            report.net.delivered,
+            outq,
+            transit,
+            inq,
+            report.cycles
+        );
+    }
+}
+
 fn main() {
+    let obs = std::env::args().skip(1).any(|a| a == "--obs");
     println!("== Table 1, measured (cycles; off-chip load penalty = 2) ==\n");
     let measured = Table1::measure();
     println!("{measured}");
@@ -36,4 +70,7 @@ fn main() {
          representation is simpler than the one the paper assumed; orderings and the\n\
          linear-in-n deferred PWrite shape are preserved — see EXPERIMENTS.md.)"
     );
+    if obs {
+        obs_summary();
+    }
 }

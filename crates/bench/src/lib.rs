@@ -10,6 +10,9 @@
 //! * `sweep` — the §4.2.3 off-chip-latency sensitivity sweep and the
 //!   queue-capacity / per-optimization ablations (E4, A1, A2).
 //!
+//! * `netstats` — the observability reporter: runs an instrumented mesh
+//!   ring workload and emits the `tcni-trace/1` JSON artifact plus a
+//!   human-readable summary (see [`obs_run`] and EXPERIMENTS.md);
 //! * `perf` — the in-tree performance benches of the simulators themselves
 //!   (see [`perf`]): machine-step throughput, mesh delivery rate, and the
 //!   serial-vs-parallel evaluation pipeline, written to
@@ -19,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs_run;
 pub mod perf;
 
 use tcni_eval::table1::{ModelCosts, Table1};
@@ -59,7 +63,9 @@ pub fn delta_matrix(measured: &Table1, published: &[ModelCosts; 6]) -> String {
     row("proc PRead empty", &|m| f64::from(m.proc_pread_empty));
     row("proc PRead deferred", &|m| f64::from(m.proc_pread_deferred));
     row("proc PWrite empty", &|m| f64::from(m.proc_pwrite_empty));
-    row("proc PWrite def base", &|m| f64::from(m.proc_pwrite_deferred_base));
+    row("proc PWrite def base", &|m| {
+        f64::from(m.proc_pwrite_deferred_base)
+    });
     row("proc PWrite def slope", &|m| {
         f64::from(m.proc_pwrite_deferred_slope)
     });

@@ -191,7 +191,9 @@ impl Report {
         let _ = writeln!(
             out,
             "  \"host_threads\": {},",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         );
         let _ = writeln!(out, "  \"results\": [");
         for (i, m) in self.results.iter().enumerate() {

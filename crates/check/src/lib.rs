@@ -182,7 +182,9 @@ fn parse_u64(s: &str) -> Option<u64> {
 }
 
 fn env_seed() -> Option<u64> {
-    std::env::var("TCNI_CHECK_SEED").ok().and_then(|s| parse_u64(&s))
+    std::env::var("TCNI_CHECK_SEED")
+        .ok()
+        .and_then(|s| parse_u64(&s))
 }
 
 fn env_cases() -> Option<u64> {

@@ -135,7 +135,8 @@ impl Control {
     /// Sets the input-queue threshold (saturating at 15).
     pub fn with_input_threshold(mut self, t: u32) -> Control {
         let t = t.min(Self::THRESH_MASK);
-        self.0 = (self.0 & !(Self::THRESH_MASK << Self::IN_THRESH_SHIFT)) | (t << Self::IN_THRESH_SHIFT);
+        self.0 =
+            (self.0 & !(Self::THRESH_MASK << Self::IN_THRESH_SHIFT)) | (t << Self::IN_THRESH_SHIFT);
         self
     }
 
@@ -148,8 +149,8 @@ impl Control {
     /// Sets the output-queue threshold (saturating at 15).
     pub fn with_output_threshold(mut self, t: u32) -> Control {
         let t = t.min(Self::THRESH_MASK);
-        self.0 =
-            (self.0 & !(Self::THRESH_MASK << Self::OUT_THRESH_SHIFT)) | (t << Self::OUT_THRESH_SHIFT);
+        self.0 = (self.0 & !(Self::THRESH_MASK << Self::OUT_THRESH_SHIFT))
+            | (t << Self::OUT_THRESH_SHIFT);
         self
     }
 
@@ -160,7 +161,8 @@ impl Control {
 
     /// Sets the active process's PIN.
     pub fn with_active_pin(mut self, pin: Pin) -> Control {
-        self.0 = (self.0 & !(0xFF << Self::PIN_SHIFT)) | (u32::from(pin.value()) << Self::PIN_SHIFT);
+        self.0 =
+            (self.0 & !(0xFF << Self::PIN_SHIFT)) | (u32::from(pin.value()) << Self::PIN_SHIFT);
         self
     }
 }
@@ -215,12 +217,17 @@ mod tests {
 
     #[test]
     fn threshold_saturates() {
-        assert_eq!(Control::new().with_input_threshold(99).input_threshold(), 15);
+        assert_eq!(
+            Control::new().with_input_threshold(99).input_threshold(),
+            15
+        );
     }
 
     #[test]
     fn bits_roundtrip() {
-        let c = Control::new().with_output_threshold(3).with_active_pin(Pin::new(9));
+        let c = Control::new()
+            .with_output_threshold(3)
+            .with_active_pin(Pin::new(9));
         assert_eq!(Control::from_bits(c.bits()), c);
     }
 }

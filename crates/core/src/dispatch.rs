@@ -70,7 +70,9 @@ pub enum DispatchSource {
 /// a type-field value.
 pub fn slot_address(ip_base: u32, cond: QueueConditions, type_bits: u8) -> u32 {
     let base = ip_base & !(TABLE_BYTES - 1);
-    base | (u32::from(cond.iafull) << 9) | (u32::from(cond.oafull) << 8) | (u32::from(type_bits & 0xF) << 4)
+    base | (u32::from(cond.iafull) << 9)
+        | (u32::from(cond.oafull) << 8)
+        | (u32::from(type_bits & 0xF) << 4)
 }
 
 /// The full Figure-7 `MsgIp` computation.
@@ -181,7 +183,10 @@ mod tests {
         let mk = |ia, oa| {
             msg_ip(
                 BASE,
-                QueueConditions { iafull: ia, oafull: oa },
+                QueueConditions {
+                    iafull: ia,
+                    oafull: oa,
+                },
                 false,
                 DispatchSource::Msg { mtype: t, word1: 0 },
             )
@@ -208,6 +213,15 @@ mod tests {
     #[test]
     fn table_constants_consistent() {
         assert_eq!(SLOT_BYTES * SLOT_COUNT, TABLE_BYTES);
-        assert_eq!(slot_offset(QueueConditions { iafull: true, oafull: true }, 15), TABLE_BYTES - SLOT_BYTES);
+        assert_eq!(
+            slot_offset(
+                QueueConditions {
+                    iafull: true,
+                    oafull: true
+                },
+                15
+            ),
+            TABLE_BYTES - SLOT_BYTES
+        );
     }
 }

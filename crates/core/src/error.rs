@@ -25,10 +25,15 @@ impl fmt::Display for NiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NiError::FeatureDisabled { feature } => {
-                write!(f, "feature `{feature}` is not present at this feature level")
+                write!(
+                    f,
+                    "feature `{feature}` is not present at this feature level"
+                )
             }
             NiError::ReadOnly(r) => write!(f, "interface register {r} is read-only"),
-            NiError::ReservedType => f.write_str("message type 1 is reserved for exception dispatch"),
+            NiError::ReservedType => {
+                f.write_str("message type 1 is reserved for exception dispatch")
+            }
             NiError::NoContinuation => f.write_str("no continuation flit available to scroll in"),
         }
     }
@@ -43,6 +48,8 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(NiError::ReservedType.to_string().contains("reserved"));
-        assert!(NiError::ReadOnly(InterfaceReg::Status).to_string().contains("STATUS"));
+        assert!(NiError::ReadOnly(InterfaceReg::Status)
+            .to_string()
+            .contains("STATUS"));
     }
 }

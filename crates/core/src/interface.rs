@@ -449,8 +449,12 @@ impl NetworkInterface {
             return QueueConditions::CLEAR;
         }
         QueueConditions {
-            iafull: self.input_queue.over_threshold(self.control.input_threshold()),
-            oafull: self.output_queue.over_threshold(self.control.output_threshold()),
+            iafull: self
+                .input_queue
+                .over_threshold(self.control.input_threshold()),
+            oafull: self
+                .output_queue
+                .over_threshold(self.control.output_threshold()),
         }
     }
 
@@ -465,7 +469,12 @@ impl NetworkInterface {
         } else {
             DispatchSource::Empty
         };
-        msg_ip(self.ip_base, self.conditions(), self.exception.is_pending(), src)
+        msg_ip(
+            self.ip_base,
+            self.conditions(),
+            self.exception.is_pending(),
+            src,
+        )
     }
 
     /// The hardware-computed handler address for the *next* message — what
@@ -493,15 +502,23 @@ impl NetworkInterface {
     /// The STATUS register as a typed view.
     pub fn status(&self) -> Status {
         let cond = QueueConditions {
-            iafull: self.input_queue.over_threshold(self.control.input_threshold()),
-            oafull: self.output_queue.over_threshold(self.control.output_threshold()),
+            iafull: self
+                .input_queue
+                .over_threshold(self.control.input_threshold()),
+            oafull: self
+                .output_queue
+                .over_threshold(self.control.output_threshold()),
         };
         Status::pack(
             self.current_valid,
             cond.iafull,
             cond.oafull,
             !self.privileged_queue.is_empty(),
-            if self.current_valid { self.current_type } else { MsgType::default() },
+            if self.current_valid {
+                self.current_type
+            } else {
+                MsgType::default()
+            },
             self.input_queue.len(),
             self.output_queue.len(),
             self.exception,
@@ -589,8 +606,7 @@ impl NetworkInterface {
     /// queue under the stall policy, §2.1.1). Used by processor models to
     /// decide whether an instruction carrying a SEND can issue this cycle.
     pub fn send_would_stall(&self) -> bool {
-        self.output_queue.is_full()
-            && self.control.overflow_policy() == OverflowPolicy::Stall
+        self.output_queue.is_full() && self.control.overflow_policy() == OverflowPolicy::Stall
     }
 
     /// Takes the next outgoing message for the network, if any.
@@ -690,7 +706,8 @@ mod tests {
         let mut ni = opt();
         let incoming = Message::new([9, 1, 2, 3, 4], ty(5));
         ni.push_incoming(incoming).unwrap(); // advances into the input registers
-        ni.write_reg(InterfaceReg::O0, NodeId::new(7).into_word_bits()).unwrap();
+        ni.write_reg(InterfaceReg::O0, NodeId::new(7).into_word_bits())
+            .unwrap();
         ni.send(SendMode::Forward, ty(5)).unwrap();
         let m = ni.pop_outgoing().unwrap();
         assert_eq!(m.dest(), NodeId::new(7));
@@ -727,15 +744,24 @@ mod tests {
 
     #[test]
     fn overflow_policies() {
-        let cfg = NiConfig { output_capacity: 1, ..NiConfig::default() };
+        let cfg = NiConfig {
+            output_capacity: 1,
+            ..NiConfig::default()
+        };
         let mut ni = NetworkInterface::new(cfg);
         ni.send(SendMode::Send, ty(2)).unwrap();
         // Stall policy (default): message rejected, no exception.
-        assert_eq!(ni.send(SendMode::Send, ty(2)).unwrap(), SendOutcome::Stalled);
+        assert_eq!(
+            ni.send(SendMode::Send, ty(2)).unwrap(),
+            SendOutcome::Stalled
+        );
         assert_eq!(ni.exception(), ExceptionCode::None);
         // Exception policy: drop + latch.
         ni.set_control(Control::new().with_overflow_policy(OverflowPolicy::Exception));
-        assert_eq!(ni.send(SendMode::Send, ty(2)).unwrap(), SendOutcome::Overflowed);
+        assert_eq!(
+            ni.send(SendMode::Send, ty(2)).unwrap(),
+            SendOutcome::Overflowed
+        );
         assert_eq!(ni.exception(), ExceptionCode::OutputOverflow);
         assert_eq!(ni.stats().overflows, 1);
         assert_eq!(ni.stats().send_stalls, 1);
@@ -745,12 +771,14 @@ mod tests {
     fn arrivals_advance_and_next_disposes_in_fifo_order() {
         let mut ni = opt();
         assert!(!ni.next());
-        ni.push_incoming(Message::new([1, 0, 0, 0, 0], ty(2))).unwrap();
+        ni.push_incoming(Message::new([1, 0, 0, 0, 0], ty(2)))
+            .unwrap();
         // First arrival advances into the input registers by itself (§2.1.4).
         assert!(ni.msg_valid());
         assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 1);
         assert_eq!(ni.current_type(), ty(2));
-        ni.push_incoming(Message::new([2, 0, 0, 0, 0], ty(3))).unwrap();
+        ni.push_incoming(Message::new([2, 0, 0, 0, 0], ty(3)))
+            .unwrap();
         // Second queues behind it.
         assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 1);
         // NEXT disposes the first; the second advances.
@@ -763,7 +791,10 @@ mod tests {
 
     #[test]
     fn backpressure_rejects_when_input_full() {
-        let cfg = NiConfig { input_capacity: 2, ..NiConfig::default() };
+        let cfg = NiConfig {
+            input_capacity: 2,
+            ..NiConfig::default()
+        };
         let mut ni = NetworkInterface::new(cfg);
         ni.push_incoming(Message::default()).unwrap(); // → input registers
         ni.push_incoming(Message::default()).unwrap(); // queue: 1
@@ -798,7 +829,8 @@ mod tests {
     #[test]
     fn privileged_message_diverts_even_without_pin_check() {
         let mut ni = opt();
-        ni.push_incoming(Message::default().into_privileged()).unwrap();
+        ni.push_incoming(Message::default().into_privileged())
+            .unwrap();
         assert!(!ni.next());
         assert_eq!(ni.diversions().len(), 1);
     }
@@ -831,7 +863,7 @@ mod tests {
         ni.push_incoming(mk(2, false)).unwrap();
         ni.push_incoming(mk(3, true)).unwrap();
         ni.push_incoming(mk(9, true)).unwrap(); // separate message
-        // The first flit advanced into the input registers on arrival.
+                                                // The first flit advanced into the input registers on arrival.
         assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 1);
         ni.scroll_in().unwrap();
         assert_eq!(ni.read_reg(InterfaceReg::I0).unwrap(), 2);
@@ -845,7 +877,8 @@ mod tests {
     fn scroll_is_part_of_the_basic_architecture_too() {
         // §2.1.2 presents SCROLL as an extension of the *basic* architecture.
         let mut ni = basic();
-        ni.write_reg(InterfaceReg::O0, NodeId::new(0).into_word_bits() | 1).unwrap();
+        ni.write_reg(InterfaceReg::O0, NodeId::new(0).into_word_bits() | 1)
+            .unwrap();
         ni.scroll_out(ty(6)).unwrap();
         ni.write_reg(InterfaceReg::O0, 2).unwrap();
         ni.send(SendMode::Send, ty(6)).unwrap();
@@ -866,7 +899,11 @@ mod tests {
     #[test]
     fn status_reflects_queues_and_conditions() {
         let mut ni = opt();
-        ni.set_control(Control::new().with_input_threshold(2).with_output_threshold(1));
+        ni.set_control(
+            Control::new()
+                .with_input_threshold(2)
+                .with_output_threshold(1),
+        );
         ni.push_incoming(Message::default()).unwrap(); // → input registers
         ni.push_incoming(Message::default()).unwrap(); // queue: 1
         assert!(!ni.status().iafull());
@@ -884,12 +921,14 @@ mod tests {
         // Empty: slot 0.
         assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x4000);
         // Typed message arrives and advances: its slot.
-        ni.push_incoming(Message::new([0, 0xCAFE, 0, 0, 0], ty(4))).unwrap();
+        ni.push_incoming(Message::new([0, 0xCAFE, 0, 0, 0], ty(4)))
+            .unwrap();
         assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x4000 + 4 * 16);
         // Nothing queued behind it yet: NextMsgIp shows the idle slot.
         assert_eq!(ni.read_reg(InterfaceReg::NextMsgIp).unwrap(), 0x4000);
         // A type-0 message queues behind: NextMsgIp previews its word 1.
-        ni.push_incoming(Message::new([0, 0x8888, 0, 0, 0], ty(0))).unwrap();
+        ni.push_incoming(Message::new([0, 0x8888, 0, 0, 0], ty(0)))
+            .unwrap();
         assert_eq!(ni.read_reg(InterfaceReg::NextMsgIp).unwrap(), 0x8888);
         ni.next();
         assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0x8888);
@@ -905,9 +944,11 @@ mod tests {
         let mut ni = opt();
         ni.write_reg(InterfaceReg::IpBase, 0x4000).unwrap();
         ni.set_control(Control::new().with_input_threshold(1));
-        ni.push_incoming(Message::new([0, 0, 0, 0, 0], ty(4))).unwrap(); // current
-        ni.push_incoming(Message::new([0, 0x9999, 0, 0, 0], ty(0))).unwrap(); // queued
-        // Queue holds 1 >= threshold, so the *current* dispatch sees iafull…
+        ni.push_incoming(Message::new([0, 0, 0, 0, 0], ty(4)))
+            .unwrap(); // current
+        ni.push_incoming(Message::new([0, 0x9999, 0, 0, 0], ty(0)))
+            .unwrap(); // queued
+                       // Queue holds 1 >= threshold, so the *current* dispatch sees iafull…
         assert_eq!(
             ni.read_reg(InterfaceReg::MsgIp).unwrap(),
             0x4000 + (1 << 9) + 4 * 16

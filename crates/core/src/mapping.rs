@@ -107,17 +107,32 @@ impl NiAddress {
 
 /// Convenience: the address that accesses `reg` with no command.
 pub fn reg_addr(reg: InterfaceReg) -> u32 {
-    NiAddress { reg: Some(reg), cmd: NiCmd::NONE, scroll: false }.encode()
+    NiAddress {
+        reg: Some(reg),
+        cmd: NiCmd::NONE,
+        scroll: false,
+    }
+    .encode()
 }
 
 /// Convenience: the address that accesses `reg` and performs `cmd`.
 pub fn cmd_addr(reg: InterfaceReg, cmd: NiCmd) -> u32 {
-    NiAddress { reg: Some(reg), cmd, scroll: false }.encode()
+    NiAddress {
+        reg: Some(reg),
+        cmd,
+        scroll: false,
+    }
+    .encode()
 }
 
 /// Convenience: the address that performs `cmd` with no register access.
 pub fn bare_cmd_addr(cmd: NiCmd) -> u32 {
-    NiAddress { reg: None, cmd, scroll: false }.encode()
+    NiAddress {
+        reg: None,
+        cmd,
+        scroll: false,
+    }
+    .encode()
 }
 
 /// Convenience: the SCROLL-OUT address — sends the output registers as a
@@ -269,7 +284,10 @@ mod tests {
 
     #[test]
     fn describe_is_informative() {
-        let addr = cmd_addr(InterfaceReg::I1, NiCmd::reply(MsgType::new(7).unwrap()).with_next());
+        let addr = cmd_addr(
+            InterfaceReg::I1,
+            NiCmd::reply(MsgType::new(7).unwrap()).with_next(),
+        );
         let text = describe(addr).to_string();
         assert!(text.contains("i1"), "{text}");
         assert!(text.contains("SEND-reply"), "{text}");

@@ -87,6 +87,12 @@ pub struct Message {
     /// payload) carry the established route here. `None` for ordinary
     /// messages.
     pub route: Option<NodeId>,
+    /// Observability-only sequence number, stamped by the machine simulator
+    /// when an injection is accepted so the lifecycle of each message can be
+    /// correlated across queues and the fabric. Not architected: software
+    /// cannot read it, it takes no part in routing or dispatch, and it is `0`
+    /// unless observability is enabled.
+    pub seq: u32,
 }
 
 impl Message {
@@ -99,6 +105,7 @@ impl Message {
             privileged: false,
             last_flit: true,
             route: None,
+            seq: 0,
         }
     }
 
@@ -124,7 +131,8 @@ impl Message {
     /// The destination processor: the routing override for continuation
     /// flits, otherwise decoded from `m0`.
     pub fn dest(&self) -> NodeId {
-        self.route.unwrap_or_else(|| NodeId::from_word(self.words[0]))
+        self.route
+            .unwrap_or_else(|| NodeId::from_word(self.words[0]))
     }
 
     /// Tags the message with a sending process.
@@ -175,7 +183,11 @@ mod tests {
 
     #[test]
     fn dest_in_high_bits() {
-        let m = Message::to(NodeId::new(0xAB), [0x00FF_FFFF, 1, 2, 3, 4], MsgType::default());
+        let m = Message::to(
+            NodeId::new(0xAB),
+            [0x00FF_FFFF, 1, 2, 3, 4],
+            MsgType::default(),
+        );
         assert_eq!(m.dest(), NodeId::new(0xAB));
         assert_eq!(m.words[0], 0xABFF_FFFF);
     }
@@ -183,7 +195,11 @@ mod tests {
     #[test]
     fn to_masks_payload_overflow() {
         // A payload that already had high bits set must not corrupt the dest.
-        let m = Message::to(NodeId::new(1), [0xFFFF_FFFF, 0, 0, 0, 0], MsgType::default());
+        let m = Message::to(
+            NodeId::new(1),
+            [0xFFFF_FFFF, 0, 0, 0, 0],
+            MsgType::default(),
+        );
         assert_eq!(m.dest(), NodeId::new(1));
     }
 

@@ -223,7 +223,16 @@ mod tests {
 
     #[test]
     fn queue_lengths_saturate() {
-        let s = Status::pack(false, false, false, false, MsgType::default(), 999, 1000, ExceptionCode::None);
+        let s = Status::pack(
+            false,
+            false,
+            false,
+            false,
+            MsgType::default(),
+            999,
+            1000,
+            ExceptionCode::None,
+        );
         assert_eq!(s.input_len(), 255);
         assert_eq!(s.output_len(), 255);
     }

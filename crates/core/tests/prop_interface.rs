@@ -12,15 +12,31 @@ use tcni_isa::SendMode;
 
 #[derive(Debug, Clone)]
 enum Op {
-    PushIncoming { tag: u32, mtype: u8, pin: u8, privileged: bool },
+    PushIncoming {
+        tag: u32,
+        mtype: u8,
+        pin: u8,
+        privileged: bool,
+    },
     Next,
-    Send { mode: u8, mtype: u8 },
-    WriteOut { idx: u8, value: u32 },
+    Send {
+        mode: u8,
+        mtype: u8,
+    },
+    WriteOut {
+        idx: u8,
+        value: u32,
+    },
     PopOutgoing,
     PopPrivileged,
-    ScrollOut { mtype: u8 },
+    ScrollOut {
+        mtype: u8,
+    },
     ScrollIn,
-    SetThresholds { input: u32, output: u32 },
+    SetThresholds {
+        input: u32,
+        output: u32,
+    },
 }
 
 fn arb_op(rng: &mut Rng) -> Op {
@@ -65,7 +81,11 @@ fn invariants_hold_under_arbitrary_ops() {
         };
         let mut ni = NetworkInterface::new(cfg);
         ni.write_reg(InterfaceReg::IpBase, 0x4000).unwrap();
-        ni.set_control(Control::new().with_active_pin(Pin::new(0)).with_pin_check(true));
+        ni.set_control(
+            Control::new()
+                .with_active_pin(Pin::new(0))
+                .with_pin_check(true),
+        );
 
         let mut accepted_user = 0u64; // into the input side
         let mut consumed_user = 0u64; // NEXT'd or scrolled or currently held
@@ -74,7 +94,12 @@ fn invariants_hold_under_arbitrary_ops() {
 
         for op in ops {
             match op {
-                Op::PushIncoming { tag, mtype, pin, privileged } => {
+                Op::PushIncoming {
+                    tag,
+                    mtype,
+                    pin,
+                    privileged,
+                } => {
                     let mut m = Message::new([0, tag, 0, 0, 0], MsgType::new(mtype).unwrap())
                         .with_pin(Pin::new(pin));
                     m.privileged = privileged;
@@ -108,7 +133,8 @@ fn invariants_hold_under_arbitrary_ops() {
                     }
                 }
                 Op::WriteOut { idx, value } => {
-                    ni.write_reg(InterfaceReg::output(usize::from(idx)), value).unwrap();
+                    ni.write_reg(InterfaceReg::output(usize::from(idx)), value)
+                        .unwrap();
                 }
                 Op::PopOutgoing => {
                     if ni.pop_outgoing().is_some() {
@@ -127,7 +153,8 @@ fn invariants_hold_under_arbitrary_ops() {
                     let _ = ni.scroll_in();
                 }
                 Op::SetThresholds { input, output } => {
-                    let c = ni.control()
+                    let c = ni
+                        .control()
                         .with_input_threshold(input)
                         .with_output_threshold(output);
                     ni.set_control(c);
@@ -156,7 +183,10 @@ fn invariants_hold_under_arbitrary_ops() {
                 && !st.oafull()
                 && !st.exception().is_pending())
             {
-                assert!((0x4000..0x4000 + TABLE_BYTES).contains(&ip), "MsgIp {ip:#x}");
+                assert!(
+                    (0x4000..0x4000 + TABLE_BYTES).contains(&ip),
+                    "MsgIp {ip:#x}"
+                );
                 assert_eq!(ip % 16, 0);
             }
             // Conservation on the output side.
@@ -187,15 +217,25 @@ fn reply_forward_composition() {
         }
         ni.send(SendMode::Reply, MsgType::new(0).unwrap()).unwrap();
         let reply = ni.pop_outgoing().unwrap();
-        assert_eq!(reply.words, [iregs[1], iregs[2], oregs[2], oregs[3], oregs[4]]);
+        assert_eq!(
+            reply.words,
+            [iregs[1], iregs[2], oregs[2], oregs[3], oregs[4]]
+        );
 
-        ni.send(SendMode::Forward, MsgType::new(5).unwrap()).unwrap();
+        ni.send(SendMode::Forward, MsgType::new(5).unwrap())
+            .unwrap();
         let fwd = ni.pop_outgoing().unwrap();
-        assert_eq!(fwd.words, [oregs[0], iregs[1], iregs[2], iregs[3], iregs[4]]);
+        assert_eq!(
+            fwd.words,
+            [oregs[0], iregs[1], iregs[2], iregs[3], iregs[4]]
+        );
 
         ni.send(SendMode::Send, MsgType::new(6).unwrap()).unwrap();
         let plain = ni.pop_outgoing().unwrap();
-        assert_eq!(plain.words, [oregs[0], oregs[1], oregs[2], oregs[3], oregs[4]]);
+        assert_eq!(
+            plain.words,
+            [oregs[0], oregs[1], oregs[2], oregs[3], oregs[4]]
+        );
     });
 }
 
@@ -210,7 +250,11 @@ fn control_roundtrip() {
         let chk = rng.bool();
         let pi = rng.bool();
         let c = Control::new()
-            .with_overflow_policy(if policy { OverflowPolicy::Exception } else { OverflowPolicy::Stall })
+            .with_overflow_policy(if policy {
+                OverflowPolicy::Exception
+            } else {
+                OverflowPolicy::Stall
+            })
             .with_active_pin(Pin::new(pin))
             .with_input_threshold(it)
             .with_output_threshold(ot)

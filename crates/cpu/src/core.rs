@@ -222,8 +222,9 @@ impl Cpu {
             .iter()
             .find(|r| self.ready_at[r.index()] > now)
             .or_else(|| {
-                late.iter()
-                    .find(|r| self.ready_at[r.index()] > now + u64::from(self.timing.store_data_slack))
+                late.iter().find(|r| {
+                    self.ready_at[r.index()] > now + u64::from(self.timing.store_data_slack)
+                })
             })
             .copied()
     }
@@ -290,7 +291,10 @@ impl Cpu {
             return StepOutcome::Idle;
         }
         let Some(&instr) = program.fetch(self.pc) else {
-            self.fault(format!("instruction fetch outside program at {:#x}", self.pc));
+            self.fault(format!(
+                "instruction fetch outside program at {:#x}",
+                self.pc
+            ));
             return StepOutcome::Idle;
         };
 
@@ -406,7 +410,9 @@ impl Cpu {
     ) -> Result<ExecEffect, EnvFault> {
         let mut effect = ExecEffect::default();
         match *instr {
-            Instr::Alu { op, rd, rs1, rs2, .. } => {
+            Instr::Alu {
+                op, rd, rs1, rs2, ..
+            } => {
                 let a = self.read_operand(env, rs1);
                 let b = match rs2 {
                     Operand::Reg(r) => self.read_operand(env, r),
@@ -424,7 +430,9 @@ impl Cpu {
                     self.producer_class[rd.index()] = program.cost_class(self.pc);
                 }
             }
-            Instr::Fp { op, rd, rs1, rs2, .. } => {
+            Instr::Fp {
+                op, rd, rs1, rs2, ..
+            } => {
                 let a = self.read_operand(env, rs1);
                 let b = self.read_operand(env, rs2);
                 let v = op.apply(a, b);
@@ -513,7 +521,12 @@ impl Cpu {
         Ok(effect)
     }
 
-    fn apply_fault(&mut self, f: EnvFault, program: &Program, was_slot: Option<u32>) -> StepOutcome {
+    fn apply_fault(
+        &mut self,
+        f: EnvFault,
+        program: &Program,
+        was_slot: Option<u32>,
+    ) -> StepOutcome {
         match f {
             EnvFault::Stall => {
                 // Retry the whole instruction next cycle; restore the
@@ -541,6 +554,10 @@ impl Cpu {
 
 impl fmt::Display for Cpu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cpu(pc={:#x} cycle={} state={:?})", self.pc, self.cycle, self.state)
+        write!(
+            f,
+            "cpu(pc={:#x} cycle={} state={:?})",
+            self.pc, self.cycle, self.state
+        )
     }
 }

@@ -29,7 +29,9 @@ pub enum EnvFault {
 impl EnvFault {
     /// Convenience constructor for a fatal fault.
     pub fn fault(reason: impl Into<String>) -> EnvFault {
-        EnvFault::Fault { reason: reason.into() }
+        EnvFault::Fault {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -142,7 +144,9 @@ impl MemEnv {
         }
         let i = (addr / 4) as usize;
         if i >= self.words.len() {
-            return Err(EnvFault::fault(format!("access beyond memory at {addr:#x}")));
+            return Err(EnvFault::fault(format!(
+                "access beyond memory at {addr:#x}"
+            )));
         }
         Ok(i)
     }

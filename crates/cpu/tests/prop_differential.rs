@@ -22,12 +22,16 @@ fn reference_run(program: &Program, regs: &mut [u32; 32], mem: &mut [u32], max: 
         };
         let mut next_pending = None;
         match *instr {
-            Instr::Alu { op, rd, rs1, rs2, .. } => {
+            Instr::Alu {
+                op, rd, rs1, rs2, ..
+            } => {
                 let a = regs[rs1.index()];
                 let b = match rs2 {
                     Operand::Reg(r) => regs[r.index()],
                     Operand::Imm(i) => match op {
-                        AluOp::Add | AluOp::Sub | AluOp::Mul | AluOp::CmpLt => i as i16 as i32 as u32,
+                        AluOp::Add | AluOp::Sub | AluOp::Mul | AluOp::CmpLt => {
+                            i as i16 as i32 as u32
+                        }
                         _ => u32::from(i),
                     },
                 };
@@ -35,7 +39,9 @@ fn reference_run(program: &Program, regs: &mut [u32; 32], mem: &mut [u32], max: 
                     regs[rd.index()] = op.apply(a, b);
                 }
             }
-            Instr::Fp { op, rd, rs1, rs2, .. } => {
+            Instr::Fp {
+                op, rd, rs1, rs2, ..
+            } => {
                 let v = op.apply(regs[rs1.index()], regs[rs2.index()]);
                 if !rd.is_zero() {
                     regs[rd.index()] = v;
@@ -205,10 +211,18 @@ fn cycle_simulator_matches_reference() {
         }
         assert_eq!(cpu.state(), &CpuState::Halted, "{program}");
         for r in Reg::ALL {
-            assert_eq!(cpu.reg(r), ref_regs[r.index()], "register {r} differs\n{program}");
+            assert_eq!(
+                cpu.reg(r),
+                ref_regs[r.index()],
+                "register {r} differs\n{program}"
+            );
         }
         for (w, expected) in ref_mem.iter().enumerate() {
-            assert_eq!(env.mem_read(w as u32 * 4).unwrap(), *expected, "mem[{w}]\n{program}");
+            assert_eq!(
+                env.mem_read(w as u32 * 4).unwrap(),
+                *expected,
+                "mem[{w}]\n{program}"
+            );
         }
     });
 }

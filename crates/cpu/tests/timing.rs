@@ -165,7 +165,11 @@ fn configurable_offchip_latency_for_sweep() {
             mem: MemEnv::new(0x200),
             window: 0x100..0x140,
         };
-        let cpu = run(&p, &mut env, TimingConfig::new().with_offchip_load_extra(extra));
+        let cpu = run(
+            &p,
+            &mut env,
+            TimingConfig::new().with_offchip_load_extra(extra),
+        );
         assert_eq!(cpu.stats().operand_stalls, u64::from(extra));
     }
 }

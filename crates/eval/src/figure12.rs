@@ -203,7 +203,11 @@ pub struct Figure12 {
 
 impl Figure12 {
     /// Expands `counts` under every model.
-    pub fn from_counts(title: impl Into<String>, counts: TamCounts, table: &[ModelCosts; 6]) -> Figure12 {
+    pub fn from_counts(
+        title: impl Into<String>,
+        counts: TamCounts,
+        table: &[ModelCosts; 6],
+    ) -> Figure12 {
         let base = NonMessageCosts::new();
         let bars = std::array::from_fn(|i| breakdown(&counts, &table[i], &base));
         Figure12 {
@@ -215,7 +219,10 @@ impl Figure12 {
 
     /// The bar for a model.
     pub fn bar(&self, model: Model) -> &Breakdown {
-        let idx = Model::ALL_SIX.iter().position(|m| *m == model).expect("known model");
+        let idx = Model::ALL_SIX
+            .iter()
+            .position(|m| *m == model)
+            .expect("known model");
         &self.bars[idx]
     }
 
@@ -225,7 +232,10 @@ impl Figure12 {
         let opt_reg = &self.bars[0];
         let opt_off = &self.bars[2];
         let basic_off = &self.bars[5];
-        let slowest_optimized = self.bars[..3].iter().map(Breakdown::total).fold(0.0, f64::max);
+        let slowest_optimized = self.bars[..3]
+            .iter()
+            .map(Breakdown::total)
+            .fold(0.0, f64::max);
         let fastest_basic = self.bars[3..]
             .iter()
             .map(Breakdown::total)
@@ -246,7 +256,11 @@ impl Figure12 {
 /// # Errors
 ///
 /// Propagates TAM runtime errors.
-pub fn matmul_panel(n: usize, nodes: usize, table: &Table1) -> Result<Figure12, tcni_tam::TamError> {
+pub fn matmul_panel(
+    n: usize,
+    nodes: usize,
+    table: &Table1,
+) -> Result<Figure12, tcni_tam::TamError> {
     let out = programs::matmul::run(n, nodes)?;
     Ok(Figure12::from_counts(
         format!("{n}×{n} Matrix Multiply"),
@@ -260,7 +274,11 @@ pub fn matmul_panel(n: usize, nodes: usize, table: &Table1) -> Result<Figure12, 
 /// # Errors
 ///
 /// Propagates TAM runtime errors.
-pub fn gamteb_panel(batches: u32, nodes: usize, table: &Table1) -> Result<Figure12, tcni_tam::TamError> {
+pub fn gamteb_panel(
+    batches: u32,
+    nodes: usize,
+    table: &Table1,
+) -> Result<Figure12, tcni_tam::TamError> {
     let out = programs::gamteb::run(batches, nodes, 0x6A3)?;
     Ok(Figure12::from_counts(
         format!("{batches} Gamteb"),
@@ -277,7 +295,11 @@ impl Figure12 {
         use std::fmt::Write;
         let max = self.bars.iter().map(Breakdown::total).fold(0.0, f64::max);
         let mut out = String::new();
-        let _ = writeln!(out, "{} — '#' non-message, 'd' dispatch, '+' other comm", self.title);
+        let _ = writeln!(
+            out,
+            "{} — '#' non-message, 'd' dispatch, '+' other comm",
+            self.title
+        );
         for (i, model) in Model::ALL_SIX.iter().enumerate() {
             let b = &self.bars[i];
             let scale = |v: f64| ((v / max) * width as f64).round() as usize;
@@ -376,8 +398,16 @@ mod tests {
         for table in [&crate::paper::published(), &measured_table().models] {
             let fig = Figure12::from_counts("t", counts_small(), table);
             let h = fig.headline();
-            assert!(h.comm_reduction > 2.0, "comm reduction {}", h.comm_reduction);
-            assert!(h.total_cut > 0.15 && h.total_cut < 0.7, "total cut {}", h.total_cut);
+            assert!(
+                h.comm_reduction > 2.0,
+                "comm reduction {}",
+                h.comm_reduction
+            );
+            assert!(
+                h.total_cut > 0.15 && h.total_cut < 0.7,
+                "total cut {}",
+                h.total_cut
+            );
             assert!(
                 h.comm_fraction_before > h.comm_fraction_after + 0.1,
                 "{} → {}",

@@ -82,7 +82,9 @@ fn build_message(program: &Program, case: ProcCase) -> Message {
     let reply_ip = 0x9100;
     match case {
         ProcCase::Send(k) => {
-            let inlet = program.resolve("inlet").expect("send probes define `inlet`");
+            let inlet = program
+                .resolve("inlet")
+                .expect("send probes define `inlet`");
             let mut words = [layout::FRAME, inlet, 0, 0, 0];
             if k >= 1 {
                 words[2] = 0xD0;
@@ -161,17 +163,29 @@ fn emit_send_path(a: &mut Assembler, ctx: Ctx, k: usize) {
         _ => {
             match k {
                 0 => {
-                    a.ld(Reg::R2, regs::NI_BASE, cmd_off(InterfaceReg::I0, NiCmd::next()));
+                    a.ld(
+                        Reg::R2,
+                        regs::NI_BASE,
+                        cmd_off(InterfaceReg::I0, NiCmd::next()),
+                    );
                 }
                 1 => {
                     a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
-                    a.ld(Reg::R5, regs::NI_BASE, cmd_off(InterfaceReg::I2, NiCmd::next()));
+                    a.ld(
+                        Reg::R5,
+                        regs::NI_BASE,
+                        cmd_off(InterfaceReg::I2, NiCmd::next()),
+                    );
                     a.st(Reg::R5, Reg::R2, 8);
                 }
                 _ => {
                     a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
                     a.ld(Reg::R5, regs::NI_BASE, off(InterfaceReg::I2));
-                    a.ld(Reg::R6, regs::NI_BASE, cmd_off(InterfaceReg::I3, NiCmd::next()));
+                    a.ld(
+                        Reg::R6,
+                        regs::NI_BASE,
+                        cmd_off(InterfaceReg::I3, NiCmd::next()),
+                    );
                     a.st(Reg::R5, Reg::R2, 8);
                     a.st(Reg::R6, Reg::R2, 12);
                 }
@@ -194,12 +208,22 @@ fn emit_read(a: &mut Assembler, ctx: Ctx) {
             if ctx.features.reply_forward {
                 // THE two-instruction remote read (§3.3): one instruction
                 // here plus one dispatch instruction.
-                a.ld_r_ni(alias::o(2), alias::i(0), Reg::R0, reply_cmd(ctx).with_next());
+                a.ld_r_ni(
+                    alias::o(2),
+                    alias::i(0),
+                    Reg::R0,
+                    reply_cmd(ctx).with_next(),
+                );
             } else {
                 a.mov(alias::o(0), alias::i(1));
                 a.mov(alias::o(1), alias::i(2));
                 a.mov(alias::o(4), Reg::R0); // reply id 0
-                a.ld_r_ni(alias::o(2), alias::i(0), Reg::R0, NiCmd::send(mt(0)).with_next());
+                a.ld_r_ni(
+                    alias::o(2),
+                    alias::i(0),
+                    Reg::R0,
+                    NiCmd::send(mt(0)).with_next(),
+                );
             }
         }
         _ => {
@@ -242,7 +266,11 @@ fn emit_write(a: &mut Assembler, ctx: Ctx) {
         }
         _ => {
             a.ld(Reg::R2, regs::NI_BASE, off(InterfaceReg::I0));
-            a.ld(Reg::R5, regs::NI_BASE, cmd_off(InterfaceReg::I1, NiCmd::next()));
+            a.ld(
+                Reg::R5,
+                regs::NI_BASE,
+                cmd_off(InterfaceReg::I1, NiCmd::next()),
+            );
             a.st(Reg::R5, Reg::R2, 0);
         }
     }
@@ -262,12 +290,22 @@ fn emit_pread(a: &mut Assembler, ctx: Ctx) {
             a.nop();
             // full:
             if ctx.features.reply_forward {
-                a.ld_r_ni(alias::o(2), alias::i(0), regs::FOUR, reply_cmd(ctx).with_next());
+                a.ld_r_ni(
+                    alias::o(2),
+                    alias::i(0),
+                    regs::FOUR,
+                    reply_cmd(ctx).with_next(),
+                );
             } else {
                 a.mov(alias::o(0), alias::i(1));
                 a.mov(alias::o(1), alias::i(2));
                 a.mov(alias::o(4), Reg::R0);
-                a.ld_r_ni(alias::o(2), alias::i(0), regs::FOUR, NiCmd::send(mt(0)).with_next());
+                a.ld_r_ni(
+                    alias::o(2),
+                    alias::i(0),
+                    regs::FOUR,
+                    NiCmd::send(mt(0)).with_next(),
+                );
             }
             a.set_class(CostClass::Compute);
             a.halt();
@@ -471,7 +509,10 @@ pub fn stage_memory(mem: &mut tcni_cpu::MemEnv, case: ProcCase) {
                 let addr = base + i * node::SIZE;
                 let next = if i + 1 == n { 0 } else { addr + node::SIZE };
                 mem.poke(addr, next);
-                mem.poke(addr + 4, NodeId::new(2).into_word_bits() | (0x800 + i * 0x10));
+                mem.poke(
+                    addr + 4,
+                    NodeId::new(2).into_word_bits() | (0x800 + i * 0x10),
+                );
                 mem.poke(addr + 8, 0x9100 + i * 4);
             }
         }

@@ -107,8 +107,14 @@ pub fn server(model: Model) -> Program {
             a.halt();
         }
         (FeatureLevel::Basic, NiMapping::RegisterFile) => {
-            a.mov(gpr_alias(InterfaceReg::O0), gpr_alias(InterfaceReg::input(1)));
-            a.mov(gpr_alias(InterfaceReg::O1), gpr_alias(InterfaceReg::input(2)));
+            a.mov(
+                gpr_alias(InterfaceReg::O0),
+                gpr_alias(InterfaceReg::input(1)),
+            );
+            a.mov(
+                gpr_alias(InterfaceReg::O1),
+                gpr_alias(InterfaceReg::input(2)),
+            );
             a.mov(gpr_alias(InterfaceReg::O4), Reg::R0);
             a.ld_r_ni(
                 gpr_alias(InterfaceReg::O2),
@@ -163,7 +169,11 @@ pub fn requester(model: Model, server_node: NodeId) -> Program {
                 }
                 a.mov(gpr_alias(InterfaceReg::O0), Reg::R2);
                 a.mov(gpr_alias(InterfaceReg::O1), Reg::R3);
-                a.mov_ni(gpr_alias(InterfaceReg::O2), Reg::R5, NiCmd::send(ty(TYPE_READ)));
+                a.mov_ni(
+                    gpr_alias(InterfaceReg::O2),
+                    Reg::R5,
+                    NiCmd::send(ty(TYPE_READ)),
+                );
             }
             _ => {
                 a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
@@ -208,11 +218,19 @@ pub fn requester(model: Model, server_node: NodeId) -> Program {
         a.label("reply_handler");
         match model.mapping {
             NiMapping::RegisterFile => {
-                a.st(gpr_alias(InterfaceReg::input(2)), Reg::R0, RESULT_ADDR as i16);
+                a.st(
+                    gpr_alias(InterfaceReg::input(2)),
+                    Reg::R0,
+                    RESULT_ADDR as i16,
+                );
                 a.mov_ni(Reg::R2, Reg::R2, NiCmd::next());
             }
             _ => {
-                a.ld(Reg::R7, Reg::R9, off(cmd_addr(InterfaceReg::I2, NiCmd::next())));
+                a.ld(
+                    Reg::R7,
+                    Reg::R9,
+                    off(cmd_addr(InterfaceReg::I2, NiCmd::next())),
+                );
                 a.st(Reg::R7, Reg::R0, RESULT_ADDR as i16);
             }
         }

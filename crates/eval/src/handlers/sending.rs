@@ -182,7 +182,11 @@ pub mod expect {
     /// The message the probe must have queued.
     pub fn message(kind: SendKind, encoded_types: bool) -> Message {
         let (r2, r3, r5, r6, r8) = staged(kind);
-        let ty = if encoded_types { mt(kind.mtype()) } else { mt(0) };
+        let ty = if encoded_types {
+            mt(kind.mtype())
+        } else {
+            mt(0)
+        };
         let mut words = [0u32; 5];
         match kind {
             SendKind::Send(k) => {

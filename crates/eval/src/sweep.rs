@@ -144,7 +144,11 @@ fn producer_program() -> tcni_isa::Program {
     a.li(Reg::R3, NodeId::new(1).into_word_bits());
     a.label("loop");
     a.mov(o0, Reg::R3);
-    a.mov_ni(o1, Reg::R2, NiCmd::send(MsgType::new(QUEUE_MSG_TYPE).unwrap()));
+    a.mov_ni(
+        o1,
+        Reg::R2,
+        NiCmd::send(MsgType::new(QUEUE_MSG_TYPE).unwrap()),
+    );
     a.alu(AluOp::Sub, Reg::R2, Reg::R2, 1u16);
     a.bcnd(Cond::Ne0, Reg::R2, "loop");
     a.nop();
@@ -206,9 +210,16 @@ pub fn queue_sweep(capacities: &[usize]) -> Vec<QueuePoint> {
             .ni_mut()
             .write_reg(InterfaceReg::IpBase, 0x4000)
             .expect("IpBase writable");
-        machine.node_mut(1).cpu_mut().set_reg(Reg::R8, u32::from(BURST));
+        machine
+            .node_mut(1)
+            .cpu_mut()
+            .set_reg(Reg::R8, u32::from(BURST));
         let outcome = machine.run(200_000);
-        assert_eq!(outcome, RunOutcome::Quiescent, "queue sweep cap={cap}: {outcome:?}");
+        assert_eq!(
+            outcome,
+            RunOutcome::Quiescent,
+            "queue sweep cap={cap}: {outcome:?}"
+        );
         assert_eq!(
             machine.node(1).cpu().reg(Reg::R6),
             u32::from(BURST),
@@ -241,7 +252,10 @@ mod tests {
             "§4.2.3 predicts roughly doubled communication cost, got ×{ratio:.2}"
         );
         // Compute work is untouched by interface latency.
-        assert_eq!(pts[0].optimized_offchip.compute, pts[1].optimized_offchip.compute);
+        assert_eq!(
+            pts[0].optimized_offchip.compute,
+            pts[1].optimized_offchip.compute
+        );
     }
 
     #[test]
@@ -258,7 +272,11 @@ mod tests {
                     row.label,
                 );
             }
-            let helps_somewhere = row.comm.iter().zip(basic.iter()).any(|(g, b)| g < &(b - 1e-9));
+            let helps_somewhere = row
+                .comm
+                .iter()
+                .zip(basic.iter())
+                .any(|(g, b)| g < &(b - 1e-9));
             assert!(helps_somewhere, "feature {i} ({}) never helps", row.label);
         }
         for (p, (a, b)) in all.iter().zip(basic.iter()).enumerate() {
@@ -273,7 +291,10 @@ mod tests {
             pts[1].producer_env_stalls <= pts[0].producer_env_stalls,
             "{pts:?}"
         );
-        assert!(pts[0].producer_env_stalls > 0, "shallow queues must stall: {pts:?}");
+        assert!(
+            pts[0].producer_env_stalls > 0,
+            "shallow queues must stall: {pts:?}"
+        );
         assert!(pts[1].cycles <= pts[0].cycles + 8, "{pts:?}");
     }
 }

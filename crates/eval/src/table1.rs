@@ -128,15 +128,19 @@ impl Table1 {
     /// off-chip latency sweep of §4.2.3 uses this). The six models are
     /// measured in parallel (each on its own private simulator).
     pub fn measure_with(timing: TimingConfig) -> Table1 {
-        let models =
-            crate::par::par_map_array(Model::ALL_SIX, |m| measure_model(Ctx::from_model(m), timing));
+        let models = crate::par::par_map_array(Model::ALL_SIX, |m| {
+            measure_model(Ctx::from_model(m), timing)
+        });
         Table1 { timing, models }
     }
 
     /// Measures the table for an arbitrary feature set at every placement —
     /// the per-optimization ablation. Returns placements in
     /// [`NiMapping::ALL`] order (off-chip, on-chip, register).
-    pub fn measure_features(features: tcni_core::FeatureSet, timing: TimingConfig) -> [ModelCosts; 3] {
+    pub fn measure_features(
+        features: tcni_core::FeatureSet,
+        timing: TimingConfig,
+    ) -> [ModelCosts; 3] {
         crate::par::par_map_array(NiMapping::ALL, |mapping| {
             measure_model(Ctx { mapping, features }, timing)
         })
@@ -152,7 +156,9 @@ impl Table1 {
     }
 }
 
-fn stage_common(ctx: Ctx) -> impl Fn(&mut tcni_cpu::Cpu, &mut tcni_core::NetworkInterface, &mut tcni_cpu::MemEnv) {
+fn stage_common(
+    ctx: Ctx,
+) -> impl Fn(&mut tcni_cpu::Cpu, &mut tcni_core::NetworkInterface, &mut tcni_cpu::MemEnv) {
     move |cpu, ni, _mem| {
         cpu.set_reg(regs::NI_BASE, NI_WINDOW_BASE);
         cpu.set_reg(regs::TABLE_BASE, layout::TABLE);
@@ -181,8 +187,13 @@ fn measure_sending(ctx: Ctx, timing: TimingConfig, kind: SendKind, best: bool) -
         cpu.set_reg(tcni_isa::Reg::R8, r8);
     });
     let mut ni = run.ni;
-    let sent = ni.pop_outgoing().expect("probe must send exactly one message");
-    assert!(ni.pop_outgoing().is_none(), "probe must send exactly one message");
+    let sent = ni
+        .pop_outgoing()
+        .expect("probe must send exactly one message");
+    assert!(
+        ni.pop_outgoing().is_none(),
+        "probe must send exactly one message"
+    );
     let expected = sending::expect::message(kind, ctx.features.encoded_types);
     assert_eq!(sent.words, expected.words, "{kind:?} message payload");
     assert_eq!(sent.mtype, expected.mtype, "{kind:?} message type");
@@ -222,16 +233,27 @@ fn measure_processing(ctx: Ctx, timing: TimingConfig, case: ProcCase) -> u32 {
 
 fn validate_processing(run: &MeasureRun, case: ProcCase, incoming: &tcni_core::Message) {
     let mut ni = run.ni.clone();
-    assert!(!ni.msg_valid(), "{case:?}: handler must consume the message (NEXT)");
+    assert!(
+        !ni.msg_valid(),
+        "{case:?}: handler must consume the message (NEXT)"
+    );
     match case {
         ProcCase::Send(k) => {
             if k >= 1 {
                 assert_eq!(run.mem.peek(layout::FRAME + 8), 0xD0, "{case:?}: payload 0");
             }
             if k >= 2 {
-                assert_eq!(run.mem.peek(layout::FRAME + 12), 0xD1, "{case:?}: payload 1");
+                assert_eq!(
+                    run.mem.peek(layout::FRAME + 12),
+                    0xD1,
+                    "{case:?}: payload 1"
+                );
             }
-            assert_eq!(run.cpu.reg(tcni_isa::Reg::R2), layout::FRAME, "{case:?}: FP in thread reg");
+            assert_eq!(
+                run.cpu.reg(tcni_isa::Reg::R2),
+                layout::FRAME,
+                "{case:?}: FP in thread reg"
+            );
         }
         ProcCase::Read => {
             let reply = ni.pop_outgoing().expect("Read must reply");
@@ -261,7 +283,11 @@ fn validate_processing(run: &MeasureRun, case: ProcCase, incoming: &tcni_core::M
         }
         ProcCase::PReadDeferred => {
             assert!(ni.pop_outgoing().is_none());
-            assert_eq!(run.mem.peek(layout::CELL + 4), layout::NODES, "new node prepended");
+            assert_eq!(
+                run.mem.peek(layout::CELL + 4),
+                layout::NODES,
+                "new node prepended"
+            );
             assert_eq!(
                 run.mem.peek(layout::NODES),
                 layout::NODES + 0x40,
@@ -277,7 +303,9 @@ fn validate_processing(run: &MeasureRun, case: ProcCase, incoming: &tcni_core::M
             assert_eq!(run.mem.peek(layout::CELL), protocol::tag::FULL);
             assert_eq!(run.mem.peek(layout::CELL + 4), 0xABCD);
             for i in 0..n {
-                let reply = ni.pop_outgoing().unwrap_or_else(|| panic!("reply {i} of {n}"));
+                let reply = ni
+                    .pop_outgoing()
+                    .unwrap_or_else(|| panic!("reply {i} of {n}"));
                 assert_eq!(reply.words[2], 0xABCD, "forwarded value");
                 assert_eq!(
                     reply.words[0] & 0x00FF_FFFF,
@@ -351,38 +379,49 @@ impl fmt::Display for Table1 {
             "{:<24} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
             header[0], header[1], header[2], header[3], header[4], header[5], header[6]
         )?;
-        let row =
-            |f: &mut fmt::Formatter<'_>, label: &str, get: &dyn Fn(&ModelCosts) -> String| -> fmt::Result {
-                writeln!(
-                    f,
-                    "{:<24} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-                    label,
-                    get(&self.models[0]),
-                    get(&self.models[1]),
-                    get(&self.models[2]),
-                    get(&self.models[3]),
-                    get(&self.models[4]),
-                    get(&self.models[5]),
-                )
-            };
+        let row = |f: &mut fmt::Formatter<'_>,
+                   label: &str,
+                   get: &dyn Fn(&ModelCosts) -> String|
+         -> fmt::Result {
+            writeln!(
+                f,
+                "{:<24} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+                label,
+                get(&self.models[0]),
+                get(&self.models[1]),
+                get(&self.models[2]),
+                get(&self.models[3]),
+                get(&self.models[4]),
+                get(&self.models[5]),
+            )
+        };
         writeln!(f, "SENDING")?;
         for kind in SendKind::ALL {
-            row(f, &format!("  {}", kind.label()), &|m| m.sending(kind).to_string())?;
+            row(f, &format!("  {}", kind.label()), &|m| {
+                m.sending(kind).to_string()
+            })?;
         }
         writeln!(f, "DISPATCHING")?;
         row(f, "  -", &|m| m.dispatch.to_string())?;
         writeln!(f, "PROCESSING")?;
         for k in 0..3 {
-            row(f, &format!("  Send ({k} words)"), &|m| m.proc_send[k].to_string())?;
+            row(f, &format!("  Send ({k} words)"), &|m| {
+                m.proc_send[k].to_string()
+            })?;
         }
         row(f, "  Read", &|m| m.proc_read.to_string())?;
         row(f, "  Write", &|m| m.proc_write.to_string())?;
         row(f, "  PRead (full)", &|m| m.proc_pread_full.to_string())?;
         row(f, "  PRead (empty)", &|m| m.proc_pread_empty.to_string())?;
-        row(f, "  PRead (deferred)", &|m| m.proc_pread_deferred.to_string())?;
+        row(f, "  PRead (deferred)", &|m| {
+            m.proc_pread_deferred.to_string()
+        })?;
         row(f, "  PWrite (empty)", &|m| m.proc_pwrite_empty.to_string())?;
         row(f, "  PWrite (deferred)", &|m| {
-            format!("{}+{}n", m.proc_pwrite_deferred_base, m.proc_pwrite_deferred_slope)
+            format!(
+                "{}+{}n",
+                m.proc_pwrite_deferred_base, m.proc_pwrite_deferred_slope
+            )
         })?;
         Ok(())
     }

@@ -47,11 +47,17 @@ impl fmt::Display for AsmError {
             AsmError::DuplicateLabel(l) => write!(f, "label `{l}` defined twice"),
             AsmError::UndefinedLabel(l) => write!(f, "branch to undefined label `{l}`"),
             AsmError::OrgBackwards { at, requested } => {
-                write!(f, "org {requested:#x} is behind the location counter {at:#x}")
+                write!(
+                    f,
+                    "org {requested:#x} is behind the location counter {at:#x}"
+                )
             }
             AsmError::Misaligned(a) => write!(f, "address {a:#x} is not 4-byte aligned"),
             AsmError::NiOnNonTriadic(i) => {
-                write!(f, "instruction #{i} carries an NI command but is not triadic")
+                write!(
+                    f,
+                    "instruction #{i} carries an NI command but is not triadic"
+                )
             }
         }
     }
@@ -287,7 +293,13 @@ impl Assembler {
 
     /// Emits a floating-point instruction with an NI command.
     pub fn fp_ni(&mut self, op: FpOp, rd: Reg, rs1: Reg, rs2: Reg, ni: NiCmd) -> &mut Self {
-        self.emit(Instr::Fp { op, rd, rs1, rs2, ni })
+        self.emit(Instr::Fp {
+            op,
+            rd,
+            rs1,
+            rs2,
+            ni,
+        })
     }
 
     // --- memory -----------------------------------------------------------
@@ -378,7 +390,10 @@ impl Assembler {
 
     /// Indirect jump through a register.
     pub fn jmp(&mut self, rs: Reg) -> &mut Self {
-        self.emit(Instr::Jmp { rs, ni: NiCmd::NONE })
+        self.emit(Instr::Jmp {
+            rs,
+            ni: NiCmd::NONE,
+        })
     }
 
     /// Indirect jump carrying an NI command (`jmp MsgIp, NEXT` style).
@@ -492,7 +507,10 @@ mod tests {
         a.nop();
         a.label("x");
         a.halt();
-        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".to_owned()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".to_owned())
+        );
     }
 
     #[test]

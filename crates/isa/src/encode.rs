@@ -70,7 +70,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::TargetOutOfRange(t) => {
-                write!(f, "branch target {t:#x} unencodable (misaligned or too far)")
+                write!(
+                    f,
+                    "branch target {t:#x} unencodable (misaligned or too far)"
+                )
             }
         }
     }
@@ -121,7 +124,13 @@ pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
     let w = match *instr {
         Instr::Nop => OP_NOP << 26,
         Instr::Halt => OP_HALT << 26,
-        Instr::Alu { op, rd, rs1, rs2, ni } => match rs2 {
+        Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2,
+            ni,
+        } => match rs2 {
             Operand::Reg(r2) => {
                 (OP_ALU_REG << 26)
                     | (alu_index(op) << 22)
@@ -137,7 +146,13 @@ pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
                     | u32::from(imm)
             }
         },
-        Instr::Fp { op, rd, rs1, rs2, ni } => {
+        Instr::Fp {
+            op,
+            rd,
+            rs1,
+            rs2,
+            ni,
+        } => {
             (OP_FP << 26)
                 | (fp_index(op) << 23)
                 | reg_field(rd, 18)
@@ -172,7 +187,10 @@ pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
         },
         Instr::Br { target } => (OP_BR << 26) | word_target(target, 26)?,
         Instr::Bcnd { cond, rs, target } => {
-            (OP_BCND << 26) | (cond_index(cond) << 23) | reg_field(rs, 18) | word_target(target, 18)?
+            (OP_BCND << 26)
+                | (cond_index(cond) << 23)
+                | reg_field(rs, 18)
+                | word_target(target, 18)?
         }
         Instr::Jmp { rs, ni } => (OP_JMP << 26) | reg_field(rs, 21) | u32::from(ni.bits()),
         Instr::Bsr { target } => (OP_BSR << 26) | word_target(target, 26)?,
@@ -318,7 +336,10 @@ mod tests {
             rs2: Reg::R11,
             ni: NiCmd::next(),
         });
-        roundtrip(Instr::Lui { rd: Reg::R31, imm: 0xFFFF });
+        roundtrip(Instr::Lui {
+            rd: Reg::R31,
+            imm: 0xFFFF,
+        });
         roundtrip(Instr::Ld {
             rd: Reg::R2,
             base: Reg::R3,

@@ -152,7 +152,14 @@ pub enum Cond {
 
 impl Cond {
     /// All branch conditions, for exhaustive testing.
-    pub const ALL: [Cond; 6] = [Cond::Eq0, Cond::Ne0, Cond::Lt0, Cond::Ge0, Cond::Gt0, Cond::Le0];
+    pub const ALL: [Cond; 6] = [
+        Cond::Eq0,
+        Cond::Ne0,
+        Cond::Lt0,
+        Cond::Ge0,
+        Cond::Gt0,
+        Cond::Le0,
+    ];
 
     /// Evaluates the condition against a register value.
     pub fn eval(self, v: u32) -> bool {
@@ -248,7 +255,11 @@ pub enum CostClass {
 
 impl CostClass {
     /// All cost classes.
-    pub const ALL: [CostClass; 3] = [CostClass::Compute, CostClass::Dispatch, CostClass::Communication];
+    pub const ALL: [CostClass; 3] = [
+        CostClass::Compute,
+        CostClass::Dispatch,
+        CostClass::Communication,
+    ];
 }
 
 impl fmt::Display for CostClass {
@@ -408,9 +419,10 @@ impl Instr {
     /// The destination register written by this instruction, if any.
     pub fn dest(&self) -> Option<Reg> {
         match self {
-            Instr::Alu { rd, .. } | Instr::Fp { rd, .. } | Instr::Lui { rd, .. } | Instr::Ld { rd, .. } => {
-                Some(*rd)
-            }
+            Instr::Alu { rd, .. }
+            | Instr::Fp { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::Ld { rd, .. } => Some(*rd),
             Instr::Bsr { .. } | Instr::Jsr { .. } => Some(Reg::R1),
             _ => None,
         }
@@ -462,11 +474,23 @@ impl fmt::Display for Instr {
             Ok(())
         }
         match self {
-            Instr::Alu { op, rd, rs1, rs2, ni } => {
+            Instr::Alu {
+                op,
+                rd,
+                rs1,
+                rs2,
+                ni,
+            } => {
                 write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())?;
                 ni_suffix(f, ni)
             }
-            Instr::Fp { op, rd, rs1, rs2, ni } => {
+            Instr::Fp {
+                op,
+                rd,
+                rs1,
+                rs2,
+                ni,
+            } => {
                 write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())?;
                 ni_suffix(f, ni)
             }
@@ -547,7 +571,11 @@ mod tests {
             ni: NiCmd::NONE,
         };
         assert!(!dyadic.is_triadic());
-        assert!(Instr::Jmp { rs: Reg::R2, ni: NiCmd::NONE }.is_triadic());
+        assert!(Instr::Jmp {
+            rs: Reg::R2,
+            ni: NiCmd::NONE
+        }
+        .is_triadic());
     }
 
     #[test]

@@ -133,7 +133,8 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let by_addr: BTreeMap<u32, &str> = self.labels.iter().map(|(k, v)| (*v, k.as_str())).collect();
+        let by_addr: BTreeMap<u32, &str> =
+            self.labels.iter().map(|(k, v)| (*v, k.as_str())).collect();
         for (addr, ins) in self.iter() {
             if let Some(name) = by_addr.get(&addr) {
                 writeln!(f, "{name}:")?;

@@ -106,7 +106,6 @@ impl Reg {
     }
 }
 
-
 impl fmt::Display for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "r{}", self.index())

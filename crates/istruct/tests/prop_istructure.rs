@@ -19,9 +19,15 @@ fn arb_ops(rng: &mut Rng, slots: usize, len: usize) -> Vec<Op> {
         .map(|_| {
             let slot = rng.index(slots);
             if rng.bool() {
-                Op::Fetch { slot, reader: rng.u32() }
+                Op::Fetch {
+                    slot,
+                    reader: rng.u32(),
+                }
             } else {
-                Op::Store { slot, value: rng.u32() }
+                Op::Store {
+                    slot,
+                    value: rng.u32(),
+                }
             }
         })
         .collect()
@@ -41,7 +47,10 @@ fn every_reader_gets_the_value_exactly_once() {
         for op in ops {
             match op {
                 Op::Fetch { slot, reader } => {
-                    let r = Reader { fp: reader, ip: reader ^ 1 };
+                    let r = Reader {
+                        fp: reader,
+                        ip: reader ^ 1,
+                    };
                     match ist.fetch(slot, r) {
                         FetchOutcome::Value(v) => {
                             assert_eq!(Some(v), written[slot], "full fetch sees the write");
@@ -53,30 +62,28 @@ fn every_reader_gets_the_value_exactly_once() {
                         }
                     }
                 }
-                Op::Store { slot, value } => {
-                    match ist.store(slot, value) {
-                        Ok(StoreOutcome::FilledEmpty) => {
-                            assert!(written[slot].is_none());
-                            assert!(expected_deferred[slot].is_empty());
-                            written[slot] = Some(value);
-                        }
-                        Ok(StoreOutcome::SatisfiedDeferred(readers)) => {
-                            assert!(written[slot].is_none());
-                            let got: Vec<u32> = readers.iter().map(|r| r.fp).collect();
-                            assert_eq!(&got, &expected_deferred[slot], "deferral order");
-                            for r in readers {
-                                assert_eq!(r.ip, r.fp ^ 1, "continuation intact");
-                                satisfied[slot].push((r.fp, value));
-                            }
-                            expected_deferred[slot].clear();
-                            written[slot] = Some(value);
-                        }
-                        Err(e) => {
-                            assert_eq!(Some(e.existing), written[slot]);
-                            assert_eq!(e.attempted, value);
-                        }
+                Op::Store { slot, value } => match ist.store(slot, value) {
+                    Ok(StoreOutcome::FilledEmpty) => {
+                        assert!(written[slot].is_none());
+                        assert!(expected_deferred[slot].is_empty());
+                        written[slot] = Some(value);
                     }
-                }
+                    Ok(StoreOutcome::SatisfiedDeferred(readers)) => {
+                        assert!(written[slot].is_none());
+                        let got: Vec<u32> = readers.iter().map(|r| r.fp).collect();
+                        assert_eq!(&got, &expected_deferred[slot], "deferral order");
+                        for r in readers {
+                            assert_eq!(r.ip, r.fp ^ 1, "continuation intact");
+                            satisfied[slot].push((r.fp, value));
+                        }
+                        expected_deferred[slot].clear();
+                        written[slot] = Some(value);
+                    }
+                    Err(e) => {
+                        assert_eq!(Some(e.existing), written[slot]);
+                        assert_eq!(e.attempted, value);
+                    }
+                },
             }
         }
 

@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use tcni_core::{Message, NodeId};
 
 use crate::stats::NetStats;
-use crate::Network;
+use crate::{InjectError, Network};
 
 struct InFlight {
     msg: Message,
@@ -74,12 +74,11 @@ impl Network for IdealNetwork {
         self.queues.len()
     }
 
-    fn inject(&mut self, _src: NodeId, msg: Message) -> Result<(), Message> {
+    fn inject(&mut self, _src: NodeId, msg: Message) -> Result<(), InjectError> {
         let dst = msg.dest();
         if dst.index() >= self.queues.len() {
-            // Misaddressed messages are dropped by the fabric; the sender's
-            // model already validated destinations, so treat as a bug.
-            panic!("message addressed to nonexistent node {dst}");
+            self.stats.bad_dest += 1;
+            return Err(InjectError::BadDest(msg));
         }
         self.queues[dst.index()].push_back(InFlight {
             msg,
@@ -106,8 +105,7 @@ impl Network for IdealNetwork {
         }
         let p = self.queues[dst.index()].pop_front().expect("checked above");
         self.in_flight -= 1;
-        self.stats.delivered += 1;
-        self.stats.total_latency += self.now - p.injected_at;
+        self.stats.record_delivery(self.now - p.injected_at);
         Some(p.msg)
     }
 
@@ -144,7 +142,11 @@ mod tests {
     use tcni_isa::MsgType;
 
     fn msg(dst: u8, tag: u32) -> Message {
-        Message::to(NodeId::new(dst), [tag, tag, 0, 0, 0], MsgType::new(2).unwrap())
+        Message::to(
+            NodeId::new(dst),
+            [tag, tag, 0, 0, 0],
+            MsgType::new(2).unwrap(),
+        )
     }
 
     #[test]
@@ -181,9 +183,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonexistent node")]
-    fn misaddressed_message_panics() {
+    fn misaddressed_message_is_a_typed_error() {
         let mut net = IdealNetwork::new(2, 0);
-        let _ = net.inject(NodeId::new(0), msg(7, 0));
+        let m = msg(7, 3);
+        match net.inject(NodeId::new(0), m) {
+            Err(InjectError::BadDest(back)) => assert_eq!(back, m),
+            other => panic!("expected BadDest, got {other:?}"),
+        }
+        assert_eq!(net.stats().bad_dest, 1);
+        assert_eq!(net.stats().injected, 0);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn latency_histogram_matches_deliveries() {
+        let mut net = IdealNetwork::new(2, 3);
+        net.inject(NodeId::new(0), msg(1, 1)).unwrap();
+        net.inject(NodeId::new(0), msg(1, 2)).unwrap();
+        for _ in 0..8 {
+            net.tick();
+            while net.eject(NodeId::new(1)).is_some() {}
+        }
+        let stats = net.stats();
+        assert_eq!(stats.latency_hist.total(), stats.delivered);
+        // Both messages took exactly 3 cycles → bucket [2, 3].
+        assert_eq!(stats.latency_hist.buckets()[2], 2);
     }
 }

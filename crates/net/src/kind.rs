@@ -3,7 +3,7 @@
 use tcni_core::{Message, NodeId};
 
 use crate::stats::NetStats;
-use crate::{IdealNetwork, Mesh2d, Network};
+use crate::{IdealNetwork, InjectError, Mesh2d, Network};
 
 /// The two fabrics, as a closed enum.
 ///
@@ -30,6 +30,15 @@ impl NetworkKind {
 
     /// The mesh fabric, if that is what this is.
     pub fn as_mesh(&self) -> Option<&Mesh2d> {
+        match self {
+            NetworkKind::Ideal(_) => None,
+            NetworkKind::Mesh(n) => Some(n),
+        }
+    }
+
+    /// Mutable access to the mesh fabric, if that is what this is (used to
+    /// toggle per-link observability).
+    pub fn as_mesh_mut(&mut self) -> Option<&mut Mesh2d> {
         match self {
             NetworkKind::Ideal(_) => None,
             NetworkKind::Mesh(n) => Some(n),
@@ -63,7 +72,7 @@ impl Network for NetworkKind {
         delegate!(self, n => n.node_count())
     }
 
-    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), Message> {
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
         delegate!(self, n => n.inject(src, msg))
     }
 
@@ -114,6 +123,10 @@ mod tests {
 
         let mesh = NetworkKind::from(Mesh2d::new(crate::MeshConfig::new(2, 2)));
         assert_eq!(mesh.node_count(), 4);
-        assert_eq!(mesh.next_arrival(), None, "the mesh cannot predict arrivals");
+        assert_eq!(
+            mesh.next_arrival(),
+            None,
+            "the mesh cannot predict arrivals"
+        );
     }
 }

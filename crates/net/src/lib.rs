@@ -30,10 +30,38 @@ mod stats;
 
 pub use ideal::IdealNetwork;
 pub use kind::NetworkKind;
-pub use mesh::{Mesh2d, MeshConfig};
-pub use stats::NetStats;
+pub use mesh::{LinkReport, LinkStats, Mesh2d, MeshConfig};
+pub use stats::{LatencyHist, NetStats};
 
 use tcni_core::{Message, NodeId};
+
+/// Why a [`Network::inject`] was not accepted. Both variants hand the
+/// message back to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// The entry buffer was full; keep the message queued and retry — this
+    /// is the boundary where congestion backs up into the sender's output
+    /// queue (§2.1.1).
+    Refused(Message),
+    /// The destination node does not exist on this fabric. The message can
+    /// never be delivered; retrying is futile. The machine simulator drops
+    /// such messages (counted in [`NetStats::bad_dest`]).
+    BadDest(Message),
+}
+
+impl InjectError {
+    /// Recovers the rejected message regardless of the reason.
+    pub fn into_message(self) -> Message {
+        match self {
+            InjectError::Refused(m) | InjectError::BadDest(m) => m,
+        }
+    }
+
+    /// Whether retrying the injection later can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, InjectError::Refused(_))
+    }
+}
 
 /// A message-delivery fabric connecting the nodes' network interfaces.
 ///
@@ -49,10 +77,12 @@ pub trait Network {
     ///
     /// # Errors
     ///
-    /// Returns `Err(msg)` when the injection buffer is full; the caller must
-    /// keep the message queued and retry — this is the boundary where
-    /// congestion backs up into the sender's output queue.
-    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), Message>;
+    /// [`InjectError::Refused`] when the injection buffer is full (keep the
+    /// message queued and retry — this is the boundary where congestion
+    /// backs up into the sender's output queue);
+    /// [`InjectError::BadDest`] when the destination is not a node of this
+    /// fabric (retrying cannot help; the caller decides whether to drop).
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError>;
 
     /// The message ready for delivery at `dst` this cycle, if any.
     fn peek_eject(&self, dst: NodeId) -> Option<&Message>;

@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use tcni_core::{Message, NodeId};
 
 use crate::stats::NetStats;
-use crate::Network;
+use crate::{InjectError, Network};
 
 /// Configuration for [`Mesh2d`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,32 @@ enum Dir {
 const DIR_COUNT: usize = 6;
 const MOVE_ORDER: [Dir; 5] = [Dir::East, Dir::West, Dir::North, Dir::South, Dir::Inject];
 
+/// Display/export names for the six channel roles, indexed by `Dir`.
+const DIR_NAMES: [&str; DIR_COUNT] = ["inject", "east", "west", "north", "south", "eject"];
+
+/// Per-channel observability counters (see [`Mesh2d::set_observe`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// High-water mark of the channel FIFO's occupancy, in packets.
+    pub hwm: usize,
+    /// Head-of-line moves out of this channel that were blocked by a full
+    /// downstream buffer.
+    pub blocked: u64,
+}
+
+/// One channel's stats with its location, as reported by
+/// [`Mesh2d::link_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkReport {
+    /// The node the channel belongs to.
+    pub node: usize,
+    /// The channel role (`"inject"`, `"east"`, `"west"`, `"north"`,
+    /// `"south"`, `"eject"`).
+    pub dir: &'static str,
+    /// The counters.
+    pub stats: LinkStats,
+}
+
 #[derive(Debug)]
 struct Packet {
     msg: Message,
@@ -91,6 +117,11 @@ pub struct Mesh2d {
     now: u64,
     in_flight: usize,
     stats: NetStats,
+    /// Whether per-link counters are maintained (off by default: the
+    /// per-hop updates, while cheap, are not free — see
+    /// [`set_observe`](Mesh2d::set_observe)).
+    observe: bool,
+    links: Vec<LinkStats>,
 }
 
 impl Mesh2d {
@@ -101,7 +132,10 @@ impl Mesh2d {
     /// Panics if any dimension or capacity is zero, or if the mesh exceeds
     /// the 256-node address space of [`NodeId`].
     pub fn new(config: MeshConfig) -> Mesh2d {
-        assert!(config.width > 0 && config.height > 0, "mesh dimensions must be non-zero");
+        assert!(
+            config.width > 0 && config.height > 0,
+            "mesh dimensions must be non-zero"
+        );
         assert!(
             config.width * config.height <= 256,
             "mesh larger than the NodeId address space"
@@ -120,10 +154,56 @@ impl Mesh2d {
         };
         Mesh2d {
             config,
-            chans: (0..n * DIR_COUNT).map(|i| VecDeque::with_capacity(cap(i))).collect(),
+            chans: (0..n * DIR_COUNT)
+                .map(|i| VecDeque::with_capacity(cap(i)))
+                .collect(),
             now: 0,
             in_flight: 0,
             stats: NetStats::default(),
+            observe: false,
+            links: Vec::new(),
+        }
+    }
+
+    /// Enables or disables per-link observability counters.
+    ///
+    /// When enabled, every channel push updates that channel's occupancy
+    /// high-water mark and every blocked head-of-line move increments its
+    /// per-channel blocked counter. Disabled (the default), the hot path
+    /// carries only a branch on a cold flag and the aggregate [`NetStats`]
+    /// are unchanged either way. Enabling mid-run starts the per-link
+    /// counters from zero; disabling keeps the counts gathered so far.
+    pub fn set_observe(&mut self, on: bool) {
+        if on && self.links.is_empty() {
+            self.links = vec![LinkStats::default(); self.chans.len()];
+        }
+        self.observe = on;
+    }
+
+    /// Whether per-link counters are being maintained.
+    pub fn observe(&self) -> bool {
+        self.observe
+    }
+
+    /// A snapshot of every channel's counters, in `(node, dir)` order.
+    /// Empty unless [`set_observe`](Mesh2d::set_observe) has been called.
+    pub fn link_stats(&self) -> Vec<LinkReport> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &stats)| LinkReport {
+                node: i / DIR_COUNT,
+                dir: DIR_NAMES[i % DIR_COUNT],
+                stats,
+            })
+            .collect()
+    }
+
+    fn note_push(&mut self, idx: usize) {
+        if self.observe {
+            let depth = self.chans[idx].len();
+            let link = &mut self.links[idx];
+            link.hwm = link.hwm.max(depth);
         }
     }
 
@@ -189,16 +269,15 @@ impl Network for Mesh2d {
         self.config.width * self.config.height
     }
 
-    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), Message> {
-        assert!(
-            msg.dest().index() < self.node_count(),
-            "message addressed to nonexistent node {}",
-            msg.dest()
-        );
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
+        if msg.dest().index() >= self.node_count() {
+            self.stats.bad_dest += 1;
+            return Err(InjectError::BadDest(msg));
+        }
         let idx = self.chan_index(src.index(), Dir::Inject);
         if self.chans[idx].len() >= self.config.inject_capacity {
             self.stats.inject_refusals += 1;
-            return Err(msg);
+            return Err(InjectError::Refused(msg));
         }
         self.chans[idx].push_back(Packet {
             msg,
@@ -208,6 +287,7 @@ impl Network for Mesh2d {
         self.in_flight += 1;
         self.stats.injected += 1;
         self.stats.in_flight_hwm = self.stats.in_flight_hwm.max(self.in_flight);
+        self.note_push(idx);
         Ok(())
     }
 
@@ -221,8 +301,7 @@ impl Network for Mesh2d {
         let idx = self.chan_index(dst.index(), Dir::Eject);
         let p = self.chans[idx].pop_front()?;
         self.in_flight -= 1;
-        self.stats.delivered += 1;
-        self.stats.total_latency += self.now - p.injected_at;
+        self.stats.record_delivery(self.now - p.injected_at);
         Some(p.msg)
     }
 
@@ -248,11 +327,15 @@ impl Network for Mesh2d {
                 let next_idx = self.chan_index(loc, next_dir);
                 if self.chans[next_idx].len() >= self.cap_of(next_dir) {
                     self.stats.blocked_hops += 1;
+                    if self.observe {
+                        self.links[src_idx].blocked += 1;
+                    }
                     continue;
                 }
                 let mut p = self.chans[src_idx].pop_front().expect("head checked");
                 p.moved_at = self.now;
                 self.chans[next_idx].push_back(p);
+                self.note_push(next_idx);
             }
         }
     }
@@ -272,7 +355,11 @@ mod tests {
     use tcni_isa::MsgType;
 
     fn msg(dst: u8, tag: u32) -> Message {
-        Message::to(NodeId::new(dst), [0, tag, 0, 0, 0], MsgType::new(2).unwrap())
+        Message::to(
+            NodeId::new(dst),
+            [0, tag, 0, 0, 0],
+            MsgType::new(2).unwrap(),
+        )
     }
 
     fn drain(net: &mut Mesh2d, dst: u8, budget: usize) -> Vec<u32> {
@@ -313,8 +400,8 @@ mod tests {
             loop {
                 match net.inject(NodeId::new(0), m) {
                     Ok(()) => break,
-                    Err(back) => {
-                        m = back;
+                    Err(e) => {
+                        m = e.into_message();
                         net.tick();
                     }
                 }
@@ -362,7 +449,10 @@ mod tests {
             }
         }
         assert_eq!(arrivals.len(), 2);
-        assert!(arrivals[0].0 < arrivals[1].0, "serialized over the link: {arrivals:?}");
+        assert!(
+            arrivals[0].0 < arrivals[1].0,
+            "serialized over the link: {arrivals:?}"
+        );
     }
 
     #[test]
@@ -377,8 +467,8 @@ mod tests {
                 loop {
                     match net.inject(NodeId::new(s), m) {
                         Ok(()) => break,
-                        Err(back) => {
-                            m = back;
+                        Err(e) => {
+                            m = e.into_message();
                             net.tick();
                             for node in 0..n {
                                 while net.eject(NodeId::new(node)).is_some() {}
@@ -400,9 +490,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonexistent node")]
-    fn misaddressed_message_panics() {
+    fn misaddressed_message_is_a_typed_error() {
         let mut net = Mesh2d::new(MeshConfig::new(2, 2));
-        let _ = net.inject(NodeId::new(0), msg(9, 0));
+        let m = msg(9, 0);
+        match net.inject(NodeId::new(0), m) {
+            Err(InjectError::BadDest(back)) => assert_eq!(back, m),
+            other => panic!("expected BadDest, got {other:?}"),
+        }
+        assert_eq!(net.stats().bad_dest, 1);
+        assert_eq!(net.stats().injected, 0);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn link_stats_track_occupancy_and_blocking() {
+        let cfg = MeshConfig::new(2, 1);
+        let mut net = Mesh2d::new(cfg);
+        net.set_observe(true);
+        assert!(net.observe());
+        // Fill node 1's eject buffer by never draining it.
+        for tag in 0..16u32 {
+            let _ = net.inject(NodeId::new(0), msg(1, tag));
+            net.tick();
+        }
+        let by_key = |reports: &[LinkReport], node: usize, dir: &str| -> LinkStats {
+            reports
+                .iter()
+                .find(|r| r.node == node && r.dir == dir)
+                .expect("channel present")
+                .stats
+        };
+        let reports = net.link_stats();
+        assert_eq!(reports.len(), 2 * DIR_COUNT);
+        // The stalled receiver's eject buffer hit capacity, and the link
+        // feeding it recorded blocked head-of-line moves.
+        assert_eq!(by_key(&reports, 1, "eject").hwm, cfg.eject_capacity);
+        assert!(by_key(&reports, 0, "east").blocked > 0);
+        // Per-link blocked counts decompose the aggregate counter.
+        let total: u64 = reports.iter().map(|r| r.stats.blocked).sum();
+        assert_eq!(total, net.stats().blocked_hops);
+        // Nothing travels west in this workload.
+        assert_eq!(by_key(&reports, 1, "west").hwm, 0);
+    }
+
+    #[test]
+    fn link_stats_empty_when_not_observing() {
+        let mut net = Mesh2d::new(MeshConfig::new(2, 2));
+        net.inject(NodeId::new(0), msg(3, 1)).unwrap();
+        for _ in 0..8 {
+            net.tick();
+        }
+        assert!(net.link_stats().is_empty());
     }
 }

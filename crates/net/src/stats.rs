@@ -2,6 +2,83 @@
 
 use std::fmt;
 
+/// A fixed-bucket latency histogram with power-of-two bucket boundaries.
+///
+/// Bucket `0` counts zero-cycle deliveries; bucket `i ≥ 1` counts latencies
+/// in `[2^(i-1), 2^i - 1]`; the last bucket is open-ended. Recording is a
+/// shift and an increment — no floats anywhere near the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHist {
+    buckets: [u64; LatencyHist::BUCKETS],
+}
+
+impl LatencyHist {
+    /// Number of buckets (the last one is open-ended).
+    pub const BUCKETS: usize = 16;
+
+    /// The bucket index a latency falls into.
+    pub fn bucket_of(latency: u64) -> usize {
+        match latency {
+            0 => 0,
+            l => ((64 - l.leading_zeros()) as usize).min(Self::BUCKETS - 1),
+        }
+    }
+
+    /// The inclusive `(lo, hi)` latency range of bucket `i`; the final
+    /// bucket's `hi` is `u64::MAX`.
+    pub fn bounds(i: usize) -> (u64, u64) {
+        assert!(i < Self::BUCKETS);
+        match i {
+            0 => (0, 0),
+            i if i == Self::BUCKETS - 1 => (1 << (i - 1), u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Counts one delivery with the given latency.
+    pub fn record(&mut self, latency: u64) {
+        self.buckets[Self::bucket_of(latency)] += 1;
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total recorded deliveries (equals `NetStats::delivered` when the
+    /// fabric maintains the histogram).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+impl fmt::Display for LatencyHist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        if total == 0 {
+            return writeln!(f, "latency histogram: (no deliveries)");
+        }
+        writeln!(f, "latency histogram ({total} deliveries):")?;
+        let peak = *self.buckets.iter().max().expect("non-empty");
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (lo, hi) = Self::bounds(i);
+            let label = if hi == u64::MAX {
+                format!("{lo}+")
+            } else if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            };
+            let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+            writeln!(f, "  {label:>12} {count:>8}  {bar}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Counters common to all [`crate::Network`] implementations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -11,13 +88,29 @@ pub struct NetStats {
     pub delivered: u64,
     /// Injections refused because the entry buffer was full.
     pub inject_refusals: u64,
-    /// Sum of per-message latencies (inject→eject), in cycles.
+    /// Injections rejected because the destination does not exist on this
+    /// fabric (counted per attempt; see [`crate::InjectError::BadDest`]).
+    pub bad_dest: u64,
+    /// Sum of per-message latencies, in cycles.
+    ///
+    /// **Convention:** latency is the fabric residency of a message — from
+    /// the cycle its injection was *accepted* (which, on the mesh, includes
+    /// time spent queued in the injection FIFO) to the cycle it was ejected
+    /// (including time spent deliverable but not yet drained by the
+    /// receiver). Driven by the machine simulator, this equals
+    /// `Delivered.cycle - Sent.cycle` of the corresponding trace events, and
+    /// is never less than 1: the hand-off from the injection phase of one
+    /// cycle is visible to the receiver no earlier than the next cycle, so a
+    /// zero-latency ideal fabric reports latency 1.
     pub total_latency: u64,
     /// Packet moves blocked by a full downstream buffer (contention measure;
     /// always zero for the ideal network).
     pub blocked_hops: u64,
     /// High-water mark of in-flight messages.
     pub in_flight_hwm: usize,
+    /// Per-delivery latency distribution (same convention as
+    /// [`total_latency`](NetStats::total_latency)).
+    pub latency_hist: LatencyHist,
 }
 
 impl NetStats {
@@ -25,19 +118,31 @@ impl NetStats {
     pub fn mean_latency(&self) -> Option<f64> {
         (self.delivered > 0).then(|| self.total_latency as f64 / self.delivered as f64)
     }
+
+    pub(crate) fn record_delivery(&mut self, latency: u64) {
+        self.delivered += 1;
+        self.total_latency += latency;
+        self.latency_hist.record(latency);
+    }
 }
 
 impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "net(injected={} delivered={} refusals={} mean_latency={:.2} blocked={} hwm={})",
-            self.injected,
-            self.delivered,
-            self.inject_refusals,
-            self.mean_latency().unwrap_or(0.0),
-            self.blocked_hops,
-            self.in_flight_hwm,
+            "net(injected={} delivered={} refusals={} bad_dest={} mean_latency=",
+            self.injected, self.delivered, self.inject_refusals, self.bad_dest,
+        )?;
+        // "No deliveries yet" and "zero mean latency" are different facts;
+        // print n/a rather than a fake 0.00.
+        match self.mean_latency() {
+            Some(mean) => write!(f, "{mean:.2}")?,
+            None => write!(f, "n/a")?,
+        }
+        write!(
+            f,
+            " blocked={} hwm={})",
+            self.blocked_hops, self.in_flight_hwm,
         )
     }
 }
@@ -53,5 +158,51 @@ mod tests {
         s.delivered = 4;
         s.total_latency = 10;
         assert_eq!(s.mean_latency(), Some(2.5));
+    }
+
+    #[test]
+    fn display_prints_na_before_any_delivery() {
+        let mut s = NetStats::default();
+        s.injected = 3;
+        let text = s.to_string();
+        assert!(text.contains("mean_latency=n/a"), "{text}");
+        s.delivered = 2;
+        s.total_latency = 5;
+        let text = s.to_string();
+        assert!(text.contains("mean_latency=2.50"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(LatencyHist::bucket_of(0), 0);
+        assert_eq!(LatencyHist::bucket_of(1), 1);
+        assert_eq!(LatencyHist::bucket_of(2), 2);
+        assert_eq!(LatencyHist::bucket_of(3), 2);
+        assert_eq!(LatencyHist::bucket_of(4), 3);
+        assert_eq!(LatencyHist::bucket_of(7), 3);
+        assert_eq!(LatencyHist::bucket_of(8), 4);
+        assert_eq!(LatencyHist::bucket_of(1 << 20), LatencyHist::BUCKETS - 1);
+        assert_eq!(LatencyHist::bucket_of(u64::MAX), LatencyHist::BUCKETS - 1);
+        for i in 0..LatencyHist::BUCKETS {
+            let (lo, hi) = LatencyHist::bounds(i);
+            assert_eq!(LatencyHist::bucket_of(lo), i);
+            if hi != u64::MAX {
+                assert_eq!(LatencyHist::bucket_of(hi), i);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_totals_and_display() {
+        let mut h = LatencyHist::default();
+        for lat in [0, 1, 1, 5, 300] {
+            h.record(lat);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        let text = h.to_string();
+        assert!(text.contains("5 deliveries"), "{text}");
+        assert!(LatencyHist::default().to_string().contains("no deliveries"));
     }
 }

@@ -58,9 +58,9 @@ impl NodeEnv<'_> {
                 Err(e) => Err(EnvFault::fault(format!("SCROLL-OUT rejected: {e}"))),
             }
         } else {
-            self.ni
-                .scroll_in()
-                .map_err(|e| EnvFault::fault(format!("SCROLL-IN failed after readiness check: {e}")))
+            self.ni.scroll_in().map_err(|e| {
+                EnvFault::fault(format!("SCROLL-IN failed after readiness check: {e}"))
+            })
         }
     }
 
@@ -105,7 +105,9 @@ impl Env for NodeEnv<'_> {
     fn mem_read(&mut self, addr: u32) -> Result<u32, EnvFault> {
         let Some(nia) = NiAddress::decode(addr) else {
             // Local decoder ignores the node field of global addresses.
-            return self.mem.mem_read(addr & tcni_core::mapping::LOCAL_ADDR_MASK);
+            return self
+                .mem
+                .mem_read(addr & tcni_core::mapping::LOCAL_ADDR_MASK);
         };
         self.ni_window_access()?;
         if nia.cmd.mode.sends() && self.ni.send_would_stall() {

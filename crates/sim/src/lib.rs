@@ -21,10 +21,12 @@ mod env;
 mod machine;
 mod model;
 mod node;
+mod obs;
 mod trace;
 
 pub use env::NodeEnv;
 pub use machine::{Machine, MachineBuilder, RunOutcome};
 pub use model::{Model, NiMapping};
 pub use node::Node;
+pub use obs::{MsgCounters, MsgSpan, NodeRollup, Obs, ObsReport, TRACE_SCHEMA};
 pub use trace::{Trace, TraceEvent};

@@ -5,10 +5,11 @@ use std::sync::Arc;
 use tcni_core::{FeatureLevel, NiConfig, NodeId};
 use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::Program;
-use tcni_net::{IdealNetwork, Mesh2d, MeshConfig, NetStats, Network, NetworkKind};
+use tcni_net::{IdealNetwork, InjectError, Mesh2d, MeshConfig, NetStats, Network, NetworkKind};
 
 use crate::model::{Model, NiMapping};
 use crate::node::Node;
+use crate::obs::{NodeRollup, Obs, ObsReport};
 use crate::trace::{Trace, TraceEvent};
 
 /// Why a [`Machine::run`] returned.
@@ -67,6 +68,7 @@ pub struct Machine {
     net: NetworkKind,
     cycle: u64,
     trace: Option<Trace>,
+    obs: Option<Obs>,
     /// Indices of nodes whose processor is still running, ascending. The
     /// ascending order matters: phase 2 injects in node order, which is the
     /// fabric's arbitration order for same-destination traffic.
@@ -136,6 +138,63 @@ impl Machine {
         self.trace.as_ref()
     }
 
+    /// Enables message-lifecycle observability, retaining at most
+    /// `span_capacity` completed [`crate::MsgSpan`]s (aggregates cover every
+    /// message regardless). On a mesh fabric this also turns on per-link
+    /// counters. Like tracing, the instrumented stepping path is a separate
+    /// monomorphization: a machine with observability disabled pays nothing.
+    pub fn enable_obs(&mut self, span_capacity: usize) {
+        self.obs = Some(Obs::new(self.nodes.len(), span_capacity));
+        if let Some(mesh) = self.net.as_mesh_mut() {
+            mesh.set_observe(true);
+        }
+    }
+
+    /// The observability collector, if enabled.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
+    }
+
+    /// A complete observability snapshot (`tcni-trace/1` payload), if
+    /// observability is enabled.
+    pub fn obs_report(&self) -> Option<ObsReport> {
+        let obs = self.obs.as_ref()?;
+        let rollups = obs.rollups();
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeRollup {
+                node: i,
+                cpu: n.cpu().stats(),
+                ni: n.ni().stats(),
+                msgs: rollups[i],
+            })
+            .collect();
+        Some(ObsReport {
+            cycles: self.cycle,
+            fabric: match self.net {
+                NetworkKind::Ideal(_) => "ideal",
+                NetworkKind::Mesh(_) => "mesh",
+            },
+            net: self.net.stats(),
+            links: self
+                .net
+                .as_mesh()
+                .map(Mesh2d::link_stats)
+                .unwrap_or_default(),
+            nodes,
+            spans: obs.spans().copied().collect(),
+            spans_dropped: obs.spans_dropped(),
+            spans_open: obs.spans_open(),
+        })
+    }
+
+    /// The network fabric.
+    pub fn network(&self) -> &NetworkKind {
+        &self.net
+    }
+
     /// Enables or disables the quiescence fast-forward (enabled by default).
     /// Results are identical either way; disabling forces the naive
     /// one-cycle-at-a-time loop, which the equivalence tests cross-check
@@ -174,18 +233,19 @@ impl Machine {
         if self.lists_dirty {
             self.refresh_lists();
         }
-        if self.trace.is_some() {
-            self.step_once::<true>();
-        } else {
-            self.step_once::<false>();
-        }
+        match (self.trace.is_some(), self.obs.is_some()) {
+            (false, false) => self.step_once::<false, false>(),
+            (true, false) => self.step_once::<true, false>(),
+            (false, true) => self.step_once::<false, true>(),
+            (true, true) => self.step_once::<true, true>(),
+        };
     }
 
     /// One full cycle. Returns (every running CPU environment-stalled,
     /// any interface state changed by the network phases).
-    fn step_once<const TRACED: bool>(&mut self) -> (bool, bool) {
-        let all_stalled = self.step_cpus::<TRACED>();
-        let changed = self.step_network::<TRACED>();
+    fn step_once<const TRACED: bool, const OBS: bool>(&mut self) -> (bool, bool) {
+        let all_stalled = self.step_cpus::<TRACED, OBS>();
+        let changed = self.step_network::<TRACED, OBS>();
         self.cycle += 1;
         (all_stalled, changed)
     }
@@ -193,7 +253,7 @@ impl Machine {
     /// Phase 1: processors execute. Only nodes on the active list step;
     /// stopping nodes migrate to the draining list (if their interface still
     /// holds messages) or drop out entirely.
-    fn step_cpus<const TRACED: bool>(&mut self) -> bool {
+    fn step_cpus<const TRACED: bool, const OBS: bool>(&mut self) -> bool {
         let cycle = self.cycle;
         let mut all_env_stalled = true;
         let mut k = 0;
@@ -202,6 +262,16 @@ impl Machine {
             let outcome = self.nodes[i].step();
             if outcome != StepOutcome::StalledEnv {
                 all_env_stalled = false;
+            }
+            if OBS {
+                // Output-depth increases are enqueues; input-depth decreases
+                // are dispatches. Both only happen while the CPU executes.
+                let ni = self.nodes[i].ni();
+                let out_len = ni.output_len();
+                let in_depth = ni.input_len() + usize::from(ni.msg_valid());
+                if let Some(o) = self.obs.as_mut() {
+                    o.after_cpu_node(i, out_len, in_depth, cycle);
+                }
             }
             if self.nodes[i].is_stopped() {
                 self.running.remove(k);
@@ -236,7 +306,7 @@ impl Machine {
     /// Phases 2–4: interfaces → network, fabric tick, network → interfaces.
     /// Returns whether any interface state changed (a message left an output
     /// queue or entered an input queue).
-    fn step_network<const TRACED: bool>(&mut self) -> bool {
+    fn step_network<const TRACED: bool, const OBS: bool>(&mut self) -> bool {
         let cycle = self.cycle;
         let mut changed = false;
         // Phase 2: one injection attempt per node with outgoing traffic, in
@@ -264,14 +334,39 @@ impl Machine {
                 (None, None) => break,
             };
             let ni = self.nodes[i].ni_mut();
-            if let Some(msg) = ni.peek_outgoing().copied() {
-                if self.net.inject(NodeId::new(i as u8), msg).is_ok() {
-                    self.nodes[i].ni_mut().pop_outgoing();
-                    changed = true;
-                    if TRACED {
-                        if let Some(t) = self.trace.as_mut() {
-                            t.record(TraceEvent::Sent { cycle, node: i, msg });
+            if let Some(mut msg) = ni.peek_outgoing().copied() {
+                if OBS {
+                    // Stamp the would-be sequence number; it is committed
+                    // only if the fabric accepts the injection.
+                    if let Some(o) = self.obs.as_ref() {
+                        msg.seq = o.peek_seq();
+                    }
+                }
+                match self.net.inject(NodeId::new(i as u8), msg) {
+                    Ok(()) => {
+                        self.nodes[i].ni_mut().pop_outgoing();
+                        changed = true;
+                        if OBS {
+                            if let Some(o) = self.obs.as_mut() {
+                                o.on_inject(i, msg.seq, cycle);
+                            }
                         }
+                        if TRACED {
+                            if let Some(t) = self.trace.as_mut() {
+                                t.record(TraceEvent::Sent {
+                                    cycle,
+                                    node: i,
+                                    msg,
+                                });
+                            }
+                        }
+                    }
+                    // Congestion: the message stays queued and the send
+                    // retries next cycle (backpressure, §2.1.1).
+                    Err(InjectError::Refused(_)) => {}
+                    Err(InjectError::BadDest(_)) => {
+                        self.drop_bad_dest::<OBS>(i);
+                        changed = true;
                     }
                 }
             }
@@ -279,7 +374,8 @@ impl Machine {
         // Stopped nodes whose last message just left stop being scanned.
         if !self.draining.is_empty() {
             let nodes = &self.nodes;
-            self.draining.retain(|&i| nodes[i].ni().peek_outgoing().is_some());
+            self.draining
+                .retain(|&i| nodes[i].ni().peek_outgoing().is_some());
         }
         // Phase 3: the fabric advances.
         self.net.tick();
@@ -294,16 +390,51 @@ impl Machine {
                     }
                     let msg = self.net.eject(dst).expect("peeked");
                     if TRACED {
+                        // Stamped cycle+1: the first cycle the receiving CPU
+                        // can observe the message, so Delivered − Sent equals
+                        // the fabric-accounted latency (see `TraceEvent`).
                         if let Some(t) = self.trace.as_mut() {
-                            t.record(TraceEvent::Delivered { cycle, node: i, msg });
+                            t.record(TraceEvent::Delivered {
+                                cycle: cycle + 1,
+                                node: i,
+                                msg,
+                            });
                         }
                     }
+                    let depth_before = if OBS {
+                        ni.input_len() + usize::from(ni.msg_valid())
+                    } else {
+                        0
+                    };
                     ni.push_incoming(msg).expect("can_accept checked");
+                    if OBS {
+                        let depth_after = ni.input_len() + usize::from(ni.msg_valid());
+                        if let Some(o) = self.obs.as_mut() {
+                            // An unchanged input depth means the interface
+                            // diverted the message to the privileged queue.
+                            o.on_deliver(i, msg.seq, cycle + 1, depth_after == depth_before);
+                        }
+                    }
                     changed = true;
                 }
             }
         }
         changed
+    }
+
+    /// The undeliverable-message path of phase 2, out of line: dropping it
+    /// beats wedging the output queue forever behind a message no fabric can
+    /// route, and keeping the code out of the injection loop keeps the
+    /// common path tight.
+    #[cold]
+    #[inline(never)]
+    fn drop_bad_dest<const OBS: bool>(&mut self, node: usize) {
+        self.nodes[node].ni_mut().pop_outgoing();
+        if OBS {
+            if let Some(o) = self.obs.as_mut() {
+                o.on_bad_dest(node);
+            }
+        }
     }
 
     /// Whether any node (running or draining) holds outgoing messages.
@@ -324,7 +455,7 @@ impl Machine {
     /// accounting: run network-only cycles — or jump, when the fabric can
     /// predict its next arrival — and bulk-charge the stall cycles at the
     /// end.
-    fn fast_forward<const TRACED: bool>(&mut self, limit: u64) {
+    fn fast_forward<const TRACED: bool, const OBS: bool>(&mut self, limit: u64) {
         let mut skipped: u64 = 0;
         while self.cycle < limit {
             if !self.any_outgoing() {
@@ -350,7 +481,7 @@ impl Machine {
                     }
                 }
             }
-            let changed = self.step_network::<TRACED>();
+            let changed = self.step_network::<TRACED, OBS>();
             self.cycle += 1;
             skipped += 1;
             if changed {
@@ -374,14 +505,15 @@ impl Machine {
         if self.lists_dirty {
             self.refresh_lists();
         }
-        if self.trace.is_some() {
-            self.run_impl::<true>(max_cycles)
-        } else {
-            self.run_impl::<false>(max_cycles)
+        match (self.trace.is_some(), self.obs.is_some()) {
+            (false, false) => self.run_impl::<false, false>(max_cycles),
+            (true, false) => self.run_impl::<true, false>(max_cycles),
+            (false, true) => self.run_impl::<false, true>(max_cycles),
+            (true, true) => self.run_impl::<true, true>(max_cycles),
         }
     }
 
-    fn run_impl<const TRACED: bool>(&mut self, max_cycles: u64) -> RunOutcome {
+    fn run_impl<const TRACED: bool, const OBS: bool>(&mut self, max_cycles: u64) -> RunOutcome {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
             if self.running.is_empty() {
@@ -391,9 +523,9 @@ impl Machine {
                     RunOutcome::StoppedWithTraffic
                 };
             }
-            let (all_stalled, changed) = self.step_once::<TRACED>();
+            let (all_stalled, changed) = self.step_once::<TRACED, OBS>();
             if self.skip_ahead && all_stalled && !changed && !self.running.is_empty() {
-                self.fast_forward::<TRACED>(limit);
+                self.fast_forward::<TRACED, OBS>(limit);
             }
         }
         if self.is_quiescent() {
@@ -407,9 +539,7 @@ impl Machine {
 /// Which network fabric a [`MachineBuilder`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NetChoice {
-    Ideal {
-        latency: u64,
-    },
+    Ideal { latency: u64 },
     Mesh(MeshConfig),
 }
 
@@ -522,9 +652,7 @@ impl MachineBuilder {
     /// Builds the machine.
     pub fn build(self) -> Machine {
         let net: NetworkKind = match self.net {
-            NetChoice::Ideal { latency } => {
-                IdealNetwork::new(self.node_count, latency).into()
-            }
+            NetChoice::Ideal { latency } => IdealNetwork::new(self.node_count, latency).into(),
             NetChoice::Mesh(cfg) => {
                 let mesh = Mesh2d::new(cfg);
                 assert!(
@@ -547,7 +675,13 @@ impl MachineBuilder {
                     Some(p) => Arc::new(p),
                     None => Arc::clone(&default_program),
                 };
-                Node::new(self.model, self.timing, self.ni_config, self.memory_bytes, program)
+                Node::new(
+                    self.model,
+                    self.timing,
+                    self.ni_config,
+                    self.memory_bytes,
+                    program,
+                )
             })
             .collect();
         let mut machine = Machine {
@@ -555,6 +689,7 @@ impl MachineBuilder {
             net,
             cycle: 0,
             trace: None,
+            obs: None,
             running: Vec::new(),
             draining: Vec::new(),
             lists_dirty: true,

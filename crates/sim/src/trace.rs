@@ -2,11 +2,22 @@
 //! each processor was doing — the observability layer for debugging
 //! multi-node protocols.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use tcni_core::Message;
 
 /// One traced event.
+///
+/// # Cycle-stamp convention
+///
+/// All stamps are global [`Machine`](crate::Machine) cycles. `Sent` is
+/// stamped with the cycle during which the injection was accepted;
+/// `Delivered` is stamped with the *following* cycle — the first one in
+/// which the receiving CPU can observe the message — so that
+/// `Delivered.cycle - Sent.cycle` equals the fabric-accounted latency in
+/// [`NetStats::total_latency`](tcni_net::NetStats::total_latency) (and is
+/// therefore never zero, even on a zero-latency ideal fabric).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A message left `node`'s output queue for the network.
@@ -20,7 +31,8 @@ pub enum TraceEvent {
     },
     /// A message was accepted into `node`'s interface.
     Delivered {
-        /// Global cycle of the delivery.
+        /// First global cycle in which the receiver can observe the message
+        /// (see the convention above).
         cycle: u64,
         /// Receiving node index.
         node: usize,
@@ -67,49 +79,64 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{cycle:>6}] net → n{node}  {msg}")
             }
             TraceEvent::Halted { cycle, node } => write!(f, "[{cycle:>6}] n{node} halted"),
-            TraceEvent::Faulted { cycle, node, reason } => {
+            TraceEvent::Faulted {
+                cycle,
+                node,
+                reason,
+            } => {
                 write!(f, "[{cycle:>6}] n{node} FAULTED: {reason}")
             }
         }
     }
 }
 
-/// A bounded event log. Recording stops (and [`truncated`](Trace::truncated)
-/// is set) once the capacity is reached, so tracing a runaway machine cannot
-/// exhaust memory.
+/// A bounded event log kept as a ring buffer: once `capacity` is reached the
+/// *oldest* events are evicted, so the trace always holds the most recent
+/// window of activity (the part that explains a hang or a runaway machine)
+/// and memory stays bounded. [`dropped`](Trace::dropped) counts evictions.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     capacity: usize,
-    truncated: bool,
+    dropped: u64,
 }
 
 impl Trace {
     /// Creates a trace holding at most `capacity` events.
     pub fn new(capacity: usize) -> Trace {
         Trace {
-            events: Vec::new(),
+            events: VecDeque::with_capacity(capacity),
             capacity,
-            truncated: false,
+            dropped: 0,
         }
     }
 
     pub(crate) fn record(&mut self, event: TraceEvent) {
-        if self.events.len() >= self.capacity {
-            self.truncated = true;
+        if self.capacity == 0 {
+            self.dropped += 1;
             return;
         }
-        self.events.push(event);
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
     }
 
-    /// The recorded events, in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &TraceEvent> {
+        self.events.iter()
     }
 
-    /// Whether events were dropped after the capacity was reached.
-    pub fn truncated(&self) -> bool {
-        self.truncated
+    /// How many events were evicted to stay within capacity (`0` means the
+    /// trace is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Events involving one node.
@@ -125,11 +152,17 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "… {} earlier event{} dropped (capacity {})",
+                self.dropped,
+                if self.dropped == 1 { "" } else { "s" },
+                self.capacity,
+            )?;
+        }
         for e in &self.events {
             writeln!(f, "{e}")?;
-        }
-        if self.truncated {
-            writeln!(f, "… trace truncated at {} events", self.capacity)?;
         }
         Ok(())
     }
@@ -140,13 +173,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bounded_recording() {
+    fn ring_keeps_most_recent() {
         let mut t = Trace::new(2);
-        for i in 0..4 {
+        for i in 0..5 {
             t.record(TraceEvent::Halted { cycle: i, node: 0 });
         }
         assert_eq!(t.events().len(), 2);
-        assert!(t.truncated());
+        assert_eq!(t.dropped(), 3);
+        // The survivors are the *latest* events, not the startup ones.
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![3, 4]);
+        let text = t.to_string();
+        assert!(text.contains("3 earlier events dropped"), "{text}");
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut t = Trace::new(0);
+        t.record(TraceEvent::Halted { cycle: 1, node: 0 });
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.dropped(), 1);
     }
 
     #[test]
@@ -159,8 +205,10 @@ mod tests {
         });
         t.record(TraceEvent::Halted { cycle: 9, node: 2 });
         assert_eq!(t.for_node(2).count(), 1);
+        assert_eq!(t.dropped(), 0);
         let text = t.to_string();
         assert!(text.contains("n1 → net"));
         assert!(text.contains("n2 halted"));
+        assert!(!text.contains("dropped"));
     }
 }

@@ -39,7 +39,10 @@ fn input_port_error_dispatches_through_slot_one() {
     let program = a.assemble().unwrap();
 
     let mut machine = MachineBuilder::new(1)
-        .model(Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized))
+        .model(Model::new(
+            NiMapping::OnChipCache,
+            tcni_core::FeatureLevel::Optimized,
+        ))
         .program(0, program)
         .build();
     // Let the node spin in its idle loop, then break the input port.
@@ -53,7 +56,10 @@ fn input_port_error_dispatches_through_slot_one() {
     machine.node_mut(0).ni_mut().inject_input_port_error();
     let outcome = machine.run(1_000);
     assert!(
-        matches!(outcome, RunOutcome::Quiescent | RunOutcome::StoppedWithTraffic),
+        matches!(
+            outcome,
+            RunOutcome::Quiescent | RunOutcome::StoppedWithTraffic
+        ),
         "{outcome:?}"
     );
     let recorded = Status::from_bits(machine.node(0).mem().peek(0x100));
@@ -74,7 +80,10 @@ fn reserved_type_send_latches_and_dispatches() {
     a.st(
         Reg::R3,
         Reg::R9,
-        off(cmd_addr(InterfaceReg::O0, NiCmd::send(MsgType::new(1).unwrap()))),
+        off(cmd_addr(
+            InterfaceReg::O0,
+            NiCmd::send(MsgType::new(1).unwrap()),
+        )),
     );
     // Dispatch: must land in slot 1 even though no message ever arrived.
     a.ld(Reg::R4, Reg::R9, off(reg_addr(InterfaceReg::MsgIp)));
@@ -89,7 +98,10 @@ fn reserved_type_send_latches_and_dispatches() {
     let program = a.assemble().unwrap();
 
     let mut machine = MachineBuilder::new(1)
-        .model(Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized))
+        .model(Model::new(
+            NiMapping::OnChipCache,
+            tcni_core::FeatureLevel::Optimized,
+        ))
         .program(0, program)
         .build();
     assert_eq!(machine.run(1_000), RunOutcome::Quiescent);
@@ -117,7 +129,10 @@ fn output_overflow_exception_policy() {
         a.st(
             Reg::R3,
             Reg::R9,
-            off(cmd_addr(InterfaceReg::O0, NiCmd::send(MsgType::new(2).unwrap()))),
+            off(cmd_addr(
+                InterfaceReg::O0,
+                NiCmd::send(MsgType::new(2).unwrap()),
+            )),
         );
     }
     a.ld(Reg::R4, Reg::R9, off(reg_addr(InterfaceReg::Status)));
@@ -126,7 +141,10 @@ fn output_overflow_exception_policy() {
     let program = a.assemble().unwrap();
 
     let mut machine = MachineBuilder::new(1)
-        .model(Model::new(NiMapping::OnChipCache, tcni_core::FeatureLevel::Optimized))
+        .model(Model::new(
+            NiMapping::OnChipCache,
+            tcni_core::FeatureLevel::Optimized,
+        ))
         .ni_queues(2, 2)
         .program(0, program)
         .network_mesh(tcni_net::MeshConfig::new(1, 1))
@@ -137,7 +155,10 @@ fn output_overflow_exception_policy() {
         .set_control(Control::new().with_overflow_policy(OverflowPolicy::Exception));
     let outcome = machine.run(1_000);
     assert!(
-        matches!(outcome, RunOutcome::Quiescent | RunOutcome::StoppedWithTraffic),
+        matches!(
+            outcome,
+            RunOutcome::Quiescent | RunOutcome::StoppedWithTraffic
+        ),
         "{outcome:?}"
     );
     let recorded = Status::from_bits(machine.node(0).mem().peek(0x100));

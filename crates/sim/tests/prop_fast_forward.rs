@@ -15,7 +15,9 @@
 //!   was never sent.
 
 use tcni_check::check;
-use tcni_core::mapping::{cmd_addr, gpr_alias, reg_addr, scroll_in_addr, scroll_out_addr, NI_WINDOW_BASE};
+use tcni_core::mapping::{
+    cmd_addr, gpr_alias, reg_addr, scroll_in_addr, scroll_out_addr, NI_WINDOW_BASE,
+};
 use tcni_core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId};
 use tcni_isa::{Assembler, Program, Reg};
 use tcni_net::MeshConfig;
@@ -37,8 +39,12 @@ fn off(addr: u32) -> i16 {
 }
 
 /// Runs the same machine with and without the fast-forward and asserts every
-/// piece of observable state is identical. Returns the fast machine (for
-/// workload-specific assertions) and the outcome.
+/// piece of observable state is identical. The pair is then re-run with
+/// tracing and message-lifecycle observability enabled: instrumentation must
+/// neither perturb the simulation nor diverge under the skip paths — trace
+/// events, ring-buffer dropped counts, and the `tcni-trace/1` report are all
+/// bit-identical. Returns the fast machine (for workload-specific
+/// assertions) and the outcome.
 fn assert_equivalent(build: &dyn Fn(bool) -> Machine, budget: u64) -> (Machine, RunOutcome) {
     let mut fast = build(true);
     let mut slow = build(false);
@@ -58,6 +64,42 @@ fn assert_equivalent(build: &dyn Fn(bool) -> Machine, budget: u64) -> (Machine, 
             assert_eq!(f.cpu().reg(r), s.cpu().reg(r), "node {i} register {r}");
         }
     }
+
+    // Same pair, instrumented. The small ring capacities force wraparound on
+    // the longer workloads so the dropped counters are exercised too.
+    let mut obs_fast = build(true);
+    let mut obs_slow = build(false);
+    for machine in [&mut obs_fast, &mut obs_slow] {
+        machine.enable_trace(64);
+        machine.enable_obs(64);
+    }
+    assert_eq!(obs_fast.run(budget), of, "instrumented fast outcome");
+    assert_eq!(obs_slow.run(budget), os, "instrumented slow outcome");
+    assert_eq!(
+        obs_fast.cycle(),
+        fast.cycle(),
+        "instrumentation changed timing"
+    );
+    assert_eq!(
+        obs_fast.net_stats(),
+        fast.net_stats(),
+        "instrumentation changed network statistics"
+    );
+    let (tf, ts) = (obs_fast.trace().unwrap(), obs_slow.trace().unwrap());
+    assert_eq!(
+        tf.dropped(),
+        ts.dropped(),
+        "trace dropped count under fast-forward"
+    );
+    assert!(
+        tf.events().eq(ts.events()),
+        "trace events under fast-forward"
+    );
+    assert_eq!(
+        obs_fast.obs_report().unwrap().to_json(),
+        obs_slow.obs_report().unwrap().to_json(),
+        "tcni-trace/1 report under fast-forward"
+    );
     (fast, of)
 }
 
@@ -158,7 +200,11 @@ fn scroll_stream_is_equivalent_on_both_fabrics() {
             }
         };
         let (fast, outcome) = assert_equivalent(&build, 25_000);
-        assert_eq!(outcome, RunOutcome::Quiescent, "delay {delay} latency {latency} mesh {mesh}");
+        assert_eq!(
+            outcome,
+            RunOutcome::Quiescent,
+            "delay {delay} latency {latency} mesh {mesh}"
+        );
         for flit in 0..3u32 {
             for lane in 0..5u32 {
                 let expect = if flit == 0 && lane == 0 {
@@ -227,7 +273,11 @@ fn abandoned_scroll_burns_to_the_limit() {
             }
         };
         let (fast, outcome) = assert_equivalent(&build, budget);
-        assert_eq!(outcome, RunOutcome::CycleLimit, "latency {latency} mesh {mesh}");
+        assert_eq!(
+            outcome,
+            RunOutcome::CycleLimit,
+            "latency {latency} mesh {mesh}"
+        );
         assert!(
             fast.skipped_cycles() > budget / 2,
             "most of the budget must be burned, not stepped: {} of {budget}",
@@ -267,7 +317,10 @@ fn clogged_mesh_network_only_loop_is_equivalent() {
         };
         let (fast, outcome) = assert_equivalent(&build, budget);
         assert_eq!(outcome, RunOutcome::CycleLimit);
-        assert!(fast.skipped_cycles() > 0, "the wedged phase must fast-forward");
+        assert!(
+            fast.skipped_cycles() > 0,
+            "the wedged phase must fast-forward"
+        );
         assert!(
             fast.node(0).cpu().stats().env_stalls > 0,
             "the producer must have stalled on the full queue"

@@ -98,7 +98,11 @@ fn requester_register(server: NodeId) -> Program {
         a.halt();
         a.assemble().unwrap()
     };
-    assert_eq!(p.resolve("reply_handler"), Some(ip), "layout must be stable");
+    assert_eq!(
+        p.resolve("reply_handler"),
+        Some(ip),
+        "layout must be stable"
+    );
     p
 }
 
@@ -141,7 +145,11 @@ fn requester_memory(server: NodeId) -> Program {
     a.li(Reg::R4, 0x200);
     a.st(Reg::R4, nib, off(reg_addr(InterfaceReg::O1)));
     a.li(Reg::R5, 0); // reply IP placeholder (second pass below)
-    a.st(Reg::R5, nib, off(cmd_addr(InterfaceReg::O2, NiCmd::send(ty(READ_TYPE)))));
+    a.st(
+        Reg::R5,
+        nib,
+        off(cmd_addr(InterfaceReg::O2, NiCmd::send(ty(READ_TYPE)))),
+    );
     a.label("dispatch");
     a.ld(Reg::R6, nib, off(reg_addr(InterfaceReg::MsgIp)));
     a.jmp(Reg::R6);
@@ -168,7 +176,11 @@ fn requester_memory(server: NodeId) -> Program {
     a.li(Reg::R4, 0x200);
     a.st(Reg::R4, nib, off(reg_addr(InterfaceReg::O1)));
     a.li(Reg::R5, ip);
-    a.st(Reg::R5, nib, off(cmd_addr(InterfaceReg::O2, NiCmd::send(ty(READ_TYPE)))));
+    a.st(
+        Reg::R5,
+        nib,
+        off(cmd_addr(InterfaceReg::O2, NiCmd::send(ty(READ_TYPE)))),
+    );
     a.label("dispatch");
     a.ld(Reg::R6, nib, off(reg_addr(InterfaceReg::MsgIp)));
     a.jmp(Reg::R6);
@@ -234,7 +246,11 @@ fn run_remote_read(model: Model, requester: Program, server: Program) {
             node.cpu_state()
         );
     }
-    assert_eq!(outcome, RunOutcome::Quiescent, "machine must finish cleanly");
+    assert_eq!(
+        outcome,
+        RunOutcome::Quiescent,
+        "machine must finish cleanly"
+    );
     assert_eq!(
         machine.node(0).mem().peek(RESULT_ADDR),
         SECRET,
@@ -269,7 +285,11 @@ fn offchip_is_slower_than_onchip_is_slower_than_register() {
     // Same workload, three placements: end-to-end completion time must be
     // ordered the way §4 predicts.
     let mut cycles = Vec::new();
-    for mapping in [NiMapping::RegisterFile, NiMapping::OnChipCache, NiMapping::OffChipCache] {
+    for mapping in [
+        NiMapping::RegisterFile,
+        NiMapping::OnChipCache,
+        NiMapping::OffChipCache,
+    ] {
         let model = Model::new(mapping, tcni_core::FeatureLevel::Optimized);
         let (rq, sv) = if mapping == NiMapping::RegisterFile {
             (requester_register(NodeId::new(1)), server_register())
@@ -318,5 +338,8 @@ fn two_risc_instruction_read_service() {
         p.fetch(handler_addr).unwrap(),
         tcni_isa::Instr::Ld { .. }
     ));
-    assert!(matches!(p.fetch(handler_addr + 4).unwrap(), tcni_isa::Instr::Halt));
+    assert!(matches!(
+        p.fetch(handler_addr + 4).unwrap(),
+        tcni_isa::Instr::Halt
+    ));
 }

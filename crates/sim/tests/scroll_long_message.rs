@@ -174,12 +174,20 @@ fn next_abandons_unread_flits() {
     a.br("dispatch");
     a.nop();
     a.org(TABLE + 2 * 16); // type-2 slot: the trailing short message
-    a.ld(Reg::R4, Reg::R9, off(cmd_addr(InterfaceReg::I1, NiCmd::next())));
+    a.ld(
+        Reg::R4,
+        Reg::R9,
+        off(cmd_addr(InterfaceReg::I1, NiCmd::next())),
+    );
     a.st(Reg::R4, Reg::R0, SINK + 4);
     a.halt();
     a.org(TABLE + u32::from(LONG_TYPE) * 16);
     // Abandon the long message immediately.
-    a.ld(Reg::R4, Reg::R9, off(cmd_addr(InterfaceReg::I1, NiCmd::next())));
+    a.ld(
+        Reg::R4,
+        Reg::R9,
+        off(cmd_addr(InterfaceReg::I1, NiCmd::next())),
+    );
     a.st(Reg::R4, Reg::R0, SINK);
     a.br("dispatch");
     a.nop();
@@ -191,14 +199,30 @@ fn next_abandons_unread_flits() {
     a.li(Reg::R2, NodeId::new(1).into_word_bits() | 0x11);
     a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
     a.li(Reg::R3, 0xF1);
-    a.st(Reg::R3, Reg::R9, off(scroll_out_addr(Some(InterfaceReg::O1), ty(LONG_TYPE))));
+    a.st(
+        Reg::R3,
+        Reg::R9,
+        off(scroll_out_addr(Some(InterfaceReg::O1), ty(LONG_TYPE))),
+    );
     a.li(Reg::R3, 0xF2);
-    a.st(Reg::R3, Reg::R9, off(scroll_out_addr(Some(InterfaceReg::O1), ty(LONG_TYPE))));
+    a.st(
+        Reg::R3,
+        Reg::R9,
+        off(scroll_out_addr(Some(InterfaceReg::O1), ty(LONG_TYPE))),
+    );
     a.li(Reg::R3, 0xF3);
-    a.st(Reg::R3, Reg::R9, off(cmd_addr(InterfaceReg::O1, NiCmd::send(ty(LONG_TYPE)))));
+    a.st(
+        Reg::R3,
+        Reg::R9,
+        off(cmd_addr(InterfaceReg::O1, NiCmd::send(ty(LONG_TYPE)))),
+    );
     // Short message, type 2, w1 = 0x99.
     a.li(Reg::R3, 0x99);
-    a.st(Reg::R3, Reg::R9, off(cmd_addr(InterfaceReg::O1, NiCmd::send(ty(2)))));
+    a.st(
+        Reg::R3,
+        Reg::R9,
+        off(cmd_addr(InterfaceReg::O1, NiCmd::send(ty(2)))),
+    );
     a.halt();
     let sender = a.assemble().unwrap();
 
@@ -209,6 +233,14 @@ fn next_abandons_unread_flits() {
         .network_ideal(1)
         .build();
     assert_eq!(machine.run(10_000), RunOutcome::Quiescent);
-    assert_eq!(machine.node(1).mem().peek(SINK as u32), 0xF1, "first window seen");
-    assert_eq!(machine.node(1).mem().peek(SINK as u32 + 4), 0x99, "short message seen");
+    assert_eq!(
+        machine.node(1).mem().peek(SINK as u32),
+        0xF1,
+        "first window seen"
+    );
+    assert_eq!(
+        machine.node(1).mem().peek(SINK as u32 + 4),
+        0x99,
+        "short message seen"
+    );
 }

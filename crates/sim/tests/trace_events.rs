@@ -22,7 +22,10 @@ fn trace_records_sends_deliveries_and_halts_in_order() {
     a.st(
         Reg::R2,
         Reg::R9,
-        off(cmd_addr(InterfaceReg::O0, NiCmd::send(MsgType::new(2).unwrap()))),
+        off(cmd_addr(
+            InterfaceReg::O0,
+            NiCmd::send(MsgType::new(2).unwrap()),
+        )),
     );
     a.halt();
     let sender = a.assemble().unwrap();
@@ -41,7 +44,11 @@ fn trace_records_sends_deliveries_and_halts_in_order() {
     a.br("dispatch");
     a.nop();
     a.org(0x4000 + 2 * 16);
-    a.ld(Reg::R4, Reg::R9, off(cmd_addr(InterfaceReg::I0, NiCmd::next())));
+    a.ld(
+        Reg::R4,
+        Reg::R9,
+        off(cmd_addr(InterfaceReg::I0, NiCmd::next())),
+    );
     a.halt();
     let receiver = a.assemble().unwrap();
 
@@ -57,7 +64,6 @@ fn trace_records_sends_deliveries_and_halts_in_order() {
     let trace = machine.trace().expect("tracing enabled");
     let kinds: Vec<&str> = trace
         .events()
-        .iter()
         .map(|e| match e {
             TraceEvent::Sent { .. } => "sent",
             TraceEvent::Delivered { .. } => "delivered",
@@ -73,16 +79,27 @@ fn trace_records_sends_deliveries_and_halts_in_order() {
     let sent_at = kinds.iter().position(|k| *k == "sent").unwrap();
     let delivered_at = kinds.iter().position(|k| *k == "delivered").unwrap();
     assert!(sent_at < delivered_at);
-    let cycles: Vec<u64> = trace.events().iter().map(TraceEvent::cycle).collect();
-    assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "monotone: {cycles:?}");
-    // The delivered payload is the one the sender composed.
-    match &trace.events()[delivered_at] {
-        TraceEvent::Delivered { node, msg, .. } => {
+    let cycles: Vec<u64> = trace.events().map(TraceEvent::cycle).collect();
+    assert!(
+        cycles.windows(2).all(|w| w[0] <= w[1]),
+        "monotone: {cycles:?}"
+    );
+    // The delivered payload is the one the sender composed, and its stamp
+    // follows the documented convention: Delivered − Sent equals the
+    // fabric-accounted latency (here the configured ideal latency, 2).
+    match trace.events().nth(delivered_at).unwrap() {
+        TraceEvent::Delivered { cycle, node, msg } => {
             assert_eq!(*node, 1);
             assert_eq!(msg.words[0] & 0xFF, 0x7);
+            let sent_cycle = trace.events().nth(sent_at).unwrap().cycle();
+            assert_eq!(cycle - sent_cycle, 2);
+            assert_eq!(cycle - sent_cycle, machine.net_stats().total_latency);
         }
         other => panic!("unexpected event {other:?}"),
     }
-    assert!(!trace.truncated());
-    assert_eq!(trace.for_node(0).count() + trace.for_node(1).count(), trace.events().len());
+    assert_eq!(trace.dropped(), 0);
+    assert_eq!(
+        trace.for_node(0).count() + trace.for_node(1).count(),
+        trace.events().len()
+    );
 }

@@ -50,7 +50,12 @@ impl TamProgram {
     ///
     /// Panics if a block of this name already exists, or if the builder
     /// produced dangling thread/inlet references.
-    pub fn block(&mut self, name: &str, frame_size: usize, f: impl FnOnce(&mut BlockBuilder)) -> CodeBlockId {
+    pub fn block(
+        &mut self,
+        name: &str,
+        frame_size: usize,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> CodeBlockId {
         assert!(
             !self.by_name.contains_key(name),
             "code block `{name}` defined twice"
@@ -165,7 +170,11 @@ impl BlockBuilder {
             );
         };
         for (i, t) in self.block.threads.iter().enumerate() {
-            assert!(!t.is_empty(), "thread {i} of `{}` left undefined", self.block.name);
+            assert!(
+                !t.is_empty(),
+                "thread {i} of `{}` left undefined",
+                self.block.name
+            );
             for op in t {
                 match op {
                     TamOp::Imm { dst, .. } | TamOp::Rand { dst } => check_slot(*dst),
@@ -183,7 +192,11 @@ impl BlockBuilder {
                         check_slot(*a);
                     }
                     TamOp::Fork { thread } => check_thread(*thread),
-                    TamOp::Switch { cond, if_true, if_false } => {
+                    TamOp::Switch {
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
                         check_slot(*cond);
                         check_thread(*if_true);
                         check_thread(*if_false);
@@ -193,7 +206,11 @@ impl BlockBuilder {
                         check_thread(*thread);
                     }
                     TamOp::Falloc { dst_fp, .. } => check_slot(*dst_fp),
-                    TamOp::SendArgsDyn { fp, inlet_slot, args } => {
+                    TamOp::SendArgsDyn {
+                        fp,
+                        inlet_slot,
+                        args,
+                    } => {
                         check_slot(*fp);
                         check_slot(*inlet_slot);
                         assert!(
@@ -299,7 +316,9 @@ mod tests {
     fn dangling_thread_panics() {
         let mut p = TamProgram::new();
         p.block("bad", 2, |b| {
-            b.thread(vec![TamOp::Fork { thread: ThreadId(7) }]);
+            b.thread(vec![TamOp::Fork {
+                thread: ThreadId(7),
+            }]);
         });
     }
 
@@ -311,9 +330,24 @@ mod tests {
             let t_b = b.declare_thread();
             b.define_thread(
                 t_a,
-                vec![TamOp::IntI { op: IntOp::Add, dst: 0, a: 0, imm: 1 }, TamOp::Fork { thread: t_b }],
+                vec![
+                    TamOp::IntI {
+                        op: IntOp::Add,
+                        dst: 0,
+                        a: 0,
+                        imm: 1,
+                    },
+                    TamOp::Fork { thread: t_b },
+                ],
             );
-            b.define_thread(t_b, vec![TamOp::Switch { cond: 0, if_true: t_a, if_false: t_a }]);
+            b.define_thread(
+                t_b,
+                vec![TamOp::Switch {
+                    cond: 0,
+                    if_true: t_a,
+                    if_false: t_a,
+                }],
+            );
         });
     }
 }

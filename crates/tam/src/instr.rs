@@ -328,14 +328,21 @@ impl TamClass {
 
     /// Index into count arrays.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|c| *c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL")
     }
 
     /// Whether this class expands into a network message.
     pub fn is_message(self) -> bool {
         matches!(
             self,
-            TamClass::SendArgs | TamClass::IFetch | TamClass::IStore | TamClass::ReadG | TamClass::WriteG
+            TamClass::SendArgs
+                | TamClass::IFetch
+                | TamClass::IStore
+                | TamClass::ReadG
+                | TamClass::WriteG
         )
     }
 }

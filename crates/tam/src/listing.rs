@@ -48,7 +48,11 @@ impl fmt::Display for TamOp {
             }
             TamOp::Rand { dst } => write!(f, "rand   s{dst}"),
             TamOp::Fork { thread } => write!(f, "fork   t{}", thread.0),
-            TamOp::Switch { cond, if_true, if_false } => {
+            TamOp::Switch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 write!(f, "switch s{cond} ? t{} : t{}", if_true.0, if_false.0)
             }
             TamOp::Join { counter, thread } => write!(f, "join   s{counter} → t{}", thread.0),
@@ -63,7 +67,11 @@ impl fmt::Display for TamOp {
                 }
                 f.write_str(")")
             }
-            TamOp::SendArgsDyn { fp, inlet_slot, args } => {
+            TamOp::SendArgsDyn {
+                fp,
+                inlet_slot,
+                args,
+            } => {
                 write!(f, "send   [s{fp}].in[s{inlet_slot}] (")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -95,7 +103,12 @@ impl fmt::Display for TamProgram {
             }
             for (j, inlet) in b.inlets.iter().enumerate() {
                 let dsts: Vec<String> = inlet.dsts.iter().map(|s| format!("s{s}")).collect();
-                writeln!(f, "  inlet in{j} ({}) → t{}", dsts.join(", "), inlet.thread.0)?;
+                writeln!(
+                    f,
+                    "  inlet in{j} ({}) → t{}",
+                    dsts.join(", "),
+                    inlet.thread.0
+                )?;
             }
             for (j, t) in b.threads.iter().enumerate() {
                 writeln!(f, "  thread t{j}:")?;
@@ -133,7 +146,9 @@ mod tests {
     fn every_op_kind_has_a_listing_form() {
         let p = programs::gamteb::build(1);
         let text = p.to_string();
-        for needle in ["ifetch", "istore", "readg", "writeg", "halloc", "galloc", "rand", "join", "fork"] {
+        for needle in [
+            "ifetch", "istore", "readg", "writeg", "halloc", "galloc", "rand", "join", "fork",
+        ] {
             assert!(text.contains(needle), "missing `{needle}` in listing");
         }
     }

@@ -60,42 +60,108 @@ pub fn build(n: u32) -> TamProgram {
             (FIB_CONT_INLET, FIB_N_INLET, InletId(2), InletId(3))
         );
 
-        b.define_thread(t_arg, vec![TamOp::Join { counter: 4, thread: t_start }]);
+        b.define_thread(
+            t_arg,
+            vec![TamOp::Join {
+                counter: 4,
+                thread: t_start,
+            }],
+        );
         b.define_thread(
             t_start,
             vec![
-                TamOp::IntI { op: IntOp::Lt, dst: 11, a: 3, imm: 2 },
-                TamOp::Switch { cond: 11, if_true: t_base, if_false: t_rec },
+                TamOp::IntI {
+                    op: IntOp::Lt,
+                    dst: 11,
+                    a: 3,
+                    imm: 2,
+                },
+                TamOp::Switch {
+                    cond: 11,
+                    if_true: t_base,
+                    if_false: t_rec,
+                },
             ],
         );
         b.define_thread(
             t_base,
             vec![
                 imm(10, 1),
-                TamOp::SendArgsDyn { fp: 1, inlet_slot: 2, args: vec![10] },
+                TamOp::SendArgsDyn {
+                    fp: 1,
+                    inlet_slot: 2,
+                    args: vec![10],
+                },
             ],
         );
         b.define_thread(
             t_rec,
             vec![
-                TamOp::Falloc { block: fib_self, dst_fp: 5 },
-                TamOp::Falloc { block: fib_self, dst_fp: 6 },
+                TamOp::Falloc {
+                    block: fib_self,
+                    dst_fp: 5,
+                },
+                TamOp::Falloc {
+                    block: fib_self,
+                    dst_fp: 6,
+                },
                 imm(12, 2), // reply to inlet r1
-                TamOp::SendArgs { fp: 5, inlet: FIB_CONT_INLET, args: vec![0, 12] },
-                TamOp::IntI { op: IntOp::Sub, dst: 10, a: 3, imm: 1 },
-                TamOp::SendArgs { fp: 5, inlet: FIB_N_INLET, args: vec![10] },
+                TamOp::SendArgs {
+                    fp: 5,
+                    inlet: FIB_CONT_INLET,
+                    args: vec![0, 12],
+                },
+                TamOp::IntI {
+                    op: IntOp::Sub,
+                    dst: 10,
+                    a: 3,
+                    imm: 1,
+                },
+                TamOp::SendArgs {
+                    fp: 5,
+                    inlet: FIB_N_INLET,
+                    args: vec![10],
+                },
                 imm(12, 3), // reply to inlet r2
-                TamOp::SendArgs { fp: 6, inlet: FIB_CONT_INLET, args: vec![0, 12] },
-                TamOp::IntI { op: IntOp::Sub, dst: 10, a: 3, imm: 2 },
-                TamOp::SendArgs { fp: 6, inlet: FIB_N_INLET, args: vec![10] },
+                TamOp::SendArgs {
+                    fp: 6,
+                    inlet: FIB_CONT_INLET,
+                    args: vec![0, 12],
+                },
+                TamOp::IntI {
+                    op: IntOp::Sub,
+                    dst: 10,
+                    a: 3,
+                    imm: 2,
+                },
+                TamOp::SendArgs {
+                    fp: 6,
+                    inlet: FIB_N_INLET,
+                    args: vec![10],
+                },
             ],
         );
-        b.define_thread(t_res, vec![TamOp::Join { counter: 9, thread: t_sum }]);
+        b.define_thread(
+            t_res,
+            vec![TamOp::Join {
+                counter: 9,
+                thread: t_sum,
+            }],
+        );
         b.define_thread(
             t_sum,
             vec![
-                TamOp::Int { op: IntOp::Add, dst: 10, a: 7, b: 8 },
-                TamOp::SendArgsDyn { fp: 1, inlet_slot: 2, args: vec![10] },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 10,
+                    a: 7,
+                    b: 8,
+                },
+                TamOp::SendArgsDyn {
+                    fp: 1,
+                    inlet_slot: 2,
+                    args: vec![10],
+                },
             ],
         );
     });
@@ -107,11 +173,22 @@ pub fn build(n: u32) -> TamProgram {
         b.define_thread(
             t_entry,
             vec![
-                TamOp::Falloc { block: fib, dst_fp: 2 },
+                TamOp::Falloc {
+                    block: fib,
+                    dst_fp: 2,
+                },
                 imm(3, 0), // main's result inlet number
-                TamOp::SendArgs { fp: 2, inlet: FIB_CONT_INLET, args: vec![0, 3] },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: FIB_CONT_INLET,
+                    args: vec![0, 3],
+                },
                 imm(3, n),
-                TamOp::SendArgs { fp: 2, inlet: FIB_N_INLET, args: vec![3] },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: FIB_N_INLET,
+                    args: vec![3],
+                },
             ],
         );
         b.define_thread(t_got, vec![imm(4, 1)]);

@@ -70,15 +70,38 @@ pub fn build(batches: u32) -> TamProgram {
         b.define_thread(
             t_loop,
             vec![
-                TamOp::Float { op: FloatOp::FromInt, dst: 3, a: 2, b: 2 },
+                TamOp::Float {
+                    op: FloatOp::FromInt,
+                    dst: 3,
+                    a: 2,
+                    b: 2,
+                },
                 fimm(4, 0.08),
-                TamOp::Float { op: FloatOp::Mul, dst: 3, a: 3, b: 4 },
+                TamOp::Float {
+                    op: FloatOp::Mul,
+                    dst: 3,
+                    a: 3,
+                    b: 4,
+                },
                 fimm(4, 0.3),
-                TamOp::Float { op: FloatOp::Add, dst: 3, a: 3, b: 4 },
-                TamOp::IStore { arr: 1, idx: 2, val: 3 },
+                TamOp::Float {
+                    op: FloatOp::Add,
+                    dst: 3,
+                    a: 3,
+                    b: 4,
+                },
+                TamOp::IStore {
+                    arr: 1,
+                    idx: 2,
+                    val: 3,
+                },
                 ii(IntOp::Add, 2, 2, 1),
                 ii(IntOp::Lt, 5, 2, NBINS as i32),
-                TamOp::Switch { cond: 5, if_true: t_loop, if_false: t_end },
+                TamOp::Switch {
+                    cond: 5,
+                    if_true: t_loop,
+                    if_false: t_end,
+                },
             ],
         );
         b.define_thread(t_end, vec![TamOp::Mov { dst: 5, src: 5 }]);
@@ -96,21 +119,46 @@ pub fn build(batches: u32) -> TamProgram {
         let t_done = b.declare_thread();
         b.define_thread(
             t_a,
-            vec![ii(IntOp::Add, 2, 2, 1), TamOp::Join { counter: 4, thread: t_done }],
+            vec![
+                ii(IntOp::Add, 2, 2, 1),
+                TamOp::Join {
+                    counter: 4,
+                    thread: t_done,
+                },
+            ],
         );
         b.define_thread(
             t_e,
-            vec![ii(IntOp::Add, 3, 3, 1), TamOp::Join { counter: 4, thread: t_done }],
+            vec![
+                ii(IntOp::Add, 3, 3, 1),
+                TamOp::Join {
+                    counter: 4,
+                    thread: t_done,
+                },
+            ],
         );
-        b.define_thread(t_arg, vec![TamOp::Join { counter: 4, thread: t_done }]);
+        b.define_thread(
+            t_arg,
+            vec![TamOp::Join {
+                counter: 4,
+                thread: t_done,
+            }],
+        );
         b.define_thread(
             t_done,
-            vec![TamOp::SendArgs { fp: 1, inlet: MAIN_DONE, args: vec![] }],
+            vec![TamOp::SendArgs {
+                fp: 1,
+                inlet: MAIN_DONE,
+                args: vec![],
+            }],
         );
         let absorb = b.inlet(vec![5], t_a);
         let escape = b.inlet(vec![5], t_e);
         let args = b.inlet(vec![1], t_arg);
-        assert_eq!((absorb, escape, args), (TALLY_ABSORB, TALLY_ESCAPE, TALLY_ARGS));
+        assert_eq!(
+            (absorb, escape, args),
+            (TALLY_ABSORB, TALLY_ESCAPE, TALLY_ARGS)
+        );
     });
 
     // ---- photon: one history --------------------------------------------
@@ -128,25 +176,51 @@ pub fn build(batches: u32) -> TamProgram {
         let args = b.inlet(vec![1, 2], t_track);
         let sigma_in = b.inlet(vec![5], t_decide);
         let geom_in = b.inlet(vec![9], t_exit_decide);
-        assert_eq!((args, sigma_in, geom_in), (ARGS0, PHOTON_SIGMA, PHOTON_GEOM));
+        assert_eq!(
+            (args, sigma_in, geom_in),
+            (ARGS0, PHOTON_SIGMA, PHOTON_GEOM)
+        );
 
         // Collision: sample r, look up σ_s(e) in the shared table (PRead).
         b.define_thread(
             t_track,
             vec![
                 TamOp::Rand { dst: 4 },
-                TamOp::Float { op: FloatOp::FromInt, dst: 6, a: 4, b: 4 },
+                TamOp::Float {
+                    op: FloatOp::FromInt,
+                    dst: 6,
+                    a: 4,
+                    b: 4,
+                },
                 fimm(8, RAND_SCALE),
-                TamOp::Float { op: FloatOp::Mul, dst: 6, a: 6, b: 8 },
+                TamOp::Float {
+                    op: FloatOp::Mul,
+                    dst: 6,
+                    a: 6,
+                    b: 8,
+                },
                 imm(10, XS_HANDLE),
-                TamOp::IFetch { arr: 10, idx: 2, inlet: sigma_in },
+                TamOp::IFetch {
+                    arr: 10,
+                    idx: 2,
+                    inlet: sigma_in,
+                },
             ],
         );
         b.define_thread(
             t_decide,
             vec![
-                TamOp::Float { op: FloatOp::Lt, dst: 7, a: 6, b: 5 },
-                TamOp::Switch { cond: 7, if_true: t_scatter, if_false: t_exit_try },
+                TamOp::Float {
+                    op: FloatOp::Lt,
+                    dst: 7,
+                    a: 6,
+                    b: 5,
+                },
+                TamOp::Switch {
+                    cond: 7,
+                    if_true: t_scatter,
+                    if_false: t_exit_try,
+                },
             ],
         );
         // Compton scattering: lose one energy bin; full absorption at e < 0.
@@ -155,7 +229,11 @@ pub fn build(batches: u32) -> TamProgram {
             vec![
                 ii(IntOp::Sub, 2, 2, 1),
                 ii(IntOp::Lt, 7, 2, 0),
-                TamOp::Switch { cond: 7, if_true: t_absorb, if_false: t_track },
+                TamOp::Switch {
+                    cond: 7,
+                    if_true: t_absorb,
+                    if_false: t_track,
+                },
             ],
         );
         // No scatter: consult the geometry (plain Read) for the escape
@@ -165,32 +243,63 @@ pub fn build(batches: u32) -> TamProgram {
             vec![
                 imm(10, GEOM_HANDLE),
                 imm(8, 0),
-                TamOp::ReadG { arr: 10, idx: 8, inlet: geom_in },
+                TamOp::ReadG {
+                    arr: 10,
+                    idx: 8,
+                    inlet: geom_in,
+                },
             ],
         );
         b.define_thread(
             t_exit_decide,
             vec![
                 TamOp::Rand { dst: 4 },
-                TamOp::Float { op: FloatOp::FromInt, dst: 6, a: 4, b: 4 },
+                TamOp::Float {
+                    op: FloatOp::FromInt,
+                    dst: 6,
+                    a: 4,
+                    b: 4,
+                },
                 fimm(8, RAND_SCALE),
-                TamOp::Float { op: FloatOp::Mul, dst: 6, a: 6, b: 8 },
-                TamOp::Float { op: FloatOp::Lt, dst: 7, a: 6, b: 9 },
-                TamOp::Switch { cond: 7, if_true: t_escape, if_false: t_absorb },
+                TamOp::Float {
+                    op: FloatOp::Mul,
+                    dst: 6,
+                    a: 6,
+                    b: 8,
+                },
+                TamOp::Float {
+                    op: FloatOp::Lt,
+                    dst: 7,
+                    a: 6,
+                    b: 9,
+                },
+                TamOp::Switch {
+                    cond: 7,
+                    if_true: t_escape,
+                    if_false: t_absorb,
+                },
             ],
         );
         b.define_thread(
             t_absorb,
             vec![
                 fimm(3, 1.0),
-                TamOp::SendArgs { fp: 1, inlet: TALLY_ABSORB, args: vec![3] },
+                TamOp::SendArgs {
+                    fp: 1,
+                    inlet: TALLY_ABSORB,
+                    args: vec![3],
+                },
             ],
         );
         b.define_thread(
             t_escape,
             vec![
                 fimm(3, 1.0),
-                TamOp::SendArgs { fp: 1, inlet: TALLY_ESCAPE, args: vec![3] },
+                TamOp::SendArgs {
+                    fp: 1,
+                    inlet: TALLY_ESCAPE,
+                    args: vec![3],
+                },
             ],
         );
     });
@@ -204,12 +313,23 @@ pub fn build(batches: u32) -> TamProgram {
         b.define_thread(
             t_loop,
             vec![
-                TamOp::Falloc { block: photon, dst_fp: 4 },
+                TamOp::Falloc {
+                    block: photon,
+                    dst_fp: 4,
+                },
                 imm(6, NBINS - 1), // source photons at the highest energy
-                TamOp::SendArgs { fp: 4, inlet: ARGS0, args: vec![1, 6] },
+                TamOp::SendArgs {
+                    fp: 4,
+                    inlet: ARGS0,
+                    args: vec![1, 6],
+                },
                 ii(IntOp::Add, 3, 3, 1),
                 ii(IntOp::Lt, 5, 3, PHOTONS_PER_BATCH as i32),
-                TamOp::Switch { cond: 5, if_true: t_loop, if_false: t_end },
+                TamOp::Switch {
+                    cond: 5,
+                    if_true: t_loop,
+                    if_false: t_end,
+                },
             ],
         );
         b.define_thread(t_end, vec![TamOp::Mov { dst: 5, src: 5 }]);
@@ -234,11 +354,29 @@ pub fn build(batches: u32) -> TamProgram {
                 TamOp::GAlloc { dst: 2, len: 7 }, // handle 0x8000_0000 = GEOM
                 fimm(5, 0.4),                     // escape probability
                 imm(7, 0),
-                TamOp::WriteG { arr: 2, idx: 7, val: 5 },
-                TamOp::Falloc { block: tally, dst_fp: 3 },
-                TamOp::SendArgs { fp: 3, inlet: TALLY_ARGS, args: vec![0] },
-                TamOp::Falloc { block: xsfill, dst_fp: 4 },
-                TamOp::SendArgs { fp: 4, inlet: ARGS0, args: vec![1] },
+                TamOp::WriteG {
+                    arr: 2,
+                    idx: 7,
+                    val: 5,
+                },
+                TamOp::Falloc {
+                    block: tally,
+                    dst_fp: 3,
+                },
+                TamOp::SendArgs {
+                    fp: 3,
+                    inlet: TALLY_ARGS,
+                    args: vec![0],
+                },
+                TamOp::Falloc {
+                    block: xsfill,
+                    dst_fp: 4,
+                },
+                TamOp::SendArgs {
+                    fp: 4,
+                    inlet: ARGS0,
+                    args: vec![1],
+                },
                 imm(8, 0),
                 TamOp::Fork { thread: t_spawn },
             ],
@@ -246,11 +384,22 @@ pub fn build(batches: u32) -> TamProgram {
         b.define_thread(
             t_spawn,
             vec![
-                TamOp::Falloc { block: batch, dst_fp: 4 },
-                TamOp::SendArgs { fp: 4, inlet: ARGS0, args: vec![3, 8] },
+                TamOp::Falloc {
+                    block: batch,
+                    dst_fp: 4,
+                },
+                TamOp::SendArgs {
+                    fp: 4,
+                    inlet: ARGS0,
+                    args: vec![3, 8],
+                },
                 ii(IntOp::Add, 8, 8, 1),
                 ii(IntOp::Lt, 9, 8, batches as i32),
-                TamOp::Switch { cond: 9, if_true: t_spawn, if_false: t_spawned },
+                TamOp::Switch {
+                    cond: 9,
+                    if_true: t_spawn,
+                    if_false: t_spawned,
+                },
             ],
         );
         b.define_thread(t_spawned, vec![TamOp::Mov { dst: 9, src: 9 }]);
@@ -323,7 +472,10 @@ mod tests {
         let out = run(4, 8, 1).unwrap();
         let m = &out.counts.msgs;
         assert_eq!(m.pwrites(), u64::from(NBINS), "one PWrite per table entry");
-        assert!(m.preads() >= u64::from(out.total), "≥1 collision per photon");
+        assert!(
+            m.preads() >= u64::from(out.total),
+            "≥1 collision per photon"
+        );
         assert!(m.read > 0, "geometry consultations are plain Reads");
         assert_eq!(m.write, 1, "one geometry write");
         assert!(m.send[1] >= u64::from(out.total), "every photon tallies");

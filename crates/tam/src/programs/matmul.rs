@@ -71,7 +71,10 @@ pub fn reference(n: usize) -> Vec<f32> {
 
 /// Builds the TAM program for an `n×n` multiply (n divisible by 4).
 pub fn build(n: usize) -> TamProgram {
-    assert!(n >= 4 && n.is_multiple_of(4), "n must be a positive multiple of 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(4),
+        "n must be a positive multiple of 4"
+    );
     let n32 = n as u32;
     let nb = (n / 4) as u32;
     let nn = (n * n) as u32;
@@ -94,7 +97,11 @@ pub fn build(n: usize) -> TamProgram {
                     a: 5,
                     b: 5,
                 },
-                TamOp::IStore { arr: 1, idx: 3, val: 4 },
+                TamOp::IStore {
+                    arr: 1,
+                    idx: 3,
+                    val: 4,
+                },
                 ii(IntOp::Add, 3, 3, 1),
                 ii(IntOp::Lt, 6, 3, nn as i32),
                 TamOp::Switch {
@@ -145,7 +152,13 @@ pub fn build(n: usize) -> TamProgram {
             b_inlets.push(b.inlet(vec![26 + e], t_joinf));
         }
 
-        b.define_thread(t_arg, vec![TamOp::Join { counter: 7, thread: t_start }]);
+        b.define_thread(
+            t_arg,
+            vec![TamOp::Join {
+                counter: 7,
+                thread: t_start,
+            }],
+        );
 
         let mut start_ops = vec![imm(8, 0)];
         for e in 0..16u16 {
@@ -177,8 +190,17 @@ pub fn build(n: usize) -> TamProgram {
                 ii(IntOp::Mul, 58, 58, n32 as i32),
                 ii(IntOp::Mul, 59, 8, 4),
                 ii(IntOp::Add, 59, 59, i32::from(k)),
-                TamOp::Int { op: IntOp::Add, dst: 58, a: 58, b: 59 },
-                TamOp::IFetch { arr: 3, idx: 58, inlet: a_inlets[e as usize] },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 58,
+                    a: 58,
+                    b: 59,
+                },
+                TamOp::IFetch {
+                    arr: 3,
+                    idx: 58,
+                    inlet: a_inlets[e as usize],
+                },
             ]);
         }
         for e in 0..16u16 {
@@ -189,13 +211,28 @@ pub fn build(n: usize) -> TamProgram {
                 ii(IntOp::Mul, 58, 58, n32 as i32),
                 ii(IntOp::Mul, 59, 2, 4),
                 ii(IntOp::Add, 59, 59, i32::from(c)),
-                TamOp::Int { op: IntOp::Add, dst: 58, a: 58, b: 59 },
-                TamOp::IFetch { arr: 4, idx: 58, inlet: b_inlets[e as usize] },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 58,
+                    a: 58,
+                    b: 59,
+                },
+                TamOp::IFetch {
+                    arr: 4,
+                    idx: 58,
+                    inlet: b_inlets[e as usize],
+                },
             ]);
         }
         b.define_thread(t_fetch, fetch_ops);
 
-        b.define_thread(t_joinf, vec![TamOp::Join { counter: 9, thread: t_compute }]);
+        b.define_thread(
+            t_joinf,
+            vec![TamOp::Join {
+                counter: 9,
+                thread: t_compute,
+            }],
+        );
 
         // 4×4×4 multiply-accumulate: 128 floating-point operations.
         let mut comp_ops = Vec::new();
@@ -231,8 +268,17 @@ pub fn build(n: usize) -> TamProgram {
                 ii(IntOp::Mul, 58, 58, n32 as i32),
                 ii(IntOp::Mul, 59, 2, 4),
                 ii(IntOp::Add, 59, 59, i32::from(c)),
-                TamOp::Int { op: IntOp::Add, dst: 58, a: 58, b: 59 },
-                TamOp::IStore { arr: 5, idx: 58, val: 42 + e },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 58,
+                    a: 58,
+                    b: 59,
+                },
+                TamOp::IStore {
+                    arr: 5,
+                    idx: 58,
+                    val: 42 + e,
+                },
             ]);
         }
         store_ops.push(TamOp::SendArgs {
@@ -264,14 +310,30 @@ pub fn build(n: usize) -> TamProgram {
             TamOp::HAlloc { dst: 3, len: 5 },
             TamOp::HAlloc { dst: 4, len: 5 },
             // Producers…
-            TamOp::Falloc { block: fill, dst_fp: 7 },
-            TamOp::SendArgs { fp: 7, inlet: FILL_ARGS_INLET, args: vec![2, 0] },
-            TamOp::Falloc { block: fill, dst_fp: 7 },
-            TamOp::SendArgs { fp: 7, inlet: FILL_ARGS_INLET, args: vec![3, 0] },
+            TamOp::Falloc {
+                block: fill,
+                dst_fp: 7,
+            },
+            TamOp::SendArgs {
+                fp: 7,
+                inlet: FILL_ARGS_INLET,
+                args: vec![2, 0],
+            },
+            TamOp::Falloc {
+                block: fill,
+                dst_fp: 7,
+            },
+            TamOp::SendArgs {
+                fp: 7,
+                inlet: FILL_ARGS_INLET,
+                args: vec![3, 0],
+            },
             // …and consumers, concurrently (non-strictness).
             imm(8, 0),
             imm(9, 0),
-            TamOp::Fork { thread: t_spawn_loop },
+            TamOp::Fork {
+                thread: t_spawn_loop,
+            },
         ];
         b.define_thread(t_entry, entry);
         assert_eq!(t_entry, ThreadId(0), "spawn_main runs thread 0");
@@ -279,10 +341,25 @@ pub fn build(n: usize) -> TamProgram {
         b.define_thread(
             t_spawn_loop,
             vec![
-                TamOp::Falloc { block: block_job, dst_fp: 7 },
-                TamOp::SendArgs { fp: 7, inlet: BJ_AB_INLET, args: vec![2, 3] },
-                TamOp::SendArgs { fp: 7, inlet: BJ_CP_INLET, args: vec![4, 0] },
-                TamOp::SendArgs { fp: 7, inlet: BJ_BIJ_INLET, args: vec![8, 9] },
+                TamOp::Falloc {
+                    block: block_job,
+                    dst_fp: 7,
+                },
+                TamOp::SendArgs {
+                    fp: 7,
+                    inlet: BJ_AB_INLET,
+                    args: vec![2, 3],
+                },
+                TamOp::SendArgs {
+                    fp: 7,
+                    inlet: BJ_CP_INLET,
+                    args: vec![4, 0],
+                },
+                TamOp::SendArgs {
+                    fp: 7,
+                    inlet: BJ_BIJ_INLET,
+                    args: vec![8, 9],
+                },
                 ii(IntOp::Add, 9, 9, 1),
                 ii(IntOp::Eq, 10, 9, nb as i32),
                 TamOp::Switch {
@@ -306,7 +383,13 @@ pub fn build(n: usize) -> TamProgram {
             ],
         );
         b.define_thread(t_spawned, vec![TamOp::Mov { dst: 10, src: 10 }]);
-        b.define_thread(t_join, vec![TamOp::Join { counter: 6, thread: t_done }]);
+        b.define_thread(
+            t_join,
+            vec![TamOp::Join {
+                counter: 6,
+                thread: t_done,
+            }],
+        );
         b.define_thread(t_done, vec![imm(12, 1)]);
 
         let done = b.inlet(vec![], t_join);
@@ -386,7 +469,10 @@ mod tests {
         let f = out.counts.flops_per_message();
         assert!(f > 1.0 && f < 8.0, "flops/message = {f}");
         // The consumer/producer race must actually defer some readers.
-        assert!(m.pread_deferred + m.pread_empty > 0, "expected deferrals: {m:?}");
+        assert!(
+            m.pread_deferred + m.pread_empty > 0,
+            "expected deferrals: {m:?}"
+        );
         assert!(m.pwrite_deferred_events > 0);
     }
 

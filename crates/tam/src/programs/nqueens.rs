@@ -80,21 +80,38 @@ pub fn build(n: u32) -> TamProgram {
         let masks = b.inlet(vec![3, 4], t_arg);
         let d2in = b.inlet(vec![5], t_arg);
         let result = b.inlet(vec![11], t_acc);
-        assert_eq!((cont, masks, d2in, result), (NQ_CONT, NQ_MASKS, NQ_D2, NQ_RESULT));
+        assert_eq!(
+            (cont, masks, d2in, result),
+            (NQ_CONT, NQ_MASKS, NQ_D2, NQ_RESULT)
+        );
 
-        b.define_thread(t_arg, vec![TamOp::Join { counter: 6, thread: t_start }]);
+        b.define_thread(
+            t_arg,
+            vec![TamOp::Join {
+                counter: 6,
+                thread: t_start,
+            }],
+        );
         b.define_thread(
             t_start,
             vec![
                 ii(IntOp::Eq, 17, 3, full as i32),
-                TamOp::Switch { cond: 17, if_true: t_leaf, if_false: t_scan },
+                TamOp::Switch {
+                    cond: 17,
+                    if_true: t_leaf,
+                    if_false: t_scan,
+                },
             ],
         );
         b.define_thread(
             t_leaf,
             vec![
                 imm(12, 1),
-                TamOp::SendArgsDyn { fp: 1, inlet_slot: 2, args: vec![12] },
+                TamOp::SendArgsDyn {
+                    fp: 1,
+                    inlet_slot: 2,
+                    args: vec![12],
+                },
             ],
         );
         b.define_thread(t_scan, vec![imm(7, 0), TamOp::Fork { thread: t_try }]);
@@ -103,58 +120,138 @@ pub fn build(n: u32) -> TamProgram {
             t_try,
             vec![
                 imm(8, 1),
-                TamOp::Int { op: IntOp::Shl, dst: 8, a: 8, b: 7 },
-                TamOp::Int { op: IntOp::Or, dst: 12, a: 3, b: 4 },
-                TamOp::Int { op: IntOp::Or, dst: 12, a: 12, b: 5 },
-                TamOp::Int { op: IntOp::And, dst: 12, a: 12, b: 8 },
-                TamOp::Switch { cond: 12, if_true: t_skip, if_false: t_spawn },
+                TamOp::Int {
+                    op: IntOp::Shl,
+                    dst: 8,
+                    a: 8,
+                    b: 7,
+                },
+                TamOp::Int {
+                    op: IntOp::Or,
+                    dst: 12,
+                    a: 3,
+                    b: 4,
+                },
+                TamOp::Int {
+                    op: IntOp::Or,
+                    dst: 12,
+                    a: 12,
+                    b: 5,
+                },
+                TamOp::Int {
+                    op: IntOp::And,
+                    dst: 12,
+                    a: 12,
+                    b: 8,
+                },
+                TamOp::Switch {
+                    cond: 12,
+                    if_true: t_skip,
+                    if_false: t_spawn,
+                },
             ],
         );
         b.define_thread(
             t_spawn,
             vec![
                 // Child masks: cols|bit, ((d1|bit)<<1) & full, (d2|bit)>>1.
-                TamOp::Int { op: IntOp::Or, dst: 14, a: 3, b: 8 },
-                TamOp::Int { op: IntOp::Or, dst: 15, a: 4, b: 8 },
+                TamOp::Int {
+                    op: IntOp::Or,
+                    dst: 14,
+                    a: 3,
+                    b: 8,
+                },
+                TamOp::Int {
+                    op: IntOp::Or,
+                    dst: 15,
+                    a: 4,
+                    b: 8,
+                },
                 ii(IntOp::Shl, 15, 15, 1),
                 ii(IntOp::And, 15, 15, full as i32),
-                TamOp::Int { op: IntOp::Or, dst: 16, a: 5, b: 8 },
+                TamOp::Int {
+                    op: IntOp::Or,
+                    dst: 16,
+                    a: 5,
+                    b: 8,
+                },
                 ii(IntOp::Shr, 16, 16, 1),
-                TamOp::Falloc { block: search_self, dst_fp: 13 },
+                TamOp::Falloc {
+                    block: search_self,
+                    dst_fp: 13,
+                },
                 imm(12, NQ_RESULT.0 as u32),
-                TamOp::SendArgs { fp: 13, inlet: NQ_CONT, args: vec![0, 12] },
-                TamOp::SendArgs { fp: 13, inlet: NQ_MASKS, args: vec![14, 15] },
-                TamOp::SendArgs { fp: 13, inlet: NQ_D2, args: vec![16] },
+                TamOp::SendArgs {
+                    fp: 13,
+                    inlet: NQ_CONT,
+                    args: vec![0, 12],
+                },
+                TamOp::SendArgs {
+                    fp: 13,
+                    inlet: NQ_MASKS,
+                    args: vec![14, 15],
+                },
+                TamOp::SendArgs {
+                    fp: 13,
+                    inlet: NQ_D2,
+                    args: vec![16],
+                },
                 // advance the column scan
                 ii(IntOp::Add, 7, 7, 1),
                 ii(IntOp::Lt, 17, 7, n as i32),
-                TamOp::Switch { cond: 17, if_true: t_try, if_false: t_scan_done },
+                TamOp::Switch {
+                    cond: 17,
+                    if_true: t_try,
+                    if_false: t_scan_done,
+                },
             ],
         );
         b.define_thread(
             t_skip,
             vec![
                 // One join per non-spawning column (the n+1 trick).
-                TamOp::Join { counter: 10, thread: t_reply },
+                TamOp::Join {
+                    counter: 10,
+                    thread: t_reply,
+                },
                 ii(IntOp::Add, 7, 7, 1),
                 ii(IntOp::Lt, 17, 7, n as i32),
-                TamOp::Switch { cond: 17, if_true: t_try, if_false: t_scan_done },
+                TamOp::Switch {
+                    cond: 17,
+                    if_true: t_try,
+                    if_false: t_scan_done,
+                },
             ],
         );
         b.define_thread(
             t_scan_done,
-            vec![TamOp::Join { counter: 10, thread: t_reply }],
+            vec![TamOp::Join {
+                counter: 10,
+                thread: t_reply,
+            }],
         );
         b.define_thread(
             t_acc,
             vec![
-                TamOp::Int { op: IntOp::Add, dst: 9, a: 9, b: 11 },
-                TamOp::Join { counter: 10, thread: t_reply },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 9,
+                    a: 9,
+                    b: 11,
+                },
+                TamOp::Join {
+                    counter: 10,
+                    thread: t_reply,
+                },
             ],
         );
         b.define_thread(
             t_reply,
-            vec![TamOp::SendArgsDyn { fp: 1, inlet_slot: 2, args: vec![9] }],
+            vec![TamOp::SendArgsDyn {
+                fp: 1,
+                inlet_slot: 2,
+                args: vec![9],
+            }],
         );
     });
     debug_assert_eq!(search, search_self);
@@ -166,12 +263,27 @@ pub fn build(n: u32) -> TamProgram {
         b.define_thread(
             t_entry,
             vec![
-                TamOp::Falloc { block: search, dst_fp: 2 },
+                TamOp::Falloc {
+                    block: search,
+                    dst_fp: 2,
+                },
                 imm(3, 0), // main's result inlet
-                TamOp::SendArgs { fp: 2, inlet: NQ_CONT, args: vec![0, 3] },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: NQ_CONT,
+                    args: vec![0, 3],
+                },
                 imm(3, 0), // cols = 0
-                TamOp::SendArgs { fp: 2, inlet: NQ_MASKS, args: vec![3, 3] },
-                TamOp::SendArgs { fp: 2, inlet: NQ_D2, args: vec![3] },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: NQ_MASKS,
+                    args: vec![3, 3],
+                },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: NQ_D2,
+                    args: vec![3],
+                },
             ],
         );
         b.define_thread(t_got, vec![imm(4, 1)]);

@@ -215,7 +215,9 @@ impl TamMachine {
     /// The I-structure behind a heap handle, if `handle` names one
     /// (inspection).
     pub fn istructure(&self, handle: u32) -> Option<&IStructure> {
-        self.istructs.get((handle & 0x7FFF_FFFF) as usize).filter(|_| handle & 0x8000_0000 == 0)
+        self.istructs
+            .get((handle & 0x7FFF_FFFF) as usize)
+            .filter(|_| handle & 0x8000_0000 == 0)
     }
 
     /// Reads a plain-global-array element (inspection).
@@ -367,12 +369,12 @@ impl TamMachine {
         presence: bool,
     ) -> Result<(), TamError> {
         if presence {
-            let ist = self
-                .istructs
-                .get_mut(array as usize)
-                .ok_or_else(|| TamError::BadReference {
-                    what: format!("I-structure {array}"),
-                })?;
+            let ist =
+                self.istructs
+                    .get_mut(array as usize)
+                    .ok_or_else(|| TamError::BadReference {
+                        what: format!("I-structure {array}"),
+                    })?;
             let idx = index as usize;
             if idx >= ist.len() {
                 return Err(TamError::BadReference {
@@ -413,9 +415,11 @@ impl TamMachine {
             let arr = self.gmem.get(idx).ok_or_else(|| TamError::BadReference {
                 what: format!("global array {array:#x}"),
             })?;
-            let v = *arr.get(index as usize).ok_or_else(|| TamError::BadReference {
-                what: format!("global array {array:#x}[{index}]"),
-            })?;
+            let v = *arr
+                .get(index as usize)
+                .ok_or_else(|| TamError::BadReference {
+                    what: format!("global array {array:#x}[{index}]"),
+                })?;
             self.counts.msgs.responses += 1;
             let node = self.frame_node(reader_frame)?;
             self.push_at(
@@ -438,12 +442,12 @@ impl TamMachine {
         presence: bool,
     ) -> Result<(), TamError> {
         if presence {
-            let ist = self
-                .istructs
-                .get_mut(array as usize)
-                .ok_or_else(|| TamError::BadReference {
-                    what: format!("I-structure {array}"),
-                })?;
+            let ist =
+                self.istructs
+                    .get_mut(array as usize)
+                    .ok_or_else(|| TamError::BadReference {
+                        what: format!("I-structure {array}"),
+                    })?;
             let idx = index as usize;
             if idx >= ist.len() {
                 return Err(TamError::BadReference {
@@ -470,21 +474,21 @@ impl TamMachine {
                         );
                     }
                 }
-                Err(_) => {
-                    return Err(TamError::MultipleWrite {
-                        array,
-                        index: idx,
-                    })
-                }
+                Err(_) => return Err(TamError::MultipleWrite { array, index: idx }),
             }
         } else {
             let aidx = (array & 0x7FFF_FFFF) as usize;
-            let arr = self.gmem.get_mut(aidx).ok_or_else(|| TamError::BadReference {
-                what: format!("global array {array:#x}"),
-            })?;
-            let slot = arr.get_mut(index as usize).ok_or_else(|| TamError::BadReference {
-                what: format!("global array {array:#x}[{index}]"),
-            })?;
+            let arr = self
+                .gmem
+                .get_mut(aidx)
+                .ok_or_else(|| TamError::BadReference {
+                    what: format!("global array {array:#x}"),
+                })?;
+            let slot = arr
+                .get_mut(index as usize)
+                .ok_or_else(|| TamError::BadReference {
+                    what: format!("global array {array:#x}[{index}]"),
+                })?;
             *slot = value;
         }
         Ok(())
@@ -501,7 +505,9 @@ impl TamMachine {
         for op in ops {
             self.counts.bump(op.class());
             match *op {
-                TamOp::Imm { dst, value } => self.frames[frame as usize].slots[dst as usize] = value,
+                TamOp::Imm { dst, value } => {
+                    self.frames[frame as usize].slots[dst as usize] = value
+                }
                 TamOp::Mov { dst, src } => {
                     let v = self.frames[frame as usize].slots[src as usize];
                     self.frames[frame as usize].slots[dst as usize] = v;
@@ -525,7 +531,11 @@ impl TamMachine {
                 TamOp::Fork { thread } => {
                     self.push_at(node, Continuation::Run { frame, thread });
                 }
-                TamOp::Switch { cond, if_true, if_false } => {
+                TamOp::Switch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
                     let c = self.frames[frame as usize].slots[cond as usize];
                     let t = if c != 0 { if_true } else { if_false };
                     self.push_at(node, Continuation::Run { frame, thread: t });
@@ -542,7 +552,11 @@ impl TamMachine {
                     let fp = self.alloc_frame(block);
                     self.frames[frame as usize].slots[dst_fp as usize] = fp;
                 }
-                TamOp::SendArgs { fp, inlet, ref args } => {
+                TamOp::SendArgs {
+                    fp,
+                    inlet,
+                    ref args,
+                } => {
                     let dest = self.frames[frame as usize].slots[fp as usize];
                     let words: Vec<u32> = args
                         .iter()
@@ -559,9 +573,14 @@ impl TamMachine {
                         },
                     );
                 }
-                TamOp::SendArgsDyn { fp, inlet_slot, ref args } => {
+                TamOp::SendArgsDyn {
+                    fp,
+                    inlet_slot,
+                    ref args,
+                } => {
                     let dest = self.frames[frame as usize].slots[fp as usize];
-                    let inlet = InletId(self.frames[frame as usize].slots[inlet_slot as usize] as u16);
+                    let inlet =
+                        InletId(self.frames[frame as usize].slots[inlet_slot as usize] as u16);
                     let words: Vec<u32> = args
                         .iter()
                         .map(|s| self.frames[frame as usize].slots[*s as usize])
@@ -649,5 +668,4 @@ impl TamMachine {
         self.counts.bump(TamClass::Stop);
         Ok(())
     }
-
 }

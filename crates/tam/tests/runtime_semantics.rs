@@ -32,8 +32,18 @@ fn fork_runs_lifo_within_a_node() {
                     b.define_thread(
                         t,
                         vec![
-                            TamOp::IntI { op: IntOp::Shl, dst: 1, a: 1, imm: 4 },
-                            TamOp::IntI { op: IntOp::Or, dst: 1, a: 1, imm: id },
+                            TamOp::IntI {
+                                op: IntOp::Shl,
+                                dst: 1,
+                                a: 1,
+                                imm: 4,
+                            },
+                            TamOp::IntI {
+                                op: IntOp::Or,
+                                dst: 1,
+                                a: 1,
+                                imm: id,
+                            },
                         ],
                     );
                 }
@@ -57,11 +67,27 @@ fn switch_selects_by_condition() {
                     t0,
                     vec![
                         TamOp::Imm { dst: 1, value: 5 },
-                        TamOp::Switch { cond: 1, if_true: t_true, if_false: t_false },
+                        TamOp::Switch {
+                            cond: 1,
+                            if_true: t_true,
+                            if_false: t_false,
+                        },
                     ],
                 );
-                b.define_thread(t_true, vec![TamOp::Imm { dst: 2, value: 0xAA }]);
-                b.define_thread(t_false, vec![TamOp::Imm { dst: 2, value: 0xBB }]);
+                b.define_thread(
+                    t_true,
+                    vec![TamOp::Imm {
+                        dst: 2,
+                        value: 0xAA,
+                    }],
+                );
+                b.define_thread(
+                    t_false,
+                    vec![TamOp::Imm {
+                        dst: 2,
+                        value: 0xBB,
+                    }],
+                );
             })
         },
         1,
@@ -87,10 +113,21 @@ fn join_fires_exactly_at_zero() {
                         TamOp::Fork { thread: t_j },
                     ],
                 );
-                b.define_thread(t_j, vec![TamOp::Join { counter: 1, thread: t_fire }]);
+                b.define_thread(
+                    t_j,
+                    vec![TamOp::Join {
+                        counter: 1,
+                        thread: t_fire,
+                    }],
+                );
                 b.define_thread(
                     t_fire,
-                    vec![TamOp::IntI { op: IntOp::Add, dst: 2, a: 2, imm: 1 }],
+                    vec![TamOp::IntI {
+                        op: IntOp::Add,
+                        dst: 2,
+                        a: 2,
+                        imm: 1,
+                    }],
                 );
             })
         },
@@ -110,9 +147,18 @@ fn self_convention_and_falloc_round_robin() {
             });
             p.block("main", 5, |b| {
                 b.thread(vec![
-                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 1 },
-                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 2 },
-                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 3 },
+                    TamOp::Falloc {
+                        block: CodeBlockId(0),
+                        dst_fp: 1,
+                    },
+                    TamOp::Falloc {
+                        block: CodeBlockId(0),
+                        dst_fp: 2,
+                    },
+                    TamOp::Falloc {
+                        block: CodeBlockId(0),
+                        dst_fp: 3,
+                    },
                 ]);
             })
         },
@@ -135,15 +181,27 @@ fn send_deposits_and_enables_inlet_thread() {
                 assert_eq!(got, InletId(0));
                 b.define_thread(
                     t,
-                    vec![TamOp::Int { op: IntOp::Add, dst: 3, a: 1, b: 2 }],
+                    vec![TamOp::Int {
+                        op: IntOp::Add,
+                        dst: 3,
+                        a: 1,
+                        b: 2,
+                    }],
                 );
             });
             p.block("main", 4, |b| {
                 b.thread(vec![
-                    TamOp::Falloc { block: CodeBlockId(0), dst_fp: 1 },
+                    TamOp::Falloc {
+                        block: CodeBlockId(0),
+                        dst_fp: 1,
+                    },
                     TamOp::Imm { dst: 2, value: 30 },
                     TamOp::Imm { dst: 3, value: 12 },
-                    TamOp::SendArgs { fp: 1, inlet: InletId(0), args: vec![2, 3] },
+                    TamOp::SendArgs {
+                        fp: 1,
+                        inlet: InletId(0),
+                        args: vec![2, 3],
+                    },
                 ]);
             })
         },
@@ -199,8 +257,16 @@ fn multiple_istore_is_reported() {
                     TamOp::Imm { dst: 1, value: 4 },
                     TamOp::HAlloc { dst: 2, len: 1 },
                     TamOp::Imm { dst: 1, value: 7 },
-                    TamOp::IStore { arr: 2, idx: 0, val: 1 }, // idx slot 0 = SELF = 0 ✓
-                    TamOp::IStore { arr: 2, idx: 0, val: 1 },
+                    TamOp::IStore {
+                        arr: 2,
+                        idx: 0,
+                        val: 1,
+                    }, // idx slot 0 = SELF = 0 ✓
+                    TamOp::IStore {
+                        arr: 2,
+                        idx: 0,
+                        val: 1,
+                    },
                 ]);
             })
         },
@@ -217,7 +283,11 @@ fn bad_frame_pointer_is_reported() {
             p.block("main", 2, |b| {
                 b.thread(vec![
                     TamOp::Imm { dst: 1, value: 999 },
-                    TamOp::SendArgs { fp: 1, inlet: InletId(0), args: vec![] },
+                    TamOp::SendArgs {
+                        fp: 1,
+                        inlet: InletId(0),
+                        args: vec![],
+                    },
                 ]);
             })
         },
@@ -251,9 +321,20 @@ fn float_ops_on_frame_slots() {
         |p| {
             p.block("main", 4, |b| {
                 b.thread(vec![
-                    TamOp::Imm { dst: 1, value: 1.5f32.to_bits() },
-                    TamOp::Imm { dst: 2, value: 2.5f32.to_bits() },
-                    TamOp::Float { op: FloatOp::Add, dst: 3, a: 1, b: 2 },
+                    TamOp::Imm {
+                        dst: 1,
+                        value: 1.5f32.to_bits(),
+                    },
+                    TamOp::Imm {
+                        dst: 2,
+                        value: 2.5f32.to_bits(),
+                    },
+                    TamOp::Float {
+                        op: FloatOp::Add,
+                        dst: 3,
+                        a: 1,
+                        b: 2,
+                    },
                 ]);
             })
         },
@@ -276,10 +357,21 @@ fn plain_global_memory_read_writes_in_order() {
                     vec![
                         TamOp::Imm { dst: 1, value: 8 },
                         TamOp::GAlloc { dst: 2, len: 1 },
-                        TamOp::Imm { dst: 3, value: 0x77 },
+                        TamOp::Imm {
+                            dst: 3,
+                            value: 0x77,
+                        },
                         TamOp::Imm { dst: 5, value: 2 }, // index
-                        TamOp::WriteG { arr: 2, idx: 5, val: 3 },
-                        TamOp::ReadG { arr: 2, idx: 5, inlet: got },
+                        TamOp::WriteG {
+                            arr: 2,
+                            idx: 5,
+                            val: 3,
+                        },
+                        TamOp::ReadG {
+                            arr: 2,
+                            idx: 5,
+                            inlet: got,
+                        },
                     ],
                 );
                 b.define_thread(t_got, vec![TamOp::Mov { dst: 1, src: 4 }]);

@@ -14,7 +14,11 @@ use tcni::tam::programs::matmul;
 fn main() {
     let n = 24;
     let out = matmul::run(n, 16).expect("matmul runs");
-    assert_eq!(out.c, matmul::reference(n), "product must match the reference");
+    assert_eq!(
+        out.c,
+        matmul::reference(n),
+        "product must match the reference"
+    );
     println!(
         "{n}×{n} blocked matmul: {} messages, {:.2} floating-point ops per message",
         out.counts.msgs.dispatches(),
@@ -27,9 +31,16 @@ fn main() {
     );
 
     let measured = Table1::measure();
-    println!("{}", Figure12::from_counts("matmul (measured Table 1)", out.counts, &measured.models));
     println!(
         "{}",
-        Figure12::from_counts("matmul (published Table 1)", out.counts, &paper::published())
+        Figure12::from_counts("matmul (measured Table 1)", out.counts, &measured.models)
+    );
+    println!(
+        "{}",
+        Figure12::from_counts(
+            "matmul (published Table 1)",
+            out.counts,
+            &paper::published()
+        )
     );
 }

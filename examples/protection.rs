@@ -69,10 +69,17 @@ fn main() {
 
     // 5. Dispatch optimizations are untouched: a fresh user message still
     //    rides the MsgIp fast path.
-    let again = Message::to(NodeId::new(0), [0x200, 0xCAFE, 0, 0, 0], MsgType::new(0).unwrap())
-        .with_pin(Pin::new(7));
+    let again = Message::to(
+        NodeId::new(0),
+        [0x200, 0xCAFE, 0, 0, 0],
+        MsgType::new(0).unwrap(),
+    )
+    .with_pin(Pin::new(7));
     ni.push_incoming(again).unwrap();
     assert_eq!(ni.read_reg(InterfaceReg::MsgIp).unwrap(), 0xCAFE);
-    println!("type-0 user message: MsgIp = {:#x} (the in-message handler IP)", 0xCAFE);
+    println!(
+        "type-0 user message: MsgIp = {:#x} (the in-message handler IP)",
+        0xCAFE
+    );
     println!("\nprotection never interfered with the §2.2 dispatch optimizations.");
 }

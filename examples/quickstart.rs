@@ -116,8 +116,14 @@ fn server(model: Model) -> Program {
             a.halt();
         }
         (FeatureLevel::Basic, NiMapping::RegisterFile) => {
-            a.mov(gpr_alias(InterfaceReg::O0), gpr_alias(InterfaceReg::input(1)));
-            a.mov(gpr_alias(InterfaceReg::O1), gpr_alias(InterfaceReg::input(2)));
+            a.mov(
+                gpr_alias(InterfaceReg::O0),
+                gpr_alias(InterfaceReg::input(1)),
+            );
+            a.mov(
+                gpr_alias(InterfaceReg::O1),
+                gpr_alias(InterfaceReg::input(2)),
+            );
             a.mov(gpr_alias(InterfaceReg::O4), Reg::R0); // reply id = 0
             a.ld_r_ni(
                 gpr_alias(InterfaceReg::O2),
@@ -173,7 +179,11 @@ fn requester(model: Model, server_node: NodeId) -> Program {
                 }
                 a.mov(gpr_alias(InterfaceReg::O0), Reg::R2);
                 a.mov(gpr_alias(InterfaceReg::O1), Reg::R3);
-                a.mov_ni(gpr_alias(InterfaceReg::O2), Reg::R5, NiCmd::send(ty(READ_TYPE)));
+                a.mov_ni(
+                    gpr_alias(InterfaceReg::O2),
+                    Reg::R5,
+                    NiCmd::send(ty(READ_TYPE)),
+                );
             }
             _ => {
                 a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
@@ -218,11 +228,19 @@ fn requester(model: Model, server_node: NodeId) -> Program {
         a.label("reply_handler");
         match model.mapping {
             NiMapping::RegisterFile => {
-                a.st(gpr_alias(InterfaceReg::input(2)), Reg::R0, RESULT_ADDR as i16);
+                a.st(
+                    gpr_alias(InterfaceReg::input(2)),
+                    Reg::R0,
+                    RESULT_ADDR as i16,
+                );
                 a.mov_ni(Reg::R2, Reg::R2, NiCmd::next());
             }
             _ => {
-                a.ld(Reg::R7, Reg::R9, off(cmd_addr(InterfaceReg::I2, NiCmd::next())));
+                a.ld(
+                    Reg::R7,
+                    Reg::R9,
+                    off(cmd_addr(InterfaceReg::I2, NiCmd::next())),
+                );
                 a.st(Reg::R7, Reg::R0, RESULT_ADDR as i16);
             }
         }
@@ -280,8 +298,6 @@ fn main() {
         cycles_by_model[5],
         cycles_by_model[5] as f64 / cycles_by_model[0] as f64
     );
-    println!(
-        "\nOn the optimized register-mapped model the server's Read service is the"
-    );
+    println!("\nOn the optimized register-mapped model the server's Read service is the");
     println!("paper's two RISC instructions: `jmp MsgIp` + `ld o2,[i0], SEND-reply, NEXT`.");
 }

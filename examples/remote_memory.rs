@@ -27,14 +27,47 @@ fn build() -> TamProgram {
         b.define_thread(
             t_loop,
             vec![
-                TamOp::Float { op: FloatOp::FromInt, dst: 3, a: 2, b: 2 },
+                TamOp::Float {
+                    op: FloatOp::FromInt,
+                    dst: 3,
+                    a: 2,
+                    b: 2,
+                },
                 // Busywork: makes the producer slow enough to lose the race.
-                TamOp::Int { op: IntOp::Add, dst: 5, a: 5, b: 2 },
-                TamOp::Int { op: IntOp::Add, dst: 5, a: 5, b: 2 },
-                TamOp::IStore { arr: 1, idx: 2, val: 3 },
-                TamOp::IntI { op: IntOp::Add, dst: 2, a: 2, imm: 1 },
-                TamOp::IntI { op: IntOp::Lt, dst: 4, a: 2, imm: N },
-                TamOp::Switch { cond: 4, if_true: t_loop, if_false: t_end },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 5,
+                    a: 5,
+                    b: 2,
+                },
+                TamOp::Int {
+                    op: IntOp::Add,
+                    dst: 5,
+                    a: 5,
+                    b: 2,
+                },
+                TamOp::IStore {
+                    arr: 1,
+                    idx: 2,
+                    val: 3,
+                },
+                TamOp::IntI {
+                    op: IntOp::Add,
+                    dst: 2,
+                    a: 2,
+                    imm: 1,
+                },
+                TamOp::IntI {
+                    op: IntOp::Lt,
+                    dst: 4,
+                    a: 2,
+                    imm: N,
+                },
+                TamOp::Switch {
+                    cond: 4,
+                    if_true: t_loop,
+                    if_false: t_end,
+                },
             ],
         );
         b.define_thread(t_end, vec![TamOp::Mov { dst: 4, src: 4 }]);
@@ -55,21 +88,54 @@ fn build() -> TamProgram {
         };
         b.define_thread(
             t_entry,
-            vec![TamOp::Imm { dst: 3, value: 0 }, TamOp::Fork { thread: t_fetch }],
+            vec![
+                TamOp::Imm { dst: 3, value: 0 },
+                TamOp::Fork { thread: t_fetch },
+            ],
         );
-        b.define_thread(t_fetch, vec![TamOp::IFetch { arr: 1, idx: 3, inlet: v_in }]);
+        b.define_thread(
+            t_fetch,
+            vec![TamOp::IFetch {
+                arr: 1,
+                idx: 3,
+                inlet: v_in,
+            }],
+        );
         b.define_thread(
             t_accum,
             vec![
-                TamOp::Float { op: FloatOp::Add, dst: 4, a: 4, b: 5 },
-                TamOp::IntI { op: IntOp::Add, dst: 3, a: 3, imm: 1 },
-                TamOp::IntI { op: IntOp::Lt, dst: 6, a: 3, imm: N },
-                TamOp::Switch { cond: 6, if_true: t_fetch, if_false: t_done },
+                TamOp::Float {
+                    op: FloatOp::Add,
+                    dst: 4,
+                    a: 4,
+                    b: 5,
+                },
+                TamOp::IntI {
+                    op: IntOp::Add,
+                    dst: 3,
+                    a: 3,
+                    imm: 1,
+                },
+                TamOp::IntI {
+                    op: IntOp::Lt,
+                    dst: 6,
+                    a: 3,
+                    imm: N,
+                },
+                TamOp::Switch {
+                    cond: 6,
+                    if_true: t_fetch,
+                    if_false: t_done,
+                },
             ],
         );
         b.define_thread(
             t_done,
-            vec![TamOp::SendArgs { fp: 2, inlet: tcni::tam::InletId(0), args: vec![4] }],
+            vec![TamOp::SendArgs {
+                fp: 2,
+                inlet: tcni::tam::InletId(0),
+                args: vec![4],
+            }],
         );
     });
 
@@ -95,7 +161,11 @@ fn build() -> TamProgram {
                     block: tcni::tam::CodeBlockId(0),
                     dst_fp: 2,
                 },
-                TamOp::SendArgs { fp: 2, inlet: tcni::tam::InletId(0), args: vec![1] },
+                TamOp::SendArgs {
+                    fp: 2,
+                    inlet: tcni::tam::InletId(0),
+                    args: vec![1],
+                },
                 TamOp::Imm { dst: 7, value: 0 },
                 TamOp::Fork { thread: t_spawn },
             ],
@@ -112,13 +182,33 @@ fn build() -> TamProgram {
                     inlet: tcni::tam::InletId(0),
                     args: vec![1, 0],
                 },
-                TamOp::IntI { op: IntOp::Add, dst: 7, a: 7, imm: 1 },
-                TamOp::IntI { op: IntOp::Lt, dst: 8, a: 7, imm: CONSUMERS },
-                TamOp::Switch { cond: 8, if_true: t_spawn, if_false: t_end },
+                TamOp::IntI {
+                    op: IntOp::Add,
+                    dst: 7,
+                    a: 7,
+                    imm: 1,
+                },
+                TamOp::IntI {
+                    op: IntOp::Lt,
+                    dst: 8,
+                    a: 7,
+                    imm: CONSUMERS,
+                },
+                TamOp::Switch {
+                    cond: 8,
+                    if_true: t_spawn,
+                    if_false: t_end,
+                },
             ],
         );
         b.define_thread(t_end, vec![TamOp::Mov { dst: 8, src: 8 }]);
-        b.define_thread(t_got, vec![TamOp::Join { counter: 4, thread: t_fin }]);
+        b.define_thread(
+            t_got,
+            vec![TamOp::Join {
+                counter: 4,
+                thread: t_fin,
+            }],
+        );
         b.define_thread(t_fin, vec![TamOp::Imm { dst: 6, value: 1 }]);
     });
 
@@ -140,14 +230,26 @@ fn main() {
 
     let msgs = &m.counts().msgs;
     println!("\nI-structure traffic while {CONSUMERS} consumers raced one producer:");
-    println!("  PRead full      : {:>6}  (value already present)", msgs.pread_full);
-    println!("  PRead empty     : {:>6}  (first reader deferred)", msgs.pread_empty);
-    println!("  PRead deferred  : {:>6}  (queued behind other readers)", msgs.pread_deferred);
+    println!(
+        "  PRead full      : {:>6}  (value already present)",
+        msgs.pread_full
+    );
+    println!(
+        "  PRead empty     : {:>6}  (first reader deferred)",
+        msgs.pread_empty
+    );
+    println!(
+        "  PRead deferred  : {:>6}  (queued behind other readers)",
+        msgs.pread_deferred
+    );
     println!(
         "  PWrite deferred : {:>6}  satisfying {} waiting readers (the 15+6n path)",
         msgs.pwrite_deferred_events, msgs.pwrite_deferred_readers
     );
-    assert!(msgs.pread_empty + msgs.pread_deferred > 0, "the race must defer someone");
+    assert!(
+        msgs.pread_empty + msgs.pread_deferred > 0,
+        "the race must defer someone"
+    );
     assert_eq!(
         msgs.pread_full + msgs.pread_empty + msgs.pread_deferred,
         u64::from(N * CONSUMERS)

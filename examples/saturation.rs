@@ -93,7 +93,10 @@ fn main() {
         ni.write_reg(InterfaceReg::IpBase, TABLE).expect("IpBase");
         ni.set_control(Control::new().with_input_threshold(IN_THRESHOLD));
     }
-    machine.node_mut(1).cpu_mut().set_reg(Reg::R8, u32::from(FLOOD));
+    machine
+        .node_mut(1)
+        .cpu_mut()
+        .set_reg(Reg::R8, u32::from(FLOOD));
 
     let outcome = machine.run(100_000);
     assert_eq!(outcome, RunOutcome::Quiescent, "{outcome:?}");
@@ -108,7 +111,10 @@ fn main() {
     println!("  …via the iafull drain variant: {drained}");
     println!("  producer SEND-stall cycles   : {producer_stalls}");
     println!("  mesh hops blocked by backpressure: {}", net.blocked_hops);
-    println!("  consumer input-queue high-water  : {}", machine.node(1).ni().stats().input_hwm);
+    println!(
+        "  consumer input-queue high-water  : {}",
+        machine.node(1).ni().stats().input_hwm
+    );
     println!();
     println!("The handler never polled STATUS: the queue check rode in MsgIp (Figure 7).");
 

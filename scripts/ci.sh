@@ -13,14 +13,25 @@ if [[ "${1:-}" == "--soak" ]]; then
     export TCNI_CHECK_CASES=2560
 fi
 
+echo "== rustfmt =="
+cargo fmt --check
+
 echo "== build (offline) =="
 cargo build --workspace --release --offline
+
+echo "== clippy (offline, warnings are errors) =="
+cargo clippy --workspace --release --offline -- -D warnings
 
 echo "== tests (offline, all crates) =="
 cargo test --workspace --release --offline -q
 
 echo "== smoke: Table 1 =="
-cargo run --release --offline -p tcni-bench --bin table1 > /dev/null
+cargo run --release --offline -p tcni-bench --bin table1 -- --obs > /dev/null
+
+echo "== smoke: netstats (tcni-trace/1 artifact) =="
+cargo run --release --offline -p tcni-bench --bin netstats -- \
+    --width 2 --height 2 --msgs 4 --quiet --out target/TRACE_netstats.ci.json
+grep -q '"schema": "tcni-trace/1"' target/TRACE_netstats.ci.json
 
 echo "== smoke: perf harness (quick) =="
 TCNI_BENCH_OUT=target/BENCH_simulator.ci.json \

@@ -53,7 +53,11 @@ fn requester(model: Model, k: u16) -> Program {
             NiMapping::RegisterFile => {
                 a.mov(gpr_alias(InterfaceReg::O0), Reg::R2);
                 a.mov(gpr_alias(InterfaceReg::O1), Reg::R3);
-                a.mov_ni(gpr_alias(InterfaceReg::O2), Reg::R5, NiCmd::send(ty(READ_TYPE)));
+                a.mov_ni(
+                    gpr_alias(InterfaceReg::O2),
+                    Reg::R5,
+                    NiCmd::send(ty(READ_TYPE)),
+                );
             }
             _ => {
                 a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
@@ -90,7 +94,11 @@ fn requester(model: Model, k: u16) -> Program {
                 a.mov_ni(Reg::R4, Reg::R4, NiCmd::next());
             }
             _ => {
-                a.ld(Reg::R8, Reg::R9, off(cmd_addr(InterfaceReg::I2, NiCmd::next())));
+                a.ld(
+                    Reg::R8,
+                    Reg::R9,
+                    off(cmd_addr(InterfaceReg::I2, NiCmd::next())),
+                );
                 a.st(Reg::R8, Reg::R0, 0x80);
             }
         }
@@ -211,7 +219,10 @@ fn model_deltas_match_table1_within_tolerance() {
         marginal.push((c2 - c1) as f64 / trips);
     }
     // Direct marginal cost per trip must *order* like the analytic model…
-    assert!(marginal[0] < marginal[1] && marginal[1] <= marginal[2], "{marginal:?}");
+    assert!(
+        marginal[0] < marginal[1] && marginal[1] <= marginal[2],
+        "{marginal:?}"
+    );
     // …and model-to-model deltas must track Table 1 within one poll period.
     // (The requester only observes the reply at poll-loop boundaries, and a
     // poll iteration itself is costlier off-chip — a real second-order

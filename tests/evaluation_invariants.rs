@@ -19,7 +19,8 @@ fn dispatch_row_matches_the_paper_exactly() {
     let p = paper::published();
     for (i, (m, pub_m)) in t.models.iter().zip(p.iter()).enumerate() {
         assert_eq!(
-            m.dispatch, pub_m.dispatch,
+            m.dispatch,
+            pub_m.dispatch,
             "dispatch cost of {} must match the paper",
             Model::ALL_SIX[i]
         );
@@ -77,7 +78,10 @@ fn deferred_pwrite_is_linear_and_slopes_order() {
     // and checks the third point); here we pin the slope ordering.
     let t = measured();
     for m in &t.models {
-        assert!(m.proc_pwrite_deferred_slope >= 5, "a reader costs several cycles");
+        assert!(
+            m.proc_pwrite_deferred_slope >= 5,
+            "a reader costs several cycles"
+        );
         assert!(m.proc_pwrite_deferred_slope <= 10);
     }
 }
@@ -105,7 +109,10 @@ fn sending_ranges_only_on_register_mapping() {
         let is_reg = Model::ALL_SIX[i].mapping == tcni::sim::NiMapping::RegisterFile;
         for k in 0..3 {
             if !is_reg {
-                assert_eq!(m.send[k].min, m.send[k].max, "memory-mapped costs are fixed");
+                assert_eq!(
+                    m.send[k].min, m.send[k].max,
+                    "memory-mapped costs are fixed"
+                );
             }
         }
         if is_reg {

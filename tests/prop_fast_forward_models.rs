@@ -46,7 +46,11 @@ fn remote_read_is_equivalent_on_all_six_models() {
         let os = slow.run(budget);
 
         assert_eq!(of, os, "{model} mesh={mesh} latency={latency}");
-        assert_eq!(of, RunOutcome::Quiescent, "{model} must finish in budget {budget}");
+        assert_eq!(
+            of,
+            RunOutcome::Quiescent,
+            "{model} must finish in budget {budget}"
+        );
         assert_eq!(fast.cycle(), slow.cycle(), "{model} machine cycle");
         assert_eq!(fast.net_stats(), slow.net_stats(), "{model} network stats");
         assert_eq!(
@@ -64,4 +68,62 @@ fn remote_read_is_equivalent_on_all_six_models() {
             }
         }
     });
+}
+
+/// The observability subsystem must be invisible to the fast-forward
+/// optimization: with tracing and message-lifecycle spans enabled, the
+/// skip-ahead machine must emit bit-identical trace events (including the
+/// ring-buffer dropped count) and a byte-identical `tcni-trace/1` report.
+/// Instrumentation must also leave the simulation itself untouched — an
+/// uninstrumented machine reaches the same cycle with the same counters.
+#[test]
+fn trace_and_obs_are_identical_under_fast_forward() {
+    check(
+        "trace_and_obs_are_identical_under_fast_forward",
+        32,
+        |rng| {
+            let model = *rng.pick(&Model::ALL_SIX);
+            let mesh = rng.bool();
+            let latency = rng.below(80);
+            let budget = rng.range(4_000, 20_000);
+            // Small capacities force the trace/span ring buffers to wrap, so the
+            // dropped counters are exercised too.
+            let capacity = rng.range(1, 24) as usize;
+
+            let mut fast = build(model, mesh, latency, true);
+            let mut slow = build(model, mesh, latency, false);
+            for machine in [&mut fast, &mut slow] {
+                machine.enable_trace(capacity);
+                machine.enable_obs(capacity);
+            }
+            let ctx = format!("{model} mesh={mesh} latency={latency} capacity={capacity}");
+            assert_eq!(fast.run(budget), slow.run(budget), "{ctx}");
+            assert_eq!(fast.cycle(), slow.cycle(), "{ctx} machine cycle");
+
+            let (tf, ts) = (fast.trace().unwrap(), slow.trace().unwrap());
+            assert_eq!(tf.dropped(), ts.dropped(), "{ctx} trace dropped count");
+            assert!(tf.events().eq(ts.events()), "{ctx} trace events");
+
+            let (rf, rs) = (fast.obs_report().unwrap(), slow.obs_report().unwrap());
+            assert_eq!(rf.to_json(), rs.to_json(), "{ctx} tcni-trace/1 report");
+
+            // Instrumentation is observation-only: a machine without it reaches
+            // the same cycle with the same architectural state and counters.
+            let mut plain = build(model, mesh, latency, true);
+            plain.run(budget);
+            assert_eq!(plain.cycle(), fast.cycle(), "{ctx} obs changed timing");
+            assert_eq!(
+                plain.net_stats(),
+                fast.net_stats(),
+                "{ctx} obs changed net stats"
+            );
+            for i in 0..2 {
+                assert_eq!(
+                    plain.node(i).cpu().stats(),
+                    fast.node(i).cpu().stats(),
+                    "{ctx} obs changed node {i} stats"
+                );
+            }
+        },
+    );
 }

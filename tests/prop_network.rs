@@ -45,8 +45,8 @@ fn push_through(net: &mut dyn Network, traffic: &[Traffic]) -> Vec<(u8, u32)> {
         loop {
             match net.inject(NodeId::new(t.src), msg) {
                 Ok(()) => break,
-                Err(back) => {
-                    msg = back;
+                Err(e) => {
+                    msg = e.into_message();
                     net.tick();
                     drain(net, &mut delivered);
                 }
@@ -86,8 +86,13 @@ fn mesh_preserves_pairwise_order() {
     check("mesh_preserves_pairwise_order", CASES, |rng| {
         let count = rng.range(1, 24) as u32;
         let mut mesh = Mesh2d::new(MeshConfig::new(3, 2));
-        let traffic: Vec<Traffic> =
-            (0..count).map(|i| Traffic { src: 0, dst: 5, tag: i }).collect();
+        let traffic: Vec<Traffic> = (0..count)
+            .map(|i| Traffic {
+                src: 0,
+                dst: 5,
+                tag: i,
+            })
+            .collect();
         let got = push_through(&mut mesh, &traffic);
         let order: Vec<u32> = got.into_iter().map(|(_, tag)| tag).collect();
         assert_eq!(order, (0..count).collect::<Vec<_>>());
@@ -100,7 +105,10 @@ fn mesh_preserves_pairwise_order() {
 fn interface_queueing_is_loss_free() {
     check("interface_queueing_is_loss_free", CASES, |rng| {
         let tags: Vec<u32> = (0..rng.below(64)).map(|_| rng.u32()).collect();
-        let cfg = NiConfig { input_capacity: 4, ..NiConfig::default() };
+        let cfg = NiConfig {
+            input_capacity: 4,
+            ..NiConfig::default()
+        };
         let mut ni = NetworkInterface::new(cfg);
         let mut accepted = Vec::new();
         let mut received = Vec::new();
@@ -141,12 +149,15 @@ fn msg_ip_is_always_well_formed() {
         let thresh = rng.below(4) as u32;
         let fill = rng.below(8) as usize;
         let mut ni = NetworkInterface::new(NiConfig::default());
-        ni.write_reg(tcni::core::InterfaceReg::IpBase, 0x8000).unwrap();
+        ni.write_reg(tcni::core::InterfaceReg::IpBase, 0x8000)
+            .unwrap();
         ni.set_control(tcni::core::Control::new().with_input_threshold(thresh));
         for _ in 0..fill {
-            ni.push_incoming(Message::new([0, 0, 0, 0, 0], MsgType::new(3).unwrap())).unwrap();
+            ni.push_incoming(Message::new([0, 0, 0, 0, 0], MsgType::new(3).unwrap()))
+                .unwrap();
         }
-        ni.push_incoming(Message::new([0, w1, 0, 0, 0], MsgType::new(mtype).unwrap())).unwrap();
+        ni.push_incoming(Message::new([0, w1, 0, 0, 0], MsgType::new(mtype).unwrap()))
+            .unwrap();
         let ip = ni.read_reg(tcni::core::InterfaceReg::MsgIp).unwrap();
         let in_table = (0x8000..0x8000 + tcni::core::dispatch::TABLE_BYTES).contains(&ip);
         let current_type = ni.current_type();

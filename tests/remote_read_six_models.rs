@@ -39,8 +39,14 @@ fn every_model_serves_a_remote_read() {
 fn completion_time_orderings() {
     let cycles: Vec<u64> = Model::ALL_SIX.iter().map(|m| run_model(*m)).collect();
     // Within each level: register ≤ on-chip ≤ off-chip.
-    assert!(cycles[0] <= cycles[1] && cycles[1] <= cycles[2], "{cycles:?}");
-    assert!(cycles[3] <= cycles[4] && cycles[4] <= cycles[5], "{cycles:?}");
+    assert!(
+        cycles[0] <= cycles[1] && cycles[1] <= cycles[2],
+        "{cycles:?}"
+    );
+    assert!(
+        cycles[3] <= cycles[4] && cycles[4] <= cycles[5],
+        "{cycles:?}"
+    );
     // Optimization beats placement pairwise.
     for i in 0..3 {
         assert!(cycles[i] < cycles[i + 3], "{cycles:?}");

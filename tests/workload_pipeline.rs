@@ -22,7 +22,10 @@ fn matmul_panel_shape() {
     assert!(h.comm_reduction > 2.0, "{fig}");
     assert!((0.15..0.6).contains(&h.total_cut), "{fig}");
     assert!(h.comm_fraction_before > 0.3, "{fig}");
-    assert!(h.comm_fraction_after < h.comm_fraction_before - 0.1, "{fig}");
+    assert!(
+        h.comm_fraction_after < h.comm_fraction_before - 0.1,
+        "{fig}"
+    );
 }
 
 #[test]
@@ -66,7 +69,10 @@ fn grain_size_matches_the_paper() {
     let out = programs::matmul::run(40, 32).unwrap();
     let f = out.counts.flops_per_message();
     assert!((2.0..6.0).contains(&f), "flops/message = {f}");
-    assert!(out.counts.message_op_fraction() < 0.10, "message instruction frequency");
+    assert!(
+        out.counts.message_op_fraction() < 0.10,
+        "message instruction frequency"
+    );
 }
 
 #[test]
@@ -75,7 +81,10 @@ fn workload_counts_scale_sanely() {
     let small = programs::matmul::run(8, 8).unwrap().counts;
     let large = programs::matmul::run(16, 8).unwrap().counts;
     let ratio = large.msgs.preads() as f64 / small.msgs.preads() as f64;
-    assert!((7.0..9.1).contains(&ratio), "n³ scaling of PReads, got {ratio}");
+    assert!(
+        (7.0..9.1).contains(&ratio),
+        "n³ scaling of PReads, got {ratio}"
+    );
 }
 
 #[test]
