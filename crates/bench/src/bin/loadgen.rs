@@ -1,0 +1,148 @@
+//! The synthetic load generator: sweeps offered load across {model ×
+//! fabric × pattern} cells, prints a per-curve summary, and writes the
+//! versioned `tcni-load/1` JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p tcni-bench --bin loadgen \
+//!     [-- --models opt-reg,basic-reg --fabrics ideal,mesh \
+//!         --patterns uniform,hotspot --rates 50,150,300,500,700 \
+//!         --windows 1,2,4 --width 4 --height 4 --seed 1 \
+//!         --warmup 2000 --measure 6000 --out BENCH_loadgen.json]
+//! ```
+//!
+//! `--models all` selects all six §4 models; `--windows none` disables the
+//! closed-loop curves; `--patterns` accepts `hotspot:NNN` for an explicit
+//! per-mille skew and `--fabrics` accepts `ideal:N` for an explicit latency.
+//! Worker threads come from `TCNI_THREADS` (default: available
+//! parallelism); the artifact is byte-identical at any thread count.
+
+use tcni_bench::load::{summarize, LoadgenConfig};
+use tcni_sim::Model;
+use tcni_workload::{Fabric, Pattern, SweepConfig, Topology};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--models LIST|all] [--fabrics LIST] [--patterns LIST] \
+         [--rates LIST] [--windows LIST|none] [--width W] [--height H] \
+         [--seed S] [--warmup N] [--measure N] [--samples N] [--out PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T>(s: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    s.split(',')
+        .map(|item| {
+            parse(item.trim()).unwrap_or_else(|| {
+                eprintln!("loadgen: bad {what} entry {item:?}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn parse_model(s: &str) -> Option<Model> {
+    Model::ALL_SIX.into_iter().find(|m| m.key() == s)
+}
+
+fn main() {
+    let mut width = 4usize;
+    let mut height = 4usize;
+    let mut seed = 1u64;
+    let mut warmup = 2000u64;
+    let mut measure = 6000u64;
+    let mut samples = 8u32;
+    let mut models: Option<Vec<Model>> = None;
+    let mut fabrics: Option<Vec<Fabric>> = None;
+    let mut patterns: Option<Vec<Pattern>> = None;
+    let mut rates: Option<Vec<u32>> = None;
+    let mut windows: Option<Vec<u32>> = None;
+    let mut out_path = String::from("BENCH_loadgen.json");
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--models" => {
+                let v = take("--models");
+                models = Some(if v == "all" {
+                    Model::ALL_SIX.to_vec()
+                } else {
+                    parse_list(&v, "model", parse_model)
+                });
+            }
+            "--fabrics" => fabrics = Some(parse_list(&take("--fabrics"), "fabric", Fabric::parse)),
+            "--patterns" => {
+                patterns = Some(parse_list(&take("--patterns"), "pattern", Pattern::parse))
+            }
+            "--rates" => rates = Some(parse_list(&take("--rates"), "rate", |s| s.parse().ok())),
+            "--windows" => {
+                let v = take("--windows");
+                windows = Some(if v == "none" {
+                    Vec::new()
+                } else {
+                    parse_list(&v, "window", |s| s.parse().ok())
+                });
+            }
+            "--width" => width = take("--width").parse().unwrap_or_else(|_| usage()),
+            "--height" => height = take("--height").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = take("--seed").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = take("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--measure" => measure = take("--measure").parse().unwrap_or_else(|_| usage()),
+            "--samples" => samples = take("--samples").parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = take("--out"),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    if width == 0 || height == 0 || width * height < 2 || width * height > 256 {
+        eprintln!("loadgen: need a 2..=256-node grid");
+        std::process::exit(2);
+    }
+    if measure == 0 {
+        eprintln!("loadgen: --measure must be positive");
+        std::process::exit(2);
+    }
+
+    let mut sweep = SweepConfig::new(Topology::new(width, height));
+    sweep.seed = seed;
+    sweep.warmup = warmup;
+    sweep.measure = measure;
+    sweep.samples = samples;
+    let mut config = LoadgenConfig::new(sweep);
+    if let Some(models) = models {
+        config.models = models;
+    }
+    if let Some(fabrics) = fabrics {
+        config.fabrics = fabrics;
+    }
+    if let Some(patterns) = patterns {
+        config.patterns = patterns;
+    }
+    if let Some(rates) = rates {
+        config.rates_pm = rates;
+    }
+    if let Some(windows) = windows {
+        config.windows = windows;
+    }
+    if config.rates_pm.windows(2).any(|w| w[0] >= w[1]) {
+        eprintln!("loadgen: --rates must be strictly ascending");
+        std::process::exit(2);
+    }
+
+    let report = config.run();
+    if !quiet {
+        println!(
+            "offered-load sweep: {width}×{height} grid, {} curve(s), warmup {warmup} + measure {measure} cycles per point",
+            report.curves.len()
+        );
+        print!("{}", summarize(&report));
+    }
+    std::fs::write(&out_path, report.to_json()).expect("write load artifact");
+    println!("wrote {out_path} (schema tcni-load/1)");
+}

@@ -13,6 +13,10 @@
 //! * `netstats` — the observability reporter: runs an instrumented mesh
 //!   ring workload and emits the `tcni-trace/1` JSON artifact plus a
 //!   human-readable summary (see [`obs_run`] and EXPERIMENTS.md);
+//! * `loadgen` — the synthetic load generator: offered-load/latency sweeps
+//!   over {model × fabric × pattern} cells with saturation detection,
+//!   written as the `tcni-load/1` artifact (see [`load`] and
+//!   EXPERIMENTS.md);
 //! * `perf` — the in-tree performance benches of the simulators themselves
 //!   (see [`perf`]): machine-step throughput, mesh delivery rate, and the
 //!   serial-vs-parallel evaluation pipeline, written to
@@ -22,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod load;
 pub mod obs_run;
 pub mod perf;
 

@@ -99,6 +99,7 @@ pub fn remote_read_machine(model: Model, latency: u64) -> Machine {
 /// the reporters demand complete runs.
 pub fn run_instrumented(mut machine: Machine, span_capacity: usize, budget: u64) -> ObsReport {
     machine.enable_obs(span_capacity);
+    machine.enable_trace(span_capacity);
     let outcome = machine.run(budget);
     assert_eq!(
         outcome,
@@ -133,6 +134,44 @@ mod tests {
         assert!(report.links.iter().any(|l| l.stats.hwm > 0));
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"tcni-trace/1\""));
+    }
+
+    #[test]
+    fn misaddressed_run_reports_bad_dest() {
+        use tcni_core::SendMode;
+        use tcni_sim::MachineBuilder;
+
+        // Two nodes, but node 0's only message is addressed to node 200:
+        // undeliverable on any fabric. The machine drops it (rather than
+        // wedging the output queue) and every layer must account for it.
+        let mut machine = MachineBuilder::new(2).build();
+        machine.enable_obs(16);
+        machine.enable_trace(16);
+        let ni = machine.node_mut(0).ni_mut();
+        ni.write_reg(InterfaceReg::O0, NodeId::new(200).into_word_bits())
+            .expect("O0 writable");
+        ni.send(SendMode::Send, MsgType::new(2).expect("type 2"))
+            .expect("send accepted");
+        assert_eq!(machine.run(1_000), RunOutcome::Quiescent);
+        let report = machine.obs_report().expect("observability enabled");
+        assert_eq!(report.net.bad_dest, 1);
+        assert_eq!(report.net.delivered, 0);
+        assert_eq!(report.nodes[0].msgs.bad_dest, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"bad_dest\": 1"), "{json}");
+    }
+
+    #[test]
+    fn trace_ring_drops_are_exported() {
+        // A capacity-8 ring cannot hold the ~28 events of a 2×2×3 ring run;
+        // the evictions must be visible in the artifact, not silent.
+        let report = run_instrumented(ring_machine(2, 2, 3), 8, 50_000);
+        assert!(report.trace_dropped > 0);
+        let json = report.to_json();
+        assert!(
+            json.contains(&format!("\"trace_dropped\": {}", report.trace_dropped)),
+            "{json}"
+        );
     }
 
     #[test]

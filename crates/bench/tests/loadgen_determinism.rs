@@ -1,0 +1,44 @@
+//! The load generator's bit-identity contract: the `tcni-load/1` artifact
+//! of a sweep is a pure function of its configuration — independent of the
+//! worker-thread count and repeatable run to run.
+//!
+//! This lives in its own integration-test binary because it mutates the
+//! process-global `TCNI_THREADS` override via [`par::set_threads`]; sharing
+//! a binary with other tests would race on it.
+
+use tcni_bench::load::LoadgenConfig;
+use tcni_eval::par;
+use tcni_workload::{Pattern, SweepConfig, Topology};
+
+fn small_sweep(seed: u64) -> String {
+    let mut sweep = SweepConfig::new(Topology::new(2, 2));
+    sweep.seed = seed;
+    sweep.warmup = 200;
+    sweep.measure = 1000;
+    sweep.samples = 2;
+    let mut cfg = LoadgenConfig::new(sweep);
+    cfg.patterns = vec![Pattern::Uniform, Pattern::Hotspot { hot_pm: 300 }];
+    cfg.rates_pm = vec![100, 500];
+    cfg.windows = vec![2];
+    cfg.run().to_json()
+}
+
+#[test]
+fn artifact_is_bit_identical_across_thread_counts_and_runs() {
+    par::set_threads(1);
+    let serial = small_sweep(42);
+    par::set_threads(4);
+    let parallel = small_sweep(42);
+    let repeat = small_sweep(42);
+    assert_eq!(
+        serial, parallel,
+        "TCNI_THREADS=1 vs 4 must serialize identically"
+    );
+    assert_eq!(
+        parallel, repeat,
+        "same-seed runs must serialize identically"
+    );
+    assert!(serial.contains("\"schema\": \"tcni-load/1\""));
+    // A different seed is a genuinely different experiment.
+    assert_ne!(serial, small_sweep(43));
+}

@@ -50,6 +50,58 @@ impl LatencyHist {
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// The `pct`-th percentile latency under the **upper-bound-of-bucket
+    /// convention**: the smallest bucket whose cumulative count reaches
+    /// `ceil(total · pct / 100)` answers with its *inclusive upper bound*
+    /// (a conservative estimate — the true percentile is never above it).
+    /// The open-ended last bucket has no upper bound and answers with its
+    /// lower bound instead, the only case where the estimate can be low.
+    ///
+    /// Returns `None` before any delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= pct <= 100`.
+    pub fn percentile(&self, pct: u32) -> Option<u64> {
+        assert!((1..=100).contains(&pct), "percentile {pct} out of range");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = u64::try_from((u128::from(total) * u128::from(pct)).div_ceil(100))
+            .expect("rank <= total");
+        let mut cumulative = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let (lo, hi) = Self::bounds(i);
+                return Some(if hi == u64::MAX { lo } else { hi });
+            }
+        }
+        unreachable!("rank <= total implies some bucket reaches it")
+    }
+
+    /// The histogram of deliveries recorded since `baseline` was snapshotted
+    /// from this same histogram (per-bucket subtraction). Used by measurement
+    /// windows: snapshot before, subtract after, extract percentiles of the
+    /// window alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any bucket of `baseline` exceeds this histogram's —
+    /// i.e. `baseline` is not an earlier snapshot of the same counter stream.
+    pub fn since(&self, baseline: &LatencyHist) -> LatencyHist {
+        let mut out = LatencyHist::default();
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            debug_assert!(
+                self.buckets[i] >= baseline.buckets[i],
+                "baseline is not an earlier snapshot (bucket {i})"
+            );
+            *slot = self.buckets[i].saturating_sub(baseline.buckets[i]);
+        }
+        out
+    }
 }
 
 impl fmt::Display for LatencyHist {
@@ -190,6 +242,59 @@ mod tests {
                 assert_eq!(LatencyHist::bucket_of(hi), i);
             }
         }
+    }
+
+    #[test]
+    fn percentile_upper_bound_convention() {
+        let mut h = LatencyHist::default();
+        assert_eq!(h.percentile(50), None);
+        // 10 deliveries: latencies 1..=10 land in buckets 1 (1), 2 (2,3),
+        // 3 (4..7), 4 (8,9,10).
+        for lat in 1..=10 {
+            h.record(lat);
+        }
+        // p50 → rank 5 → cumulative 1+2+4=7 at bucket 3 → upper bound 7.
+        assert_eq!(h.percentile(50), Some(7));
+        // p10 → rank 1 → bucket 1 → upper bound 1.
+        assert_eq!(h.percentile(10), Some(1));
+        // p99/p100 → rank 10 → bucket 4 → upper bound 15.
+        assert_eq!(h.percentile(99), Some(15));
+        assert_eq!(h.percentile(100), Some(15));
+        // A single sample answers every percentile with its bucket.
+        let mut one = LatencyHist::default();
+        one.record(3);
+        assert_eq!(one.percentile(1), Some(3));
+        assert_eq!(one.percentile(99), Some(3));
+    }
+
+    #[test]
+    fn percentile_open_bucket_answers_lower_bound() {
+        let mut h = LatencyHist::default();
+        h.record(u64::MAX);
+        let (lo, hi) = LatencyHist::bounds(LatencyHist::BUCKETS - 1);
+        assert_eq!(hi, u64::MAX);
+        assert_eq!(h.percentile(99), Some(lo));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile 0 out of range")]
+    fn percentile_rejects_zero() {
+        let _ = LatencyHist::default().percentile(0);
+    }
+
+    #[test]
+    fn since_isolates_a_window() {
+        let mut h = LatencyHist::default();
+        h.record(1);
+        h.record(100);
+        let snapshot = h;
+        h.record(2);
+        h.record(2);
+        let window = h.since(&snapshot);
+        assert_eq!(window.total(), 2);
+        assert_eq!(window.percentile(99), Some(3)); // bucket of 2 is [2,3]
+                                                    // The full histogram is unchanged by the subtraction.
+        assert_eq!(h.total(), 4);
     }
 
     #[test]

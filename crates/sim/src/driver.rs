@@ -1,0 +1,45 @@
+//! External cycle drivers: synthetic "processors" plugged into the machine
+//! loop.
+//!
+//! The paper's evaluation runs real programs on the simulated CPUs, but the
+//! offered-load/latency characterization (the `tcni-workload` crate) needs
+//! the opposite: nodes whose traffic is *synthesized* at a controlled rate,
+//! with the architected network interfaces, queues, and fabric unchanged. A
+//! [`CycleDriver`] is that synthetic processor: once per global cycle, before
+//! the network phases, it may operate any node's interface — compose and
+//! SEND messages, consume arrived ones with NEXT — through exactly the same
+//! `NetworkInterface` API the instruction-driven models use.
+//!
+//! [`Machine::run_driven`](crate::Machine::run_driven) threads a driver
+//! through the stepping loop. Everything downstream of the interfaces —
+//! injection arbitration, fabric ticks, backpressure, delivery, statistics,
+//! tracing, observability — is the ordinary machine loop; the driver only
+//! replaces the instruction stream.
+
+use crate::node::Node;
+
+/// A synthetic per-cycle actor driving node interfaces from outside the
+/// instruction set.
+///
+/// Called at the top of every machine cycle (the position of the processor
+/// phase). Implementations typically enqueue outgoing messages via
+/// [`NetworkInterface::write_reg`](tcni_core::NetworkInterface::write_reg) +
+/// [`send`](tcni_core::NetworkInterface::send) and drain arrived ones via
+/// [`next`](tcni_core::NetworkInterface::next) — respecting whatever pacing
+/// discipline they model.
+pub trait CycleDriver {
+    /// One driver step for global cycle `cycle` over all nodes.
+    ///
+    /// Return `false` to stop the run after this cycle's network phases
+    /// (e.g. when a measurement window is complete);
+    /// [`Machine::run_driven`](crate::Machine::run_driven) then returns
+    /// [`RunOutcome::DriverStopped`](crate::RunOutcome::DriverStopped).
+    fn on_cycle(&mut self, cycle: u64, nodes: &mut [Node]) -> bool;
+}
+
+/// A closure is a driver: `|cycle, nodes| { ...; true }`.
+impl<F: FnMut(u64, &mut [Node]) -> bool> CycleDriver for F {
+    fn on_cycle(&mut self, cycle: u64, nodes: &mut [Node]) -> bool {
+        self(cycle, nodes)
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod driver;
 mod env;
 mod machine;
 mod model;
@@ -24,6 +25,7 @@ mod node;
 mod obs;
 mod trace;
 
+pub use driver::CycleDriver;
 pub use env::NodeEnv;
 pub use machine::{Machine, MachineBuilder, RunOutcome};
 pub use model::{Model, NiMapping};

@@ -7,6 +7,7 @@ use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::Program;
 use tcni_net::{IdealNetwork, InjectError, Mesh2d, MeshConfig, NetStats, Network, NetworkKind};
 
+use crate::driver::CycleDriver;
 use crate::model::{Model, NiMapping};
 use crate::node::Node;
 use crate::obs::{NodeRollup, Obs, ObsReport};
@@ -22,6 +23,8 @@ pub enum RunOutcome {
     StoppedWithTraffic,
     /// The cycle budget ran out first.
     CycleLimit,
+    /// The [`CycleDriver`] of a [`Machine::run_driven`] call asked to stop.
+    DriverStopped,
 }
 
 /// A complete simulated multicomputer.
@@ -187,6 +190,7 @@ impl Machine {
             spans: obs.spans().copied().collect(),
             spans_dropped: obs.spans_dropped(),
             spans_open: obs.spans_open(),
+            trace_dropped: self.trace.as_ref().map_or(0, Trace::dropped),
         })
     }
 
@@ -511,6 +515,61 @@ impl Machine {
             (false, true) => self.run_impl::<false, true>(max_cycles),
             (true, true) => self.run_impl::<true, true>(max_cycles),
         }
+    }
+
+    /// Runs with a [`CycleDriver`] supplying the per-cycle stimulus: each
+    /// cycle, the driver acts first (in the position of the processor phase),
+    /// then any still-running processors step, then the normal network phases
+    /// run. Returns when the driver asks to stop or `max_cycles` elapse.
+    ///
+    /// Unlike [`run`](Machine::run), a driven machine never fast-forwards —
+    /// the driver is assumed to have work every cycle — and does not stop
+    /// just because every processor halted: load generators run entirely on
+    /// machines whose CPUs halt at cycle 0.
+    pub fn run_driven<D: CycleDriver>(&mut self, driver: &mut D, max_cycles: u64) -> RunOutcome {
+        match (self.trace.is_some(), self.obs.is_some()) {
+            (false, false) => self.run_driven_impl::<false, false, D>(driver, max_cycles),
+            (true, false) => self.run_driven_impl::<true, false, D>(driver, max_cycles),
+            (false, true) => self.run_driven_impl::<false, true, D>(driver, max_cycles),
+            (true, true) => self.run_driven_impl::<true, true, D>(driver, max_cycles),
+        }
+    }
+
+    fn run_driven_impl<const TRACED: bool, const OBS: bool, D: CycleDriver>(
+        &mut self,
+        driver: &mut D,
+        max_cycles: u64,
+    ) -> RunOutcome {
+        let limit = self.cycle.saturating_add(max_cycles);
+        while self.cycle < limit {
+            let go_on = driver.on_cycle(self.cycle, &mut self.nodes);
+            // The driver may have queued messages on (or stopped draining)
+            // any node, including stopped ones.
+            self.refresh_lists();
+            let cycle = self.cycle;
+            self.step_cpus::<TRACED, OBS>();
+            if OBS {
+                // The driver's interface operations bypass `step_cpus`'s
+                // per-node depth mirroring (it only visits running nodes);
+                // re-mirror every node so enqueues and dispatches performed
+                // by the driver are stamped. Nodes already mirrored this
+                // cycle see unchanged depths — a no-op.
+                for i in 0..self.nodes.len() {
+                    let ni = self.nodes[i].ni();
+                    let out_len = ni.output_len();
+                    let in_depth = ni.input_len() + usize::from(ni.msg_valid());
+                    if let Some(o) = self.obs.as_mut() {
+                        o.after_cpu_node(i, out_len, in_depth, cycle);
+                    }
+                }
+            }
+            self.step_network::<TRACED, OBS>();
+            self.cycle += 1;
+            if !go_on {
+                return RunOutcome::DriverStopped;
+            }
+        }
+        RunOutcome::CycleLimit
     }
 
     fn run_impl<const TRACED: bool, const OBS: bool>(&mut self, max_cycles: u64) -> RunOutcome {

@@ -326,6 +326,9 @@ pub struct ObsReport {
     pub spans_dropped: u64,
     /// Messages still between stages at snapshot time.
     pub spans_open: u64,
+    /// Events evicted from the [`Trace`](crate::Trace) ring (`0` when the
+    /// trace is complete, or when tracing is disabled).
+    pub trace_dropped: u64,
 }
 
 /// The schema identifier embedded in the JSON export.
@@ -377,7 +380,17 @@ impl ObsReport {
             }
             push_num(&mut o, c);
         }
-        o.push_str("]}},\n  \"links\": [");
+        o.push(']');
+        for (label, pct) in [("p50", 50), ("p95", 95), ("p99", 99)] {
+            o.push_str(", \"");
+            o.push_str(label);
+            o.push_str("\": ");
+            match self.net.latency_hist.percentile(pct) {
+                Some(v) => push_num(&mut o, v),
+                None => o.push_str("null"),
+            }
+        }
+        o.push_str("}},\n  \"links\": [");
         for (i, l) in self.links.iter().enumerate() {
             if i > 0 {
                 o.push(',');
@@ -480,6 +493,8 @@ impl ObsReport {
         push_num(&mut o, self.spans_dropped);
         o.push_str(",\n  \"spans_open\": ");
         push_num(&mut o, self.spans_open);
+        o.push_str(",\n  \"trace_dropped\": ");
+        push_num(&mut o, self.trace_dropped);
         o.push_str("\n}\n");
         o
     }
@@ -622,10 +637,36 @@ mod tests {
             spans: Vec::new(),
             spans_dropped: 0,
             spans_open: 0,
+            trace_dropped: 3,
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"tcni-trace/1\""), "{json}");
         assert!(json.contains("\"bucket_lo\": [0, 1, 2, 4, 8"), "{json}");
+        // Percentiles of an empty histogram export as null, not fake zeros.
+        assert!(json.contains("\"p50\": null, \"p95\": null, \"p99\": null"));
+        assert!(json.contains("\"trace_dropped\": 3"), "{json}");
         assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn report_json_percentiles_follow_the_histogram() {
+        let mut net = NetStats::default();
+        for lat in [1, 1, 2, 5, 9] {
+            net.latency_hist.record(lat);
+        }
+        let report = ObsReport {
+            cycles: 1,
+            fabric: "ideal",
+            net,
+            links: Vec::new(),
+            nodes: Vec::new(),
+            spans: Vec::new(),
+            spans_dropped: 0,
+            spans_open: 0,
+            trace_dropped: 0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"p50\": 3"), "{json}");
+        assert!(json.contains("\"p99\": 15"), "{json}");
     }
 }

@@ -1,0 +1,298 @@
+//! Deterministic synthetic traffic patterns.
+//!
+//! Every pattern maps a *source* node to a *destination* node over a logical
+//! `width × height` grid (the same grid the [`Mesh2d`](tcni_net::Mesh2d)
+//! fabric routes on; the ideal fabric simply ignores the geometry). Random
+//! patterns draw from a caller-supplied SplitMix64 [`Rng`] — one independent
+//! stream per node — so a whole run is reproducible from a single seed and
+//! independent of host, thread count, and evaluation order.
+//!
+//! The menu is the classical NoC characterization set: uniform-random and
+//! hotspot stress global capacity; nearest-neighbour is the friendly
+//! baseline; bit-transpose and bit-complement are the adversarial
+//! permutations that concentrate load on the mesh bisection.
+
+use tcni_check::Rng;
+use tcni_core::NodeId;
+
+/// The logical node grid a pattern addresses.
+///
+/// Matches [`MeshConfig`](tcni_net::MeshConfig)'s `width × height` when the
+/// fabric is the mesh; on the ideal fabric the grid is only the pattern's
+/// coordinate system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Grid width (columns); node `i` sits at `(i % width, i / width)`.
+    pub width: usize,
+    /// Grid height (rows).
+    pub height: usize,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid or one exceeding the 256-node address space.
+    pub fn new(width: usize, height: usize) -> Topology {
+        assert!(width > 0 && height > 0, "empty topology");
+        assert!(width * height <= 256, "NodeId address space is 256 nodes");
+        Topology { width, height }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// A synthetic destination pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniform-random over all *other* nodes (self-sends excluded).
+    Uniform,
+    /// Ring successor `(i + 1) mod n` — on a row-major mesh this is the +x
+    /// neighbour except at row ends, the same shape as the `netstats` ring
+    /// workload.
+    Neighbor,
+    /// Matrix transpose `(x, y) → (y, x)`; requires a square grid. Diagonal
+    /// nodes have no partner and generate no traffic ([`dest`](Pattern::dest)
+    /// returns `None` for them).
+    Transpose,
+    /// Index complement `i → n − 1 − i` (bit-complement for power-of-two
+    /// `n`): every message crosses the mesh centre.
+    Complement,
+    /// `hot_pm` per-mille of traffic converges on node 0; the rest is
+    /// uniform-random over the other nodes.
+    Hotspot {
+        /// Per-mille of messages addressed to the hot node (`0..=1000`).
+        hot_pm: u32,
+    },
+}
+
+/// The default hotspot skew: 20% of all traffic to node 0.
+pub const DEFAULT_HOT_PM: u32 = 200;
+
+impl Pattern {
+    /// The patterns the load generator sweeps by default.
+    pub const DEFAULT_SET: [Pattern; 4] = [
+        Pattern::Uniform,
+        Pattern::Neighbor,
+        Pattern::Complement,
+        Pattern::Hotspot {
+            hot_pm: DEFAULT_HOT_PM,
+        },
+    ];
+
+    /// Short machine-readable name (stable; used in `tcni-load/1` output).
+    pub fn key(&self) -> &'static str {
+        match self {
+            Pattern::Uniform => "uniform",
+            Pattern::Neighbor => "neighbor",
+            Pattern::Transpose => "transpose",
+            Pattern::Complement => "complement",
+            Pattern::Hotspot { .. } => "hotspot",
+        }
+    }
+
+    /// Parses a pattern name as accepted by the `loadgen` CLI: a
+    /// [`key`](Pattern::key), with `hotspot` optionally carrying a skew as
+    /// `hotspot:NNN` (per-mille).
+    pub fn parse(s: &str) -> Option<Pattern> {
+        Some(match s {
+            "uniform" => Pattern::Uniform,
+            "neighbor" => Pattern::Neighbor,
+            "transpose" => Pattern::Transpose,
+            "complement" => Pattern::Complement,
+            "hotspot" => Pattern::Hotspot {
+                hot_pm: DEFAULT_HOT_PM,
+            },
+            _ => {
+                let pm = s.strip_prefix("hotspot:")?.parse().ok()?;
+                if pm > 1000 {
+                    return None;
+                }
+                Pattern::Hotspot { hot_pm: pm }
+            }
+        })
+    }
+
+    /// Whether the pattern is defined on this topology.
+    pub fn supports(&self, topo: &Topology) -> bool {
+        match self {
+            Pattern::Transpose => topo.width == topo.height,
+            _ => topo.nodes() >= 2,
+        }
+    }
+
+    /// The destination for one message from `src`, or `None` when the
+    /// pattern gives `src` no partner (a transpose-diagonal node, or a
+    /// degenerate one-node grid). Random patterns advance `rng`; fixed
+    /// permutations never touch it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is outside the topology or the pattern does not
+    /// support it (see [`supports`](Pattern::supports)).
+    pub fn dest(&self, src: usize, topo: &Topology, rng: &mut Rng) -> Option<NodeId> {
+        let n = topo.nodes();
+        assert!(src < n, "source {src} outside {n}-node topology");
+        let id = |i: usize| NodeId::new(i as u8);
+        match self {
+            Pattern::Uniform => Some(id(uniform_other(src, n, rng)?)),
+            Pattern::Neighbor => {
+                if n < 2 {
+                    return None;
+                }
+                Some(id((src + 1) % n))
+            }
+            Pattern::Transpose => {
+                assert!(self.supports(topo), "transpose needs a square grid");
+                let (x, y) = (src % topo.width, src / topo.width);
+                if x == y {
+                    return None;
+                }
+                Some(id(x * topo.width + y))
+            }
+            Pattern::Complement => {
+                let d = n - 1 - src;
+                if d == src {
+                    return None;
+                }
+                Some(id(d))
+            }
+            Pattern::Hotspot { hot_pm } => {
+                const HOT: usize = 0;
+                if src != HOT && rng.below(1000) < u64::from(*hot_pm) {
+                    return Some(id(HOT));
+                }
+                Some(id(uniform_other(src, n, rng)?))
+            }
+        }
+    }
+}
+
+/// A uniform node index in `[0, n)` excluding `src`.
+fn uniform_other(src: usize, n: usize, rng: &mut Rng) -> Option<usize> {
+    if n < 2 {
+        return None;
+    }
+    let d = rng.below(n as u64 - 1) as usize;
+    Some(if d >= src { d + 1 } else { d })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(4, 4)
+    }
+
+    #[test]
+    fn destinations_are_valid_and_never_self() {
+        let topo = topo();
+        for pattern in [
+            Pattern::Uniform,
+            Pattern::Neighbor,
+            Pattern::Transpose,
+            Pattern::Complement,
+            Pattern::Hotspot { hot_pm: 500 },
+        ] {
+            let mut rng = Rng::new(1);
+            for src in 0..topo.nodes() {
+                for _ in 0..100 {
+                    if let Some(d) = pattern.dest(src, &topo, &mut rng) {
+                        assert!(d.index() < topo.nodes(), "{pattern:?}");
+                        assert_ne!(d.index(), src, "{pattern:?} self-send");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_patterns_are_permutations() {
+        let topo = topo();
+        let mut rng = Rng::new(0);
+        // Complement is a full permutation; transpose permutes off-diagonal.
+        let mut seen = [false; 16];
+        for src in 0..16 {
+            let d = Pattern::Complement
+                .dest(src, &topo, &mut rng)
+                .expect("even n: total");
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+        assert_eq!(
+            Pattern::Transpose.dest(6, &topo, &mut rng), // (2,1) → (1,2)
+            Some(NodeId::new(9))
+        );
+        assert_eq!(Pattern::Transpose.dest(5, &topo, &mut rng), None); // diagonal
+    }
+
+    #[test]
+    fn hotspot_skews_toward_node_zero() {
+        let topo = topo();
+        let mut rng = Rng::new(7);
+        let pattern = Pattern::Hotspot { hot_pm: 500 };
+        let mut hot = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            if pattern.dest(5, &topo, &mut rng).unwrap().index() == 0 {
+                hot += 1;
+            }
+        }
+        // ~50% + uniform spillover; far more than the uniform 1/15.
+        assert!(hot > trials / 3, "hot fraction {hot}/{trials}");
+        // And uniform for comparison stays near 1/15.
+        let mut uni = 0;
+        for _ in 0..trials {
+            if Pattern::Uniform.dest(5, &topo, &mut rng).unwrap().index() == 0 {
+                uni += 1;
+            }
+        }
+        assert!(uni < trials / 8, "uniform fraction {uni}/{trials}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = topo();
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            (0..64)
+                .map(|i| {
+                    Pattern::Uniform
+                        .dest(i % 16, &topo, &mut rng)
+                        .unwrap()
+                        .index()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["uniform", "neighbor", "transpose", "complement"] {
+            assert_eq!(Pattern::parse(s).unwrap().key(), s);
+        }
+        assert_eq!(
+            Pattern::parse("hotspot"),
+            Some(Pattern::Hotspot { hot_pm: 200 })
+        );
+        assert_eq!(
+            Pattern::parse("hotspot:900"),
+            Some(Pattern::Hotspot { hot_pm: 900 })
+        );
+        assert_eq!(Pattern::parse("hotspot:1001"), None);
+        assert_eq!(Pattern::parse("nope"), None);
+    }
+
+    #[test]
+    fn transpose_requires_square() {
+        assert!(!Pattern::Transpose.supports(&Topology::new(4, 2)));
+        assert!(Pattern::Transpose.supports(&Topology::new(3, 3)));
+    }
+}

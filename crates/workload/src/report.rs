@@ -1,0 +1,230 @@
+//! The versioned `tcni-load/1` artifact: throughput–latency curves as JSON.
+//!
+//! Hand-rolled like the simulator's `tcni-trace/1` (the workspace is
+//! dependency-free). Every numeric field is an integer (fixed-point where a
+//! fraction is needed), so two same-seed runs — at any `TCNI_THREADS` —
+//! serialize byte-identically.
+//!
+//! Schema (`tcni-load/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tcni-load/1",
+//!   "topology": {"width": W, "height": H, "nodes": N},
+//!   "seed": S, "warmup_cycles": ..., "measure_cycles": ...,
+//!   "rates_pm": [...], "windows": [...],
+//!   "curves": [
+//!     {"model": "opt-reg", "fabric": "mesh", "pattern": "uniform",
+//!      "mode": "open", "saturation_index": i-or-null,
+//!      "points": [
+//!        {"load": r, "cycles": c, "offered": n, "shed": n, "issued": n,
+//!         "delivered": n, "consumed": n, "completed": n, "delivered_pm": n,
+//!         "mean_latency_x100": n-or-null, "p50": n-or-null,
+//!         "p95": n-or-null, "p99": n-or-null,
+//!         "residency_mean_x100": n, "residency_max": n}, ...]}, ...]
+//! }
+//! ```
+//!
+//! `load` is the offered rate in per-mille (open loop) or the window size
+//! (closed loop); `delivered_pm` is delivered messages per node per 1000
+//! cycles, directly comparable to an open-loop `load`. Percentiles use the
+//! histogram's upper-bound-of-bucket convention and are `null` when the
+//! window delivered nothing.
+
+use crate::pattern::Topology;
+use crate::sweep::Curve;
+
+/// Schema identifier for the load artifact.
+pub const LOAD_SCHEMA: &str = "tcni-load/1";
+
+/// A complete load-generation run: shared sweep parameters plus one curve
+/// per {model, fabric, pattern, mode} cell.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Node grid.
+    pub topo: Topology,
+    /// Master seed.
+    pub seed: u64,
+    /// Warmup cycles per point.
+    pub warmup: u64,
+    /// Measurement-window cycles per point.
+    pub measure: u64,
+    /// The open-loop load axis (per-mille offered rates, ascending).
+    pub rates_pm: Vec<u32>,
+    /// The closed-loop load axis (window sizes, ascending; empty when the
+    /// run is open-loop only).
+    pub windows: Vec<u32>,
+    /// All curves, in cell order.
+    pub curves: Vec<Curve>,
+}
+
+fn push_num(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+fn push_opt(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => push_num(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_axis(out: &mut String, axis: &[u32]) {
+    out.push('[');
+    for (i, &v) in axis.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_num(out, u64::from(v));
+    }
+    out.push(']');
+}
+
+impl LoadReport {
+    /// Serializes the report (see the module docs for the schema).
+    pub fn to_json(&self) -> String {
+        let points: usize = self.curves.iter().map(|c| c.points.len()).sum();
+        let mut o = String::with_capacity(1024 + self.curves.len() * 128 + points * 224);
+        o.push_str("{\n  \"schema\": \"");
+        o.push_str(LOAD_SCHEMA);
+        o.push_str("\",\n  \"topology\": {\"width\": ");
+        push_num(&mut o, self.topo.width as u64);
+        o.push_str(", \"height\": ");
+        push_num(&mut o, self.topo.height as u64);
+        o.push_str(", \"nodes\": ");
+        push_num(&mut o, self.topo.nodes() as u64);
+        o.push_str("},\n  \"seed\": ");
+        push_num(&mut o, self.seed);
+        o.push_str(",\n  \"warmup_cycles\": ");
+        push_num(&mut o, self.warmup);
+        o.push_str(",\n  \"measure_cycles\": ");
+        push_num(&mut o, self.measure);
+        o.push_str(",\n  \"rates_pm\": ");
+        push_axis(&mut o, &self.rates_pm);
+        o.push_str(",\n  \"windows\": ");
+        push_axis(&mut o, &self.windows);
+        o.push_str(",\n  \"curves\": [");
+        for (ci, c) in self.curves.iter().enumerate() {
+            if ci > 0 {
+                o.push(',');
+            }
+            o.push_str("\n    {\"model\": \"");
+            o.push_str(c.model.key());
+            o.push_str("\", \"fabric\": \"");
+            o.push_str(c.fabric.key());
+            o.push_str("\", \"pattern\": \"");
+            o.push_str(c.pattern.key());
+            o.push_str("\", \"mode\": \"");
+            o.push_str(c.mode);
+            o.push_str("\", \"saturation_index\": ");
+            push_opt(&mut o, c.saturation.map(|i| i as u64));
+            o.push_str(", \"points\": [");
+            for (pi, p) in c.points.iter().enumerate() {
+                if pi > 0 {
+                    o.push(',');
+                }
+                o.push_str("\n      {\"load\": ");
+                push_num(&mut o, u64::from(p.load));
+                o.push_str(", \"cycles\": ");
+                push_num(&mut o, p.cycles);
+                o.push_str(", \"offered\": ");
+                push_num(&mut o, p.offered);
+                o.push_str(", \"shed\": ");
+                push_num(&mut o, p.shed);
+                o.push_str(", \"issued\": ");
+                push_num(&mut o, p.issued);
+                o.push_str(", \"delivered\": ");
+                push_num(&mut o, p.delivered);
+                o.push_str(", \"consumed\": ");
+                push_num(&mut o, p.consumed);
+                o.push_str(", \"completed\": ");
+                push_num(&mut o, p.completed);
+                o.push_str(", \"delivered_pm\": ");
+                push_num(&mut o, p.delivered_pm);
+                o.push_str(", \"mean_latency_x100\": ");
+                push_opt(&mut o, p.mean_latency_x100);
+                o.push_str(", \"p50\": ");
+                push_opt(&mut o, p.p50);
+                o.push_str(", \"p95\": ");
+                push_opt(&mut o, p.p95);
+                o.push_str(", \"p99\": ");
+                push_opt(&mut o, p.p99);
+                o.push_str(", \"residency_mean_x100\": ");
+                push_num(&mut o, p.residency_mean_x100);
+                o.push_str(", \"residency_max\": ");
+                push_num(&mut o, p.residency_max);
+                o.push('}');
+            }
+            if !c.points.is_empty() {
+                o.push_str("\n    ");
+            }
+            o.push_str("]}");
+        }
+        if !self.curves.is_empty() {
+            o.push_str("\n  ");
+        }
+        o.push_str("]\n}\n");
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::sweep::{run_open_curve, Fabric, SweepConfig};
+    use tcni_sim::Model;
+
+    fn tiny_report() -> LoadReport {
+        let mut sweep = SweepConfig::new(Topology::new(2, 2));
+        sweep.warmup = 200;
+        sweep.measure = 800;
+        sweep.samples = 2;
+        let rates = vec![100, 400];
+        let curves = vec![run_open_curve(
+            Model::ALL_SIX[0],
+            Fabric::Ideal { latency: 2 },
+            Pattern::Uniform,
+            &rates,
+            &sweep,
+        )];
+        LoadReport {
+            topo: sweep.topo,
+            seed: sweep.seed,
+            warmup: sweep.warmup,
+            measure: sweep.measure,
+            rates_pm: rates,
+            windows: Vec::new(),
+            curves,
+        }
+    }
+
+    #[test]
+    fn json_is_versioned_and_carries_the_curve() {
+        let json = tiny_report().to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"tcni-load/1\""));
+        assert!(json.contains("\"model\": \"opt-reg\""));
+        assert!(json.contains("\"fabric\": \"ideal\""));
+        assert!(json.contains("\"pattern\": \"uniform\""));
+        assert!(json.contains("\"mode\": \"open\""));
+        assert!(json.contains("\"load\": 100"));
+        assert!(json.contains("\"load\": 400"));
+        assert!(json.contains("\"p99\": "));
+        assert!(json.ends_with("]\n}\n"));
+        // Brace balance — cheap structural sanity for hand-rolled JSON.
+        let depth: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' | '[' => 1,
+                '}' | ']' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn same_seed_reports_serialize_identically() {
+        assert_eq!(tiny_report().to_json(), tiny_report().to_json());
+    }
+}

@@ -33,6 +33,13 @@ cargo run --release --offline -p tcni-bench --bin netstats -- \
     --width 2 --height 2 --msgs 4 --quiet --out target/TRACE_netstats.ci.json
 grep -q '"schema": "tcni-trace/1"' target/TRACE_netstats.ci.json
 
+echo "== smoke: loadgen (tcni-load/1 artifact) =="
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --width 2 --height 2 --models opt-reg --fabrics mesh --patterns uniform \
+    --rates 100,400 --windows none --warmup 500 --measure 1500 --quiet \
+    --out target/BENCH_loadgen.ci.json
+grep -q '"schema": "tcni-load/1"' target/BENCH_loadgen.ci.json
+
 echo "== smoke: perf harness (quick) =="
 TCNI_BENCH_OUT=target/BENCH_simulator.ci.json \
     cargo run --release --offline -p tcni-bench --bin perf -- --quick

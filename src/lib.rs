@@ -17,6 +17,7 @@
 //! | [`istruct`] (`tcni-istruct`) | I-structure memory (presence bits, deferred readers) |
 //! | [`tam`] (`tcni-tam`) | Threaded Abstract Machine runtime + matmul/gamteb/fib |
 //! | [`eval`] (`tcni-eval`) | measured Table 1, Figure 12 expansion, sweeps and ablations |
+//! | [`workload`] (`tcni-workload`) | synthetic traffic patterns, open/closed-loop injectors, offered-load/latency sweeps |
 //!
 //! ## Quickstart
 //!
@@ -42,3 +43,4 @@ pub use tcni_istruct as istruct;
 pub use tcni_net as net;
 pub use tcni_sim as sim;
 pub use tcni_tam as tam;
+pub use tcni_workload as workload;
