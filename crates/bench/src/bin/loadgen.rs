@@ -13,6 +13,10 @@
 //! `--models all` selects all six §4 models; `--windows none` disables the
 //! closed-loop curves; `--patterns` accepts `hotspot:NNN` for an explicit
 //! per-mille skew and `--fabrics` accepts `ideal:N` for an explicit latency.
+//! `--fault-rates LIST` adds a fault axis: every cell is swept once per
+//! per-mille fault rate (`0` is a valid baseline) with the end-to-end
+//! delivery protocol enabled, and the artifact carries per-point fault
+//! counters and `goodput_pm` (see `EXPERIMENTS.md`).
 //! Worker threads come from `TCNI_THREADS` (default: available
 //! parallelism); the artifact is byte-identical at any thread count.
 
@@ -23,8 +27,9 @@ use tcni_workload::{Fabric, Pattern, SweepConfig, Topology};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--models LIST|all] [--fabrics LIST] [--patterns LIST] \
-         [--rates LIST] [--windows LIST|none] [--width W] [--height H] \
-         [--seed S] [--warmup N] [--measure N] [--samples N] [--out PATH] [--quiet]"
+         [--rates LIST] [--windows LIST|none] [--fault-rates LIST] [--width W] \
+         [--height H] [--seed S] [--warmup N] [--measure N] [--samples N] \
+         [--out PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -56,6 +61,7 @@ fn main() {
     let mut patterns: Option<Vec<Pattern>> = None;
     let mut rates: Option<Vec<u32>> = None;
     let mut windows: Option<Vec<u32>> = None;
+    let mut fault_rates: Option<Vec<u32>> = None;
     let mut out_path = String::from("BENCH_loadgen.json");
     let mut quiet = false;
 
@@ -81,6 +87,11 @@ fn main() {
                 patterns = Some(parse_list(&take("--patterns"), "pattern", Pattern::parse))
             }
             "--rates" => rates = Some(parse_list(&take("--rates"), "rate", |s| s.parse().ok())),
+            "--fault-rates" => {
+                fault_rates = Some(parse_list(&take("--fault-rates"), "fault rate", |s| {
+                    s.parse().ok()
+                }))
+            }
             "--windows" => {
                 let v = take("--windows");
                 windows = Some(if v == "none" {
@@ -130,8 +141,17 @@ fn main() {
     if let Some(windows) = windows {
         config.windows = windows;
     }
+    if let Some(fault_rates) = fault_rates {
+        config.fault_rates_pm = fault_rates;
+    }
     if config.rates_pm.windows(2).any(|w| w[0] >= w[1]) {
         eprintln!("loadgen: --rates must be strictly ascending");
+        std::process::exit(2);
+    }
+    if config.fault_rates_pm.windows(2).any(|w| w[0] >= w[1])
+        || config.fault_rates_pm.iter().any(|&r| r > 1000)
+    {
+        eprintln!("loadgen: --fault-rates must be strictly ascending per-mille (0..=1000)");
         std::process::exit(2);
     }
 

@@ -27,6 +27,12 @@ pub struct LoadgenConfig {
     pub rates_pm: Vec<u32>,
     /// Closed-loop window sizes, ascending; empty disables closed loop.
     pub windows: Vec<u32>,
+    /// Fault-rate axis (uniform per-mille rates, ascending; `0` is a valid
+    /// baseline). Empty disables fault injection and keeps the artifact on
+    /// the legacy schema. Non-empty sweeps every cell once per rate with the
+    /// end-to-end delivery protocol enabled, so goodput stays meaningful on
+    /// an unreliable fabric.
+    pub fault_rates_pm: Vec<u32>,
     /// Shared per-point sweep parameters.
     pub sweep: SweepConfig,
 }
@@ -42,28 +48,41 @@ impl LoadgenConfig {
             patterns: Pattern::DEFAULT_SET.to_vec(),
             rates_pm: vec![50, 150, 300, 500, 700],
             windows: vec![1, 2, 4],
+            fault_rates_pm: Vec::new(),
             sweep,
         }
     }
 
     /// Runs every cell and assembles the versioned report. Cell order (and
-    /// therefore curve order in the artifact) is models-major, then fabrics,
-    /// then patterns; within a cell the open curve precedes the closed one.
+    /// therefore curve order in the artifact) is fault-rates-major (the
+    /// fault-free axis `[0]` when none is configured), then models, fabrics,
+    /// patterns; within a cell the open curve precedes the closed one.
     pub fn run(&self) -> LoadReport {
         let mut cells = Vec::new();
-        for &model in &self.models {
-            for &fabric in &self.fabrics {
-                for &pattern in &self.patterns {
-                    if pattern.supports(&self.sweep.topo) {
-                        cells.push((model, fabric, pattern));
+        let fault_axis: &[u32] = if self.fault_rates_pm.is_empty() {
+            &[0]
+        } else {
+            &self.fault_rates_pm
+        };
+        for &fault_pm in fault_axis {
+            let mut sweep = self.sweep;
+            if !self.fault_rates_pm.is_empty() {
+                sweep.fault_pm = fault_pm;
+                sweep.delivery = true;
+            }
+            for &model in &self.models {
+                for &fabric in &self.fabrics {
+                    for &pattern in &self.patterns {
+                        if pattern.supports(&self.sweep.topo) {
+                            cells.push((model, fabric, pattern, sweep));
+                        }
                     }
                 }
             }
         }
-        let sweep = self.sweep;
         let rates = self.rates_pm.clone();
         let windows = self.windows.clone();
-        let per_cell: Vec<Vec<Curve>> = par_map(cells, move |(model, fabric, pattern)| {
+        let per_cell: Vec<Vec<Curve>> = par_map(cells, move |(model, fabric, pattern, sweep)| {
             let mut curves = vec![run_open_curve(model, fabric, pattern, &rates, &sweep)];
             if !windows.is_empty() {
                 curves.push(run_closed_curve(model, fabric, pattern, &windows, &sweep));
@@ -77,6 +96,7 @@ impl LoadgenConfig {
             measure: self.sweep.measure,
             rates_pm: self.rates_pm.clone(),
             windows: self.windows.clone(),
+            fault_rates_pm: self.fault_rates_pm.clone(),
             curves: per_cell.into_iter().flatten().collect(),
         }
     }
@@ -87,15 +107,34 @@ impl LoadgenConfig {
 pub fn summarize(report: &LoadReport) -> String {
     use std::fmt::Write;
     let mut out = String::new();
+    let faulted = !report.fault_rates_pm.is_empty();
     for c in &report.curves {
-        let tput: Vec<u64> = c.points.iter().map(|p| p.delivered_pm).collect();
+        let tput: Vec<u64> = c
+            .points
+            .iter()
+            .map(|p| {
+                if c.delivery {
+                    p.goodput_pm
+                } else {
+                    p.delivered_pm
+                }
+            })
+            .collect();
         let _ = write!(
             out,
-            "{:<9} {:<5} {:<10} {:<6} tput_pm {:>3}..{:>3}  ",
+            "{:<9} {:<5} {:<10} {:<6} ",
             c.model.key(),
             c.fabric.key(),
             c.pattern.key(),
             c.mode,
+        );
+        if faulted {
+            let _ = write!(out, "fault {:>4}pm ", c.fault_pm);
+        }
+        let _ = write!(
+            out,
+            "{} {:>3}..{:>3}  ",
+            if c.delivery { "goodput_pm" } else { "tput_pm" },
             tput.iter().min().copied().unwrap_or(0),
             tput.iter().max().copied().unwrap_or(0),
         );

@@ -1,0 +1,113 @@
+//! End-to-end delivery headers: the sideband metadata of the optional
+//! ack/retransmit protocol layered over an unreliable fabric.
+//!
+//! The paper's architecture assumes reliable links; the fault-injection
+//! layer (`tcni-net`) removes that assumption, and the delivery layer
+//! (`tcni-sim`) restores exactly-once in-order delivery per (source,
+//! destination) flow with sequence-numbered sends, cumulative acks, and
+//! go-back-N retransmission. This module defines only the message-level
+//! plumbing: an [`E2eHeader`] carried in [`Message::e2e`](crate::Message)
+//! and the payload checksum that detects corruption.
+//!
+//! Like `Message::seq`, the header is **not architected**: software cannot
+//! read it, it takes no part in routing or dispatch, and it is `None` on
+//! every message unless the delivery protocol is enabled. The checksum
+//! covers the five data words and the type field — the fields a fabric
+//! fault can flip — so an instrumentation-only field (like `seq`) never
+//! changes it.
+
+use tcni_isa::MsgType;
+
+use crate::message::MSG_WORDS;
+
+/// What a protocol message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum E2eKind {
+    /// An application message under protocol control.
+    Data,
+    /// A cumulative acknowledgement: `psn` names the next sequence number
+    /// the receiver expects (everything below it is acknowledged).
+    Ack,
+}
+
+/// The sideband header of a protocol-controlled message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct E2eHeader {
+    /// Data or ack.
+    pub kind: E2eKind,
+    /// The node that built this header: the flow's sender for data, the
+    /// flow's receiver for acks (so the ack's consumer can name the flow).
+    pub src: u8,
+    /// Per-flow sequence number: dense ascending for data; for acks, the
+    /// receiver's next expected sequence number (cumulative).
+    pub psn: u32,
+    /// [`payload_crc`] of the words and type at header-build time; a
+    /// mismatch on arrival means the fabric corrupted the message.
+    pub crc: u32,
+}
+
+impl E2eHeader {
+    /// Header for a data message.
+    pub fn data(src: u8, psn: u32, crc: u32) -> E2eHeader {
+        E2eHeader {
+            kind: E2eKind::Data,
+            src,
+            psn,
+            crc,
+        }
+    }
+
+    /// Header for a cumulative ack.
+    pub fn ack(src: u8, psn: u32, crc: u32) -> E2eHeader {
+        E2eHeader {
+            kind: E2eKind::Ack,
+            src,
+            psn,
+            crc,
+        }
+    }
+}
+
+/// FNV-1a over the five data words and the 4-bit type — the integrity check
+/// of the delivery protocol. Not architected (a real implementation would
+/// put a CRC in a link-level envelope); deterministic across platforms.
+pub fn payload_crc(words: &[u32; MSG_WORDS], mtype: MsgType) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    let mut eat = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    for w in words {
+        for b in w.to_le_bytes() {
+            eat(b);
+        }
+    }
+    eat(mtype.bits());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_depends_on_every_word_and_the_type() {
+        let base = [1, 2, 3, 4, 5];
+        let h = payload_crc(&base, MsgType::default());
+        for i in 0..MSG_WORDS {
+            let mut flipped = base;
+            flipped[i] ^= 1;
+            assert_ne!(payload_crc(&flipped, MsgType::default()), h, "word {i}");
+        }
+        assert_ne!(payload_crc(&base, MsgType::new(3).unwrap()), h);
+        assert_eq!(payload_crc(&base, MsgType::default()), h, "deterministic");
+    }
+
+    #[test]
+    fn header_constructors() {
+        let d = E2eHeader::data(3, 7, 0xABCD);
+        assert_eq!((d.kind, d.src, d.psn, d.crc), (E2eKind::Data, 3, 7, 0xABCD));
+        let a = E2eHeader::ack(1, 9, 0x1234);
+        assert_eq!(a.kind, E2eKind::Ack);
+    }
+}

@@ -66,6 +66,7 @@
 
 mod control;
 pub mod dispatch;
+pub mod endtoend;
 mod error;
 mod feature;
 mod interface;
@@ -77,6 +78,7 @@ mod regs;
 mod status;
 
 pub use control::{Control, OverflowPolicy};
+pub use endtoend::{payload_crc, E2eHeader, E2eKind};
 pub use error::NiError;
 pub use feature::{FeatureLevel, FeatureSet};
 pub use interface::{NetworkInterface, NiConfig, NiStats, SendOutcome};

@@ -9,6 +9,7 @@ use std::fmt;
 
 use tcni_isa::MsgType;
 
+use crate::endtoend::E2eHeader;
 use crate::protection::Pin;
 
 /// Number of data words in a message (or one *flit* of a long message).
@@ -93,6 +94,11 @@ pub struct Message {
     /// cannot read it, it takes no part in routing or dispatch, and it is `0`
     /// unless observability is enabled.
     pub seq: u32,
+    /// End-to-end delivery header, stamped by the optional delivery protocol
+    /// (`tcni-sim`). Like `seq`, not architected: software cannot read it,
+    /// it takes no part in routing or dispatch, and it is `None` unless the
+    /// protocol is enabled.
+    pub e2e: Option<E2eHeader>,
 }
 
 impl Message {
@@ -106,6 +112,7 @@ impl Message {
             last_flit: true,
             route: None,
             seq: 0,
+            e2e: None,
         }
     }
 

@@ -1,0 +1,486 @@
+//! Deterministic fault injection over an existing fabric.
+//!
+//! The paper's protocol machinery (§3.4) assumes a reliable network; real
+//! fabrics stall, drop, duplicate, and corrupt. [`FaultyFabric`] wraps either
+//! base fabric (via [`NetworkKind`]) and applies a seeded SplitMix64 fault
+//! schedule at the injection and ejection boundaries:
+//!
+//! * **drop** — an accepted injection is silently discarded: the sender
+//!   believes it was sent, the fabric never carries it;
+//! * **duplicate** — an accepted injection is followed by a second identical
+//!   copy (point-to-point ordering of the base fabric keeps it adjacent);
+//! * **corrupt** — one bit of `m1..m4` flips before injection (`m0`, and with
+//!   it the architected destination, is spared: corruption models data-word
+//!   errors, not misrouting);
+//! * **stall** — a node's inject or eject port goes dark for a configured
+//!   number of cycles (injections are refused like congestion; deliverable
+//!   messages stay hidden in the fabric).
+//!
+//! Every decision comes from two private SplitMix64 streams (per-message and
+//! per-port), so a schedule is a pure function of the seed and the call
+//! sequence: two same-seed runs fault identically. All rates are per-mille;
+//! a zero-rate wrapper is an observably exact pass-through (tested below),
+//! which is what lets the fault-free paper models stay bit-identical.
+
+use tcni_check::Rng;
+use tcni_core::{Message, NodeId, MSG_WORDS};
+
+use crate::stats::NetStats;
+use crate::{InjectError, Network, NetworkKind};
+
+/// Per-mille fault rates plus the schedule seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule (two same-seed schedules are identical).
+    pub seed: u64,
+    /// Per-mille probability an accepted injection is dropped.
+    pub drop_pm: u32,
+    /// Per-mille probability an accepted injection is duplicated.
+    pub duplicate_pm: u32,
+    /// Per-mille probability an accepted injection has a payload bit flipped.
+    pub corrupt_pm: u32,
+    /// Per-mille probability, per node port per cycle, of a transient stall.
+    pub stall_pm: u32,
+    /// Length of one stall, in cycles.
+    pub stall_len: u64,
+}
+
+impl FaultConfig {
+    /// A schedule with every rate zero: the wrapper is a pass-through.
+    pub fn quiet(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop_pm: 0,
+            duplicate_pm: 0,
+            corrupt_pm: 0,
+            stall_pm: 0,
+            stall_len: 8,
+        }
+    }
+
+    /// All four fault kinds at the same per-mille rate (the `loadgen`
+    /// fault-axis profile), 8-cycle stalls.
+    pub fn uniform(seed: u64, rate_pm: u32) -> FaultConfig {
+        FaultConfig {
+            drop_pm: rate_pm,
+            duplicate_pm: rate_pm,
+            corrupt_pm: rate_pm,
+            stall_pm: rate_pm,
+            ..FaultConfig::quiet(seed)
+        }
+    }
+
+    /// Whether any fault kind has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        self.drop_pm > 0 || self.duplicate_pm > 0 || self.corrupt_pm > 0 || self.stall_pm > 0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::quiet(0)
+    }
+}
+
+fn hit(rng: &mut Rng, rate_pm: u32) -> bool {
+    rate_pm > 0 && rng.below(1000) < u64::from(rate_pm)
+}
+
+/// A fault-injecting wrapper around a base fabric. See the module docs for
+/// the fault model; construct with [`FaultyFabric::new`] and drive through
+/// the ordinary [`Network`] trait (usually as a [`NetworkKind::Faulty`]).
+pub struct FaultyFabric {
+    inner: Box<NetworkKind>,
+    config: FaultConfig,
+    /// Draws deciding the fate of each offered message.
+    msg_rng: Rng,
+    /// Draws scheduling port stalls (separate stream: the stall schedule
+    /// does not depend on how much traffic was offered).
+    port_rng: Rng,
+    /// Fabric time, counted in [`tick`](Network::tick)s.
+    now: u64,
+    /// Per-node cycle (exclusive) until which the inject port is stalled.
+    inject_stall: Vec<u64>,
+    /// Per-node cycle (exclusive) until which the eject port is stalled.
+    eject_stall: Vec<u64>,
+    counters: crate::FaultCounters,
+    /// Injections refused because the inject port was stalled (folded into
+    /// `NetStats::inject_refusals`: a stall is a retryable refusal).
+    stall_refusals: u64,
+}
+
+impl FaultyFabric {
+    /// Wraps `inner` with the given fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is itself a faulty fabric (one fault layer models
+    /// the physical links; stacking them has no meaning).
+    pub fn new(inner: NetworkKind, config: FaultConfig) -> FaultyFabric {
+        assert!(
+            !matches!(inner, NetworkKind::Faulty(_)),
+            "fault layers do not nest"
+        );
+        let nodes = inner.node_count();
+        FaultyFabric {
+            inner: Box::new(inner),
+            config,
+            msg_rng: Rng::new(config.seed),
+            port_rng: Rng::new(config.seed ^ 0x5DEE_CE66_D1CE_1ABD),
+            now: 0,
+            inject_stall: vec![0; nodes],
+            eject_stall: vec![0; nodes],
+            counters: crate::FaultCounters::default(),
+            stall_refusals: 0,
+        }
+    }
+
+    /// The wrapped base fabric.
+    pub fn inner(&self) -> &NetworkKind {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped base fabric (used to toggle per-link
+    /// observability on a wrapped mesh).
+    pub fn inner_mut(&mut self) -> &mut NetworkKind {
+        &mut self.inner
+    }
+
+    /// The fault schedule.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Fault tallies so far (also surfaced via [`NetStats::faults`]).
+    pub fn counters(&self) -> crate::FaultCounters {
+        self.counters
+    }
+}
+
+impl Network for FaultyFabric {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
+        if self.now < self.inject_stall[src.index()] {
+            self.stall_refusals += 1;
+            return Err(InjectError::Refused(msg));
+        }
+        // Nonexistent destinations keep the base fabric's accounting:
+        // `bad_dest` rejections are handed back, never faulted away.
+        if msg.dest().index() >= self.inner.node_count() {
+            return self.inner.inject(src, msg);
+        }
+        // Fixed draw order per offer, so the schedule is reproducible from
+        // the seed and the offer sequence alone.
+        let drop = hit(&mut self.msg_rng, self.config.drop_pm);
+        let corrupt = hit(&mut self.msg_rng, self.config.corrupt_pm);
+        let duplicate = hit(&mut self.msg_rng, self.config.duplicate_pm);
+        if drop {
+            // Accepted, then lost at the entry link. The sender's view is a
+            // successful send; only `faults.dropped` knows better.
+            self.counters.dropped += 1;
+            return Ok(());
+        }
+        let mut wire = msg;
+        if corrupt {
+            let word = 1 + self.msg_rng.index(MSG_WORDS - 1);
+            let bit = self.msg_rng.below(32) as u32;
+            wire.words[word] ^= 1 << bit;
+        }
+        match self.inner.inject(src, wire) {
+            Ok(()) => {
+                if corrupt {
+                    self.counters.corrupted += 1;
+                }
+                if duplicate {
+                    // A second copy rides right behind; losing it to a full
+                    // entry buffer is not a fault worth counting.
+                    if self.inner.inject(src, wire).is_ok() {
+                        self.counters.duplicated += 1;
+                    }
+                }
+                Ok(())
+            }
+            // Hand back the caller's original, not the corrupted copy.
+            Err(InjectError::Refused(_)) => Err(InjectError::Refused(msg)),
+            Err(InjectError::BadDest(_)) => Err(InjectError::BadDest(msg)),
+        }
+    }
+
+    fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
+        if self.now < self.eject_stall[dst.index()] {
+            return None;
+        }
+        self.inner.peek_eject(dst)
+    }
+
+    fn eject(&mut self, dst: NodeId) -> Option<Message> {
+        if self.now < self.eject_stall[dst.index()] {
+            return None;
+        }
+        self.inner.eject(dst)
+    }
+
+    fn tick(&mut self) {
+        self.inner.tick();
+        self.now += 1;
+        if self.config.stall_pm > 0 {
+            // Two draws per node per cycle (inject port, eject port),
+            // unconditionally: the draw count never depends on outcomes.
+            for i in 0..self.inject_stall.len() {
+                if hit(&mut self.port_rng, self.config.stall_pm) {
+                    if self.now >= self.inject_stall[i] {
+                        self.counters.stalls += 1;
+                    }
+                    self.inject_stall[i] = self.now + self.config.stall_len;
+                }
+                if hit(&mut self.port_rng, self.config.stall_pm) {
+                    if self.now >= self.eject_stall[i] {
+                        self.counters.stalls += 1;
+                    }
+                    self.eject_stall[i] = self.now + self.config.stall_len;
+                }
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+
+    fn stats(&self) -> NetStats {
+        let mut s = self.inner.stats();
+        // Dropped messages were accepted at this boundary; see
+        // `FaultCounters` for the conservation law.
+        s.injected += self.counters.dropped;
+        s.inject_refusals += self.stall_refusals;
+        s.faults = self.counters;
+        s
+    }
+
+    fn next_arrival(&self) -> Option<u64> {
+        // Without stalls the eject side is a pass-through, so the base
+        // fabric's prediction stands. With stalls a predicted arrival could
+        // be hidden, so the machine must tick cycle by cycle.
+        if self.config.stall_pm == 0 {
+            self.inner.next_arrival()
+        } else {
+            None
+        }
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        if self.config.stall_pm == 0 {
+            // No per-cycle draws to make: bulk-advance the base fabric.
+            self.inner.advance(cycles);
+            self.now += cycles;
+        } else {
+            for _ in 0..cycles {
+                self.tick();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdealNetwork, Mesh2d, MeshConfig};
+    use tcni_isa::MsgType;
+
+    fn msg(dst: u8, tag: u32) -> Message {
+        Message::to(
+            NodeId::new(dst),
+            [0, tag, 0, 0, 0],
+            MsgType::new(2).unwrap(),
+        )
+    }
+
+    fn drain(net: &mut dyn Network, dst: u8, budget: u64) -> Vec<Message> {
+        let mut out = Vec::new();
+        for _ in 0..budget {
+            net.tick();
+            while let Some(m) = net.eject(NodeId::new(dst)) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zero_rate_wrapper_is_a_pass_through() {
+        let mut plain = IdealNetwork::new(4, 3);
+        let mut wrapped = FaultyFabric::new(
+            IdealNetwork::new(4, 3).into(),
+            FaultConfig::quiet(0xDEAD_BEEF),
+        );
+        for i in 0..32u32 {
+            let m = msg((i % 3) as u8 + 1, i);
+            assert_eq!(
+                plain.inject(NodeId::new(0), m).is_ok(),
+                wrapped.inject(NodeId::new(0), m).is_ok()
+            );
+        }
+        for dst in 1..4u8 {
+            assert_eq!(
+                drain(&mut plain, dst, 64),
+                drain(&mut wrapped, dst, 64),
+                "dst {dst}"
+            );
+        }
+        assert_eq!(plain.stats(), wrapped.stats());
+        assert!(!wrapped.counters().any());
+    }
+
+    #[test]
+    fn drops_are_accepted_but_never_delivered() {
+        let mut net = FaultyFabric::new(
+            IdealNetwork::new(2, 1).into(),
+            FaultConfig {
+                drop_pm: 1000,
+                ..FaultConfig::quiet(1)
+            },
+        );
+        for i in 0..10 {
+            net.inject(NodeId::new(0), msg(1, i)).unwrap();
+        }
+        assert!(drain(&mut net, 1, 16).is_empty());
+        let s = net.stats();
+        assert_eq!(s.faults.dropped, 10);
+        assert_eq!(s.injected, 10, "drops count as accepted injections");
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.bad_dest, 0, "fault drops are not bad_dest");
+        assert_eq!(
+            s.injected - s.faults.dropped,
+            s.delivered + net.in_flight() as u64
+        );
+    }
+
+    #[test]
+    fn duplicates_arrive_in_order_and_are_counted() {
+        let mut net = FaultyFabric::new(
+            IdealNetwork::new(2, 1).into(),
+            FaultConfig {
+                duplicate_pm: 1000,
+                ..FaultConfig::quiet(2)
+            },
+        );
+        for i in 0..5 {
+            net.inject(NodeId::new(0), msg(1, i)).unwrap();
+        }
+        let got = drain(&mut net, 1, 32);
+        assert_eq!(net.counters().duplicated, 5);
+        assert_eq!(got.len(), 10);
+        let tags: Vec<u32> = got.iter().map(|m| m.words[1]).collect();
+        assert_eq!(tags, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+        let s = net.stats();
+        assert_eq!(s.injected, 10, "duplicate copies count as injections");
+        assert_eq!(s.injected - s.faults.dropped, s.delivered);
+    }
+
+    #[test]
+    fn corruption_flips_one_payload_bit_never_the_dest() {
+        let mut net = FaultyFabric::new(
+            IdealNetwork::new(4, 1).into(),
+            FaultConfig {
+                corrupt_pm: 1000,
+                ..FaultConfig::quiet(3)
+            },
+        );
+        for i in 0..20 {
+            net.inject(NodeId::new(0), msg(2, 0)).unwrap();
+            let _ = i;
+        }
+        let got = drain(&mut net, 2, 64);
+        assert_eq!(got.len(), 20, "corruption never loses the message");
+        assert_eq!(net.counters().corrupted, 20);
+        for m in &got {
+            assert_eq!(m.dest(), NodeId::new(2), "dest bits are spared");
+            assert_eq!(m.words[0], msg(2, 0).words[0], "m0 is spared");
+            let flipped: u32 = m
+                .words
+                .iter()
+                .zip(msg(2, 0).words.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1, "exactly one bit flips: {m}");
+        }
+    }
+
+    #[test]
+    fn stalls_refuse_injects_and_hide_ejects_transiently() {
+        let cfg = FaultConfig {
+            stall_pm: 250,
+            stall_len: 4,
+            ..FaultConfig::quiet(7)
+        };
+        let mut net = FaultyFabric::new(IdealNetwork::new(2, 1).into(), cfg);
+        let mut delivered = 0u32;
+        let mut refused = 0u32;
+        let mut sent = 0u32;
+        for i in 0..400u32 {
+            match net.inject(NodeId::new(0), msg(1, i)) {
+                Ok(()) => sent += 1,
+                Err(InjectError::Refused(_)) => refused += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+            net.tick();
+            while net.eject(NodeId::new(1)).is_some() {
+                delivered += 1;
+            }
+        }
+        assert!(net.counters().stalls > 0, "schedule produced stalls");
+        assert!(refused > 0, "inject-port stalls refuse");
+        assert_eq!(net.stats().inject_refusals, u64::from(refused));
+        // Nothing is lost to a stall: once ports clear, everything drains.
+        delivered += drain(&mut net, 1, 64).len() as u32;
+        assert_eq!(delivered, sent);
+        assert_eq!(net.stats().faults.dropped, 0);
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_seed() {
+        let run = |seed: u64| {
+            let mut net = FaultyFabric::new(
+                Mesh2d::new(MeshConfig::new(2, 2)).into(),
+                FaultConfig::uniform(seed, 120),
+            );
+            for i in 0..200u32 {
+                let _ = net.inject(NodeId::new((i % 4) as u8), msg((i % 3) as u8, i));
+                net.tick();
+                for d in 0..4u8 {
+                    while net.eject(NodeId::new(d)).is_some() {}
+                }
+            }
+            (net.counters(), net.stats())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds, different schedule");
+    }
+
+    #[test]
+    fn bad_dest_passes_through_distinct_from_fault_drops() {
+        let mut net = FaultyFabric::new(
+            IdealNetwork::new(2, 1).into(),
+            FaultConfig {
+                drop_pm: 1000,
+                ..FaultConfig::quiet(5)
+            },
+        );
+        net.inject(NodeId::new(0), msg(1, 0)).unwrap(); // dropped by fault
+        let err = net.inject(NodeId::new(0), msg(9, 1)).unwrap_err();
+        assert!(matches!(err, InjectError::BadDest(_)));
+        let s = net.stats();
+        assert_eq!(s.bad_dest, 1);
+        assert_eq!(s.faults.dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault layers do not nest")]
+    fn nesting_is_rejected() {
+        let inner = FaultyFabric::new(IdealNetwork::new(2, 1).into(), FaultConfig::quiet(0));
+        let _ = FaultyFabric::new(NetworkKind::Faulty(inner), FaultConfig::quiet(0));
+    }
+}

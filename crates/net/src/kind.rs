@@ -1,11 +1,11 @@
-//! Static dispatch over the two fabric implementations.
+//! Static dispatch over the fabric implementations.
 
 use tcni_core::{Message, NodeId};
 
 use crate::stats::NetStats;
-use crate::{IdealNetwork, InjectError, Mesh2d, Network};
+use crate::{FaultyFabric, IdealNetwork, InjectError, Mesh2d, Network};
 
-/// The two fabrics, as a closed enum.
+/// The fabrics, as a closed enum.
 ///
 /// The machine simulator drives the network once per phase of every cycle;
 /// with a `Box<dyn Network>` each of those calls is an indirect jump the
@@ -17,31 +17,55 @@ pub enum NetworkKind {
     Ideal(IdealNetwork),
     /// 2-D mesh with finite buffers and backpressure.
     Mesh(Mesh2d),
+    /// Either base fabric behind a deterministic fault-injection layer.
+    Faulty(FaultyFabric),
 }
 
 impl NetworkKind {
-    /// The ideal fabric, if that is what this is.
+    /// The ideal fabric — directly or behind a fault layer.
     pub fn as_ideal(&self) -> Option<&IdealNetwork> {
         match self {
             NetworkKind::Ideal(n) => Some(n),
             NetworkKind::Mesh(_) => None,
+            NetworkKind::Faulty(f) => f.inner().as_ideal(),
         }
     }
 
-    /// The mesh fabric, if that is what this is.
+    /// The mesh fabric — directly or behind a fault layer.
     pub fn as_mesh(&self) -> Option<&Mesh2d> {
         match self {
             NetworkKind::Ideal(_) => None,
             NetworkKind::Mesh(n) => Some(n),
+            NetworkKind::Faulty(f) => f.inner().as_mesh(),
         }
     }
 
-    /// Mutable access to the mesh fabric, if that is what this is (used to
-    /// toggle per-link observability).
+    /// Mutable access to the mesh fabric — directly or behind a fault layer
+    /// (used to toggle per-link observability).
     pub fn as_mesh_mut(&mut self) -> Option<&mut Mesh2d> {
         match self {
             NetworkKind::Ideal(_) => None,
             NetworkKind::Mesh(n) => Some(n),
+            NetworkKind::Faulty(f) => f.inner_mut().as_mesh_mut(),
+        }
+    }
+
+    /// The fault layer, if this fabric has one.
+    pub fn as_faulty(&self) -> Option<&FaultyFabric> {
+        match self {
+            NetworkKind::Faulty(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Short name of the *base* fabric (`"ideal"` or `"mesh"`), looking
+    /// through a fault layer: the fault wrapper changes the link behaviour,
+    /// not the topology.
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            NetworkKind::Ideal(_) => "ideal",
+            NetworkKind::Mesh(_) => "mesh",
+            NetworkKind::Faulty(f) => f.inner().base_name(),
         }
     }
 }
@@ -58,11 +82,18 @@ impl From<Mesh2d> for NetworkKind {
     }
 }
 
+impl From<FaultyFabric> for NetworkKind {
+    fn from(n: FaultyFabric) -> NetworkKind {
+        NetworkKind::Faulty(n)
+    }
+}
+
 macro_rules! delegate {
     ($self:ident, $n:ident => $body:expr) => {
         match $self {
             NetworkKind::Ideal($n) => $body,
             NetworkKind::Mesh($n) => $body,
+            NetworkKind::Faulty($n) => $body,
         }
     };
 }
@@ -128,5 +159,30 @@ mod tests {
             None,
             "the mesh cannot predict arrivals"
         );
+    }
+
+    #[test]
+    fn faulty_accessors_see_through_the_wrapper() {
+        use crate::{FaultConfig, FaultyFabric};
+        let mut net = NetworkKind::from(FaultyFabric::new(
+            Mesh2d::new(crate::MeshConfig::new(2, 2)).into(),
+            FaultConfig::quiet(9),
+        ));
+        assert_eq!(net.base_name(), "mesh");
+        assert!(net.as_mesh().is_some(), "mesh visible through the wrapper");
+        assert!(net.as_mesh_mut().is_some());
+        assert!(net.as_ideal().is_none());
+        assert!(net.as_faulty().is_some());
+        assert_eq!(net.node_count(), 4);
+
+        let ideal = NetworkKind::from(FaultyFabric::new(
+            IdealNetwork::new(2, 1).into(),
+            FaultConfig::quiet(9),
+        ));
+        assert_eq!(ideal.base_name(), "ideal");
+        assert!(ideal.as_ideal().is_some());
+        assert!(NetworkKind::from(IdealNetwork::new(2, 1))
+            .as_faulty()
+            .is_none());
     }
 }

@@ -17,21 +17,29 @@
 //!   backpressure all the way into the sender's output queue; used by the
 //!   saturation/boundary-condition experiments.
 //!
+//! Either fabric can additionally be wrapped in a [`FaultyFabric`], which
+//! applies a seeded, deterministic schedule of link faults — transient
+//! stalls, message drop, duplication, payload corruption — at configurable
+//! per-mille rates (see the [`fault`](self) module docs). A zero-rate wrapper
+//! is an exact pass-through, so the fault-free paper models are unaffected.
+//!
 //! Both preserve point-to-point ordering between any source/destination
 //! pair, which the SCROLL (variable-length message) extension of §2.1.2
 //! relies on.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod ideal;
 mod kind;
 mod mesh;
 mod stats;
 
+pub use fault::{FaultConfig, FaultyFabric};
 pub use ideal::IdealNetwork;
 pub use kind::NetworkKind;
 pub use mesh::{LinkReport, LinkStats, Mesh2d, MeshConfig};
-pub use stats::{LatencyHist, NetStats};
+pub use stats::{FaultCounters, LatencyHist, NetStats};
 
 use tcni_core::{Message, NodeId};
 

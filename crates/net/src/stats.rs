@@ -131,6 +131,57 @@ impl fmt::Display for LatencyHist {
     }
 }
 
+/// Injected-fault tallies, maintained by [`crate::FaultyFabric`] and all
+/// zero on an unwrapped (fault-free) fabric.
+///
+/// Faulted-away messages are **not** `bad_dest` drops: a dropped message had
+/// a valid destination and was accepted at the injection boundary (the
+/// sender believes it was sent), whereas a `bad_dest` rejection hands the
+/// message back. The conservation law under faults is
+/// `injected - faults.dropped == delivered + in_flight`, where `injected`
+/// includes the extra copies counted in `faults.duplicated`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Accepted injections silently discarded at the entry link.
+    pub dropped: u64,
+    /// Extra copies injected behind an accepted message.
+    pub duplicated: u64,
+    /// Accepted injections whose payload had one bit flipped in `m1..m4`
+    /// (`m0` — and with it the destination — is never corrupted).
+    pub corrupted: u64,
+    /// Transient link-stall events scheduled (each blinds one node port for
+    /// the configured stall length).
+    pub stalls: u64,
+}
+
+impl FaultCounters {
+    /// Whether any fault has been recorded.
+    pub fn any(&self) -> bool {
+        self.dropped > 0 || self.duplicated > 0 || self.corrupted > 0 || self.stalls > 0
+    }
+
+    /// Per-counter difference against an earlier snapshot of the same stream
+    /// (measurement windows, like [`LatencyHist::since`]).
+    pub fn since(&self, baseline: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            dropped: self.dropped - baseline.dropped,
+            duplicated: self.duplicated - baseline.duplicated,
+            corrupted: self.corrupted - baseline.corrupted,
+            stalls: self.stalls - baseline.stalls,
+        }
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults(dropped={} duplicated={} corrupted={} stalls={})",
+            self.dropped, self.duplicated, self.corrupted, self.stalls
+        )
+    }
+}
+
 /// Counters common to all [`crate::Network`] implementations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -163,6 +214,9 @@ pub struct NetStats {
     /// Per-delivery latency distribution (same convention as
     /// [`total_latency`](NetStats::total_latency)).
     pub latency_hist: LatencyHist,
+    /// Injected-fault tallies; all zero unless the fabric is wrapped in a
+    /// [`crate::FaultyFabric`].
+    pub faults: FaultCounters,
 }
 
 impl NetStats {
@@ -195,7 +249,12 @@ impl fmt::Display for NetStats {
             f,
             " blocked={} hwm={})",
             self.blocked_hops, self.in_flight_hwm,
-        )
+        )?;
+        // Fault-free fabrics print exactly what they always printed.
+        if self.faults.any() {
+            write!(f, " {}", self.faults)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,462 @@
+//! The optional end-to-end delivery protocol: exactly-once, in-order
+//! delivery per (source, destination) flow over an unreliable fabric.
+//!
+//! The fabric may drop, duplicate, corrupt, or stall messages (see
+//! `tcni-net`'s fault layer); this layer restores the reliable-network
+//! contract the paper assumes, the way NIC-level protocols do over real
+//! fabrics. The machine drives it from its network phases when built with
+//! [`MachineBuilder::delivery`](crate::MachineBuilder::delivery):
+//!
+//! * **send** — every NI-originated message is stamped with a per-flow
+//!   sequence number and a payload checksum ([`tcni_core::E2eHeader`]),
+//!   buffered until acknowledged, and subject to a per-flow window (a full
+//!   window back-pressures into the NI output queue like a refused
+//!   injection);
+//! * **receive** — in-order data is delivered to the interface and
+//!   cumulatively acked; duplicates and out-of-order arrivals are consumed
+//!   and re-acked (never delivered); checksum mismatches are consumed
+//!   silently (the sender's timeout recovers them);
+//! * **retransmit** — a flow whose oldest unacked message outlives the
+//!   timeout resends its whole window (go-back-N, preserving the
+//!   point-to-point ordering the SCROLL extension relies on); after a
+//!   bounded number of fruitless rounds the window is abandoned and counted,
+//!   so a dead receiver cannot wedge the machine.
+//!
+//! Protocol copies (acks, retransmits) contend for the same injection slot
+//! and fabric bandwidth as first sends — one injection per node per cycle —
+//! so the protocol's cost is visible in the load curves, not hidden.
+//! Everything here is deterministic: state lives in flat per-flow vectors,
+//! iterated in node order.
+
+use std::collections::VecDeque;
+
+use tcni_core::{payload_crc, E2eHeader, E2eKind, Message, NodeId};
+use tcni_isa::MsgType;
+
+/// Tuning knobs of the delivery protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryConfig {
+    /// Maximum unacknowledged messages per (src, dst) flow; a full window
+    /// back-pressures the sender's NI output queue.
+    pub window: usize,
+    /// Cycles the oldest unacked message may wait before the flow
+    /// retransmits (go-back-N).
+    pub timeout: u64,
+    /// Consecutive fruitless retransmit rounds before the flow abandons its
+    /// window (bounded retransmit budget).
+    pub retransmit_limit: u32,
+}
+
+impl Default for DeliveryConfig {
+    /// Window 8, timeout 64 cycles, 32 retransmit rounds.
+    fn default() -> DeliveryConfig {
+        DeliveryConfig {
+            window: 8,
+            timeout: 64,
+            retransmit_limit: 32,
+        }
+    }
+}
+
+/// Protocol counters (all monotone; window-difference for measurements).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Messages admitted into the protocol (first transmissions committed).
+    pub accepted: u64,
+    /// Data copies queued for retransmission.
+    pub retransmits: u64,
+    /// Timeout rounds fired.
+    pub timeout_rounds: u64,
+    /// Acks queued by receivers.
+    pub acks_sent: u64,
+    /// Acks consumed by senders.
+    pub acks_received: u64,
+    /// In-order first-time deliveries into interfaces (the protocol's
+    /// goodput).
+    pub delivered_unique: u64,
+    /// Duplicate data arrivals consumed (already-delivered sequence number).
+    pub dup_suppressed: u64,
+    /// Out-of-order data arrivals consumed (a gap precedes them; go-back-N
+    /// retransmission will resend them in order).
+    pub out_of_order_dropped: u64,
+    /// Arrivals whose payload failed the checksum, consumed silently.
+    pub corrupt_dropped: u64,
+    /// Messages abandoned after the retransmit budget ran out.
+    pub abandoned: u64,
+}
+
+/// What the receive side decided about an arrived protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RxAction {
+    /// In-order data: deliver to the interface (subject to `can_accept`).
+    Deliver,
+    /// Consume without delivering (ack, duplicate, out-of-order, corrupt).
+    Consume,
+}
+
+#[derive(Debug, Default)]
+struct FlowTx {
+    /// Next sequence number to assign.
+    next_psn: u32,
+    /// Sent but unacknowledged, ascending psn.
+    unacked: VecDeque<(u32, Message)>,
+    /// Cycle of the last (re)transmission or ack progress on this flow.
+    last_send: u64,
+    /// Consecutive timeout rounds without ack progress.
+    rounds: u32,
+}
+
+#[derive(Debug, Default)]
+struct FlowRx {
+    /// Next sequence number expected (everything below is delivered).
+    expected: u32,
+}
+
+/// Protocol state for a whole machine. Driven by [`crate::Machine`]; exposed
+/// read-only through [`Machine::delivery_stats`](crate::Machine::delivery_stats).
+#[derive(Debug)]
+pub struct Delivery {
+    config: DeliveryConfig,
+    stats: DeliveryStats,
+    nodes: usize,
+    /// Sender state, indexed `src * nodes + dst`.
+    tx: Vec<FlowTx>,
+    /// Receiver state, indexed `dst * nodes + src`.
+    rx: Vec<FlowRx>,
+    /// Per-node protocol traffic (acks, retransmits) awaiting injection.
+    /// Drains at one message per node per cycle, ahead of fresh NI sends.
+    outbox: Vec<VecDeque<Message>>,
+}
+
+impl Delivery {
+    pub(crate) fn new(nodes: usize, config: DeliveryConfig) -> Delivery {
+        assert!(config.window >= 1, "delivery window must be at least 1");
+        Delivery {
+            config,
+            stats: DeliveryStats::default(),
+            nodes,
+            tx: (0..nodes * nodes).map(|_| FlowTx::default()).collect(),
+            rx: (0..nodes * nodes).map(|_| FlowRx::default()).collect(),
+            outbox: vec![VecDeque::new(); nodes],
+        }
+    }
+
+    /// Protocol counters so far.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
+    }
+
+    /// Whether the protocol still has work in flight: pending outbox
+    /// traffic or unacknowledged data. While true, the machine cannot be
+    /// quiescent and must not fast-forward past timeouts.
+    pub fn active(&self) -> bool {
+        self.outbox.iter().any(|q| !q.is_empty()) || self.tx.iter().any(|f| !f.unacked.is_empty())
+    }
+
+    /// Messages buffered inside the protocol (unacked + outbox) — the
+    /// protocol's contribution to queue residency.
+    pub fn residency(&self) -> u64 {
+        (self.outbox.iter().map(VecDeque::len).sum::<usize>()
+            + self.tx.iter().map(|f| f.unacked.len()).sum::<usize>()) as u64
+    }
+
+    // --- sender side ---------------------------------------------------------
+
+    pub(crate) fn outbox_front(&self, node: usize) -> Option<&Message> {
+        self.outbox[node].front()
+    }
+
+    pub(crate) fn outbox_pop(&mut self, node: usize) {
+        self.outbox[node].pop_front();
+    }
+
+    /// Whether flow (src, dst) can take another first transmission.
+    pub(crate) fn can_admit(&self, src: usize, dst: usize) -> bool {
+        self.tx[src * self.nodes + dst].unacked.len() < self.config.window
+    }
+
+    /// Stamps `msg` with the flow's next header. Pure with respect to flow
+    /// state: nothing advances until [`commit`](Self::commit), so a refused
+    /// injection retries with the same sequence number.
+    pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
+        let psn = self.tx[src * self.nodes + dst].next_psn;
+        let crc = payload_crc(&msg.words, msg.mtype);
+        msg.e2e = Some(E2eHeader::data(src as u8, psn, crc));
+    }
+
+    /// Records an accepted first transmission of a stamped message.
+    pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
+        let flow = &mut self.tx[src * self.nodes + dst];
+        let hdr = msg.e2e.expect("committed message is stamped");
+        debug_assert_eq!(hdr.psn, flow.next_psn);
+        if flow.unacked.is_empty() {
+            flow.last_send = cycle;
+            flow.rounds = 0;
+        }
+        flow.unacked.push_back((hdr.psn, msg));
+        flow.next_psn += 1;
+        self.stats.accepted += 1;
+    }
+
+    /// Fires due retransmission timeouts (called once per cycle, before the
+    /// injection phase).
+    pub(crate) fn pump(&mut self, cycle: u64) {
+        for src in 0..self.nodes {
+            for dst in 0..self.nodes {
+                let flow = &mut self.tx[src * self.nodes + dst];
+                if flow.unacked.is_empty()
+                    || cycle.saturating_sub(flow.last_send) < self.config.timeout
+                {
+                    continue;
+                }
+                // Copies from the previous round still await injection: the
+                // outbox is congested, not the receiver unresponsive. Reset
+                // the timer without burning a budget round.
+                let dst_id = NodeId::new(dst as u8);
+                let pending = self.outbox[src].iter().any(|m| {
+                    matches!(m.e2e, Some(h) if h.kind == E2eKind::Data) && m.dest() == dst_id
+                });
+                if pending {
+                    flow.last_send = cycle;
+                    continue;
+                }
+                flow.rounds += 1;
+                self.stats.timeout_rounds += 1;
+                flow.last_send = cycle;
+                if flow.rounds > self.config.retransmit_limit {
+                    // Budget exhausted: the receiver is unreachable. Abandon
+                    // the window rather than wedging the machine.
+                    self.stats.abandoned += flow.unacked.len() as u64;
+                    flow.unacked.clear();
+                    flow.rounds = 0;
+                    continue;
+                }
+                // Go-back-N: requeue the whole window.
+                for &(_, m) in &flow.unacked {
+                    self.outbox[src].push_back(m);
+                    self.stats.retransmits += 1;
+                }
+            }
+        }
+    }
+
+    // --- receiver side -------------------------------------------------------
+
+    /// Classifies an arrived protocol message (pure; effects in
+    /// [`on_delivered`](Self::on_delivered)/[`on_consumed`](Self::on_consumed)).
+    pub(crate) fn rx_action(&self, dst: usize, msg: &Message) -> RxAction {
+        let hdr = msg.e2e.expect("rx_action on a protocol message");
+        if payload_crc(&msg.words, msg.mtype) != hdr.crc {
+            return RxAction::Consume;
+        }
+        match hdr.kind {
+            E2eKind::Ack => RxAction::Consume,
+            E2eKind::Data => {
+                let expected = self.rx[dst * self.nodes + hdr.src as usize].expected;
+                if hdr.psn == expected {
+                    RxAction::Deliver
+                } else {
+                    RxAction::Consume
+                }
+            }
+        }
+    }
+
+    /// Applies an in-order data delivery: advances the flow and queues the
+    /// cumulative ack.
+    pub(crate) fn on_delivered(&mut self, dst: usize, msg: &Message, cycle: u64) {
+        let hdr = msg.e2e.expect("delivered message has a header");
+        let flow = &mut self.rx[dst * self.nodes + hdr.src as usize];
+        debug_assert_eq!(hdr.psn, flow.expected);
+        flow.expected += 1;
+        self.stats.delivered_unique += 1;
+        let _ = cycle;
+        self.queue_ack(dst, hdr.src as usize);
+    }
+
+    /// Applies a consumed (non-delivered) arrival: ack bookkeeping for the
+    /// sender, re-acks for duplicates and gaps, counters for everything.
+    pub(crate) fn on_consumed(&mut self, dst: usize, msg: &Message, cycle: u64) {
+        let hdr = msg.e2e.expect("consumed message has a header");
+        if payload_crc(&msg.words, msg.mtype) != hdr.crc {
+            // Unverifiable header: trust nothing in it, count and move on.
+            self.stats.corrupt_dropped += 1;
+            return;
+        }
+        match hdr.kind {
+            E2eKind::Ack => {
+                // `dst` is the flow's sender; the header names the acker.
+                self.stats.acks_received += 1;
+                let flow = &mut self.tx[dst * self.nodes + hdr.src as usize];
+                let mut progressed = false;
+                while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
+                    flow.unacked.pop_front();
+                    progressed = true;
+                }
+                if progressed {
+                    flow.rounds = 0;
+                    flow.last_send = cycle;
+                }
+            }
+            E2eKind::Data => {
+                let expected = self.rx[dst * self.nodes + hdr.src as usize].expected;
+                if hdr.psn < expected {
+                    self.stats.dup_suppressed += 1;
+                } else {
+                    self.stats.out_of_order_dropped += 1;
+                }
+                // Either way, remind the sender where the flow stands (a
+                // lost ack is recovered by the duplicate's re-ack).
+                self.queue_ack(dst, hdr.src as usize);
+            }
+        }
+    }
+
+    /// Queues (or refreshes) the cumulative ack from `receiver` back to the
+    /// flow's `sender`. At most one pending ack per flow lives in the
+    /// outbox: a newer cumulative ack replaces it in place.
+    fn queue_ack(&mut self, receiver: usize, sender: usize) {
+        let psn = self.rx[receiver * self.nodes + sender].expected;
+        let mut ack = Message::to(NodeId::new(sender as u8), [0; 5], MsgType::default());
+        let crc = payload_crc(&ack.words, ack.mtype);
+        ack.e2e = Some(E2eHeader::ack(receiver as u8, psn, crc));
+        let sender_id = NodeId::new(sender as u8);
+        for m in self.outbox[receiver].iter_mut() {
+            if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
+                *m = ack;
+                return;
+            }
+        }
+        self.outbox[receiver].push_back(ack);
+        self.stats.acks_sent += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(dst: u8, tag: u32) -> Message {
+        Message::to(
+            NodeId::new(dst),
+            [0, tag, 0, 0, 0],
+            MsgType::new(2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn stamp_commit_window_and_ack_roundtrip() {
+        let mut d = Delivery::new(
+            2,
+            DeliveryConfig {
+                window: 2,
+                timeout: 10,
+                retransmit_limit: 3,
+            },
+        );
+        assert!(!d.active());
+        // Fill the window.
+        for tag in 0..2 {
+            assert!(d.can_admit(0, 1));
+            let mut m = data(1, tag);
+            d.stamp(0, 1, &mut m);
+            assert_eq!(m.e2e.unwrap().psn, tag);
+            d.commit(0, 1, m, 5);
+        }
+        assert!(!d.can_admit(0, 1), "window full backs off");
+        assert!(d.active());
+        assert_eq!(d.residency(), 2);
+
+        // Receiver takes psn 0 in order and acks cumulatively.
+        let mut m0 = data(1, 0);
+        d.stamp_for_test(0, &mut m0, 0);
+        assert_eq!(d.rx_action(1, &m0), RxAction::Deliver);
+        d.on_delivered(1, &m0, 6);
+        let ack = *d.outbox_front(1).expect("ack queued");
+        assert_eq!(ack.dest(), NodeId::new(0));
+        assert_eq!(ack.e2e.unwrap().psn, 1);
+
+        // Sender consumes the ack: window slides.
+        assert_eq!(d.rx_action(0, &ack), RxAction::Consume);
+        d.on_consumed(0, &ack, 7);
+        assert!(d.can_admit(0, 1));
+        assert_eq!(d.stats().acks_received, 1);
+        assert_eq!(d.stats().delivered_unique, 1);
+    }
+
+    impl Delivery {
+        /// Builds the header psn 0..N stamping used by unit tests without
+        /// touching tx state.
+        fn stamp_for_test(&self, src: u8, msg: &mut Message, psn: u32) {
+            let crc = payload_crc(&msg.words, msg.mtype);
+            msg.e2e = Some(E2eHeader::data(src, psn, crc));
+        }
+    }
+
+    #[test]
+    fn duplicates_and_gaps_are_consumed_and_reacked() {
+        let mut d = Delivery::new(2, DeliveryConfig::default());
+        let mut m0 = data(1, 7);
+        d.stamp_for_test(0, &mut m0, 0);
+        d.on_delivered(1, &m0, 1);
+        // The same psn again: duplicate.
+        assert_eq!(d.rx_action(1, &m0), RxAction::Consume);
+        d.on_consumed(1, &m0, 2);
+        assert_eq!(d.stats().dup_suppressed, 1);
+        // psn 5: a gap.
+        let mut m5 = data(1, 8);
+        d.stamp_for_test(0, &mut m5, 5);
+        assert_eq!(d.rx_action(1, &m5), RxAction::Consume);
+        d.on_consumed(1, &m5, 3);
+        assert_eq!(d.stats().out_of_order_dropped, 1);
+        // Exactly one coalesced ack is pending despite three arrivals.
+        assert_eq!(d.stats().acks_sent, 1);
+        assert_eq!(d.outbox_front(1).unwrap().e2e.unwrap().psn, 1);
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum_and_is_silent() {
+        let mut d = Delivery::new(2, DeliveryConfig::default());
+        let mut m = data(1, 7);
+        d.stamp_for_test(0, &mut m, 0);
+        m.words[2] ^= 1 << 9; // fabric corruption after stamping
+        assert_eq!(d.rx_action(1, &m), RxAction::Consume);
+        d.on_consumed(1, &m, 1);
+        assert_eq!(d.stats().corrupt_dropped, 1);
+        assert!(d.outbox_front(1).is_none(), "no ack for garbage");
+    }
+
+    #[test]
+    fn timeout_retransmits_the_window_then_abandons() {
+        let cfg = DeliveryConfig {
+            window: 4,
+            timeout: 10,
+            retransmit_limit: 2,
+        };
+        let mut d = Delivery::new(2, cfg);
+        for tag in 0..2 {
+            let mut m = data(1, tag);
+            d.stamp(0, 1, &mut m);
+            d.commit(0, 1, m, 0);
+        }
+        d.pump(5);
+        assert_eq!(d.stats().retransmits, 0, "not due yet");
+        d.pump(10);
+        assert_eq!(d.stats().retransmits, 2, "whole window requeued");
+        assert_eq!(d.stats().timeout_rounds, 1);
+        // Copies still pending in the outbox: the next round requeues
+        // nothing more.
+        d.pump(20);
+        assert_eq!(d.stats().retransmits, 2);
+        // Drain the outbox, then exhaust the budget.
+        d.outbox_pop(0);
+        d.outbox_pop(0);
+        d.pump(30);
+        assert_eq!(d.stats().retransmits, 4);
+        d.outbox_pop(0);
+        d.outbox_pop(0);
+        d.pump(40);
+        assert_eq!(d.stats().abandoned, 2, "budget exhausted");
+        assert!(!d.active());
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delivery;
 mod driver;
 mod env;
 mod machine;
@@ -25,6 +26,7 @@ mod node;
 mod obs;
 mod trace;
 
+pub use delivery::{Delivery, DeliveryConfig, DeliveryStats};
 pub use driver::CycleDriver;
 pub use env::NodeEnv;
 pub use machine::{Machine, MachineBuilder, RunOutcome};

@@ -5,8 +5,12 @@ use std::sync::Arc;
 use tcni_core::{FeatureLevel, NiConfig, NodeId};
 use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::Program;
-use tcni_net::{IdealNetwork, InjectError, Mesh2d, MeshConfig, NetStats, Network, NetworkKind};
+use tcni_net::{
+    FaultConfig, FaultyFabric, IdealNetwork, InjectError, Mesh2d, MeshConfig, NetStats, Network,
+    NetworkKind,
+};
 
+use crate::delivery::{Delivery, DeliveryConfig, DeliveryStats, RxAction};
 use crate::driver::CycleDriver;
 use crate::model::{Model, NiMapping};
 use crate::node::Node;
@@ -72,6 +76,10 @@ pub struct Machine {
     cycle: u64,
     trace: Option<Trace>,
     obs: Option<Obs>,
+    /// The optional end-to-end delivery protocol (ack/retransmit over an
+    /// unreliable fabric). Like trace and obs, its presence selects a
+    /// separate stepping monomorphization; a machine without it pays nothing.
+    delivery: Option<Delivery>,
     /// Indices of nodes whose processor is still running, ascending. The
     /// ascending order matters: phase 2 injects in node order, which is the
     /// fabric's arbitration order for same-destination traffic.
@@ -176,10 +184,7 @@ impl Machine {
             .collect();
         Some(ObsReport {
             cycles: self.cycle,
-            fabric: match self.net {
-                NetworkKind::Ideal(_) => "ideal",
-                NetworkKind::Mesh(_) => "mesh",
-            },
+            fabric: self.net.base_name(),
             net: self.net.stats(),
             links: self
                 .net
@@ -191,7 +196,19 @@ impl Machine {
             spans_dropped: obs.spans_dropped(),
             spans_open: obs.spans_open(),
             trace_dropped: self.trace.as_ref().map_or(0, Trace::dropped),
+            delivery: self.delivery.as_ref().map(Delivery::stats),
         })
+    }
+
+    /// Counters of the end-to-end delivery protocol, if it is enabled.
+    pub fn delivery_stats(&self) -> Option<DeliveryStats> {
+        self.delivery.as_ref().map(Delivery::stats)
+    }
+
+    /// Messages buffered inside the delivery protocol (retransmission
+    /// buffers plus pending acks/copies), `0` when the protocol is off.
+    pub fn delivery_residency(&self) -> u64 {
+        self.delivery.as_ref().map_or(0, Delivery::residency)
     }
 
     /// The network fabric.
@@ -237,19 +254,27 @@ impl Machine {
         if self.lists_dirty {
             self.refresh_lists();
         }
-        match (self.trace.is_some(), self.obs.is_some()) {
-            (false, false) => self.step_once::<false, false>(),
-            (true, false) => self.step_once::<true, false>(),
-            (false, true) => self.step_once::<false, true>(),
-            (true, true) => self.step_once::<true, true>(),
+        match (
+            self.trace.is_some(),
+            self.obs.is_some(),
+            self.delivery.is_some(),
+        ) {
+            (false, false, false) => self.step_once::<false, false, false>(),
+            (true, false, false) => self.step_once::<true, false, false>(),
+            (false, true, false) => self.step_once::<false, true, false>(),
+            (true, true, false) => self.step_once::<true, true, false>(),
+            (false, false, true) => self.step_once::<false, false, true>(),
+            (true, false, true) => self.step_once::<true, false, true>(),
+            (false, true, true) => self.step_once::<false, true, true>(),
+            (true, true, true) => self.step_once::<true, true, true>(),
         };
     }
 
     /// One full cycle. Returns (every running CPU environment-stalled,
     /// any interface state changed by the network phases).
-    fn step_once<const TRACED: bool, const OBS: bool>(&mut self) -> (bool, bool) {
+    fn step_once<const TRACED: bool, const OBS: bool, const E2E: bool>(&mut self) -> (bool, bool) {
         let all_stalled = self.step_cpus::<TRACED, OBS>();
-        let changed = self.step_network::<TRACED, OBS>();
+        let changed = self.step_network::<TRACED, OBS, E2E>();
         self.cycle += 1;
         (all_stalled, changed)
     }
@@ -310,69 +335,48 @@ impl Machine {
     /// Phases 2–4: interfaces → network, fabric tick, network → interfaces.
     /// Returns whether any interface state changed (a message left an output
     /// queue or entered an input queue).
-    fn step_network<const TRACED: bool, const OBS: bool>(&mut self) -> bool {
+    fn step_network<const TRACED: bool, const OBS: bool, const E2E: bool>(&mut self) -> bool {
         let cycle = self.cycle;
         let mut changed = false;
         // Phase 2: one injection attempt per node with outgoing traffic, in
-        // ascending node order (merge of the two sorted lists).
-        let (mut r, mut d) = (0, 0);
-        loop {
-            let i = match (self.running.get(r), self.draining.get(d)) {
-                (Some(&a), Some(&b)) => {
-                    if a < b {
+        // ascending node order.
+        if E2E {
+            // Fire due retransmission timeouts first so the copies contend
+            // for this cycle's injection slots.
+            if let Some(del) = self.delivery.as_mut() {
+                del.pump(cycle);
+            }
+            // Protocol traffic (acks, retransmits) can originate at stopped
+            // nodes the running/draining lists no longer scan, so the
+            // protocol machine visits every node.
+            for i in 0..self.nodes.len() {
+                changed |= self.inject_at::<TRACED, OBS, E2E>(i, cycle);
+            }
+        } else {
+            // Merge of the two sorted lists.
+            let (mut r, mut d) = (0, 0);
+            loop {
+                let i = match (self.running.get(r), self.draining.get(d)) {
+                    (Some(&a), Some(&b)) => {
+                        if a < b {
+                            r += 1;
+                            a
+                        } else {
+                            d += 1;
+                            b
+                        }
+                    }
+                    (Some(&a), None) => {
                         r += 1;
                         a
-                    } else {
+                    }
+                    (None, Some(&b)) => {
                         d += 1;
                         b
                     }
-                }
-                (Some(&a), None) => {
-                    r += 1;
-                    a
-                }
-                (None, Some(&b)) => {
-                    d += 1;
-                    b
-                }
-                (None, None) => break,
-            };
-            let ni = self.nodes[i].ni_mut();
-            if let Some(mut msg) = ni.peek_outgoing().copied() {
-                if OBS {
-                    // Stamp the would-be sequence number; it is committed
-                    // only if the fabric accepts the injection.
-                    if let Some(o) = self.obs.as_ref() {
-                        msg.seq = o.peek_seq();
-                    }
-                }
-                match self.net.inject(NodeId::new(i as u8), msg) {
-                    Ok(()) => {
-                        self.nodes[i].ni_mut().pop_outgoing();
-                        changed = true;
-                        if OBS {
-                            if let Some(o) = self.obs.as_mut() {
-                                o.on_inject(i, msg.seq, cycle);
-                            }
-                        }
-                        if TRACED {
-                            if let Some(t) = self.trace.as_mut() {
-                                t.record(TraceEvent::Sent {
-                                    cycle,
-                                    node: i,
-                                    msg,
-                                });
-                            }
-                        }
-                    }
-                    // Congestion: the message stays queued and the send
-                    // retries next cycle (backpressure, §2.1.1).
-                    Err(InjectError::Refused(_)) => {}
-                    Err(InjectError::BadDest(_)) => {
-                        self.drop_bad_dest::<OBS>(i);
-                        changed = true;
-                    }
-                }
+                    (None, None) => break,
+                };
+                changed |= self.inject_at::<TRACED, OBS, E2E>(i, cycle);
             }
         }
         // Stopped nodes whose last message just left stop being scanned.
@@ -385,11 +389,50 @@ impl Machine {
         self.net.tick();
         // Phase 4: network → interfaces — skipped when the fabric is empty.
         if self.net.in_flight() > 0 {
-            for (i, node) in self.nodes.iter_mut().enumerate() {
+            for i in 0..self.nodes.len() {
                 let dst = NodeId::new(i as u8);
-                let ni = node.ni_mut();
-                while let Some(peeked) = self.net.peek_eject(dst) {
-                    if !ni.can_accept(peeked) {
+                while let Some(peeked) = self.net.peek_eject(dst).copied() {
+                    if E2E && peeked.e2e.is_some() {
+                        // A protocol-controlled arrival: the delivery layer
+                        // decides its fate before the interface sees it.
+                        let del = self.delivery.as_ref().expect("E2E implies delivery");
+                        match del.rx_action(i, &peeked) {
+                            RxAction::Deliver => {
+                                if !self.nodes[i].ni().can_accept(&peeked) {
+                                    break; // backpressure: leave it in the network
+                                }
+                                let mut msg = self.net.eject(dst).expect("peeked");
+                                if let Some(del) = self.delivery.as_mut() {
+                                    del.on_delivered(i, &msg, cycle);
+                                }
+                                if TRACED {
+                                    if let Some(t) = self.trace.as_mut() {
+                                        t.record(TraceEvent::Delivered {
+                                            cycle: cycle + 1,
+                                            node: i,
+                                            msg,
+                                        });
+                                    }
+                                }
+                                // The header is sideband plumbing; the
+                                // interface receives the architected message.
+                                msg.e2e = None;
+                                self.deliver_to_ni::<OBS>(i, msg, cycle);
+                                changed = true;
+                            }
+                            RxAction::Consume => {
+                                // Ack, duplicate, gap, or corruption: eaten
+                                // by the protocol, never enters the interface.
+                                let msg = self.net.eject(dst).expect("peeked");
+                                if let Some(del) = self.delivery.as_mut() {
+                                    del.on_consumed(i, &msg, cycle);
+                                }
+                                changed = true;
+                            }
+                        }
+                        continue;
+                    }
+                    if !self.nodes[i].ni().can_accept(&peeked) {
                         break; // backpressure: leave it in the network
                     }
                     let msg = self.net.eject(dst).expect("peeked");
@@ -405,25 +448,123 @@ impl Machine {
                             });
                         }
                     }
-                    let depth_before = if OBS {
-                        ni.input_len() + usize::from(ni.msg_valid())
-                    } else {
-                        0
-                    };
-                    ni.push_incoming(msg).expect("can_accept checked");
-                    if OBS {
-                        let depth_after = ni.input_len() + usize::from(ni.msg_valid());
-                        if let Some(o) = self.obs.as_mut() {
-                            // An unchanged input depth means the interface
-                            // diverted the message to the privileged queue.
-                            o.on_deliver(i, msg.seq, cycle + 1, depth_after == depth_before);
-                        }
-                    }
+                    self.deliver_to_ni::<OBS>(i, msg, cycle);
                     changed = true;
                 }
             }
         }
         changed
+    }
+
+    /// Phase-4 tail: moves an ejected message into node `i`'s interface
+    /// (`can_accept` already checked) and mirrors the input depth for
+    /// observability.
+    fn deliver_to_ni<const OBS: bool>(&mut self, i: usize, msg: tcni_core::Message, cycle: u64) {
+        let ni = self.nodes[i].ni_mut();
+        let depth_before = if OBS {
+            ni.input_len() + usize::from(ni.msg_valid())
+        } else {
+            0
+        };
+        ni.push_incoming(msg).expect("can_accept checked");
+        if OBS {
+            let depth_after = ni.input_len() + usize::from(ni.msg_valid());
+            if let Some(o) = self.obs.as_mut() {
+                // An unchanged input depth means the interface diverted the
+                // message to the privileged queue.
+                o.on_deliver(i, msg.seq, cycle + 1, depth_after == depth_before);
+            }
+        }
+    }
+
+    /// Phase-2 body for one node: at most one injection per cycle. Protocol
+    /// copies (acks, retransmits) take the slot ahead of fresh NI sends;
+    /// fresh sends under the protocol are stamped, window-gated, and
+    /// buffered for retransmission. Returns whether anything changed.
+    fn inject_at<const TRACED: bool, const OBS: bool, const E2E: bool>(
+        &mut self,
+        i: usize,
+        cycle: u64,
+    ) -> bool {
+        let src = NodeId::new(i as u8);
+        if E2E {
+            let del = self.delivery.as_ref().expect("E2E implies delivery");
+            if let Some(msg) = del.outbox_front(i).copied() {
+                return match self.net.inject(src, msg) {
+                    Ok(()) => {
+                        if let Some(del) = self.delivery.as_mut() {
+                            del.outbox_pop(i);
+                        }
+                        true
+                    }
+                    // Congestion: the copy stays queued and retries.
+                    Err(InjectError::Refused(_)) => false,
+                    // Unreachable by construction (protocol peers are real
+                    // nodes), but never wedge the outbox on a bad message.
+                    Err(InjectError::BadDest(_)) => {
+                        if let Some(del) = self.delivery.as_mut() {
+                            del.outbox_pop(i);
+                        }
+                        true
+                    }
+                };
+            }
+        }
+        let ni = self.nodes[i].ni_mut();
+        let Some(mut msg) = ni.peek_outgoing().copied() else {
+            return false;
+        };
+        if OBS {
+            // Stamp the would-be sequence number; it is committed only if
+            // the fabric accepts the injection.
+            if let Some(o) = self.obs.as_ref() {
+                msg.seq = o.peek_seq();
+            }
+        }
+        if E2E && msg.dest().index() < self.net.node_count() {
+            let dst = msg.dest().index();
+            let del = self.delivery.as_ref().expect("E2E implies delivery");
+            if !del.can_admit(i, dst) {
+                // Window full: back-pressure into the output queue exactly
+                // like a refused injection.
+                return false;
+            }
+            // Pure stamp: a refused injection retries with the same psn.
+            del.stamp(i, dst, &mut msg);
+        }
+        match self.net.inject(src, msg) {
+            Ok(()) => {
+                self.nodes[i].ni_mut().pop_outgoing();
+                if E2E && msg.e2e.is_some() {
+                    let dst = msg.dest().index();
+                    if let Some(del) = self.delivery.as_mut() {
+                        del.commit(i, dst, msg, cycle);
+                    }
+                }
+                if OBS {
+                    if let Some(o) = self.obs.as_mut() {
+                        o.on_inject(i, msg.seq, cycle);
+                    }
+                }
+                if TRACED {
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Sent {
+                            cycle,
+                            node: i,
+                            msg,
+                        });
+                    }
+                }
+                true
+            }
+            // Congestion: the message stays queued and the send retries next
+            // cycle (backpressure, §2.1.1).
+            Err(InjectError::Refused(_)) => false,
+            Err(InjectError::BadDest(_)) => {
+                self.drop_bad_dest::<OBS>(i);
+                true
+            }
+        }
     }
 
     /// The undeliverable-message path of phase 2, out of line: dropping it
@@ -459,10 +600,14 @@ impl Machine {
     /// accounting: run network-only cycles — or jump, when the fabric can
     /// predict its next arrival — and bulk-charge the stall cycles at the
     /// end.
-    fn fast_forward<const TRACED: bool, const OBS: bool>(&mut self, limit: u64) {
+    fn fast_forward<const TRACED: bool, const OBS: bool, const E2E: bool>(&mut self, limit: u64) {
         let mut skipped: u64 = 0;
         while self.cycle < limit {
-            if !self.any_outgoing() {
+            // The delivery protocol runs timers (retransmission timeouts)
+            // that must observe every cycle; while it has work in flight,
+            // only the step-by-step path below is correct.
+            let protocol_busy = E2E && self.delivery.as_ref().is_some_and(Delivery::active);
+            if !protocol_busy && !self.any_outgoing() {
                 if self.net.in_flight() == 0 {
                     // Nothing in flight and nothing to send: every stalled
                     // processor waits forever (e.g. SCROLL-IN on a flit that
@@ -485,7 +630,7 @@ impl Machine {
                     }
                 }
             }
-            let changed = self.step_network::<TRACED, OBS>();
+            let changed = self.step_network::<TRACED, OBS, E2E>();
             self.cycle += 1;
             skipped += 1;
             if changed {
@@ -498,9 +643,12 @@ impl Machine {
         }
     }
 
-    /// Whether every processor has stopped and all message state is empty.
+    /// Whether every processor has stopped and all message state is empty
+    /// (including the delivery protocol's retransmission buffers, if any).
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Node::is_quiescent) && self.net.in_flight() == 0
+        self.nodes.iter().all(Node::is_quiescent)
+            && self.net.in_flight() == 0
+            && !self.delivery.as_ref().is_some_and(Delivery::active)
     }
 
     /// Runs until every processor stops (halt or fault) or `max_cycles`
@@ -509,11 +657,19 @@ impl Machine {
         if self.lists_dirty {
             self.refresh_lists();
         }
-        match (self.trace.is_some(), self.obs.is_some()) {
-            (false, false) => self.run_impl::<false, false>(max_cycles),
-            (true, false) => self.run_impl::<true, false>(max_cycles),
-            (false, true) => self.run_impl::<false, true>(max_cycles),
-            (true, true) => self.run_impl::<true, true>(max_cycles),
+        match (
+            self.trace.is_some(),
+            self.obs.is_some(),
+            self.delivery.is_some(),
+        ) {
+            (false, false, false) => self.run_impl::<false, false, false>(max_cycles),
+            (true, false, false) => self.run_impl::<true, false, false>(max_cycles),
+            (false, true, false) => self.run_impl::<false, true, false>(max_cycles),
+            (true, true, false) => self.run_impl::<true, true, false>(max_cycles),
+            (false, false, true) => self.run_impl::<false, false, true>(max_cycles),
+            (true, false, true) => self.run_impl::<true, false, true>(max_cycles),
+            (false, true, true) => self.run_impl::<false, true, true>(max_cycles),
+            (true, true, true) => self.run_impl::<true, true, true>(max_cycles),
         }
     }
 
@@ -527,15 +683,31 @@ impl Machine {
     /// just because every processor halted: load generators run entirely on
     /// machines whose CPUs halt at cycle 0.
     pub fn run_driven<D: CycleDriver>(&mut self, driver: &mut D, max_cycles: u64) -> RunOutcome {
-        match (self.trace.is_some(), self.obs.is_some()) {
-            (false, false) => self.run_driven_impl::<false, false, D>(driver, max_cycles),
-            (true, false) => self.run_driven_impl::<true, false, D>(driver, max_cycles),
-            (false, true) => self.run_driven_impl::<false, true, D>(driver, max_cycles),
-            (true, true) => self.run_driven_impl::<true, true, D>(driver, max_cycles),
+        match (
+            self.trace.is_some(),
+            self.obs.is_some(),
+            self.delivery.is_some(),
+        ) {
+            (false, false, false) => {
+                self.run_driven_impl::<false, false, false, D>(driver, max_cycles)
+            }
+            (true, false, false) => {
+                self.run_driven_impl::<true, false, false, D>(driver, max_cycles)
+            }
+            (false, true, false) => {
+                self.run_driven_impl::<false, true, false, D>(driver, max_cycles)
+            }
+            (true, true, false) => self.run_driven_impl::<true, true, false, D>(driver, max_cycles),
+            (false, false, true) => {
+                self.run_driven_impl::<false, false, true, D>(driver, max_cycles)
+            }
+            (true, false, true) => self.run_driven_impl::<true, false, true, D>(driver, max_cycles),
+            (false, true, true) => self.run_driven_impl::<false, true, true, D>(driver, max_cycles),
+            (true, true, true) => self.run_driven_impl::<true, true, true, D>(driver, max_cycles),
         }
     }
 
-    fn run_driven_impl<const TRACED: bool, const OBS: bool, D: CycleDriver>(
+    fn run_driven_impl<const TRACED: bool, const OBS: bool, const E2E: bool, D: CycleDriver>(
         &mut self,
         driver: &mut D,
         max_cycles: u64,
@@ -563,7 +735,7 @@ impl Machine {
                     }
                 }
             }
-            self.step_network::<TRACED, OBS>();
+            self.step_network::<TRACED, OBS, E2E>();
             self.cycle += 1;
             if !go_on {
                 return RunOutcome::DriverStopped;
@@ -572,19 +744,35 @@ impl Machine {
         RunOutcome::CycleLimit
     }
 
-    fn run_impl<const TRACED: bool, const OBS: bool>(&mut self, max_cycles: u64) -> RunOutcome {
+    fn run_impl<const TRACED: bool, const OBS: bool, const E2E: bool>(
+        &mut self,
+        max_cycles: u64,
+    ) -> RunOutcome {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
             if self.running.is_empty() {
-                return if self.is_quiescent() {
-                    RunOutcome::Quiescent
-                } else {
-                    RunOutcome::StoppedWithTraffic
-                };
+                if self.is_quiescent() {
+                    return RunOutcome::Quiescent;
+                }
+                // With the delivery protocol on, traffic can still be
+                // resolved after every processor stops: in-flight copies get
+                // consumed, timeouts retransmit, and budgets expire. Keep the
+                // network phases (which pump the protocol) running until the
+                // machine settles one way or the other.
+                if E2E
+                    && (self.net.in_flight() > 0
+                        || !self.draining.is_empty()
+                        || self.delivery.as_ref().is_some_and(Delivery::active))
+                {
+                    self.step_network::<TRACED, OBS, E2E>();
+                    self.cycle += 1;
+                    continue;
+                }
+                return RunOutcome::StoppedWithTraffic;
             }
-            let (all_stalled, changed) = self.step_once::<TRACED, OBS>();
+            let (all_stalled, changed) = self.step_once::<TRACED, OBS, E2E>();
             if self.skip_ahead && all_stalled && !changed && !self.running.is_empty() {
-                self.fast_forward::<TRACED, OBS>(limit);
+                self.fast_forward::<TRACED, OBS, E2E>(limit);
             }
         }
         if self.is_quiescent() {
@@ -614,6 +802,8 @@ pub struct MachineBuilder {
     ni_config: NiConfig,
     memory_bytes: usize,
     net: NetChoice,
+    fault: Option<FaultConfig>,
+    delivery: Option<DeliveryConfig>,
     programs: Vec<Option<Program>>,
     default_program: Program,
     skip_ahead: bool,
@@ -637,6 +827,8 @@ impl MachineBuilder {
             ni_config: NiConfig::default(),
             memory_bytes: 64 * 1024,
             net: NetChoice::Ideal { latency: 0 },
+            fault: None,
+            delivery: None,
             programs: vec![None; node_count],
             default_program: halt.assemble().expect("trivial program"),
             skip_ahead: true,
@@ -686,6 +878,23 @@ impl MachineBuilder {
         self
     }
 
+    /// Wraps the chosen fabric in a seeded fault-injection layer (see
+    /// [`FaultyFabric`]). A zero-rate config is an exact pass-through; any
+    /// nonzero rate makes the fabric unreliable, which the paper's programs
+    /// do not tolerate unless [`delivery`](Self::delivery) is also enabled.
+    pub fn network_fault(mut self, config: FaultConfig) -> MachineBuilder {
+        self.fault = Some(config);
+        self
+    }
+
+    /// Enables the end-to-end delivery protocol (ack/timeout/retransmit; see
+    /// [`crate::Delivery`]'s module docs), restoring exactly-once in-order
+    /// delivery over a faulty fabric.
+    pub fn delivery(mut self, config: DeliveryConfig) -> MachineBuilder {
+        self.delivery = Some(config);
+        self
+    }
+
     /// Enables or disables the quiescence fast-forward (default: enabled).
     pub fn skip_ahead(mut self, enabled: bool) -> MachineBuilder {
         self.skip_ahead = enabled;
@@ -710,7 +919,7 @@ impl MachineBuilder {
 
     /// Builds the machine.
     pub fn build(self) -> Machine {
-        let net: NetworkKind = match self.net {
+        let mut net: NetworkKind = match self.net {
             NetChoice::Ideal { latency } => IdealNetwork::new(self.node_count, latency).into(),
             NetChoice::Mesh(cfg) => {
                 let mesh = Mesh2d::new(cfg);
@@ -724,6 +933,10 @@ impl MachineBuilder {
                 mesh.into()
             }
         };
+        if let Some(fault) = self.fault {
+            net = FaultyFabric::new(net, fault).into();
+        }
+        let delivery = self.delivery.map(|cfg| Delivery::new(self.node_count, cfg));
         // The default program is shared across nodes, not cloned per node.
         let default_program = Arc::new(self.default_program);
         let nodes: Vec<Node> = self
@@ -749,6 +962,7 @@ impl MachineBuilder {
             cycle: 0,
             trace: None,
             obs: None,
+            delivery,
             running: Vec::new(),
             draining: Vec::new(),
             lists_dirty: true,

@@ -30,6 +30,8 @@ use tcni_core::NiStats;
 use tcni_cpu::CpuStats;
 use tcni_net::{LinkReport, NetStats};
 
+use crate::delivery::DeliveryStats;
+
 /// The lifecycle of one message, all stamps in global machine cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgSpan {
@@ -329,6 +331,8 @@ pub struct ObsReport {
     /// Events evicted from the [`Trace`](crate::Trace) ring (`0` when the
     /// trace is complete, or when tracing is disabled).
     pub trace_dropped: u64,
+    /// End-to-end delivery protocol counters, when the protocol is enabled.
+    pub delivery: Option<DeliveryStats>,
 }
 
 /// The schema identifier embedded in the JSON export.
@@ -366,7 +370,17 @@ impl ObsReport {
         push_num(&mut o, self.net.blocked_hops);
         o.push_str(", \"in_flight_hwm\": ");
         push_num(&mut o, self.net.in_flight_hwm as u64);
-        o.push_str(", \"latency_hist\": {\"bucket_lo\": [");
+        // Injected fault counts, distinct from `bad_dest`: a fault drop is a
+        // deliverable message the fabric lost, not an unroutable one.
+        o.push_str(", \"faults\": {\"dropped\": ");
+        push_num(&mut o, self.net.faults.dropped);
+        o.push_str(", \"duplicated\": ");
+        push_num(&mut o, self.net.faults.duplicated);
+        o.push_str(", \"corrupted\": ");
+        push_num(&mut o, self.net.faults.corrupted);
+        o.push_str(", \"stalls\": ");
+        push_num(&mut o, self.net.faults.stalls);
+        o.push_str("}, \"latency_hist\": {\"bucket_lo\": [");
         for i in 0..tcni_net::LatencyHist::BUCKETS {
             if i > 0 {
                 o.push_str(", ");
@@ -495,6 +509,29 @@ impl ObsReport {
         push_num(&mut o, self.spans_open);
         o.push_str(",\n  \"trace_dropped\": ");
         push_num(&mut o, self.trace_dropped);
+        if let Some(d) = &self.delivery {
+            o.push_str(",\n  \"delivery\": {\"accepted\": ");
+            push_num(&mut o, d.accepted);
+            o.push_str(", \"retransmits\": ");
+            push_num(&mut o, d.retransmits);
+            o.push_str(", \"timeout_rounds\": ");
+            push_num(&mut o, d.timeout_rounds);
+            o.push_str(", \"acks_sent\": ");
+            push_num(&mut o, d.acks_sent);
+            o.push_str(", \"acks_received\": ");
+            push_num(&mut o, d.acks_received);
+            o.push_str(", \"delivered_unique\": ");
+            push_num(&mut o, d.delivered_unique);
+            o.push_str(", \"dup_suppressed\": ");
+            push_num(&mut o, d.dup_suppressed);
+            o.push_str(", \"out_of_order_dropped\": ");
+            push_num(&mut o, d.out_of_order_dropped);
+            o.push_str(", \"corrupt_dropped\": ");
+            push_num(&mut o, d.corrupt_dropped);
+            o.push_str(", \"abandoned\": ");
+            push_num(&mut o, d.abandoned);
+            o.push('}');
+        }
         o.push_str("\n}\n");
         o
     }
@@ -638,9 +675,20 @@ mod tests {
             spans_dropped: 0,
             spans_open: 0,
             trace_dropped: 3,
+            delivery: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"tcni-trace/1\""), "{json}");
+        assert!(
+            json.contains(
+                "\"faults\": {\"dropped\": 0, \"duplicated\": 0, \"corrupted\": 0, \"stalls\": 0}"
+            ),
+            "{json}"
+        );
+        assert!(
+            !json.contains("\"delivery\""),
+            "absent when protocol is off"
+        );
         assert!(json.contains("\"bucket_lo\": [0, 1, 2, 4, 8"), "{json}");
         // Percentiles of an empty histogram export as null, not fake zeros.
         assert!(json.contains("\"p50\": null, \"p95\": null, \"p99\": null"));
@@ -664,9 +712,16 @@ mod tests {
             spans_dropped: 0,
             spans_open: 0,
             trace_dropped: 0,
+            delivery: Some(DeliveryStats {
+                accepted: 7,
+                delivered_unique: 7,
+                ..DeliveryStats::default()
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"p50\": 3"), "{json}");
         assert!(json.contains("\"p99\": 15"), "{json}");
+        assert!(json.contains("\"delivery\": {\"accepted\": 7,"), "{json}");
+        assert!(json.contains("\"delivered_unique\": 7"), "{json}");
     }
 }

@@ -30,6 +30,13 @@
 //! cycles, directly comparable to an open-loop `load`. Percentiles use the
 //! histogram's upper-bound-of-bucket convention and are `null` when the
 //! window delivered nothing.
+//!
+//! Runs with a fault axis additionally carry `"fault_rates_pm": [...]` at
+//! the top level, `"fault_pm"`/`"delivery"` per curve, and
+//! `"fault_dropped"`, `"fault_duplicated"`, `"fault_corrupted"`,
+//! `"fault_stalls"`, `"retransmits"`, `"abandoned"`, `"goodput_pm"` per
+//! point. A run without a fault axis omits all of them, so legacy artifacts
+//! are byte-identical (enforced by the golden-artifact tests).
 
 use crate::pattern::Topology;
 use crate::sweep::Curve;
@@ -54,6 +61,11 @@ pub struct LoadReport {
     /// The closed-loop load axis (window sizes, ascending; empty when the
     /// run is open-loop only).
     pub windows: Vec<u32>,
+    /// The fault-rate axis (uniform per-mille fault rates, one sweep of
+    /// every cell per rate). Empty = fault-free legacy run, and the report
+    /// serializes byte-identically to the pre-fault schema — no fault or
+    /// protocol fields appear anywhere in the JSON.
+    pub fault_rates_pm: Vec<u32>,
     /// All curves, in cell order.
     pub curves: Vec<Curve>,
 }
@@ -103,6 +115,14 @@ impl LoadReport {
         push_axis(&mut o, &self.rates_pm);
         o.push_str(",\n  \"windows\": ");
         push_axis(&mut o, &self.windows);
+        // The fault axis and its per-curve/per-point fields appear only on
+        // faulted runs, keeping fault-free artifacts byte-identical to the
+        // original schema (golden-enforced).
+        let faulted = !self.fault_rates_pm.is_empty();
+        if faulted {
+            o.push_str(",\n  \"fault_rates_pm\": ");
+            push_axis(&mut o, &self.fault_rates_pm);
+        }
         o.push_str(",\n  \"curves\": [");
         for (ci, c) in self.curves.iter().enumerate() {
             if ci > 0 {
@@ -116,7 +136,14 @@ impl LoadReport {
             o.push_str(c.pattern.key());
             o.push_str("\", \"mode\": \"");
             o.push_str(c.mode);
-            o.push_str("\", \"saturation_index\": ");
+            o.push('"');
+            if faulted {
+                o.push_str(", \"fault_pm\": ");
+                push_num(&mut o, u64::from(c.fault_pm));
+                o.push_str(", \"delivery\": ");
+                o.push_str(if c.delivery { "true" } else { "false" });
+            }
+            o.push_str(", \"saturation_index\": ");
             push_opt(&mut o, c.saturation.map(|i| i as u64));
             o.push_str(", \"points\": [");
             for (pi, p) in c.points.iter().enumerate() {
@@ -153,6 +180,22 @@ impl LoadReport {
                 push_num(&mut o, p.residency_mean_x100);
                 o.push_str(", \"residency_max\": ");
                 push_num(&mut o, p.residency_max);
+                if faulted {
+                    o.push_str(", \"fault_dropped\": ");
+                    push_num(&mut o, p.fault_dropped);
+                    o.push_str(", \"fault_duplicated\": ");
+                    push_num(&mut o, p.fault_duplicated);
+                    o.push_str(", \"fault_corrupted\": ");
+                    push_num(&mut o, p.fault_corrupted);
+                    o.push_str(", \"fault_stalls\": ");
+                    push_num(&mut o, p.fault_stalls);
+                    o.push_str(", \"retransmits\": ");
+                    push_num(&mut o, p.retransmits);
+                    o.push_str(", \"abandoned\": ");
+                    push_num(&mut o, p.abandoned);
+                    o.push_str(", \"goodput_pm\": ");
+                    push_num(&mut o, p.goodput_pm);
+                }
                 o.push('}');
             }
             if !c.points.is_empty() {
@@ -195,6 +238,7 @@ mod tests {
             measure: sweep.measure,
             rates_pm: rates,
             windows: Vec::new(),
+            fault_rates_pm: Vec::new(),
             curves,
         }
     }
@@ -226,5 +270,65 @@ mod tests {
     #[test]
     fn same_seed_reports_serialize_identically() {
         assert_eq!(tiny_report().to_json(), tiny_report().to_json());
+    }
+
+    #[test]
+    fn fault_free_reports_omit_every_fault_field() {
+        let json = tiny_report().to_json();
+        for key in [
+            "fault_rates_pm",
+            "fault_pm",
+            "delivery",
+            "fault_dropped",
+            "goodput_pm",
+        ] {
+            assert!(!json.contains(key), "legacy schema must not carry {key}");
+        }
+    }
+
+    #[test]
+    fn faulted_reports_carry_the_fault_axis_and_goodput() {
+        let mut sweep = SweepConfig::new(Topology::new(2, 2));
+        sweep.warmup = 200;
+        sweep.measure = 800;
+        sweep.samples = 2;
+        sweep.fault_pm = 100;
+        sweep.delivery = true;
+        let rates = vec![200];
+        let curves = vec![run_open_curve(
+            Model::ALL_SIX[0],
+            Fabric::Ideal { latency: 2 },
+            Pattern::Uniform,
+            &rates,
+            &sweep,
+        )];
+        let report = LoadReport {
+            topo: sweep.topo,
+            seed: sweep.seed,
+            warmup: sweep.warmup,
+            measure: sweep.measure,
+            rates_pm: rates,
+            windows: Vec::new(),
+            fault_rates_pm: vec![0, 100],
+            curves,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"fault_rates_pm\": [0, 100]"), "{json}");
+        assert!(
+            json.contains("\"fault_pm\": 100, \"delivery\": true"),
+            "{json}"
+        );
+        assert!(json.contains("\"fault_dropped\": "), "{json}");
+        assert!(json.contains("\"retransmits\": "), "{json}");
+        assert!(json.contains("\"goodput_pm\": "), "{json}");
+        let depth: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' | '[' => 1,
+                '}' | ']' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(depth, 0);
     }
 }

@@ -27,8 +27,8 @@
 //! false negatives (latency creep while throughput still scales); the
 //! shedding arm catches processor-bound saturation the fabric never sees.
 
-use tcni_net::{LatencyHist, MeshConfig, NetStats};
-use tcni_sim::{Machine, MachineBuilder, Model};
+use tcni_net::{FaultConfig, LatencyHist, MeshConfig, NetStats};
+use tcni_sim::{DeliveryConfig, DeliveryStats, Machine, MachineBuilder, Model};
 
 use crate::inject::{InjectCounters, Injector, InjectorConfig, LoopMode, ServiceCosts};
 use crate::pattern::{Pattern, Topology};
@@ -96,6 +96,14 @@ pub struct SweepConfig {
     pub samples: u32,
     /// Per-node injector backlog bound.
     pub backlog_limit: usize,
+    /// Uniform fault rate applied to every fault kind (drop, duplicate,
+    /// corrupt, stall) in per-mille; `0` leaves the fabric unwrapped and the
+    /// run bit-identical to a pre-fault sweep. Nonzero rates require
+    /// [`delivery`](Self::delivery) — without the protocol a corrupted or
+    /// dropped message breaks the injector's request/reply bookkeeping.
+    pub fault_pm: u32,
+    /// Whether the machine runs the end-to-end delivery protocol.
+    pub delivery: bool,
 }
 
 impl SweepConfig {
@@ -109,6 +117,8 @@ impl SweepConfig {
             measure: 6000,
             samples: 8,
             backlog_limit: 16,
+            fault_pm: 0,
+            delivery: false,
         }
     }
 }
@@ -148,10 +158,29 @@ pub struct PointStats {
     /// 99th percentile.
     pub p99: Option<u64>,
     /// Mean sampled queue residency ×100 (injector backlogs + interface
-    /// queues + fabric in-flight).
+    /// queues + fabric in-flight + delivery-protocol buffers).
     pub residency_mean_x100: u64,
     /// Peak sampled queue residency.
     pub residency_max: u64,
+    /// Messages the fault layer dropped inside the window (`0` on a
+    /// fault-free run).
+    pub fault_dropped: u64,
+    /// Messages the fault layer duplicated inside the window.
+    pub fault_duplicated: u64,
+    /// Messages the fault layer corrupted inside the window.
+    pub fault_corrupted: u64,
+    /// Transient port stalls the fault layer started inside the window.
+    pub fault_stalls: u64,
+    /// Data copies the delivery protocol queued for retransmission inside
+    /// the window (`0` with the protocol off).
+    pub retransmits: u64,
+    /// Messages the delivery protocol abandoned (retransmit budget spent).
+    pub abandoned: u64,
+    /// Goodput in messages per node per 1000 cycles: unique in-order
+    /// protocol deliveries when the protocol is on (duplicates and
+    /// retransmitted copies excluded), otherwise identical to
+    /// `delivered_pm`. The fault axis degrades this, not `delivered_pm`.
+    pub goodput_pm: u64,
 }
 
 /// One throughput–latency curve: a load axis walked upward for a fixed
@@ -171,6 +200,11 @@ pub struct Curve {
     /// Index into `points` of the first saturated point, if any (see the
     /// module docs for the rule).
     pub saturation: Option<usize>,
+    /// The uniform fault rate this curve ran under (per-mille; `0` =
+    /// fault-free).
+    pub fault_pm: u32,
+    /// Whether the end-to-end delivery protocol was enabled.
+    pub delivery: bool,
 }
 
 /// Total message-queue residency across the whole machine: generator
@@ -185,18 +219,33 @@ fn residency(machine: &Machine, injector: &Injector) -> u64 {
             (ni.output_len() + ni.input_len() + usize::from(ni.msg_valid())) as u64
         })
         .sum();
-    injector.backlog() + queues + machine.net_in_flight() as u64
+    injector.backlog() + queues + machine.net_in_flight() as u64 + machine.delivery_residency()
 }
 
+/// Salt separating the fault layer's fault schedule from the injector's
+/// destination draws (both derive from the sweep's master seed).
+const FAULT_SEED_SALT: u64 = 0x6C62_272E_07BB_0142;
+
 /// Builds the cell's machine: CPUs halt immediately (the injector is the
-/// only actor), fabric per `fabric`, queue sizing per the paper's example.
-fn build_machine(model: Model, fabric: Fabric, topo: &Topology) -> Machine {
-    let b = MachineBuilder::new(topo.nodes()).model(model);
-    match fabric {
+/// only actor), fabric per `fabric`, queue sizing per the paper's example,
+/// fault layer and delivery protocol per the sweep config.
+fn build_machine(model: Model, fabric: Fabric, sweep: &SweepConfig) -> Machine {
+    let topo = &sweep.topo;
+    let mut b = MachineBuilder::new(topo.nodes()).model(model);
+    b = match fabric {
         Fabric::Ideal { latency } => b.network_ideal(latency),
         Fabric::Mesh => b.network_mesh(MeshConfig::new(topo.width, topo.height)),
+    };
+    if sweep.fault_pm > 0 {
+        b = b.network_fault(FaultConfig::uniform(
+            sweep.seed ^ FAULT_SEED_SALT,
+            sweep.fault_pm,
+        ));
     }
-    .build()
+    if sweep.delivery {
+        b = b.delivery(DeliveryConfig::default());
+    }
+    b.build()
 }
 
 /// Runs one steady-state point.
@@ -207,7 +256,12 @@ pub fn run_point(
     mode: LoopMode,
     sweep: &SweepConfig,
 ) -> PointStats {
-    let mut machine = build_machine(model, fabric, &sweep.topo);
+    assert!(
+        sweep.fault_pm == 0 || sweep.delivery,
+        "a faulty fabric needs the delivery protocol (corrupted or dropped \
+         messages break the injector's request/reply bookkeeping)"
+    );
+    let mut machine = build_machine(model, fabric, sweep);
     let mut injector = Injector::new(InjectorConfig {
         pattern,
         topo: sweep.topo,
@@ -220,6 +274,7 @@ pub fn run_point(
     let base_stats: NetStats = machine.net_stats();
     let base_counts: InjectCounters = injector.counters();
     let base_hist: LatencyHist = base_stats.latency_hist;
+    let base_delivery: DeliveryStats = machine.delivery_stats().unwrap_or_default();
 
     // The measurement window, chopped into residency-sampling chunks.
     let samples = sweep.samples.max(1);
@@ -241,7 +296,13 @@ pub fn run_point(
     let hist = stats.latency_hist.since(&base_hist);
     let delivered = stats.delivered - base_stats.delivered;
     let total_latency = stats.total_latency - base_stats.total_latency;
+    let faults = stats.faults.since(&base_stats.faults);
+    let delivery = machine.delivery_stats().unwrap_or_default();
     let n = sweep.topo.nodes() as u64;
+    let per_node_pm = |count: u64| {
+        u64::try_from(u128::from(count) * 1000 / u128::from(sweep.measure * n))
+            .expect("throughput fits")
+    };
     PointStats {
         load: match mode {
             LoopMode::Open { rate_pm } => rate_pm,
@@ -254,14 +315,24 @@ pub fn run_point(
         delivered,
         consumed: counts.consumed - base_counts.consumed,
         completed: counts.completed - base_counts.completed,
-        delivered_pm: u64::try_from(u128::from(delivered) * 1000 / u128::from(sweep.measure * n))
-            .expect("throughput fits"),
+        delivered_pm: per_node_pm(delivered),
         mean_latency_x100: (delivered > 0).then(|| total_latency * 100 / delivered),
         p50: hist.percentile(50),
         p95: hist.percentile(95),
         p99: hist.percentile(99),
         residency_mean_x100: res_sum * 100 / res_n,
         residency_max: res_max,
+        fault_dropped: faults.dropped,
+        fault_duplicated: faults.duplicated,
+        fault_corrupted: faults.corrupted,
+        fault_stalls: faults.stalls,
+        retransmits: delivery.retransmits - base_delivery.retransmits,
+        abandoned: delivery.abandoned - base_delivery.abandoned,
+        goodput_pm: if sweep.delivery {
+            per_node_pm(delivery.delivered_unique - base_delivery.delivered_unique)
+        } else {
+            per_node_pm(delivered)
+        },
     }
 }
 
@@ -316,6 +387,8 @@ pub fn run_open_curve(
         mode: "open",
         points,
         saturation,
+        fault_pm: sweep.fault_pm,
+        delivery: sweep.delivery,
     }
 }
 
@@ -340,6 +413,8 @@ pub fn run_closed_curve(
         mode: "closed",
         points,
         saturation,
+        fault_pm: sweep.fault_pm,
+        delivery: sweep.delivery,
     }
 }
 
@@ -425,6 +500,90 @@ mod tests {
                 Pattern::Hotspot { hot_pm: 300 },
                 LoopMode::Open { rate_pm: 300 },
                 &sweep(),
+            )
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn fault_free_points_report_zero_fault_activity() {
+        let p = run_point(
+            Model::ALL_SIX[0],
+            Fabric::Ideal { latency: 2 },
+            Pattern::Uniform,
+            LoopMode::Open { rate_pm: 100 },
+            &sweep(),
+        );
+        assert_eq!(
+            (
+                p.fault_dropped,
+                p.fault_duplicated,
+                p.fault_corrupted,
+                p.fault_stalls
+            ),
+            (0, 0, 0, 0)
+        );
+        assert_eq!((p.retransmits, p.abandoned), (0, 0));
+        assert_eq!(
+            p.goodput_pm, p.delivered_pm,
+            "no protocol: goodput is throughput"
+        );
+    }
+
+    #[test]
+    fn fault_axis_counts_faults_and_recovers_with_retransmits() {
+        let mut s = sweep();
+        s.measure = 4000;
+        s.fault_pm = 100;
+        s.delivery = true;
+        for fabric in [Fabric::Ideal { latency: 2 }, Fabric::Mesh] {
+            let p = run_point(
+                Model::ALL_SIX[0],
+                fabric,
+                Pattern::Uniform,
+                LoopMode::Open { rate_pm: 200 },
+                &s,
+            );
+            let fault_total =
+                p.fault_dropped + p.fault_duplicated + p.fault_corrupted + p.fault_stalls;
+            assert!(fault_total > 0, "10% fault rates must fire: {p:?}");
+            assert!(
+                p.retransmits > 0,
+                "drops must trigger retransmission: {p:?}"
+            );
+            assert!(p.goodput_pm > 0, "the protocol still makes progress: {p:?}");
+            // Raw fabric deliveries include acks, duplicates, and
+            // retransmitted copies; goodput counts none of them.
+            assert!(p.goodput_pm < p.delivered_pm, "{p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the delivery protocol")]
+    fn faults_without_the_protocol_are_rejected() {
+        let mut s = sweep();
+        s.fault_pm = 50;
+        run_point(
+            Model::ALL_SIX[0],
+            Fabric::Ideal { latency: 2 },
+            Pattern::Uniform,
+            LoopMode::Open { rate_pm: 100 },
+            &s,
+        );
+    }
+
+    #[test]
+    fn faulty_points_are_deterministic() {
+        let go = || {
+            let mut s = sweep();
+            s.fault_pm = 80;
+            s.delivery = true;
+            run_point(
+                Model::ALL_SIX[0],
+                Fabric::Mesh,
+                Pattern::Uniform,
+                LoopMode::Open { rate_pm: 250 },
+                &s,
             )
         };
         assert_eq!(go(), go());

@@ -25,6 +25,9 @@ cargo clippy --workspace --release --offline -- -D warnings
 echo "== tests (offline, all crates) =="
 cargo test --workspace --release --offline -q
 
+echo "== golden artifacts (byte-exact paper outputs) =="
+cargo test --release --offline -q --test golden_artifacts
+
 echo "== smoke: Table 1 =="
 cargo run --release --offline -p tcni-bench --bin table1 -- --obs > /dev/null
 
@@ -39,6 +42,15 @@ cargo run --release --offline -p tcni-bench --bin loadgen -- \
     --rates 100,400 --windows none --warmup 500 --measure 1500 --quiet \
     --out target/BENCH_loadgen.ci.json
 grep -q '"schema": "tcni-load/1"' target/BENCH_loadgen.ci.json
+
+echo "== smoke: loadgen fault sweep (delivery protocol on) =="
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --width 2 --height 2 --models opt-reg --fabrics mesh --patterns uniform \
+    --rates 100,400 --windows none --fault-rates 0,50 --warmup 500 \
+    --measure 1500 --quiet --out target/BENCH_loadgen_faults.ci.json
+grep -q '"schema": "tcni-load/1"' target/BENCH_loadgen_faults.ci.json
+grep -q '"fault_rates_pm": \[0, 50\]' target/BENCH_loadgen_faults.ci.json
+grep -q '"goodput_pm": ' target/BENCH_loadgen_faults.ci.json
 
 echo "== smoke: perf harness (quick) =="
 TCNI_BENCH_OUT=target/BENCH_simulator.ci.json \
