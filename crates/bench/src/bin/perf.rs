@@ -18,8 +18,9 @@ use tcni_eval::sweep;
 use tcni_eval::table1::Table1;
 use tcni_isa::{Assembler, MsgType, Program, Reg};
 use tcni_net::{Mesh2d, MeshConfig, Network};
-use tcni_sim::{Machine, MachineBuilder, Model};
+use tcni_sim::{DeliveryConfig, Machine, MachineBuilder, Model};
 use tcni_tam::programs;
+use tcni_workload::{Injector, InjectorConfig, LoopMode, Pattern, Topology};
 
 /// An infinite busy loop: the cheapest always-running processor.
 fn spin_program() -> Program {
@@ -110,6 +111,27 @@ fn mesh_traffic(target: u64) -> u64 {
     delivered
 }
 
+/// 256 nodes on a 16×16 mesh with the delivery protocol on, driven by a
+/// uniform open-loop injector at 5‰ offered load for `cycles` cycles — the
+/// hot-set scheduler's target case: a large machine whose active set is a
+/// tiny fraction of its channels and flows. `dense` selects the
+/// every-channel/every-flow cross-check scan for contrast.
+fn large_mesh_low_load(cycles: u64, dense: bool) -> Machine {
+    let mut machine = MachineBuilder::new(256)
+        .model(Model::ALL_SIX[0])
+        .network_mesh(MeshConfig::new(16, 16))
+        .delivery(DeliveryConfig::default())
+        .dense_scan(dense)
+        .build();
+    let mut injector = Injector::new(InjectorConfig::new(
+        Pattern::Uniform,
+        Topology::new(16, 16),
+        LoopMode::Open { rate_pm: 5 },
+    ));
+    machine.run_driven(&mut injector, cycles);
+    machine
+}
+
 /// The full evaluation pipeline: Table 1, the off-chip sweep, the feature
 /// ablation, the queue sweep, and a Figure-12 expansion. This is what the
 /// `table1`/`figure12`/`sweep` binaries run between them; `par_map` inside
@@ -192,6 +214,29 @@ fn main() {
         reps,
         || mesh_traffic(mesh_target),
     ));
+    // The large-mesh low-load point, hot-set vs dense: wall clock in the
+    // measurement, scan-effort meters in the counters. `dense_cost` is what
+    // a full scan would examine — cycles × (channels + flows) — so
+    // `scanned_channels + scanned_flows` vs `dense_cost` is the win.
+    for (name, dense) in [
+        ("large_mesh/16x16_uniform5pm_hotset", false),
+        ("large_mesh/16x16_uniform5pm_dense", true),
+    ] {
+        let mut meas = bench(name, "cycles/sec", cycles as f64, warmup, reps, || {
+            large_mesh_low_load(cycles, dense)
+        });
+        let machine = large_mesh_low_load(cycles, dense);
+        let scan = machine.net_stats().scan;
+        let dense_cost = machine.cycle() * (256 * 5 + 256 * 256) as u64;
+        meas.counters = vec![
+            ("cycles".into(), machine.cycle()),
+            ("scanned_channels".into(), scan.scanned_channels),
+            ("scanned_flows".into(), scan.scanned_flows),
+            ("skipped_work".into(), scan.skipped_work),
+            ("dense_cost".into(), dense_cost),
+        ];
+        report.results.push(meas);
+    }
 
     for m in &report.results {
         println!("{}", m.summary());

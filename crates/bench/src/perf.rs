@@ -40,6 +40,10 @@ pub struct Measurement {
     pub work_per_call: f64,
     /// Wall time of each timed call, in nanoseconds.
     pub samples_ns: Vec<u64>,
+    /// Named simulator counters attached to this measurement (e.g. the
+    /// hot-set scheduler's `scanned_channels`/`skipped_work` meters),
+    /// serialized as a `"counters"` object when non-empty.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl Measurement {
@@ -123,6 +127,7 @@ pub fn bench<R>(
         unit,
         work_per_call,
         samples_ns,
+        counters: Vec::new(),
     }
 }
 
@@ -198,11 +203,11 @@ impl Report {
         let _ = writeln!(out, "  \"results\": [");
         for (i, m) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "    {{ \"name\": \"{}\", \"unit\": \"{}\", \"value\": {}, \
                  \"work_per_call\": {}, \"reps\": {}, \"median_ns\": {}, \
-                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"stddev_ns\": {} }}{comma}",
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"stddev_ns\": {}",
                 json_escape(&m.name),
                 json_escape(m.unit),
                 json_num(m.value()),
@@ -214,6 +219,15 @@ impl Report {
                 m.max_ns(),
                 json_num(m.stddev_ns()),
             );
+            if !m.counters.is_empty() {
+                let _ = write!(out, ", \"counters\": {{ ");
+                for (k, (name, v)) in m.counters.iter().enumerate() {
+                    let sep = if k + 1 < m.counters.len() { ", " } else { " " };
+                    let _ = write!(out, "\"{}\": {v}{sep}", json_escape(name));
+                }
+                let _ = write!(out, "}}");
+            }
+            let _ = writeln!(out, " }}{comma}");
         }
         let _ = write!(out, "  ]");
         if let Some(p) = self.pipeline {
@@ -246,6 +260,7 @@ mod tests {
             unit: "ops/sec",
             work_per_call: 100.0,
             samples_ns: vec![200, 100, 300],
+            counters: Vec::new(),
         };
         assert_eq!(m.median_ns(), 200);
         assert_eq!(m.min_ns(), 100);
@@ -271,6 +286,7 @@ mod tests {
             unit: "cycles/sec",
             work_per_call: 10.0,
             samples_ns: vec![50],
+            counters: Vec::new(),
         });
         r.pipeline = Some(PipelineTiming {
             serial_ms: 10.0,
@@ -284,6 +300,24 @@ mod tests {
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn counters_serialize_when_present() {
+        let mut r = Report::default();
+        r.results.push(Measurement {
+            name: "mesh/hotset".into(),
+            unit: "cycles/sec",
+            work_per_call: 10.0,
+            samples_ns: vec![50],
+            counters: vec![("scanned_channels".into(), 42), ("skipped_work".into(), 7)],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"counters\": { \"scanned_channels\": 42, \"skipped_work\": 7 }"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // A counter-less measurement omits the object entirely.
+        r.results[0].counters.clear();
+        assert!(!r.to_json().contains("counters"));
     }
 
     #[test]

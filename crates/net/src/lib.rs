@@ -39,7 +39,7 @@ pub use fault::{FaultConfig, FaultyFabric};
 pub use ideal::IdealNetwork;
 pub use kind::NetworkKind;
 pub use mesh::{LinkReport, LinkStats, Mesh2d, MeshConfig};
-pub use stats::{FaultCounters, LatencyHist, NetStats};
+pub use stats::{FaultCounters, LatencyHist, NetStats, ScanStats};
 
 use tcni_core::{Message, NodeId};
 

@@ -57,6 +57,16 @@ enum Dir {
 const DIR_COUNT: usize = 6;
 const MOVE_ORDER: [Dir; 5] = [Dir::East, Dir::West, Dir::North, Dir::South, Dir::Inject];
 
+/// Number of movable channels per node — every role except Eject, whose
+/// packets only leave via [`Network::eject`], never in `tick`.
+const MOVE_SLOTS: usize = MOVE_ORDER.len();
+
+/// Position of each movable `Dir` within [`MOVE_ORDER`], indexed by
+/// `Dir as usize` (Eject has no rank). Frontier *slots* are numbered
+/// `node * MOVE_SLOTS + rank`, so ascending slot order is exactly the dense
+/// scan order — the property that makes the hot-set scan bit-identical.
+const MOVE_RANK: [usize; DIR_COUNT] = [4, 0, 1, 2, 3, usize::MAX];
+
 /// Display/export names for the six channel roles, indexed by `Dir`.
 const DIR_NAMES: [&str; DIR_COUNT] = ["inject", "east", "west", "north", "south", "eject"];
 
@@ -122,6 +132,16 @@ pub struct Mesh2d {
     /// [`set_observe`](Mesh2d::set_observe)).
     observe: bool,
     links: Vec<LinkStats>,
+    /// The active-channel frontier: bit `node * MOVE_SLOTS + rank` is set
+    /// iff that movable channel is non-empty. Maintained incrementally on
+    /// inject and on every head-of-line move (Eject channels are untracked —
+    /// they drain via `eject`, not `tick`). Invariant: in hot-set mode,
+    /// `tick` visits exactly the set bits, in ascending slot order.
+    active: Vec<u64>,
+    /// Cross-check mode: `tick` scans every slot the way the pre-frontier
+    /// code did (the frontier is still maintained, just not consulted).
+    /// Behaviour is bit-identical either way; only the scan counters differ.
+    dense_scan: bool,
 }
 
 impl Mesh2d {
@@ -162,7 +182,38 @@ impl Mesh2d {
             stats: NetStats::default(),
             observe: false,
             links: Vec::new(),
+            active: vec![0; (n * MOVE_SLOTS).div_ceil(64)],
+            dense_scan: false,
         }
+    }
+
+    /// Enables or disables the dense-scan cross-check (off by default).
+    ///
+    /// With it on, `tick` visits every channel of every node like the
+    /// pre-frontier simulator did, instead of only the active-set frontier.
+    /// Traffic is bit-identical either way (the equivalence suites enforce
+    /// this); only the [`ScanStats`](crate::ScanStats) counters differ.
+    pub fn set_dense_scan(&mut self, on: bool) {
+        self.dense_scan = on;
+    }
+
+    /// Whether the dense-scan cross-check is active.
+    pub fn dense_scan(&self) -> bool {
+        self.dense_scan
+    }
+
+    /// Marks the movable channel `(node, dir)` non-empty in the frontier.
+    #[inline]
+    fn mark_active(&mut self, node: usize, dir: Dir) {
+        debug_assert!(dir != Dir::Eject, "eject channels are untracked");
+        let slot = node * MOVE_SLOTS + MOVE_RANK[dir as usize];
+        self.active[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Clears the frontier bit of slot `slot` (its channel just emptied).
+    #[inline]
+    fn clear_active_slot(&mut self, slot: usize) {
+        self.active[slot / 64] &= !(1u64 << (slot % 64));
     }
 
     /// Enables or disables per-link observability counters.
@@ -262,6 +313,47 @@ impl Mesh2d {
     pub fn eject_occupancy(&self, node: NodeId) -> usize {
         self.chans[self.chan_index(node.index(), Dir::Eject)].len()
     }
+
+    /// One head-of-line move attempt for frontier slot `slot`, shared by the
+    /// hot-set and dense scans. Packets stamped `moved_at == now` have
+    /// already hopped this cycle.
+    fn move_head(&mut self, slot: usize) {
+        let node = slot / MOVE_SLOTS;
+        let dir = MOVE_ORDER[slot % MOVE_SLOTS];
+        let src_idx = self.chan_index(node, dir);
+        let Some(head) = self.chans[src_idx].front() else {
+            // Only the dense scan visits empty channels; the frontier
+            // guarantees occupancy.
+            debug_assert!(self.dense_scan, "frontier bit set on empty channel");
+            return;
+        };
+        if head.moved_at >= self.now {
+            return;
+        }
+        // Location of the packet: for link channels it is the link's
+        // far end; for Inject it is the node itself.
+        let loc = self.link_target(node, dir);
+        let dst = head.msg.dest().index();
+        let next_dir = self.route(loc, dst);
+        let next_idx = self.chan_index(loc, next_dir);
+        if self.chans[next_idx].len() >= self.cap_of(next_dir) {
+            self.stats.blocked_hops += 1;
+            if self.observe {
+                self.links[src_idx].blocked += 1;
+            }
+            return;
+        }
+        let mut p = self.chans[src_idx].pop_front().expect("head checked");
+        p.moved_at = self.now;
+        if self.chans[src_idx].is_empty() {
+            self.clear_active_slot(slot);
+        }
+        self.chans[next_idx].push_back(p);
+        if next_dir != Dir::Eject && self.chans[next_idx].len() == 1 {
+            self.mark_active(loc, next_dir);
+        }
+        self.note_push(next_idx);
+    }
 }
 
 impl Network for Mesh2d {
@@ -284,6 +376,9 @@ impl Network for Mesh2d {
             injected_at: self.now,
             moved_at: self.now,
         });
+        if self.chans[idx].len() == 1 {
+            self.mark_active(src.index(), Dir::Inject);
+        }
         self.in_flight += 1;
         self.stats.injected += 1;
         self.stats.in_flight_hwm = self.stats.in_flight_hwm.max(self.in_flight);
@@ -307,37 +402,39 @@ impl Network for Mesh2d {
 
     fn tick(&mut self) {
         self.now += 1;
-        let nodes = self.node_count();
-        // One head-of-line move per channel per cycle, in a fixed order.
-        // Packets stamped `moved_at == now` have already hopped this cycle.
-        for node in 0..nodes {
-            for dir in MOVE_ORDER {
-                let src_idx = self.chan_index(node, dir);
-                let Some(head) = self.chans[src_idx].front() else {
-                    continue;
-                };
-                if head.moved_at >= self.now {
-                    continue;
+        // An empty fabric has nothing to move; returning here keeps the
+        // scan counters identical between the naive loop and the quiescence
+        // fast-forward (which never ticks an empty mesh).
+        if self.in_flight == 0 {
+            return;
+        }
+        let dense_cost = (self.node_count() * MOVE_SLOTS) as u64;
+        let mut visited: u64 = 0;
+        if self.dense_scan {
+            for slot in 0..self.node_count() * MOVE_SLOTS {
+                self.move_head(slot);
+            }
+            visited = dense_cost;
+        } else {
+            // Iterate set bits in ascending slot order. The word is re-read
+            // after each move with a strictly-above mask: a move can set a
+            // *later* bit in the current word (a packet entering a channel
+            // the dense scan had not reached yet), which must be visited
+            // this cycle exactly as the dense scan would — while moves into
+            // already-passed slots (westward/southward hops) stay unvisited
+            // until next cycle, again exactly like the dense scan.
+            for w in 0..self.active.len() {
+                let mut bits = self.active[w];
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    self.move_head(w * 64 + b as usize);
+                    visited += 1;
+                    bits = self.active[w] & ((!0u64 << b) << 1);
                 }
-                // Location of the packet: for link channels it is the link's
-                // far end; for Inject it is the node itself.
-                let loc = self.link_target(node, dir);
-                let dst = head.msg.dest().index();
-                let next_dir = self.route(loc, dst);
-                let next_idx = self.chan_index(loc, next_dir);
-                if self.chans[next_idx].len() >= self.cap_of(next_dir) {
-                    self.stats.blocked_hops += 1;
-                    if self.observe {
-                        self.links[src_idx].blocked += 1;
-                    }
-                    continue;
-                }
-                let mut p = self.chans[src_idx].pop_front().expect("head checked");
-                p.moved_at = self.now;
-                self.chans[next_idx].push_back(p);
-                self.note_push(next_idx);
             }
         }
+        self.stats.scan.scanned_channels += visited;
+        self.stats.scan.skipped_work += dense_cost - visited;
     }
 
     fn in_flight(&self) -> usize {
@@ -531,6 +628,82 @@ mod tests {
         assert_eq!(total, net.stats().blocked_hops);
         // Nothing travels west in this workload.
         assert_eq!(by_key(&reports, 1, "west").hwm, 0);
+    }
+
+    /// The hot-set frontier and the dense scan must move exactly the same
+    /// packets in the same order under sustained mixed traffic (including
+    /// westward/southward hops into already-scanned slots), differing only
+    /// in the effort counters.
+    #[test]
+    fn hot_set_scan_matches_dense_scan() {
+        let run = |dense: bool| -> (Vec<(u8, u32)>, NetStats) {
+            let mut net = Mesh2d::new(MeshConfig::new(4, 3));
+            net.set_dense_scan(dense);
+            assert_eq!(net.dense_scan(), dense);
+            let n = net.node_count() as u64;
+            let mut got = Vec::new();
+            let mut x = 0x1234_5678_9abc_def0u64;
+            for step in 0..600u32 {
+                for k in 0..3u32 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let src = ((x >> 33) % n) as u8;
+                    let dst = ((x >> 13) % n) as u8;
+                    let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
+                }
+                net.tick();
+                // Drain only intermittently so eject buffers back up and
+                // blocked moves happen on both scans.
+                if step % 3 == 0 {
+                    for d in 0..n as u8 {
+                        while let Some(m) = net.eject(NodeId::new(d)) {
+                            got.push((d, m.words[1]));
+                        }
+                    }
+                }
+            }
+            for _ in 0..200 {
+                net.tick();
+                for d in 0..n as u8 {
+                    while let Some(m) = net.eject(NodeId::new(d)) {
+                        got.push((d, m.words[1]));
+                    }
+                }
+            }
+            assert_eq!(net.in_flight(), 0, "everything drained");
+            (got, net.stats())
+        };
+        let (hot, hs) = run(false);
+        let (dense, ds) = run(true);
+        assert_eq!(hot, dense, "delivery order must be bit-identical");
+        assert_eq!(hs, ds, "behavioural stats must match (scan excluded)");
+        assert!(hs.scan.skipped_work > 0, "the frontier must save work");
+        assert_eq!(ds.scan.skipped_work, 0, "dense scan skips nothing");
+        assert!(hs.scan.scanned_channels < ds.scan.scanned_channels);
+        // Both modes account for the same dense cost over the same ticks.
+        assert_eq!(
+            hs.scan.scanned_channels + hs.scan.skipped_work,
+            ds.scan.scanned_channels + ds.scan.skipped_work,
+        );
+    }
+
+    /// Ticks of an empty fabric cost (and count) nothing — the property
+    /// that keeps scan counters identical under the quiescence fast-forward.
+    #[test]
+    fn empty_ticks_count_no_scan_work() {
+        let mut net = Mesh2d::new(MeshConfig::new(4, 4));
+        for _ in 0..100 {
+            net.tick();
+        }
+        assert_eq!(net.stats().scan.scanned_channels, 0);
+        assert_eq!(net.stats().scan.skipped_work, 0);
+        net.inject(NodeId::new(0), msg(15, 1)).unwrap();
+        let got = drain(&mut net, 15, 32);
+        assert_eq!(got, vec![1]);
+        let s = net.stats().scan;
+        assert!(s.scanned_channels > 0, "occupied slots were visited");
+        assert!(s.skipped_work > 0, "idle slots were not");
     }
 
     #[test]

@@ -182,8 +182,42 @@ impl fmt::Display for FaultCounters {
     }
 }
 
-/// Counters common to all [`crate::Network`] implementations.
+/// Simulator work-effort meters for the hot-set scheduler.
+///
+/// These count what the *simulator* did, not what the simulated machine
+/// did: how many channel slots and delivery flows each per-cycle scan
+/// actually visited, and how much of the dense (size-proportional) scan it
+/// proved unnecessary. Two bit-identical simulations may legitimately differ
+/// here (hot-set vs dense cross-check), which is why [`NetStats`] equality
+/// deliberately ignores this field.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Mesh channel slots examined by `tick` across all cycles.
+    pub scanned_channels: u64,
+    /// Delivery flows examined by the retransmission pump across all cycles.
+    pub scanned_flows: u64,
+    /// Dense-scan slots/flows the active-set frontier skipped (the saved
+    /// work: dense cost minus what was scanned).
+    pub skipped_work: u64,
+}
+
+impl ScanStats {
+    /// Adds another counter set into this one (used to merge the fabric's
+    /// channel counters with the delivery layer's flow counters).
+    pub fn merge(&mut self, other: ScanStats) {
+        self.scanned_channels += other.scanned_channels;
+        self.scanned_flows += other.scanned_flows;
+        self.skipped_work += other.skipped_work;
+    }
+}
+
+/// Counters common to all [`crate::Network`] implementations.
+///
+/// Equality compares the *simulated behaviour* only: every field except
+/// [`scan`](NetStats::scan) (which measures simulator effort and differs
+/// between the hot-set scheduler and its dense cross-check) participates in
+/// `==`. The equivalence suites rely on this.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NetStats {
     /// Messages accepted for injection.
     pub injected: u64,
@@ -217,7 +251,29 @@ pub struct NetStats {
     /// Injected-fault tallies; all zero unless the fabric is wrapped in a
     /// [`crate::FaultyFabric`].
     pub faults: FaultCounters,
+    /// Hot-set scheduler work meters — **excluded from equality** (see the
+    /// type-level docs).
+    pub scan: ScanStats,
 }
+
+impl PartialEq for NetStats {
+    fn eq(&self, other: &NetStats) -> bool {
+        // `scan` intentionally omitted: it measures simulator effort, not
+        // simulated behaviour (hot-set vs dense scans visit different
+        // counts while producing identical traffic).
+        self.injected == other.injected
+            && self.delivered == other.delivered
+            && self.inject_refusals == other.inject_refusals
+            && self.bad_dest == other.bad_dest
+            && self.total_latency == other.total_latency
+            && self.blocked_hops == other.blocked_hops
+            && self.in_flight_hwm == other.in_flight_hwm
+            && self.latency_hist == other.latency_hist
+            && self.faults == other.faults
+    }
+}
+
+impl Eq for NetStats {}
 
 impl NetStats {
     /// Mean delivery latency in cycles, or `None` before any delivery.
@@ -261,6 +317,35 @@ impl fmt::Display for NetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn equality_ignores_scan_counters() {
+        let mut a = NetStats::default();
+        a.injected = 5;
+        let mut b = a;
+        b.scan.scanned_channels = 100;
+        b.scan.skipped_work = 900;
+        assert_eq!(a, b, "scan counters measure effort, not behaviour");
+        b.injected = 6;
+        assert_ne!(a, b, "behavioural fields still compare");
+    }
+
+    #[test]
+    fn scan_merge_adds_counters() {
+        let mut a = ScanStats {
+            scanned_channels: 1,
+            scanned_flows: 2,
+            skipped_work: 3,
+        };
+        a.merge(ScanStats {
+            scanned_channels: 10,
+            scanned_flows: 20,
+            skipped_work: 30,
+        });
+        assert_eq!(a.scanned_channels, 11);
+        assert_eq!(a.scanned_flows, 22);
+        assert_eq!(a.skipped_work, 33);
+    }
 
     #[test]
     fn mean_latency() {

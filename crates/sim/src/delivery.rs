@@ -25,13 +25,33 @@
 //! Protocol copies (acks, retransmits) contend for the same injection slot
 //! and fabric bandwidth as first sends — one injection per node per cycle —
 //! so the protocol's cost is visible in the load curves, not hidden.
-//! Everything here is deterministic: state lives in flat per-flow vectors,
-//! iterated in node order.
+//! Everything here is deterministic: state lives in flat per-flow vectors.
+//!
+//! ## Hot-set scheduling
+//!
+//! The per-cycle retransmission pump does **not** scan all N² flows: flows
+//! holding unacked data are linked on an intrusive *timeout list* ordered by
+//! `last_send`. Every `last_send` update stamps the current cycle and moves
+//! the flow to the tail, so the list stays sorted without ever being sorted —
+//! the pump walks from the oldest end and stops at the first flow that is
+//! not yet due. The flows due on one cycle are then fired in ascending flow
+//! index, which is exactly the (src, dst) order of the old dense scan, so
+//! retransmit copies enter each outbox bit-identically. A flow joins the
+//! list when its first unacked message is committed and leaves when its
+//! window fully acks or is abandoned. The old per-fire outbox rescan
+//! ("copies from the previous round still pending?") is a per-flow
+//! `pending_copies` counter maintained at outbox push/pop. The dense scan
+//! survives as a cross-check behind
+//! [`Machine::set_dense_scan`](crate::Machine::set_dense_scan).
 
 use std::collections::VecDeque;
 
 use tcni_core::{payload_crc, E2eHeader, E2eKind, Message, NodeId};
 use tcni_isa::MsgType;
+use tcni_net::ScanStats;
+
+/// Null link of the intrusive timeout list.
+const NONE: u32 = u32::MAX;
 
 /// Tuning knobs of the delivery protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +89,11 @@ pub struct DeliveryStats {
     pub timeout_rounds: u64,
     /// Acks queued by receivers.
     pub acks_sent: u64,
+    /// Acks a receiver *would* have queued but coalesced into the one
+    /// already pending for the flow instead (keeping the highest cumulative
+    /// sequence number). Without coalescing, every data arrival on a
+    /// congested outbox would enqueue another ack — an ack flood.
+    pub acks_coalesced: u64,
     /// Acks consumed by senders.
     pub acks_received: u64,
     /// In-order first-time deliveries into interfaces (the protocol's
@@ -94,7 +119,7 @@ pub(crate) enum RxAction {
     Consume,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct FlowTx {
     /// Next sequence number to assign.
     next_psn: u32,
@@ -104,12 +129,39 @@ struct FlowTx {
     last_send: u64,
     /// Consecutive timeout rounds without ack progress.
     rounds: u32,
+    /// Retransmit copies of this flow's data currently sitting in the
+    /// sender's outbox (maintained at push/pop; replaces the old per-pump
+    /// outbox rescan).
+    pending_copies: u32,
+    /// Intrusive timeout-list links (flow indices; [`NONE`] at the ends).
+    prev: u32,
+    next: u32,
+    /// Whether the flow is on the timeout list (⟺ `unacked` is non-empty).
+    linked: bool,
+}
+
+impl Default for FlowTx {
+    fn default() -> FlowTx {
+        FlowTx {
+            next_psn: 0,
+            unacked: VecDeque::new(),
+            last_send: 0,
+            rounds: 0,
+            pending_copies: 0,
+            prev: NONE,
+            next: NONE,
+            linked: false,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct FlowRx {
     /// Next sequence number expected (everything below is delivered).
     expected: u32,
+    /// Whether an ack for this flow is already waiting in the receiver's
+    /// outbox (newer cumulative acks coalesce into it).
+    ack_pending: bool,
 }
 
 /// Protocol state for a whole machine. Driven by [`crate::Machine`]; exposed
@@ -120,12 +172,37 @@ pub struct Delivery {
     stats: DeliveryStats,
     nodes: usize,
     /// Sender state, indexed `src * nodes + dst`.
+    ///
+    /// Flow/node indices fit the `u8`-wide [`NodeId`] address space by
+    /// construction: `MachineBuilder` rejects more than 256 nodes, so the
+    /// `as u8` casts below never truncate.
     tx: Vec<FlowTx>,
     /// Receiver state, indexed `dst * nodes + src`.
     rx: Vec<FlowRx>,
     /// Per-node protocol traffic (acks, retransmits) awaiting injection.
     /// Drains at one message per node per cycle, ahead of fresh NI sends.
     outbox: Vec<VecDeque<Message>>,
+    /// Nodes with a non-empty outbox, ascending (the injection phase visits
+    /// only these instead of every node).
+    outbox_active: Vec<u32>,
+    /// Total messages across all outboxes (O(1) `active`/`residency`).
+    outbox_msgs: u64,
+    /// Total unacked messages across all flows.
+    unacked_msgs: u64,
+    /// Head/tail of the intrusive timeout list: flows with unacked data,
+    /// oldest `last_send` first (see the module docs).
+    to_head: u32,
+    to_tail: u32,
+    /// Reusable scratch of due flow indices (no allocation per pump in the
+    /// steady state).
+    due_scratch: Vec<u32>,
+    /// Simulator effort meters (merged into `NetStats::scan` by the
+    /// machine).
+    scan: ScanStats,
+    /// Cross-check mode: the pump examines all N² flows like the
+    /// pre-timeout-list code. Behaviour is bit-identical; only the scan
+    /// counters differ.
+    dense_scan: bool,
 }
 
 impl Delivery {
@@ -138,6 +215,14 @@ impl Delivery {
             tx: (0..nodes * nodes).map(|_| FlowTx::default()).collect(),
             rx: (0..nodes * nodes).map(|_| FlowRx::default()).collect(),
             outbox: vec![VecDeque::new(); nodes],
+            outbox_active: Vec::new(),
+            outbox_msgs: 0,
+            unacked_msgs: 0,
+            to_head: NONE,
+            to_tail: NONE,
+            due_scratch: Vec::new(),
+            scan: ScanStats::default(),
+            dense_scan: false,
         }
     }
 
@@ -146,18 +231,73 @@ impl Delivery {
         self.stats
     }
 
+    /// Flow-scan effort counters (merged into the machine's
+    /// `NetStats::scan`).
+    pub(crate) fn scan_stats(&self) -> ScanStats {
+        self.scan
+    }
+
+    /// Enables or disables the dense-pump cross-check.
+    pub(crate) fn set_dense_scan(&mut self, on: bool) {
+        self.dense_scan = on;
+    }
+
     /// Whether the protocol still has work in flight: pending outbox
     /// traffic or unacknowledged data. While true, the machine cannot be
     /// quiescent and must not fast-forward past timeouts.
     pub fn active(&self) -> bool {
-        self.outbox.iter().any(|q| !q.is_empty()) || self.tx.iter().any(|f| !f.unacked.is_empty())
+        self.outbox_msgs > 0 || self.unacked_msgs > 0
     }
 
     /// Messages buffered inside the protocol (unacked + outbox) — the
     /// protocol's contribution to queue residency.
     pub fn residency(&self) -> u64 {
-        (self.outbox.iter().map(VecDeque::len).sum::<usize>()
-            + self.tx.iter().map(|f| f.unacked.len()).sum::<usize>()) as u64
+        self.outbox_msgs + self.unacked_msgs
+    }
+
+    // --- timeout list ---------------------------------------------------------
+
+    /// Appends flow `f` at the tail (it has the newest `last_send`).
+    fn link_tail(&mut self, f: u32) {
+        let tail = self.to_tail;
+        let flow = &mut self.tx[f as usize];
+        debug_assert!(!flow.linked, "double link");
+        flow.linked = true;
+        flow.prev = tail;
+        flow.next = NONE;
+        if tail == NONE {
+            self.to_head = f;
+        } else {
+            self.tx[tail as usize].next = f;
+        }
+        self.to_tail = f;
+    }
+
+    /// Removes flow `f` from the list.
+    fn unlink(&mut self, f: u32) {
+        let flow = &mut self.tx[f as usize];
+        debug_assert!(flow.linked, "unlink of an unlinked flow");
+        let (prev, next) = (flow.prev, flow.next);
+        flow.linked = false;
+        flow.prev = NONE;
+        flow.next = NONE;
+        if prev == NONE {
+            self.to_head = next;
+        } else {
+            self.tx[prev as usize].next = next;
+        }
+        if next == NONE {
+            self.to_tail = prev;
+        } else {
+            self.tx[next as usize].prev = prev;
+        }
+    }
+
+    /// Re-appends `f` at the tail after a `last_send` refresh, keeping the
+    /// list sorted (the new stamp is the maximum so far).
+    fn move_to_tail(&mut self, f: u32) {
+        self.unlink(f);
+        self.link_tail(f);
     }
 
     // --- sender side ---------------------------------------------------------
@@ -166,8 +306,50 @@ impl Delivery {
         self.outbox[node].front()
     }
 
+    /// The sorted list of nodes whose outbox is non-empty. The machine's
+    /// injection phase merges this with its running/draining lists instead
+    /// of visiting every node.
+    pub(crate) fn outbox_nodes(&self) -> &[u32] {
+        &self.outbox_active
+    }
+
+    /// Appends a protocol message to `node`'s outbox, maintaining the
+    /// active-node list and the message total.
+    fn outbox_push(&mut self, node: usize, msg: Message) {
+        self.outbox[node].push_back(msg);
+        self.outbox_msgs += 1;
+        if self.outbox[node].len() == 1 {
+            let pos = self.outbox_active.partition_point(|&x| (x as usize) < node);
+            self.outbox_active.insert(pos, node as u32);
+        }
+    }
+
     pub(crate) fn outbox_pop(&mut self, node: usize) {
-        self.outbox[node].pop_front();
+        let Some(m) = self.outbox[node].pop_front() else {
+            return;
+        };
+        self.outbox_msgs -= 1;
+        if self.outbox[node].is_empty() {
+            let pos = self.outbox_active.partition_point(|&x| (x as usize) < node);
+            debug_assert_eq!(self.outbox_active.get(pos), Some(&(node as u32)));
+            self.outbox_active.remove(pos);
+        }
+        match m.e2e {
+            // A retransmit copy left the outbox: credit the flow's pending
+            // counter (protocol peers are real nodes, so the dest indexes
+            // `tx` in range).
+            Some(h) if h.kind == E2eKind::Data => {
+                let flow = &mut self.tx[node * self.nodes + m.dest().index()];
+                debug_assert!(flow.pending_copies > 0, "pop without a push");
+                flow.pending_copies -= 1;
+            }
+            // The flow's pending ack left: the next arrival queues a fresh
+            // one instead of coalescing.
+            Some(h) if h.kind == E2eKind::Ack => {
+                self.rx[node * self.nodes + m.dest().index()].ack_pending = false;
+            }
+            _ => {}
+        }
     }
 
     /// Whether flow (src, dst) can take another first transmission.
@@ -181,63 +363,125 @@ impl Delivery {
     pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
         let psn = self.tx[src * self.nodes + dst].next_psn;
         let crc = payload_crc(&msg.words, msg.mtype);
+        // `src < 256` is builder-enforced; the cast cannot truncate.
         msg.e2e = Some(E2eHeader::data(src as u8, psn, crc));
     }
 
     /// Records an accepted first transmission of a stamped message.
     pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
-        let flow = &mut self.tx[src * self.nodes + dst];
+        let f = (src * self.nodes + dst) as u32;
+        let flow = &mut self.tx[f as usize];
         let hdr = msg.e2e.expect("committed message is stamped");
         debug_assert_eq!(hdr.psn, flow.next_psn);
-        if flow.unacked.is_empty() {
+        let was_empty = flow.unacked.is_empty();
+        if was_empty {
             flow.last_send = cycle;
             flow.rounds = 0;
         }
         flow.unacked.push_back((hdr.psn, msg));
         flow.next_psn += 1;
+        self.unacked_msgs += 1;
         self.stats.accepted += 1;
+        if was_empty {
+            // First unacked message: the flow joins the timeout list with
+            // the newest stamp, i.e. at the tail.
+            debug_assert!(!self.tx[f as usize].linked);
+            self.link_tail(f);
+        }
     }
 
     /// Fires due retransmission timeouts (called once per cycle, before the
     /// injection phase).
     pub(crate) fn pump(&mut self, cycle: u64) {
-        for src in 0..self.nodes {
-            for dst in 0..self.nodes {
-                let flow = &mut self.tx[src * self.nodes + dst];
-                if flow.unacked.is_empty()
-                    || cycle.saturating_sub(flow.last_send) < self.config.timeout
+        // No flow holds unacked data: nothing can be due. Returning before
+        // any counting keeps the scan counters identical between the naive
+        // loop and the fast-forward (both only reach a non-trivial pump
+        // while the protocol is active, which forces step-by-step cycles).
+        if self.to_head == NONE {
+            return;
+        }
+        let dense_cost = (self.nodes * self.nodes) as u64;
+        let mut examined: u64 = 0;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        debug_assert!(due.is_empty());
+        if self.dense_scan {
+            examined = dense_cost;
+            for (f, flow) in self.tx.iter().enumerate() {
+                if !flow.unacked.is_empty()
+                    && cycle.saturating_sub(flow.last_send) >= self.config.timeout
                 {
-                    continue;
-                }
-                // Copies from the previous round still await injection: the
-                // outbox is congested, not the receiver unresponsive. Reset
-                // the timer without burning a budget round.
-                let dst_id = NodeId::new(dst as u8);
-                let pending = self.outbox[src].iter().any(|m| {
-                    matches!(m.e2e, Some(h) if h.kind == E2eKind::Data) && m.dest() == dst_id
-                });
-                if pending {
-                    flow.last_send = cycle;
-                    continue;
-                }
-                flow.rounds += 1;
-                self.stats.timeout_rounds += 1;
-                flow.last_send = cycle;
-                if flow.rounds > self.config.retransmit_limit {
-                    // Budget exhausted: the receiver is unreachable. Abandon
-                    // the window rather than wedging the machine.
-                    self.stats.abandoned += flow.unacked.len() as u64;
-                    flow.unacked.clear();
-                    flow.rounds = 0;
-                    continue;
-                }
-                // Go-back-N: requeue the whole window.
-                for &(_, m) in &flow.unacked {
-                    self.outbox[src].push_back(m);
-                    self.stats.retransmits += 1;
+                    due.push(f as u32);
                 }
             }
+        } else {
+            // Walk from the oldest end; the list is sorted by `last_send`
+            // (every update stamps the current cycle and moves the flow to
+            // the tail), so the first not-yet-due flow ends the walk.
+            let mut cur = self.to_head;
+            while cur != NONE {
+                examined += 1;
+                let flow = &self.tx[cur as usize];
+                debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
+                if cycle.saturating_sub(flow.last_send) < self.config.timeout {
+                    break;
+                }
+                due.push(cur);
+                cur = flow.next;
+            }
+            // Fire in ascending flow index — the (src, dst) order of the
+            // dense scan — so retransmit copies append to each outbox
+            // bit-identically.
+            due.sort_unstable();
         }
+        for &f in &due {
+            self.fire_timeout(f, cycle);
+        }
+        due.clear();
+        self.due_scratch = due;
+        self.scan.scanned_flows += examined;
+        self.scan.skipped_work += dense_cost - examined;
+    }
+
+    /// One due flow's timeout: requeue the window (go-back-N), or just reset
+    /// the timer if the previous round's copies are still queued, or abandon
+    /// once the budget is spent.
+    fn fire_timeout(&mut self, f: u32, cycle: u64) {
+        let src = f as usize / self.nodes;
+        // Copies from the previous round still await injection: the outbox
+        // is congested, not the receiver unresponsive. Reset the timer
+        // without burning a budget round.
+        if self.tx[f as usize].pending_copies > 0 {
+            self.tx[f as usize].last_send = cycle;
+            self.move_to_tail(f);
+            return;
+        }
+        {
+            let flow = &mut self.tx[f as usize];
+            flow.rounds += 1;
+            flow.last_send = cycle;
+        }
+        self.stats.timeout_rounds += 1;
+        if self.tx[f as usize].rounds > self.config.retransmit_limit {
+            // Budget exhausted: the receiver is unreachable. Abandon the
+            // window rather than wedging the machine.
+            let len = self.tx[f as usize].unacked.len() as u64;
+            self.stats.abandoned += len;
+            self.unacked_msgs -= len;
+            let flow = &mut self.tx[f as usize];
+            flow.unacked.clear();
+            flow.rounds = 0;
+            self.unlink(f);
+            return;
+        }
+        // Go-back-N: requeue the whole window.
+        let count = self.tx[f as usize].unacked.len();
+        for k in 0..count {
+            let m = self.tx[f as usize].unacked[k].1;
+            self.outbox_push(src, m);
+        }
+        self.tx[f as usize].pending_copies += count as u32;
+        self.stats.retransmits += count as u64;
+        self.move_to_tail(f);
     }
 
     // --- receiver side -------------------------------------------------------
@@ -287,15 +531,24 @@ impl Delivery {
             E2eKind::Ack => {
                 // `dst` is the flow's sender; the header names the acker.
                 self.stats.acks_received += 1;
-                let flow = &mut self.tx[dst * self.nodes + hdr.src as usize];
+                let f = (dst * self.nodes + hdr.src as usize) as u32;
+                let flow = &mut self.tx[f as usize];
                 let mut progressed = false;
                 while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
                     flow.unacked.pop_front();
+                    self.unacked_msgs -= 1;
                     progressed = true;
                 }
                 if progressed {
                     flow.rounds = 0;
                     flow.last_send = cycle;
+                    if self.tx[f as usize].unacked.is_empty() {
+                        // Fully acked: off the timeout list.
+                        self.unlink(f);
+                    } else {
+                        // Timer restarted at the newest stamp: tail.
+                        self.move_to_tail(f);
+                    }
                 }
             }
             E2eKind::Data => {
@@ -314,20 +567,33 @@ impl Delivery {
 
     /// Queues (or refreshes) the cumulative ack from `receiver` back to the
     /// flow's `sender`. At most one pending ack per flow lives in the
-    /// outbox: a newer cumulative ack replaces it in place.
+    /// outbox: a newer cumulative ack *coalesces* into it (highest sequence
+    /// number wins) instead of enqueueing another — without this, every
+    /// data arrival on a congested outbox would add an ack (an ack flood).
     fn queue_ack(&mut self, receiver: usize, sender: usize) {
         let psn = self.rx[receiver * self.nodes + sender].expected;
-        let mut ack = Message::to(NodeId::new(sender as u8), [0; 5], MsgType::default());
+        // `sender`/`receiver` < 256 is builder-enforced; no truncation.
+        let sender_id = NodeId::new(sender as u8);
+        let mut ack = Message::to(sender_id, [0; 5], MsgType::default());
         let crc = payload_crc(&ack.words, ack.mtype);
         ack.e2e = Some(E2eHeader::ack(receiver as u8, psn, crc));
-        let sender_id = NodeId::new(sender as u8);
-        for m in self.outbox[receiver].iter_mut() {
-            if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
-                *m = ack;
-                return;
+        if self.rx[receiver * self.nodes + sender].ack_pending {
+            for m in self.outbox[receiver].iter_mut() {
+                if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
+                    // Cumulative: only ever move the acked prefix forward
+                    // (`expected` is monotone, so `<=` always holds — the
+                    // guard is defense in depth).
+                    if m.e2e.expect("matched above").psn <= psn {
+                        *m = ack;
+                    }
+                    self.stats.acks_coalesced += 1;
+                    return;
+                }
             }
+            debug_assert!(false, "ack_pending set but no ack queued");
         }
-        self.outbox[receiver].push_back(ack);
+        self.rx[receiver * self.nodes + sender].ack_pending = true;
+        self.outbox_push(receiver, ack);
         self.stats.acks_sent += 1;
     }
 }
@@ -411,7 +677,29 @@ mod tests {
         assert_eq!(d.stats().out_of_order_dropped, 1);
         // Exactly one coalesced ack is pending despite three arrivals.
         assert_eq!(d.stats().acks_sent, 1);
+        assert_eq!(d.stats().acks_coalesced, 2, "two arrivals coalesced");
         assert_eq!(d.outbox_front(1).unwrap().e2e.unwrap().psn, 1);
+        // Once the pending ack drains, the next arrival queues a fresh one.
+        d.outbox_pop(1);
+        d.on_consumed(1, &m0, 4);
+        assert_eq!(d.stats().acks_sent, 2);
+        assert_eq!(d.stats().acks_coalesced, 2);
+    }
+
+    #[test]
+    fn coalesced_ack_keeps_the_highest_psn() {
+        let mut d = Delivery::new(2, DeliveryConfig::default());
+        // Deliver psn 0 and 1 in order without draining the outbox: the
+        // second cumulative ack (psn 2) must replace the first (psn 1).
+        for psn in 0..2 {
+            let mut m = data(1, psn);
+            d.stamp_for_test(0, &mut m, psn);
+            assert_eq!(d.rx_action(1, &m), RxAction::Deliver);
+            d.on_delivered(1, &m, u64::from(psn));
+        }
+        assert_eq!(d.stats().acks_sent, 1);
+        assert_eq!(d.stats().acks_coalesced, 1);
+        assert_eq!(d.outbox_front(1).unwrap().e2e.unwrap().psn, 2);
     }
 
     #[test]
@@ -458,5 +746,67 @@ mod tests {
         d.pump(40);
         assert_eq!(d.stats().abandoned, 2, "budget exhausted");
         assert!(!d.active());
+    }
+
+    /// The intrusive timeout list and the dense N²-flow scan must fire the
+    /// same retransmissions in the same order across interleaved commits,
+    /// partial acks, congestion resets, and abandons.
+    #[test]
+    fn timeout_list_matches_dense_flow_scan() {
+        let cfg = DeliveryConfig {
+            window: 4,
+            timeout: 8,
+            retransmit_limit: 3,
+        };
+        let run = |dense: bool| -> (DeliveryStats, Vec<(usize, u32, u32)>) {
+            let nodes = 5usize;
+            let mut d = Delivery::new(nodes, cfg);
+            d.set_dense_scan(dense);
+            let mut drained = Vec::new();
+            let mut x = 0xdead_beef_cafe_f00du64;
+            for cycle in 0..400u64 {
+                // Pseudo-random commits on a rotating set of flows.
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let src = ((x >> 33) % nodes as u64) as usize;
+                let dst = ((x >> 13) % nodes as u64) as usize;
+                if src != dst && d.can_admit(src, dst) && cycle % 3 == 0 {
+                    let mut m = data(dst as u8, cycle as u32);
+                    d.stamp(src, dst, &mut m);
+                    d.commit(src, dst, m, cycle);
+                }
+                d.pump(cycle);
+                // Drain one outbox message from a rotating node and record
+                // it; occasionally ack a flow's oldest message.
+                let node = (cycle % nodes as u64) as usize;
+                if let Some(m) = d.outbox_front(node).copied() {
+                    let h = m.e2e.unwrap();
+                    drained.push((node, m.dest().index() as u32, h.psn));
+                    d.outbox_pop(node);
+                }
+                if cycle % 7 == 0 {
+                    let sender = ((x >> 49) % nodes as u64) as usize;
+                    let acker = ((x >> 41) % nodes as u64) as usize;
+                    if sender != acker {
+                        let flow = &d.tx[sender * nodes + acker];
+                        if let Some(&(psn, _)) = flow.unacked.front() {
+                            let mut ack =
+                                Message::to(NodeId::new(sender as u8), [0; 5], MsgType::default());
+                            let crc = payload_crc(&ack.words, ack.mtype);
+                            ack.e2e = Some(E2eHeader::ack(acker as u8, psn + 1, crc));
+                            d.on_consumed(sender, &ack, cycle);
+                        }
+                    }
+                }
+            }
+            (d.stats(), drained)
+        };
+        let (hot, hot_order) = run(false);
+        let (dense, dense_order) = run(true);
+        assert_eq!(hot, dense, "protocol counters must be bit-identical");
+        assert_eq!(hot_order, dense_order, "outbox drain order must match");
+        assert!(hot.retransmits > 0, "the scenario exercised timeouts");
+        assert!(hot.abandoned > 0, "the scenario exercised abandons");
     }
 }

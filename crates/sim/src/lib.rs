@@ -29,7 +29,7 @@ mod trace;
 pub use delivery::{Delivery, DeliveryConfig, DeliveryStats};
 pub use driver::CycleDriver;
 pub use env::NodeEnv;
-pub use machine::{Machine, MachineBuilder, RunOutcome};
+pub use machine::{BuildError, Machine, MachineBuilder, RunOutcome};
 pub use model::{Model, NiMapping};
 pub use node::Node;
 pub use obs::{MsgCounters, MsgSpan, NodeRollup, Obs, ObsReport, TRACE_SCHEMA};

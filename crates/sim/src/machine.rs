@@ -1,5 +1,6 @@
 //! The multicomputer: nodes co-simulated with a network, cycle by cycle.
 
+use std::fmt;
 use std::sync::Arc;
 
 use tcni_core::{FeatureLevel, NiConfig, NodeId};
@@ -16,6 +17,57 @@ use crate::model::{Model, NiMapping};
 use crate::node::Node;
 use crate::obs::{NodeRollup, Obs, ObsReport};
 use crate::trace::{Trace, TraceEvent};
+
+/// Why a [`MachineBuilder`] cannot produce a machine. Returned by the
+/// fallible [`MachineBuilder::try_new`]/[`MachineBuilder::try_build`] pair;
+/// the panicking [`new`](MachineBuilder::new)/[`build`](MachineBuilder::build)
+/// report the same conditions as messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// Zero nodes were requested.
+    NoNodes,
+    /// More than 256 nodes were requested. [`NodeId`]s — and the on-wire
+    /// delivery-protocol headers derived from them — address exactly 256
+    /// nodes; a larger machine would silently wrap node indices when they
+    /// are narrowed to `u8` (flows would alias and messages would be
+    /// misdelivered), so the builder rejects it up front.
+    TooManyNodes {
+        /// The requested node count.
+        requested: usize,
+    },
+    /// The configured mesh has fewer slots than the machine has nodes.
+    MeshTooSmall {
+        /// Configured mesh width.
+        width: usize,
+        /// Configured mesh height.
+        height: usize,
+        /// The requested node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BuildError::NoNodes => write!(f, "a machine needs at least one node"),
+            BuildError::TooManyNodes { requested } => {
+                write!(
+                    f,
+                    "NodeId address space is 256 nodes ({requested} requested)"
+                )
+            }
+            BuildError::MeshTooSmall {
+                width,
+                height,
+                nodes,
+            } => {
+                write!(f, "mesh ({width}×{height}) smaller than node count {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Why a [`Machine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +144,11 @@ pub struct Machine {
     lists_dirty: bool,
     skip_ahead: bool,
     skipped_cycles: u64,
+    dense_scan: bool,
+    /// Reusable snapshot of the delivery outbox's active-node list for the
+    /// E2E injection phase (taken per cycle; injection pops edit the live
+    /// list mid-walk).
+    outbox_scan: Vec<usize>,
 }
 
 impl Machine {
@@ -129,9 +186,15 @@ impl Machine {
         &self.nodes
     }
 
-    /// Network statistics.
+    /// Network statistics. The [`NetStats::scan`] effort counters merge the
+    /// fabric's channel-scan work with the delivery protocol's flow-scan
+    /// work, so one triple covers the whole hot-set scheduler.
     pub fn net_stats(&self) -> NetStats {
-        self.net.stats()
+        let mut s = self.net.stats();
+        if let Some(del) = self.delivery.as_ref() {
+            s.scan.merge(del.scan_stats());
+        }
+        s
     }
 
     /// Messages currently inside the network fabric.
@@ -185,7 +248,7 @@ impl Machine {
         Some(ObsReport {
             cycles: self.cycle,
             fabric: self.net.base_name(),
-            net: self.net.stats(),
+            net: self.net_stats(),
             links: self
                 .net
                 .as_mesh()
@@ -227,6 +290,27 @@ impl Machine {
     /// Whether the quiescence fast-forward is enabled.
     pub fn skip_ahead(&self) -> bool {
         self.skip_ahead
+    }
+
+    /// Enables or disables the dense-scan cross-check (disabled by default).
+    /// When enabled, the mesh visits every channel and the delivery pump
+    /// examines every flow each cycle, like the pre-hot-set code. Behaviour
+    /// is bit-identical either way — only wall clock and the
+    /// [`NetStats::scan`] counters differ — which the equivalence suites
+    /// verify, mirroring [`set_skip_ahead`](Machine::set_skip_ahead).
+    pub fn set_dense_scan(&mut self, enabled: bool) {
+        self.dense_scan = enabled;
+        if let Some(mesh) = self.net.as_mesh_mut() {
+            mesh.set_dense_scan(enabled);
+        }
+        if let Some(del) = self.delivery.as_mut() {
+            del.set_dense_scan(enabled);
+        }
+    }
+
+    /// Whether the dense-scan cross-check is enabled.
+    pub fn dense_scan(&self) -> bool {
+        self.dense_scan
     }
 
     /// Cycles that were fast-forwarded (charged in bulk rather than stepped)
@@ -347,11 +431,36 @@ impl Machine {
                 del.pump(cycle);
             }
             // Protocol traffic (acks, retransmits) can originate at stopped
-            // nodes the running/draining lists no longer scan, so the
-            // protocol machine visits every node.
-            for i in 0..self.nodes.len() {
+            // nodes the running/draining lists no longer scan — but those
+            // nodes are exactly the ones on the delivery outbox's active
+            // list. Snapshot it (injection pops edit the live list
+            // mid-walk) and three-way-merge with the running/draining
+            // lists: the same ascending node order as a full scan, visiting
+            // only nodes that can possibly inject. Any node outside all
+            // three lists is stopped with an empty interface and an empty
+            // outbox, for which `inject_at` is a no-op.
+            let mut ob = std::mem::take(&mut self.outbox_scan);
+            ob.clear();
+            if let Some(del) = self.delivery.as_ref() {
+                ob.extend(del.outbox_nodes().iter().map(|&n| n as usize));
+            }
+            let (mut r, mut d, mut o) = (0, 0, 0);
+            loop {
+                let next = [
+                    self.running.get(r).copied(),
+                    self.draining.get(d).copied(),
+                    ob.get(o).copied(),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                let Some(i) = next else { break };
+                r += usize::from(self.running.get(r) == Some(&i));
+                d += usize::from(self.draining.get(d) == Some(&i));
+                o += usize::from(ob.get(o) == Some(&i));
                 changed |= self.inject_at::<TRACED, OBS, E2E>(i, cycle);
             }
+            self.outbox_scan = ob;
         } else {
             // Merge of the two sorted lists.
             let (mut r, mut d) = (0, 0);
@@ -807,6 +916,7 @@ pub struct MachineBuilder {
     programs: Vec<Option<Program>>,
     default_program: Program,
     skip_ahead: bool,
+    dense_scan: bool,
 }
 
 impl MachineBuilder {
@@ -814,13 +924,36 @@ impl MachineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `node_count` is zero or exceeds the 256-node address space.
+    /// Panics if `node_count` is zero or exceeds the 256-node address space
+    /// (see [`MachineBuilder::try_new`] for the fallible form).
     pub fn new(node_count: usize) -> MachineBuilder {
-        assert!(node_count > 0, "a machine needs at least one node");
-        assert!(node_count <= 256, "NodeId address space is 256 nodes");
+        match MachineBuilder::try_new(node_count) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Starts a builder for `node_count` nodes, rejecting impossible
+    /// machines with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::NoNodes`] for zero nodes; [`BuildError::TooManyNodes`]
+    /// beyond the 256-entry [`NodeId`] address space (node indices travel in
+    /// `u8` fields — fabric addressing and delivery-protocol headers — so a
+    /// larger machine would silently alias nodes).
+    pub fn try_new(node_count: usize) -> Result<MachineBuilder, BuildError> {
+        if node_count == 0 {
+            return Err(BuildError::NoNodes);
+        }
+        if node_count > 256 {
+            return Err(BuildError::TooManyNodes {
+                requested: node_count,
+            });
+        }
         let mut halt = tcni_isa::Assembler::new();
         halt.halt();
-        MachineBuilder {
+        Ok(MachineBuilder {
             node_count,
             model: Model::new(NiMapping::RegisterFile, FeatureLevel::Optimized),
             timing: TimingConfig::new(),
@@ -832,7 +965,8 @@ impl MachineBuilder {
             programs: vec![None; node_count],
             default_program: halt.assemble().expect("trivial program"),
             skip_ahead: true,
-        }
+            dense_scan: false,
+        })
     }
 
     /// Selects one of the six §4 models.
@@ -901,6 +1035,13 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables or disables the dense-scan cross-check (default: disabled;
+    /// see [`Machine::set_dense_scan`]).
+    pub fn dense_scan(mut self, enabled: bool) -> MachineBuilder {
+        self.dense_scan = enabled;
+        self
+    }
+
     /// Loads a program on one node.
     ///
     /// # Panics
@@ -918,18 +1059,37 @@ impl MachineBuilder {
     }
 
     /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured mesh is smaller than the node count (see
+    /// [`MachineBuilder::try_build`] for the fallible form).
     pub fn build(self) -> Machine {
+        match self.try_build() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the machine, rejecting inconsistent configurations with a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MeshTooSmall`] when the configured mesh has fewer slots
+    /// than the machine has nodes.
+    pub fn try_build(self) -> Result<Machine, BuildError> {
         let mut net: NetworkKind = match self.net {
             NetChoice::Ideal { latency } => IdealNetwork::new(self.node_count, latency).into(),
             NetChoice::Mesh(cfg) => {
                 let mesh = Mesh2d::new(cfg);
-                assert!(
-                    mesh.node_count() >= self.node_count,
-                    "mesh ({}×{}) smaller than node count {}",
-                    cfg.width,
-                    cfg.height,
-                    self.node_count
-                );
+                if mesh.node_count() < self.node_count {
+                    return Err(BuildError::MeshTooSmall {
+                        width: cfg.width,
+                        height: cfg.height,
+                        nodes: self.node_count,
+                    });
+                }
                 mesh.into()
             }
         };
@@ -968,8 +1128,11 @@ impl MachineBuilder {
             lists_dirty: true,
             skip_ahead: self.skip_ahead,
             skipped_cycles: 0,
+            dense_scan: false,
+            outbox_scan: Vec::new(),
         };
         machine.refresh_lists();
-        machine
+        machine.set_dense_scan(self.dense_scan);
+        Ok(machine)
     }
 }

@@ -404,6 +404,13 @@ impl ObsReport {
                 None => o.push_str("null"),
             }
         }
+        // Hot-set scheduler effort meters (channel + flow scans merged).
+        o.push_str("}, \"scan\": {\"scanned_channels\": ");
+        push_num(&mut o, self.net.scan.scanned_channels);
+        o.push_str(", \"scanned_flows\": ");
+        push_num(&mut o, self.net.scan.scanned_flows);
+        o.push_str(", \"skipped_work\": ");
+        push_num(&mut o, self.net.scan.skipped_work);
         o.push_str("}},\n  \"links\": [");
         for (i, l) in self.links.iter().enumerate() {
             if i > 0 {
@@ -518,6 +525,8 @@ impl ObsReport {
             push_num(&mut o, d.timeout_rounds);
             o.push_str(", \"acks_sent\": ");
             push_num(&mut o, d.acks_sent);
+            o.push_str(", \"acks_coalesced\": ");
+            push_num(&mut o, d.acks_coalesced);
             o.push_str(", \"acks_received\": ");
             push_num(&mut o, d.acks_received);
             o.push_str(", \"delivered_unique\": ");

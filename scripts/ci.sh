@@ -25,7 +25,10 @@ cargo clippy --workspace --release --offline -- -D warnings
 echo "== tests (offline, all crates) =="
 cargo test --workspace --release --offline -q
 
-echo "== golden artifacts (byte-exact paper outputs) =="
+echo "== golden artifacts (byte-exact paper outputs, hot-set scheduler on) =="
+# The hot-set scheduler is the default path; these artifacts were blessed
+# before it existed, so a byte-identical pass proves the scheduler is
+# invisible to every paper output.
 cargo test --release --offline -q --test golden_artifacts
 
 echo "== smoke: Table 1 =="
@@ -55,5 +58,13 @@ grep -q '"goodput_pm": ' target/BENCH_loadgen_faults.ci.json
 echo "== smoke: perf harness (quick) =="
 TCNI_BENCH_OUT=target/BENCH_simulator.ci.json \
     cargo run --release --offline -p tcni-bench --bin perf -- --quick
+
+echo "== smoke: hot-set scheduler skips work on the large-mesh point =="
+# The 16x16 low-load measurement must report a nonzero skipped_work counter:
+# the scheduler really did avoid idle channel/flow scans.
+skipped=$(grep -o '"name": "large_mesh/16x16_uniform5pm_hotset".*"skipped_work": [0-9]*' \
+    target/BENCH_simulator.ci.json | grep -o '"skipped_work": [0-9]*' | grep -o '[0-9]*')
+test -n "${skipped}" && test "${skipped}" -gt 0
+echo "large_mesh/16x16_uniform5pm_hotset skipped_work=${skipped}"
 
 echo "ci.sh: all green"

@@ -1,0 +1,64 @@
+//! Regression tests for machine-construction validation, notably the
+//! node-id truncation bug: node indices travel in `u8` fields (fabric
+//! addressing, delivery-protocol headers), so a machine with more than 256
+//! nodes used to wrap node ids silently. The builder now rejects it — with
+//! a typed [`BuildError`] from the fallible constructors, or a panic
+//! carrying the same message from the infallible ones.
+
+use tcni::net::MeshConfig;
+use tcni::sim::{BuildError, MachineBuilder};
+
+#[test]
+fn more_than_256_nodes_is_a_typed_error() {
+    let err = MachineBuilder::try_new(257)
+        .err()
+        .expect("must be rejected");
+    assert_eq!(err, BuildError::TooManyNodes { requested: 257 });
+    assert!(
+        err.to_string()
+            .contains("NodeId address space is 256 nodes"),
+        "message names the invariant: {err}"
+    );
+}
+
+#[test]
+fn zero_nodes_is_a_typed_error() {
+    let err = MachineBuilder::try_new(0).err().expect("must be rejected");
+    assert_eq!(err, BuildError::NoNodes);
+    assert!(err.to_string().contains("at least one node"), "{err}");
+}
+
+#[test]
+fn the_full_address_space_still_builds() {
+    // 256 nodes is the last valid size: every index round-trips through u8.
+    let machine = MachineBuilder::try_new(256)
+        .expect("256 nodes fit the address space")
+        .try_build()
+        .expect("buildable");
+    assert_eq!(machine.node_count(), 256);
+}
+
+#[test]
+fn undersized_mesh_is_a_typed_error() {
+    let err = MachineBuilder::try_new(9)
+        .expect("9 nodes are fine")
+        .network_mesh(MeshConfig::new(2, 2))
+        .try_build()
+        .err()
+        .expect("4-slot mesh cannot host 9 nodes");
+    assert_eq!(
+        err,
+        BuildError::MeshTooSmall {
+            width: 2,
+            height: 2,
+            nodes: 9
+        }
+    );
+    assert!(err.to_string().contains("smaller than node count"), "{err}");
+}
+
+#[test]
+#[should_panic(expected = "NodeId address space is 256 nodes")]
+fn the_panicking_constructor_reports_the_same_invariant() {
+    let _ = MachineBuilder::new(300);
+}
