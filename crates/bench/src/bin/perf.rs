@@ -116,13 +116,14 @@ fn mesh_traffic(target: u64) -> u64 {
 /// hot-set scheduler's target case: a large machine whose active set is a
 /// tiny fraction of its channels and flows. `dense` selects the
 /// every-channel/every-flow cross-check scan for contrast.
-fn large_mesh_low_load(cycles: u64, dense: bool) -> Machine {
+fn large_mesh_low_load(cycles: u64, dense: bool, par: usize) -> Machine {
     let mut machine = MachineBuilder::new(256)
         .model(Model::ALL_SIX[0])
         .network_mesh(MeshConfig::new(16, 16))
         .delivery(DeliveryConfig::default())
         .dense_scan(dense)
         .build();
+    machine.set_par_threads(par);
     let mut injector = Injector::new(InjectorConfig::new(
         Pattern::Uniform,
         Topology::new(16, 16),
@@ -214,20 +215,29 @@ fn main() {
         reps,
         || mesh_traffic(mesh_target),
     ));
-    // The large-mesh low-load point, hot-set vs dense: wall clock in the
-    // measurement, scan-effort meters in the counters. `dense_cost` is what
-    // a full scan would examine — cycles × (channels + flows) — so
-    // `scanned_channels + scanned_flows` vs `dense_cost` is the win.
-    for (name, dense) in [
-        ("large_mesh/16x16_uniform5pm_hotset", false),
-        ("large_mesh/16x16_uniform5pm_dense", true),
+    // The large-mesh low-load point, hot-set vs dense vs sharded: wall clock
+    // in the measurement, scan-effort meters in the counters. `dense_cost`
+    // is what a full scan would examine — cycles × (channels + flows) — so
+    // `scanned_channels + scanned_flows` vs `dense_cost` is the win. The
+    // `_parN` points run the identical workload with the cycle sharded
+    // across N workers (`Machine::set_par_threads`); bit-identity guarantees
+    // their counters match the serial hot-set point exactly, so the only
+    // delta is wall clock — compare their `value` against the serial point
+    // to read the speedup, and their `host_threads` metadata for how many
+    // cores the host could actually offer.
+    for (name, dense, par) in [
+        ("large_mesh/16x16_uniform5pm_hotset", false, 1),
+        ("large_mesh/16x16_uniform5pm_dense", true, 1),
+        ("large_mesh/16x16_uniform5pm_hotset_par2", false, 2),
+        ("large_mesh/16x16_uniform5pm_hotset_par4", false, 4),
     ] {
         let mut meas = bench(name, "cycles/sec", cycles as f64, warmup, reps, || {
-            large_mesh_low_load(cycles, dense)
+            large_mesh_low_load(cycles, dense, par)
         });
-        let machine = large_mesh_low_load(cycles, dense);
+        let machine = large_mesh_low_load(cycles, dense, par);
         let scan = machine.net_stats().scan;
         let dense_cost = machine.cycle() * (256 * 5 + 256 * 256) as u64;
+        meas.tcni_threads = par;
         meas.counters = vec![
             ("cycles".into(), machine.cycle()),
             ("scanned_channels".into(), scan.scanned_channels),

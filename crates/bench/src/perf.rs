@@ -16,7 +16,8 @@
 //!     { "name": "machine_step/spin16", "unit": "cycles/sec",
 //!       "value": 1.23e7, "work_per_call": 10000, "reps": 7,
 //!       "median_ns": 813000, "mean_ns": 820100,
-//!       "min_ns": 799000, "max_ns": 861000, "stddev_ns": 20100 }
+//!       "min_ns": 799000, "max_ns": 861000, "stddev_ns": 20100,
+//!       "host_threads": 8, "tcni_threads": 1 }
 //!   ],
 //!   "pipeline": { "serial_ms": 4200.0, "parallel_ms": 1100.0,
 //!                 "speedup": 3.8, "threads": 8 }
@@ -44,6 +45,14 @@ pub struct Measurement {
     /// hot-set scheduler's `scanned_channels`/`skipped_work` meters),
     /// serialized as a `"counters"` object when non-empty.
     pub counters: Vec<(String, u64)>,
+    /// Host core count detected when this measurement ran (what
+    /// `std::thread::available_parallelism` reported — the ceiling any
+    /// speedup could reach on this host).
+    pub host_threads: usize,
+    /// Effective worker count the measured code ran with: the resolved
+    /// `TCNI_THREADS` at measurement time, or the per-machine override for
+    /// points that pin their own count (the `_parN` large-mesh points).
+    pub tcni_threads: usize,
 }
 
 impl Measurement {
@@ -128,7 +137,16 @@ pub fn bench<R>(
         work_per_call,
         samples_ns,
         counters: Vec::new(),
+        host_threads: detected_host_threads(),
+        tcni_threads: tcni_util::par::threads(),
     }
+}
+
+/// The host's detected core count (`1` when detection fails).
+pub fn detected_host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The serial-vs-parallel pipeline comparison.
@@ -193,13 +211,7 @@ impl Report {
             out,
             "  \"generated_by\": \"cargo run --release -p tcni-bench --bin perf\","
         );
-        let _ = writeln!(
-            out,
-            "  \"host_threads\": {},",
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        );
+        let _ = writeln!(out, "  \"host_threads\": {},", detected_host_threads());
         let _ = writeln!(out, "  \"results\": [");
         for (i, m) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
@@ -207,7 +219,8 @@ impl Report {
                 out,
                 "    {{ \"name\": \"{}\", \"unit\": \"{}\", \"value\": {}, \
                  \"work_per_call\": {}, \"reps\": {}, \"median_ns\": {}, \
-                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"stddev_ns\": {}",
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"stddev_ns\": {}, \
+                 \"host_threads\": {}, \"tcni_threads\": {}",
                 json_escape(&m.name),
                 json_escape(m.unit),
                 json_num(m.value()),
@@ -218,6 +231,8 @@ impl Report {
                 m.min_ns(),
                 m.max_ns(),
                 json_num(m.stddev_ns()),
+                m.host_threads,
+                m.tcni_threads,
             );
             if !m.counters.is_empty() {
                 let _ = write!(out, ", \"counters\": {{ ");
@@ -261,6 +276,8 @@ mod tests {
             work_per_call: 100.0,
             samples_ns: vec![200, 100, 300],
             counters: Vec::new(),
+            host_threads: 1,
+            tcni_threads: 1,
         };
         assert_eq!(m.median_ns(), 200);
         assert_eq!(m.min_ns(), 100);
@@ -287,6 +304,8 @@ mod tests {
             work_per_call: 10.0,
             samples_ns: vec![50],
             counters: Vec::new(),
+            host_threads: 1,
+            tcni_threads: 1,
         });
         r.pipeline = Some(PipelineTiming {
             serial_ms: 10.0,
@@ -311,6 +330,8 @@ mod tests {
             work_per_call: 10.0,
             samples_ns: vec![50],
             counters: vec![("scanned_channels".into(), 42), ("skipped_work".into(), 7)],
+            host_threads: 1,
+            tcni_threads: 1,
         });
         let j = r.to_json();
         assert!(j.contains("\"counters\": { \"scanned_channels\": 42, \"skipped_work\": 7 }"));

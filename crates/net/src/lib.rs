@@ -38,7 +38,9 @@ mod stats;
 pub use fault::{FaultConfig, FaultyFabric};
 pub use ideal::IdealNetwork;
 pub use kind::NetworkKind;
-pub use mesh::{LinkReport, LinkStats, Mesh2d, MeshConfig};
+pub use mesh::{
+    LinkReport, LinkStats, Mesh2d, MeshConfig, MeshRange, MeshRangeDelta, MeshTickScratch,
+};
 pub use stats::{FaultCounters, LatencyHist, NetStats, ScanStats};
 
 use tcni_core::{Message, NodeId};

@@ -44,11 +44,30 @@
 //! survives as a cross-check behind
 //! [`Machine::set_dense_scan`](crate::Machine::set_dense_scan).
 
+//!
+//! ## Parallel cycle
+//!
+//! Under the machine's sharded tick, each spatial domain operates on its own
+//! rows of the flat state through a [`DeliveryRange`]: `tx`/`outbox` are
+//! source-major and `rx` destination-major, so a domain's CPU-side sends and
+//! NI-side receives touch only its slice. Whatever is *not* sliceable — the
+//! aggregate counters, the sorted active-outbox list, and the intrusive
+//! timeout list — is buffered as a [`DeliveryDelta`] and replayed by
+//! [`Delivery::absorb_deltas`] in domain order, which is ascending node
+//! order, i.e. exactly the serial walk. The timeout pump keeps its due-flow
+//! *collection* serial (the list walk is global and meters `scanned_flows`),
+//! then fires due flows per-domain in parallel.
+
 use std::collections::VecDeque;
 
 use tcni_core::{payload_crc, E2eHeader, E2eKind, Message, NodeId};
 use tcni_isa::MsgType;
 use tcni_net::ScanStats;
+use tcni_util::par::run_tasks;
+
+/// Minimum due flows before the pump's fire phase goes parallel; below
+/// this, per-task bookkeeping costs more than it saves.
+const PAR_FIRE_MIN: usize = 8;
 
 /// Null link of the intrusive timeout list.
 const NONE: u32 = u32::MAX;
@@ -108,6 +127,24 @@ pub struct DeliveryStats {
     pub corrupt_dropped: u64,
     /// Messages abandoned after the retransmit budget ran out.
     pub abandoned: u64,
+}
+
+impl DeliveryStats {
+    /// Adds another counter set into this one (per-domain deltas reduced in
+    /// domain order by the parallel cycle).
+    fn add(&mut self, o: &DeliveryStats) {
+        self.accepted += o.accepted;
+        self.retransmits += o.retransmits;
+        self.timeout_rounds += o.timeout_rounds;
+        self.acks_sent += o.acks_sent;
+        self.acks_coalesced += o.acks_coalesced;
+        self.acks_received += o.acks_received;
+        self.delivered_unique += o.delivered_unique;
+        self.dup_suppressed += o.dup_suppressed;
+        self.out_of_order_dropped += o.out_of_order_dropped;
+        self.corrupt_dropped += o.corrupt_dropped;
+        self.abandoned += o.abandoned;
+    }
 }
 
 /// What the receive side decided about an arrived protocol message.
@@ -442,6 +479,148 @@ impl Delivery {
         self.scan.skipped_work += dense_cost - examined;
     }
 
+    /// [`pump`](Self::pump), sharded: due-flow collection (and the scan
+    /// meters) stay serial and byte-identical, while the firing of due flows
+    /// is fanned across spatial domains when there are enough of them.
+    /// Sound because a flow's row state is source-major (each due flow fires
+    /// entirely inside its source's domain), the due list is ascending by
+    /// flow index (so per-domain chunks are contiguous), and every global
+    /// effect is buffered and replayed in domain order — which *is* the
+    /// serial ascending-flow fire order.
+    pub(crate) fn pump_par(&mut self, cycle: u64, bounds: &[usize]) {
+        if self.to_head == NONE {
+            return;
+        }
+        let dense_cost = (self.nodes * self.nodes) as u64;
+        let mut examined: u64 = 0;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        debug_assert!(due.is_empty());
+        if self.dense_scan {
+            examined = dense_cost;
+            for (f, flow) in self.tx.iter().enumerate() {
+                if !flow.unacked.is_empty()
+                    && cycle.saturating_sub(flow.last_send) >= self.config.timeout
+                {
+                    due.push(f as u32);
+                }
+            }
+        } else {
+            let mut cur = self.to_head;
+            while cur != NONE {
+                examined += 1;
+                let flow = &self.tx[cur as usize];
+                debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
+                if cycle.saturating_sub(flow.last_send) < self.config.timeout {
+                    break;
+                }
+                due.push(cur);
+                cur = flow.next;
+            }
+            due.sort_unstable();
+        }
+        let domains = bounds.len().saturating_sub(1);
+        if domains < 2 || due.len() < PAR_FIRE_MIN {
+            for &f in &due {
+                self.fire_timeout(f, cycle);
+            }
+        } else {
+            // `due` is ascending by flow index and flows are source-major,
+            // so each domain's due flows form one contiguous chunk.
+            let nodes = self.nodes;
+            let mut chunks: Vec<&[u32]> = Vec::with_capacity(domains);
+            let mut rest: &[u32] = &due;
+            for w in bounds.windows(2) {
+                let cut = rest.partition_point(|&f| (f as usize) < w[1] * nodes);
+                let (head, tail) = rest.split_at(cut);
+                chunks.push(head);
+                rest = tail;
+            }
+            debug_assert!(rest.is_empty());
+            let mut tasks: Vec<FireTask<'_>> = self
+                .split_ranges(bounds)
+                .into_iter()
+                .zip(chunks)
+                .map(|(range, chunk)| FireTask { range, chunk })
+                .collect();
+            run_tasks(&mut tasks, |_, t| {
+                for &f in t.chunk {
+                    t.range.fire_timeout(f, cycle);
+                }
+            });
+            let deltas: Vec<DeliveryDelta> =
+                tasks.into_iter().map(|t| t.range.into_delta()).collect();
+            self.absorb_deltas(deltas);
+        }
+        due.clear();
+        self.due_scratch = due;
+        self.scan.scanned_flows += examined;
+        self.scan.skipped_work += dense_cost - examined;
+    }
+
+    /// Splits the protocol state into per-domain row views for the parallel
+    /// cycle. Domain `d` of `bounds` owns `tx`/`outbox` rows of its source
+    /// nodes and `rx` rows of its destination nodes.
+    pub(crate) fn split_ranges(&mut self, bounds: &[usize]) -> Vec<DeliveryRange<'_>> {
+        debug_assert_eq!(bounds[0], 0);
+        debug_assert_eq!(*bounds.last().expect("non-empty bounds"), self.nodes);
+        let nodes = self.nodes;
+        let config = self.config;
+        let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+        let mut tx: &mut [FlowTx] = self.tx.as_mut_slice();
+        let mut rx: &mut [FlowRx] = self.rx.as_mut_slice();
+        let mut outbox: &mut [VecDeque<Message>] = self.outbox.as_mut_slice();
+        for w in bounds.windows(2) {
+            let span = w[1] - w[0];
+            let (tx_head, tx_tail) = tx.split_at_mut(span * nodes);
+            tx = tx_tail;
+            let (rx_head, rx_tail) = rx.split_at_mut(span * nodes);
+            rx = rx_tail;
+            let (ob_head, ob_tail) = outbox.split_at_mut(span);
+            outbox = ob_tail;
+            out.push(DeliveryRange {
+                config,
+                nodes,
+                lo: w[0],
+                tx: tx_head,
+                rx: rx_head,
+                outbox: ob_head,
+                delta: DeliveryDelta::default(),
+            });
+        }
+        out
+    }
+
+    /// Replays per-domain deltas, in domain order. Because domains are
+    /// contiguous ascending node ranges and each worker recorded its ops in
+    /// its own visit order, the concatenation is exactly the serial
+    /// ascending-node op sequence — the sorted active list and the intrusive
+    /// timeout list end up byte-identical to a serial cycle.
+    pub(crate) fn absorb_deltas(&mut self, deltas: impl IntoIterator<Item = DeliveryDelta>) {
+        for d in deltas {
+            self.stats.add(&d.stats);
+            self.outbox_msgs = u64::try_from(self.outbox_msgs as i64 + d.outbox_msgs)
+                .expect("outbox total cannot go negative");
+            self.unacked_msgs = u64::try_from(self.unacked_msgs as i64 + d.unacked_msgs)
+                .expect("unacked total cannot go negative");
+            for &node in &d.active_remove {
+                let pos = self.outbox_active.partition_point(|&x| x < node);
+                debug_assert_eq!(self.outbox_active.get(pos), Some(&node));
+                self.outbox_active.remove(pos);
+            }
+            for &node in &d.active_add {
+                let pos = self.outbox_active.partition_point(|&x| x < node);
+                self.outbox_active.insert(pos, node);
+            }
+            for &(f, op) in &d.ops {
+                match op {
+                    ListOp::LinkTail => self.link_tail(f),
+                    ListOp::Unlink => self.unlink(f),
+                    ListOp::MoveToTail => self.move_to_tail(f),
+                }
+            }
+        }
+    }
+
     /// One due flow's timeout: requeue the window (go-back-N), or just reset
     /// the timer if the previous round's copies are still queued, or abandon
     /// once the budget is spent.
@@ -595,6 +774,299 @@ impl Delivery {
         self.rx[receiver * self.nodes + sender].ack_pending = true;
         self.outbox_push(receiver, ack);
         self.stats.acks_sent += 1;
+    }
+}
+
+// --- parallel-cycle views ----------------------------------------------------
+
+/// A deferred intrusive-timeout-list operation, recorded by a worker in its
+/// visit order and replayed serially by [`Delivery::absorb_deltas`]. Workers
+/// never touch the `prev`/`next`/`linked` links directly — those thread
+/// through rows owned by other domains.
+#[derive(Debug, Clone, Copy)]
+enum ListOp {
+    /// Replays as [`Delivery::link_tail`].
+    LinkTail,
+    /// Replays as [`Delivery::unlink`].
+    Unlink,
+    /// Replays as [`Delivery::move_to_tail`].
+    MoveToTail,
+}
+
+/// The machine-global effects a [`DeliveryRange`] buffered during one
+/// parallel phase, replayed by [`Delivery::absorb_deltas`].
+#[derive(Debug, Default)]
+pub(crate) struct DeliveryDelta {
+    stats: DeliveryStats,
+    /// Net outbox message count change (pops make it negative).
+    outbox_msgs: i64,
+    /// Net unacked message count change (acks/abandons make it negative).
+    unacked_msgs: i64,
+    /// Nodes whose outbox went non-empty this phase. Each phase is monotone
+    /// per node (push-only or pop-only), so a node appears in at most one of
+    /// the two lists, at most once.
+    active_add: Vec<u32>,
+    /// Nodes whose outbox drained empty this phase.
+    active_remove: Vec<u32>,
+    /// Timeout-list operations, in this domain's visit order.
+    ops: Vec<(u32, ListOp)>,
+}
+
+/// One spatial domain's due flows plus its protocol rows, for the parallel
+/// fire phase of [`Delivery::pump_par`].
+struct FireTask<'a> {
+    range: DeliveryRange<'a>,
+    chunk: &'a [u32],
+}
+
+/// One spatial domain's mutable view of the protocol state during a parallel
+/// phase: the domain's own `tx`/`outbox` rows (source-major) and `rx` rows
+/// (destination-major), with every machine-global effect buffered in a
+/// [`DeliveryDelta`]. Methods mirror the serial [`Delivery`] entry points
+/// and take the same *global* node and flow indices; out-of-domain indices
+/// panic on the slice bounds.
+pub(crate) struct DeliveryRange<'a> {
+    config: DeliveryConfig,
+    nodes: usize,
+    /// First node of the domain (row offset of the slices).
+    lo: usize,
+    tx: &'a mut [FlowTx],
+    rx: &'a mut [FlowRx],
+    outbox: &'a mut [VecDeque<Message>],
+    delta: DeliveryDelta,
+}
+
+impl DeliveryRange<'_> {
+    /// Local row of global flow index `f` (tx: `src*nodes + dst`,
+    /// rx: `dst*nodes + src`; the major node must lie in this domain).
+    fn row(&self, f: usize) -> usize {
+        f - self.lo * self.nodes
+    }
+
+    /// Local outbox slot of global node index `node`.
+    fn ob(&self, node: usize) -> usize {
+        node - self.lo
+    }
+
+    /// Surrenders the buffered global effects.
+    pub(crate) fn into_delta(self) -> DeliveryDelta {
+        self.delta
+    }
+
+    /// [`Delivery::outbox_front`] for a node of this domain.
+    pub(crate) fn outbox_front(&self, node: usize) -> Option<&Message> {
+        self.outbox[self.ob(node)].front()
+    }
+
+    /// [`Delivery::outbox_pop`] with the active-list update buffered.
+    pub(crate) fn outbox_pop(&mut self, node: usize) {
+        let ob = self.ob(node);
+        let Some(m) = self.outbox[ob].pop_front() else {
+            return;
+        };
+        self.delta.outbox_msgs -= 1;
+        if self.outbox[ob].is_empty() {
+            self.delta.active_remove.push(node as u32);
+        }
+        match m.e2e {
+            Some(h) if h.kind == E2eKind::Data => {
+                let lf = self.row(node * self.nodes + m.dest().index());
+                let flow = &mut self.tx[lf];
+                debug_assert!(flow.pending_copies > 0, "pop without a push");
+                flow.pending_copies -= 1;
+            }
+            Some(h) if h.kind == E2eKind::Ack => {
+                let lr = self.row(node * self.nodes + m.dest().index());
+                self.rx[lr].ack_pending = false;
+            }
+            _ => {}
+        }
+    }
+
+    /// [`Delivery::can_admit`] for a source node of this domain.
+    pub(crate) fn can_admit(&self, src: usize, dst: usize) -> bool {
+        self.tx[self.row(src * self.nodes + dst)].unacked.len() < self.config.window
+    }
+
+    /// [`Delivery::stamp`] for a source node of this domain.
+    pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
+        let psn = self.tx[self.row(src * self.nodes + dst)].next_psn;
+        let crc = payload_crc(&msg.words, msg.mtype);
+        // `src < 256` is builder-enforced; the cast cannot truncate.
+        msg.e2e = Some(E2eHeader::data(src as u8, psn, crc));
+    }
+
+    /// [`Delivery::commit`] with the timeout-list link buffered.
+    pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
+        let f = (src * self.nodes + dst) as u32;
+        let lf = self.row(f as usize);
+        let flow = &mut self.tx[lf];
+        let hdr = msg.e2e.expect("committed message is stamped");
+        debug_assert_eq!(hdr.psn, flow.next_psn);
+        let was_empty = flow.unacked.is_empty();
+        if was_empty {
+            flow.last_send = cycle;
+            flow.rounds = 0;
+        }
+        flow.unacked.push_back((hdr.psn, msg));
+        flow.next_psn += 1;
+        self.delta.unacked_msgs += 1;
+        self.delta.stats.accepted += 1;
+        if was_empty {
+            // The pre-phase link flag is trustworthy: only the sender's own
+            // phase commits, and it does so at most once per flow per cycle.
+            debug_assert!(!self.tx[lf].linked);
+            self.delta.ops.push((f, ListOp::LinkTail));
+        }
+    }
+
+    /// [`Delivery::fire_timeout`] with outbox/list effects buffered.
+    fn fire_timeout(&mut self, f: u32, cycle: u64) {
+        let src = f as usize / self.nodes;
+        let lf = self.row(f as usize);
+        // Copies from the previous round still await injection: reset the
+        // timer without burning a budget round (see the serial twin).
+        if self.tx[lf].pending_copies > 0 {
+            self.tx[lf].last_send = cycle;
+            self.delta.ops.push((f, ListOp::MoveToTail));
+            return;
+        }
+        {
+            let flow = &mut self.tx[lf];
+            flow.rounds += 1;
+            flow.last_send = cycle;
+        }
+        self.delta.stats.timeout_rounds += 1;
+        if self.tx[lf].rounds > self.config.retransmit_limit {
+            let len = self.tx[lf].unacked.len() as u64;
+            self.delta.stats.abandoned += len;
+            self.delta.unacked_msgs -= len as i64;
+            let flow = &mut self.tx[lf];
+            flow.unacked.clear();
+            flow.rounds = 0;
+            self.delta.ops.push((f, ListOp::Unlink));
+            return;
+        }
+        // Go-back-N: requeue the whole window.
+        let count = self.tx[lf].unacked.len();
+        for k in 0..count {
+            let m = self.tx[lf].unacked[k].1;
+            self.outbox_push_local(src, m);
+        }
+        self.tx[lf].pending_copies += count as u32;
+        self.delta.stats.retransmits += count as u64;
+        self.delta.ops.push((f, ListOp::MoveToTail));
+    }
+
+    /// [`Delivery::rx_action`] for a destination node of this domain.
+    pub(crate) fn rx_action(&self, dst: usize, msg: &Message) -> RxAction {
+        let hdr = msg.e2e.expect("rx_action on a protocol message");
+        if payload_crc(&msg.words, msg.mtype) != hdr.crc {
+            return RxAction::Consume;
+        }
+        match hdr.kind {
+            E2eKind::Ack => RxAction::Consume,
+            E2eKind::Data => {
+                let expected = self.rx[self.row(dst * self.nodes + hdr.src as usize)].expected;
+                if hdr.psn == expected {
+                    RxAction::Deliver
+                } else {
+                    RxAction::Consume
+                }
+            }
+        }
+    }
+
+    /// [`Delivery::on_delivered`] for a destination node of this domain.
+    pub(crate) fn on_delivered(&mut self, dst: usize, msg: &Message, cycle: u64) {
+        let hdr = msg.e2e.expect("delivered message has a header");
+        let lr = self.row(dst * self.nodes + hdr.src as usize);
+        let flow = &mut self.rx[lr];
+        debug_assert_eq!(hdr.psn, flow.expected);
+        flow.expected += 1;
+        self.delta.stats.delivered_unique += 1;
+        let _ = cycle;
+        self.queue_ack(dst, hdr.src as usize);
+    }
+
+    /// [`Delivery::on_consumed`] for a destination node of this domain. The
+    /// ack branch touches `tx[dst*nodes + src]` — `dst` is the flow's
+    /// *sender* receiving the ack, so the row is source-major and local.
+    pub(crate) fn on_consumed(&mut self, dst: usize, msg: &Message, cycle: u64) {
+        let hdr = msg.e2e.expect("consumed message has a header");
+        if payload_crc(&msg.words, msg.mtype) != hdr.crc {
+            self.delta.stats.corrupt_dropped += 1;
+            return;
+        }
+        match hdr.kind {
+            E2eKind::Ack => {
+                self.delta.stats.acks_received += 1;
+                let f = (dst * self.nodes + hdr.src as usize) as u32;
+                let lf = self.row(f as usize);
+                let flow = &mut self.tx[lf];
+                let mut progressed = false;
+                while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
+                    flow.unacked.pop_front();
+                    self.delta.unacked_msgs -= 1;
+                    progressed = true;
+                }
+                if progressed {
+                    flow.rounds = 0;
+                    flow.last_send = cycle;
+                    if self.tx[lf].unacked.is_empty() {
+                        self.delta.ops.push((f, ListOp::Unlink));
+                    } else {
+                        self.delta.ops.push((f, ListOp::MoveToTail));
+                    }
+                }
+            }
+            E2eKind::Data => {
+                let expected = self.rx[self.row(dst * self.nodes + hdr.src as usize)].expected;
+                if hdr.psn < expected {
+                    self.delta.stats.dup_suppressed += 1;
+                } else {
+                    self.delta.stats.out_of_order_dropped += 1;
+                }
+                self.queue_ack(dst, hdr.src as usize);
+            }
+        }
+    }
+
+    /// [`Delivery::queue_ack`] with outbox effects buffered.
+    fn queue_ack(&mut self, receiver: usize, sender: usize) {
+        let lr = self.row(receiver * self.nodes + sender);
+        let psn = self.rx[lr].expected;
+        // `sender`/`receiver` < 256 is builder-enforced; no truncation.
+        let sender_id = NodeId::new(sender as u8);
+        let mut ack = Message::to(sender_id, [0; 5], MsgType::default());
+        let crc = payload_crc(&ack.words, ack.mtype);
+        ack.e2e = Some(E2eHeader::ack(receiver as u8, psn, crc));
+        if self.rx[lr].ack_pending {
+            let ob = self.ob(receiver);
+            for m in self.outbox[ob].iter_mut() {
+                if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
+                    if m.e2e.expect("matched above").psn <= psn {
+                        *m = ack;
+                    }
+                    self.delta.stats.acks_coalesced += 1;
+                    return;
+                }
+            }
+            debug_assert!(false, "ack_pending set but no ack queued");
+        }
+        self.rx[lr].ack_pending = true;
+        self.outbox_push_local(receiver, ack);
+        self.delta.stats.acks_sent += 1;
+    }
+
+    /// [`Delivery::outbox_push`] with the active-list update buffered.
+    fn outbox_push_local(&mut self, node: usize, msg: Message) {
+        let ob = self.ob(node);
+        self.outbox[ob].push_back(msg);
+        self.delta.outbox_msgs += 1;
+        if self.outbox[ob].len() == 1 {
+            self.delta.active_add.push(node as u32);
+        }
     }
 }
 
@@ -808,5 +1280,82 @@ mod tests {
         assert_eq!(hot_order, dense_order, "outbox drain order must match");
         assert!(hot.retransmits > 0, "the scenario exercised timeouts");
         assert!(hot.abandoned > 0, "the scenario exercised abandons");
+    }
+
+    /// The parallel pump (serial due collection, sharded firing, delta
+    /// replay) must be bit-identical to the serial pump — counters, outbox
+    /// drain order, active list, and scan meters alike.
+    #[test]
+    fn parallel_pump_matches_serial_pump() {
+        let cfg = DeliveryConfig {
+            window: 4,
+            timeout: 8,
+            retransmit_limit: 3,
+        };
+        let nodes = 8usize;
+        let bounds = [0usize, 3, 5, 8];
+        let run = |par: bool| -> (DeliveryStats, ScanStats, Vec<(usize, u32, u32)>, Vec<u32>) {
+            let mut d = Delivery::new(nodes, cfg);
+            let mut drained = Vec::new();
+            // A burst across every source domain so one pump sees well over
+            // PAR_FIRE_MIN due flows at once (the parallel fire path).
+            for src in 0..nodes {
+                for dst in [(src + 1) % nodes, (src + 3) % nodes] {
+                    let mut m = data(dst as u8, (src * nodes + dst) as u32);
+                    d.stamp(src, dst, &mut m);
+                    d.commit(src, dst, m, 0);
+                }
+            }
+            let mut x = 0xdead_beef_cafe_f00du64;
+            for cycle in 0..400u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let src = ((x >> 33) % nodes as u64) as usize;
+                let dst = ((x >> 13) % nodes as u64) as usize;
+                if src != dst && d.can_admit(src, dst) && cycle % 3 == 0 {
+                    let mut m = data(dst as u8, cycle as u32);
+                    d.stamp(src, dst, &mut m);
+                    d.commit(src, dst, m, cycle);
+                }
+                if par {
+                    d.pump_par(cycle, &bounds);
+                } else {
+                    d.pump(cycle);
+                }
+                let node = (cycle % nodes as u64) as usize;
+                if let Some(m) = d.outbox_front(node).copied() {
+                    let h = m.e2e.unwrap();
+                    drained.push((node, m.dest().index() as u32, h.psn));
+                    d.outbox_pop(node);
+                }
+                if cycle % 7 == 0 {
+                    let sender = ((x >> 49) % nodes as u64) as usize;
+                    let acker = ((x >> 41) % nodes as u64) as usize;
+                    if sender != acker {
+                        let flow = &d.tx[sender * nodes + acker];
+                        if let Some(&(psn, _)) = flow.unacked.front() {
+                            let mut ack =
+                                Message::to(NodeId::new(sender as u8), [0; 5], MsgType::default());
+                            let crc = payload_crc(&ack.words, ack.mtype);
+                            ack.e2e = Some(E2eHeader::ack(acker as u8, psn + 1, crc));
+                            d.on_consumed(sender, &ack, cycle);
+                        }
+                    }
+                }
+            }
+            (d.stats(), d.scan_stats(), drained, d.outbox_active.clone())
+        };
+        // Force helper threads so the sharded path really runs concurrently.
+        tcni_util::par::set_threads(3);
+        let (ps, pscan, porder, pactive) = run(true);
+        tcni_util::par::set_threads(0);
+        let (ss, sscan, sorder, sactive) = run(false);
+        assert_eq!(ss, ps, "protocol counters must be bit-identical");
+        assert_eq!(sscan, pscan, "scan meters must be bit-identical");
+        assert_eq!(sorder, porder, "outbox drain order must match");
+        assert_eq!(sactive, pactive, "active-outbox list must match");
+        assert!(ss.retransmits > 0, "the scenario exercised timeouts");
+        assert!(ss.abandoned > 0, "the scenario exercised abandons");
     }
 }

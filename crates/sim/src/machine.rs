@@ -7,11 +7,14 @@ use tcni_core::{FeatureLevel, NiConfig, NodeId};
 use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::Program;
 use tcni_net::{
-    FaultConfig, FaultyFabric, IdealNetwork, InjectError, Mesh2d, MeshConfig, NetStats, Network,
-    NetworkKind,
+    FaultConfig, FaultyFabric, IdealNetwork, InjectError, Mesh2d, MeshConfig, MeshRange,
+    MeshRangeDelta, MeshTickScratch, NetStats, Network, NetworkKind,
 };
+use tcni_util::par::{domain_bounds, run_tasks};
 
-use crate::delivery::{Delivery, DeliveryConfig, DeliveryStats, RxAction};
+use crate::delivery::{
+    Delivery, DeliveryConfig, DeliveryDelta, DeliveryRange, DeliveryStats, RxAction,
+};
 use crate::driver::CycleDriver;
 use crate::model::{Model, NiMapping};
 use crate::node::Node;
@@ -149,6 +152,10 @@ pub struct Machine {
     /// E2E injection phase (taken per cycle; injection pops edit the live
     /// list mid-walk).
     outbox_scan: Vec<usize>,
+    /// Worker count for the sharded cycle: `0` follows the process-wide
+    /// setting ([`tcni_util::par::threads`], i.e. `TCNI_THREADS`); any other
+    /// value overrides it for this machine.
+    par_threads: usize,
 }
 
 impl Machine {
@@ -311,6 +318,22 @@ impl Machine {
     /// Whether the dense-scan cross-check is enabled.
     pub fn dense_scan(&self) -> bool {
         self.dense_scan
+    }
+
+    /// Overrides the worker count of the sharded cycle for this machine:
+    /// `0` (the default) follows the process-wide setting
+    /// ([`tcni_util::par::threads`], i.e. the `TCNI_THREADS` environment
+    /// variable), `1` forces the serial cycle, `n ≥ 2` shards the cycle
+    /// across `n` spatial domains. The cycle-by-cycle results are
+    /// bit-identical at any setting — parallelism is an implementation
+    /// detail — which the equivalence suites verify.
+    pub fn set_par_threads(&mut self, n: usize) {
+        self.par_threads = n;
+    }
+
+    /// The per-machine worker-count override (`0` = process-wide setting).
+    pub fn par_threads(&self) -> usize {
+        self.par_threads
     }
 
     /// Cycles that were fast-forwarded (charged in bulk rather than stepped)
@@ -752,6 +775,236 @@ impl Machine {
         }
     }
 
+    /// Builds the spatial-decomposition plan for the sharded cycle, or
+    /// `None` when this machine must step serially. Eligibility: a direct
+    /// (unwrapped) mesh fabric, observability off (per-link counters and the
+    /// span collector are serial-only), the dense-scan cross-check off, at
+    /// least two nodes, and an effective worker count of at least two.
+    fn make_par_plan(&self) -> Option<ParPlan> {
+        if self.obs.is_some() || self.dense_scan || self.nodes.len() < 2 {
+            return None;
+        }
+        let NetworkKind::Mesh(mesh) = &self.net else {
+            return None;
+        };
+        if mesh.observe() {
+            return None;
+        }
+        let workers = if self.par_threads > 0 {
+            self.par_threads
+        } else {
+            tcni_util::par::threads()
+        };
+        if workers < 2 {
+            return None;
+        }
+        // Domains are carved over *mesh* slots (routing can cross slots
+        // beyond the last machine node); the machine-side phases use the
+        // same boundaries clamped to the node count — machine nodes are a
+        // prefix of the mesh slots.
+        let bounds = domain_bounds(mesh.node_count(), workers);
+        if bounds.len() < 3 {
+            return None;
+        }
+        let n = self.nodes.len();
+        let mbounds: Vec<usize> = bounds.iter().map(|&b| b.min(n)).collect();
+        Some(ParPlan {
+            bounds,
+            mbounds,
+            scratch: MeshTickScratch::new(),
+            run_acc: Vec::new(),
+            drain_acc: Vec::new(),
+        })
+    }
+
+    /// One full cycle, sharded across spatial domains — bit-identical to
+    /// [`step_once`](Self::step_once) at any worker count.
+    ///
+    /// Each domain owns a contiguous node range: its processors, interfaces,
+    /// mesh channels, and delivery rows. Region A runs the processor phase
+    /// and the injection phase per domain (all cross-node effects — fabric
+    /// counters, frontier marks, delivery lists, trace events — are buffered
+    /// per domain and replayed in domain order, which *is* the serial
+    /// ascending-node order). The fabric then ticks via
+    /// [`Mesh2d::tick_domains`], and region B runs the ejection phase the
+    /// same way. The observability path is excluded by
+    /// [`make_par_plan`](Self::make_par_plan), so only `TRACED`/`E2E`
+    /// instantiations exist.
+    fn cycle_par<const TRACED: bool, const E2E: bool>(
+        &mut self,
+        plan: &mut ParPlan,
+    ) -> (bool, bool) {
+        let cycle = self.cycle;
+        let domains = plan.mbounds.len() - 1;
+        // Phase-2 prologue (E2E): fire due timeouts first so the copies
+        // contend for this cycle's injection slots, then snapshot the outbox
+        // active list (injection pops edit the live list mid-walk).
+        let mut ob = std::mem::take(&mut self.outbox_scan);
+        ob.clear();
+        if E2E {
+            let del = self.delivery.as_mut().expect("E2E implies delivery");
+            del.pump_par(cycle, &plan.mbounds);
+            ob.extend(del.outbox_nodes().iter().map(|&n| n as usize));
+        }
+
+        // --- Region A: processors execute, interfaces inject ----------------
+        let mut all_stalled = true;
+        let mut changed = false;
+        let mut mesh_deltas: Vec<MeshRangeDelta> = Vec::with_capacity(domains);
+        let mut del_deltas: Vec<DeliveryDelta> = Vec::with_capacity(domains);
+        let mut cpu_events: Vec<TraceEvent> = Vec::new();
+        let mut sent_events: Vec<TraceEvent> = Vec::new();
+        plan.run_acc.clear();
+        plan.drain_acc.clear();
+        {
+            let running_parts = partition_sorted(&self.running, &plan.mbounds);
+            let draining_parts = partition_sorted(&self.draining, &plan.mbounds);
+            let ob_parts = partition_sorted(&ob, &plan.mbounds);
+            let node_parts = split_by_bounds(self.nodes.as_mut_slice(), &plan.mbounds);
+            let NetworkKind::Mesh(mesh) = &mut self.net else {
+                unreachable!("the plan implies a direct mesh fabric");
+            };
+            let mesh_ranges = mesh.split_node_ranges(&plan.bounds);
+            let del_ranges = split_delivery(self.delivery.as_mut(), E2E, &plan.mbounds, domains);
+            let mut tasks: Vec<RegionATask<'_>> = node_parts
+                .into_iter()
+                .zip(mesh_ranges)
+                .zip(del_ranges)
+                .zip(running_parts)
+                .zip(draining_parts)
+                .zip(ob_parts)
+                .zip(plan.mbounds.windows(2))
+                .map(
+                    |((((((nodes, mesh), del), running), draining), outbox), w)| RegionATask {
+                        lo: w[0],
+                        nodes,
+                        mesh,
+                        del,
+                        running,
+                        draining,
+                        outbox,
+                        all_stalled: true,
+                        changed: false,
+                        new_running: Vec::new(),
+                        new_draining: Vec::new(),
+                        cpu_events: Vec::new(),
+                        sent_events: Vec::new(),
+                    },
+                )
+                .collect();
+            run_tasks(&mut tasks, |_, t| region_a::<TRACED, E2E>(cycle, t));
+            for t in tasks {
+                all_stalled &= t.all_stalled;
+                changed |= t.changed;
+                mesh_deltas.push(t.mesh.into_delta());
+                if let Some(d) = t.del {
+                    del_deltas.push(d.into_delta());
+                }
+                plan.run_acc.extend_from_slice(&t.new_running);
+                plan.drain_acc.extend_from_slice(&t.new_draining);
+                if TRACED {
+                    cpu_events.extend(t.cpu_events);
+                    sent_events.extend(t.sent_events);
+                }
+            }
+        }
+        std::mem::swap(&mut self.running, &mut plan.run_acc);
+        std::mem::swap(&mut self.draining, &mut plan.drain_acc);
+        {
+            let NetworkKind::Mesh(mesh) = &mut self.net else {
+                unreachable!("the plan implies a direct mesh fabric");
+            };
+            mesh.absorb_inject_deltas(mesh_deltas);
+        }
+        if E2E {
+            let del = self.delivery.as_mut().expect("E2E implies delivery");
+            del.absorb_deltas(del_deltas);
+        }
+        if TRACED {
+            if let Some(t) = self.trace.as_mut() {
+                // Serial order within a cycle: processor-phase events
+                // (Halted/Faulted), then injection-phase events (Sent) —
+                // each ascending by node because domains are ascending.
+                for e in cpu_events.drain(..) {
+                    t.record(e);
+                }
+                for e in sent_events.drain(..) {
+                    t.record(e);
+                }
+            }
+        }
+
+        // --- Phase 3: the fabric advances, domain-sliced ---------------------
+        {
+            let NetworkKind::Mesh(mesh) = &mut self.net else {
+                unreachable!("the plan implies a direct mesh fabric");
+            };
+            mesh.tick_domains(&plan.bounds, &mut plan.scratch);
+        }
+
+        // --- Region B: network → interfaces ----------------------------------
+        if self.net.in_flight() > 0 {
+            let mut mesh_deltas: Vec<MeshRangeDelta> = Vec::with_capacity(domains);
+            let mut del_deltas: Vec<DeliveryDelta> = Vec::with_capacity(domains);
+            let mut events: Vec<TraceEvent> = Vec::new();
+            {
+                let node_parts = split_by_bounds(self.nodes.as_mut_slice(), &plan.mbounds);
+                let NetworkKind::Mesh(mesh) = &mut self.net else {
+                    unreachable!("the plan implies a direct mesh fabric");
+                };
+                let mesh_ranges = mesh.split_node_ranges(&plan.bounds);
+                let del_ranges =
+                    split_delivery(self.delivery.as_mut(), E2E, &plan.mbounds, domains);
+                let mut tasks: Vec<RegionBTask<'_>> = node_parts
+                    .into_iter()
+                    .zip(mesh_ranges)
+                    .zip(del_ranges)
+                    .zip(plan.mbounds.windows(2))
+                    .map(|(((nodes, mesh), del), w)| RegionBTask {
+                        lo: w[0],
+                        hi: w[1],
+                        nodes,
+                        mesh,
+                        del,
+                        changed: false,
+                        events: Vec::new(),
+                    })
+                    .collect();
+                run_tasks(&mut tasks, |_, t| region_b::<TRACED, E2E>(cycle, t));
+                for t in tasks {
+                    changed |= t.changed;
+                    mesh_deltas.push(t.mesh.into_delta());
+                    if let Some(d) = t.del {
+                        del_deltas.push(d.into_delta());
+                    }
+                    if TRACED {
+                        events.extend(t.events);
+                    }
+                }
+            }
+            {
+                let NetworkKind::Mesh(mesh) = &mut self.net else {
+                    unreachable!("the plan implies a direct mesh fabric");
+                };
+                mesh.absorb_eject_deltas(mesh_deltas);
+            }
+            if E2E {
+                let del = self.delivery.as_mut().expect("E2E implies delivery");
+                del.absorb_deltas(del_deltas);
+            }
+            if TRACED {
+                if let Some(t) = self.trace.as_mut() {
+                    for e in events.drain(..) {
+                        t.record(e);
+                    }
+                }
+            }
+        }
+        self.outbox_scan = ob;
+        self.cycle += 1;
+        (all_stalled, changed)
+    }
+
     /// Whether every processor has stopped and all message state is empty
     /// (including the delivery protocol's retransmission buffers, if any).
     pub fn is_quiescent(&self) -> bool {
@@ -822,30 +1075,38 @@ impl Machine {
         max_cycles: u64,
     ) -> RunOutcome {
         let limit = self.cycle.saturating_add(max_cycles);
+        let mut plan = self.make_par_plan();
         while self.cycle < limit {
             let go_on = driver.on_cycle(self.cycle, &mut self.nodes);
             // The driver may have queued messages on (or stopped draining)
             // any node, including stopped ones.
             self.refresh_lists();
-            let cycle = self.cycle;
-            self.step_cpus::<TRACED, OBS>();
-            if OBS {
-                // The driver's interface operations bypass `step_cpus`'s
-                // per-node depth mirroring (it only visits running nodes);
-                // re-mirror every node so enqueues and dispatches performed
-                // by the driver are stamped. Nodes already mirrored this
-                // cycle see unchanged depths — a no-op.
-                for i in 0..self.nodes.len() {
-                    let ni = self.nodes[i].ni();
-                    let out_len = ni.output_len();
-                    let in_depth = ni.input_len() + usize::from(ni.msg_valid());
-                    if let Some(o) = self.obs.as_mut() {
-                        o.after_cpu_node(i, out_len, in_depth, cycle);
+            match plan.as_mut() {
+                Some(p) => {
+                    self.cycle_par::<TRACED, E2E>(p);
+                }
+                None => {
+                    let cycle = self.cycle;
+                    self.step_cpus::<TRACED, OBS>();
+                    if OBS {
+                        // The driver's interface operations bypass `step_cpus`'s
+                        // per-node depth mirroring (it only visits running nodes);
+                        // re-mirror every node so enqueues and dispatches performed
+                        // by the driver are stamped. Nodes already mirrored this
+                        // cycle see unchanged depths — a no-op.
+                        for i in 0..self.nodes.len() {
+                            let ni = self.nodes[i].ni();
+                            let out_len = ni.output_len();
+                            let in_depth = ni.input_len() + usize::from(ni.msg_valid());
+                            if let Some(o) = self.obs.as_mut() {
+                                o.after_cpu_node(i, out_len, in_depth, cycle);
+                            }
+                        }
                     }
+                    self.step_network::<TRACED, OBS, E2E>();
+                    self.cycle += 1;
                 }
             }
-            self.step_network::<TRACED, OBS, E2E>();
-            self.cycle += 1;
             if !go_on {
                 return RunOutcome::DriverStopped;
             }
@@ -858,6 +1119,7 @@ impl Machine {
         max_cycles: u64,
     ) -> RunOutcome {
         let limit = self.cycle.saturating_add(max_cycles);
+        let mut plan = self.make_par_plan();
         while self.cycle < limit {
             if self.running.is_empty() {
                 if self.is_quiescent() {
@@ -879,7 +1141,13 @@ impl Machine {
                 }
                 return RunOutcome::StoppedWithTraffic;
             }
-            let (all_stalled, changed) = self.step_once::<TRACED, OBS, E2E>();
+            let (all_stalled, changed) = match plan.as_mut() {
+                // The sharded cycle is bit-identical to `step_once`, so
+                // mixing it with serial cycles (the drain branch above, the
+                // fast-forward below) is safe.
+                Some(p) => self.cycle_par::<TRACED, E2E>(p),
+                None => self.step_once::<TRACED, OBS, E2E>(),
+            };
             if self.skip_ahead && all_stalled && !changed && !self.running.is_empty() {
                 self.fast_forward::<TRACED, OBS, E2E>(limit);
             }
@@ -888,6 +1156,321 @@ impl Machine {
             RunOutcome::Quiescent
         } else {
             RunOutcome::CycleLimit
+        }
+    }
+}
+
+/// Spatial-decomposition plan for [`Machine::cycle_par`], built once per run
+/// entry (see [`Machine::make_par_plan`]).
+struct ParPlan {
+    /// Domain boundaries over mesh slots (drives the fabric phases; routing
+    /// can cross slots beyond the last machine node).
+    bounds: Vec<usize>,
+    /// The same boundaries clamped to the machine's node count (drives the
+    /// processor, interface, and delivery phases).
+    mbounds: Vec<usize>,
+    /// Reusable fabric-tick workspace.
+    scratch: MeshTickScratch,
+    /// Reusable accumulators for the rebuilt running/draining lists.
+    run_acc: Vec<usize>,
+    drain_acc: Vec<usize>,
+}
+
+/// One domain's slice of machine state for region A of the sharded cycle
+/// (processors execute, interfaces inject).
+struct RegionATask<'a> {
+    /// First node of the domain.
+    lo: usize,
+    nodes: &'a mut [Node],
+    mesh: MeshRange<'a>,
+    del: Option<DeliveryRange<'a>>,
+    /// This domain's slices of the machine's sorted hot lists.
+    running: &'a [usize],
+    draining: &'a [usize],
+    outbox: &'a [usize],
+    /// Outputs, merged in domain order by the caller.
+    all_stalled: bool,
+    changed: bool,
+    new_running: Vec<usize>,
+    new_draining: Vec<usize>,
+    cpu_events: Vec<TraceEvent>,
+    sent_events: Vec<TraceEvent>,
+}
+
+/// One domain's slice of machine state for region B of the sharded cycle
+/// (network → interfaces).
+struct RegionBTask<'a> {
+    lo: usize,
+    hi: usize,
+    nodes: &'a mut [Node],
+    mesh: MeshRange<'a>,
+    del: Option<DeliveryRange<'a>>,
+    changed: bool,
+    events: Vec<TraceEvent>,
+}
+
+/// Splits a sorted node-index list into per-domain subslices (contiguous
+/// because domains are contiguous ascending node ranges).
+fn partition_sorted<'a>(list: &'a [usize], mbounds: &[usize]) -> Vec<&'a [usize]> {
+    let mut out = Vec::with_capacity(mbounds.len().saturating_sub(1));
+    let mut rest = list;
+    for w in mbounds.windows(2) {
+        let cut = rest.partition_point(|&i| i < w[1]);
+        let (head, tail) = rest.split_at(cut);
+        out.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "list entry beyond the last domain");
+    out
+}
+
+/// Splits the node array into per-domain mutable chunks.
+fn split_by_bounds<'a>(nodes: &'a mut [Node], mbounds: &[usize]) -> Vec<&'a mut [Node]> {
+    let mut out = Vec::with_capacity(mbounds.len().saturating_sub(1));
+    let mut rest = nodes;
+    for w in mbounds.windows(2) {
+        let r = rest;
+        let (head, tail) = r.split_at_mut(w[1] - w[0]);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Per-domain delivery views when the protocol is on, `None` placeholders
+/// otherwise (so the zip in `cycle_par` stays uniform).
+fn split_delivery<'a>(
+    del: Option<&'a mut Delivery>,
+    e2e: bool,
+    mbounds: &[usize],
+    domains: usize,
+) -> Vec<Option<DeliveryRange<'a>>> {
+    match del {
+        Some(d) if e2e => d.split_ranges(mbounds).into_iter().map(Some).collect(),
+        _ => (0..domains).map(|_| None).collect(),
+    }
+}
+
+/// Region-A worker body: phase 1 (processors execute) then phase 2
+/// (interfaces inject) for one domain, mirroring [`Machine::step_cpus`] and
+/// the injection half of [`Machine::step_network`] with every machine-global
+/// effect buffered in the task.
+fn region_a<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionATask<'_>) {
+    // Phase 1: step this domain's running processors in ascending order.
+    let mut just_stopped: Vec<usize> = Vec::new();
+    for &i in t.running {
+        let node = &mut t.nodes[i - t.lo];
+        if node.step() != StepOutcome::StalledEnv {
+            t.all_stalled = false;
+        }
+        if node.is_stopped() {
+            if node.ni().peek_outgoing().is_some() {
+                just_stopped.push(i);
+            }
+            if TRACED {
+                match node.cpu_state() {
+                    tcni_cpu::CpuState::Halted => {
+                        t.cpu_events.push(TraceEvent::Halted { cycle, node: i });
+                    }
+                    tcni_cpu::CpuState::Faulted { reason, .. } => {
+                        t.cpu_events.push(TraceEvent::Faulted {
+                            cycle,
+                            node: i,
+                            reason: reason.clone(),
+                        });
+                    }
+                    tcni_cpu::CpuState::Running => {}
+                }
+            }
+        } else {
+            t.new_running.push(i);
+        }
+    }
+    // The stopped-but-draining set the injection phase sees: the old
+    // draining slice merged with the processors that just stopped holding
+    // messages (both ascending).
+    let mut mid_draining: Vec<usize> = Vec::with_capacity(t.draining.len() + just_stopped.len());
+    {
+        let (mut a, mut b) = (0, 0);
+        loop {
+            match (t.draining.get(a), just_stopped.get(b)) {
+                (Some(&x), Some(&y)) => {
+                    if x < y {
+                        mid_draining.push(x);
+                        a += 1;
+                    } else {
+                        mid_draining.push(y);
+                        b += 1;
+                    }
+                }
+                (Some(&x), None) => {
+                    mid_draining.push(x);
+                    a += 1;
+                }
+                (None, Some(&y)) => {
+                    mid_draining.push(y);
+                    b += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+    // Phase 2: one injection attempt per node with possible traffic, in
+    // ascending node order (the serial phase's three-way merge, restricted
+    // to this domain).
+    let (mut r, mut d, mut o) = (0, 0, 0);
+    loop {
+        let next = [
+            t.new_running.get(r).copied(),
+            mid_draining.get(d).copied(),
+            t.outbox.get(o).copied(),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        let Some(i) = next else { break };
+        r += usize::from(t.new_running.get(r) == Some(&i));
+        d += usize::from(mid_draining.get(d) == Some(&i));
+        o += usize::from(t.outbox.get(o) == Some(&i));
+        let injected = inject_one::<TRACED, E2E>(t, i, cycle);
+        t.changed |= injected;
+    }
+    // Stopped nodes whose last message just left stop being scanned.
+    let nodes = &*t.nodes;
+    let lo = t.lo;
+    t.new_draining.extend(
+        mid_draining
+            .into_iter()
+            .filter(|&i| nodes[i - lo].ni().peek_outgoing().is_some()),
+    );
+}
+
+/// Phase-2 body for one node of a region-A domain: at most one injection per
+/// cycle, mirroring [`Machine::inject_at`] with buffered effects (the
+/// observability path never runs sharded).
+fn inject_one<const TRACED: bool, const E2E: bool>(
+    t: &mut RegionATask<'_>,
+    i: usize,
+    cycle: u64,
+) -> bool {
+    let src = NodeId::new(i as u8);
+    if E2E {
+        let del = t.del.as_mut().expect("E2E implies delivery");
+        if let Some(msg) = del.outbox_front(i).copied() {
+            return match t.mesh.inject(src, msg) {
+                Ok(()) => {
+                    del.outbox_pop(i);
+                    true
+                }
+                // Congestion: the copy stays queued and retries.
+                Err(InjectError::Refused(_)) => false,
+                // Unreachable by construction (protocol peers are real
+                // nodes), but never wedge the outbox on a bad message.
+                Err(InjectError::BadDest(_)) => {
+                    del.outbox_pop(i);
+                    true
+                }
+            };
+        }
+    }
+    let ni = t.nodes[i - t.lo].ni_mut();
+    let Some(mut msg) = ni.peek_outgoing().copied() else {
+        return false;
+    };
+    if E2E && msg.dest().index() < t.mesh.node_count() {
+        let dst = msg.dest().index();
+        let del = t.del.as_ref().expect("E2E implies delivery");
+        if !del.can_admit(i, dst) {
+            // Window full: back-pressure into the output queue exactly
+            // like a refused injection.
+            return false;
+        }
+        // Pure stamp: a refused injection retries with the same psn.
+        del.stamp(i, dst, &mut msg);
+    }
+    match t.mesh.inject(src, msg) {
+        Ok(()) => {
+            t.nodes[i - t.lo].ni_mut().pop_outgoing();
+            if E2E && msg.e2e.is_some() {
+                let dst = msg.dest().index();
+                t.del
+                    .as_mut()
+                    .expect("E2E implies delivery")
+                    .commit(i, dst, msg, cycle);
+            }
+            if TRACED {
+                t.sent_events.push(TraceEvent::Sent {
+                    cycle,
+                    node: i,
+                    msg,
+                });
+            }
+            true
+        }
+        Err(InjectError::Refused(_)) => false,
+        Err(InjectError::BadDest(_)) => {
+            t.nodes[i - t.lo].ni_mut().pop_outgoing();
+            true
+        }
+    }
+}
+
+/// Region-B worker body: the ejection half of [`Machine::step_network`] for
+/// one domain's nodes, with fabric counters, delivery effects, and trace
+/// events buffered in the task.
+fn region_b<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionBTask<'_>) {
+    for i in t.lo..t.hi {
+        let dst = NodeId::new(i as u8);
+        while let Some(peeked) = t.mesh.peek_eject(dst).copied() {
+            if E2E && peeked.e2e.is_some() {
+                let del = t.del.as_mut().expect("E2E implies delivery");
+                match del.rx_action(i, &peeked) {
+                    RxAction::Deliver => {
+                        if !t.nodes[i - t.lo].ni().can_accept(&peeked) {
+                            break; // backpressure: leave it in the network
+                        }
+                        let mut msg = t.mesh.eject(dst).expect("peeked");
+                        del.on_delivered(i, &msg, cycle);
+                        if TRACED {
+                            t.events.push(TraceEvent::Delivered {
+                                cycle: cycle + 1,
+                                node: i,
+                                msg,
+                            });
+                        }
+                        // The header is sideband plumbing; the interface
+                        // receives the architected message.
+                        msg.e2e = None;
+                        t.nodes[i - t.lo]
+                            .ni_mut()
+                            .push_incoming(msg)
+                            .expect("can_accept checked");
+                        t.changed = true;
+                    }
+                    RxAction::Consume => {
+                        let msg = t.mesh.eject(dst).expect("peeked");
+                        del.on_consumed(i, &msg, cycle);
+                        t.changed = true;
+                    }
+                }
+                continue;
+            }
+            if !t.nodes[i - t.lo].ni().can_accept(&peeked) {
+                break; // backpressure: leave it in the network
+            }
+            let msg = t.mesh.eject(dst).expect("peeked");
+            if TRACED {
+                t.events.push(TraceEvent::Delivered {
+                    cycle: cycle + 1,
+                    node: i,
+                    msg,
+                });
+            }
+            t.nodes[i - t.lo]
+                .ni_mut()
+                .push_incoming(msg)
+                .expect("can_accept checked");
+            t.changed = true;
         }
     }
 }
@@ -1130,6 +1713,7 @@ impl MachineBuilder {
             skipped_cycles: 0,
             dense_scan: false,
             outbox_scan: Vec::new(),
+            par_threads: 0,
         };
         machine.refresh_lists();
         machine.set_dense_scan(self.dense_scan);

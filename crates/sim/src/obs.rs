@@ -108,6 +108,13 @@ struct Partial {
     delivered: u64,
 }
 
+/// Sentinel `src` for arrivals with no lifecycle stamps: messages injected
+/// before observability was enabled, or fault-layer duplicates of a seq that
+/// already completed delivery (possible when no E2E layer absorbs them).
+/// They occupy real input-queue slots, so the depth mirror must carry them,
+/// but they produce no span and touch no rollup counter.
+const UNTRACKED: usize = usize::MAX;
+
 /// The observability collector the machine drives from its stepping loop.
 ///
 /// Mirrors queue depths instead of reaching into the interfaces: every
@@ -213,6 +220,9 @@ impl Obs {
         while self.in_depth[node] > in_depth {
             self.in_depth[node] -= 1;
             if let Some((seq, p)) = self.in_queue[node].pop_front() {
+                if p.src == UNTRACKED {
+                    continue; // depth mirror only; no stamps to account
+                }
                 let m = &mut self.rollups[node];
                 m.dispatched += 1;
                 m.in_queue_cycles += cycle - p.delivered;
@@ -269,7 +279,22 @@ impl Obs {
     /// the privileged queue instead of the input queue.
     pub(crate) fn on_deliver(&mut self, node: usize, seq: u32, delivered: u64, diverted: bool) {
         let Some(mut p) = self.in_fabric.remove(&seq) else {
-            return; // injected before observability was enabled
+            // Untracked arrival (see [`UNTRACKED`]): it still consumes a real
+            // input-queue slot, so mirror the depth; diverted copies never
+            // touch the input queue, so there is nothing to mirror.
+            if !diverted {
+                self.in_queue[node].push_back((
+                    seq,
+                    Partial {
+                        src: UNTRACKED,
+                        enqueued: 0,
+                        injected: 0,
+                        delivered,
+                    },
+                ));
+                self.in_depth[node] += 1;
+            }
+            return;
         };
         p.delivered = delivered;
         let m = &mut self.rollups[node];

@@ -1,0 +1,220 @@
+//! Verified disjoint access to scattered slice elements.
+//!
+//! The mesh's parallel tick partitions the per-cycle *active* channels into
+//! conflict components (channel-disjoint groups that can move packets
+//! independently). Each worker then needs `&mut` access to its component's
+//! channels, which are scattered across one `Vec` — something safe Rust
+//! cannot express with `split_at_mut` because the groups interleave.
+//!
+//! [`split_groups`] closes that gap: it *verifies* at runtime that the
+//! requested index groups are in-bounds, sorted, and mutually disjoint, and
+//! only then hands out one [`GroupMut`] per group. Every subsequent element
+//! access re-checks membership (a binary search over the group's index
+//! list), so a buggy caller panics instead of aliasing. The checks are
+//! always on — they are the soundness argument, not a debug aid — and cheap
+//! next to the packet movement they guard.
+
+use std::marker::PhantomData;
+
+/// Reusable overlap-detection scratch for [`split_groups`].
+///
+/// Epoch-stamped so clearing between calls is O(1); one instance per
+/// long-lived scratch structure avoids reallocating the stamp vector every
+/// cycle.
+#[derive(Debug, Default)]
+pub struct SlotClaims {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl SlotClaims {
+    /// Creates an empty claim set; it grows to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a new claim round covering indices `0..len`.
+    fn begin(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps could collide with the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Claims `i`; returns `false` if it was already claimed this round.
+    fn claim(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.epoch {
+            return false;
+        }
+        self.stamp[i] = self.epoch;
+        true
+    }
+}
+
+/// Exclusive access to a verified-disjoint group of `data` elements.
+///
+/// Obtained from [`split_groups`]; movable to another thread (`T: Send`).
+/// All accessors panic on an index outside the group — that check is what
+/// makes two `GroupMut`s over the same slice sound to use concurrently.
+pub struct GroupMut<'a, T> {
+    base: *mut T,
+    len: usize,
+    allowed: &'a [u32],
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a `GroupMut` only ever dereferences `base` at indices contained in
+// `allowed`, and `split_groups` verified the `allowed` lists of coexisting
+// groups to be mutually disjoint and in-bounds. Exclusive access to each
+// element therefore follows from `&mut self` on the accessors, and moving
+// the group to another thread is safe whenever the elements themselves are.
+unsafe impl<T: Send> Send for GroupMut<'_, T> {}
+
+impl<'a, T> GroupMut<'a, T> {
+    /// The sorted element indices this group owns.
+    pub fn indices(&self) -> &'a [u32] {
+        self.allowed
+    }
+
+    #[inline]
+    fn check(&self, i: u32) {
+        assert!(
+            self.allowed.binary_search(&i).is_ok(),
+            "index {i} is not in this disjoint group"
+        );
+        debug_assert!((i as usize) < self.len);
+    }
+
+    /// Shared access to element `i`; panics if `i` is not in the group.
+    #[inline]
+    pub fn get(&self, i: u32) -> &T {
+        self.check(i);
+        // SAFETY: `i` is in `allowed` (checked above), `allowed` indices are
+        // in-bounds (verified by `split_groups`), and no other group may
+        // touch this element.
+        unsafe { &*self.base.add(i as usize) }
+    }
+
+    /// Exclusive access to element `i`; panics if `i` is not in the group.
+    #[inline]
+    pub fn get_mut(&mut self, i: u32) -> &mut T {
+        self.check(i);
+        // SAFETY: as in `get`, plus `&mut self` guarantees no other borrow
+        // derived from this group is live.
+        unsafe { &mut *self.base.add(i as usize) }
+    }
+}
+
+/// Splits `data` into independently-usable mutable groups.
+///
+/// Each entry of `groups` lists the element indices that group owns and
+/// must be sorted in strictly ascending order. Returns `None` (touching
+/// nothing) if any index is out of bounds, any group is unsorted or has
+/// duplicates, or two groups overlap. On success the returned [`GroupMut`]s
+/// can be handed to different workers — e.g. via
+/// [`crate::par::run_tasks`] — and used concurrently.
+pub fn split_groups<'a, T: Send>(
+    data: &'a mut [T],
+    groups: &'a [Vec<u32>],
+    claims: &mut SlotClaims,
+) -> Option<Vec<GroupMut<'a, T>>> {
+    let len = data.len();
+    claims.begin(len);
+    for g in groups {
+        let mut prev: Option<u32> = None;
+        for &i in g {
+            if (i as usize) >= len || prev.is_some_and(|p| p >= i) || !claims.claim(i as usize) {
+                return None;
+            }
+            prev = Some(i);
+        }
+    }
+    let base = data.as_mut_ptr();
+    Some(
+        groups
+            .iter()
+            .map(|g| GroupMut {
+                base,
+                len,
+                allowed: g.as_slice(),
+                _marker: PhantomData,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::run_tasks;
+
+    #[test]
+    fn disjoint_groups_split_and_access() {
+        let mut data: Vec<u64> = (0..10).collect();
+        let groups = vec![vec![0, 2, 4], vec![1, 3], vec![5, 6, 7, 8, 9]];
+        let mut claims = SlotClaims::new();
+        let mut gs = split_groups(&mut data, &groups, &mut claims).unwrap();
+        for g in &mut gs {
+            for &i in g.indices().to_vec().iter() {
+                *g.get_mut(i) += 100;
+                assert_eq!(*g.get(i), i as u64 + 100);
+            }
+        }
+        drop(gs);
+        assert_eq!(data, (100..110).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn overlap_out_of_range_and_unsorted_are_rejected() {
+        let mut data = [0u8; 4];
+        let mut claims = SlotClaims::new();
+        let overlap = vec![vec![0, 1], vec![1, 2]];
+        assert!(split_groups(&mut data, &overlap, &mut claims).is_none());
+        let oob = vec![vec![0, 4]];
+        assert!(split_groups(&mut data, &oob, &mut claims).is_none());
+        let unsorted = vec![vec![2, 1]];
+        assert!(split_groups(&mut data, &unsorted, &mut claims).is_none());
+        let dup = vec![vec![1, 1]];
+        assert!(split_groups(&mut data, &dup, &mut claims).is_none());
+        // The claim set is reusable after a rejection.
+        let ok = vec![vec![0, 1], vec![2, 3]];
+        assert!(split_groups(&mut data, &ok, &mut claims).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this disjoint group")]
+    fn foreign_index_panics() {
+        let mut data = [0u32; 8];
+        let groups = vec![vec![0, 1], vec![6, 7]];
+        let mut claims = SlotClaims::new();
+        let mut gs = split_groups(&mut data, &groups, &mut claims).unwrap();
+        *gs[0].get_mut(6) = 1;
+    }
+
+    #[test]
+    fn groups_are_usable_across_worker_threads() {
+        crate::par::set_threads(4);
+        let mut data: Vec<u64> = vec![0; 64];
+        let groups: Vec<Vec<u32>> = (0..4u32)
+            .map(|g| (0..16u32).map(|k| k * 4 + g).collect())
+            .collect();
+        let mut claims = SlotClaims::new();
+        let mut gs = split_groups(&mut data, &groups, &mut claims).unwrap();
+        run_tasks(&mut gs, |gi, g| {
+            for &i in g.indices().to_vec().iter() {
+                *g.get_mut(i) = (gi as u64 + 1) * 1000 + i as u64;
+            }
+        });
+        drop(gs);
+        crate::par::set_threads(0);
+        for (i, &v) in data.iter().enumerate() {
+            let gi = (i % 4) as u64;
+            assert_eq!(v, (gi + 1) * 1000 + i as u64);
+        }
+    }
+}

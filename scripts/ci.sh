@@ -55,6 +55,35 @@ grep -q '"schema": "tcni-load/1"' target/BENCH_loadgen_faults.ci.json
 grep -q '"fault_rates_pm": \[0, 50\]' target/BENCH_loadgen_faults.ci.json
 grep -q '"goodput_pm": ' target/BENCH_loadgen_faults.ci.json
 
+echo "== smoke: sharded 16x16 tick (TCNI_THREADS=4) matches serial =="
+# The 16×16 large-mesh point is where `Machine::run_driven` genuinely shards
+# its cycle across workers (mesh fabric, no observability), and the
+# tcni-load/1 artifact is its stats export: the serial and 4-worker runs
+# must be byte-identical.
+run_16x16() {
+    TCNI_THREADS="$1" cargo run --release --offline -p tcni-bench --bin loadgen -- \
+        --width 16 --height 16 --models opt-reg --fabrics mesh \
+        --patterns uniform --rates 5 --windows none --warmup 200 \
+        --measure 800 --quiet --out "$2"
+}
+run_16x16 1 target/BENCH_loadgen_16x16.serial.json
+run_16x16 4 target/BENCH_loadgen_16x16.par4.json
+cmp target/BENCH_loadgen_16x16.serial.json target/BENCH_loadgen_16x16.par4.json
+
+echo "== smoke: tcni-trace/1 export unchanged under TCNI_THREADS=4 =="
+# Observability pins the serial fallback by design, so the instrumented
+# 16×16 export must not move at all when the env var asks for workers.
+run_netstats_16x16() {
+    TCNI_THREADS="$1" cargo run --release --offline -p tcni-bench --bin netstats -- \
+        --width 16 --height 16 --msgs 2 --quiet --out "$2"
+}
+run_netstats_16x16 1 target/TRACE_netstats_16x16.serial.json
+run_netstats_16x16 4 target/TRACE_netstats_16x16.par4.json
+cmp target/TRACE_netstats_16x16.serial.json target/TRACE_netstats_16x16.par4.json
+
+echo "== golden artifacts under TCNI_THREADS=4 (byte-exact, unblessed) =="
+TCNI_THREADS=4 cargo test --release --offline -q --test golden_artifacts
+
 echo "== smoke: perf harness (quick) =="
 TCNI_BENCH_OUT=target/BENCH_simulator.ci.json \
     cargo run --release --offline -p tcni-bench --bin perf -- --quick

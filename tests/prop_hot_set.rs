@@ -148,6 +148,103 @@ fn hot_set_is_equivalent_on_all_six_models() {
     });
 }
 
+/// Builds a machine for the parallel sweep: hot scan, optional trace-only
+/// instrumentation, and an explicit per-machine worker count.
+fn build_par(cfg: &Config, trace_cap: Option<usize>, par_threads: usize) -> Machine {
+    let mut m = build(cfg, false);
+    if let Some(c) = trace_cap {
+        m.enable_trace(c);
+    }
+    m.set_par_threads(par_threads);
+    m
+}
+
+/// Parallelism is an implementation detail: the sharded cycle must be
+/// bit-identical to the serial cycle at any worker count — same bytes on
+/// every observable surface, including the [`ScanStats`] effort meters
+/// (the domain-sliced frontier walk visits the same channel multiset as the
+/// serial scan). The sweep crosses the §4 models with both fabrics, E2E
+/// on/off, trace-only and trace+obs instrumentation, seeded fault
+/// schedules, and worker counts {1, 2, 3, 8}. Ineligible configurations
+/// (ideal fabric, fault wrapper, observability, dense scan) fall back to
+/// the serial path; keeping them in the sweep pins the fallback.
+#[test]
+fn parallel_tick_is_equivalent_at_any_thread_count() {
+    check(
+        "parallel_tick_is_equivalent_at_any_thread_count",
+        64,
+        |rng| {
+            let cfg = Config {
+                model: *rng.pick(&Model::ALL_SIX),
+                mesh: rng.bool(),
+                latency: rng.below(40),
+                e2e: rng.bool(),
+                fault: rng.bool().then(|| (rng.u64(), rng.range(20, 120) as u32)),
+                skip: rng.bool(),
+                instrument: rng.bool().then(|| rng.range(1, 24) as usize),
+            };
+            let trace_cap =
+                (cfg.instrument.is_none() && rng.bool()).then(|| rng.range(1, 24) as usize);
+            let par = *rng.pick(&[1usize, 2, 3, 8]);
+            let budget = rng.range(4_000, 30_000);
+            let ctx = format!(
+                "{} mesh={} latency={} e2e={} fault={:?} skip={} instrument={:?} trace={:?} par={}",
+                cfg.model,
+                cfg.mesh,
+                cfg.latency,
+                cfg.e2e,
+                cfg.fault,
+                cfg.skip,
+                cfg.instrument,
+                trace_cap,
+                par
+            );
+            let mut serial = build_par(&cfg, trace_cap, 1);
+            let mut sharded = build_par(&cfg, trace_cap, par);
+            let os = serial.run(budget);
+            let op = sharded.run(budget);
+
+            assert_eq!(os, op, "{ctx} outcome");
+            assert_eq!(serial.cycle(), sharded.cycle(), "{ctx} machine cycle");
+            assert_eq!(serial.net_stats(), sharded.net_stats(), "{ctx} net stats");
+            assert_eq!(
+                serial.net_stats().scan,
+                sharded.net_stats().scan,
+                "{ctx} scan meters must be byte-identical, not merely conserved"
+            );
+            assert_eq!(
+                serial.delivery_stats(),
+                sharded.delivery_stats(),
+                "{ctx} delivery stats"
+            );
+            assert_eq!(
+                serial.skipped_cycles(),
+                sharded.skipped_cycles(),
+                "{ctx} fast-forward accounting"
+            );
+            for i in 0..2 {
+                let (s, p) = (serial.node(i), sharded.node(i));
+                assert_eq!(s.cpu().cycle(), p.cpu().cycle(), "{ctx} node {i} cycles");
+                assert_eq!(s.cpu().stats(), p.cpu().stats(), "{ctx} node {i} stats");
+                for r in Reg::ALL {
+                    assert_eq!(s.cpu().reg(r), p.cpu().reg(r), "{ctx} node {i} reg {r}");
+                }
+            }
+            if trace_cap.is_some() || cfg.instrument.is_some() {
+                let (ts, tp) = (serial.trace().unwrap(), sharded.trace().unwrap());
+                assert_eq!(ts.dropped(), tp.dropped(), "{ctx} trace dropped");
+                assert!(ts.events().eq(tp.events()), "{ctx} trace events");
+            }
+            if cfg.instrument.is_some() {
+                // Observability pins the serial fallback, so even the serialized
+                // report (scan meters included) is byte-equal.
+                let (rs, rp) = (serial.obs_report().unwrap(), sharded.obs_report().unwrap());
+                assert_eq!(rs.to_json(), rp.to_json(), "{ctx} tcni-trace/1 report");
+            }
+        },
+    );
+}
+
 /// The same bit-identity must hold when a seeded fault schedule is mangling
 /// traffic and the delivery protocol is retransmitting around it — the
 /// hardest case for the timeout list, since flows join, refresh, and leave
