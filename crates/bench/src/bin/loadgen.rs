@@ -111,8 +111,8 @@ fn main() {
             _ => usage(),
         }
     }
-    if width == 0 || height == 0 || width * height < 2 || width * height > 256 {
-        eprintln!("loadgen: need a 2..=256-node grid");
+    if width == 0 || height == 0 || width * height < 2 || width * height > 65536 {
+        eprintln!("loadgen: need a 2..=65536-node grid");
         std::process::exit(2);
     }
     if measure == 0 {

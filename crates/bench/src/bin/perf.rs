@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use tcni_bench::perf::{bench, PipelineTiming, Report};
-use tcni_core::{Message, NodeId};
+use tcni_core::{Message, NodeId, WireFormat};
 use tcni_eval::sweep;
 use tcni_eval::table1::Table1;
 use tcni_isa::{Assembler, MsgType, Program, Reg};
@@ -64,7 +64,7 @@ fn clogged_mesh_machine(skip: bool) -> Machine {
     let o0 = tcni_core::mapping::gpr_alias(tcni_core::InterfaceReg::O0);
     let o1 = tcni_core::mapping::gpr_alias(tcni_core::InterfaceReg::O1);
     let mut a = Assembler::new();
-    a.li(Reg::R3, NodeId::new(1).into_word_bits());
+    a.li(Reg::R3, NodeId::new(1).into_word_bits(WireFormat::Compact));
     a.label("loop");
     a.mov(o0, Reg::R3);
     a.mov_ni(
@@ -95,15 +95,15 @@ fn mesh_traffic(target: u64) -> u64 {
     let mut payload = 0u32;
     while delivered < target {
         for src in 0..n {
-            let dst = NodeId::new(((src + 1) % n) as u8);
+            let dst = NodeId::from_index((src + 1) % n);
             let msg = Message::to(dst, [0, payload, 0, 0, 0], mtype);
-            if mesh.inject(NodeId::new(src as u8), msg).is_ok() {
+            if mesh.inject(NodeId::from_index(src), msg).is_ok() {
                 payload = payload.wrapping_add(1);
             }
         }
         mesh.tick();
         for dst in 0..n {
-            while mesh.eject(NodeId::new(dst as u8)).is_some() {
+            while mesh.eject(NodeId::from_index(dst)).is_some() {
                 delivered += 1;
             }
         }
@@ -111,24 +111,37 @@ fn mesh_traffic(target: u64) -> u64 {
     delivered
 }
 
-/// 256 nodes on a 16×16 mesh with the delivery protocol on, driven by a
-/// uniform open-loop injector at 5‰ offered load for `cycles` cycles — the
-/// hot-set scheduler's target case: a large machine whose active set is a
-/// tiny fraction of its channels and flows. `dense` selects the
-/// every-channel/every-flow cross-check scan for contrast.
-fn large_mesh_low_load(cycles: u64, dense: bool, par: usize) -> Machine {
-    let mut machine = MachineBuilder::new(256)
+/// A `side × side` mesh driven by a uniform open-loop injector at 5‰
+/// offered load for `cycles` cycles — the hot-set scheduler's target case: a
+/// large machine whose active set is a tiny fraction of its channels and
+/// flows. `dense` selects the every-channel/every-flow cross-check scan for
+/// contrast; `delivery` turns the end-to-end protocol on (its flow state is
+/// quadratic in the node count, so the widest meshes run fabric-only). A
+/// 16×16 mesh runs the compact wire format, anything wider the wide one —
+/// the builder picks it, the injector follows via `machine.wire_format()`.
+fn large_mesh_low_load(
+    side: usize,
+    cycles: u64,
+    dense: bool,
+    delivery: bool,
+    par: usize,
+) -> Machine {
+    let mut b = MachineBuilder::new(side * side)
         .model(Model::ALL_SIX[0])
-        .network_mesh(MeshConfig::new(16, 16))
-        .delivery(DeliveryConfig::default())
-        .dense_scan(dense)
-        .build();
+        .network_mesh(MeshConfig::new(side, side))
+        .dense_scan(dense);
+    if delivery {
+        b = b.delivery(DeliveryConfig::default());
+    }
+    let mut machine = b.build();
     machine.set_par_threads(par);
-    let mut injector = Injector::new(InjectorConfig::new(
+    let mut config = InjectorConfig::new(
         Pattern::Uniform,
-        Topology::new(16, 16),
+        Topology::new(side, side),
         LoopMode::Open { rate_pm: 5 },
-    ));
+    );
+    config.format = machine.wire_format();
+    let mut injector = Injector::new(config);
     machine.run_driven(&mut injector, cycles);
     machine
 }
@@ -225,18 +238,70 @@ fn main() {
     // delta is wall clock — compare their `value` against the serial point
     // to read the speedup, and their `host_threads` metadata for how many
     // cores the host could actually offer.
-    for (name, dense, par) in [
-        ("large_mesh/16x16_uniform5pm_hotset", false, 1),
-        ("large_mesh/16x16_uniform5pm_dense", true, 1),
-        ("large_mesh/16x16_uniform5pm_hotset_par2", false, 2),
-        ("large_mesh/16x16_uniform5pm_hotset_par4", false, 4),
+    // The wide-format points (64×64, 128×128) divide the cycle budget —
+    // per-cycle injector work is O(n), so equal budgets would swamp the run
+    // — and drop the delivery protocol, whose flow state is quadratic in
+    // the node count. They exist to pin the scaling of the machine loop and
+    // mesh fabric past the compact format's 256-node ceiling.
+    for (name, side, dense, delivery, par, div) in [
+        (
+            "large_mesh/16x16_uniform5pm_hotset",
+            16usize,
+            false,
+            true,
+            1usize,
+            1u64,
+        ),
+        ("large_mesh/16x16_uniform5pm_dense", 16, true, true, 1, 1),
+        (
+            "large_mesh/16x16_uniform5pm_hotset_par2",
+            16,
+            false,
+            true,
+            2,
+            1,
+        ),
+        (
+            "large_mesh/16x16_uniform5pm_hotset_par4",
+            16,
+            false,
+            true,
+            4,
+            1,
+        ),
+        ("large_mesh/64x64_uniform5pm_hotset", 64, false, false, 1, 5),
+        (
+            "large_mesh/64x64_uniform5pm_hotset_par4",
+            64,
+            false,
+            false,
+            4,
+            5,
+        ),
+        (
+            "large_mesh/128x128_uniform5pm_hotset",
+            128,
+            false,
+            false,
+            1,
+            20,
+        ),
     ] {
-        let mut meas = bench(name, "cycles/sec", cycles as f64, warmup, reps, || {
-            large_mesh_low_load(cycles, dense, par)
-        });
-        let machine = large_mesh_low_load(cycles, dense, par);
+        let point_cycles = (cycles / div).max(1_000);
+        let point_reps = if side > 16 { reps.min(3) } else { reps };
+        let mut meas = bench(
+            name,
+            "cycles/sec",
+            point_cycles as f64,
+            warmup,
+            point_reps,
+            || large_mesh_low_load(side, point_cycles, dense, delivery, par),
+        );
+        let machine = large_mesh_low_load(side, point_cycles, dense, delivery, par);
         let scan = machine.net_stats().scan;
-        let dense_cost = machine.cycle() * (256 * 5 + 256 * 256) as u64;
+        let n = (side * side) as u64;
+        let flows = if delivery { n * n } else { 0 };
+        let dense_cost = machine.cycle() * (n * 5 + flows);
         meas.tcni_threads = par;
         meas.counters = vec![
             ("cycles".into(), machine.cycle()),

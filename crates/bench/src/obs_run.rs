@@ -13,7 +13,7 @@
 //!   lifecycle demo (request out, response back, both dispatched).
 
 use tcni_core::mapping::{cmd_addr, reg_addr, NI_WINDOW_BASE};
-use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_eval::handlers::remote_read::{self, REMOTE_ADDR};
 use tcni_isa::{Assembler, Cond, Program, Reg};
 use tcni_net::MeshConfig;
@@ -32,7 +32,7 @@ fn ring_program(dest: NodeId, k: u32) -> Program {
     a.li(Reg::R9, NI_WINDOW_BASE);
     a.li(Reg::R2, 0x4000);
     a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
-    a.li(Reg::R2, dest.into_word_bits() | 0x1);
+    a.li(Reg::R2, dest.into_word_bits(WireFormat::Compact) | 0x1);
     a.li(Reg::R6, k); // messages left to send
     a.li(Reg::R5, k); // messages left to receive
     a.label("send");
@@ -75,7 +75,7 @@ pub fn ring_machine(width: usize, height: usize, k: u32) -> Machine {
         .ni_queues((k as usize).max(16), 16)
         .network_mesh(MeshConfig::new(width, height));
     for i in 0..n {
-        let dest = NodeId::new(((i + 1) % n) as u8);
+        let dest = NodeId::from_index((i + 1) % n);
         b = b.program(i, ring_program(dest, k));
     }
     b.build()
@@ -148,8 +148,11 @@ mod tests {
         machine.enable_obs(16);
         machine.enable_trace(16);
         let ni = machine.node_mut(0).ni_mut();
-        ni.write_reg(InterfaceReg::O0, NodeId::new(200).into_word_bits())
-            .expect("O0 writable");
+        ni.write_reg(
+            InterfaceReg::O0,
+            NodeId::new(200).into_word_bits(WireFormat::Compact),
+        )
+        .expect("O0 writable");
         ni.send(SendMode::Send, MsgType::new(2).expect("type 2"))
             .expect("send accepted");
         assert_eq!(machine.run(1_000), RunOutcome::Quiescent);

@@ -18,7 +18,7 @@
 
 use tcni_isa::MsgType;
 
-use crate::message::MSG_WORDS;
+use crate::message::{NodeId, MSG_WORDS};
 
 /// What a protocol message carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,7 +37,9 @@ pub struct E2eHeader {
     pub kind: E2eKind,
     /// The node that built this header: the flow's sender for data, the
     /// flow's receiver for acks (so the ack's consumer can name the flow).
-    pub src: u8,
+    /// A full [`NodeId`], never a narrowed cast — the type system enforces
+    /// what the builder's old 256-node rejection merely implied.
+    pub src: NodeId,
     /// Per-flow sequence number: dense ascending for data; for acks, the
     /// receiver's next expected sequence number (cumulative).
     pub psn: u32,
@@ -48,7 +50,7 @@ pub struct E2eHeader {
 
 impl E2eHeader {
     /// Header for a data message.
-    pub fn data(src: u8, psn: u32, crc: u32) -> E2eHeader {
+    pub fn data(src: NodeId, psn: u32, crc: u32) -> E2eHeader {
         E2eHeader {
             kind: E2eKind::Data,
             src,
@@ -58,7 +60,7 @@ impl E2eHeader {
     }
 
     /// Header for a cumulative ack.
-    pub fn ack(src: u8, psn: u32, crc: u32) -> E2eHeader {
+    pub fn ack(src: NodeId, psn: u32, crc: u32) -> E2eHeader {
         E2eHeader {
             kind: E2eKind::Ack,
             src,
@@ -105,9 +107,16 @@ mod tests {
 
     #[test]
     fn header_constructors() {
-        let d = E2eHeader::data(3, 7, 0xABCD);
-        assert_eq!((d.kind, d.src, d.psn, d.crc), (E2eKind::Data, 3, 7, 0xABCD));
-        let a = E2eHeader::ack(1, 9, 0x1234);
+        let d = E2eHeader::data(NodeId::new(3), 7, 0xABCD);
+        assert_eq!(
+            (d.kind, d.src, d.psn, d.crc),
+            (E2eKind::Data, NodeId::new(3), 7, 0xABCD)
+        );
+        let a = E2eHeader::ack(NodeId::new(1), 9, 0x1234);
         assert_eq!(a.kind, E2eKind::Ack);
+        // The header carries node ids the compact format could never: the
+        // wide-format bug family the old `src: u8` field made structural.
+        let w = E2eHeader::data(NodeId::new(40_000), 1, 0);
+        assert_eq!(w.src.index(), 40_000);
     }
 }

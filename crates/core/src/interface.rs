@@ -7,7 +7,7 @@ use crate::control::{Control, OverflowPolicy};
 use crate::dispatch::{msg_ip, DispatchSource, QueueConditions, TABLE_BYTES};
 use crate::error::NiError;
 use crate::feature::{FeatureLevel, FeatureSet};
-use crate::message::{Message, MSG_WORDS};
+use crate::message::{Message, WireFormat, MSG_WORDS};
 use crate::protection::DivertReason;
 use crate::queue::MsgQueue;
 use crate::regs::InterfaceReg;
@@ -24,6 +24,12 @@ pub struct NiConfig {
     pub output_capacity: usize,
     /// Privileged queue capacity in messages (§2.1.3).
     pub privileged_capacity: usize,
+    /// The machine's wire format: how many high bits of `m0` the interface
+    /// architects for the destination node. Software writes raw words into
+    /// the output registers, so the NI is the one place that knows which
+    /// layout those words follow; it stamps every composed [`Message`] with
+    /// it. Defaults to [`WireFormat::Compact`] — the paper's layout.
+    pub wire_format: WireFormat,
 }
 
 impl NiConfig {
@@ -34,6 +40,7 @@ impl NiConfig {
             input_capacity: 16,
             output_capacity: 16,
             privileged_capacity: 16,
+            wire_format: WireFormat::Compact,
         }
     }
 }
@@ -110,6 +117,7 @@ pub struct NiStats {
 #[derive(Debug, Clone)]
 pub struct NetworkInterface {
     features: FeatureSet,
+    wire_format: WireFormat,
     control: Control,
     ip_base: u32,
     oregs: [u32; MSG_WORDS],
@@ -136,6 +144,7 @@ impl NetworkInterface {
     pub fn new(config: NiConfig) -> NetworkInterface {
         NetworkInterface {
             features: config.features,
+            wire_format: config.wire_format,
             control: Control::new(),
             ip_base: 0,
             oregs: [0; MSG_WORDS],
@@ -157,6 +166,11 @@ impl NetworkInterface {
     /// The configured feature set.
     pub fn features(&self) -> FeatureSet {
         self.features
+    }
+
+    /// The wire format this interface composes and decodes messages under.
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire_format
     }
 
     /// Event counters.
@@ -260,7 +274,7 @@ impl NetworkInterface {
             }
             SendMode::Send | SendMode::None => {}
         }
-        let mut m = Message::new(words, mtype);
+        let mut m = Message::new_in(self.wire_format, words, mtype);
         m.pin = self.control.active_pin();
         m.last_flit = last_flit;
         m
@@ -706,8 +720,11 @@ mod tests {
         let mut ni = opt();
         let incoming = Message::new([9, 1, 2, 3, 4], ty(5));
         ni.push_incoming(incoming).unwrap(); // advances into the input registers
-        ni.write_reg(InterfaceReg::O0, NodeId::new(7).into_word_bits())
-            .unwrap();
+        ni.write_reg(
+            InterfaceReg::O0,
+            NodeId::new(7).into_word_bits(WireFormat::Compact),
+        )
+        .unwrap();
         ni.send(SendMode::Forward, ty(5)).unwrap();
         let m = ni.pop_outgoing().unwrap();
         assert_eq!(m.dest(), NodeId::new(7));
@@ -877,8 +894,11 @@ mod tests {
     fn scroll_is_part_of_the_basic_architecture_too() {
         // §2.1.2 presents SCROLL as an extension of the *basic* architecture.
         let mut ni = basic();
-        ni.write_reg(InterfaceReg::O0, NodeId::new(0).into_word_bits() | 1)
-            .unwrap();
+        ni.write_reg(
+            InterfaceReg::O0,
+            NodeId::new(0).into_word_bits(WireFormat::Compact) | 1,
+        )
+        .unwrap();
         ni.scroll_out(ty(6)).unwrap();
         ni.write_reg(InterfaceReg::O0, 2).unwrap();
         ni.send(SendMode::Send, ty(6)).unwrap();

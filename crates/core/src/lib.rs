@@ -82,7 +82,7 @@ pub use endtoend::{payload_crc, E2eHeader, E2eKind};
 pub use error::NiError;
 pub use feature::{FeatureLevel, FeatureSet};
 pub use interface::{NetworkInterface, NiConfig, NiStats, SendOutcome};
-pub use message::{Message, NodeId, MSG_WORDS};
+pub use message::{Message, NodeId, WireFormat, MSG_WORDS};
 pub use protection::{DivertReason, Pin};
 pub use queue::MsgQueue;
 pub use regs::InterfaceReg;

@@ -45,12 +45,15 @@ pub const NI_WINDOW_SIZE: u32 = 0x4000;
 pub const NI_GPR_BASE: u8 = 16;
 
 /// Local-address mask. Global addresses (remote-read targets, frame
-/// pointers) carry the destination node in their high [`crate::NodeId::BITS`]
-/// bits; a node's local memory decoder ignores those bits, so a handler can
-/// "load from memory address" straight out of `i0` without masking — exactly
-/// what the paper's optimized Read handler does (Figure 6, line 4). The NI
-/// window is decoded *before* this mask applies.
-pub const LOCAL_ADDR_MASK: u32 = (1 << (32 - crate::NodeId::BITS)) - 1;
+/// pointers) carry the destination node in their high address bits — the
+/// compact wire format's 8-bit field, which is the layout every paper
+/// handler program assumes; a node's local memory decoder ignores those
+/// bits, so a handler can "load from memory address" straight out of `i0`
+/// without masking — exactly what the paper's optimized Read handler does
+/// (Figure 6, line 4). The NI window is decoded *before* this mask applies.
+/// Wide-format software conventions carve their own global-address split;
+/// this constant is the paper's.
+pub const LOCAL_ADDR_MASK: u32 = crate::WireFormat::Compact.payload_mask();
 
 /// A decoded memory-mapped interface access (Figure 9 plus the SCROLL bit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

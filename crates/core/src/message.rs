@@ -2,8 +2,12 @@
 //!
 //! Every message consists of five 32-bit words `m0..m4` plus a 4-bit type
 //! field. The logical address of the destination processor is carried in the
-//! high bits of the first word; we architect the top [`NodeId::BITS`] bits of
-//! `m0` for it, supporting up to 256 nodes.
+//! high bits of the first word. How many high bits is a property of the
+//! machine, not of the type system: the [`WireFormat`] chosen at build time
+//! architects either the paper's original 8-bit field (256 nodes,
+//! [`WireFormat::Compact`]) or a widened 16-bit field (65536 nodes,
+//! [`WireFormat::Wide`]). Every [`Message`] carries its format so decode
+//! never has to guess.
 
 use std::fmt;
 
@@ -15,26 +19,118 @@ use crate::protection::Pin;
 /// Number of data words in a message (or one *flit* of a long message).
 pub const MSG_WORDS: usize = 5;
 
+/// The versioned header layout: how many high bits of `m0` carry the
+/// destination node.
+///
+/// Selected once per machine at build time (`MachineBuilder` in `tcni-sim`
+/// picks the smallest format that fits the node count). The compact format
+/// is bit-for-bit the paper's Figure 2 layout, so machines of up to 256
+/// nodes — including all six §4 models — are byte-identical to a
+/// pre-versioning build. The wide format widens the `m0` address field to
+/// 16 bits, shrinking the `m0` payload to 16 bits; words `m1..m4` are
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum WireFormat {
+    /// 8 address bits in `m0` (up to 256 nodes) — the paper's exact layout.
+    #[default]
+    Compact,
+    /// 16 address bits in `m0` (up to 65536 nodes).
+    Wide,
+}
+
+impl WireFormat {
+    /// Number of `m0` high bits that carry the destination node.
+    pub const fn addr_bits(self) -> u32 {
+        match self {
+            WireFormat::Compact => 8,
+            WireFormat::Wide => 16,
+        }
+    }
+
+    /// Largest node count this format can address.
+    pub const fn max_nodes(self) -> usize {
+        1 << self.addr_bits()
+    }
+
+    /// Mask selecting the payload (non-address) bits of `m0`.
+    pub const fn payload_mask(self) -> u32 {
+        (1 << (32 - self.addr_bits())) - 1
+    }
+
+    /// The smallest format addressing `nodes` nodes, or `None` when even the
+    /// wide format cannot (more than 65536 nodes).
+    pub fn for_nodes(nodes: usize) -> Option<WireFormat> {
+        if nodes <= WireFormat::Compact.max_nodes() {
+            Some(WireFormat::Compact)
+        } else if nodes <= WireFormat::Wide.max_nodes() {
+            Some(WireFormat::Wide)
+        } else {
+            None
+        }
+    }
+
+    /// Short machine-readable name (stable; used in artifact exports).
+    pub fn key(self) -> &'static str {
+        match self {
+            WireFormat::Compact => "compact",
+            WireFormat::Wide => "wide",
+        }
+    }
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
 /// A logical processor (node) number, carried in the high bits of `m0`.
+///
+/// Backed by a `u16` — wide enough for every [`WireFormat`] — so a node id
+/// can never be silently narrowed: constructing one from a machine-sized
+/// index goes through the checked [`NodeId::from_index`], and encoding one
+/// into a message word ([`NodeId::into_word_bits`]) asserts it fits the
+/// format it is being encoded for.
 ///
 /// # Example
 ///
 /// ```
-/// use tcni_core::NodeId;
+/// use tcni_core::{NodeId, WireFormat};
 /// let n = NodeId::new(3);
 /// assert_eq!(n.index(), 3);
-/// assert_eq!(NodeId::from_word(n.into_word_bits() | 0x1234), n);
+/// let fmt = WireFormat::Compact;
+/// assert_eq!(NodeId::from_word(n.into_word_bits(fmt) | 0x1234, fmt), n);
+/// let wide = NodeId::new(1000);
+/// let w = WireFormat::Wide;
+/// assert_eq!(NodeId::from_word(wide.into_word_bits(w) | 0x1234, w), wide);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct NodeId(u8);
+pub struct NodeId(u16);
 
 impl NodeId {
-    /// Number of address bits architected in `m0`.
-    pub const BITS: u32 = 8;
+    /// Largest node count any format can address (the wide format's limit).
+    pub const MAX_NODES: usize = WireFormat::Wide.max_nodes();
 
     /// Creates a node id.
-    pub fn new(index: u8) -> NodeId {
+    pub fn new(index: u16) -> NodeId {
         NodeId(index)
+    }
+
+    /// Creates a node id from a machine-sized index, checking it fits the
+    /// widest format's address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 65536`. This is the checked replacement for the
+    /// old `NodeId::new(i as u8)` pattern, which wrapped silently.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId::try_from_index(index)
+            .unwrap_or_else(|| panic!("node index {index} exceeds the wide-format address space"))
+    }
+
+    /// [`NodeId::from_index`], returning `None` instead of panicking.
+    pub fn try_from_index(index: usize) -> Option<NodeId> {
+        u16::try_from(index).ok().map(NodeId)
     }
 
     /// The node's index.
@@ -42,27 +138,33 @@ impl NodeId {
         usize::from(self.0)
     }
 
-    /// Extracts the destination node from a message's first word.
-    pub fn from_word(m0: u32) -> NodeId {
-        NodeId((m0 >> (32 - Self::BITS)) as u8)
+    /// Extracts the destination node from a message's first word, under the
+    /// given wire format.
+    pub fn from_word(m0: u32, fmt: WireFormat) -> NodeId {
+        NodeId((m0 >> (32 - fmt.addr_bits())) as u16)
     }
 
-    /// The node id positioned in the high bits of a word, ready to be OR-ed
-    /// with the low-bit payload of `m0`.
-    pub fn into_word_bits(self) -> u32 {
-        u32::from(self.0) << (32 - Self::BITS)
+    /// The node id positioned in the high bits of a word under the given
+    /// wire format, ready to be OR-ed with the low-bit payload of `m0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not fit the format's address field — the
+    /// explicit replacement for the silent truncation an `as u8` cast
+    /// used to permit.
+    pub fn into_word_bits(self, fmt: WireFormat) -> u32 {
+        assert!(
+            self.index() < fmt.max_nodes(),
+            "{self} does not fit the {fmt} wire format ({} nodes max)",
+            fmt.max_nodes()
+        );
+        u32::from(self.0) << (32 - fmt.addr_bits())
     }
 }
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
-    }
-}
-
-impl From<u8> for NodeId {
-    fn from(value: u8) -> Self {
-        NodeId(value)
     }
 }
 
@@ -77,6 +179,11 @@ pub struct Message {
     /// The 4-bit message type. Ignored by the basic architecture, which
     /// dispatches on a 32-bit id in `m4` instead (§2.1.4).
     pub mtype: MsgType,
+    /// The header layout `m0` was encoded under — the message's format
+    /// version tag. Stamped by the composing interface (every NI knows its
+    /// machine's format); [`Message::dest`] decodes with it, so fabrics and
+    /// the delivery layer never need the machine's format threaded through.
+    pub format: WireFormat,
     /// Process identification number of the sending process.
     pub pin: Pin,
     /// Whether the message is destined for the operating system (§2.1.3).
@@ -102,11 +209,18 @@ pub struct Message {
 }
 
 impl Message {
-    /// Creates an ordinary (single-flit, unprivileged) message.
+    /// Creates an ordinary (single-flit, unprivileged) compact-format
+    /// message. Use [`Message::new_in`] on a wide machine.
     pub fn new(words: [u32; MSG_WORDS], mtype: MsgType) -> Message {
+        Message::new_in(WireFormat::Compact, words, mtype)
+    }
+
+    /// Creates an ordinary message whose `m0` is encoded under `fmt`.
+    pub fn new_in(fmt: WireFormat, words: [u32; MSG_WORDS], mtype: MsgType) -> Message {
         Message {
             words,
             mtype,
+            format: fmt,
             pin: Pin::default(),
             privileged: false,
             last_flit: true,
@@ -116,8 +230,9 @@ impl Message {
         }
     }
 
-    /// Creates a message addressed to `dest`, placing the node id in the high
-    /// bits of `m0` (the rest of `m0` comes from `words[0]`'s low bits).
+    /// Creates a compact-format message addressed to `dest`, placing the
+    /// node id in the high bits of `m0` (the rest of `m0` comes from
+    /// `words[0]`'s low bits). Use [`Message::to_in`] on a wide machine.
     ///
     /// # Example
     ///
@@ -129,17 +244,30 @@ impl Message {
     /// assert_eq!(m.dest(), NodeId::new(2));
     /// assert_eq!(m.words[0] & 0x00FF_FFFF, 0x40);
     /// ```
-    pub fn to(dest: NodeId, mut words: [u32; MSG_WORDS], mtype: MsgType) -> Message {
-        let payload_mask = (1u32 << (32 - NodeId::BITS)) - 1;
-        words[0] = dest.into_word_bits() | (words[0] & payload_mask);
-        Message::new(words, mtype)
+    pub fn to(dest: NodeId, words: [u32; MSG_WORDS], mtype: MsgType) -> Message {
+        Message::to_in(WireFormat::Compact, dest, words, mtype)
+    }
+
+    /// Creates a message addressed to `dest` under the given wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` does not fit `fmt`'s address field.
+    pub fn to_in(
+        fmt: WireFormat,
+        dest: NodeId,
+        mut words: [u32; MSG_WORDS],
+        mtype: MsgType,
+    ) -> Message {
+        words[0] = dest.into_word_bits(fmt) | (words[0] & fmt.payload_mask());
+        Message::new_in(fmt, words, mtype)
     }
 
     /// The destination processor: the routing override for continuation
-    /// flits, otherwise decoded from `m0`.
+    /// flits, otherwise decoded from `m0` under the message's own format.
     pub fn dest(&self) -> NodeId {
         self.route
-            .unwrap_or_else(|| NodeId::from_word(self.words[0]))
+            .unwrap_or_else(|| NodeId::from_word(self.words[0], self.format))
     }
 
     /// Tags the message with a sending process.
@@ -208,6 +336,58 @@ mod tests {
             MsgType::default(),
         );
         assert_eq!(m.dest(), NodeId::new(1));
+    }
+
+    #[test]
+    fn wide_dest_in_sixteen_high_bits() {
+        let m = Message::to_in(
+            WireFormat::Wide,
+            NodeId::new(0xABCD),
+            [0xFFFF_FFFF, 1, 2, 3, 4],
+            MsgType::default(),
+        );
+        assert_eq!(m.dest(), NodeId::new(0xABCD));
+        assert_eq!(m.words[0], 0xABCD_FFFF);
+        assert_eq!(m.format, WireFormat::Wide);
+    }
+
+    #[test]
+    fn format_selection_picks_the_smallest_fit() {
+        assert_eq!(WireFormat::for_nodes(1), Some(WireFormat::Compact));
+        assert_eq!(WireFormat::for_nodes(256), Some(WireFormat::Compact));
+        assert_eq!(WireFormat::for_nodes(257), Some(WireFormat::Wide));
+        assert_eq!(WireFormat::for_nodes(65536), Some(WireFormat::Wide));
+        assert_eq!(WireFormat::for_nodes(65537), None);
+    }
+
+    #[test]
+    fn format_constants_are_consistent() {
+        for fmt in [WireFormat::Compact, WireFormat::Wide] {
+            assert_eq!(fmt.max_nodes(), 1 << fmt.addr_bits());
+            assert_eq!(fmt.payload_mask().count_ones(), 32 - fmt.addr_bits());
+            // Address bits and payload bits partition the word.
+            let top = NodeId::new((fmt.max_nodes() - 1) as u16);
+            assert_eq!(top.into_word_bits(fmt) | fmt.payload_mask(), u32::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the compact wire format")]
+    fn encoding_a_wide_id_compactly_panics_instead_of_truncating() {
+        let _ = NodeId::new(256).into_word_bits(WireFormat::Compact);
+    }
+
+    #[test]
+    fn checked_index_constructor() {
+        assert_eq!(NodeId::from_index(65535), NodeId::new(65535));
+        assert_eq!(NodeId::try_from_index(65536), None);
+        assert_eq!(NodeId::try_from_index(7), Some(NodeId::new(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the wide-format address space")]
+    fn oversized_index_panics() {
+        let _ = NodeId::from_index(65536);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use tcni_core::mapping::bare_cmd_addr;
 use tcni_core::mapping::NI_WINDOW_BASE;
-use tcni_core::{InterfaceReg, Message, NiCmd, NodeId};
+use tcni_core::{InterfaceReg, Message, NiCmd, NodeId, WireFormat};
 use tcni_isa::{AluOp, Assembler, Cond, CostClass, Program, Reg};
 
 use super::{alias, cmd_off, dispatch, off, ProcCase};
@@ -78,7 +78,7 @@ pub fn probe(ctx: Ctx, case: ProcCase) -> ProcProbe {
 fn build_message(program: &Program, case: ProcCase) -> Message {
     let here = NodeId::new(0); // arriving at the node under test
     let requester = NodeId::new(2);
-    let reply_fp = requester.into_word_bits() | 0x0800;
+    let reply_fp = requester.into_word_bits(WireFormat::Compact) | 0x0800;
     let reply_ip = 0x9100;
     match case {
         ProcCase::Send(k) => {
@@ -97,7 +97,7 @@ fn build_message(program: &Program, case: ProcCase) -> Message {
         }
         ProcCase::Read => Message::new(
             [
-                here.into_word_bits() | layout::DATUM,
+                here.into_word_bits(WireFormat::Compact) | layout::DATUM,
                 reply_fp,
                 reply_ip,
                 0,
@@ -107,7 +107,7 @@ fn build_message(program: &Program, case: ProcCase) -> Message {
         ),
         ProcCase::Write => Message::new(
             [
-                here.into_word_bits() | layout::DATUM,
+                here.into_word_bits(WireFormat::Compact) | layout::DATUM,
                 0xBEEF,
                 0,
                 0,
@@ -117,7 +117,7 @@ fn build_message(program: &Program, case: ProcCase) -> Message {
         ),
         ProcCase::PReadFull | ProcCase::PReadEmpty | ProcCase::PReadDeferred => Message::new(
             [
-                here.into_word_bits() | layout::CELL,
+                here.into_word_bits(WireFormat::Compact) | layout::CELL,
                 reply_fp,
                 reply_ip,
                 0,
@@ -127,7 +127,7 @@ fn build_message(program: &Program, case: ProcCase) -> Message {
         ),
         ProcCase::PWriteEmpty | ProcCase::PWriteDeferred(_) => Message::new(
             [
-                here.into_word_bits() | layout::CELL,
+                here.into_word_bits(WireFormat::Compact) | layout::CELL,
                 0xABCD,
                 0,
                 0,
@@ -511,7 +511,7 @@ pub fn stage_memory(mem: &mut tcni_cpu::MemEnv, case: ProcCase) {
                 mem.poke(addr, next);
                 mem.poke(
                     addr + 4,
-                    NodeId::new(2).into_word_bits() | (0x800 + i * 0x10),
+                    NodeId::new(2).into_word_bits(WireFormat::Compact) | (0x800 + i * 0x10),
                 );
                 mem.poke(addr + 8, 0x9100 + i * 4);
             }

@@ -3,7 +3,7 @@
 //! mirrored (with narration) in `examples/quickstart.rs`.
 
 use tcni_core::mapping::{cmd_addr, gpr_alias, reg_addr, NI_WINDOW_BASE};
-use tcni_core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni_core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_isa::{AluOp, Assembler, Cond, Program, Reg};
 use tcni_sim::{Model, NiMapping};
 
@@ -159,7 +159,10 @@ pub fn requester(model: Model, server_node: NodeId) -> Program {
     let build = |reply_ip: u32| -> Program {
         let mut a = Assembler::new();
         emit_setup(&mut a, model);
-        a.li(Reg::R2, server_node.into_word_bits() | REMOTE_ADDR);
+        a.li(
+            Reg::R2,
+            server_node.into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+        );
         a.li(Reg::R3, 0x200);
         a.li(Reg::R5, reply_ip);
         match model.mapping {

@@ -153,7 +153,7 @@ fn register_mapped(a: &mut Assembler, ctx: Ctx, kind: SendKind, best: bool) {
 /// The staged register values and the message the program must emit; used by
 /// the measurement code to validate each cell's behaviour.
 pub mod expect {
-    use tcni_core::{Message, NodeId};
+    use tcni_core::{Message, NodeId, WireFormat};
 
     use super::SendKind;
     use crate::protocol::mt;
@@ -165,7 +165,7 @@ pub mod expect {
 
     /// Stage values: (r2, r3, r5, r6, r8).
     pub fn staged(kind: SendKind) -> (u32, u32, u32, u32, u32) {
-        let dest = dest().into_word_bits();
+        let dest = dest().into_word_bits(WireFormat::Compact);
         match kind {
             SendKind::Send(_) => (dest | 0x0800, 0x4242, 0xD0, 0xD1, 0),
             SendKind::Read | SendKind::PRead => (dest, 0x0800, 0x4242, 0, 0x650),

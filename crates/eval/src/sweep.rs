@@ -13,7 +13,7 @@
 //!   (§2.1.1 flow control made quantitative).
 
 use tcni_core::mapping::gpr_alias;
-use tcni_core::{FeatureLevel, FeatureSet, InterfaceReg, NiCmd, NodeId};
+use tcni_core::{FeatureLevel, FeatureSet, InterfaceReg, NiCmd, NodeId, WireFormat};
 use tcni_cpu::TimingConfig;
 use tcni_isa::{AluOp, Assembler, Cond, CostClass, MsgType, Reg};
 use tcni_net::MeshConfig;
@@ -141,7 +141,7 @@ fn producer_program() -> tcni_isa::Program {
     let mut a = Assembler::new();
     a.set_class(CostClass::Communication);
     a.ori(Reg::R2, Reg::R0, BURST);
-    a.li(Reg::R3, NodeId::new(1).into_word_bits());
+    a.li(Reg::R3, NodeId::new(1).into_word_bits(WireFormat::Compact));
     a.label("loop");
     a.mov(o0, Reg::R3);
     a.mov_ni(

@@ -290,7 +290,7 @@ mod tests {
     use crate::{IdealNetwork, Mesh2d, MeshConfig};
     use tcni_isa::MsgType;
 
-    fn msg(dst: u8, tag: u32) -> Message {
+    fn msg(dst: u16, tag: u32) -> Message {
         Message::to(
             NodeId::new(dst),
             [0, tag, 0, 0, 0],
@@ -298,7 +298,7 @@ mod tests {
         )
     }
 
-    fn drain(net: &mut dyn Network, dst: u8, budget: u64) -> Vec<Message> {
+    fn drain(net: &mut dyn Network, dst: u16, budget: u64) -> Vec<Message> {
         let mut out = Vec::new();
         for _ in 0..budget {
             net.tick();
@@ -317,13 +317,13 @@ mod tests {
             FaultConfig::quiet(0xDEAD_BEEF),
         );
         for i in 0..32u32 {
-            let m = msg((i % 3) as u8 + 1, i);
+            let m = msg((i % 3) as u16 + 1, i);
             assert_eq!(
                 plain.inject(NodeId::new(0), m).is_ok(),
                 wrapped.inject(NodeId::new(0), m).is_ok()
             );
         }
-        for dst in 1..4u8 {
+        for dst in 1..4u16 {
             assert_eq!(
                 drain(&mut plain, dst, 64),
                 drain(&mut wrapped, dst, 64),
@@ -448,9 +448,9 @@ mod tests {
                 FaultConfig::uniform(seed, 120),
             );
             for i in 0..200u32 {
-                let _ = net.inject(NodeId::new((i % 4) as u8), msg((i % 3) as u8, i));
+                let _ = net.inject(NodeId::new((i % 4) as u16), msg((i % 3) as u16, i));
                 net.tick();
-                for d in 0..4u8 {
+                for d in 0..4u16 {
                     while net.eject(NodeId::new(d)).is_some() {}
                 }
             }

@@ -141,7 +141,7 @@ mod tests {
     use super::*;
     use tcni_isa::MsgType;
 
-    fn msg(dst: u8, tag: u32) -> Message {
+    fn msg(dst: u16, tag: u32) -> Message {
         Message::to(
             NodeId::new(dst),
             [tag, tag, 0, 0, 0],

@@ -207,14 +207,14 @@ impl Mesh2d {
     /// # Panics
     ///
     /// Panics if any dimension or capacity is zero, or if the mesh exceeds
-    /// the 256-node address space of [`NodeId`].
+    /// [`NodeId`]'s wide-format address space ([`NodeId::MAX_NODES`]).
     pub fn new(config: MeshConfig) -> Mesh2d {
         assert!(
             config.width > 0 && config.height > 0,
             "mesh dimensions must be non-zero"
         );
         assert!(
-            config.width * config.height <= 256,
+            config.width * config.height <= NodeId::MAX_NODES,
             "mesh larger than the NodeId address space"
         );
         assert!(
@@ -974,7 +974,7 @@ mod tests {
     use super::*;
     use tcni_isa::MsgType;
 
-    fn msg(dst: u8, tag: u32) -> Message {
+    fn msg(dst: u16, tag: u32) -> Message {
         Message::to(
             NodeId::new(dst),
             [0, tag, 0, 0, 0],
@@ -982,7 +982,7 @@ mod tests {
         )
     }
 
-    fn drain(net: &mut Mesh2d, dst: u8, budget: usize) -> Vec<u32> {
+    fn drain(net: &mut Mesh2d, dst: u16, budget: usize) -> Vec<u32> {
         let mut got = Vec::new();
         for _ in 0..budget {
             net.tick();
@@ -1078,7 +1078,7 @@ mod tests {
     #[test]
     fn all_pairs_deliver() {
         let mut net = Mesh2d::new(MeshConfig::new(3, 3));
-        let n = net.node_count() as u8;
+        let n = net.node_count() as u16;
         let mut expected = 0u64;
         for s in 0..n {
             for d in 0..n {
@@ -1159,7 +1159,7 @@ mod tests {
     /// in the effort counters.
     #[test]
     fn hot_set_scan_matches_dense_scan() {
-        let run = |dense: bool| -> (Vec<(u8, u32)>, NetStats) {
+        let run = |dense: bool| -> (Vec<(u16, u32)>, NetStats) {
             let mut net = Mesh2d::new(MeshConfig::new(4, 3));
             net.set_dense_scan(dense);
             assert_eq!(net.dense_scan(), dense);
@@ -1171,15 +1171,15 @@ mod tests {
                     x = x
                         .wrapping_mul(6364136223846793005)
                         .wrapping_add(1442695040888963407);
-                    let src = ((x >> 33) % n) as u8;
-                    let dst = ((x >> 13) % n) as u8;
+                    let src = ((x >> 33) % n) as u16;
+                    let dst = ((x >> 13) % n) as u16;
                     let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
                 }
                 net.tick();
                 // Drain only intermittently so eject buffers back up and
                 // blocked moves happen on both scans.
                 if step % 3 == 0 {
-                    for d in 0..n as u8 {
+                    for d in 0..n as u16 {
                         while let Some(m) = net.eject(NodeId::new(d)) {
                             got.push((d, m.words[1]));
                         }
@@ -1188,7 +1188,7 @@ mod tests {
             }
             for _ in 0..200 {
                 net.tick();
-                for d in 0..n as u8 {
+                for d in 0..n as u16 {
                     while let Some(m) = net.eject(NodeId::new(d)) {
                         got.push((d, m.words[1]));
                     }
@@ -1217,7 +1217,7 @@ mod tests {
     /// moves and mid-cycle re-activations, at several domain counts.
     #[test]
     fn tick_domains_matches_serial_tick() {
-        let run = |domains: usize| -> (Vec<(u8, u32)>, NetStats, crate::ScanStats) {
+        let run = |domains: usize| -> (Vec<(u16, u32)>, NetStats, crate::ScanStats) {
             let mut net = Mesh2d::new(MeshConfig::new(4, 3));
             let n = net.node_count();
             let bounds: Vec<usize> = tcni_util::par::domain_bounds(n, domains);
@@ -1229,8 +1229,8 @@ mod tests {
                     x = x
                         .wrapping_mul(6364136223846793005)
                         .wrapping_add(1442695040888963407);
-                    let src = ((x >> 33) % n as u64) as u8;
-                    let dst = ((x >> 13) % n as u64) as u8;
+                    let src = ((x >> 33) % n as u64) as u16;
+                    let dst = ((x >> 13) % n as u64) as u16;
                     let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
                 }
                 if domains == 0 {
@@ -1239,7 +1239,7 @@ mod tests {
                     net.tick_domains(&bounds, &mut scratch);
                 }
                 if step % 3 == 0 {
-                    for d in 0..n as u8 {
+                    for d in 0..n as u16 {
                         while let Some(m) = net.eject(NodeId::new(d)) {
                             got.push((d, m.words[1]));
                         }
@@ -1252,7 +1252,7 @@ mod tests {
                 } else {
                     net.tick_domains(&bounds, &mut scratch);
                 }
-                for d in 0..n as u8 {
+                for d in 0..n as u16 {
                     while let Some(m) = net.eject(NodeId::new(d)) {
                         got.push((d, m.words[1]));
                     }
@@ -1278,7 +1278,7 @@ mod tests {
     /// the serial `Network` entry points byte for byte.
     #[test]
     fn node_ranges_match_serial_inject_and_eject() {
-        let drive = |split: bool| -> (Vec<(u8, u32)>, NetStats) {
+        let drive = |split: bool| -> (Vec<(u16, u32)>, NetStats) {
             let mut net = Mesh2d::new(MeshConfig::new(3, 2));
             let n = net.node_count();
             let bounds = [0usize, 2, 4, n];
@@ -1299,9 +1299,9 @@ mod tests {
                             let dst = if x & 1 == 0 {
                                 0
                             } else {
-                                ((x >> 23) % (n as u64 + 1)) as u8
+                                ((x >> 23) % (n as u64 + 1)) as u16
                             };
-                            let _ = range.inject(NodeId::new(node as u8), msg(dst, step));
+                            let _ = range.inject(NodeId::new(node as u16), msg(dst, step));
                         }
                     }
                     let deltas: Vec<MeshRangeDelta> =
@@ -1315,9 +1315,9 @@ mod tests {
                         let dst = if x & 1 == 0 {
                             0
                         } else {
-                            ((x >> 23) % (n as u64 + 1)) as u8
+                            ((x >> 23) % (n as u64 + 1)) as u16
                         };
-                        let _ = net.inject(NodeId::new(node as u8), msg(dst, step));
+                        let _ = net.inject(NodeId::new(node as u16), msg(dst, step));
                     }
                 }
                 net.tick();
@@ -1328,9 +1328,9 @@ mod tests {
                         let mut ranges = net.split_node_ranges(&bounds);
                         for (d, range) in ranges.iter_mut().enumerate() {
                             for node in bounds[d]..bounds[d + 1] {
-                                while range.peek_eject(NodeId::new(node as u8)).is_some() {
-                                    let m = range.eject(NodeId::new(node as u8)).unwrap();
-                                    got.push((node as u8, m.words[1]));
+                                while range.peek_eject(NodeId::new(node as u16)).is_some() {
+                                    let m = range.eject(NodeId::new(node as u16)).unwrap();
+                                    got.push((node as u16, m.words[1]));
                                 }
                             }
                         }
@@ -1339,9 +1339,9 @@ mod tests {
                         net.absorb_eject_deltas(deltas);
                     } else {
                         for node in 0..n {
-                            while net.peek_eject(NodeId::new(node as u8)).is_some() {
-                                let m = net.eject(NodeId::new(node as u8)).unwrap();
-                                got.push((node as u8, m.words[1]));
+                            while net.peek_eject(NodeId::new(node as u16)).is_some() {
+                                let m = net.eject(NodeId::new(node as u16)).unwrap();
+                                got.push((node as u16, m.words[1]));
                             }
                         }
                     }

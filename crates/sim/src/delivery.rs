@@ -25,7 +25,9 @@
 //! Protocol copies (acks, retransmits) contend for the same injection slot
 //! and fabric bandwidth as first sends — one injection per node per cycle —
 //! so the protocol's cost is visible in the load curves, not hidden.
-//! Everything here is deterministic: state lives in flat per-flow vectors.
+//! Everything here is deterministic: state lives in per-node flow rows,
+//! materialised lazily as flows first speak (an absent row reads as all
+//! defaults, so the layout is invisible to behaviour).
 //!
 //! ## Hot-set scheduling
 //!
@@ -60,7 +62,7 @@
 
 use std::collections::VecDeque;
 
-use tcni_core::{payload_crc, E2eHeader, E2eKind, Message, NodeId};
+use tcni_core::{payload_crc, E2eHeader, E2eKind, Message, NodeId, WireFormat};
 use tcni_isa::MsgType;
 use tcni_net::ScanStats;
 use tcni_util::par::run_tasks;
@@ -71,6 +73,12 @@ const PAR_FIRE_MIN: usize = 8;
 
 /// Null link of the intrusive timeout list.
 const NONE: u32 = u32::MAX;
+
+/// Ceiling on delivery-protocol machines. Keeps every global flow index
+/// `src * nodes + dst` strictly below the `u32` [`NONE`] sentinel of the
+/// intrusive timeout list (at 65536 nodes the last flow's index *is* the
+/// sentinel), with an order of magnitude to spare.
+pub(crate) const DELIVERY_MAX_NODES: usize = 32_768;
 
 /// Tuning knobs of the delivery protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +209,35 @@ struct FlowRx {
     ack_pending: bool,
 }
 
+// --- row-lazy flow tables ----------------------------------------------------
+//
+// Flow state is one lazily-allocated row per major node (tx: source-major,
+// rx: destination-major); a row materialises on its first mutable touch, so
+// memory tracks the machine's active communication pattern instead of the
+// dense `nodes²` table — which a wide-format machine could never afford
+// (4096 nodes ≈ 1.6 GiB of dense `FlowTx`). An absent row reads as all
+// defaults, so behaviour is bit-identical to the dense layout. These are
+// free functions rather than methods so call sites borrow only the table
+// field, leaving the rest of the struct (counters, outboxes) free.
+
+fn tx_flow(tx: &[Option<Box<[FlowTx]>>], nodes: usize, f: usize) -> Option<&FlowTx> {
+    tx[f / nodes].as_deref().map(|row| &row[f % nodes])
+}
+
+fn tx_flow_mut(tx: &mut [Option<Box<[FlowTx]>>], nodes: usize, f: usize) -> &mut FlowTx {
+    let row = tx[f / nodes].get_or_insert_with(|| (0..nodes).map(|_| FlowTx::default()).collect());
+    &mut row[f % nodes]
+}
+
+fn rx_flow(rx: &[Option<Box<[FlowRx]>>], nodes: usize, f: usize) -> Option<&FlowRx> {
+    rx[f / nodes].as_deref().map(|row| &row[f % nodes])
+}
+
+fn rx_flow_mut(rx: &mut [Option<Box<[FlowRx]>>], nodes: usize, f: usize) -> &mut FlowRx {
+    let row = rx[f / nodes].get_or_insert_with(|| (0..nodes).map(|_| FlowRx::default()).collect());
+    &mut row[f % nodes]
+}
+
 /// Protocol state for a whole machine. Driven by [`crate::Machine`]; exposed
 /// read-only through [`Machine::delivery_stats`](crate::Machine::delivery_stats).
 #[derive(Debug)]
@@ -208,14 +245,19 @@ pub struct Delivery {
     config: DeliveryConfig,
     stats: DeliveryStats,
     nodes: usize,
-    /// Sender state, indexed `src * nodes + dst`.
-    ///
-    /// Flow/node indices fit the `u8`-wide [`NodeId`] address space by
-    /// construction: `MachineBuilder` rejects more than 256 nodes, so the
-    /// `as u8` casts below never truncate.
-    tx: Vec<FlowTx>,
-    /// Receiver state, indexed `dst * nodes + src`.
-    rx: Vec<FlowRx>,
+    /// The machine's wire format: protocol-originated messages (acks) are
+    /// composed under it. [`E2eHeader`] carries full [`NodeId`]s, so no flow
+    /// index is ever narrowed through a `u8` on its way into a header — the
+    /// type system retired that cast family along with the 256-node builder
+    /// ceiling.
+    format: WireFormat,
+    /// Sender state: one lazily-allocated row per source node, row `src`
+    /// indexed by `dst` (global flow index `src * nodes + dst`). See the
+    /// row-lazy accessors above.
+    tx: Vec<Option<Box<[FlowTx]>>>,
+    /// Receiver state: one lazily-allocated row per destination node, row
+    /// `dst` indexed by `src` (global flow index `dst * nodes + src`).
+    rx: Vec<Option<Box<[FlowRx]>>>,
     /// Per-node protocol traffic (acks, retransmits) awaiting injection.
     /// Drains at one message per node per cycle, ahead of fresh NI sends.
     outbox: Vec<VecDeque<Message>>,
@@ -243,14 +285,19 @@ pub struct Delivery {
 }
 
 impl Delivery {
-    pub(crate) fn new(nodes: usize, config: DeliveryConfig) -> Delivery {
+    pub(crate) fn new(nodes: usize, config: DeliveryConfig, format: WireFormat) -> Delivery {
         assert!(config.window >= 1, "delivery window must be at least 1");
+        assert!(
+            nodes <= DELIVERY_MAX_NODES,
+            "delivery protocol supports at most {DELIVERY_MAX_NODES} nodes"
+        );
         Delivery {
             config,
             stats: DeliveryStats::default(),
             nodes,
-            tx: (0..nodes * nodes).map(|_| FlowTx::default()).collect(),
-            rx: (0..nodes * nodes).map(|_| FlowRx::default()).collect(),
+            format,
+            tx: (0..nodes).map(|_| None).collect(),
+            rx: (0..nodes).map(|_| None).collect(),
             outbox: vec![VecDeque::new(); nodes],
             outbox_active: Vec::new(),
             outbox_msgs: 0,
@@ -297,7 +344,8 @@ impl Delivery {
     /// Appends flow `f` at the tail (it has the newest `last_send`).
     fn link_tail(&mut self, f: u32) {
         let tail = self.to_tail;
-        let flow = &mut self.tx[f as usize];
+        let nodes = self.nodes;
+        let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
         debug_assert!(!flow.linked, "double link");
         flow.linked = true;
         flow.prev = tail;
@@ -305,14 +353,15 @@ impl Delivery {
         if tail == NONE {
             self.to_head = f;
         } else {
-            self.tx[tail as usize].next = f;
+            tx_flow_mut(&mut self.tx, nodes, tail as usize).next = f;
         }
         self.to_tail = f;
     }
 
     /// Removes flow `f` from the list.
     fn unlink(&mut self, f: u32) {
-        let flow = &mut self.tx[f as usize];
+        let nodes = self.nodes;
+        let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
         debug_assert!(flow.linked, "unlink of an unlinked flow");
         let (prev, next) = (flow.prev, flow.next);
         flow.linked = false;
@@ -321,12 +370,12 @@ impl Delivery {
         if prev == NONE {
             self.to_head = next;
         } else {
-            self.tx[prev as usize].next = next;
+            tx_flow_mut(&mut self.tx, nodes, prev as usize).next = next;
         }
         if next == NONE {
             self.to_tail = prev;
         } else {
-            self.tx[next as usize].prev = prev;
+            tx_flow_mut(&mut self.tx, nodes, next as usize).prev = prev;
         }
     }
 
@@ -376,14 +425,16 @@ impl Delivery {
             // counter (protocol peers are real nodes, so the dest indexes
             // `tx` in range).
             Some(h) if h.kind == E2eKind::Data => {
-                let flow = &mut self.tx[node * self.nodes + m.dest().index()];
+                let f = node * self.nodes + m.dest().index();
+                let flow = tx_flow_mut(&mut self.tx, self.nodes, f);
                 debug_assert!(flow.pending_copies > 0, "pop without a push");
                 flow.pending_copies -= 1;
             }
             // The flow's pending ack left: the next arrival queues a fresh
             // one instead of coalescing.
             Some(h) if h.kind == E2eKind::Ack => {
-                self.rx[node * self.nodes + m.dest().index()].ack_pending = false;
+                let f = node * self.nodes + m.dest().index();
+                rx_flow_mut(&mut self.rx, self.nodes, f).ack_pending = false;
             }
             _ => {}
         }
@@ -391,23 +442,25 @@ impl Delivery {
 
     /// Whether flow (src, dst) can take another first transmission.
     pub(crate) fn can_admit(&self, src: usize, dst: usize) -> bool {
-        self.tx[src * self.nodes + dst].unacked.len() < self.config.window
+        tx_flow(&self.tx, self.nodes, src * self.nodes + dst)
+            .is_none_or(|flow| flow.unacked.len() < self.config.window)
     }
 
     /// Stamps `msg` with the flow's next header. Pure with respect to flow
     /// state: nothing advances until [`commit`](Self::commit), so a refused
     /// injection retries with the same sequence number.
     pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
-        let psn = self.tx[src * self.nodes + dst].next_psn;
+        let psn =
+            tx_flow(&self.tx, self.nodes, src * self.nodes + dst).map_or(0, |flow| flow.next_psn);
         let crc = payload_crc(&msg.words, msg.mtype);
-        // `src < 256` is builder-enforced; the cast cannot truncate.
-        msg.e2e = Some(E2eHeader::data(src as u8, psn, crc));
+        // The header carries the full node id — no cast, no node-count caveat.
+        msg.e2e = Some(E2eHeader::data(NodeId::from_index(src), psn, crc));
     }
 
     /// Records an accepted first transmission of a stamped message.
     pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
         let f = (src * self.nodes + dst) as u32;
-        let flow = &mut self.tx[f as usize];
+        let flow = tx_flow_mut(&mut self.tx, self.nodes, f as usize);
         let hdr = msg.e2e.expect("committed message is stamped");
         debug_assert_eq!(hdr.psn, flow.next_psn);
         let was_empty = flow.unacked.is_empty();
@@ -422,7 +475,7 @@ impl Delivery {
         if was_empty {
             // First unacked message: the flow joins the timeout list with
             // the newest stamp, i.e. at the tail.
-            debug_assert!(!self.tx[f as usize].linked);
+            debug_assert!(tx_flow(&self.tx, self.nodes, f as usize).is_some_and(|fl| !fl.linked));
             self.link_tail(f);
         }
     }
@@ -443,11 +496,14 @@ impl Delivery {
         debug_assert!(due.is_empty());
         if self.dense_scan {
             examined = dense_cost;
-            for (f, flow) in self.tx.iter().enumerate() {
-                if !flow.unacked.is_empty()
-                    && cycle.saturating_sub(flow.last_send) >= self.config.timeout
-                {
-                    due.push(f as u32);
+            for (src, row) in self.tx.iter().enumerate() {
+                let Some(row) = row.as_deref() else { continue };
+                for (dst, flow) in row.iter().enumerate() {
+                    if !flow.unacked.is_empty()
+                        && cycle.saturating_sub(flow.last_send) >= self.config.timeout
+                    {
+                        due.push((src * self.nodes + dst) as u32);
+                    }
                 }
             }
         } else {
@@ -457,7 +513,8 @@ impl Delivery {
             let mut cur = self.to_head;
             while cur != NONE {
                 examined += 1;
-                let flow = &self.tx[cur as usize];
+                let flow = tx_flow(&self.tx, self.nodes, cur as usize)
+                    .expect("linked flow's row is allocated");
                 debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
                 if cycle.saturating_sub(flow.last_send) < self.config.timeout {
                     break;
@@ -497,18 +554,22 @@ impl Delivery {
         debug_assert!(due.is_empty());
         if self.dense_scan {
             examined = dense_cost;
-            for (f, flow) in self.tx.iter().enumerate() {
-                if !flow.unacked.is_empty()
-                    && cycle.saturating_sub(flow.last_send) >= self.config.timeout
-                {
-                    due.push(f as u32);
+            for (src, row) in self.tx.iter().enumerate() {
+                let Some(row) = row.as_deref() else { continue };
+                for (dst, flow) in row.iter().enumerate() {
+                    if !flow.unacked.is_empty()
+                        && cycle.saturating_sub(flow.last_send) >= self.config.timeout
+                    {
+                        due.push((src * self.nodes + dst) as u32);
+                    }
                 }
             }
         } else {
             let mut cur = self.to_head;
             while cur != NONE {
                 examined += 1;
-                let flow = &self.tx[cur as usize];
+                let flow = tx_flow(&self.tx, self.nodes, cur as usize)
+                    .expect("linked flow's row is allocated");
                 debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
                 if cycle.saturating_sub(flow.last_send) < self.config.timeout {
                     break;
@@ -565,21 +626,23 @@ impl Delivery {
         debug_assert_eq!(*bounds.last().expect("non-empty bounds"), self.nodes);
         let nodes = self.nodes;
         let config = self.config;
+        let format = self.format;
         let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
-        let mut tx: &mut [FlowTx] = self.tx.as_mut_slice();
-        let mut rx: &mut [FlowRx] = self.rx.as_mut_slice();
+        let mut tx: &mut [Option<Box<[FlowTx]>>] = self.tx.as_mut_slice();
+        let mut rx: &mut [Option<Box<[FlowRx]>>] = self.rx.as_mut_slice();
         let mut outbox: &mut [VecDeque<Message>] = self.outbox.as_mut_slice();
         for w in bounds.windows(2) {
             let span = w[1] - w[0];
-            let (tx_head, tx_tail) = tx.split_at_mut(span * nodes);
+            let (tx_head, tx_tail) = tx.split_at_mut(span);
             tx = tx_tail;
-            let (rx_head, rx_tail) = rx.split_at_mut(span * nodes);
+            let (rx_head, rx_tail) = rx.split_at_mut(span);
             rx = rx_tail;
             let (ob_head, ob_tail) = outbox.split_at_mut(span);
             outbox = ob_tail;
             out.push(DeliveryRange {
                 config,
                 nodes,
+                format,
                 lo: w[0],
                 tx: tx_head,
                 rx: rx_head,
@@ -625,40 +688,41 @@ impl Delivery {
     /// the timer if the previous round's copies are still queued, or abandon
     /// once the budget is spent.
     fn fire_timeout(&mut self, f: u32, cycle: u64) {
-        let src = f as usize / self.nodes;
+        let nodes = self.nodes;
+        let src = f as usize / nodes;
         // Copies from the previous round still await injection: the outbox
         // is congested, not the receiver unresponsive. Reset the timer
         // without burning a budget round.
-        if self.tx[f as usize].pending_copies > 0 {
-            self.tx[f as usize].last_send = cycle;
+        if tx_flow_mut(&mut self.tx, nodes, f as usize).pending_copies > 0 {
+            tx_flow_mut(&mut self.tx, nodes, f as usize).last_send = cycle;
             self.move_to_tail(f);
             return;
         }
         {
-            let flow = &mut self.tx[f as usize];
+            let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
             flow.rounds += 1;
             flow.last_send = cycle;
         }
         self.stats.timeout_rounds += 1;
-        if self.tx[f as usize].rounds > self.config.retransmit_limit {
+        if tx_flow_mut(&mut self.tx, nodes, f as usize).rounds > self.config.retransmit_limit {
             // Budget exhausted: the receiver is unreachable. Abandon the
             // window rather than wedging the machine.
-            let len = self.tx[f as usize].unacked.len() as u64;
+            let len = tx_flow_mut(&mut self.tx, nodes, f as usize).unacked.len() as u64;
             self.stats.abandoned += len;
             self.unacked_msgs -= len;
-            let flow = &mut self.tx[f as usize];
+            let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
             flow.unacked.clear();
             flow.rounds = 0;
             self.unlink(f);
             return;
         }
         // Go-back-N: requeue the whole window.
-        let count = self.tx[f as usize].unacked.len();
+        let count = tx_flow_mut(&mut self.tx, nodes, f as usize).unacked.len();
         for k in 0..count {
-            let m = self.tx[f as usize].unacked[k].1;
+            let m = tx_flow_mut(&mut self.tx, nodes, f as usize).unacked[k].1;
             self.outbox_push(src, m);
         }
-        self.tx[f as usize].pending_copies += count as u32;
+        tx_flow_mut(&mut self.tx, nodes, f as usize).pending_copies += count as u32;
         self.stats.retransmits += count as u64;
         self.move_to_tail(f);
     }
@@ -675,7 +739,8 @@ impl Delivery {
         match hdr.kind {
             E2eKind::Ack => RxAction::Consume,
             E2eKind::Data => {
-                let expected = self.rx[dst * self.nodes + hdr.src as usize].expected;
+                let expected = rx_flow(&self.rx, self.nodes, dst * self.nodes + hdr.src.index())
+                    .map_or(0, |flow| flow.expected);
                 if hdr.psn == expected {
                     RxAction::Deliver
                 } else {
@@ -689,12 +754,12 @@ impl Delivery {
     /// cumulative ack.
     pub(crate) fn on_delivered(&mut self, dst: usize, msg: &Message, cycle: u64) {
         let hdr = msg.e2e.expect("delivered message has a header");
-        let flow = &mut self.rx[dst * self.nodes + hdr.src as usize];
+        let flow = rx_flow_mut(&mut self.rx, self.nodes, dst * self.nodes + hdr.src.index());
         debug_assert_eq!(hdr.psn, flow.expected);
         flow.expected += 1;
         self.stats.delivered_unique += 1;
         let _ = cycle;
-        self.queue_ack(dst, hdr.src as usize);
+        self.queue_ack(dst, hdr.src.index());
     }
 
     /// Applies a consumed (non-delivered) arrival: ack bookkeeping for the
@@ -710,8 +775,8 @@ impl Delivery {
             E2eKind::Ack => {
                 // `dst` is the flow's sender; the header names the acker.
                 self.stats.acks_received += 1;
-                let f = (dst * self.nodes + hdr.src as usize) as u32;
-                let flow = &mut self.tx[f as usize];
+                let f = (dst * self.nodes + hdr.src.index()) as u32;
+                let flow = tx_flow_mut(&mut self.tx, self.nodes, f as usize);
                 let mut progressed = false;
                 while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
                     flow.unacked.pop_front();
@@ -721,7 +786,8 @@ impl Delivery {
                 if progressed {
                     flow.rounds = 0;
                     flow.last_send = cycle;
-                    if self.tx[f as usize].unacked.is_empty() {
+                    let fully_acked = flow.unacked.is_empty();
+                    if fully_acked {
                         // Fully acked: off the timeout list.
                         self.unlink(f);
                     } else {
@@ -731,7 +797,8 @@ impl Delivery {
                 }
             }
             E2eKind::Data => {
-                let expected = self.rx[dst * self.nodes + hdr.src as usize].expected;
+                let expected = rx_flow(&self.rx, self.nodes, dst * self.nodes + hdr.src.index())
+                    .map_or(0, |flow| flow.expected);
                 if hdr.psn < expected {
                     self.stats.dup_suppressed += 1;
                 } else {
@@ -739,7 +806,7 @@ impl Delivery {
                 }
                 // Either way, remind the sender where the flow stands (a
                 // lost ack is recovered by the duplicate's re-ack).
-                self.queue_ack(dst, hdr.src as usize);
+                self.queue_ack(dst, hdr.src.index());
             }
         }
     }
@@ -750,13 +817,15 @@ impl Delivery {
     /// number wins) instead of enqueueing another — without this, every
     /// data arrival on a congested outbox would add an ack (an ack flood).
     fn queue_ack(&mut self, receiver: usize, sender: usize) {
-        let psn = self.rx[receiver * self.nodes + sender].expected;
-        // `sender`/`receiver` < 256 is builder-enforced; no truncation.
-        let sender_id = NodeId::new(sender as u8);
-        let mut ack = Message::to(sender_id, [0; 5], MsgType::default());
+        let nodes = self.nodes;
+        let psn = rx_flow(&self.rx, nodes, receiver * nodes + sender).map_or(0, |f| f.expected);
+        // Full node ids end to end: the ack names its flow without casts,
+        // and is composed under the machine's wire format.
+        let sender_id = NodeId::from_index(sender);
+        let mut ack = Message::to_in(self.format, sender_id, [0; 5], MsgType::default());
         let crc = payload_crc(&ack.words, ack.mtype);
-        ack.e2e = Some(E2eHeader::ack(receiver as u8, psn, crc));
-        if self.rx[receiver * self.nodes + sender].ack_pending {
+        ack.e2e = Some(E2eHeader::ack(NodeId::from_index(receiver), psn, crc));
+        if rx_flow(&self.rx, nodes, receiver * nodes + sender).is_some_and(|f| f.ack_pending) {
             for m in self.outbox[receiver].iter_mut() {
                 if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
                     // Cumulative: only ever move the acked prefix forward
@@ -771,7 +840,7 @@ impl Delivery {
             }
             debug_assert!(false, "ack_pending set but no ack queued");
         }
-        self.rx[receiver * self.nodes + sender].ack_pending = true;
+        rx_flow_mut(&mut self.rx, nodes, receiver * nodes + sender).ack_pending = true;
         self.outbox_push(receiver, ack);
         self.stats.acks_sent += 1;
     }
@@ -828,17 +897,20 @@ struct FireTask<'a> {
 pub(crate) struct DeliveryRange<'a> {
     config: DeliveryConfig,
     nodes: usize,
+    /// The machine's wire format (acks are composed under it).
+    format: WireFormat,
     /// First node of the domain (row offset of the slices).
     lo: usize,
-    tx: &'a mut [FlowTx],
-    rx: &'a mut [FlowRx],
+    tx: &'a mut [Option<Box<[FlowTx]>>],
+    rx: &'a mut [Option<Box<[FlowRx]>>],
     outbox: &'a mut [VecDeque<Message>],
     delta: DeliveryDelta,
 }
 
 impl DeliveryRange<'_> {
-    /// Local row of global flow index `f` (tx: `src*nodes + dst`,
-    /// rx: `dst*nodes + src`; the major node must lie in this domain).
+    /// Local flat index of global flow index `f` (tx: `src*nodes + dst`,
+    /// rx: `dst*nodes + src`; the major node must lie in this domain). The
+    /// row-lazy accessors split it back into (local row, offset).
     fn row(&self, f: usize) -> usize {
         f - self.lo * self.nodes
     }
@@ -871,13 +943,13 @@ impl DeliveryRange<'_> {
         match m.e2e {
             Some(h) if h.kind == E2eKind::Data => {
                 let lf = self.row(node * self.nodes + m.dest().index());
-                let flow = &mut self.tx[lf];
+                let flow = tx_flow_mut(self.tx, self.nodes, lf);
                 debug_assert!(flow.pending_copies > 0, "pop without a push");
                 flow.pending_copies -= 1;
             }
             Some(h) if h.kind == E2eKind::Ack => {
                 let lr = self.row(node * self.nodes + m.dest().index());
-                self.rx[lr].ack_pending = false;
+                rx_flow_mut(self.rx, self.nodes, lr).ack_pending = false;
             }
             _ => {}
         }
@@ -885,22 +957,24 @@ impl DeliveryRange<'_> {
 
     /// [`Delivery::can_admit`] for a source node of this domain.
     pub(crate) fn can_admit(&self, src: usize, dst: usize) -> bool {
-        self.tx[self.row(src * self.nodes + dst)].unacked.len() < self.config.window
+        tx_flow(self.tx, self.nodes, self.row(src * self.nodes + dst))
+            .is_none_or(|flow| flow.unacked.len() < self.config.window)
     }
 
     /// [`Delivery::stamp`] for a source node of this domain.
     pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
-        let psn = self.tx[self.row(src * self.nodes + dst)].next_psn;
+        let psn = tx_flow(self.tx, self.nodes, self.row(src * self.nodes + dst))
+            .map_or(0, |flow| flow.next_psn);
         let crc = payload_crc(&msg.words, msg.mtype);
-        // `src < 256` is builder-enforced; the cast cannot truncate.
-        msg.e2e = Some(E2eHeader::data(src as u8, psn, crc));
+        // The header carries the full node id — no cast, no node-count caveat.
+        msg.e2e = Some(E2eHeader::data(NodeId::from_index(src), psn, crc));
     }
 
     /// [`Delivery::commit`] with the timeout-list link buffered.
     pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
         let f = (src * self.nodes + dst) as u32;
         let lf = self.row(f as usize);
-        let flow = &mut self.tx[lf];
+        let flow = tx_flow_mut(self.tx, self.nodes, lf);
         let hdr = msg.e2e.expect("committed message is stamped");
         debug_assert_eq!(hdr.psn, flow.next_psn);
         let was_empty = flow.unacked.is_empty();
@@ -915,45 +989,46 @@ impl DeliveryRange<'_> {
         if was_empty {
             // The pre-phase link flag is trustworthy: only the sender's own
             // phase commits, and it does so at most once per flow per cycle.
-            debug_assert!(!self.tx[lf].linked);
+            debug_assert!(tx_flow(self.tx, self.nodes, lf).is_some_and(|fl| !fl.linked));
             self.delta.ops.push((f, ListOp::LinkTail));
         }
     }
 
     /// [`Delivery::fire_timeout`] with outbox/list effects buffered.
     fn fire_timeout(&mut self, f: u32, cycle: u64) {
-        let src = f as usize / self.nodes;
+        let nodes = self.nodes;
+        let src = f as usize / nodes;
         let lf = self.row(f as usize);
         // Copies from the previous round still await injection: reset the
         // timer without burning a budget round (see the serial twin).
-        if self.tx[lf].pending_copies > 0 {
-            self.tx[lf].last_send = cycle;
+        if tx_flow_mut(self.tx, nodes, lf).pending_copies > 0 {
+            tx_flow_mut(self.tx, nodes, lf).last_send = cycle;
             self.delta.ops.push((f, ListOp::MoveToTail));
             return;
         }
         {
-            let flow = &mut self.tx[lf];
+            let flow = tx_flow_mut(self.tx, nodes, lf);
             flow.rounds += 1;
             flow.last_send = cycle;
         }
         self.delta.stats.timeout_rounds += 1;
-        if self.tx[lf].rounds > self.config.retransmit_limit {
-            let len = self.tx[lf].unacked.len() as u64;
+        if tx_flow_mut(self.tx, nodes, lf).rounds > self.config.retransmit_limit {
+            let len = tx_flow_mut(self.tx, nodes, lf).unacked.len() as u64;
             self.delta.stats.abandoned += len;
             self.delta.unacked_msgs -= len as i64;
-            let flow = &mut self.tx[lf];
+            let flow = tx_flow_mut(self.tx, nodes, lf);
             flow.unacked.clear();
             flow.rounds = 0;
             self.delta.ops.push((f, ListOp::Unlink));
             return;
         }
         // Go-back-N: requeue the whole window.
-        let count = self.tx[lf].unacked.len();
+        let count = tx_flow_mut(self.tx, nodes, lf).unacked.len();
         for k in 0..count {
-            let m = self.tx[lf].unacked[k].1;
+            let m = tx_flow_mut(self.tx, nodes, lf).unacked[k].1;
             self.outbox_push_local(src, m);
         }
-        self.tx[lf].pending_copies += count as u32;
+        tx_flow_mut(self.tx, nodes, lf).pending_copies += count as u32;
         self.delta.stats.retransmits += count as u64;
         self.delta.ops.push((f, ListOp::MoveToTail));
     }
@@ -967,7 +1042,8 @@ impl DeliveryRange<'_> {
         match hdr.kind {
             E2eKind::Ack => RxAction::Consume,
             E2eKind::Data => {
-                let expected = self.rx[self.row(dst * self.nodes + hdr.src as usize)].expected;
+                let lr = self.row(dst * self.nodes + hdr.src.index());
+                let expected = rx_flow(self.rx, self.nodes, lr).map_or(0, |flow| flow.expected);
                 if hdr.psn == expected {
                     RxAction::Deliver
                 } else {
@@ -980,13 +1056,13 @@ impl DeliveryRange<'_> {
     /// [`Delivery::on_delivered`] for a destination node of this domain.
     pub(crate) fn on_delivered(&mut self, dst: usize, msg: &Message, cycle: u64) {
         let hdr = msg.e2e.expect("delivered message has a header");
-        let lr = self.row(dst * self.nodes + hdr.src as usize);
-        let flow = &mut self.rx[lr];
+        let lr = self.row(dst * self.nodes + hdr.src.index());
+        let flow = rx_flow_mut(self.rx, self.nodes, lr);
         debug_assert_eq!(hdr.psn, flow.expected);
         flow.expected += 1;
         self.delta.stats.delivered_unique += 1;
         let _ = cycle;
-        self.queue_ack(dst, hdr.src as usize);
+        self.queue_ack(dst, hdr.src.index());
     }
 
     /// [`Delivery::on_consumed`] for a destination node of this domain. The
@@ -1001,9 +1077,9 @@ impl DeliveryRange<'_> {
         match hdr.kind {
             E2eKind::Ack => {
                 self.delta.stats.acks_received += 1;
-                let f = (dst * self.nodes + hdr.src as usize) as u32;
+                let f = (dst * self.nodes + hdr.src.index()) as u32;
                 let lf = self.row(f as usize);
-                let flow = &mut self.tx[lf];
+                let flow = tx_flow_mut(self.tx, self.nodes, lf);
                 let mut progressed = false;
                 while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
                     flow.unacked.pop_front();
@@ -1013,7 +1089,7 @@ impl DeliveryRange<'_> {
                 if progressed {
                     flow.rounds = 0;
                     flow.last_send = cycle;
-                    if self.tx[lf].unacked.is_empty() {
+                    if flow.unacked.is_empty() {
                         self.delta.ops.push((f, ListOp::Unlink));
                     } else {
                         self.delta.ops.push((f, ListOp::MoveToTail));
@@ -1021,13 +1097,14 @@ impl DeliveryRange<'_> {
                 }
             }
             E2eKind::Data => {
-                let expected = self.rx[self.row(dst * self.nodes + hdr.src as usize)].expected;
+                let lr = self.row(dst * self.nodes + hdr.src.index());
+                let expected = rx_flow(self.rx, self.nodes, lr).map_or(0, |flow| flow.expected);
                 if hdr.psn < expected {
                     self.delta.stats.dup_suppressed += 1;
                 } else {
                     self.delta.stats.out_of_order_dropped += 1;
                 }
-                self.queue_ack(dst, hdr.src as usize);
+                self.queue_ack(dst, hdr.src.index());
             }
         }
     }
@@ -1035,13 +1112,14 @@ impl DeliveryRange<'_> {
     /// [`Delivery::queue_ack`] with outbox effects buffered.
     fn queue_ack(&mut self, receiver: usize, sender: usize) {
         let lr = self.row(receiver * self.nodes + sender);
-        let psn = self.rx[lr].expected;
-        // `sender`/`receiver` < 256 is builder-enforced; no truncation.
-        let sender_id = NodeId::new(sender as u8);
-        let mut ack = Message::to(sender_id, [0; 5], MsgType::default());
+        let psn = rx_flow(self.rx, self.nodes, lr).map_or(0, |f| f.expected);
+        // Full node ids end to end: the ack names its flow without casts,
+        // and is composed under the machine's wire format.
+        let sender_id = NodeId::from_index(sender);
+        let mut ack = Message::to_in(self.format, sender_id, [0; 5], MsgType::default());
         let crc = payload_crc(&ack.words, ack.mtype);
-        ack.e2e = Some(E2eHeader::ack(receiver as u8, psn, crc));
-        if self.rx[lr].ack_pending {
+        ack.e2e = Some(E2eHeader::ack(NodeId::from_index(receiver), psn, crc));
+        if rx_flow(self.rx, self.nodes, lr).is_some_and(|f| f.ack_pending) {
             let ob = self.ob(receiver);
             for m in self.outbox[ob].iter_mut() {
                 if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
@@ -1054,7 +1132,7 @@ impl DeliveryRange<'_> {
             }
             debug_assert!(false, "ack_pending set but no ack queued");
         }
-        self.rx[lr].ack_pending = true;
+        rx_flow_mut(self.rx, self.nodes, lr).ack_pending = true;
         self.outbox_push_local(receiver, ack);
         self.delta.stats.acks_sent += 1;
     }
@@ -1074,7 +1152,7 @@ impl DeliveryRange<'_> {
 mod tests {
     use super::*;
 
-    fn data(dst: u8, tag: u32) -> Message {
+    fn data(dst: u16, tag: u32) -> Message {
         Message::to(
             NodeId::new(dst),
             [0, tag, 0, 0, 0],
@@ -1091,6 +1169,7 @@ mod tests {
                 timeout: 10,
                 retransmit_limit: 3,
             },
+            WireFormat::Compact,
         );
         assert!(!d.active());
         // Fill the window.
@@ -1125,15 +1204,15 @@ mod tests {
     impl Delivery {
         /// Builds the header psn 0..N stamping used by unit tests without
         /// touching tx state.
-        fn stamp_for_test(&self, src: u8, msg: &mut Message, psn: u32) {
+        fn stamp_for_test(&self, src: u16, msg: &mut Message, psn: u32) {
             let crc = payload_crc(&msg.words, msg.mtype);
-            msg.e2e = Some(E2eHeader::data(src, psn, crc));
+            msg.e2e = Some(E2eHeader::data(NodeId::new(src), psn, crc));
         }
     }
 
     #[test]
     fn duplicates_and_gaps_are_consumed_and_reacked() {
-        let mut d = Delivery::new(2, DeliveryConfig::default());
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact);
         let mut m0 = data(1, 7);
         d.stamp_for_test(0, &mut m0, 0);
         d.on_delivered(1, &m0, 1);
@@ -1160,7 +1239,7 @@ mod tests {
 
     #[test]
     fn coalesced_ack_keeps_the_highest_psn() {
-        let mut d = Delivery::new(2, DeliveryConfig::default());
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact);
         // Deliver psn 0 and 1 in order without draining the outbox: the
         // second cumulative ack (psn 2) must replace the first (psn 1).
         for psn in 0..2 {
@@ -1176,7 +1255,7 @@ mod tests {
 
     #[test]
     fn corruption_fails_the_checksum_and_is_silent() {
-        let mut d = Delivery::new(2, DeliveryConfig::default());
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact);
         let mut m = data(1, 7);
         d.stamp_for_test(0, &mut m, 0);
         m.words[2] ^= 1 << 9; // fabric corruption after stamping
@@ -1193,7 +1272,7 @@ mod tests {
             timeout: 10,
             retransmit_limit: 2,
         };
-        let mut d = Delivery::new(2, cfg);
+        let mut d = Delivery::new(2, cfg, WireFormat::Compact);
         for tag in 0..2 {
             let mut m = data(1, tag);
             d.stamp(0, 1, &mut m);
@@ -1232,7 +1311,7 @@ mod tests {
         };
         let run = |dense: bool| -> (DeliveryStats, Vec<(usize, u32, u32)>) {
             let nodes = 5usize;
-            let mut d = Delivery::new(nodes, cfg);
+            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact);
             d.set_dense_scan(dense);
             let mut drained = Vec::new();
             let mut x = 0xdead_beef_cafe_f00du64;
@@ -1244,7 +1323,7 @@ mod tests {
                 let src = ((x >> 33) % nodes as u64) as usize;
                 let dst = ((x >> 13) % nodes as u64) as usize;
                 if src != dst && d.can_admit(src, dst) && cycle % 3 == 0 {
-                    let mut m = data(dst as u8, cycle as u32);
+                    let mut m = data(dst as u16, cycle as u32);
                     d.stamp(src, dst, &mut m);
                     d.commit(src, dst, m, cycle);
                 }
@@ -1261,12 +1340,13 @@ mod tests {
                     let sender = ((x >> 49) % nodes as u64) as usize;
                     let acker = ((x >> 41) % nodes as u64) as usize;
                     if sender != acker {
-                        let flow = &d.tx[sender * nodes + acker];
-                        if let Some(&(psn, _)) = flow.unacked.front() {
+                        let front = tx_flow(&d.tx, nodes, sender * nodes + acker)
+                            .and_then(|flow| flow.unacked.front().copied());
+                        if let Some((psn, _)) = front {
                             let mut ack =
-                                Message::to(NodeId::new(sender as u8), [0; 5], MsgType::default());
+                                Message::to(NodeId::from_index(sender), [0; 5], MsgType::default());
                             let crc = payload_crc(&ack.words, ack.mtype);
-                            ack.e2e = Some(E2eHeader::ack(acker as u8, psn + 1, crc));
+                            ack.e2e = Some(E2eHeader::ack(NodeId::from_index(acker), psn + 1, crc));
                             d.on_consumed(sender, &ack, cycle);
                         }
                     }
@@ -1295,13 +1375,13 @@ mod tests {
         let nodes = 8usize;
         let bounds = [0usize, 3, 5, 8];
         let run = |par: bool| -> (DeliveryStats, ScanStats, Vec<(usize, u32, u32)>, Vec<u32>) {
-            let mut d = Delivery::new(nodes, cfg);
+            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact);
             let mut drained = Vec::new();
             // A burst across every source domain so one pump sees well over
             // PAR_FIRE_MIN due flows at once (the parallel fire path).
             for src in 0..nodes {
                 for dst in [(src + 1) % nodes, (src + 3) % nodes] {
-                    let mut m = data(dst as u8, (src * nodes + dst) as u32);
+                    let mut m = data(dst as u16, (src * nodes + dst) as u32);
                     d.stamp(src, dst, &mut m);
                     d.commit(src, dst, m, 0);
                 }
@@ -1314,7 +1394,7 @@ mod tests {
                 let src = ((x >> 33) % nodes as u64) as usize;
                 let dst = ((x >> 13) % nodes as u64) as usize;
                 if src != dst && d.can_admit(src, dst) && cycle % 3 == 0 {
-                    let mut m = data(dst as u8, cycle as u32);
+                    let mut m = data(dst as u16, cycle as u32);
                     d.stamp(src, dst, &mut m);
                     d.commit(src, dst, m, cycle);
                 }
@@ -1333,12 +1413,13 @@ mod tests {
                     let sender = ((x >> 49) % nodes as u64) as usize;
                     let acker = ((x >> 41) % nodes as u64) as usize;
                     if sender != acker {
-                        let flow = &d.tx[sender * nodes + acker];
-                        if let Some(&(psn, _)) = flow.unacked.front() {
+                        let front = tx_flow(&d.tx, nodes, sender * nodes + acker)
+                            .and_then(|flow| flow.unacked.front().copied());
+                        if let Some((psn, _)) = front {
                             let mut ack =
-                                Message::to(NodeId::new(sender as u8), [0; 5], MsgType::default());
+                                Message::to(NodeId::from_index(sender), [0; 5], MsgType::default());
                             let crc = payload_crc(&ack.words, ack.mtype);
-                            ack.e2e = Some(E2eHeader::ack(acker as u8, psn + 1, crc));
+                            ack.e2e = Some(E2eHeader::ack(NodeId::from_index(acker), psn + 1, crc));
                             d.on_consumed(sender, &ack, cycle);
                         }
                     }

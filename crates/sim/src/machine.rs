@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tcni_core::{FeatureLevel, NiConfig, NodeId};
+use tcni_core::{FeatureLevel, NiConfig, NodeId, WireFormat};
 use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::Program;
 use tcni_net::{
@@ -14,6 +14,7 @@ use tcni_util::par::{domain_bounds, run_tasks};
 
 use crate::delivery::{
     Delivery, DeliveryConfig, DeliveryDelta, DeliveryRange, DeliveryStats, RxAction,
+    DELIVERY_MAX_NODES,
 };
 use crate::driver::CycleDriver;
 use crate::model::{Model, NiMapping};
@@ -29,14 +30,24 @@ use crate::trace::{Trace, TraceEvent};
 pub enum BuildError {
     /// Zero nodes were requested.
     NoNodes,
-    /// More than 256 nodes were requested. [`NodeId`]s — and the on-wire
-    /// delivery-protocol headers derived from them — address exactly 256
-    /// nodes; a larger machine would silently wrap node indices when they
-    /// are narrowed to `u8` (flows would alias and messages would be
-    /// misdelivered), so the builder rejects it up front.
+    /// More nodes were requested than even the wide [`WireFormat`] can
+    /// address (65536). Within that ceiling the builder picks the smallest
+    /// format that fits, so the old 256-node rejection is now only a
+    /// property of an *explicitly* requested compact format
+    /// ([`BuildError::FormatTooSmall`]).
     TooManyNodes {
         /// The requested node count.
         requested: usize,
+    },
+    /// A wire format was pinned with [`MachineBuilder::wire_format`] but
+    /// cannot address the machine's node count. The silent fix — widening
+    /// behind the caller's back — would change the byte layout the caller
+    /// pinned the format to get, so the builder refuses instead.
+    FormatTooSmall {
+        /// The pinned wire format.
+        format: WireFormat,
+        /// The requested node count.
+        nodes: usize,
     },
     /// The configured mesh has fewer slots than the machine has nodes.
     MeshTooSmall {
@@ -44,6 +55,13 @@ pub enum BuildError {
         width: usize,
         /// Configured mesh height.
         height: usize,
+        /// The requested node count.
+        nodes: usize,
+    },
+    /// The end-to-end delivery protocol was enabled on a machine beyond its
+    /// per-flow state ceiling (32768 nodes — flow indices are `u32` with a
+    /// reserved sentinel).
+    DeliveryTooLarge {
         /// The requested node count.
         nodes: usize,
     },
@@ -56,7 +74,15 @@ impl fmt::Display for BuildError {
             BuildError::TooManyNodes { requested } => {
                 write!(
                     f,
-                    "NodeId address space is 256 nodes ({requested} requested)"
+                    "NodeId address space is {} nodes ({requested} requested)",
+                    NodeId::MAX_NODES
+                )
+            }
+            BuildError::FormatTooSmall { format, nodes } => {
+                write!(
+                    f,
+                    "the {format} wire format addresses {} nodes ({nodes} requested)",
+                    format.max_nodes()
                 )
             }
             BuildError::MeshTooSmall {
@@ -65,6 +91,12 @@ impl fmt::Display for BuildError {
                 nodes,
             } => {
                 write!(f, "mesh ({width}×{height}) smaller than node count {nodes}")
+            }
+            BuildError::DeliveryTooLarge { nodes } => {
+                write!(
+                    f,
+                    "delivery protocol supports at most {DELIVERY_MAX_NODES} nodes ({nodes} requested)"
+                )
             }
         }
     }
@@ -128,6 +160,9 @@ pub enum RunOutcome {
 pub struct Machine {
     nodes: Vec<Node>,
     net: NetworkKind,
+    /// The wire format every interface in this machine composes under
+    /// (resolved at build time; see [`MachineBuilder::wire_format`]).
+    wire_format: WireFormat,
     cycle: u64,
     trace: Option<Trace>,
     obs: Option<Obs>,
@@ -167,6 +202,12 @@ impl Machine {
     /// Elapsed global cycles.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The wire format this machine's interfaces compose messages under
+    /// (compact through 256 nodes unless pinned otherwise at build time).
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire_format
     }
 
     /// A node by index.
@@ -522,7 +563,7 @@ impl Machine {
         // Phase 4: network → interfaces — skipped when the fabric is empty.
         if self.net.in_flight() > 0 {
             for i in 0..self.nodes.len() {
-                let dst = NodeId::new(i as u8);
+                let dst = NodeId::from_index(i);
                 while let Some(peeked) = self.net.peek_eject(dst).copied() {
                     if E2E && peeked.e2e.is_some() {
                         // A protocol-controlled arrival: the delivery layer
@@ -618,7 +659,7 @@ impl Machine {
         i: usize,
         cycle: u64,
     ) -> bool {
-        let src = NodeId::new(i as u8);
+        let src = NodeId::from_index(i);
         if E2E {
             let del = self.delivery.as_ref().expect("E2E implies delivery");
             if let Some(msg) = del.outbox_front(i).copied() {
@@ -1353,7 +1394,7 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
     i: usize,
     cycle: u64,
 ) -> bool {
-    let src = NodeId::new(i as u8);
+    let src = NodeId::from_index(i);
     if E2E {
         let del = t.del.as_mut().expect("E2E implies delivery");
         if let Some(msg) = del.outbox_front(i).copied() {
@@ -1420,7 +1461,7 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
 /// events buffered in the task.
 fn region_b<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionBTask<'_>) {
     for i in t.lo..t.hi {
-        let dst = NodeId::new(i as u8);
+        let dst = NodeId::from_index(i);
         while let Some(peeked) = t.mesh.peek_eject(dst).copied() {
             if E2E && peeked.e2e.is_some() {
                 let del = t.del.as_mut().expect("E2E implies delivery");
@@ -1492,6 +1533,7 @@ pub struct MachineBuilder {
     model: Model,
     timing: TimingConfig,
     ni_config: NiConfig,
+    wire_format: Option<WireFormat>,
     memory_bytes: usize,
     net: NetChoice,
     fault: Option<FaultConfig>,
@@ -1507,8 +1549,9 @@ impl MachineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `node_count` is zero or exceeds the 256-node address space
-    /// (see [`MachineBuilder::try_new`] for the fallible form).
+    /// Panics if `node_count` is zero or exceeds the wide wire format's
+    /// 65536-node address space (see [`MachineBuilder::try_new`] for the
+    /// fallible form).
     pub fn new(node_count: usize) -> MachineBuilder {
         match MachineBuilder::try_new(node_count) {
             Ok(b) => b,
@@ -1522,14 +1565,15 @@ impl MachineBuilder {
     /// # Errors
     ///
     /// [`BuildError::NoNodes`] for zero nodes; [`BuildError::TooManyNodes`]
-    /// beyond the 256-entry [`NodeId`] address space (node indices travel in
-    /// `u8` fields — fabric addressing and delivery-protocol headers — so a
-    /// larger machine would silently alias nodes).
+    /// beyond the wide [`WireFormat`]'s 65536-node address space. Within
+    /// that ceiling the builder selects the smallest format that fits
+    /// (compact through 256 nodes — the paper's exact byte layout — wide
+    /// beyond), overridable with [`wire_format`](Self::wire_format).
     pub fn try_new(node_count: usize) -> Result<MachineBuilder, BuildError> {
         if node_count == 0 {
             return Err(BuildError::NoNodes);
         }
-        if node_count > 256 {
+        if node_count > NodeId::MAX_NODES {
             return Err(BuildError::TooManyNodes {
                 requested: node_count,
             });
@@ -1541,6 +1585,7 @@ impl MachineBuilder {
             model: Model::new(NiMapping::RegisterFile, FeatureLevel::Optimized),
             timing: TimingConfig::new(),
             ni_config: NiConfig::default(),
+            wire_format: None,
             memory_bytes: 64 * 1024,
             net: NetChoice::Ideal { latency: 0 },
             fault: None,
@@ -1562,6 +1607,17 @@ impl MachineBuilder {
     /// Overrides the timing configuration (e.g. the off-chip latency sweep).
     pub fn timing(mut self, timing: TimingConfig) -> MachineBuilder {
         self.timing = timing;
+        self
+    }
+
+    /// Pins the wire format instead of letting the builder pick the
+    /// smallest fit. Pinning [`WireFormat::Wide`] on a small machine is how
+    /// a wide-format deployment is modelled at reduced scale; pinning
+    /// [`WireFormat::Compact`] asserts the paper's byte layout and makes
+    /// [`try_build`](Self::try_build) fail with
+    /// [`BuildError::FormatTooSmall`] if the node count outgrows it.
+    pub fn wire_format(mut self, format: WireFormat) -> MachineBuilder {
+        self.wire_format = Some(format);
         self
     }
 
@@ -1660,8 +1716,25 @@ impl MachineBuilder {
     /// # Errors
     ///
     /// [`BuildError::MeshTooSmall`] when the configured mesh has fewer slots
-    /// than the machine has nodes.
-    pub fn try_build(self) -> Result<Machine, BuildError> {
+    /// than the machine has nodes; [`BuildError::FormatTooSmall`] when a
+    /// pinned wire format cannot address the node count;
+    /// [`BuildError::DeliveryTooLarge`] when the delivery protocol is
+    /// enabled beyond its 32768-node ceiling.
+    pub fn try_build(mut self) -> Result<Machine, BuildError> {
+        // Resolve the wire format: the pinned one (checked), or the
+        // smallest fit (total within try_new's 65536-node ceiling).
+        let wire_format = match self.wire_format {
+            Some(fmt) if self.node_count > fmt.max_nodes() => {
+                return Err(BuildError::FormatTooSmall {
+                    format: fmt,
+                    nodes: self.node_count,
+                });
+            }
+            Some(fmt) => fmt,
+            None => WireFormat::for_nodes(self.node_count).expect("try_new bounds node_count"),
+        };
+        // Every NI in the machine composes messages under this format.
+        self.ni_config.wire_format = wire_format;
         let mut net: NetworkKind = match self.net {
             NetChoice::Ideal { latency } => IdealNetwork::new(self.node_count, latency).into(),
             NetChoice::Mesh(cfg) => {
@@ -1679,7 +1752,14 @@ impl MachineBuilder {
         if let Some(fault) = self.fault {
             net = FaultyFabric::new(net, fault).into();
         }
-        let delivery = self.delivery.map(|cfg| Delivery::new(self.node_count, cfg));
+        if self.delivery.is_some() && self.node_count > DELIVERY_MAX_NODES {
+            return Err(BuildError::DeliveryTooLarge {
+                nodes: self.node_count,
+            });
+        }
+        let delivery = self
+            .delivery
+            .map(|cfg| Delivery::new(self.node_count, cfg, wire_format));
         // The default program is shared across nodes, not cloned per node.
         let default_program = Arc::new(self.default_program);
         let nodes: Vec<Node> = self
@@ -1702,6 +1782,7 @@ impl MachineBuilder {
         let mut machine = Machine {
             nodes,
             net,
+            wire_format,
             cycle: 0,
             trace: None,
             obs: None,

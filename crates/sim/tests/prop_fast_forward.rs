@@ -18,7 +18,7 @@ use tcni_check::check;
 use tcni_core::mapping::{
     cmd_addr, gpr_alias, reg_addr, scroll_in_addr, scroll_out_addr, NI_WINDOW_BASE,
 };
-use tcni_core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni_core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_isa::{Assembler, Program, Reg};
 use tcni_net::MeshConfig;
 use tcni_sim::{Machine, MachineBuilder, Model, NiMapping, RunOutcome};
@@ -116,7 +116,7 @@ fn scroll_sender(flits: u32, delay: usize) -> Program {
         for lane in 0..5u32 {
             let value = 100 * flit + lane;
             let value = if flit == 0 && lane == 0 {
-                NodeId::new(1).into_word_bits() | value
+                NodeId::new(1).into_word_bits(WireFormat::Compact) | value
             } else {
                 value
             };
@@ -208,7 +208,7 @@ fn scroll_stream_is_equivalent_on_both_fabrics() {
         for flit in 0..3u32 {
             for lane in 0..5u32 {
                 let expect = if flit == 0 && lane == 0 {
-                    NodeId::new(1).into_word_bits()
+                    NodeId::new(1).into_word_bits(WireFormat::Compact)
                 } else {
                     100 * flit + lane
                 };
@@ -299,7 +299,7 @@ fn clogged_mesh_network_only_loop_is_equivalent() {
         let o0 = gpr_alias(InterfaceReg::O0);
         let o1 = gpr_alias(InterfaceReg::O1);
         let mut a = Assembler::new();
-        a.li(Reg::R3, NodeId::new(1).into_word_bits());
+        a.li(Reg::R3, NodeId::new(1).into_word_bits(WireFormat::Compact));
         a.label("loop");
         a.mov(o0, Reg::R3);
         a.mov_ni(o1, Reg::R2, NiCmd::send(ty(2)));

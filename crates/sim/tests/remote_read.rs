@@ -9,7 +9,7 @@
 //!   its IP by the hardware (Figure 7, case 2).
 
 use tcni_core::mapping::{cmd_addr, gpr_alias, reg_addr, NI_WINDOW_BASE};
-use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_isa::{Assembler, Program, Reg};
 use tcni_sim::{MachineBuilder, Model, NiMapping, RunOutcome};
 
@@ -47,7 +47,10 @@ fn requester_register(server: NodeId) -> Program {
     a.li(Reg::R2, TABLE);
     a.mov(ipb, Reg::R2);
     // o0 = server | remote address
-    a.li(Reg::R3, server.into_word_bits() | REMOTE_ADDR);
+    a.li(
+        Reg::R3,
+        server.into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+    );
     a.mov(o0, Reg::R3);
     // o1 = reply FP (this node = 0, so plain frame address)
     a.li(Reg::R4, 0x200);
@@ -76,7 +79,10 @@ fn requester_register(server: NodeId) -> Program {
         let mut a = Assembler::new();
         a.li(Reg::R2, TABLE);
         a.mov(ipb, Reg::R2);
-        a.li(Reg::R3, server.into_word_bits() | REMOTE_ADDR);
+        a.li(
+            Reg::R3,
+            server.into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+        );
         a.mov(o0, Reg::R3);
         a.li(Reg::R4, 0x200);
         a.mov(o1, Reg::R4);
@@ -140,7 +146,10 @@ fn requester_memory(server: NodeId) -> Program {
     a.li(nib, NI_WINDOW_BASE);
     a.li(Reg::R2, TABLE);
     a.st(Reg::R2, nib, off(reg_addr(InterfaceReg::IpBase)));
-    a.li(Reg::R3, server.into_word_bits() | REMOTE_ADDR);
+    a.li(
+        Reg::R3,
+        server.into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+    );
     a.st(Reg::R3, nib, off(reg_addr(InterfaceReg::O0)));
     a.li(Reg::R4, 0x200);
     a.st(Reg::R4, nib, off(reg_addr(InterfaceReg::O1)));
@@ -171,7 +180,10 @@ fn requester_memory(server: NodeId) -> Program {
     a.li(nib, NI_WINDOW_BASE);
     a.li(Reg::R2, TABLE);
     a.st(Reg::R2, nib, off(reg_addr(InterfaceReg::IpBase)));
-    a.li(Reg::R3, server.into_word_bits() | REMOTE_ADDR);
+    a.li(
+        Reg::R3,
+        server.into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+    );
     a.st(Reg::R3, nib, off(reg_addr(InterfaceReg::O0)));
     a.li(Reg::R4, 0x200);
     a.st(Reg::R4, nib, off(reg_addr(InterfaceReg::O1)));

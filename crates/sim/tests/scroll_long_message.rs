@@ -5,7 +5,7 @@
 //! of the flow-control model.
 
 use tcni_core::mapping::{cmd_addr, reg_addr, scroll_in_addr, scroll_out_addr, NI_WINDOW_BASE};
-use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId};
+use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_isa::{Assembler, Program, Reg};
 use tcni_net::MeshConfig;
 use tcni_sim::{MachineBuilder, Model, NiMapping, RunOutcome};
@@ -37,7 +37,7 @@ fn sender(delay: usize) -> Program {
         for lane in 0..5u32 {
             let value = 100 * flit + lane;
             let value = if flit == 0 && lane == 0 {
-                NodeId::new(1).into_word_bits() | value
+                NodeId::new(1).into_word_bits(WireFormat::Compact) | value
             } else {
                 value
             };
@@ -112,7 +112,7 @@ fn fifteen_word_message_streams_across_the_mesh() {
     for flit in 0..3u32 {
         for lane in 0..5u32 {
             let expect = if flit == 0 && lane == 0 {
-                NodeId::new(1).into_word_bits()
+                NodeId::new(1).into_word_bits(WireFormat::Compact)
             } else {
                 100 * flit + lane
             };
@@ -139,7 +139,7 @@ fn scroll_in_waits_for_a_slow_producer() {
     for flit in 0..3u32 {
         for lane in 0..5u32 {
             let expect = if flit == 0 && lane == 0 {
-                NodeId::new(1).into_word_bits()
+                NodeId::new(1).into_word_bits(WireFormat::Compact)
             } else {
                 100 * flit + lane
             };
@@ -196,7 +196,10 @@ fn next_abandons_unread_flits() {
     // Sender: the 3-flit long message, then a short type-2 message.
     let mut a = Assembler::new();
     a.li(Reg::R9, NI_WINDOW_BASE);
-    a.li(Reg::R2, NodeId::new(1).into_word_bits() | 0x11);
+    a.li(
+        Reg::R2,
+        NodeId::new(1).into_word_bits(WireFormat::Compact) | 0x11,
+    );
     a.st(Reg::R2, Reg::R9, off(reg_addr(InterfaceReg::O0)));
     a.li(Reg::R3, 0xF1);
     a.st(

@@ -7,7 +7,7 @@ use tcni_sim::{MachineBuilder, Model, RunOutcome, TraceEvent};
 // here (sim cannot depend on eval); a minimal ping suffices: node 0 sends a
 // type-2 message to node 1, whose handler halts.
 use tcni_core::mapping::{cmd_addr, reg_addr, NI_WINDOW_BASE};
-use tcni_core::{InterfaceReg, MsgType, NiCmd};
+use tcni_core::{InterfaceReg, MsgType, NiCmd, WireFormat};
 use tcni_isa::{Assembler, Reg};
 
 fn off(addr: u32) -> i16 {
@@ -18,7 +18,10 @@ fn off(addr: u32) -> i16 {
 fn trace_records_sends_deliveries_and_halts_in_order() {
     let mut a = Assembler::new();
     a.li(Reg::R9, NI_WINDOW_BASE);
-    a.li(Reg::R2, NodeId::new(1).into_word_bits() | 0x7);
+    a.li(
+        Reg::R2,
+        NodeId::new(1).into_word_bits(WireFormat::Compact) | 0x7,
+    );
     a.st(
         Reg::R2,
         Reg::R9,

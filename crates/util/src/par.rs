@@ -14,10 +14,11 @@
 //!   over scoped threads; jobs are coarse, so spawning per call is fine;
 //! * [`run_tasks`] — run one short fork/join region (a machine-cycle phase)
 //!   over a *persistent* pool. The region is microseconds long and fires
-//!   hundreds of thousands of times per run, so workers are spawned once and
-//!   parked on a condvar between regions.
+//!   hundreds of thousands of times per run, so workers are spawned once
+//!   and rendezvous at cycle boundaries by spinning briefly on a lock-free
+//!   epoch hint before parking on a condvar (see [`SPIN_ITERS`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Process-wide override; 0 = resolve automatically.
@@ -132,6 +133,14 @@ struct PoolState {
     spawned: usize,
 }
 
+/// How long a thread spins watching a lock-free hint before parking on its
+/// condvar. Cycle-boundary rendezvous fire hundreds of thousands of times
+/// per run and each region is microseconds long, so at steady state the
+/// next job (or the last task's completion) almost always lands inside the
+/// spin window — the condvar round trip, with its syscall and scheduler
+/// wakeup latency, is the slow path reserved for genuinely idle periods.
+const SPIN_ITERS: u32 = 4096;
+
 struct Pool {
     state: Mutex<PoolState>,
     /// Wakes parked helpers when a job is published.
@@ -142,6 +151,15 @@ struct Pool {
     /// concurrent fork/join region falls back to serial execution instead
     /// of queueing (results are identical either way; see [`run_tasks`]).
     submit: Mutex<()>,
+    /// Lock-free copy of [`PoolState::epoch`], stored under the state mutex
+    /// right before `work` is notified. Helpers spin on it between jobs so
+    /// a back-to-back region is picked up without a park/notify round trip.
+    /// The mutex state stays authoritative — the hint only ends a spin.
+    epoch_hint: AtomicU64,
+    /// Tasks of the current job not yet completed, decremented (under the
+    /// state mutex) alongside `done`. The submitter spins on it reaching
+    /// zero before parking on `idle`.
+    remaining: AtomicUsize,
 }
 
 fn pool() -> &'static Pool {
@@ -160,6 +178,8 @@ fn pool() -> &'static Pool {
         work: Condvar::new(),
         idle: Condvar::new(),
         submit: Mutex::new(()),
+        epoch_hint: AtomicU64::new(0),
+        remaining: AtomicUsize::new(0),
     })
 }
 
@@ -186,12 +206,30 @@ fn worker_loop() {
                 g = pool.state.lock().expect("pool poisoned");
                 g.panicked |= !ok;
                 g.done += 1;
+                pool.remaining.fetch_sub(1, Ordering::Release);
                 if g.done == g.total {
                     pool.idle.notify_all();
                 }
             }
         } else {
-            g = pool.work.wait(g).expect("pool poisoned");
+            // Spin-then-park: watch the lock-free epoch hint for a freshly
+            // published job before paying for a condvar park. The re-check
+            // under the mutex makes the hint advisory only — a hint missed
+            // during the lock/unlock gap is caught by the predicate, and a
+            // spurious spin exit just loops back here.
+            drop(g);
+            let mut hinted = false;
+            for _ in 0..SPIN_ITERS {
+                if pool.epoch_hint.load(Ordering::Acquire) != seen {
+                    hinted = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            g = pool.state.lock().expect("pool poisoned");
+            if !(hinted || (g.active && g.epoch != seen)) {
+                g = pool.work.wait(g).expect("pool poisoned");
+            }
         }
     }
 }
@@ -232,6 +270,10 @@ fn pool_run(total: usize, helpers: usize, task: &(dyn Fn(usize) + Sync)) -> bool
     g.total = total;
     g.done = 0;
     g.panicked = false;
+    // Hints go out under the lock, before the notify: spinning helpers see
+    // the new epoch without touching the mutex, parked ones get the condvar.
+    pool.epoch_hint.store(g.epoch, Ordering::Release);
+    pool.remaining.store(total, Ordering::Release);
     pool.work.notify_all();
     // The submitter is a worker too.
     while g.next < g.total {
@@ -242,9 +284,23 @@ fn pool_run(total: usize, helpers: usize, task: &(dyn Fn(usize) + Sync)) -> bool
         g = pool.state.lock().expect("pool poisoned");
         g.panicked |= !ok;
         g.done += 1;
+        pool.remaining.fetch_sub(1, Ordering::Release);
     }
-    while g.done < g.total {
-        g = pool.idle.wait(g).expect("pool poisoned");
+    if g.done < g.total {
+        // The helpers are on the job's tail. Spin on the remaining-task
+        // count — it usually hits zero within the window — and only then
+        // park on `idle`. The mutex-guarded count is re-checked either way.
+        drop(g);
+        for _ in 0..SPIN_ITERS {
+            if pool.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        g = pool.state.lock().expect("pool poisoned");
+        while g.done < g.total {
+            g = pool.idle.wait(g).expect("pool poisoned");
+        }
     }
     g.active = false;
     g.task = None;

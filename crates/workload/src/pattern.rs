@@ -33,10 +33,15 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics on an empty grid or one exceeding the 256-node address space.
+    /// Panics on an empty grid or one exceeding the wide-format address
+    /// space ([`NodeId::MAX_NODES`]).
     pub fn new(width: usize, height: usize) -> Topology {
         assert!(width > 0 && height > 0, "empty topology");
-        assert!(width * height <= 256, "NodeId address space is 256 nodes");
+        assert!(
+            width * height <= NodeId::MAX_NODES,
+            "NodeId address space is {} nodes",
+            NodeId::MAX_NODES
+        );
         Topology { width, height }
     }
 
@@ -137,7 +142,7 @@ impl Pattern {
     pub fn dest(&self, src: usize, topo: &Topology, rng: &mut Rng) -> Option<NodeId> {
         let n = topo.nodes();
         assert!(src < n, "source {src} outside {n}-node topology");
-        let id = |i: usize| NodeId::new(i as u8);
+        let id = NodeId::from_index;
         match self {
             Pattern::Uniform => Some(id(uniform_other(src, n, rng)?)),
             Pattern::Neighbor => {

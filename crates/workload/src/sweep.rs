@@ -269,6 +269,7 @@ pub fn run_point(
         seed: sweep.seed,
         backlog_limit: sweep.backlog_limit,
         costs: ServiceCosts::for_model(model),
+        format: machine.wire_format(),
     });
     machine.run_driven(&mut injector, sweep.warmup);
     let base_stats: NetStats = machine.net_stats();

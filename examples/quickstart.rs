@@ -15,6 +15,7 @@ use tcni::core::mapping::{cmd_addr, gpr_alias, reg_addr, NI_WINDOW_BASE};
 use tcni::core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId};
 use tcni::isa::{AluOp, Assembler, Cond, Program, Reg};
 use tcni::sim::{MachineBuilder, Model, NiMapping, RunOutcome};
+use tcni_core::WireFormat;
 
 const READ_TYPE: u8 = 4;
 const TABLE: u32 = 0x4000;
@@ -169,7 +170,10 @@ fn requester(model: Model, server_node: NodeId) -> Program {
         let mut a = Assembler::new();
         emit_setup(&mut a, model);
         // Compose the request: [dest|addr, FP (this node 0 ⇒ plain), IP].
-        a.li(Reg::R2, server_node.into_word_bits() | REMOTE_ADDR);
+        a.li(
+            Reg::R2,
+            server_node.into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+        );
         a.li(Reg::R3, 0x200); // reply FP
         a.li(Reg::R5, reply_ip);
         match model.mapping {

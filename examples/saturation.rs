@@ -16,6 +16,7 @@ use tcni::core::{Control, InterfaceReg, MsgType, NiCmd, NodeId};
 use tcni::isa::{AluOp, Assembler, Cond, Program, Reg};
 use tcni::net::MeshConfig;
 use tcni::sim::{MachineBuilder, Model, RunOutcome};
+use tcni_core::WireFormat;
 
 const TABLE: u32 = 0x4000;
 const FLOOD: u16 = 150;
@@ -26,7 +27,7 @@ fn producer() -> Program {
     let o0 = gpr_alias(InterfaceReg::O0);
     let mut a = Assembler::new();
     a.ori(Reg::R2, Reg::R0, FLOOD);
-    a.li(Reg::R3, NodeId::new(1).into_word_bits());
+    a.li(Reg::R3, NodeId::new(1).into_word_bits(WireFormat::Compact));
     a.label("loop");
     a.mov_ni(o0, Reg::R3, NiCmd::send(MsgType::new(MSG_TYPE).unwrap()));
     a.alu(AluOp::Sub, Reg::R2, Reg::R2, 1u16);

@@ -70,6 +70,22 @@ run_16x16 1 target/BENCH_loadgen_16x16.serial.json
 run_16x16 4 target/BENCH_loadgen_16x16.par4.json
 cmp target/BENCH_loadgen_16x16.serial.json target/BENCH_loadgen_16x16.par4.json
 
+echo "== smoke: wide-format 64x64 sweep (TCNI_THREADS=4) matches the committed snapshot =="
+# 4096 nodes sits past the compact format's 256-node ceiling, so this run
+# exercises the wide wire format end to end. The tcni-load/1 export is
+# pinned byte-for-byte against a committed snapshot, and the sharded run
+# must reproduce it exactly — wide ids, serial or parallel, same bytes.
+run_64x64() {
+    TCNI_THREADS="$1" cargo run --release --offline -p tcni-bench --bin loadgen -- \
+        --width 64 --height 64 --models opt-reg --fabrics mesh \
+        --patterns uniform --rates 5 --windows none --warmup 200 \
+        --measure 800 --quiet --out "$2"
+}
+run_64x64 1 target/BENCH_loadgen_64x64.serial.json
+run_64x64 4 target/BENCH_loadgen_64x64.par4.json
+cmp tests/golden/loadgen_64x64.json target/BENCH_loadgen_64x64.serial.json
+cmp tests/golden/loadgen_64x64.json target/BENCH_loadgen_64x64.par4.json
+
 echo "== smoke: tcni-trace/1 export unchanged under TCNI_THREADS=4 =="
 # Observability pins the serial fallback by design, so the instrumented
 # 16×16 export must not move at all when the env var asks for workers.

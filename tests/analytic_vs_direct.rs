@@ -13,6 +13,7 @@ use tcni::core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId};
 use tcni::eval::table1::{ModelCosts, Table1};
 use tcni::isa::{AluOp, Assembler, Cond, Program, Reg};
 use tcni::sim::{MachineBuilder, Model, NiMapping};
+use tcni_core::WireFormat;
 
 const TABLE: u32 = 0x4000;
 const READ_TYPE: u8 = 4;
@@ -44,7 +45,10 @@ fn requester(model: Model, k: u16) -> Program {
                 a.st(Reg::R10, Reg::R9, off(reg_addr(InterfaceReg::IpBase)));
             }
         }
-        a.li(Reg::R2, NodeId::new(1).into_word_bits() | REMOTE_ADDR);
+        a.li(
+            Reg::R2,
+            NodeId::new(1).into_word_bits(WireFormat::Compact) | REMOTE_ADDR,
+        );
         a.li(Reg::R3, 0x200);
         a.li(Reg::R5, reply_ip);
         a.ori(Reg::R7, Reg::R0, k); // remaining round trips

@@ -1,22 +1,29 @@
 //! Regression tests for machine-construction validation, notably the
-//! node-id truncation bug: node indices travel in `u8` fields (fabric
-//! addressing, delivery-protocol headers), so a machine with more than 256
-//! nodes used to wrap node ids silently. The builder now rejects it — with
-//! a typed [`BuildError`] from the fallible constructors, or a panic
-//! carrying the same message from the infallible ones.
+//! node-id truncation bug family: node indices used to travel in `u8`
+//! fields (fabric addressing, delivery-protocol headers), so a machine
+//! with more than 256 nodes silently wrapped node ids. Destinations are
+//! now carried in a versioned wire format — compact (8 address bits, the
+//! paper's exact byte layout) or wide (16) — and the builder picks the
+//! smallest format that fits, so 257 nodes *build* rather than error.
+//! What remains rejected, with a typed [`BuildError`] from the fallible
+//! constructors or a panic carrying the same message from the infallible
+//! ones: node counts beyond the wide format's 65536-id address space, an
+//! explicitly pinned format that is too small for the machine, and the
+//! delivery protocol past its 32768-node flow-index ceiling.
 
+use tcni::core::WireFormat;
 use tcni::net::MeshConfig;
-use tcni::sim::{BuildError, MachineBuilder};
+use tcni::sim::{BuildError, DeliveryConfig, MachineBuilder};
 
 #[test]
-fn more_than_256_nodes_is_a_typed_error() {
-    let err = MachineBuilder::try_new(257)
+fn more_than_65536_nodes_is_a_typed_error() {
+    let err = MachineBuilder::try_new(65_537)
         .err()
         .expect("must be rejected");
-    assert_eq!(err, BuildError::TooManyNodes { requested: 257 });
+    assert_eq!(err, BuildError::TooManyNodes { requested: 65_537 });
     assert!(
         err.to_string()
-            .contains("NodeId address space is 256 nodes"),
+            .contains("NodeId address space is 65536 nodes"),
         "message names the invariant: {err}"
     );
 }
@@ -29,13 +36,76 @@ fn zero_nodes_is_a_typed_error() {
 }
 
 #[test]
-fn the_full_address_space_still_builds() {
-    // 256 nodes is the last valid size: every index round-trips through u8.
+fn the_compact_address_space_still_builds_compact() {
+    // 256 nodes is the last compact size: every index fits 8 bits, and the
+    // auto-selected format stays the paper's byte layout.
     let machine = MachineBuilder::try_new(256)
-        .expect("256 nodes fit the address space")
+        .expect("256 nodes fit the compact address space")
         .try_build()
         .expect("buildable");
     assert_eq!(machine.node_count(), 256);
+    assert_eq!(machine.wire_format(), WireFormat::Compact);
+}
+
+#[test]
+fn past_the_compact_ceiling_builds_wide() {
+    // The former ceiling: 257 nodes used to be TooManyNodes. Now the
+    // builder widens the header instead.
+    let machine = MachineBuilder::try_new(257)
+        .expect("257 nodes fit the wide address space")
+        .try_build()
+        .expect("buildable");
+    assert_eq!(machine.node_count(), 257);
+    assert_eq!(machine.wire_format(), WireFormat::Wide);
+}
+
+#[test]
+fn a_pinned_format_too_small_is_a_typed_error() {
+    // Pinning compact promises the paper's byte layout; silently widening
+    // would break that promise, so the builder refuses.
+    let err = MachineBuilder::try_new(257)
+        .expect("257 nodes fit the wide address space")
+        .wire_format(WireFormat::Compact)
+        .try_build()
+        .err()
+        .expect("compact cannot address 257 nodes");
+    assert_eq!(
+        err,
+        BuildError::FormatTooSmall {
+            format: WireFormat::Compact,
+            nodes: 257
+        }
+    );
+    assert!(
+        err.to_string()
+            .contains("compact wire format addresses 256 nodes"),
+        "{err}"
+    );
+}
+
+#[test]
+fn a_pinned_wide_format_on_a_small_machine_is_honoured() {
+    let machine = MachineBuilder::try_new(4)
+        .expect("4 nodes are fine")
+        .wire_format(WireFormat::Wide)
+        .try_build()
+        .expect("wide is never too small");
+    assert_eq!(machine.wire_format(), WireFormat::Wide);
+}
+
+#[test]
+fn delivery_past_its_flow_ceiling_is_a_typed_error() {
+    let err = MachineBuilder::try_new(32_769)
+        .expect("32769 nodes fit the wide address space")
+        .delivery(DeliveryConfig::default())
+        .try_build()
+        .err()
+        .expect("delivery flow state caps at 32768 nodes");
+    assert_eq!(err, BuildError::DeliveryTooLarge { nodes: 32_769 });
+    assert!(
+        err.to_string().contains("at most 32768 nodes"),
+        "message names the ceiling: {err}"
+    );
 }
 
 #[test]
@@ -58,7 +128,7 @@ fn undersized_mesh_is_a_typed_error() {
 }
 
 #[test]
-#[should_panic(expected = "NodeId address space is 256 nodes")]
+#[should_panic(expected = "NodeId address space is 65536 nodes")]
 fn the_panicking_constructor_reports_the_same_invariant() {
-    let _ = MachineBuilder::new(300);
+    let _ = MachineBuilder::new(70_000);
 }

@@ -24,6 +24,7 @@ use tcni::isa::Reg;
 use tcni::net::{FaultConfig, MeshConfig};
 use tcni::sim::{CycleDriver, DeliveryConfig, Machine, MachineBuilder, Model, Node, RunOutcome};
 use tcni_check::check;
+use tcni_core::WireFormat;
 
 /// One not-yet-sent payload message.
 #[derive(Debug, Clone, Copy)]
@@ -107,9 +108,12 @@ impl CycleDriver for FlowRecorder {
                 if ni.send_would_stall() {
                     continue; // interface (or delivery-window) backpressure
                 }
-                let dest = NodeId::new(p.dest as u8);
-                ni.write_reg(InterfaceReg::O0, dest.into_word_bits() | tag(i, p.seq))
-                    .expect("O0 writable");
+                let dest = NodeId::from_index(p.dest);
+                ni.write_reg(
+                    InterfaceReg::O0,
+                    dest.into_word_bits(WireFormat::Compact) | tag(i, p.seq),
+                )
+                .expect("O0 writable");
                 ni.write_reg(InterfaceReg::O1, ((i as u32) << 16) | p.seq)
                     .expect("O1 writable");
                 ni.send(SendMode::Send, self.mtype).expect("send accepted");

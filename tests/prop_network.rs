@@ -11,25 +11,25 @@ const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 struct Traffic {
-    src: u8,
-    dst: u8,
+    src: u16,
+    dst: u16,
     tag: u32,
 }
 
-fn arb_traffic(rng: &mut Rng, nodes: u8, len: usize) -> Vec<Traffic> {
+fn arb_traffic(rng: &mut Rng, nodes: u16, len: usize) -> Vec<Traffic> {
     (0..rng.below(len as u64))
         .map(|_| Traffic {
-            src: rng.below(u64::from(nodes)) as u8,
-            dst: rng.below(u64::from(nodes)) as u8,
+            src: rng.below(u64::from(nodes)) as u16,
+            dst: rng.below(u64::from(nodes)) as u16,
             tag: rng.u32(),
         })
         .collect()
 }
 
-fn push_through(net: &mut dyn Network, traffic: &[Traffic]) -> Vec<(u8, u32)> {
-    let nodes = net.node_count() as u8;
+fn push_through(net: &mut dyn Network, traffic: &[Traffic]) -> Vec<(u16, u32)> {
+    let nodes = net.node_count() as u16;
     let mut delivered = Vec::new();
-    let drain = |net: &mut dyn Network, delivered: &mut Vec<(u8, u32)>| {
+    let drain = |net: &mut dyn Network, delivered: &mut Vec<(u16, u32)>| {
         for n in 0..nodes {
             while let Some(m) = net.eject(NodeId::new(n)) {
                 delivered.push((n, m.words[1]));
