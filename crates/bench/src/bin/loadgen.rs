@@ -19,17 +19,31 @@
 //! counters and `goodput_pm` (see `EXPERIMENTS.md`).
 //! Worker threads come from `TCNI_THREADS` (default: available
 //! parallelism); the artifact is byte-identical at any thread count.
+//!
+//! `--collective` switches to the in-network collective comparison and
+//! emits `tcni-coll/1` instead: NIC-combining vs flat software emulation,
+//! both modes × `--ops` × `--rates` (here *storm* rates in rounds per
+//! mille cycles; `0` = back-to-back), `--rounds` rounds per point on the
+//! `--width`×`--height` mesh with a radix-`--radix` combining tree.
+//! `--fault PM` wraps the mesh in a fault layer (with the delivery
+//! protocol) to show both schemes surviving an unreliable fabric.
 
 use tcni_bench::load::{summarize, LoadgenConfig};
+use tcni_core::CollectiveOp;
 use tcni_sim::Model;
-use tcni_workload::{Fabric, Pattern, SweepConfig, Topology};
+use tcni_workload::{
+    run_coll_sweep, CollMode, CollReport, CollStormConfig, Fabric, Pattern, SweepConfig, Topology,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--models LIST|all] [--fabrics LIST] [--patterns LIST] \
          [--rates LIST] [--windows LIST|none] [--fault-rates LIST] [--width W] \
          [--height H] [--seed S] [--warmup N] [--measure N] [--samples N] \
-         [--out PATH] [--quiet]"
+         [--out PATH] [--quiet]\n\
+       \x20      loadgen --collective [--ops LIST|all] [--rates LIST] [--rounds N] \
+         [--radix K] [--max-cycles N] [--fault PM] [--width W] [--height H] \
+         [--seed S] [--samples N] [--out PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -62,8 +76,14 @@ fn main() {
     let mut rates: Option<Vec<u32>> = None;
     let mut windows: Option<Vec<u32>> = None;
     let mut fault_rates: Option<Vec<u32>> = None;
-    let mut out_path = String::from("BENCH_loadgen.json");
+    let mut out_path: Option<String> = None;
     let mut quiet = false;
+    let mut collective = false;
+    let mut ops: Option<Vec<CollectiveOp>> = None;
+    let mut rounds = 32u32;
+    let mut radix = 4usize;
+    let mut max_cycles = 200_000u64;
+    let mut fault_pm = 0u32;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +94,19 @@ fn main() {
             })
         };
         match arg.as_str() {
+            "--collective" => collective = true,
+            "--ops" => {
+                let v = take("--ops");
+                ops = Some(if v == "all" {
+                    CollectiveOp::ALL.to_vec()
+                } else {
+                    parse_list(&v, "op", CollectiveOp::parse)
+                });
+            }
+            "--rounds" => rounds = take("--rounds").parse().unwrap_or_else(|_| usage()),
+            "--radix" => radix = take("--radix").parse().unwrap_or_else(|_| usage()),
+            "--max-cycles" => max_cycles = take("--max-cycles").parse().unwrap_or_else(|_| usage()),
+            "--fault" => fault_pm = take("--fault").parse().unwrap_or_else(|_| usage()),
             "--models" => {
                 let v = take("--models");
                 models = Some(if v == "all" {
@@ -106,7 +139,7 @@ fn main() {
             "--warmup" => warmup = take("--warmup").parse().unwrap_or_else(|_| usage()),
             "--measure" => measure = take("--measure").parse().unwrap_or_else(|_| usage()),
             "--samples" => samples = take("--samples").parse().unwrap_or_else(|_| usage()),
-            "--out" => out_path = take("--out"),
+            "--out" => out_path = Some(take("--out")),
             "--quiet" => quiet = true,
             _ => usage(),
         }
@@ -118,6 +151,69 @@ fn main() {
     if measure == 0 {
         eprintln!("loadgen: --measure must be positive");
         std::process::exit(2);
+    }
+
+    if collective {
+        let mut cfg = CollStormConfig::new(Topology::new(width, height));
+        cfg.seed = seed;
+        cfg.rounds = rounds;
+        cfg.radix = radix;
+        cfg.max_cycles = max_cycles;
+        cfg.samples = samples;
+        cfg.fault_pm = fault_pm;
+        cfg.delivery = fault_pm > 0;
+        let ops = ops.unwrap_or_else(|| vec![CollectiveOp::Barrier, CollectiveOp::Sum]);
+        let rates = rates.unwrap_or_else(|| vec![0]);
+        if radix < 2 || rounds == 0 || rates.iter().any(|&r| r > 1000) {
+            eprintln!("loadgen: --radix >= 2, --rounds >= 1, --rates per-mille (0..=1000)");
+            std::process::exit(2);
+        }
+        let points = run_coll_sweep(&ops, &rates, &cfg);
+        if !quiet {
+            println!(
+                "collective sweep: {width}×{height} mesh, radix-{radix} tree, {rounds} rounds per point"
+            );
+            for p in &points {
+                println!(
+                    "  {:<4} {:<7} rate {:>4}: {} rounds in {} cycles, lat mean {} min {} max {}, wire {} msgs",
+                    p.mode.key(),
+                    p.op.key(),
+                    p.rate_pm,
+                    p.rounds_done,
+                    p.cycles,
+                    p.lat_mean_x100.map_or_else(|| "-".into(), |v| format!("{}.{:02}", v / 100, v % 100)),
+                    p.lat_min.map_or_else(|| "-".into(), |v| v.to_string()),
+                    p.lat_max.map_or_else(|| "-".into(), |v| v.to_string()),
+                    p.fabric_delivered,
+                );
+            }
+            for &op in &ops {
+                let lat = |mode: CollMode| {
+                    points
+                        .iter()
+                        .find(|p| p.mode == mode && p.op == op && p.rate_pm == rates[0])
+                        .and_then(|p| p.lat_mean_x100)
+                };
+                if let (Some(nic), Some(soft)) = (lat(CollMode::Nic), lat(CollMode::Soft)) {
+                    println!(
+                        "  {}: NIC combining {}.{:02}x faster than software at rate {}",
+                        op.key(),
+                        soft / nic.max(1),
+                        (soft * 100 / nic.max(1)) % 100,
+                        rates[0],
+                    );
+                }
+            }
+        }
+        let report = CollReport {
+            config: cfg,
+            rates_pm: rates,
+            points,
+        };
+        let out_path = out_path.unwrap_or_else(|| "BENCH_collective.json".into());
+        std::fs::write(&out_path, report.to_json()).expect("write collective artifact");
+        println!("wrote {out_path} (schema tcni-coll/1)");
+        return;
     }
 
     let mut sweep = SweepConfig::new(Topology::new(width, height));
@@ -163,6 +259,7 @@ fn main() {
         );
         print!("{}", summarize(&report));
     }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_loadgen.json".into());
     std::fs::write(&out_path, report.to_json()).expect("write load artifact");
     println!("wrote {out_path} (schema tcni-load/1)");
 }

@@ -13,14 +13,17 @@
 use std::time::Instant;
 
 use tcni_bench::perf::{bench, PipelineTiming, Report};
-use tcni_core::{Message, NodeId, WireFormat};
+use tcni_core::{CollectiveOp, Message, NodeId, WireFormat};
 use tcni_eval::sweep;
 use tcni_eval::table1::Table1;
 use tcni_isa::{Assembler, MsgType, Program, Reg};
 use tcni_net::{Mesh2d, MeshConfig, Network};
 use tcni_sim::{DeliveryConfig, Machine, MachineBuilder, Model};
 use tcni_tam::programs;
-use tcni_workload::{Injector, InjectorConfig, LoopMode, Pattern, Topology};
+use tcni_workload::{
+    run_coll_point, CollMode, CollStormConfig, Injector, InjectorConfig, LoopMode, Pattern,
+    Topology,
+};
 
 /// An infinite busy loop: the cheapest always-running processor.
 fn spin_program() -> Program {
@@ -311,6 +314,43 @@ fn main() {
             ("dense_cost".into(), dense_cost),
         ];
         report.results.push(meas);
+    }
+
+    // The collective subsystem: one NIC-combining point and one
+    // software-emulation point, barrier and reduce, on the 16×16 mesh. The
+    // measurement times the whole point (build + storm); the counters carry
+    // the simulated verdict — `sim_cycles` and `lat_mean_x100` are what the
+    // tentpole claims NIC combining wins, and pinning them here alongside
+    // wall clock means a perf trajectory exists for both the simulator and
+    // the simulated NIC.
+    {
+        let mut cfg = CollStormConfig::new(Topology::new(16, 16));
+        cfg.rounds = if quick { 8 } else { 32 };
+        for (mode, op) in [
+            (CollMode::Nic, CollectiveOp::Barrier),
+            (CollMode::Nic, CollectiveOp::Sum),
+            (CollMode::Soft, CollectiveOp::Barrier),
+            (CollMode::Soft, CollectiveOp::Sum),
+        ] {
+            let name = format!("collective/16x16_{}_{}", mode.key(), op.key());
+            let mut meas = bench(
+                &name,
+                "rounds/sec",
+                f64::from(cfg.rounds),
+                warmup,
+                reps,
+                || run_coll_point(mode, op, 0, &cfg),
+            );
+            let p = run_coll_point(mode, op, 0, &cfg);
+            meas.counters = vec![
+                ("rounds_done".into(), u64::from(p.rounds_done)),
+                ("sim_cycles".into(), p.cycles),
+                ("lat_mean_x100".into(), p.lat_mean_x100.unwrap_or(0)),
+                ("fabric_delivered".into(), p.fabric_delivered),
+                ("combined".into(), p.combined),
+            ];
+            report.results.push(meas);
+        }
     }
 
     for m in &report.results {

@@ -1,0 +1,248 @@
+//! Collective-message payloads: barrier, broadcast, and reduce.
+//!
+//! The paper's encoded-type dispatch (§2.2.1, §3) reserves a 4-bit message
+//! type that the NI decodes without processor involvement. This module
+//! defines the payload layout for [`MsgType::COLLECTIVE`] (type 14)
+//! messages, carried unchanged in both wire formats:
+//!
+//! ```text
+//! w0   destination (per wire format) | phase tag in the low payload bits
+//! w1   collective op (0 = barrier, 1 = bcast, 2 = sum, 3 = min)
+//! w2   round number
+//! w3   operand / combined value
+//! w4   sender node index (accounting only; not combined)
+//! ```
+//!
+//! The combining-tree engine that interprets these messages lives in
+//! `tcni-sim::collective`; tree construction lives in `tcni-net::tree`.
+//! Everything here is pure encode/decode so the three crates agree on the
+//! bytes.
+
+use crate::{Message, NodeId, WireFormat, MSG_WORDS};
+use tcni_isa::MsgType;
+
+/// Phase tag carried in the low bits of `w0` (the destination word's
+/// payload field): `1` on the way up the combining tree, `2` on the way
+/// down. Mirrors the workload injector's KIND-tag idiom.
+const PHASE_UP: u32 = 1;
+const PHASE_DOWN: u32 = 2;
+const PHASE_MASK: u32 = 0xF;
+
+/// A collective operation (ROADMAP item 4: barrier + broadcast + sum/min
+/// reduce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CollectiveOp {
+    /// All members rendezvous; the result value is always 0.
+    #[default]
+    Barrier,
+    /// The root's value is delivered to every member; contributions from
+    /// non-root members are ignored.
+    Bcast,
+    /// Wrapping `u32` sum over every member's contribution.
+    Sum,
+    /// `u32` minimum over every member's contribution.
+    Min,
+}
+
+impl CollectiveOp {
+    /// All four operations, in wire-encoding order.
+    pub const ALL: [CollectiveOp; 4] = [
+        CollectiveOp::Barrier,
+        CollectiveOp::Bcast,
+        CollectiveOp::Sum,
+        CollectiveOp::Min,
+    ];
+
+    /// The `w1` wire encoding.
+    pub fn encode(self) -> u32 {
+        match self {
+            CollectiveOp::Barrier => 0,
+            CollectiveOp::Bcast => 1,
+            CollectiveOp::Sum => 2,
+            CollectiveOp::Min => 3,
+        }
+    }
+
+    /// Decodes a `w1` value, or `None` if out of range.
+    pub fn decode(bits: u32) -> Option<CollectiveOp> {
+        CollectiveOp::ALL.get(bits as usize).copied()
+    }
+
+    /// Stable lower-case key for CLI flags and JSON artifacts.
+    pub fn key(self) -> &'static str {
+        match self {
+            CollectiveOp::Barrier => "barrier",
+            CollectiveOp::Bcast => "bcast",
+            CollectiveOp::Sum => "sum",
+            CollectiveOp::Min => "min",
+        }
+    }
+
+    /// Parses a [`CollectiveOp::key`] string.
+    pub fn parse(s: &str) -> Option<CollectiveOp> {
+        CollectiveOp::ALL.into_iter().find(|op| op.key() == s)
+    }
+
+    /// The identity element of the combine: combining it with any value
+    /// yields that value back.
+    pub fn identity(self) -> u32 {
+        match self {
+            CollectiveOp::Barrier | CollectiveOp::Bcast | CollectiveOp::Sum => 0,
+            CollectiveOp::Min => u32::MAX,
+        }
+    }
+
+    /// Combines an accumulated value with one contribution. Commutative
+    /// and associative for every op, so combining order (which the fabric
+    /// does not guarantee) cannot change the result. Barrier and bcast
+    /// carry no data on the way up, so their combine ignores the operand.
+    pub fn combine(self, acc: u32, value: u32) -> u32 {
+        match self {
+            CollectiveOp::Barrier | CollectiveOp::Bcast => acc,
+            CollectiveOp::Sum => acc.wrapping_add(value),
+            CollectiveOp::Min => acc.min(value),
+        }
+    }
+}
+
+/// Direction of a collective message through the combining tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollPhase {
+    /// A (partially combined) contribution travelling child → parent.
+    Up,
+    /// A completed result fanning parent → child.
+    Down,
+}
+
+/// A decoded collective message: the five architected words of a
+/// [`MsgType::COLLECTIVE`] message, minus the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollMsg {
+    /// Up (combine) or down (fan-out).
+    pub phase: CollPhase,
+    /// Which collective this round is running.
+    pub op: CollectiveOp,
+    /// The round number, for cross-checking tree discipline.
+    pub round: u32,
+    /// Partial combine (up) or final result (down).
+    pub value: u32,
+    /// The sending node, carried for accounting.
+    pub sender: NodeId,
+}
+
+impl CollMsg {
+    /// Packs this collective message into an on-wire [`Message`] addressed
+    /// to `dest` under the machine's wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` does not fit `fmt`'s address field.
+    pub fn into_message(self, fmt: WireFormat, dest: NodeId) -> Message {
+        let tag = match self.phase {
+            CollPhase::Up => PHASE_UP,
+            CollPhase::Down => PHASE_DOWN,
+        };
+        let words: [u32; MSG_WORDS] = [
+            tag,
+            self.op.encode(),
+            self.round,
+            self.value,
+            self.sender.index() as u32,
+        ];
+        Message::to_in(fmt, dest, words, MsgType::COLLECTIVE)
+    }
+
+    /// Decodes a collective message, or `None` if `msg` is not a
+    /// well-formed [`MsgType::COLLECTIVE`] message (wrong type, unknown
+    /// phase tag, unknown op, or a sender index outside the address
+    /// space).
+    pub fn parse(msg: &Message) -> Option<CollMsg> {
+        if msg.mtype != MsgType::COLLECTIVE {
+            return None;
+        }
+        let phase = match msg.words[0] & PHASE_MASK {
+            PHASE_UP => CollPhase::Up,
+            PHASE_DOWN => CollPhase::Down,
+            _ => return None,
+        };
+        let op = CollectiveOp::decode(msg.words[1])?;
+        let sender = NodeId::try_from_index(usize::try_from(msg.words[4]).ok()?)?;
+        Some(CollMsg {
+            phase,
+            op,
+            round: msg.words[2],
+            value: msg.words[3],
+            sender,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_encoding_round_trips() {
+        for op in CollectiveOp::ALL {
+            assert_eq!(CollectiveOp::decode(op.encode()), Some(op));
+            assert_eq!(CollectiveOp::parse(op.key()), Some(op));
+        }
+        assert_eq!(CollectiveOp::decode(4), None);
+        assert_eq!(CollectiveOp::parse("mean"), None);
+    }
+
+    #[test]
+    fn combine_identities_and_laws() {
+        for op in CollectiveOp::ALL {
+            for v in [0u32, 1, 7, u32::MAX] {
+                // Identity really is an identity for the data-carrying ops.
+                if matches!(op, CollectiveOp::Sum | CollectiveOp::Min) {
+                    assert_eq!(op.combine(op.identity(), v), v);
+                }
+                // Commutative.
+                assert_eq!(op.combine(3, v), {
+                    let swapped = op.combine(v, 3);
+                    match op {
+                        // Barrier/bcast combine ignores the operand, so
+                        // swapping arguments legitimately differs.
+                        CollectiveOp::Barrier | CollectiveOp::Bcast => op.combine(3, v),
+                        _ => swapped,
+                    }
+                });
+            }
+        }
+        assert_eq!(CollectiveOp::Sum.combine(u32::MAX, 2), 1); // wrapping
+        assert_eq!(CollectiveOp::Min.combine(5, 9), 5);
+    }
+
+    #[test]
+    fn message_round_trips_both_formats() {
+        for fmt in [WireFormat::Compact, WireFormat::Wide] {
+            for phase in [CollPhase::Up, CollPhase::Down] {
+                let m = CollMsg {
+                    phase,
+                    op: CollectiveOp::Min,
+                    round: 41,
+                    value: 0xDEAD_BEEF,
+                    sender: NodeId::new(7),
+                };
+                let wire = m.into_message(fmt, NodeId::new(3));
+                assert_eq!(wire.mtype, MsgType::COLLECTIVE);
+                assert_eq!(wire.dest(), NodeId::new(3));
+                assert_eq!(CollMsg::parse(&wire), Some(m));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_foreign_messages() {
+        let plain = Message::new([1, 2, 3, 4, 5], MsgType::new(2).unwrap());
+        assert_eq!(CollMsg::parse(&plain), None);
+        // Right type, garbage phase tag.
+        let bad = Message::to(NodeId::new(0), [0xF, 0, 0, 0, 0], MsgType::COLLECTIVE);
+        assert_eq!(CollMsg::parse(&bad), None);
+        // Right type, unknown op.
+        let bad_op = Message::to(NodeId::new(0), [1, 9, 0, 0, 0], MsgType::COLLECTIVE);
+        assert_eq!(CollMsg::parse(&bad_op), None);
+    }
+}

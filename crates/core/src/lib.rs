@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collective;
 mod control;
 pub mod dispatch;
 pub mod endtoend;
@@ -77,6 +78,7 @@ mod queue;
 mod regs;
 mod status;
 
+pub use collective::{CollMsg, CollPhase, CollectiveOp};
 pub use control::{Control, OverflowPolicy};
 pub use endtoend::{payload_crc, E2eHeader, E2eKind};
 pub use error::NiError;

@@ -38,6 +38,12 @@ impl MsgType {
     /// (§2.2.4). Messages of this type must never be sent.
     pub const EXCEPTION: MsgType = MsgType(1);
 
+    /// Type 14: a collective-protocol message (barrier / broadcast /
+    /// reduce). The encoded-type dispatch of §3 is exactly the hook that
+    /// lets the NI recognize and combine these without processor help;
+    /// the payload layout lives in `tcni-core::collective`.
+    pub const COLLECTIVE: MsgType = MsgType(14);
+
     /// Creates a message type from its 4-bit encoding, or `None` if
     /// `bits > 15`.
     pub fn new(bits: u8) -> Option<MsgType> {

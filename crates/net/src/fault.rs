@@ -16,17 +16,22 @@
 //!   number of cycles (injections are refused like congestion; deliverable
 //!   messages stay hidden in the fabric).
 //!
-//! Every decision comes from two private SplitMix64 streams (per-message and
-//! per-port), so a schedule is a pure function of the seed and the call
-//! sequence: two same-seed runs fault identically. All rates are per-mille;
-//! a zero-rate wrapper is an observably exact pass-through (tested below),
+//! Every decision comes from private per-node SplitMix64 streams — one
+//! per-message stream per inject port, one per-port stream per node for the
+//! stall schedule — so a schedule is a pure function of the seed and each
+//! node's own call sequence: two same-seed runs fault identically, and the
+//! draws of one node never depend on how much traffic *other* nodes
+//! offered. That independence is what lets the machine simulator shard a
+//! fault-wrapped mesh across worker threads ([`FaultRange`]) and still
+//! reproduce the serial schedule bit for bit. All rates are per-mille; a
+//! zero-rate wrapper is an observably exact pass-through (tested below),
 //! which is what lets the fault-free paper models stay bit-identical.
 
 use tcni_check::Rng;
 use tcni_core::{Message, NodeId, MSG_WORDS};
 
 use crate::stats::NetStats;
-use crate::{InjectError, Network, NetworkKind};
+use crate::{InjectError, MeshRange, MeshRangeDelta, MeshTickScratch, Network, NetworkKind};
 
 /// Per-mille fault rates plus the schedule seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,17 +91,26 @@ fn hit(rng: &mut Rng, rate_pm: u32) -> bool {
     rate_pm > 0 && rng.below(1000) < u64::from(rate_pm)
 }
 
+/// Salt separating the stall-schedule streams from the per-message streams.
+const PORT_SALT: u64 = 0x5DEE_CE66_D1CE_1ABD;
+
+/// Derives node `i`'s private stream seed (the same per-node splitting the
+/// workload injectors use).
+fn stream_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// A fault-injecting wrapper around a base fabric. See the module docs for
 /// the fault model; construct with [`FaultyFabric::new`] and drive through
 /// the ordinary [`Network`] trait (usually as a [`NetworkKind::Faulty`]).
 pub struct FaultyFabric {
     inner: Box<NetworkKind>,
     config: FaultConfig,
-    /// Draws deciding the fate of each offered message.
-    msg_rng: Rng,
-    /// Draws scheduling port stalls (separate stream: the stall schedule
-    /// does not depend on how much traffic was offered).
-    port_rng: Rng,
+    /// Per-inject-port streams deciding the fate of each offered message.
+    msg_rng: Vec<Rng>,
+    /// Per-node streams scheduling port stalls (separate streams: the stall
+    /// schedule does not depend on how much traffic was offered).
+    port_rng: Vec<Rng>,
     /// Fabric time, counted in [`tick`](Network::tick)s.
     now: u64,
     /// Per-node cycle (exclusive) until which the inject port is stalled.
@@ -125,8 +139,12 @@ impl FaultyFabric {
         FaultyFabric {
             inner: Box::new(inner),
             config,
-            msg_rng: Rng::new(config.seed),
-            port_rng: Rng::new(config.seed ^ 0x5DEE_CE66_D1CE_1ABD),
+            msg_rng: (0..nodes)
+                .map(|i| Rng::new(stream_seed(config.seed, i)))
+                .collect(),
+            port_rng: (0..nodes)
+                .map(|i| Rng::new(stream_seed(config.seed ^ PORT_SALT, i)))
+                .collect(),
             now: 0,
             inject_stall: vec![0; nodes],
             eject_stall: vec![0; nodes],
@@ -155,6 +173,273 @@ impl FaultyFabric {
     pub fn counters(&self) -> crate::FaultCounters {
         self.counters
     }
+
+    /// Rolls the per-node stall schedule forward one cycle. Two draws per
+    /// node per cycle (inject port, eject port), unconditionally: the draw
+    /// count never depends on outcomes, so the schedule is a pure function
+    /// of the seed and the cycle number.
+    fn roll_stalls(&mut self) {
+        if self.config.stall_pm == 0 {
+            return;
+        }
+        for i in 0..self.inject_stall.len() {
+            let rng = &mut self.port_rng[i];
+            if hit(rng, self.config.stall_pm) {
+                if self.now >= self.inject_stall[i] {
+                    self.counters.stalls += 1;
+                }
+                self.inject_stall[i] = self.now + self.config.stall_len;
+            }
+            if hit(rng, self.config.stall_pm) {
+                if self.now >= self.eject_stall[i] {
+                    self.counters.stalls += 1;
+                }
+                self.eject_stall[i] = self.now + self.config.stall_len;
+            }
+        }
+    }
+
+    /// Splits a mesh-based fault-wrapped fabric into per-domain
+    /// injection/ejection views for the machine simulator's parallel cycle
+    /// (the fault-layer analogue of [`Mesh2d::split_node_ranges`]). Each
+    /// range gets exclusive access to its nodes' mesh channels *and* their
+    /// private per-message fault streams; the stall tables are shared
+    /// read-only (the stall schedule only advances at the tick barrier).
+    /// Because every fault draw comes from the drawing node's own stream,
+    /// per-domain draw interleavings reproduce the serial ascending-node
+    /// schedule bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped base fabric is not a mesh.
+    pub fn split_fault_ranges(&mut self, bounds: &[usize]) -> Vec<FaultRange<'_>> {
+        let FaultyFabric {
+            inner,
+            config,
+            msg_rng,
+            now,
+            inject_stall,
+            eject_stall,
+            ..
+        } = self;
+        let mesh = inner
+            .as_mesh_mut()
+            .expect("fault ranges shard a mesh base fabric");
+        let mesh_ranges = mesh.split_node_ranges(bounds);
+        let inject_stall: &[u64] = inject_stall;
+        let eject_stall: &[u64] = eject_stall;
+        let mut rngs: &mut [Rng] = msg_rng.as_mut_slice();
+        let mut out = Vec::with_capacity(mesh_ranges.len());
+        for (w, mesh) in bounds.windows(2).zip(mesh_ranges) {
+            let (head, tail) = rngs.split_at_mut(w[1] - w[0]);
+            rngs = tail;
+            out.push(FaultRange {
+                mesh,
+                config: *config,
+                now: *now,
+                lo: w[0],
+                msg_rng: head,
+                inject_stall,
+                eject_stall,
+                delta: FaultRangeDelta::default(),
+            });
+        }
+        out
+    }
+
+    /// Folds injection-phase range deltas back in, in domain order — the
+    /// fault-layer analogue of [`Mesh2d::absorb_inject_deltas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped base fabric is not a mesh.
+    pub fn absorb_inject_deltas(&mut self, deltas: impl IntoIterator<Item = FaultRangeDelta>) {
+        let FaultyFabric {
+            inner,
+            counters,
+            stall_refusals,
+            ..
+        } = self;
+        let mesh = inner
+            .as_mesh_mut()
+            .expect("fault ranges shard a mesh base fabric");
+        mesh.absorb_inject_deltas(deltas.into_iter().map(|d| {
+            counters.dropped += d.counters.dropped;
+            counters.duplicated += d.counters.duplicated;
+            counters.corrupted += d.counters.corrupted;
+            counters.stalls += d.counters.stalls;
+            *stall_refusals += d.stall_refusals;
+            d.mesh
+        }));
+    }
+
+    /// Folds ejection-phase range deltas back in, in domain order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped base fabric is not a mesh.
+    pub fn absorb_eject_deltas(&mut self, deltas: impl IntoIterator<Item = FaultRangeDelta>) {
+        let mesh = self
+            .inner
+            .as_mesh_mut()
+            .expect("fault ranges shard a mesh base fabric");
+        mesh.absorb_eject_deltas(deltas.into_iter().map(|d| {
+            debug_assert!(!d.counters.any(), "eject-phase delta carries faults");
+            debug_assert_eq!(d.stall_refusals, 0, "eject-phase delta carries refusals");
+            d.mesh
+        }));
+    }
+
+    /// Advances the wrapped mesh by one cycle with the domain-sharded tick,
+    /// then rolls the stall schedule exactly as [`Network::tick`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped base fabric is not a mesh.
+    pub fn tick_domains(&mut self, bounds: &[usize], scratch: &mut MeshTickScratch) {
+        self.inner
+            .as_mesh_mut()
+            .expect("fault ranges shard a mesh base fabric")
+            .tick_domains(bounds, scratch);
+        self.now += 1;
+        self.roll_stalls();
+    }
+}
+
+/// Applies one offered message's fault draws (drop → corrupt → duplicate,
+/// fixed order) from the source node's private stream, then hands the
+/// possibly-corrupted wire copy to `sink` — the one code path shared by the
+/// serial [`Network::inject`] and the sharded [`FaultRange::inject`], so
+/// the two cannot diverge.
+fn faulted_inject(
+    rng: &mut Rng,
+    config: &FaultConfig,
+    counters: &mut crate::FaultCounters,
+    src: NodeId,
+    msg: Message,
+    mut sink: impl FnMut(NodeId, Message) -> Result<(), InjectError>,
+) -> Result<(), InjectError> {
+    let drop = hit(rng, config.drop_pm);
+    let corrupt = hit(rng, config.corrupt_pm);
+    let duplicate = hit(rng, config.duplicate_pm);
+    if drop {
+        // Accepted, then lost at the entry link. The sender's view is a
+        // successful send; only `faults.dropped` knows better.
+        counters.dropped += 1;
+        return Ok(());
+    }
+    let mut wire = msg;
+    if corrupt {
+        let word = 1 + rng.index(MSG_WORDS - 1);
+        let bit = rng.below(32) as u32;
+        wire.words[word] ^= 1 << bit;
+    }
+    match sink(src, wire) {
+        Ok(()) => {
+            if corrupt {
+                counters.corrupted += 1;
+            }
+            if duplicate {
+                // A second copy rides right behind; losing it to a full
+                // entry buffer is not a fault worth counting.
+                if sink(src, wire).is_ok() {
+                    counters.duplicated += 1;
+                }
+            }
+            Ok(())
+        }
+        // Hand back the caller's original, not the corrupted copy.
+        Err(InjectError::Refused(_)) => Err(InjectError::Refused(msg)),
+        Err(InjectError::BadDest(_)) => Err(InjectError::BadDest(msg)),
+        Err(InjectError::NotParticipant(_)) => {
+            unreachable!("base fabrics do not emit NotParticipant")
+        }
+    }
+}
+
+/// Per-range fault effects buffered by [`FaultRange`] operations; opaque to
+/// callers, who hand them back to the fabric's absorb methods.
+#[derive(Default)]
+pub struct FaultRangeDelta {
+    mesh: MeshRangeDelta,
+    counters: crate::FaultCounters,
+    stall_refusals: u64,
+}
+
+/// Exclusive injection/ejection access to one spatial domain of a
+/// fault-wrapped mesh, produced by [`FaultyFabric::split_fault_ranges`].
+/// Mirrors the serial fault-layer [`Network`] entry points byte for byte:
+/// same stall gates, same per-node draw streams, same drop/corrupt/
+/// duplicate order — with shared-counter updates buffered into a
+/// [`FaultRangeDelta`].
+pub struct FaultRange<'a> {
+    mesh: MeshRange<'a>,
+    config: FaultConfig,
+    now: u64,
+    lo: usize,
+    msg_rng: &'a mut [Rng],
+    inject_stall: &'a [u64],
+    eject_stall: &'a [u64],
+    delta: FaultRangeDelta,
+}
+
+impl FaultRange<'_> {
+    /// Number of nodes attached to the whole fabric (not just this range).
+    pub fn node_count(&self) -> usize {
+        self.mesh.node_count()
+    }
+
+    /// Offers a message for injection at `src` (a node of this range);
+    /// identical semantics to the serial fault-layer [`Network::inject`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as the serial path: `Refused` on a stalled port or full
+    /// entry buffer, `BadDest` for a destination outside the fabric.
+    pub fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
+        if self.now < self.inject_stall[src.index()] {
+            self.delta.stall_refusals += 1;
+            return Err(InjectError::Refused(msg));
+        }
+        if msg.dest().index() >= self.mesh.node_count() {
+            return self.mesh.inject(src, msg);
+        }
+        let rng = &mut self.msg_rng[src.index() - self.lo];
+        let mesh = &mut self.mesh;
+        faulted_inject(
+            rng,
+            &self.config,
+            &mut self.delta.counters,
+            src,
+            msg,
+            |s, m| mesh.inject(s, m),
+        )
+    }
+
+    /// The message ready for delivery at `dst` this cycle, if any; identical
+    /// semantics to the serial fault-layer [`Network::peek_eject`].
+    pub fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
+        if self.now < self.eject_stall[dst.index()] {
+            return None;
+        }
+        self.mesh.peek_eject(dst)
+    }
+
+    /// Removes and returns the message ready at `dst`; identical semantics
+    /// to the serial fault-layer [`Network::eject`].
+    pub fn eject(&mut self, dst: NodeId) -> Option<Message> {
+        if self.now < self.eject_stall[dst.index()] {
+            return None;
+        }
+        self.mesh.eject(dst)
+    }
+
+    /// Consumes the range, releasing its borrows and yielding the buffered
+    /// effects for the fabric's absorb methods.
+    pub fn into_delta(mut self) -> FaultRangeDelta {
+        self.delta.mesh = self.mesh.into_delta();
+        self.delta
+    }
 }
 
 impl Network for FaultyFabric {
@@ -172,41 +457,21 @@ impl Network for FaultyFabric {
         if msg.dest().index() >= self.inner.node_count() {
             return self.inner.inject(src, msg);
         }
-        // Fixed draw order per offer, so the schedule is reproducible from
-        // the seed and the offer sequence alone.
-        let drop = hit(&mut self.msg_rng, self.config.drop_pm);
-        let corrupt = hit(&mut self.msg_rng, self.config.corrupt_pm);
-        let duplicate = hit(&mut self.msg_rng, self.config.duplicate_pm);
-        if drop {
-            // Accepted, then lost at the entry link. The sender's view is a
-            // successful send; only `faults.dropped` knows better.
-            self.counters.dropped += 1;
-            return Ok(());
-        }
-        let mut wire = msg;
-        if corrupt {
-            let word = 1 + self.msg_rng.index(MSG_WORDS - 1);
-            let bit = self.msg_rng.below(32) as u32;
-            wire.words[word] ^= 1 << bit;
-        }
-        match self.inner.inject(src, wire) {
-            Ok(()) => {
-                if corrupt {
-                    self.counters.corrupted += 1;
-                }
-                if duplicate {
-                    // A second copy rides right behind; losing it to a full
-                    // entry buffer is not a fault worth counting.
-                    if self.inner.inject(src, wire).is_ok() {
-                        self.counters.duplicated += 1;
-                    }
-                }
-                Ok(())
-            }
-            // Hand back the caller's original, not the corrupted copy.
-            Err(InjectError::Refused(_)) => Err(InjectError::Refused(msg)),
-            Err(InjectError::BadDest(_)) => Err(InjectError::BadDest(msg)),
-        }
+        let FaultyFabric {
+            inner,
+            config,
+            msg_rng,
+            counters,
+            ..
+        } = self;
+        faulted_inject(
+            &mut msg_rng[src.index()],
+            config,
+            counters,
+            src,
+            msg,
+            |s, m| inner.inject(s, m),
+        )
     }
 
     fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
@@ -226,24 +491,7 @@ impl Network for FaultyFabric {
     fn tick(&mut self) {
         self.inner.tick();
         self.now += 1;
-        if self.config.stall_pm > 0 {
-            // Two draws per node per cycle (inject port, eject port),
-            // unconditionally: the draw count never depends on outcomes.
-            for i in 0..self.inject_stall.len() {
-                if hit(&mut self.port_rng, self.config.stall_pm) {
-                    if self.now >= self.inject_stall[i] {
-                        self.counters.stalls += 1;
-                    }
-                    self.inject_stall[i] = self.now + self.config.stall_len;
-                }
-                if hit(&mut self.port_rng, self.config.stall_pm) {
-                    if self.now >= self.eject_stall[i] {
-                        self.counters.stalls += 1;
-                    }
-                    self.eject_stall[i] = self.now + self.config.stall_len;
-                }
-            }
-        }
+        self.roll_stalls();
     }
 
     fn in_flight(&self) -> usize {
@@ -475,6 +723,63 @@ mod tests {
         let s = net.stats();
         assert_eq!(s.bad_dest, 1);
         assert_eq!(s.faults.dropped, 1);
+    }
+
+    #[test]
+    fn sharded_ranges_reproduce_the_serial_schedule() {
+        // Drive two same-seed fault-wrapped meshes through identical offer
+        // sequences — one through the serial Network entry points, one
+        // through per-domain FaultRanges — and demand bit-identical
+        // deliveries, counters, and stats.
+        let build = || {
+            FaultyFabric::new(
+                Mesh2d::new(MeshConfig::new(4, 2)).into(),
+                FaultConfig::uniform(99, 180),
+            )
+        };
+        let bounds = [0usize, 3, 6, 8];
+        let mut serial = build();
+        let mut sharded = build();
+        let mut scratch = MeshTickScratch::new();
+        let mut got_serial = Vec::new();
+        let mut got_sharded = Vec::new();
+        for cycle in 0..300u32 {
+            for i in 0..8u16 {
+                let m = msg((i + 1) % 8, cycle * 8 + u32::from(i));
+                let _ = serial.inject(NodeId::new(i), m);
+            }
+            serial.tick();
+            for d in 0..8u16 {
+                while let Some(m) = serial.eject(NodeId::new(d)) {
+                    got_serial.push((d, m));
+                }
+            }
+
+            let mut deltas = Vec::new();
+            for (w, mut range) in bounds.windows(2).zip(sharded.split_fault_ranges(&bounds)) {
+                for i in w[0] as u16..w[1] as u16 {
+                    let m = msg((i + 1) % 8, cycle * 8 + u32::from(i));
+                    let _ = range.inject(NodeId::new(i), m);
+                }
+                deltas.push(range.into_delta());
+            }
+            sharded.absorb_inject_deltas(deltas);
+            sharded.tick_domains(&bounds, &mut scratch);
+            let mut deltas = Vec::new();
+            for (w, mut range) in bounds.windows(2).zip(sharded.split_fault_ranges(&bounds)) {
+                for d in w[0]..w[1] {
+                    while let Some(m) = range.eject(NodeId::new(d as u16)) {
+                        got_sharded.push((d as u16, m));
+                    }
+                }
+                deltas.push(range.into_delta());
+            }
+            sharded.absorb_eject_deltas(deltas);
+        }
+        assert_eq!(got_serial, got_sharded);
+        assert_eq!(serial.counters(), sharded.counters());
+        assert_eq!(serial.stats(), sharded.stats());
+        assert!(serial.counters().any(), "schedule actually faulted");
     }
 
     #[test]

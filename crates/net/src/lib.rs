@@ -34,18 +34,20 @@ mod ideal;
 mod kind;
 mod mesh;
 mod stats;
+mod tree;
 
-pub use fault::{FaultConfig, FaultyFabric};
+pub use fault::{FaultConfig, FaultRange, FaultRangeDelta, FaultyFabric};
 pub use ideal::IdealNetwork;
 pub use kind::NetworkKind;
 pub use mesh::{
     LinkReport, LinkStats, Mesh2d, MeshConfig, MeshRange, MeshRangeDelta, MeshTickScratch,
 };
 pub use stats::{FaultCounters, LatencyHist, NetStats, ScanStats};
+pub use tree::CombiningTree;
 
 use tcni_core::{Message, NodeId};
 
-/// Why a [`Network::inject`] was not accepted. Both variants hand the
+/// Why a [`Network::inject`] was not accepted. Every variant hands the
 /// message back to the caller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InjectError {
@@ -57,13 +59,17 @@ pub enum InjectError {
     /// never be delivered; retrying is futile. The machine simulator drops
     /// such messages (counted in [`NetStats::bad_dest`]).
     BadDest(Message),
+    /// A collective message was started on a node outside the collective's
+    /// member set (the combining tree does not span it). Retrying is
+    /// futile; the caller gets the message back instead of a silent drop.
+    NotParticipant(Message),
 }
 
 impl InjectError {
     /// Recovers the rejected message regardless of the reason.
     pub fn into_message(self) -> Message {
         match self {
-            InjectError::Refused(m) | InjectError::BadDest(m) => m,
+            InjectError::Refused(m) | InjectError::BadDest(m) | InjectError::NotParticipant(m) => m,
         }
     }
 

@@ -1,0 +1,298 @@
+//! Topology-aware combining-tree construction for in-network collectives.
+//!
+//! A [`CombiningTree`] is the static routing skeleton the collective engine
+//! (`tcni-sim::collective`) combines along: every member node knows its
+//! parent (where partially-combined contributions go up) and its children
+//! (where completed results fan down). Two shapes are provided:
+//!
+//! * [`CombiningTree::star`] — every node a direct child of the root; the
+//!   right shape for [`IdealNetwork`](crate::IdealNetwork), where distance
+//!   is uniform and depth only adds latency;
+//! * [`CombiningTree::mesh`] — a k-ary tree embedded in a
+//!   [`Mesh2d`](crate::Mesh2d)'s rows and columns: within each row a k-ary
+//!   tree over the columns rooted at column 0, and a k-ary spine over the
+//!   row heads in column 0. Every tree edge runs along a single mesh row
+//!   or column, so combining traffic never takes a dog-leg through
+//!   unrelated links.
+//!
+//! Trees are value objects: construction is pure, membership is explicit,
+//! and the structure never changes after construction (faults are handled
+//! by the delivery protocol underneath, not by re-rooting).
+
+/// Sentinel for "no parent" in the dense parent table.
+const NO_PARENT: u32 = u32::MAX;
+
+/// A static combining tree over a machine's node index space.
+///
+/// Non-member nodes (possible with [`CombiningTree::star_of`]) have no
+/// parent and no children; starting a collective on one is a typed
+/// [`InjectError::NotParticipant`](crate::InjectError::NotParticipant)
+/// error at the machine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombiningTree {
+    parent: Vec<u32>,
+    children: Vec<Vec<u32>>,
+    member: Vec<bool>,
+    members: usize,
+    root: u32,
+}
+
+impl CombiningTree {
+    /// A trivial star: node 0 is the root and every other node is a direct
+    /// child. Optimal for contention-free uniform-latency fabrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn star(nodes: usize) -> CombiningTree {
+        let members: Vec<usize> = (0..nodes).collect();
+        CombiningTree::star_of(nodes, &members)
+    }
+
+    /// A star over an explicit member set; the first member is the root.
+    /// Nodes outside `members` are non-participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, contains an index `>= nodes`, or
+    /// contains duplicates.
+    pub fn star_of(nodes: usize, members: &[usize]) -> CombiningTree {
+        assert!(
+            !members.is_empty(),
+            "a collective needs at least one member"
+        );
+        let root = members[0];
+        let mut tree = CombiningTree::empty(nodes);
+        for &m in members {
+            assert!(m < nodes, "member {m} out of range ({nodes} nodes)");
+            assert!(!tree.member[m], "duplicate member {m}");
+            tree.member[m] = true;
+            tree.members += 1;
+            if m != root {
+                tree.parent[m] = root as u32;
+                tree.children[root].push(m as u32);
+            }
+        }
+        tree.root = root as u32;
+        tree
+    }
+
+    /// A k-ary tree embedded in a `width × height` mesh's rows and columns,
+    /// rooted at node 0 (row 0, column 0). All `width * height` nodes are
+    /// members.
+    ///
+    /// Within each row, column `c > 0` parents to column `(c - 1) / radix`
+    /// of the same row (a radix-ary tree whose root is the row head at
+    /// column 0). Row heads with `r > 0` parent to the row head of row
+    /// `(r - 1) / radix` (the column-0 spine). Every edge is therefore a
+    /// straight run along one row or one column, matching the mesh's XY
+    /// dimension-order routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height == 0` or `radix < 2`.
+    pub fn mesh(width: usize, height: usize, radix: usize) -> CombiningTree {
+        assert!(width > 0 && height > 0, "mesh tree needs a non-empty grid");
+        assert!(radix >= 2, "combining radix must be at least 2");
+        let nodes = width * height;
+        let mut tree = CombiningTree::empty(nodes);
+        tree.member = vec![true; nodes];
+        tree.members = nodes;
+        tree.root = 0;
+        for r in 0..height {
+            for c in 0..width {
+                let i = r * width + c;
+                let p = if c > 0 {
+                    Some(r * width + (c - 1) / radix)
+                } else if r > 0 {
+                    Some(((r - 1) / radix) * width)
+                } else {
+                    None
+                };
+                if let Some(p) = p {
+                    tree.parent[i] = p as u32;
+                    tree.children[p].push(i as u32);
+                }
+            }
+        }
+        tree
+    }
+
+    fn empty(nodes: usize) -> CombiningTree {
+        assert!(nodes > 0, "a combining tree needs at least one node");
+        CombiningTree {
+            parent: vec![NO_PARENT; nodes],
+            children: vec![Vec::new(); nodes],
+            member: vec![false; nodes],
+            members: 0,
+            root: 0,
+        }
+    }
+
+    /// The size of the node index space the tree is built over (members
+    /// and non-members alike).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the index space is empty (never true: construction demands
+    /// at least one node).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of participating nodes.
+    pub fn member_count(&self) -> usize {
+        self.members
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root as usize
+    }
+
+    /// Whether `node` participates in the collective.
+    pub fn is_member(&self, node: usize) -> bool {
+        self.member.get(node).copied().unwrap_or(false)
+    }
+
+    /// The parent of `node`, or `None` for the root and for non-members.
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        let p = self.parent[node];
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// The children of `node` (empty for leaves and non-members).
+    pub fn children(&self, node: usize) -> &[u32] {
+        &self.children[node]
+    }
+
+    /// The number of edges on the longest root-to-leaf path.
+    pub fn depth(&self) -> usize {
+        let mut deepest = 0;
+        for i in 0..self.len() {
+            if !self.is_member(i) {
+                continue;
+            }
+            let (mut d, mut n) = (0, i);
+            while let Some(p) = self.parent(n) {
+                d += 1;
+                n = p;
+            }
+            deepest = deepest.max(d);
+        }
+        deepest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every member must reach the root in finitely many parent hops, and
+    /// the parent/children tables must mirror each other.
+    fn check_spanning(tree: &CombiningTree) {
+        let root = tree.root();
+        assert!(tree.is_member(root));
+        assert_eq!(tree.parent(root), None);
+        let mut reached = 0;
+        for i in 0..tree.len() {
+            if !tree.is_member(i) {
+                assert_eq!(tree.parent(i), None);
+                assert!(tree.children(i).is_empty());
+                continue;
+            }
+            reached += 1;
+            let (mut hops, mut n) = (0, i);
+            while let Some(p) = tree.parent(n) {
+                assert!(tree.is_member(p));
+                assert!(
+                    tree.children(p).contains(&(n as u32)),
+                    "parent {p} does not list child {n}"
+                );
+                hops += 1;
+                assert!(hops <= tree.len(), "cycle through node {i}");
+                n = p;
+            }
+            assert_eq!(n, root, "member {i} does not reach the root");
+        }
+        assert_eq!(reached, tree.member_count());
+        let listed: usize = (0..tree.len()).map(|i| tree.children(i).len()).sum();
+        assert_eq!(listed, tree.member_count() - 1, "edge count");
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = CombiningTree::star(5);
+        check_spanning(&t);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children(0), &[1, 2, 3, 4]);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.member_count(), 5);
+    }
+
+    #[test]
+    fn star_of_subset() {
+        let t = CombiningTree::star_of(6, &[2, 4, 5]);
+        check_spanning(&t);
+        assert_eq!(t.root(), 2);
+        assert!(!t.is_member(0));
+        assert!(t.is_member(4));
+        assert_eq!(t.parent(4), Some(2));
+        assert_eq!(t.member_count(), 3);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = CombiningTree::star(1);
+        check_spanning(&t);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn mesh_tree_spans_and_stays_in_rows_and_columns() {
+        for (w, h, k) in [(4, 4, 2), (16, 16, 4), (5, 3, 3), (1, 7, 2), (7, 1, 2)] {
+            let t = CombiningTree::mesh(w, h, k);
+            check_spanning(&t);
+            assert_eq!(t.root(), 0);
+            assert_eq!(t.member_count(), w * h);
+            for i in 0..t.len() {
+                if let Some(p) = t.parent(i) {
+                    let (r, c) = (i / w, i % w);
+                    let (pr, pc) = (p / w, p % w);
+                    assert!(
+                        r == pr || c == pc,
+                        "edge {i}->{p} is not row- or column-aligned"
+                    );
+                    // Fan-in bound: up to k row children plus, for a row
+                    // head, k spine children.
+                    assert!(t.children(p).len() <= 2 * k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_tree_depth_is_logarithmic() {
+        // 16×16 with radix 4: row trees depth 2 (15 columns under radix
+        // 4), spine depth 2 — comfortably below the star's fan-in of 255.
+        let t = CombiningTree::mesh(16, 16, 4);
+        assert!(t.depth() <= 4, "depth {} too deep", t.depth());
+        let star_fan = CombiningTree::star(256).children(0).len();
+        assert_eq!(star_fan, 255);
+        let max_fan = (0..t.len()).map(|i| t.children(i).len()).max().unwrap();
+        assert!(max_fan <= 8, "fan-in {max_fan} too wide");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_member_set_panics() {
+        CombiningTree::star_of(4, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn duplicate_member_panics() {
+        CombiningTree::star_of(4, &[1, 1]);
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod collective;
 mod delivery;
 mod driver;
 mod env;
@@ -26,6 +27,7 @@ mod node;
 mod obs;
 mod trace;
 
+pub use collective::{CollDone, Collective, CollectiveStats};
 pub use delivery::{Delivery, DeliveryConfig, DeliveryStats};
 pub use driver::CycleDriver;
 pub use env::NodeEnv;

@@ -3,15 +3,17 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tcni_core::{FeatureLevel, NiConfig, NodeId, WireFormat};
+use tcni_core::{CollectiveOp, FeatureLevel, Message, NiConfig, NodeId, WireFormat};
 use tcni_cpu::{StepOutcome, TimingConfig};
-use tcni_isa::Program;
+use tcni_isa::{MsgType, Program};
 use tcni_net::{
-    FaultConfig, FaultyFabric, IdealNetwork, InjectError, Mesh2d, MeshConfig, MeshRange,
-    MeshRangeDelta, MeshTickScratch, NetStats, Network, NetworkKind,
+    CombiningTree, FaultConfig, FaultRange, FaultRangeDelta, FaultyFabric, IdealNetwork,
+    InjectError, Mesh2d, MeshConfig, MeshRange, MeshRangeDelta, MeshTickScratch, NetStats, Network,
+    NetworkKind,
 };
 use tcni_util::par::{domain_bounds, run_tasks};
 
+use crate::collective::{CollDelta, CollRange, Collective, CollectiveStats};
 use crate::delivery::{
     Delivery, DeliveryConfig, DeliveryDelta, DeliveryRange, DeliveryStats, RxAction,
     DELIVERY_MAX_NODES,
@@ -65,6 +67,15 @@ pub enum BuildError {
         /// The requested node count.
         nodes: usize,
     },
+    /// A combining tree was supplied whose node index space does not match
+    /// the machine's node count: collective wire messages would address
+    /// nodes that do not exist (or leave real nodes unreachable).
+    CollectiveTreeMismatch {
+        /// The tree's index-space size.
+        tree_nodes: usize,
+        /// The requested node count.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -98,6 +109,12 @@ impl fmt::Display for BuildError {
                     "delivery protocol supports at most {DELIVERY_MAX_NODES} nodes ({nodes} requested)"
                 )
             }
+            BuildError::CollectiveTreeMismatch { tree_nodes, nodes } => {
+                write!(
+                    f,
+                    "combining tree spans {tree_nodes} nodes but the machine has {nodes}"
+                )
+            }
         }
     }
 }
@@ -116,6 +133,42 @@ pub enum RunOutcome {
     CycleLimit,
     /// The [`CycleDriver`] of a [`Machine::run_driven`] call asked to stop.
     DriverStopped,
+}
+
+/// Expands the four optional-subsystem flags — trace, observability,
+/// end-to-end delivery, collectives — into const-generic instantiations:
+/// sixteen monomorphized stepping loops, each paying only for the
+/// subsystems it actually carries. The optional `::<T>` tail forwards
+/// extra generic arguments (the driver type of `run_driven_impl`).
+macro_rules! dispatch {
+    ($self:ident, $method:ident ( $($arg:expr),* )) => {
+        dispatch!($self, $method::<>($($arg),*))
+    };
+    ($self:ident, $method:ident :: < $($extra:ty),* > ( $($arg:expr),* )) => {
+        match (
+            $self.trace.is_some(),
+            $self.obs.is_some(),
+            $self.delivery.is_some(),
+            $self.collective.is_some(),
+        ) {
+            (false, false, false, false) => $self.$method::<false, false, false, false $(, $extra)*>($($arg),*),
+            (false, false, false, true) => $self.$method::<false, false, false, true $(, $extra)*>($($arg),*),
+            (false, false, true, false) => $self.$method::<false, false, true, false $(, $extra)*>($($arg),*),
+            (false, false, true, true) => $self.$method::<false, false, true, true $(, $extra)*>($($arg),*),
+            (false, true, false, false) => $self.$method::<false, true, false, false $(, $extra)*>($($arg),*),
+            (false, true, false, true) => $self.$method::<false, true, false, true $(, $extra)*>($($arg),*),
+            (false, true, true, false) => $self.$method::<false, true, true, false $(, $extra)*>($($arg),*),
+            (false, true, true, true) => $self.$method::<false, true, true, true $(, $extra)*>($($arg),*),
+            (true, false, false, false) => $self.$method::<true, false, false, false $(, $extra)*>($($arg),*),
+            (true, false, false, true) => $self.$method::<true, false, false, true $(, $extra)*>($($arg),*),
+            (true, false, true, false) => $self.$method::<true, false, true, false $(, $extra)*>($($arg),*),
+            (true, false, true, true) => $self.$method::<true, false, true, true $(, $extra)*>($($arg),*),
+            (true, true, false, false) => $self.$method::<true, true, false, false $(, $extra)*>($($arg),*),
+            (true, true, false, true) => $self.$method::<true, true, false, true $(, $extra)*>($($arg),*),
+            (true, true, true, false) => $self.$method::<true, true, true, false $(, $extra)*>($($arg),*),
+            (true, true, true, true) => $self.$method::<true, true, true, true $(, $extra)*>($($arg),*),
+        }
+    };
 }
 
 /// A complete simulated multicomputer.
@@ -170,6 +223,10 @@ pub struct Machine {
     /// unreliable fabric). Like trace and obs, its presence selects a
     /// separate stepping monomorphization; a machine without it pays nothing.
     delivery: Option<Delivery>,
+    /// The optional in-network collective engine (combining-tree barrier /
+    /// broadcast / reduce; see [`Collective`]). Fourth const-generic flag of
+    /// the stepping dispatch — a machine without it pays nothing.
+    collective: Option<Collective>,
     /// Indices of nodes whose processor is still running, ascending. The
     /// ascending order matters: phase 2 injects in node order, which is the
     /// fabric's arbitration order for same-destination traffic.
@@ -187,6 +244,13 @@ pub struct Machine {
     /// E2E injection phase (taken per cycle; injection pops edit the live
     /// list mid-walk).
     outbox_scan: Vec<usize>,
+    /// The collective engine's counterpart of `outbox_scan`.
+    coll_scan: Vec<usize>,
+    /// Whether node [`CollPort`](Node::coll_request) latches may hold
+    /// requests. Set wherever external code could have latched one (list
+    /// refresh after `node_mut`, every driven cycle); the injection phase
+    /// only pays the O(nodes) latch scan while this is set.
+    coll_poll: bool,
     /// Worker count for the sharded cycle: `0` follows the process-wide
     /// setting ([`tcni_util::par::threads`], i.e. `TCNI_THREADS`); any other
     /// value overrides it for this machine.
@@ -322,6 +386,52 @@ impl Machine {
         self.delivery.as_ref().map_or(0, Delivery::residency)
     }
 
+    /// The collective engine, if one was configured at build time.
+    pub fn collective(&self) -> Option<&Collective> {
+        self.collective.as_ref()
+    }
+
+    /// Counters of the collective engine, if it is enabled.
+    pub fn collective_stats(&self) -> Option<CollectiveStats> {
+        self.collective.as_ref().map(Collective::stats)
+    }
+
+    /// Contributes `value` to the collective round in progress at `node`
+    /// (see [`Collective::contribute`]); an immediately-completed round
+    /// (single-member tree) is posted to the node's
+    /// [`coll_take_done`](Node::coll_take_done) mailbox like any other.
+    ///
+    /// Drivers, which see nodes but not the machine, latch requests with
+    /// [`Node::coll_request`] instead; those are fed to the engine at the
+    /// next injection phase and report rejections only through
+    /// [`CollectiveStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::NotParticipant`] for a node outside the member set,
+    /// [`InjectError::Refused`] while the node's previous round is still in
+    /// flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was built without a collective engine or
+    /// `node` is out of range.
+    pub fn coll_start(
+        &mut self,
+        node: usize,
+        op: CollectiveOp,
+        value: u32,
+    ) -> Result<(), InjectError> {
+        let coll = self
+            .collective
+            .as_mut()
+            .expect("collective engine not enabled on this machine");
+        if let Some(done) = coll.contribute(node, op, value)? {
+            self.nodes[node].coll_push_done(done);
+        }
+        Ok(())
+    }
+
     /// The network fabric.
     pub fn network(&self) -> &NetworkKind {
         &self.net
@@ -395,6 +505,9 @@ impl Machine {
             }
         }
         self.lists_dirty = false;
+        // External code had node access (`node_mut`, a driver's cycle): it
+        // may have latched collective requests.
+        self.coll_poll = true;
     }
 
     /// Advances the whole machine one cycle.
@@ -402,27 +515,16 @@ impl Machine {
         if self.lists_dirty {
             self.refresh_lists();
         }
-        match (
-            self.trace.is_some(),
-            self.obs.is_some(),
-            self.delivery.is_some(),
-        ) {
-            (false, false, false) => self.step_once::<false, false, false>(),
-            (true, false, false) => self.step_once::<true, false, false>(),
-            (false, true, false) => self.step_once::<false, true, false>(),
-            (true, true, false) => self.step_once::<true, true, false>(),
-            (false, false, true) => self.step_once::<false, false, true>(),
-            (true, false, true) => self.step_once::<true, false, true>(),
-            (false, true, true) => self.step_once::<false, true, true>(),
-            (true, true, true) => self.step_once::<true, true, true>(),
-        };
+        dispatch!(self, step_once());
     }
 
     /// One full cycle. Returns (every running CPU environment-stalled,
     /// any interface state changed by the network phases).
-    fn step_once<const TRACED: bool, const OBS: bool, const E2E: bool>(&mut self) -> (bool, bool) {
+    fn step_once<const TRACED: bool, const OBS: bool, const E2E: bool, const COLL: bool>(
+        &mut self,
+    ) -> (bool, bool) {
         let all_stalled = self.step_cpus::<TRACED, OBS>();
-        let changed = self.step_network::<TRACED, OBS, E2E>();
+        let changed = self.step_network::<TRACED, OBS, E2E, COLL>();
         self.cycle += 1;
         (all_stalled, changed)
     }
@@ -480,78 +582,87 @@ impl Machine {
         all_env_stalled
     }
 
+    /// Feeds latched node [`CollPort`](Node::coll_request) requests into the
+    /// collective engine, in ascending node order; an immediately-completed
+    /// round (leafless tree) posts straight back to the node's mailbox.
+    /// Rejections (busy slot, non-member) surface only through
+    /// [`CollectiveStats`] — latches have no return channel.
+    fn drain_coll_requests(&mut self) {
+        if !self.coll_poll {
+            return;
+        }
+        self.coll_poll = false;
+        let coll = self.collective.as_mut().expect("COLL implies engine");
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            while let Some((op, value)) = node.coll_take_request() {
+                if let Ok(Some(done)) = coll.contribute(i, op, value) {
+                    node.coll_push_done(done);
+                }
+            }
+        }
+    }
+
     /// Phases 2–4: interfaces → network, fabric tick, network → interfaces.
     /// Returns whether any interface state changed (a message left an output
     /// queue or entered an input queue).
-    fn step_network<const TRACED: bool, const OBS: bool, const E2E: bool>(&mut self) -> bool {
+    fn step_network<const TRACED: bool, const OBS: bool, const E2E: bool, const COLL: bool>(
+        &mut self,
+    ) -> bool {
         let cycle = self.cycle;
         let mut changed = false;
         // Phase 2: one injection attempt per node with outgoing traffic, in
-        // ascending node order.
+        // ascending node order. Protocol traffic (acks, retransmits,
+        // collective combines) can originate at stopped nodes the
+        // running/draining lists no longer scan — but those nodes are
+        // exactly the ones on the delivery/collective outbox active lists.
+        // Snapshot those (injection pops edit the live lists mid-walk) and
+        // merge all the sorted lists: the same ascending node order as a
+        // full scan, visiting only nodes that can possibly inject. Any node
+        // outside every list is stopped with an empty interface and empty
+        // outboxes, for which `inject_at` is a no-op.
+        if COLL {
+            self.drain_coll_requests();
+        }
         if E2E {
             // Fire due retransmission timeouts first so the copies contend
             // for this cycle's injection slots.
             if let Some(del) = self.delivery.as_mut() {
                 del.pump(cycle);
             }
-            // Protocol traffic (acks, retransmits) can originate at stopped
-            // nodes the running/draining lists no longer scan — but those
-            // nodes are exactly the ones on the delivery outbox's active
-            // list. Snapshot it (injection pops edit the live list
-            // mid-walk) and three-way-merge with the running/draining
-            // lists: the same ascending node order as a full scan, visiting
-            // only nodes that can possibly inject. Any node outside all
-            // three lists is stopped with an empty interface and an empty
-            // outbox, for which `inject_at` is a no-op.
-            let mut ob = std::mem::take(&mut self.outbox_scan);
-            ob.clear();
+        }
+        let mut ob = std::mem::take(&mut self.outbox_scan);
+        ob.clear();
+        if E2E {
             if let Some(del) = self.delivery.as_ref() {
                 ob.extend(del.outbox_nodes().iter().map(|&n| n as usize));
             }
-            let (mut r, mut d, mut o) = (0, 0, 0);
-            loop {
-                let next = [
-                    self.running.get(r).copied(),
-                    self.draining.get(d).copied(),
-                    ob.get(o).copied(),
-                ]
-                .into_iter()
-                .flatten()
-                .min();
-                let Some(i) = next else { break };
-                r += usize::from(self.running.get(r) == Some(&i));
-                d += usize::from(self.draining.get(d) == Some(&i));
-                o += usize::from(ob.get(o) == Some(&i));
-                changed |= self.inject_at::<TRACED, OBS, E2E>(i, cycle);
-            }
-            self.outbox_scan = ob;
-        } else {
-            // Merge of the two sorted lists.
-            let (mut r, mut d) = (0, 0);
-            loop {
-                let i = match (self.running.get(r), self.draining.get(d)) {
-                    (Some(&a), Some(&b)) => {
-                        if a < b {
-                            r += 1;
-                            a
-                        } else {
-                            d += 1;
-                            b
-                        }
-                    }
-                    (Some(&a), None) => {
-                        r += 1;
-                        a
-                    }
-                    (None, Some(&b)) => {
-                        d += 1;
-                        b
-                    }
-                    (None, None) => break,
-                };
-                changed |= self.inject_at::<TRACED, OBS, E2E>(i, cycle);
-            }
         }
+        let mut cob = std::mem::take(&mut self.coll_scan);
+        cob.clear();
+        if COLL {
+            let coll = self.collective.as_ref().expect("COLL implies engine");
+            cob.extend(coll.outbox_nodes().iter().map(|&n| n as usize));
+        }
+        let (mut r, mut d, mut o, mut c) = (0, 0, 0, 0);
+        loop {
+            let next = [
+                self.running.get(r).copied(),
+                self.draining.get(d).copied(),
+                ob.get(o).copied(),
+                cob.get(c).copied(),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let Some(i) = next else { break };
+            r += usize::from(self.running.get(r) == Some(&i));
+            d += usize::from(self.draining.get(d) == Some(&i));
+            o += usize::from(ob.get(o) == Some(&i));
+            c += usize::from(cob.get(c) == Some(&i));
+            changed |= self.inject_at::<TRACED, OBS, E2E, COLL>(i, cycle);
+        }
+        self.outbox_scan = ob;
+        self.coll_scan = cob;
         // Stopped nodes whose last message just left stop being scanned.
         if !self.draining.is_empty() {
             let nodes = &self.nodes;
@@ -570,6 +681,22 @@ impl Machine {
                         // decides its fate before the interface sees it.
                         let del = self.delivery.as_ref().expect("E2E implies delivery");
                         match del.rx_action(i, &peeked) {
+                            RxAction::Deliver if COLL && peeked.mtype == MsgType::COLLECTIVE => {
+                                // An in-order collective arrival rides the
+                                // protocol's exactly-once edge but lands in
+                                // the engine, not the NI input queue — the
+                                // engine always accepts, so no backpressure
+                                // check. Collective plumbing stays out of
+                                // the trace/obs streams (it models NI
+                                // hardware, not program traffic).
+                                let mut msg = self.net.eject(dst).expect("peeked");
+                                if let Some(del) = self.delivery.as_mut() {
+                                    del.on_delivered(i, &msg, cycle);
+                                }
+                                msg.e2e = None;
+                                self.coll_arrival(i, &msg);
+                                changed = true;
+                            }
                             RxAction::Deliver => {
                                 if !self.nodes[i].ni().can_accept(&peeked) {
                                     break; // backpressure: leave it in the network
@@ -605,6 +732,14 @@ impl Machine {
                         }
                         continue;
                     }
+                    if COLL && peeked.mtype == MsgType::COLLECTIVE {
+                        // Engine-bound: never enters (or backpressures) the
+                        // NI input queue.
+                        let msg = self.net.eject(dst).expect("peeked");
+                        self.coll_arrival(i, &msg);
+                        changed = true;
+                        continue;
+                    }
                     if !self.nodes[i].ni().can_accept(&peeked) {
                         break; // backpressure: leave it in the network
                     }
@@ -629,6 +764,15 @@ impl Machine {
         changed
     }
 
+    /// Phase-4 tail for collective messages: routes an ejected arrival into
+    /// the engine and posts any completed round to the node's mailbox.
+    fn coll_arrival(&mut self, i: usize, msg: &Message) {
+        let coll = self.collective.as_mut().expect("COLL implies engine");
+        if let Some(done) = coll.on_message(i, msg) {
+            self.nodes[i].coll_push_done(done);
+        }
+    }
+
     /// Phase-4 tail: moves an ejected message into node `i`'s interface
     /// (`can_accept` already checked) and mirrors the input depth for
     /// observability.
@@ -651,10 +795,11 @@ impl Machine {
     }
 
     /// Phase-2 body for one node: at most one injection per cycle. Protocol
-    /// copies (acks, retransmits) take the slot ahead of fresh NI sends;
-    /// fresh sends under the protocol are stamped, window-gated, and
-    /// buffered for retransmission. Returns whether anything changed.
-    fn inject_at<const TRACED: bool, const OBS: bool, const E2E: bool>(
+    /// copies (acks, retransmits) take the slot ahead of queued collective
+    /// messages, which take it ahead of fresh NI sends; fresh sends under
+    /// the protocol are stamped, window-gated, and buffered for
+    /// retransmission. Returns whether anything changed.
+    fn inject_at<const TRACED: bool, const OBS: bool, const E2E: bool, const COLL: bool>(
         &mut self,
         i: usize,
         cycle: u64,
@@ -673,14 +818,21 @@ impl Machine {
                     // Congestion: the copy stays queued and retries.
                     Err(InjectError::Refused(_)) => false,
                     // Unreachable by construction (protocol peers are real
-                    // nodes), but never wedge the outbox on a bad message.
-                    Err(InjectError::BadDest(_)) => {
+                    // nodes, fabrics never report membership), but never
+                    // wedge the outbox on a bad message.
+                    Err(InjectError::BadDest(_) | InjectError::NotParticipant(_)) => {
                         if let Some(del) = self.delivery.as_mut() {
                             del.outbox_pop(i);
                         }
                         true
                     }
                 };
+            }
+        }
+        if COLL {
+            let coll = self.collective.as_ref().expect("COLL implies engine");
+            if let Some(msg) = coll.outbox_front(i).copied() {
+                return self.inject_coll::<E2E>(i, src, msg, cycle);
             }
         }
         let ni = self.nodes[i].ni_mut();
@@ -733,7 +885,7 @@ impl Machine {
             // Congestion: the message stays queued and the send retries next
             // cycle (backpressure, §2.1.1).
             Err(InjectError::Refused(_)) => false,
-            Err(InjectError::BadDest(_)) => {
+            Err(InjectError::BadDest(_) | InjectError::NotParticipant(_)) => {
                 self.drop_bad_dest::<OBS>(i);
                 true
             }
@@ -755,9 +907,56 @@ impl Machine {
         }
     }
 
+    /// Phase-2 body for one queued collective message: injected like a
+    /// fresh NI send (window-gated and stamped under the delivery protocol,
+    /// so combining trees ride the go-back-N edges over faulty fabrics) but
+    /// invisible to trace/obs — it models NI hardware, not program traffic.
+    fn inject_coll<const E2E: bool>(
+        &mut self,
+        i: usize,
+        src: NodeId,
+        mut msg: Message,
+        cycle: u64,
+    ) -> bool {
+        if E2E {
+            // Tree edges connect real nodes, so the destination always
+            // indexes a delivery flow.
+            let dst = msg.dest().index();
+            let del = self.delivery.as_ref().expect("E2E implies delivery");
+            if !del.can_admit(i, dst) {
+                // Window full: the message stays queued and retries.
+                return false;
+            }
+            del.stamp(i, dst, &mut msg);
+        }
+        match self.net.inject(src, msg) {
+            Ok(()) => {
+                let coll = self.collective.as_mut().expect("COLL implies engine");
+                coll.outbox_pop(i);
+                if E2E && msg.e2e.is_some() {
+                    let dst = msg.dest().index();
+                    if let Some(del) = self.delivery.as_mut() {
+                        del.commit(i, dst, msg, cycle);
+                    }
+                }
+                true
+            }
+            // Congestion: retries next cycle.
+            Err(InjectError::Refused(_)) => false,
+            // Unreachable by construction (tree members are real nodes),
+            // but never wedge the outbox.
+            Err(InjectError::BadDest(_) | InjectError::NotParticipant(_)) => {
+                let coll = self.collective.as_mut().expect("COLL implies engine");
+                coll.outbox_pop(i);
+                true
+            }
+        }
+    }
+
     /// Whether any node (running or draining) holds outgoing messages.
     fn any_outgoing(&self) -> bool {
         !self.draining.is_empty()
+            || self.collective.as_ref().is_some_and(|c| c.outgoing() > 0)
             || self
                 .running
                 .iter()
@@ -773,7 +972,10 @@ impl Machine {
     /// accounting: run network-only cycles — or jump, when the fabric can
     /// predict its next arrival — and bulk-charge the stall cycles at the
     /// end.
-    fn fast_forward<const TRACED: bool, const OBS: bool, const E2E: bool>(&mut self, limit: u64) {
+    fn fast_forward<const TRACED: bool, const OBS: bool, const E2E: bool, const COLL: bool>(
+        &mut self,
+        limit: u64,
+    ) {
         let mut skipped: u64 = 0;
         while self.cycle < limit {
             // The delivery protocol runs timers (retransmission timeouts)
@@ -803,7 +1005,7 @@ impl Machine {
                     }
                 }
             }
-            let changed = self.step_network::<TRACED, OBS, E2E>();
+            let changed = self.step_network::<TRACED, OBS, E2E, COLL>();
             self.cycle += 1;
             skipped += 1;
             if changed {
@@ -817,16 +1019,20 @@ impl Machine {
     }
 
     /// Builds the spatial-decomposition plan for the sharded cycle, or
-    /// `None` when this machine must step serially. Eligibility: a direct
-    /// (unwrapped) mesh fabric, observability off (per-link counters and the
-    /// span collector are serial-only), the dense-scan cross-check off, at
-    /// least two nodes, and an effective worker count of at least two.
+    /// `None` when this machine must step serially. Eligibility: a mesh
+    /// fabric — bare or fault-wrapped ([`FaultRange`] reproduces the
+    /// per-node fault streams domain by domain) — observability off
+    /// (per-link counters and the span collector are serial-only), the
+    /// dense-scan cross-check off, at least two nodes, and an effective
+    /// worker count of at least two.
     fn make_par_plan(&self) -> Option<ParPlan> {
         if self.obs.is_some() || self.dense_scan || self.nodes.len() < 2 {
             return None;
         }
-        let NetworkKind::Mesh(mesh) = &self.net else {
-            return None;
+        let mesh = match &self.net {
+            NetworkKind::Mesh(m) => m,
+            NetworkKind::Faulty(f) => f.inner().as_mesh()?,
+            NetworkKind::Ideal(_) => return None,
         };
         if mesh.observe() {
             return None;
@@ -871,15 +1077,20 @@ impl Machine {
     /// same way. The observability path is excluded by
     /// [`make_par_plan`](Self::make_par_plan), so only `TRACED`/`E2E`
     /// instantiations exist.
-    fn cycle_par<const TRACED: bool, const E2E: bool>(
+    fn cycle_par<const TRACED: bool, const E2E: bool, const COLL: bool>(
         &mut self,
         plan: &mut ParPlan,
     ) -> (bool, bool) {
         let cycle = self.cycle;
         let domains = plan.mbounds.len() - 1;
-        // Phase-2 prologue (E2E): fire due timeouts first so the copies
-        // contend for this cycle's injection slots, then snapshot the outbox
-        // active list (injection pops edit the live list mid-walk).
+        // Phase-2 prologue, in the serial order: latched collective
+        // requests feed the engine (serially — contributions are sparse,
+        // driver-latched stimuli), due timeouts fire so the copies contend
+        // for this cycle's injection slots, then the outbox active lists
+        // are snapshotted (injection pops edit the live lists mid-walk).
+        if COLL {
+            self.drain_coll_requests();
+        }
         let mut ob = std::mem::take(&mut self.outbox_scan);
         ob.clear();
         if E2E {
@@ -887,12 +1098,19 @@ impl Machine {
             del.pump_par(cycle, &plan.mbounds);
             ob.extend(del.outbox_nodes().iter().map(|&n| n as usize));
         }
+        let mut cob = std::mem::take(&mut self.coll_scan);
+        cob.clear();
+        if COLL {
+            let coll = self.collective.as_ref().expect("COLL implies engine");
+            cob.extend(coll.outbox_nodes().iter().map(|&n| n as usize));
+        }
 
         // --- Region A: processors execute, interfaces inject ----------------
         let mut all_stalled = true;
         let mut changed = false;
-        let mut mesh_deltas: Vec<MeshRangeDelta> = Vec::with_capacity(domains);
+        let mut net_deltas: Vec<ParNetDelta> = Vec::with_capacity(domains);
         let mut del_deltas: Vec<DeliveryDelta> = Vec::with_capacity(domains);
+        let mut coll_deltas: Vec<CollDelta> = Vec::with_capacity(domains);
         let mut cpu_events: Vec<TraceEvent> = Vec::new();
         let mut sent_events: Vec<TraceEvent> = Vec::new();
         plan.run_acc.clear();
@@ -901,45 +1119,57 @@ impl Machine {
             let running_parts = partition_sorted(&self.running, &plan.mbounds);
             let draining_parts = partition_sorted(&self.draining, &plan.mbounds);
             let ob_parts = partition_sorted(&ob, &plan.mbounds);
+            let cob_parts = partition_sorted(&cob, &plan.mbounds);
             let node_parts = split_by_bounds(self.nodes.as_mut_slice(), &plan.mbounds);
-            let NetworkKind::Mesh(mesh) = &mut self.net else {
-                unreachable!("the plan implies a direct mesh fabric");
-            };
-            let mesh_ranges = mesh.split_node_ranges(&plan.bounds);
+            let net_ranges = split_net(&mut self.net, &plan.bounds);
             let del_ranges = split_delivery(self.delivery.as_mut(), E2E, &plan.mbounds, domains);
+            let coll_ranges =
+                split_collective(self.collective.as_mut(), COLL, &plan.mbounds, domains);
             let mut tasks: Vec<RegionATask<'_>> = node_parts
                 .into_iter()
-                .zip(mesh_ranges)
+                .zip(net_ranges)
                 .zip(del_ranges)
+                .zip(coll_ranges)
                 .zip(running_parts)
                 .zip(draining_parts)
                 .zip(ob_parts)
+                .zip(cob_parts)
                 .zip(plan.mbounds.windows(2))
                 .map(
-                    |((((((nodes, mesh), del), running), draining), outbox), w)| RegionATask {
-                        lo: w[0],
-                        nodes,
-                        mesh,
-                        del,
-                        running,
-                        draining,
-                        outbox,
-                        all_stalled: true,
-                        changed: false,
-                        new_running: Vec::new(),
-                        new_draining: Vec::new(),
-                        cpu_events: Vec::new(),
-                        sent_events: Vec::new(),
+                    |(
+                        (((((((nodes, net), del), coll), running), draining), outbox), coll_outbox),
+                        w,
+                    )| {
+                        RegionATask {
+                            lo: w[0],
+                            nodes,
+                            net,
+                            del,
+                            coll,
+                            running,
+                            draining,
+                            outbox,
+                            coll_outbox,
+                            all_stalled: true,
+                            changed: false,
+                            new_running: Vec::new(),
+                            new_draining: Vec::new(),
+                            cpu_events: Vec::new(),
+                            sent_events: Vec::new(),
+                        }
                     },
                 )
                 .collect();
-            run_tasks(&mut tasks, |_, t| region_a::<TRACED, E2E>(cycle, t));
+            run_tasks(&mut tasks, |_, t| region_a::<TRACED, E2E, COLL>(cycle, t));
             for t in tasks {
                 all_stalled &= t.all_stalled;
                 changed |= t.changed;
-                mesh_deltas.push(t.mesh.into_delta());
+                net_deltas.push(t.net.into_delta());
                 if let Some(d) = t.del {
                     del_deltas.push(d.into_delta());
+                }
+                if let Some(c) = t.coll {
+                    coll_deltas.push(c.into_delta());
                 }
                 plan.run_acc.extend_from_slice(&t.new_running);
                 plan.drain_acc.extend_from_slice(&t.new_draining);
@@ -951,15 +1181,14 @@ impl Machine {
         }
         std::mem::swap(&mut self.running, &mut plan.run_acc);
         std::mem::swap(&mut self.draining, &mut plan.drain_acc);
-        {
-            let NetworkKind::Mesh(mesh) = &mut self.net else {
-                unreachable!("the plan implies a direct mesh fabric");
-            };
-            mesh.absorb_inject_deltas(mesh_deltas);
-        }
+        absorb_net_inject(&mut self.net, net_deltas);
         if E2E {
             let del = self.delivery.as_mut().expect("E2E implies delivery");
             del.absorb_deltas(del_deltas);
+        }
+        if COLL {
+            let coll = self.collective.as_mut().expect("COLL implies engine");
+            coll.absorb_deltas(coll_deltas);
         }
         if TRACED {
             if let Some(t) = self.trace.as_mut() {
@@ -976,62 +1205,61 @@ impl Machine {
         }
 
         // --- Phase 3: the fabric advances, domain-sliced ---------------------
-        {
-            let NetworkKind::Mesh(mesh) = &mut self.net else {
-                unreachable!("the plan implies a direct mesh fabric");
-            };
-            mesh.tick_domains(&plan.bounds, &mut plan.scratch);
-        }
+        tick_net_domains(&mut self.net, &plan.bounds, &mut plan.scratch);
 
         // --- Region B: network → interfaces ----------------------------------
         if self.net.in_flight() > 0 {
-            let mut mesh_deltas: Vec<MeshRangeDelta> = Vec::with_capacity(domains);
+            let mut net_deltas: Vec<ParNetDelta> = Vec::with_capacity(domains);
             let mut del_deltas: Vec<DeliveryDelta> = Vec::with_capacity(domains);
+            let mut coll_deltas: Vec<CollDelta> = Vec::with_capacity(domains);
             let mut events: Vec<TraceEvent> = Vec::new();
             {
                 let node_parts = split_by_bounds(self.nodes.as_mut_slice(), &plan.mbounds);
-                let NetworkKind::Mesh(mesh) = &mut self.net else {
-                    unreachable!("the plan implies a direct mesh fabric");
-                };
-                let mesh_ranges = mesh.split_node_ranges(&plan.bounds);
+                let net_ranges = split_net(&mut self.net, &plan.bounds);
                 let del_ranges =
                     split_delivery(self.delivery.as_mut(), E2E, &plan.mbounds, domains);
+                let coll_ranges =
+                    split_collective(self.collective.as_mut(), COLL, &plan.mbounds, domains);
                 let mut tasks: Vec<RegionBTask<'_>> = node_parts
                     .into_iter()
-                    .zip(mesh_ranges)
+                    .zip(net_ranges)
                     .zip(del_ranges)
+                    .zip(coll_ranges)
                     .zip(plan.mbounds.windows(2))
-                    .map(|(((nodes, mesh), del), w)| RegionBTask {
+                    .map(|((((nodes, net), del), coll), w)| RegionBTask {
                         lo: w[0],
                         hi: w[1],
                         nodes,
-                        mesh,
+                        net,
                         del,
+                        coll,
                         changed: false,
                         events: Vec::new(),
                     })
                     .collect();
-                run_tasks(&mut tasks, |_, t| region_b::<TRACED, E2E>(cycle, t));
+                run_tasks(&mut tasks, |_, t| region_b::<TRACED, E2E, COLL>(cycle, t));
                 for t in tasks {
                     changed |= t.changed;
-                    mesh_deltas.push(t.mesh.into_delta());
+                    net_deltas.push(t.net.into_delta());
                     if let Some(d) = t.del {
                         del_deltas.push(d.into_delta());
+                    }
+                    if let Some(c) = t.coll {
+                        coll_deltas.push(c.into_delta());
                     }
                     if TRACED {
                         events.extend(t.events);
                     }
                 }
             }
-            {
-                let NetworkKind::Mesh(mesh) = &mut self.net else {
-                    unreachable!("the plan implies a direct mesh fabric");
-                };
-                mesh.absorb_eject_deltas(mesh_deltas);
-            }
+            absorb_net_eject(&mut self.net, net_deltas);
             if E2E {
                 let del = self.delivery.as_mut().expect("E2E implies delivery");
                 del.absorb_deltas(del_deltas);
+            }
+            if COLL {
+                let coll = self.collective.as_mut().expect("COLL implies engine");
+                coll.absorb_deltas(coll_deltas);
             }
             if TRACED {
                 if let Some(t) = self.trace.as_mut() {
@@ -1042,6 +1270,7 @@ impl Machine {
             }
         }
         self.outbox_scan = ob;
+        self.coll_scan = cob;
         self.cycle += 1;
         (all_stalled, changed)
     }
@@ -1052,6 +1281,7 @@ impl Machine {
         self.nodes.iter().all(Node::is_quiescent)
             && self.net.in_flight() == 0
             && !self.delivery.as_ref().is_some_and(Delivery::active)
+            && !self.collective.as_ref().is_some_and(Collective::active)
     }
 
     /// Runs until every processor stops (halt or fault) or `max_cycles`
@@ -1060,20 +1290,7 @@ impl Machine {
         if self.lists_dirty {
             self.refresh_lists();
         }
-        match (
-            self.trace.is_some(),
-            self.obs.is_some(),
-            self.delivery.is_some(),
-        ) {
-            (false, false, false) => self.run_impl::<false, false, false>(max_cycles),
-            (true, false, false) => self.run_impl::<true, false, false>(max_cycles),
-            (false, true, false) => self.run_impl::<false, true, false>(max_cycles),
-            (true, true, false) => self.run_impl::<true, true, false>(max_cycles),
-            (false, false, true) => self.run_impl::<false, false, true>(max_cycles),
-            (true, false, true) => self.run_impl::<true, false, true>(max_cycles),
-            (false, true, true) => self.run_impl::<false, true, true>(max_cycles),
-            (true, true, true) => self.run_impl::<true, true, true>(max_cycles),
-        }
+        dispatch!(self, run_impl(max_cycles))
     }
 
     /// Runs with a [`CycleDriver`] supplying the per-cycle stimulus: each
@@ -1086,31 +1303,16 @@ impl Machine {
     /// just because every processor halted: load generators run entirely on
     /// machines whose CPUs halt at cycle 0.
     pub fn run_driven<D: CycleDriver>(&mut self, driver: &mut D, max_cycles: u64) -> RunOutcome {
-        match (
-            self.trace.is_some(),
-            self.obs.is_some(),
-            self.delivery.is_some(),
-        ) {
-            (false, false, false) => {
-                self.run_driven_impl::<false, false, false, D>(driver, max_cycles)
-            }
-            (true, false, false) => {
-                self.run_driven_impl::<true, false, false, D>(driver, max_cycles)
-            }
-            (false, true, false) => {
-                self.run_driven_impl::<false, true, false, D>(driver, max_cycles)
-            }
-            (true, true, false) => self.run_driven_impl::<true, true, false, D>(driver, max_cycles),
-            (false, false, true) => {
-                self.run_driven_impl::<false, false, true, D>(driver, max_cycles)
-            }
-            (true, false, true) => self.run_driven_impl::<true, false, true, D>(driver, max_cycles),
-            (false, true, true) => self.run_driven_impl::<false, true, true, D>(driver, max_cycles),
-            (true, true, true) => self.run_driven_impl::<true, true, true, D>(driver, max_cycles),
-        }
+        dispatch!(self, run_driven_impl::<D>(driver, max_cycles))
     }
 
-    fn run_driven_impl<const TRACED: bool, const OBS: bool, const E2E: bool, D: CycleDriver>(
+    fn run_driven_impl<
+        const TRACED: bool,
+        const OBS: bool,
+        const E2E: bool,
+        const COLL: bool,
+        D: CycleDriver,
+    >(
         &mut self,
         driver: &mut D,
         max_cycles: u64,
@@ -1124,7 +1326,7 @@ impl Machine {
             self.refresh_lists();
             match plan.as_mut() {
                 Some(p) => {
-                    self.cycle_par::<TRACED, E2E>(p);
+                    self.cycle_par::<TRACED, E2E, COLL>(p);
                 }
                 None => {
                     let cycle = self.cycle;
@@ -1144,7 +1346,7 @@ impl Machine {
                             }
                         }
                     }
-                    self.step_network::<TRACED, OBS, E2E>();
+                    self.step_network::<TRACED, OBS, E2E, COLL>();
                     self.cycle += 1;
                 }
             }
@@ -1155,7 +1357,7 @@ impl Machine {
         RunOutcome::CycleLimit
     }
 
-    fn run_impl<const TRACED: bool, const OBS: bool, const E2E: bool>(
+    fn run_impl<const TRACED: bool, const OBS: bool, const E2E: bool, const COLL: bool>(
         &mut self,
         max_cycles: u64,
     ) -> RunOutcome {
@@ -1166,17 +1368,22 @@ impl Machine {
                 if self.is_quiescent() {
                     return RunOutcome::Quiescent;
                 }
-                // With the delivery protocol on, traffic can still be
-                // resolved after every processor stops: in-flight copies get
-                // consumed, timeouts retransmit, and budgets expire. Keep the
-                // network phases (which pump the protocol) running until the
-                // machine settles one way or the other.
-                if E2E
+                // With the delivery protocol or collective engine on,
+                // traffic can still be resolved after every processor
+                // stops: in-flight copies get consumed, timeouts
+                // retransmit, budgets expire, queued combines inject. Keep
+                // the network phases (which pump both) running until the
+                // machine settles one way or the other. Open collective
+                // slots with no queued or in-flight messages cannot
+                // progress without new contributions, so they fall through
+                // to `StoppedWithTraffic` rather than spinning forever.
+                if (E2E || COLL)
                     && (self.net.in_flight() > 0
                         || !self.draining.is_empty()
-                        || self.delivery.as_ref().is_some_and(Delivery::active))
+                        || self.delivery.as_ref().is_some_and(Delivery::active)
+                        || self.collective.as_ref().is_some_and(|c| c.outgoing() > 0))
                 {
-                    self.step_network::<TRACED, OBS, E2E>();
+                    self.step_network::<TRACED, OBS, E2E, COLL>();
                     self.cycle += 1;
                     continue;
                 }
@@ -1186,11 +1393,11 @@ impl Machine {
                 // The sharded cycle is bit-identical to `step_once`, so
                 // mixing it with serial cycles (the drain branch above, the
                 // fast-forward below) is safe.
-                Some(p) => self.cycle_par::<TRACED, E2E>(p),
-                None => self.step_once::<TRACED, OBS, E2E>(),
+                Some(p) => self.cycle_par::<TRACED, E2E, COLL>(p),
+                None => self.step_once::<TRACED, OBS, E2E, COLL>(),
             };
             if self.skip_ahead && all_stalled && !changed && !self.running.is_empty() {
-                self.fast_forward::<TRACED, OBS, E2E>(limit);
+                self.fast_forward::<TRACED, OBS, E2E, COLL>(limit);
             }
         }
         if self.is_quiescent() {
@@ -1223,12 +1430,14 @@ struct RegionATask<'a> {
     /// First node of the domain.
     lo: usize,
     nodes: &'a mut [Node],
-    mesh: MeshRange<'a>,
+    net: ParNetRange<'a>,
     del: Option<DeliveryRange<'a>>,
+    coll: Option<CollRange<'a>>,
     /// This domain's slices of the machine's sorted hot lists.
     running: &'a [usize],
     draining: &'a [usize],
     outbox: &'a [usize],
+    coll_outbox: &'a [usize],
     /// Outputs, merged in domain order by the caller.
     all_stalled: bool,
     changed: bool,
@@ -1244,10 +1453,123 @@ struct RegionBTask<'a> {
     lo: usize,
     hi: usize,
     nodes: &'a mut [Node],
-    mesh: MeshRange<'a>,
+    net: ParNetRange<'a>,
     del: Option<DeliveryRange<'a>>,
+    coll: Option<CollRange<'a>>,
     changed: bool,
     events: Vec<TraceEvent>,
+}
+
+/// A domain's view of the fabric for the sharded cycle: either a bare mesh
+/// range or a fault-layer range wrapping one. Same entry points either way,
+/// so the region bodies are fabric-agnostic.
+// Built fresh per domain per cycle on the sharded hot path; boxing the
+// fault variant would trade a stack copy for a per-cycle allocation.
+#[allow(clippy::large_enum_variant)]
+enum ParNetRange<'a> {
+    Mesh(MeshRange<'a>),
+    Faulty(FaultRange<'a>),
+}
+
+impl ParNetRange<'_> {
+    fn node_count(&self) -> usize {
+        match self {
+            ParNetRange::Mesh(m) => m.node_count(),
+            ParNetRange::Faulty(f) => f.node_count(),
+        }
+    }
+
+    fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
+        match self {
+            ParNetRange::Mesh(m) => m.inject(src, msg),
+            ParNetRange::Faulty(f) => f.inject(src, msg),
+        }
+    }
+
+    fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
+        match self {
+            ParNetRange::Mesh(m) => m.peek_eject(dst),
+            ParNetRange::Faulty(f) => f.peek_eject(dst),
+        }
+    }
+
+    fn eject(&mut self, dst: NodeId) -> Option<Message> {
+        match self {
+            ParNetRange::Mesh(m) => m.eject(dst),
+            ParNetRange::Faulty(f) => f.eject(dst),
+        }
+    }
+
+    fn into_delta(self) -> ParNetDelta {
+        match self {
+            ParNetRange::Mesh(m) => ParNetDelta::Mesh(m.into_delta()),
+            ParNetRange::Faulty(f) => ParNetDelta::Faulty(f.into_delta()),
+        }
+    }
+}
+
+/// The buffered per-domain fabric effects matching [`ParNetRange`].
+enum ParNetDelta {
+    Mesh(MeshRangeDelta),
+    Faulty(FaultRangeDelta),
+}
+
+/// Splits the fabric into per-domain ranges for one sharded region. The plan
+/// guarantees a mesh-based fabric (bare or fault-wrapped).
+fn split_net<'a>(net: &'a mut NetworkKind, bounds: &[usize]) -> Vec<ParNetRange<'a>> {
+    match net {
+        NetworkKind::Mesh(m) => m
+            .split_node_ranges(bounds)
+            .into_iter()
+            .map(ParNetRange::Mesh)
+            .collect(),
+        NetworkKind::Faulty(f) => f
+            .split_fault_ranges(bounds)
+            .into_iter()
+            .map(ParNetRange::Faulty)
+            .collect(),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+    }
+}
+
+/// Absorbs region-A (injection-side) fabric deltas in domain order.
+fn absorb_net_inject(net: &mut NetworkKind, deltas: Vec<ParNetDelta>) {
+    match net {
+        NetworkKind::Mesh(m) => m.absorb_inject_deltas(deltas.into_iter().map(|d| match d {
+            ParNetDelta::Mesh(d) => d,
+            ParNetDelta::Faulty(_) => unreachable!("delta kind follows the fabric kind"),
+        })),
+        NetworkKind::Faulty(f) => f.absorb_inject_deltas(deltas.into_iter().map(|d| match d {
+            ParNetDelta::Faulty(d) => d,
+            ParNetDelta::Mesh(_) => unreachable!("delta kind follows the fabric kind"),
+        })),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+    }
+}
+
+/// Absorbs region-B (ejection-side) fabric deltas in domain order.
+fn absorb_net_eject(net: &mut NetworkKind, deltas: Vec<ParNetDelta>) {
+    match net {
+        NetworkKind::Mesh(m) => m.absorb_eject_deltas(deltas.into_iter().map(|d| match d {
+            ParNetDelta::Mesh(d) => d,
+            ParNetDelta::Faulty(_) => unreachable!("delta kind follows the fabric kind"),
+        })),
+        NetworkKind::Faulty(f) => f.absorb_eject_deltas(deltas.into_iter().map(|d| match d {
+            ParNetDelta::Faulty(d) => d,
+            ParNetDelta::Mesh(_) => unreachable!("delta kind follows the fabric kind"),
+        })),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+    }
+}
+
+/// Advances the fabric one cycle, domain-sliced (serial-equivalent: see the
+/// fabric-level `tick_domains` contracts).
+fn tick_net_domains(net: &mut NetworkKind, bounds: &[usize], scratch: &mut MeshTickScratch) {
+    match net {
+        NetworkKind::Mesh(m) => m.tick_domains(bounds, scratch),
+        NetworkKind::Faulty(f) => f.tick_domains(bounds, scratch),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+    }
 }
 
 /// Splits a sorted node-index list into per-domain subslices (contiguous
@@ -1292,11 +1614,28 @@ fn split_delivery<'a>(
     }
 }
 
+/// Per-domain collective-engine views when the engine is on, `None`
+/// placeholders otherwise — the collective twin of [`split_delivery`].
+fn split_collective<'a>(
+    coll: Option<&'a mut Collective>,
+    on: bool,
+    mbounds: &[usize],
+    domains: usize,
+) -> Vec<Option<CollRange<'a>>> {
+    match coll {
+        Some(c) if on => c.split_ranges(mbounds).into_iter().map(Some).collect(),
+        _ => (0..domains).map(|_| None).collect(),
+    }
+}
+
 /// Region-A worker body: phase 1 (processors execute) then phase 2
 /// (interfaces inject) for one domain, mirroring [`Machine::step_cpus`] and
 /// the injection half of [`Machine::step_network`] with every machine-global
 /// effect buffered in the task.
-fn region_a<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionATask<'_>) {
+fn region_a<const TRACED: bool, const E2E: bool, const COLL: bool>(
+    cycle: u64,
+    t: &mut RegionATask<'_>,
+) {
     // Phase 1: step this domain's running processors in ascending order.
     let mut just_stopped: Vec<usize> = Vec::new();
     for &i in t.running {
@@ -1357,14 +1696,15 @@ fn region_a<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionATask
         }
     }
     // Phase 2: one injection attempt per node with possible traffic, in
-    // ascending node order (the serial phase's three-way merge, restricted
-    // to this domain).
-    let (mut r, mut d, mut o) = (0, 0, 0);
+    // ascending node order (the serial phase's sorted merge, restricted to
+    // this domain).
+    let (mut r, mut d, mut o, mut c) = (0, 0, 0, 0);
     loop {
         let next = [
             t.new_running.get(r).copied(),
             mid_draining.get(d).copied(),
             t.outbox.get(o).copied(),
+            t.coll_outbox.get(c).copied(),
         ]
         .into_iter()
         .flatten()
@@ -1373,7 +1713,8 @@ fn region_a<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionATask
         r += usize::from(t.new_running.get(r) == Some(&i));
         d += usize::from(mid_draining.get(d) == Some(&i));
         o += usize::from(t.outbox.get(o) == Some(&i));
-        let injected = inject_one::<TRACED, E2E>(t, i, cycle);
+        c += usize::from(t.coll_outbox.get(c) == Some(&i));
+        let injected = inject_one::<TRACED, E2E, COLL>(t, i, cycle);
         t.changed |= injected;
     }
     // Stopped nodes whose last message just left stop being scanned.
@@ -1389,7 +1730,7 @@ fn region_a<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionATask
 /// Phase-2 body for one node of a region-A domain: at most one injection per
 /// cycle, mirroring [`Machine::inject_at`] with buffered effects (the
 /// observability path never runs sharded).
-fn inject_one<const TRACED: bool, const E2E: bool>(
+fn inject_one<const TRACED: bool, const E2E: bool, const COLL: bool>(
     t: &mut RegionATask<'_>,
     i: usize,
     cycle: u64,
@@ -1398,7 +1739,7 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
     if E2E {
         let del = t.del.as_mut().expect("E2E implies delivery");
         if let Some(msg) = del.outbox_front(i).copied() {
-            return match t.mesh.inject(src, msg) {
+            return match t.net.inject(src, msg) {
                 Ok(()) => {
                     del.outbox_pop(i);
                     true
@@ -1407,18 +1748,24 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
                 Err(InjectError::Refused(_)) => false,
                 // Unreachable by construction (protocol peers are real
                 // nodes), but never wedge the outbox on a bad message.
-                Err(InjectError::BadDest(_)) => {
+                Err(InjectError::BadDest(_) | InjectError::NotParticipant(_)) => {
                     del.outbox_pop(i);
                     true
                 }
             };
         }
     }
+    if COLL {
+        let coll = t.coll.as_ref().expect("COLL implies engine");
+        if let Some(msg) = coll.outbox_front(i).copied() {
+            return inject_coll_one::<E2E>(t, i, src, msg, cycle);
+        }
+    }
     let ni = t.nodes[i - t.lo].ni_mut();
     let Some(mut msg) = ni.peek_outgoing().copied() else {
         return false;
     };
-    if E2E && msg.dest().index() < t.mesh.node_count() {
+    if E2E && msg.dest().index() < t.net.node_count() {
         let dst = msg.dest().index();
         let del = t.del.as_ref().expect("E2E implies delivery");
         if !del.can_admit(i, dst) {
@@ -1429,7 +1776,7 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
         // Pure stamp: a refused injection retries with the same psn.
         del.stamp(i, dst, &mut msg);
     }
-    match t.mesh.inject(src, msg) {
+    match t.net.inject(src, msg) {
         Ok(()) => {
             t.nodes[i - t.lo].ni_mut().pop_outgoing();
             if E2E && msg.e2e.is_some() {
@@ -1449,8 +1796,48 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
             true
         }
         Err(InjectError::Refused(_)) => false,
-        Err(InjectError::BadDest(_)) => {
+        Err(InjectError::BadDest(_) | InjectError::NotParticipant(_)) => {
             t.nodes[i - t.lo].ni_mut().pop_outgoing();
+            true
+        }
+    }
+}
+
+/// Injects the head of a node's collective outbox, mirroring
+/// [`Machine::inject_coll`] with every shared-state effect buffered in the
+/// task's ranges. Combining traffic rides the delivery protocol when it is
+/// on (a faulted fabric would otherwise silently eat tree edges).
+fn inject_coll_one<const E2E: bool>(
+    t: &mut RegionATask<'_>,
+    i: usize,
+    src: NodeId,
+    mut msg: Message,
+    cycle: u64,
+) -> bool {
+    if E2E {
+        let dst = msg.dest().index();
+        let del = t.del.as_ref().expect("E2E implies delivery");
+        if !del.can_admit(i, dst) {
+            return false;
+        }
+        del.stamp(i, dst, &mut msg);
+    }
+    match t.net.inject(src, msg) {
+        Ok(()) => {
+            t.coll.as_mut().expect("COLL implies engine").outbox_pop(i);
+            if E2E && msg.e2e.is_some() {
+                let dst = msg.dest().index();
+                t.del
+                    .as_mut()
+                    .expect("E2E implies delivery")
+                    .commit(i, dst, msg, cycle);
+            }
+            true
+        }
+        Err(InjectError::Refused(_)) => false,
+        // Tree peers are real nodes; never wedge the outbox regardless.
+        Err(InjectError::BadDest(_) | InjectError::NotParticipant(_)) => {
+            t.coll.as_mut().expect("COLL implies engine").outbox_pop(i);
             true
         }
     }
@@ -1459,18 +1846,33 @@ fn inject_one<const TRACED: bool, const E2E: bool>(
 /// Region-B worker body: the ejection half of [`Machine::step_network`] for
 /// one domain's nodes, with fabric counters, delivery effects, and trace
 /// events buffered in the task.
-fn region_b<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionBTask<'_>) {
+fn region_b<const TRACED: bool, const E2E: bool, const COLL: bool>(
+    cycle: u64,
+    t: &mut RegionBTask<'_>,
+) {
     for i in t.lo..t.hi {
         let dst = NodeId::from_index(i);
-        while let Some(peeked) = t.mesh.peek_eject(dst).copied() {
+        while let Some(peeked) = t.net.peek_eject(dst).copied() {
             if E2E && peeked.e2e.is_some() {
                 let del = t.del.as_mut().expect("E2E implies delivery");
                 match del.rx_action(i, &peeked) {
+                    RxAction::Deliver if COLL && peeked.mtype == MsgType::COLLECTIVE => {
+                        // Engine-bound (see the serial phase 4): always
+                        // accepted, never traced.
+                        let mut msg = t.net.eject(dst).expect("peeked");
+                        del.on_delivered(i, &msg, cycle);
+                        msg.e2e = None;
+                        let coll = t.coll.as_mut().expect("COLL implies engine");
+                        if let Some(done) = coll.on_message(i, &msg) {
+                            t.nodes[i - t.lo].coll_push_done(done);
+                        }
+                        t.changed = true;
+                    }
                     RxAction::Deliver => {
                         if !t.nodes[i - t.lo].ni().can_accept(&peeked) {
                             break; // backpressure: leave it in the network
                         }
-                        let mut msg = t.mesh.eject(dst).expect("peeked");
+                        let mut msg = t.net.eject(dst).expect("peeked");
                         del.on_delivered(i, &msg, cycle);
                         if TRACED {
                             t.events.push(TraceEvent::Delivered {
@@ -1489,17 +1891,28 @@ fn region_b<const TRACED: bool, const E2E: bool>(cycle: u64, t: &mut RegionBTask
                         t.changed = true;
                     }
                     RxAction::Consume => {
-                        let msg = t.mesh.eject(dst).expect("peeked");
+                        let msg = t.net.eject(dst).expect("peeked");
                         del.on_consumed(i, &msg, cycle);
                         t.changed = true;
                     }
                 }
                 continue;
             }
+            if COLL && peeked.mtype == MsgType::COLLECTIVE {
+                // Engine-bound: never enters (or backpressures) the NI
+                // input queue.
+                let msg = t.net.eject(dst).expect("peeked");
+                let coll = t.coll.as_mut().expect("COLL implies engine");
+                if let Some(done) = coll.on_message(i, &msg) {
+                    t.nodes[i - t.lo].coll_push_done(done);
+                }
+                t.changed = true;
+                continue;
+            }
             if !t.nodes[i - t.lo].ni().can_accept(&peeked) {
                 break; // backpressure: leave it in the network
             }
-            let msg = t.mesh.eject(dst).expect("peeked");
+            let msg = t.net.eject(dst).expect("peeked");
             if TRACED {
                 t.events.push(TraceEvent::Delivered {
                     cycle: cycle + 1,
@@ -1540,6 +1953,7 @@ pub struct MachineBuilder {
     delivery: Option<DeliveryConfig>,
     programs: Vec<Option<Program>>,
     default_program: Program,
+    collective: Option<CombiningTree>,
     skip_ahead: bool,
     dense_scan: bool,
 }
@@ -1592,6 +2006,7 @@ impl MachineBuilder {
             delivery: None,
             programs: vec![None; node_count],
             default_program: halt.assemble().expect("trivial program"),
+            collective: None,
             skip_ahead: true,
             dense_scan: false,
         })
@@ -1665,6 +2080,17 @@ impl MachineBuilder {
     /// delivery over a faulty fabric.
     pub fn delivery(mut self, config: DeliveryConfig) -> MachineBuilder {
         self.delivery = Some(config);
+        self
+    }
+
+    /// Enables the in-network collective engine over the given combining
+    /// tree (see [`Collective`]): barrier, broadcast, and reduce as NIC
+    /// primitives, combined at each tree node's interface instead of at the
+    /// root processor. The tree's index space must match the node count
+    /// ([`BuildError::CollectiveTreeMismatch`] otherwise). Machines built
+    /// without this pay nothing for it.
+    pub fn collective(mut self, tree: CombiningTree) -> MachineBuilder {
+        self.collective = Some(tree);
         self
     }
 
@@ -1760,6 +2186,17 @@ impl MachineBuilder {
         let delivery = self
             .delivery
             .map(|cfg| Delivery::new(self.node_count, cfg, wire_format));
+        if let Some(tree) = &self.collective {
+            if tree.len() != self.node_count {
+                return Err(BuildError::CollectiveTreeMismatch {
+                    tree_nodes: tree.len(),
+                    nodes: self.node_count,
+                });
+            }
+        }
+        let collective = self
+            .collective
+            .map(|tree| Collective::new(tree, wire_format));
         // The default program is shared across nodes, not cloned per node.
         let default_program = Arc::new(self.default_program);
         let nodes: Vec<Node> = self
@@ -1787,6 +2224,7 @@ impl MachineBuilder {
             trace: None,
             obs: None,
             delivery,
+            collective,
             running: Vec::new(),
             draining: Vec::new(),
             lists_dirty: true,
@@ -1794,6 +2232,8 @@ impl MachineBuilder {
             skipped_cycles: 0,
             dense_scan: false,
             outbox_scan: Vec::new(),
+            coll_scan: Vec::new(),
+            coll_poll: false,
             par_threads: 0,
         };
         machine.refresh_lists();

@@ -1,13 +1,26 @@
 //! One machine node: processor + network interface + local memory + program.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use tcni_core::{NetworkInterface, NiConfig};
+use tcni_core::{CollectiveOp, NetworkInterface, NiConfig};
 use tcni_cpu::{Cpu, CpuState, MemEnv, StepOutcome, TimingConfig};
 use tcni_isa::Program;
 
+use crate::collective::CollDone;
 use crate::env::NodeEnv;
 use crate::model::{Model, NiMapping};
+
+/// The node-side mailbox of the collective engine: drivers latch
+/// contribution requests here (they only see `&mut [Node]`, not the
+/// machine), the machine's injection phase drains them into the engine, and
+/// completed rounds are posted back for the driver to collect. Plain queues,
+/// no timing of its own.
+#[derive(Debug, Clone, Default)]
+struct CollPort {
+    requests: VecDeque<(CollectiveOp, u32)>,
+    done: VecDeque<CollDone>,
+}
 
 /// A single node of the simulated multicomputer.
 ///
@@ -21,6 +34,7 @@ pub struct Node {
     mem: MemEnv,
     program: Arc<Program>,
     mapping: NiMapping,
+    coll: CollPort,
 }
 
 impl Node {
@@ -42,6 +56,7 @@ impl Node {
             mem: MemEnv::new(memory_bytes),
             program,
             mapping: model.mapping,
+            coll: CollPort::default(),
         }
     }
 
@@ -115,5 +130,33 @@ impl Node {
     /// The interface mapping this node uses.
     pub fn mapping(&self) -> NiMapping {
         self.mapping
+    }
+
+    /// Latches a collective contribution request. The machine's next
+    /// injection phase feeds it to the collective engine (which must be
+    /// enabled — requests on an engine-less machine sit latched forever).
+    /// Used by [`CycleDriver`](crate::CycleDriver)s, which see nodes but not
+    /// the machine; code holding the machine calls
+    /// [`Machine::coll_start`](crate::Machine::coll_start) directly.
+    pub fn coll_request(&mut self, op: CollectiveOp, value: u32) {
+        self.coll.requests.push_back((op, value));
+    }
+
+    /// Collects one completed collective round at this node, oldest first.
+    pub fn coll_take_done(&mut self) -> Option<CollDone> {
+        self.coll.done.pop_front()
+    }
+
+    /// Whether completed collective rounds await collection.
+    pub fn coll_has_done(&self) -> bool {
+        !self.coll.done.is_empty()
+    }
+
+    pub(crate) fn coll_take_request(&mut self) -> Option<(CollectiveOp, u32)> {
+        self.coll.requests.pop_front()
+    }
+
+    pub(crate) fn coll_push_done(&mut self, done: CollDone) {
+        self.coll.done.push_back(done);
     }
 }

@@ -16,6 +16,9 @@
 //!   windows over warmed-up machines, latency percentiles from the fabric
 //!   histograms, and rule-based saturation detection.
 //! * [`LoadReport`] — the versioned `tcni-load/1` JSON artifact.
+//! * [`run_coll_sweep`] / [`CollReport`] — NIC-combining vs software
+//!   collectives (barrier / broadcast / reduce) under a collective-storm
+//!   load model, emitted as the versioned `tcni-coll/1` artifact.
 //!
 //! Everything is integer-arithmetic and seed-deterministic: the same seed
 //! yields a byte-identical artifact on any host at any thread count.
@@ -42,11 +45,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coll;
 mod inject;
 mod pattern;
 mod report;
 mod sweep;
 
+pub use coll::{
+    run_coll_point, run_coll_sweep, CollMode, CollPoint, CollReport, CollStormConfig, COLL_SCHEMA,
+};
 pub use inject::{InjectCounters, Injector, InjectorConfig, LoopMode, ServiceCosts};
 pub use pattern::{Pattern, Topology, DEFAULT_HOT_PM};
 pub use report::{LoadReport, LOAD_SCHEMA};

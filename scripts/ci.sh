@@ -97,7 +97,36 @@ run_netstats_16x16 1 target/TRACE_netstats_16x16.serial.json
 run_netstats_16x16 4 target/TRACE_netstats_16x16.par4.json
 cmp target/TRACE_netstats_16x16.serial.json target/TRACE_netstats_16x16.par4.json
 
+echo "== smoke: loadgen collective (tcni-coll/1 artifact) =="
+# NIC combining vs software gather/scatter on a small mesh, fault-free and
+# with the delivery protocol over a faulty fabric. The console summary line
+# and the schema tag prove both modes completed their rounds.
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --collective --width 4 --height 4 --ops barrier,sum --rounds 4 \
+    --quiet --out target/BENCH_collective.ci.json
+grep -q '"schema": "tcni-coll/1"' target/BENCH_collective.ci.json
+grep -q '"wrong_results": 0' target/BENCH_collective.ci.json
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --collective --width 4 --height 4 --ops min --rounds 4 --fault 25 \
+    --quiet --out target/BENCH_collective_faults.ci.json
+grep -q '"fault_pm": 25' target/BENCH_collective_faults.ci.json
+grep -q '"wrong_results": 0' target/BENCH_collective_faults.ci.json
+
+echo "== smoke: collective 16x16 export (TCNI_THREADS=4) matches serial =="
+# The collective engine shards with the rest of the cycle; the tcni-coll/1
+# export of a 16×16 storm must be byte-identical serial vs 4 workers.
+run_coll_16x16() {
+    TCNI_THREADS="$1" cargo run --release --offline -p tcni-bench --bin loadgen -- \
+        --collective --width 16 --height 16 --ops barrier,sum --rounds 4 \
+        --rates 0,200 --quiet --out "$2"
+}
+run_coll_16x16 1 target/BENCH_collective_16x16.serial.json
+run_coll_16x16 4 target/BENCH_collective_16x16.par4.json
+cmp target/BENCH_collective_16x16.serial.json target/BENCH_collective_16x16.par4.json
+
 echo "== golden artifacts under TCNI_THREADS=4 (byte-exact, unblessed) =="
+# Includes the collective_16x16 tcni-coll/1 golden, so the committed
+# snapshot is re-proved at 1 worker (above) and 4 workers (here).
 TCNI_THREADS=4 cargo test --release --offline -q --test golden_artifacts
 
 echo "== smoke: perf harness (quick) =="

@@ -11,8 +11,8 @@
 //! explicitly pinned format that is too small for the machine, and the
 //! delivery protocol past its 32768-node flow-index ceiling.
 
-use tcni::core::WireFormat;
-use tcni::net::MeshConfig;
+use tcni::core::{CollectiveOp, WireFormat};
+use tcni::net::{CombiningTree, InjectError, MeshConfig};
 use tcni::sim::{BuildError, DeliveryConfig, MachineBuilder};
 
 #[test]
@@ -131,4 +131,53 @@ fn undersized_mesh_is_a_typed_error() {
 #[should_panic(expected = "NodeId address space is 65536 nodes")]
 fn the_panicking_constructor_reports_the_same_invariant() {
     let _ = MachineBuilder::new(70_000);
+}
+
+#[test]
+fn a_mismatched_combining_tree_is_a_typed_error() {
+    // The tree's index space is the collective wire-address space; letting
+    // a 4-node tree onto a 6-node machine would leave two nodes silently
+    // unreachable by collectives.
+    let err = MachineBuilder::try_new(6)
+        .expect("6 nodes are fine")
+        .collective(CombiningTree::star(4))
+        .try_build()
+        .err()
+        .expect("a 4-node tree cannot span 6 nodes");
+    assert_eq!(
+        err,
+        BuildError::CollectiveTreeMismatch {
+            tree_nodes: 4,
+            nodes: 6
+        }
+    );
+    assert!(
+        err.to_string()
+            .contains("combining tree spans 4 nodes but the machine has 6"),
+        "{err}"
+    );
+}
+
+#[test]
+fn a_contribution_outside_the_member_set_is_a_typed_error() {
+    // A partial-member tree: node 3 exists on the machine and the tree's
+    // index space, but the tree does not span it. Contributing from it is
+    // not retryable — the typed error says so, and the engine counts it.
+    let mut machine = MachineBuilder::try_new(4)
+        .expect("4 nodes are fine")
+        .collective(CombiningTree::star_of(4, &[0, 1, 2]))
+        .try_build()
+        .expect("a partial member set is legal");
+    let err = machine
+        .coll_start(3, CollectiveOp::Barrier, 0)
+        .err()
+        .expect("node 3 is not a participant");
+    assert!(matches!(err, InjectError::NotParticipant(_)), "{err:?}");
+    assert!(!err.is_retryable(), "futile to retry");
+    assert_eq!(machine.collective_stats().unwrap().not_participant, 1);
+
+    // Members are unaffected.
+    machine
+        .coll_start(0, CollectiveOp::Barrier, 0)
+        .expect("node 0 is a member");
 }

@@ -23,12 +23,16 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use tcni::core::CollectiveOp;
 use tcni::eval::figure12::Figure12;
 use tcni::eval::paper;
 use tcni::eval::table1::Table1;
 use tcni::sim::Model;
 use tcni::tam::programs;
-use tcni::workload::{run_open_curve, Fabric, LoadReport, Pattern, SweepConfig, Topology};
+use tcni::workload::{
+    run_coll_sweep, run_open_curve, CollReport, CollStormConfig, Fabric, LoadReport, Pattern,
+    SweepConfig, Topology,
+};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -156,4 +160,26 @@ fn golden_loadgen() {
         curves,
     };
     assert_golden("loadgen.json", &report.to_json());
+}
+
+/// The paper-scale collective comparison, pinned as the serialized
+/// `tcni-coll/1` artifact: NIC combining vs the flat software emulation for
+/// barrier and reduce on the 16×16 mesh. Every latency, occupancy, and
+/// engine counter is byte-exact — and because the machine shards its cycle
+/// across `TCNI_THREADS` workers, re-running this test at different thread
+/// counts doubles as the determinism check for the collective subsystem
+/// (ci.sh runs it at 1 and 4).
+#[test]
+fn golden_collective() {
+    let mut cfg = CollStormConfig::new(Topology::new(16, 16));
+    cfg.rounds = 4;
+    let ops = [CollectiveOp::Barrier, CollectiveOp::Sum];
+    let rates = vec![0, 200];
+    let points = run_coll_sweep(&ops, &rates, &cfg);
+    let report = CollReport {
+        config: cfg,
+        rates_pm: rates,
+        points,
+    };
+    assert_golden("collective_16x16.json", &report.to_json());
 }

@@ -165,9 +165,10 @@ fn build_par(cfg: &Config, trace_cap: Option<usize>, par_threads: usize) -> Mach
 /// (the domain-sliced frontier walk visits the same channel multiset as the
 /// serial scan). The sweep crosses the §4 models with both fabrics, E2E
 /// on/off, trace-only and trace+obs instrumentation, seeded fault
-/// schedules, and worker counts {1, 2, 3, 8}. Ineligible configurations
-/// (ideal fabric, fault wrapper, observability, dense scan) fall back to
-/// the serial path; keeping them in the sweep pins the fallback.
+/// schedules, and worker counts {1, 2, 3, 8}. Fault-wrapped meshes shard
+/// too (the per-node fault streams reproduce domain by domain); ineligible
+/// configurations (ideal fabric, observability, dense scan) fall back to
+/// the serial path, and keeping them in the sweep pins the fallback.
 #[test]
 fn parallel_tick_is_equivalent_at_any_thread_count() {
     check(
@@ -243,6 +244,62 @@ fn parallel_tick_is_equivalent_at_any_thread_count() {
             }
         },
     );
+}
+
+/// The fault-wrapped mesh is parallel-eligible, not a serial fallback: pin
+/// the sharded cycle against the serial one across worker counts with a
+/// seeded fault schedule mangling traffic and the delivery protocol
+/// retransmitting around it — the inner fabric tick, the per-node fault
+/// streams, and the stall-roll timing must all reproduce domain by domain.
+#[test]
+fn fault_wrapped_mesh_shards_bit_identically() {
+    check("fault_wrapped_mesh_shards_bit_identically", 24, |rng| {
+        let cfg = Config {
+            model: *rng.pick(&Model::ALL_SIX),
+            mesh: true,
+            latency: 0,
+            e2e: true,
+            fault: Some((rng.u64(), rng.range(20, 150) as u32)),
+            skip: rng.bool(),
+            instrument: None,
+        };
+        let trace_cap = rng.bool().then(|| rng.range(1, 24) as usize);
+        let budget = rng.range(10_000, 40_000);
+        let ctx = format!(
+            "{} fault={:?} skip={} trace={:?}",
+            cfg.model, cfg.fault, cfg.skip, trace_cap
+        );
+        let mut serial = build_par(&cfg, trace_cap, 1);
+        let baseline = serial.run(budget);
+        for par in [2usize, 3, 8] {
+            let mut sharded = build_par(&cfg, trace_cap, par);
+            let op = sharded.run(budget);
+            assert_eq!(baseline, op, "{ctx} par={par} outcome");
+            assert_eq!(serial.cycle(), sharded.cycle(), "{ctx} par={par} cycle");
+            assert_eq!(
+                serial.net_stats(),
+                sharded.net_stats(),
+                "{ctx} par={par} net stats (fault counters included)"
+            );
+            assert_eq!(
+                serial.delivery_stats(),
+                sharded.delivery_stats(),
+                "{ctx} par={par} delivery stats"
+            );
+            for i in 0..2 {
+                let (s, p) = (serial.node(i), sharded.node(i));
+                assert_eq!(s.cpu().cycle(), p.cpu().cycle(), "{ctx} node {i} cycles");
+                for r in Reg::ALL {
+                    assert_eq!(s.cpu().reg(r), p.cpu().reg(r), "{ctx} node {i} reg {r}");
+                }
+            }
+            if trace_cap.is_some() {
+                let (ts, tp) = (serial.trace().unwrap(), sharded.trace().unwrap());
+                assert_eq!(ts.dropped(), tp.dropped(), "{ctx} par={par} trace dropped");
+                assert!(ts.events().eq(tp.events()), "{ctx} par={par} trace events");
+            }
+        }
+    });
 }
 
 /// The same bit-identity must hold when a seeded fault schedule is mangling
