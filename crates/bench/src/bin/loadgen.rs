@@ -12,7 +12,15 @@
 //!
 //! `--models all` selects all six §4 models; `--windows none` disables the
 //! closed-loop curves; `--patterns` accepts `hotspot:NNN` for an explicit
-//! per-mille skew and `--fabrics` accepts `ideal:N` for an explicit latency.
+//! per-mille skew and `--fabrics` accepts `ideal:N` for an explicit latency
+//! plus the switched topologies `mesh`, `torus`, `ring`, and `full`.
+//! `--topology NAME` pins the whole sweep to one fabric (shorthand for
+//! `--fabrics NAME`; in `--collective` mode it picks the fabric under the
+//! storm, with the combining tree that embeds in it). `--unit-costs`
+//! replaces the Table-1 per-model service costs with one-cycle sends and
+//! receives, making the fabric the only bottleneck — the mode the
+//! topology saturation sensitivity table in `EXPERIMENTS.md` is measured
+//! in.
 //! `--fault-rates LIST` adds a fault axis: every cell is swept once per
 //! per-mille fault rate (`0` is a valid baseline) with the end-to-end
 //! delivery protocol enabled, and the artifact carries per-point fault
@@ -37,13 +45,14 @@ use tcni_workload::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--models LIST|all] [--fabrics LIST] [--patterns LIST] \
-         [--rates LIST] [--windows LIST|none] [--fault-rates LIST] [--width W] \
-         [--height H] [--seed S] [--warmup N] [--measure N] [--samples N] \
-         [--out PATH] [--quiet]\n\
+        "usage: loadgen [--models LIST|all] [--fabrics LIST] [--topology NAME] \
+         [--patterns LIST] [--rates LIST] [--windows LIST|none] \
+         [--fault-rates LIST] [--unit-costs] [--width W] [--height H] \
+         [--seed S] [--warmup N] [--measure N] [--samples N] [--out PATH] \
+         [--quiet]\n\
        \x20      loadgen --collective [--ops LIST|all] [--rates LIST] [--rounds N] \
-         [--radix K] [--max-cycles N] [--fault PM] [--width W] [--height H] \
-         [--seed S] [--samples N] [--out PATH] [--quiet]"
+         [--radix K] [--max-cycles N] [--fault PM] [--topology NAME] [--width W] \
+         [--height H] [--seed S] [--samples N] [--out PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -72,12 +81,14 @@ fn main() {
     let mut samples = 8u32;
     let mut models: Option<Vec<Model>> = None;
     let mut fabrics: Option<Vec<Fabric>> = None;
+    let mut topology: Option<Fabric> = None;
     let mut patterns: Option<Vec<Pattern>> = None;
     let mut rates: Option<Vec<u32>> = None;
     let mut windows: Option<Vec<u32>> = None;
     let mut fault_rates: Option<Vec<u32>> = None;
     let mut out_path: Option<String> = None;
     let mut quiet = false;
+    let mut unit_costs = false;
     let mut collective = false;
     let mut ops: Option<Vec<CollectiveOp>> = None;
     let mut rounds = 32u32;
@@ -116,6 +127,13 @@ fn main() {
                 });
             }
             "--fabrics" => fabrics = Some(parse_list(&take("--fabrics"), "fabric", Fabric::parse)),
+            "--topology" => {
+                let v = take("--topology");
+                topology = Some(Fabric::parse(&v).unwrap_or_else(|| {
+                    eprintln!("loadgen: unknown topology {v:?}");
+                    usage()
+                }));
+            }
             "--patterns" => {
                 patterns = Some(parse_list(&take("--patterns"), "pattern", Pattern::parse))
             }
@@ -141,6 +159,7 @@ fn main() {
             "--samples" => samples = take("--samples").parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(take("--out")),
             "--quiet" => quiet = true,
+            "--unit-costs" => unit_costs = true,
             _ => usage(),
         }
     }
@@ -155,6 +174,9 @@ fn main() {
 
     if collective {
         let mut cfg = CollStormConfig::new(Topology::new(width, height));
+        if let Some(fabric) = topology {
+            cfg.fabric = fabric;
+        }
         cfg.seed = seed;
         cfg.rounds = rounds;
         cfg.radix = radix;
@@ -171,7 +193,8 @@ fn main() {
         let points = run_coll_sweep(&ops, &rates, &cfg);
         if !quiet {
             println!(
-                "collective sweep: {width}×{height} mesh, radix-{radix} tree, {rounds} rounds per point"
+                "collective sweep: {width}×{height} {}, radix-{radix} tree, {rounds} rounds per point",
+                cfg.fabric.key()
             );
             for p in &points {
                 println!(
@@ -221,12 +244,16 @@ fn main() {
     sweep.warmup = warmup;
     sweep.measure = measure;
     sweep.samples = samples;
+    sweep.unit_costs = unit_costs;
     let mut config = LoadgenConfig::new(sweep);
     if let Some(models) = models {
         config.models = models;
     }
     if let Some(fabrics) = fabrics {
         config.fabrics = fabrics;
+    }
+    if let Some(fabric) = topology {
+        config.fabrics = vec![fabric];
     }
     if let Some(patterns) = patterns {
         config.patterns = patterns;

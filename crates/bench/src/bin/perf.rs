@@ -17,7 +17,7 @@ use tcni_core::{CollectiveOp, Message, NodeId, WireFormat};
 use tcni_eval::sweep;
 use tcni_eval::table1::Table1;
 use tcni_isa::{Assembler, MsgType, Program, Reg};
-use tcni_net::{Mesh2d, MeshConfig, Network};
+use tcni_net::{Fabric, FabricConfig, Network};
 use tcni_sim::{DeliveryConfig, Machine, MachineBuilder, Model};
 use tcni_tam::programs;
 use tcni_workload::{
@@ -83,7 +83,7 @@ fn clogged_mesh_machine(skip: bool) -> Machine {
         .ni_queues(4, 2)
         .program(0, producer)
         .program(1, halt_program())
-        .network_mesh(MeshConfig::new(2, 1))
+        .network_fabric(FabricConfig::new(2, 1))
         .skip_ahead(skip)
         .build()
 }
@@ -91,7 +91,7 @@ fn clogged_mesh_machine(skip: bool) -> Machine {
 /// Delivers `target` messages through a 4×4 mesh (all nodes sending to their
 /// ring successor) and returns the delivered count.
 fn mesh_traffic(target: u64) -> u64 {
-    let mut mesh = Mesh2d::new(MeshConfig::new(4, 4));
+    let mut mesh = Fabric::new(FabricConfig::new(4, 4));
     let n = mesh.node_count();
     let mtype = MsgType::new(1).expect("type 1");
     let mut delivered = 0u64;
@@ -131,7 +131,7 @@ fn large_mesh_low_load(
 ) -> Machine {
     let mut b = MachineBuilder::new(side * side)
         .model(Model::ALL_SIX[0])
-        .network_mesh(MeshConfig::new(side, side))
+        .network_fabric(FabricConfig::new(side, side))
         .dense_scan(dense);
     if delivery {
         b = b.delivery(DeliveryConfig::default());
@@ -141,6 +141,27 @@ fn large_mesh_low_load(
     let mut config = InjectorConfig::new(
         Pattern::Uniform,
         Topology::new(side, side),
+        LoopMode::Open { rate_pm: 5 },
+    );
+    config.format = machine.wire_format();
+    let mut injector = Injector::new(config);
+    machine.run_driven(&mut injector, cycles);
+    machine
+}
+
+/// The topology sensitivity point: the same 256-node machine and uniform
+/// 5‰ open-loop drive as the 16×16 large-mesh point, but on a selectable
+/// switched fabric (mesh / torus / ring). Serial, delivery on.
+fn topology_low_load(cfg_net: FabricConfig, cycles: u64) -> Machine {
+    let mut machine = MachineBuilder::new(256)
+        .model(Model::ALL_SIX[0])
+        .network_fabric(cfg_net)
+        .delivery(DeliveryConfig::default())
+        .build();
+    machine.set_par_threads(1);
+    let mut config = InjectorConfig::new(
+        Pattern::Uniform,
+        Topology::new(16, 16),
         LoopMode::Open { rate_pm: 5 },
     );
     config.format = machine.wire_format();
@@ -312,6 +333,33 @@ fn main() {
             ("scanned_flows".into(), scan.scanned_flows),
             ("skipped_work".into(), scan.skipped_work),
             ("dense_cost".into(), dense_cost),
+        ];
+        report.results.push(meas);
+    }
+
+    // The topology sensitivity axis: the identical 16×16 uniform-5‰ point
+    // on the mesh, the wrap-around torus, and the 256-node ring. Wall
+    // clock tracks the per-topology simulation cost (the torus scans twice
+    // the ports per node, the ring routes much longer paths); the counters
+    // carry the simulated delivery latency, the pinned source for the
+    // EXPERIMENTS.md mesh/torus/ring sensitivity table.
+    for (name, cfg_net) in [
+        ("topology/16x16_mesh_uniform5pm", FabricConfig::new(16, 16)),
+        (
+            "topology/16x16_torus_uniform5pm",
+            FabricConfig::torus(16, 16),
+        ),
+        ("topology/16x16_ring_uniform5pm", FabricConfig::ring(256)),
+    ] {
+        let mut meas = bench(name, "cycles/sec", cycles as f64, warmup, reps, || {
+            topology_low_load(cfg_net, cycles)
+        });
+        let machine = topology_low_load(cfg_net, cycles);
+        let stats = machine.net_stats();
+        meas.counters = vec![
+            ("cycles".into(), machine.cycle()),
+            ("delivered".into(), stats.delivered),
+            ("total_latency".into(), stats.total_latency),
         ];
         report.results.push(meas);
     }

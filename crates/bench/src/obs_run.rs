@@ -16,7 +16,7 @@ use tcni_core::mapping::{cmd_addr, reg_addr, NI_WINDOW_BASE};
 use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_eval::handlers::remote_read::{self, REMOTE_ADDR};
 use tcni_isa::{Assembler, Cond, Program, Reg};
-use tcni_net::MeshConfig;
+use tcni_net::FabricConfig;
 use tcni_sim::{Machine, MachineBuilder, Model, ObsReport, RunOutcome};
 
 fn off(addr: u32) -> i16 {
@@ -73,7 +73,7 @@ pub fn ring_machine(width: usize, height: usize, k: u32) -> Machine {
     let mut b = MachineBuilder::new(n)
         .model(Model::ALL_SIX[1]) // optimized on-chip: window ld/st idiom
         .ni_queues((k as usize).max(16), 16)
-        .network_mesh(MeshConfig::new(width, height));
+        .network_fabric(FabricConfig::new(width, height));
     for i in 0..n {
         let dest = NodeId::from_index((i + 1) % n);
         b = b.program(i, ring_program(dest, k));

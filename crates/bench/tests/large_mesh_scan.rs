@@ -6,14 +6,14 @@
 //! `large_mesh/16x16_uniform5pm_*` measurements in `BENCH_simulator.json`;
 //! this test is the fast in-tree guard on the same property.
 
-use tcni_net::MeshConfig;
+use tcni_net::FabricConfig;
 use tcni_sim::{DeliveryConfig, Machine, MachineBuilder, Model};
 use tcni_workload::{Injector, InjectorConfig, LoopMode, Pattern, Topology};
 
 fn run_point(cycles: u64, dense: bool) -> Machine {
     let mut machine = MachineBuilder::new(256)
         .model(Model::ALL_SIX[0])
-        .network_mesh(MeshConfig::new(16, 16))
+        .network_fabric(FabricConfig::new(16, 16))
         .delivery(DeliveryConfig::default())
         .dense_scan(dense)
         .build();

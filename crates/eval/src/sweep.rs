@@ -16,7 +16,7 @@ use tcni_core::mapping::gpr_alias;
 use tcni_core::{FeatureLevel, FeatureSet, InterfaceReg, NiCmd, NodeId, WireFormat};
 use tcni_cpu::TimingConfig;
 use tcni_isa::{AluOp, Assembler, Cond, CostClass, MsgType, Reg};
-use tcni_net::MeshConfig;
+use tcni_net::FabricConfig;
 use tcni_sim::{MachineBuilder, Model, NiMapping, RunOutcome};
 use tcni_tam::TamCounts;
 
@@ -203,7 +203,7 @@ pub fn queue_sweep(capacities: &[usize]) -> Vec<QueuePoint> {
             .ni_queues(cap, cap)
             .program(0, producer_program())
             .program(1, consumer_program())
-            .network_mesh(MeshConfig::new(2, 1))
+            .network_fabric(FabricConfig::new(2, 1))
             .build();
         machine
             .node_mut(1)

@@ -1,4 +1,16 @@
-//! A 2-D mesh with XY dimension-order routing and finite channel buffers.
+//! The switched fabric: finite channel FIFOs, one packet per link per
+//! cycle, and backpressure, over a pluggable [`Topology`].
+//!
+//! Historically this was a hard-coded 2-D mesh (`Mesh2d`); the routing
+//! geometry is now delegated to a [`TopologyKind`], so the same switched
+//! core — including the active-channel frontier, per-link observability,
+//! and the sharded `tick_domains` cycle — serves mesh, torus, ring, and
+//! fully-connected fabrics. For the mesh the channel layout and scan
+//! order are bit-identical to the original: channels are numbered
+//! `node * stride + role` with role 0 = inject, roles `1..=ports` the
+//! topology's ports in order, and role `stride - 1` = eject, which for
+//! the mesh reproduces the historical inject/east/west/north/south/eject
+//! layout exactly.
 
 use std::collections::VecDeque;
 
@@ -7,15 +19,14 @@ use tcni_util::disjoint::{split_groups, GroupMut, SlotClaims};
 use tcni_util::par::run_tasks;
 
 use crate::stats::{LatencyHist, NetStats};
+use crate::topology::{Hop, Topology, TopologyKind};
 use crate::{InjectError, Network};
 
-/// Configuration for [`Mesh2d`].
+/// Configuration for [`Fabric`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MeshConfig {
-    /// Mesh width (columns).
-    pub width: usize,
-    /// Mesh height (rows).
-    pub height: usize,
+pub struct FabricConfig {
+    /// The interconnect shape.
+    pub topo: TopologyKind,
     /// Capacity of each directional link FIFO, in packets.
     pub channel_capacity: usize,
     /// Capacity of each node's injection FIFO.
@@ -24,55 +35,40 @@ pub struct MeshConfig {
     pub eject_capacity: usize,
 }
 
-impl MeshConfig {
+impl FabricConfig {
     /// A `width × height` mesh with small (4-packet) buffers everywhere —
     /// shallow enough that congestion visibly backs up, as §2.1.1 describes.
-    pub fn new(width: usize, height: usize) -> MeshConfig {
-        MeshConfig {
-            width,
-            height,
+    pub fn new(width: usize, height: usize) -> FabricConfig {
+        FabricConfig::of(TopologyKind::mesh(width, height))
+    }
+
+    /// Any topology with the same small default buffers.
+    pub fn of(topo: TopologyKind) -> FabricConfig {
+        FabricConfig {
+            topo,
             channel_capacity: 4,
             inject_capacity: 4,
             eject_capacity: 4,
         }
     }
+
+    /// A `width × height` torus with default buffers.
+    pub fn torus(width: usize, height: usize) -> FabricConfig {
+        FabricConfig::of(TopologyKind::torus(width, height))
+    }
+
+    /// A ring of `nodes` nodes with default buffers.
+    pub fn ring(nodes: usize) -> FabricConfig {
+        FabricConfig::of(TopologyKind::ring(nodes))
+    }
+
+    /// A fully-connected fabric of `nodes` nodes with default buffers.
+    pub fn full(nodes: usize) -> FabricConfig {
+        FabricConfig::of(TopologyKind::full(nodes))
+    }
 }
 
-/// Channel roles within a node's router.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(usize)]
-enum Dir {
-    /// Waiting to enter the network at this node.
-    Inject = 0,
-    /// On the link from this node to its +x neighbour.
-    East = 1,
-    /// On the link to the −x neighbour.
-    West = 2,
-    /// On the link to the +y neighbour.
-    North = 3,
-    /// On the link to the −y neighbour.
-    South = 4,
-    /// Arrived; waiting for the NI to drain it.
-    Eject = 5,
-}
-
-const DIR_COUNT: usize = 6;
-const MOVE_ORDER: [Dir; 5] = [Dir::East, Dir::West, Dir::North, Dir::South, Dir::Inject];
-
-/// Number of movable channels per node — every role except Eject, whose
-/// packets only leave via [`Network::eject`], never in `tick`.
-const MOVE_SLOTS: usize = MOVE_ORDER.len();
-
-/// Position of each movable `Dir` within [`MOVE_ORDER`], indexed by
-/// `Dir as usize` (Eject has no rank). Frontier *slots* are numbered
-/// `node * MOVE_SLOTS + rank`, so ascending slot order is exactly the dense
-/// scan order — the property that makes the hot-set scan bit-identical.
-const MOVE_RANK: [usize; DIR_COUNT] = [4, 0, 1, 2, 3, usize::MAX];
-
-/// Display/export names for the six channel roles, indexed by `Dir`.
-const DIR_NAMES: [&str; DIR_COUNT] = ["inject", "east", "west", "north", "south", "eject"];
-
-/// Per-channel observability counters (see [`Mesh2d::set_observe`]).
+/// Per-channel observability counters (see [`Fabric::set_observe`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// High-water mark of the channel FIFO's occupancy, in packets.
@@ -83,13 +79,13 @@ pub struct LinkStats {
 }
 
 /// One channel's stats with its location, as reported by
-/// [`Mesh2d::link_stats`].
+/// [`Fabric::link_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkReport {
     /// The node the channel belongs to.
     pub node: usize,
-    /// The channel role (`"inject"`, `"east"`, `"west"`, `"north"`,
-    /// `"south"`, `"eject"`).
+    /// The channel role (`"inject"`, `"eject"`, or a topology port name
+    /// such as `"east"` or `"cw0"`).
     pub dir: &'static str,
     /// The counters.
     pub stats: LinkStats,
@@ -102,54 +98,65 @@ struct Packet {
     moved_at: u64,
 }
 
-// Routing geometry as free functions of the mesh width, so the parallel
-// tick's workers (which cannot hold `&self` while the channel vector is
-// split) share the exact decision procedure with the serial methods.
+// Channel-layout arithmetic as free functions of the topology, so the
+// parallel tick's workers (which cannot hold `&self` while the channel
+// vector is split) share the exact decision procedure with the serial
+// methods. A node's channels are `node * stride + role` with role 0 =
+// inject, role `1 + p` = topology port `p`, role `stride - 1` = eject.
+// Frontier slots order the movable roles ports-first, inject-last:
+// `node * move_slots + rank` with rank `p` for port `p` and rank
+// `ports` for inject — for the mesh this is exactly the historical
+// east/west/north/south/inject move order.
 
-fn coords_w(width: usize, node: usize) -> (usize, usize) {
-    (node % width, node / width)
-}
+const INJECT_ROLE: usize = 0;
 
-/// The routing decision for a packet *located at* `node`.
-fn route_w(width: usize, node: usize, dst: usize) -> Dir {
-    let (x, y) = coords_w(width, node);
-    let (dx, dy) = coords_w(width, dst);
-    if dx > x {
-        Dir::East
-    } else if dx < x {
-        Dir::West
-    } else if dy > y {
-        Dir::North
-    } else if dy < y {
-        Dir::South
+/// The movable role of frontier slot `slot % move_slots`.
+fn role_of_rank(rank: usize, ports: usize) -> usize {
+    if rank == ports {
+        INJECT_ROLE
     } else {
-        Dir::Eject
+        rank + 1
     }
 }
 
-/// The node a packet in `(node, dir)` is located at / heading into.
-fn link_target_w(width: usize, node: usize, dir: Dir) -> usize {
-    let (x, y) = coords_w(width, node);
-    let (tx, ty) = match dir {
-        Dir::East => (x + 1, y),
-        Dir::West => (x - 1, y),
-        Dir::North => (x, y + 1),
-        Dir::South => (x, y - 1),
-        Dir::Inject | Dir::Eject => (x, y),
-    };
-    ty * width + tx
-}
-
-fn cap_of_c(config: &MeshConfig, dir: Dir) -> usize {
-    match dir {
-        Dir::Inject => config.inject_capacity,
-        Dir::Eject => config.eject_capacity,
-        _ => config.channel_capacity,
+/// The frontier rank of movable role `role` (inject or a port).
+fn rank_of_role(role: usize, ports: usize) -> usize {
+    if role == INJECT_ROLE {
+        ports
+    } else {
+        role - 1
     }
 }
 
-fn chan_of(node: usize, dir: Dir) -> usize {
-    node * DIR_COUNT + dir as usize
+/// The routing decision for a packet *located at* `node`, as a role.
+fn route_c(topo: &TopologyKind, node: usize, dst: usize) -> usize {
+    match topo.route(node, dst) {
+        Hop::Port(p) => 1 + p,
+        Hop::Eject => topo.stride() - 1,
+    }
+}
+
+/// The node a packet in `(node, role)` is located at / heading into.
+fn target_c(topo: &TopologyKind, node: usize, role: usize) -> usize {
+    if role == INJECT_ROLE {
+        node
+    } else {
+        topo.port_target(node, role - 1)
+    }
+}
+
+fn cap_of_c(config: &FabricConfig, role: usize, stride: usize) -> usize {
+    if role == INJECT_ROLE {
+        config.inject_capacity
+    } else if role == stride - 1 {
+        config.eject_capacity
+    } else {
+        config.channel_capacity
+    }
+}
+
+fn chan_of(node: usize, role: usize, stride: usize) -> usize {
+    node * stride + role
 }
 
 /// The spatial domain (index into `bounds` windows) that owns `node`.
@@ -157,41 +164,43 @@ fn dom_of(bounds: &[usize], node: usize) -> u32 {
     (bounds.partition_point(|&b| b <= node) - 1) as u32
 }
 
-/// A 2-D mesh network: XY (dimension-order) routing, one packet per link per
-/// cycle, finite per-channel FIFOs, and backpressure that propagates from a
-/// stalled receiver all the way to senders' injection buffers.
+/// A switched network over a [`TopologyKind`]: deterministic per-hop
+/// routing, one packet per link per cycle, finite per-channel FIFOs, and
+/// backpressure that propagates from a stalled receiver all the way to
+/// senders' injection buffers.
 ///
-/// XY routing over per-direction FIFOs is deadlock-free, and because every
-/// source/destination pair uses a single deterministic path of FIFOs,
-/// point-to-point ordering is preserved (required by SCROLL flits, §2.1.2).
+/// Dimension-order (and, on wrapped topologies, dateline-VC) routing over
+/// per-port FIFOs is deadlock-free, and because every source/destination
+/// pair uses a single deterministic path of FIFOs, point-to-point
+/// ordering is preserved (required by SCROLL flits, §2.1.2).
 ///
 /// # Example
 ///
 /// ```
 /// use tcni_core::{Message, NodeId};
 /// use tcni_isa::MsgType;
-/// use tcni_net::{Mesh2d, MeshConfig, Network};
+/// use tcni_net::{Fabric, FabricConfig, Network};
 ///
-/// let mut net = Mesh2d::new(MeshConfig::new(2, 2));
+/// let mut net = Fabric::new(FabricConfig::new(2, 2));
 /// let m = Message::to(NodeId::new(3), [0, 0, 0, 0, 0], MsgType::new(2).unwrap());
 /// net.inject(NodeId::new(0), m).unwrap();
 /// for _ in 0..8 { net.tick(); }
 /// assert!(net.eject(NodeId::new(3)).is_some());
 /// ```
-pub struct Mesh2d {
-    config: MeshConfig,
+pub struct Fabric {
+    config: FabricConfig,
     chans: Vec<VecDeque<Packet>>,
     now: u64,
     in_flight: usize,
     stats: NetStats,
     /// Whether per-link counters are maintained (off by default: the
     /// per-hop updates, while cheap, are not free — see
-    /// [`set_observe`](Mesh2d::set_observe)).
+    /// [`set_observe`](Fabric::set_observe)).
     observe: bool,
     links: Vec<LinkStats>,
-    /// The active-channel frontier: bit `node * MOVE_SLOTS + rank` is set
+    /// The active-channel frontier: bit `node * move_slots + rank` is set
     /// iff that movable channel is non-empty. Maintained incrementally on
-    /// inject and on every head-of-line move (Eject channels are untracked —
+    /// inject and on every head-of-line move (eject channels are untracked —
     /// they drain via `eject`, not `tick`). Invariant: in hot-set mode,
     /// `tick` visits exactly the set bits, in ascending slot order.
     active: Vec<u64>,
@@ -201,37 +210,30 @@ pub struct Mesh2d {
     dense_scan: bool,
 }
 
-impl Mesh2d {
-    /// Creates a mesh.
+impl Fabric {
+    /// Creates a fabric.
     ///
     /// # Panics
     ///
-    /// Panics if any dimension or capacity is zero, or if the mesh exceeds
+    /// Panics if any capacity is zero, or if the topology exceeds
     /// [`NodeId`]'s wide-format address space ([`NodeId::MAX_NODES`]).
-    pub fn new(config: MeshConfig) -> Mesh2d {
+    pub fn new(config: FabricConfig) -> Fabric {
+        let n = config.topo.nodes();
         assert!(
-            config.width > 0 && config.height > 0,
-            "mesh dimensions must be non-zero"
-        );
-        assert!(
-            config.width * config.height <= NodeId::MAX_NODES,
-            "mesh larger than the NodeId address space"
+            n <= NodeId::MAX_NODES,
+            "fabric larger than the NodeId address space"
         );
         assert!(
             config.channel_capacity > 0 && config.inject_capacity > 0 && config.eject_capacity > 0,
             "capacities must be non-zero"
         );
-        let n = config.width * config.height;
+        let stride = config.topo.stride();
         // Every FIFO is preallocated to its capacity so the steady-state
         // tick/inject path never allocates.
-        let cap = |i: usize| match i % DIR_COUNT {
-            i if i == Dir::Inject as usize => config.inject_capacity,
-            i if i == Dir::Eject as usize => config.eject_capacity,
-            _ => config.channel_capacity,
-        };
-        Mesh2d {
+        let cap = |i: usize| cap_of_c(&config, i % stride, stride);
+        Fabric {
             config,
-            chans: (0..n * DIR_COUNT)
+            chans: (0..n * stride)
                 .map(|i| VecDeque::with_capacity(cap(i)))
                 .collect(),
             now: 0,
@@ -239,7 +241,7 @@ impl Mesh2d {
             stats: NetStats::default(),
             observe: false,
             links: Vec::new(),
-            active: vec![0; (n * MOVE_SLOTS).div_ceil(64)],
+            active: vec![0; (n * config.topo.move_slots()).div_ceil(64)],
             dense_scan: false,
         }
     }
@@ -259,11 +261,12 @@ impl Mesh2d {
         self.dense_scan
     }
 
-    /// Marks the movable channel `(node, dir)` non-empty in the frontier.
+    /// Marks the movable channel `(node, role)` non-empty in the frontier.
     #[inline]
-    fn mark_active(&mut self, node: usize, dir: Dir) {
-        debug_assert!(dir != Dir::Eject, "eject channels are untracked");
-        let slot = node * MOVE_SLOTS + MOVE_RANK[dir as usize];
+    fn mark_active(&mut self, node: usize, role: usize) {
+        let ports = self.config.topo.ports();
+        debug_assert!(role != ports + 1, "eject channels are untracked");
+        let slot = node * self.config.topo.move_slots() + rank_of_role(role, ports);
         self.active[slot / 64] |= 1u64 << (slot % 64);
     }
 
@@ -293,16 +296,26 @@ impl Mesh2d {
         self.observe
     }
 
-    /// A snapshot of every channel's counters, in `(node, dir)` order.
-    /// Empty unless [`set_observe`](Mesh2d::set_observe) has been called.
+    /// A snapshot of every channel's counters, in `(node, role)` order.
+    /// Empty unless [`set_observe`](Fabric::set_observe) has been called.
     pub fn link_stats(&self) -> Vec<LinkReport> {
+        let stride = self.config.topo.stride();
         self.links
             .iter()
             .enumerate()
-            .map(|(i, &stats)| LinkReport {
-                node: i / DIR_COUNT,
-                dir: DIR_NAMES[i % DIR_COUNT],
-                stats,
+            .map(|(i, &stats)| {
+                let role = i % stride;
+                LinkReport {
+                    node: i / stride,
+                    dir: if role == INJECT_ROLE {
+                        "inject"
+                    } else if role == stride - 1 {
+                        "eject"
+                    } else {
+                        self.config.topo.port_name(role - 1)
+                    },
+                    stats,
+                }
             })
             .collect()
     }
@@ -315,41 +328,33 @@ impl Mesh2d {
         }
     }
 
-    /// The mesh configuration.
-    pub fn config(&self) -> MeshConfig {
+    /// The fabric configuration.
+    pub fn config(&self) -> FabricConfig {
         self.config
     }
 
-    fn chan_index(&self, node: usize, dir: Dir) -> usize {
-        chan_of(node, dir)
+    fn chan_index(&self, node: usize, role: usize) -> usize {
+        chan_of(node, role, self.config.topo.stride())
     }
 
-    fn cap_of(&self, dir: Dir) -> usize {
-        cap_of_c(&self.config, dir)
-    }
-
-    /// The routing decision for a packet *located at* `node`.
-    fn route(&self, node: usize, dst: usize) -> Dir {
-        route_w(self.config.width, node, dst)
-    }
-
-    /// The node a packet in `(node, dir)` is located at / heading into.
-    fn link_target(&self, node: usize, dir: Dir) -> usize {
-        link_target_w(self.config.width, node, dir)
+    fn eject_role(&self) -> usize {
+        self.config.topo.stride() - 1
     }
 
     /// Occupancy of a node's ejection buffer (for tests and observability).
     pub fn eject_occupancy(&self, node: NodeId) -> usize {
-        self.chans[self.chan_index(node.index(), Dir::Eject)].len()
+        self.chans[self.chan_index(node.index(), self.eject_role())].len()
     }
 
     /// One head-of-line move attempt for frontier slot `slot`, shared by the
     /// hot-set and dense scans. Packets stamped `moved_at == now` have
     /// already hopped this cycle.
     fn move_head(&mut self, slot: usize) {
-        let node = slot / MOVE_SLOTS;
-        let dir = MOVE_ORDER[slot % MOVE_SLOTS];
-        let src_idx = self.chan_index(node, dir);
+        let topo = self.config.topo;
+        let (stride, move_slots, ports) = (topo.stride(), topo.move_slots(), topo.ports());
+        let node = slot / move_slots;
+        let role = role_of_rank(slot % move_slots, ports);
+        let src_idx = chan_of(node, role, stride);
         let Some(head) = self.chans[src_idx].front() else {
             // Only the dense scan visits empty channels; the frontier
             // guarantees occupancy.
@@ -360,12 +365,12 @@ impl Mesh2d {
             return;
         }
         // Location of the packet: for link channels it is the link's
-        // far end; for Inject it is the node itself.
-        let loc = self.link_target(node, dir);
+        // far end; for inject it is the node itself.
+        let loc = target_c(&topo, node, role);
         let dst = head.msg.dest().index();
-        let next_dir = self.route(loc, dst);
-        let next_idx = self.chan_index(loc, next_dir);
-        if self.chans[next_idx].len() >= self.cap_of(next_dir) {
+        let next_role = route_c(&topo, loc, dst);
+        let next_idx = chan_of(loc, next_role, stride);
+        if self.chans[next_idx].len() >= cap_of_c(&self.config, next_role, stride) {
             self.stats.blocked_hops += 1;
             if self.observe {
                 self.links[src_idx].blocked += 1;
@@ -378,20 +383,21 @@ impl Mesh2d {
             self.clear_active_slot(slot);
         }
         self.chans[next_idx].push_back(p);
-        if next_dir != Dir::Eject && self.chans[next_idx].len() == 1 {
-            self.mark_active(loc, next_dir);
+        if next_role != stride - 1 && self.chans[next_idx].len() == 1 {
+            self.mark_active(loc, next_role);
         }
         self.note_push(next_idx);
     }
 
     /// The post-guard body of [`Network::tick`] (`now` already advanced,
     /// fabric known non-empty), shared by the serial tick and the fallback
-    /// paths of [`tick_domains`](Mesh2d::tick_domains).
+    /// paths of [`tick_domains`](Fabric::tick_domains).
     fn tick_body(&mut self) {
-        let dense_cost = (self.node_count() * MOVE_SLOTS) as u64;
+        let move_slots = self.config.topo.move_slots();
+        let dense_cost = (self.node_count() * move_slots) as u64;
         let mut visited: u64 = 0;
         if self.dense_scan {
-            for slot in 0..self.node_count() * MOVE_SLOTS {
+            for slot in 0..self.node_count() * move_slots {
                 self.move_head(slot);
             }
             visited = dense_cost;
@@ -401,8 +407,8 @@ impl Mesh2d {
             // *later* bit in the current word (a packet entering a channel
             // the dense scan had not reached yet), which must be visited
             // this cycle exactly as the dense scan would — while moves into
-            // already-passed slots (westward/southward hops) stay unvisited
-            // until next cycle, again exactly like the dense scan.
+            // already-passed slots stay unvisited until next cycle, again
+            // exactly like the dense scan.
             for w in 0..self.active.len() {
                 let mut bits = self.active[w];
                 while bits != 0 {
@@ -424,7 +430,10 @@ impl Mesh2d {
     ///
     /// `bounds` is an ascending node partition (`bounds[0] == 0`,
     /// `bounds.last() == node_count()`); domain `d` owns nodes
-    /// `bounds[d]..bounds[d + 1]` and all their channels.
+    /// `bounds[d]..bounds[d + 1]` and all their channels. The partition is
+    /// topology-agnostic: conflict components are computed over the actual
+    /// channel graph, so wrap links (torus/ring) and long-range links
+    /// (fully-connected) simply produce more boundary components.
     ///
     /// # How identity is kept
     ///
@@ -448,7 +457,7 @@ impl Mesh2d {
     /// Falls back to the serial body (identical by definition) when the
     /// dense-scan cross-check or per-link observability is on, or when
     /// fewer than two tasks have work.
-    pub fn tick_domains(&mut self, bounds: &[usize], scratch: &mut MeshTickScratch) {
+    pub fn tick_domains(&mut self, bounds: &[usize], scratch: &mut FabricTickScratch) {
         self.now += 1;
         if self.in_flight == 0 {
             return;
@@ -462,7 +471,7 @@ impl Mesh2d {
         debug_assert_eq!(*bounds.last().expect("non-empty bounds"), self.node_count());
 
         scratch.prepare(self.chans.len(), domains);
-        let MeshTickScratch {
+        let FabricTickScratch {
             ref mut moves,
             ref mut parent,
             ref mut dom_min,
@@ -476,6 +485,9 @@ impl Mesh2d {
             ref mut claims,
         } = *scratch;
 
+        let topo = self.config.topo;
+        let (stride, move_slots, ports) = (topo.stride(), topo.move_slots(), topo.ports());
+
         // Pre-pass: the single possible move of every initially-active slot.
         for (w, &word) in self.active.iter().enumerate() {
             let mut bits = word;
@@ -483,17 +495,17 @@ impl Mesh2d {
                 let b = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let slot = w * 64 + b;
-                let node = slot / MOVE_SLOTS;
-                let dir = MOVE_ORDER[slot % MOVE_SLOTS];
-                let src = chan_of(node, dir);
+                let node = slot / move_slots;
+                let role = role_of_rank(slot % move_slots, ports);
+                let src = chan_of(node, role, stride);
                 let Some(head) = self.chans[src].front() else {
                     debug_assert!(false, "frontier bit set on empty channel");
                     continue;
                 };
                 debug_assert!(head.moved_at < self.now, "head already moved this cycle");
-                let loc = link_target_w(self.config.width, node, dir);
-                let tgt_dir = route_w(self.config.width, loc, head.msg.dest().index());
-                let tgt = chan_of(loc, tgt_dir);
+                let loc = target_c(&topo, node, role);
+                let tgt_role = route_c(&topo, loc, head.msg.dest().index());
+                let tgt = chan_of(loc, tgt_role, stride);
                 moves.push((slot as u32, src as u32, tgt as u32));
             }
         }
@@ -505,7 +517,7 @@ impl Mesh2d {
                 if chan_epoch[i] != epoch {
                     chan_epoch[i] = epoch;
                     parent[i] = c;
-                    let d = dom_of(bounds, i / DIR_COUNT);
+                    let d = dom_of(bounds, i / stride);
                     dom_min[i] = d;
                     dom_max[i] = d;
                     touched.push(c);
@@ -534,7 +546,7 @@ impl Mesh2d {
         }
         if worklists.iter().filter(|w| !w.is_empty()).count() < 2 {
             // Everything collapsed into one task (often the boundary task on
-            // tiny meshes): the parallel machinery would only add overhead.
+            // tiny fabrics): the parallel machinery would only add overhead.
             worklists.iter_mut().for_each(Vec::clear);
             self.tick_body();
             return;
@@ -567,7 +579,7 @@ impl Mesh2d {
         // one task's delta, and within a tick its bit history is one of
         // {clear}, {set}, {clear then set} — so applying all clears before
         // all sets reproduces the serial final bitmap.
-        let dense_cost = (self.node_count() * MOVE_SLOTS) as u64;
+        let dense_cost = (self.node_count() * move_slots) as u64;
         let mut visited: u64 = 0;
         for d in deltas.iter() {
             visited += d.visited;
@@ -596,31 +608,32 @@ impl Mesh2d {
     /// Splits the fabric into per-domain injection/ejection views for the
     /// machine simulator's parallel cycle. Domain `d` of `bounds` receives
     /// exclusive access to its nodes' channels; counters accumulate into a
-    /// per-range delta that [`absorb_inject_deltas`](Mesh2d::absorb_inject_deltas)
-    /// or [`absorb_eject_deltas`](Mesh2d::absorb_eject_deltas) folds back in
+    /// per-range delta that [`absorb_inject_deltas`](Fabric::absorb_inject_deltas)
+    /// or [`absorb_eject_deltas`](Fabric::absorb_eject_deltas) folds back in
     /// domain order, reproducing the serial ascending-node scan byte for
     /// byte. Requires per-link observability to be off.
-    pub fn split_node_ranges(&mut self, bounds: &[usize]) -> Vec<MeshRange<'_>> {
+    pub fn split_node_ranges(&mut self, bounds: &[usize]) -> Vec<FabricRange<'_>> {
         debug_assert!(!self.observe, "ranges do not maintain per-link counters");
         debug_assert_eq!(bounds[0], 0);
         debug_assert_eq!(*bounds.last().expect("non-empty bounds"), self.node_count());
+        let stride = self.config.topo.stride();
         let total_nodes = self.node_count();
         let now = self.now;
         let cfg = self.config;
         let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
         let mut chans: &mut [VecDeque<Packet>] = self.chans.as_mut_slice();
         for w in bounds.windows(2) {
-            let take = (w[1] - w[0]) * DIR_COUNT;
+            let take = (w[1] - w[0]) * stride;
             let rest = chans;
             let (head, tail) = rest.split_at_mut(take);
             chans = tail;
-            out.push(MeshRange {
+            out.push(FabricRange {
                 cfg,
                 now,
                 total_nodes,
                 lo: w[0],
                 chans: head,
-                delta: MeshRangeDelta::default(),
+                delta: FabricRangeDelta::default(),
             });
         }
         out
@@ -630,7 +643,7 @@ impl Mesh2d {
     /// The in-flight high-water mark is re-armed once at the end of the
     /// phase, which equals the serial per-inject maximum because in-flight
     /// only grows during injection.
-    pub fn absorb_inject_deltas(&mut self, deltas: impl IntoIterator<Item = MeshRangeDelta>) {
+    pub fn absorb_inject_deltas(&mut self, deltas: impl IntoIterator<Item = FabricRangeDelta>) {
         for d in deltas {
             debug_assert_eq!(d.delivered, 0, "inject-phase delta carries ejections");
             self.stats.injected += d.injected;
@@ -646,7 +659,7 @@ impl Mesh2d {
     }
 
     /// Folds ejection-phase deltas back into the fabric, in domain order.
-    pub fn absorb_eject_deltas(&mut self, deltas: impl IntoIterator<Item = MeshRangeDelta>) {
+    pub fn absorb_eject_deltas(&mut self, deltas: impl IntoIterator<Item = FabricRangeDelta>) {
         for d in deltas {
             debug_assert_eq!(d.injected, 0, "eject-phase delta carries injections");
             debug_assert!(d.marks.is_empty(), "ejection never marks the frontier");
@@ -672,12 +685,12 @@ fn uf_find(parent: &mut [u32], mut c: u32) -> u32 {
     }
 }
 
-/// Reusable workspace for [`Mesh2d::tick_domains`]: the pre-pass move list,
+/// Reusable workspace for [`Fabric::tick_domains`]: the pre-pass move list,
 /// the union-find over touched channels, per-task worklists/channel groups,
 /// and per-task effect buffers. One instance per machine amortizes every
 /// allocation across cycles.
 #[derive(Default)]
-pub struct MeshTickScratch {
+pub struct FabricTickScratch {
     moves: Vec<(u32, u32, u32)>,
     parent: Vec<u32>,
     dom_min: Vec<u32>,
@@ -687,14 +700,14 @@ pub struct MeshTickScratch {
     touched: Vec<u32>,
     groups: Vec<Vec<u32>>,
     worklists: Vec<Vec<u32>>,
-    deltas: Vec<MeshTickDelta>,
+    deltas: Vec<FabricTickDelta>,
     claims: SlotClaims,
 }
 
-impl MeshTickScratch {
+impl FabricTickScratch {
     /// Creates an empty workspace; it sizes itself on first use.
-    pub fn new() -> MeshTickScratch {
-        MeshTickScratch::default()
+    pub fn new() -> FabricTickScratch {
+        FabricTickScratch::default()
     }
 
     fn prepare(&mut self, chan_count: usize, domains: usize) {
@@ -725,21 +738,21 @@ impl MeshTickScratch {
         for d in &mut self.deltas {
             d.clear();
         }
-        self.deltas.resize_with(tasks, MeshTickDelta::default);
+        self.deltas.resize_with(tasks, FabricTickDelta::default);
         self.deltas.truncate(tasks);
     }
 }
 
 /// Effects one tick task buffers instead of applying to shared state.
 #[derive(Default)]
-struct MeshTickDelta {
+struct FabricTickDelta {
     visited: u64,
     blocked: u64,
     clears: Vec<u32>,
     sets: Vec<u32>,
 }
 
-impl MeshTickDelta {
+impl FabricTickDelta {
     fn clear(&mut self) {
         self.visited = 0;
         self.blocked = 0;
@@ -753,22 +766,24 @@ impl MeshTickDelta {
 struct TickTask<'a> {
     chans: GroupMut<'a, VecDeque<Packet>>,
     worklist: &'a mut Vec<u32>,
-    delta: &'a mut MeshTickDelta,
+    delta: &'a mut FabricTickDelta,
 }
 
 /// Replays one task's slots exactly as the serial hot scan would visit them:
 /// ascending order, with a move that activates a strictly-later slot
 /// inserting that slot into the remaining (sorted) worklist — the mirror of
 /// the serial scan's strictly-above word remask.
-fn exec_worklist(cfg: &MeshConfig, now: u64, t: &mut TickTask<'_>) {
+fn exec_worklist(cfg: &FabricConfig, now: u64, t: &mut TickTask<'_>) {
+    let topo = cfg.topo;
+    let (stride, move_slots, ports) = (topo.stride(), topo.move_slots(), topo.ports());
     let mut i = 0;
     while i < t.worklist.len() {
         let slot = t.worklist[i] as usize;
         i += 1;
         t.delta.visited += 1;
-        let node = slot / MOVE_SLOTS;
-        let dir = MOVE_ORDER[slot % MOVE_SLOTS];
-        let src = chan_of(node, dir) as u32;
+        let node = slot / move_slots;
+        let role = role_of_rank(slot % move_slots, ports);
+        let src = chan_of(node, role, stride) as u32;
         let Some(head) = t.chans.get(src).front() else {
             debug_assert!(false, "worklist slot on empty channel");
             continue;
@@ -777,10 +792,10 @@ fn exec_worklist(cfg: &MeshConfig, now: u64, t: &mut TickTask<'_>) {
             // A re-activation visit: the packet arrived earlier this cycle.
             continue;
         }
-        let loc = link_target_w(cfg.width, node, dir);
-        let tgt_dir = route_w(cfg.width, loc, head.msg.dest().index());
-        let tgt = chan_of(loc, tgt_dir) as u32;
-        if t.chans.get(tgt).len() >= cap_of_c(cfg, tgt_dir) {
+        let loc = target_c(&topo, node, role);
+        let tgt_role = route_c(&topo, loc, head.msg.dest().index());
+        let tgt = chan_of(loc, tgt_role, stride) as u32;
+        if t.chans.get(tgt).len() >= cap_of_c(cfg, tgt_role, stride) {
             t.delta.blocked += 1;
             continue;
         }
@@ -792,8 +807,8 @@ fn exec_worklist(cfg: &MeshConfig, now: u64, t: &mut TickTask<'_>) {
         let tgt_chan = t.chans.get_mut(tgt);
         tgt_chan.push_back(p);
         let became_active = tgt_chan.len() == 1;
-        if tgt_dir != Dir::Eject && became_active {
-            let t_slot = (loc * MOVE_SLOTS + MOVE_RANK[tgt_dir as usize]) as u32;
+        if tgt_role != stride - 1 && became_active {
+            let t_slot = (loc * move_slots + rank_of_role(tgt_role, ports)) as u32;
             t.delta.sets.push(t_slot);
             if t_slot as usize > slot {
                 // Visited this cycle by the serial scan; queue it. It cannot
@@ -807,10 +822,10 @@ fn exec_worklist(cfg: &MeshConfig, now: u64, t: &mut TickTask<'_>) {
     }
 }
 
-/// Per-range counters accumulated by [`MeshRange`] operations; opaque to
+/// Per-range counters accumulated by [`FabricRange`] operations; opaque to
 /// callers, who hand them back to the fabric's absorb methods.
 #[derive(Default)]
-pub struct MeshRangeDelta {
+pub struct FabricRangeDelta {
     injected: u64,
     refusals: u64,
     bad_dest: u64,
@@ -822,28 +837,29 @@ pub struct MeshRangeDelta {
 }
 
 /// Exclusive injection/ejection access to one spatial domain's channels,
-/// produced by [`Mesh2d::split_node_ranges`]. Mirrors the serial
+/// produced by [`Fabric::split_node_ranges`]. Mirrors the serial
 /// [`Network`] entry points byte for byte, buffering shared-counter updates
-/// into a [`MeshRangeDelta`].
-pub struct MeshRange<'a> {
-    cfg: MeshConfig,
+/// into a [`FabricRangeDelta`].
+pub struct FabricRange<'a> {
+    cfg: FabricConfig,
     now: u64,
     total_nodes: usize,
     lo: usize,
     chans: &'a mut [VecDeque<Packet>],
-    delta: MeshRangeDelta,
+    delta: FabricRangeDelta,
 }
 
-impl MeshRange<'_> {
+impl FabricRange<'_> {
     /// Number of nodes attached to the whole fabric (not just this range) —
     /// the destination validity domain, as in [`Network::node_count`].
     pub fn node_count(&self) -> usize {
         self.total_nodes
     }
 
-    fn local(&self, node: usize, dir: Dir) -> usize {
-        debug_assert!(node >= self.lo && (node - self.lo) * DIR_COUNT < self.chans.len());
-        (node - self.lo) * DIR_COUNT + dir as usize
+    fn local(&self, node: usize, role: usize) -> usize {
+        let stride = self.cfg.topo.stride();
+        debug_assert!(node >= self.lo && (node - self.lo) * stride < self.chans.len());
+        (node - self.lo) * stride + role
     }
 
     /// Offers a message for injection at `src` (a node of this range);
@@ -858,7 +874,7 @@ impl MeshRange<'_> {
             self.delta.bad_dest += 1;
             return Err(InjectError::BadDest(msg));
         }
-        let idx = self.local(src.index(), Dir::Inject);
+        let idx = self.local(src.index(), INJECT_ROLE);
         if self.chans[idx].len() >= self.cfg.inject_capacity {
             self.delta.refusals += 1;
             return Err(InjectError::Refused(msg));
@@ -869,7 +885,8 @@ impl MeshRange<'_> {
             moved_at: self.now,
         });
         if self.chans[idx].len() == 1 {
-            let slot = src.index() * MOVE_SLOTS + MOVE_RANK[Dir::Inject as usize];
+            let topo = self.cfg.topo;
+            let slot = src.index() * topo.move_slots() + rank_of_role(INJECT_ROLE, topo.ports());
             self.delta.marks.push(slot as u32);
         }
         self.delta.in_flight += 1;
@@ -880,7 +897,7 @@ impl MeshRange<'_> {
     /// The message ready for delivery at `dst` this cycle, if any; identical
     /// semantics to [`Network::peek_eject`].
     pub fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
-        self.chans[self.local(dst.index(), Dir::Eject)]
+        self.chans[self.local(dst.index(), self.cfg.topo.stride() - 1)]
             .front()
             .map(|p| &p.msg)
     }
@@ -888,7 +905,7 @@ impl MeshRange<'_> {
     /// Removes and returns the message ready at `dst`; identical semantics
     /// to [`Network::eject`].
     pub fn eject(&mut self, dst: NodeId) -> Option<Message> {
-        let idx = self.local(dst.index(), Dir::Eject);
+        let idx = self.local(dst.index(), self.cfg.topo.stride() - 1);
         let p = self.chans[idx].pop_front()?;
         self.delta.in_flight -= 1;
         self.delta.delivered += 1;
@@ -900,14 +917,14 @@ impl MeshRange<'_> {
 
     /// Consumes the range, releasing its channel borrow and yielding the
     /// buffered counters for the fabric's absorb methods.
-    pub fn into_delta(self) -> MeshRangeDelta {
+    pub fn into_delta(self) -> FabricRangeDelta {
         self.delta
     }
 }
 
-impl Network for Mesh2d {
+impl Network for Fabric {
     fn node_count(&self) -> usize {
-        self.config.width * self.config.height
+        self.config.topo.nodes()
     }
 
     fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
@@ -915,7 +932,7 @@ impl Network for Mesh2d {
             self.stats.bad_dest += 1;
             return Err(InjectError::BadDest(msg));
         }
-        let idx = self.chan_index(src.index(), Dir::Inject);
+        let idx = self.chan_index(src.index(), INJECT_ROLE);
         if self.chans[idx].len() >= self.config.inject_capacity {
             self.stats.inject_refusals += 1;
             return Err(InjectError::Refused(msg));
@@ -926,7 +943,7 @@ impl Network for Mesh2d {
             moved_at: self.now,
         });
         if self.chans[idx].len() == 1 {
-            self.mark_active(src.index(), Dir::Inject);
+            self.mark_active(src.index(), INJECT_ROLE);
         }
         self.in_flight += 1;
         self.stats.injected += 1;
@@ -936,13 +953,13 @@ impl Network for Mesh2d {
     }
 
     fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
-        self.chans[self.chan_index(dst.index(), Dir::Eject)]
+        self.chans[self.chan_index(dst.index(), self.eject_role())]
             .front()
             .map(|p| &p.msg)
     }
 
     fn eject(&mut self, dst: NodeId) -> Option<Message> {
-        let idx = self.chan_index(dst.index(), Dir::Eject);
+        let idx = self.chan_index(dst.index(), self.eject_role());
         let p = self.chans[idx].pop_front()?;
         self.in_flight -= 1;
         self.stats.record_delivery(self.now - p.injected_at);
@@ -953,7 +970,7 @@ impl Network for Mesh2d {
         self.now += 1;
         // An empty fabric has nothing to move; returning here keeps the
         // scan counters identical between the naive loop and the quiescence
-        // fast-forward (which never ticks an empty mesh).
+        // fast-forward (which never ticks an empty fabric).
         if self.in_flight == 0 {
             return;
         }
@@ -982,7 +999,7 @@ mod tests {
         )
     }
 
-    fn drain(net: &mut Mesh2d, dst: u16, budget: usize) -> Vec<u32> {
+    fn drain(net: &mut Fabric, dst: u16, budget: usize) -> Vec<u32> {
         let mut got = Vec::new();
         for _ in 0..budget {
             net.tick();
@@ -995,7 +1012,7 @@ mod tests {
 
     #[test]
     fn delivers_across_the_mesh() {
-        let mut net = Mesh2d::new(MeshConfig::new(4, 4));
+        let mut net = Fabric::new(FabricConfig::new(4, 4));
         net.inject(NodeId::new(0), msg(15, 42)).unwrap();
         let got = drain(&mut net, 15, 32);
         assert_eq!(got, vec![42]);
@@ -1005,39 +1022,79 @@ mod tests {
     }
 
     #[test]
+    fn delivers_on_every_topology() {
+        for topo in [
+            TopologyKind::mesh(4, 4),
+            TopologyKind::torus(4, 4),
+            TopologyKind::ring(16),
+            TopologyKind::full(16),
+        ] {
+            let mut net = Fabric::new(FabricConfig::of(topo));
+            net.inject(NodeId::new(1), msg(15, 42)).unwrap();
+            let got = drain(&mut net, 15, 40);
+            assert_eq!(got, vec![42], "{}", topo.name());
+            assert_eq!(net.in_flight(), 0, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn torus_wrap_beats_the_mesh_corner_to_corner() {
+        let run = |cfg: FabricConfig| {
+            let mut net = Fabric::new(cfg);
+            net.inject(NodeId::new(0), msg(63, 9)).unwrap();
+            let got = drain(&mut net, 63, 64);
+            assert_eq!(got, vec![9]);
+            net.stats().mean_latency().unwrap()
+        };
+        let mesh = run(FabricConfig::new(8, 8));
+        let torus = run(FabricConfig::torus(8, 8));
+        assert!(
+            torus < mesh,
+            "wrap links must shorten the corner route ({torus} vs {mesh})"
+        );
+    }
+
+    #[test]
     fn self_send() {
-        let mut net = Mesh2d::new(MeshConfig::new(2, 2));
+        let mut net = Fabric::new(FabricConfig::new(2, 2));
         net.inject(NodeId::new(2), msg(2, 7)).unwrap();
         assert_eq!(drain(&mut net, 2, 4), vec![7]);
     }
 
     #[test]
     fn point_to_point_order_preserved() {
-        let mut net = Mesh2d::new(MeshConfig::new(3, 3));
-        for tag in 0..8 {
-            // Inject as fast as the buffer allows, draining on refusal.
-            let mut m = msg(8, tag);
-            loop {
-                match net.inject(NodeId::new(0), m) {
-                    Ok(()) => break,
-                    Err(e) => {
-                        m = e.into_message();
-                        net.tick();
+        for topo in [
+            TopologyKind::mesh(3, 3),
+            TopologyKind::torus(3, 3),
+            TopologyKind::ring(9),
+            TopologyKind::full(9),
+        ] {
+            let mut net = Fabric::new(FabricConfig::of(topo));
+            for tag in 0..8 {
+                // Inject as fast as the buffer allows, draining on refusal.
+                let mut m = msg(8, tag);
+                loop {
+                    match net.inject(NodeId::new(0), m) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            m = e.into_message();
+                            net.tick();
+                        }
                     }
                 }
             }
+            let got = drain(&mut net, 8, 64);
+            assert_eq!(got, (0..8).collect::<Vec<_>>(), "{}", topo.name());
         }
-        let got = drain(&mut net, 8, 64);
-        assert_eq!(got, (0..8).collect::<Vec<_>>());
     }
 
     #[test]
     fn backpressure_reaches_the_injector() {
         // Nobody ejects at node 1: the eject buffer, the link, and finally
         // the injection buffer at node 0 all fill, and inject starts failing.
-        let cfg = MeshConfig::new(2, 1);
+        let cfg = FabricConfig::new(2, 1);
         let total_buffering = cfg.eject_capacity + cfg.channel_capacity + cfg.inject_capacity;
-        let mut net = Mesh2d::new(cfg);
+        let mut net = Fabric::new(cfg);
         let mut refused = false;
         for tag in 0..(total_buffering as u32 + 8) {
             if net.inject(NodeId::new(0), msg(1, tag)).is_err() {
@@ -1058,7 +1115,7 @@ mod tests {
     fn one_packet_per_link_per_cycle() {
         // Two packets injected together at node 0 toward node 1 must arrive
         // on different cycles (link bandwidth is one per cycle).
-        let mut net = Mesh2d::new(MeshConfig::new(2, 1));
+        let mut net = Fabric::new(FabricConfig::new(2, 1));
         net.inject(NodeId::new(0), msg(1, 1)).unwrap();
         net.inject(NodeId::new(0), msg(1, 2)).unwrap();
         let mut arrivals = Vec::new();
@@ -1077,41 +1134,48 @@ mod tests {
 
     #[test]
     fn all_pairs_deliver() {
-        let mut net = Mesh2d::new(MeshConfig::new(3, 3));
-        let n = net.node_count() as u16;
-        let mut expected = 0u64;
-        for s in 0..n {
-            for d in 0..n {
-                // Drain continuously so buffers never wedge the test.
-                let mut m = msg(d, u32::from(s) * 100 + u32::from(d));
-                loop {
-                    match net.inject(NodeId::new(s), m) {
-                        Ok(()) => break,
-                        Err(e) => {
-                            m = e.into_message();
-                            net.tick();
-                            for node in 0..n {
-                                while net.eject(NodeId::new(node)).is_some() {}
+        for topo in [
+            TopologyKind::mesh(3, 3),
+            TopologyKind::torus(3, 3),
+            TopologyKind::ring(9),
+            TopologyKind::full(9),
+        ] {
+            let mut net = Fabric::new(FabricConfig::of(topo));
+            let n = net.node_count() as u16;
+            let mut expected = 0u64;
+            for s in 0..n {
+                for d in 0..n {
+                    // Drain continuously so buffers never wedge the test.
+                    let mut m = msg(d, u32::from(s) * 100 + u32::from(d));
+                    loop {
+                        match net.inject(NodeId::new(s), m) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                m = e.into_message();
+                                net.tick();
+                                for node in 0..n {
+                                    while net.eject(NodeId::new(node)).is_some() {}
+                                }
                             }
                         }
                     }
+                    expected += 1;
                 }
-                expected += 1;
             }
-        }
-        for _ in 0..256 {
-            net.tick();
-            for node in 0..n {
-                while net.eject(NodeId::new(node)).is_some() {}
+            for _ in 0..256 {
+                net.tick();
+                for node in 0..n {
+                    while net.eject(NodeId::new(node)).is_some() {}
+                }
             }
+            assert_eq!(net.stats().delivered, expected, "{}", topo.name());
+            assert_eq!(net.in_flight(), 0, "{}", topo.name());
         }
-        assert_eq!(net.stats().delivered, expected);
-        assert_eq!(net.in_flight(), 0);
     }
 
     #[test]
     fn misaddressed_message_is_a_typed_error() {
-        let mut net = Mesh2d::new(MeshConfig::new(2, 2));
+        let mut net = Fabric::new(FabricConfig::new(2, 2));
         let m = msg(9, 0);
         match net.inject(NodeId::new(0), m) {
             Err(InjectError::BadDest(back)) => assert_eq!(back, m),
@@ -1124,8 +1188,8 @@ mod tests {
 
     #[test]
     fn link_stats_track_occupancy_and_blocking() {
-        let cfg = MeshConfig::new(2, 1);
-        let mut net = Mesh2d::new(cfg);
+        let cfg = FabricConfig::new(2, 1);
+        let mut net = Fabric::new(cfg);
         net.set_observe(true);
         assert!(net.observe());
         // Fill node 1's eject buffer by never draining it.
@@ -1141,7 +1205,7 @@ mod tests {
                 .stats
         };
         let reports = net.link_stats();
-        assert_eq!(reports.len(), 2 * DIR_COUNT);
+        assert_eq!(reports.len(), 2 * cfg.topo.stride());
         // The stalled receiver's eject buffer hit capacity, and the link
         // feeding it recorded blocked head-of-line moves.
         assert_eq!(by_key(&reports, 1, "eject").hwm, cfg.eject_capacity);
@@ -1153,125 +1217,155 @@ mod tests {
         assert_eq!(by_key(&reports, 1, "west").hwm, 0);
     }
 
+    #[test]
+    fn link_stats_use_topology_port_names() {
+        let mut net = Fabric::new(FabricConfig::ring(4));
+        net.set_observe(true);
+        let _ = net.inject(NodeId::new(0), msg(1, 1));
+        net.tick();
+        let reports = net.link_stats();
+        assert_eq!(reports.len(), 4 * 6);
+        let names: Vec<&str> = reports.iter().take(6).map(|r| r.dir).collect();
+        assert_eq!(names, ["inject", "cw0", "cw1", "ccw0", "ccw1", "eject"]);
+    }
+
     /// The hot-set frontier and the dense scan must move exactly the same
     /// packets in the same order under sustained mixed traffic (including
-    /// westward/southward hops into already-scanned slots), differing only
-    /// in the effort counters.
+    /// hops into already-scanned slots), differing only in the effort
+    /// counters — on every topology, wrap links included.
     #[test]
     fn hot_set_scan_matches_dense_scan() {
-        let run = |dense: bool| -> (Vec<(u16, u32)>, NetStats) {
-            let mut net = Mesh2d::new(MeshConfig::new(4, 3));
-            net.set_dense_scan(dense);
-            assert_eq!(net.dense_scan(), dense);
-            let n = net.node_count() as u64;
-            let mut got = Vec::new();
-            let mut x = 0x1234_5678_9abc_def0u64;
-            for step in 0..600u32 {
-                for k in 0..3u32 {
-                    x = x
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let src = ((x >> 33) % n) as u16;
-                    let dst = ((x >> 13) % n) as u16;
-                    let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
+        for topo in [
+            TopologyKind::mesh(4, 3),
+            TopologyKind::torus(4, 3),
+            TopologyKind::ring(12),
+            TopologyKind::full(12),
+        ] {
+            let run = |dense: bool| -> (Vec<(u16, u32)>, NetStats) {
+                let mut net = Fabric::new(FabricConfig::of(topo));
+                net.set_dense_scan(dense);
+                assert_eq!(net.dense_scan(), dense);
+                let n = net.node_count() as u64;
+                let mut got = Vec::new();
+                let mut x = 0x1234_5678_9abc_def0u64;
+                for step in 0..600u32 {
+                    for k in 0..3u32 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let src = ((x >> 33) % n) as u16;
+                        let dst = ((x >> 13) % n) as u16;
+                        let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
+                    }
+                    net.tick();
+                    // Drain only intermittently so eject buffers back up and
+                    // blocked moves happen on both scans.
+                    if step % 3 == 0 {
+                        for d in 0..n as u16 {
+                            while let Some(m) = net.eject(NodeId::new(d)) {
+                                got.push((d, m.words[1]));
+                            }
+                        }
+                    }
                 }
-                net.tick();
-                // Drain only intermittently so eject buffers back up and
-                // blocked moves happen on both scans.
-                if step % 3 == 0 {
+                for _ in 0..200 {
+                    net.tick();
                     for d in 0..n as u16 {
                         while let Some(m) = net.eject(NodeId::new(d)) {
                             got.push((d, m.words[1]));
                         }
                     }
                 }
-            }
-            for _ in 0..200 {
-                net.tick();
-                for d in 0..n as u16 {
-                    while let Some(m) = net.eject(NodeId::new(d)) {
-                        got.push((d, m.words[1]));
-                    }
-                }
-            }
-            assert_eq!(net.in_flight(), 0, "everything drained");
-            (got, net.stats())
-        };
-        let (hot, hs) = run(false);
-        let (dense, ds) = run(true);
-        assert_eq!(hot, dense, "delivery order must be bit-identical");
-        assert_eq!(hs, ds, "behavioural stats must match (scan excluded)");
-        assert!(hs.scan.skipped_work > 0, "the frontier must save work");
-        assert_eq!(ds.scan.skipped_work, 0, "dense scan skips nothing");
-        assert!(hs.scan.scanned_channels < ds.scan.scanned_channels);
-        // Both modes account for the same dense cost over the same ticks.
-        assert_eq!(
-            hs.scan.scanned_channels + hs.scan.skipped_work,
-            ds.scan.scanned_channels + ds.scan.skipped_work,
-        );
+                assert_eq!(net.in_flight(), 0, "everything drained");
+                (got, net.stats())
+            };
+            let (hot, hs) = run(false);
+            let (dense, ds) = run(true);
+            let name = topo.name();
+            assert_eq!(hot, dense, "{name}: delivery order must be bit-identical");
+            assert_eq!(hs, ds, "{name}: behavioural stats must match");
+            assert!(hs.scan.skipped_work > 0, "{name}: frontier must save work");
+            assert_eq!(ds.scan.skipped_work, 0, "{name}: dense scan skips nothing");
+            assert!(hs.scan.scanned_channels < ds.scan.scanned_channels);
+            // Both modes account for the same dense cost over the same ticks.
+            assert_eq!(
+                hs.scan.scanned_channels + hs.scan.skipped_work,
+                ds.scan.scanned_channels + ds.scan.skipped_work,
+            );
+        }
     }
 
     /// `tick_domains` must be bit-identical to the serial `tick` — including
     /// the scan effort meters, since the parallel path replays exactly the
     /// serial visit multiset — under sustained mixed traffic with blocked
-    /// moves and mid-cycle re-activations, at several domain counts.
+    /// moves and mid-cycle re-activations, at several domain counts, on
+    /// every topology (wrap links make boundary components common).
     #[test]
     fn tick_domains_matches_serial_tick() {
-        let run = |domains: usize| -> (Vec<(u16, u32)>, NetStats, crate::ScanStats) {
-            let mut net = Mesh2d::new(MeshConfig::new(4, 3));
-            let n = net.node_count();
-            let bounds: Vec<usize> = tcni_util::par::domain_bounds(n, domains);
-            let mut scratch = MeshTickScratch::new();
-            let mut got = Vec::new();
-            let mut x = 0x1234_5678_9abc_def0u64;
-            for step in 0..600u32 {
-                for k in 0..3u32 {
-                    x = x
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let src = ((x >> 33) % n as u64) as u16;
-                    let dst = ((x >> 13) % n as u64) as u16;
-                    let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
+        for topo in [
+            TopologyKind::mesh(4, 3),
+            TopologyKind::torus(4, 3),
+            TopologyKind::ring(12),
+            TopologyKind::full(12),
+        ] {
+            let run = |domains: usize| -> (Vec<(u16, u32)>, NetStats, crate::ScanStats) {
+                let mut net = Fabric::new(FabricConfig::of(topo));
+                let n = net.node_count();
+                let bounds: Vec<usize> = tcni_util::par::domain_bounds(n, domains);
+                let mut scratch = FabricTickScratch::new();
+                let mut got = Vec::new();
+                let mut x = 0x1234_5678_9abc_def0u64;
+                for step in 0..600u32 {
+                    for k in 0..3u32 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let src = ((x >> 33) % n as u64) as u16;
+                        let dst = ((x >> 13) % n as u64) as u16;
+                        let _ = net.inject(NodeId::new(src), msg(dst, step * 4 + k));
+                    }
+                    if domains == 0 {
+                        net.tick();
+                    } else {
+                        net.tick_domains(&bounds, &mut scratch);
+                    }
+                    if step % 3 == 0 {
+                        for d in 0..n as u16 {
+                            while let Some(m) = net.eject(NodeId::new(d)) {
+                                got.push((d, m.words[1]));
+                            }
+                        }
+                    }
                 }
-                if domains == 0 {
-                    net.tick();
-                } else {
-                    net.tick_domains(&bounds, &mut scratch);
-                }
-                if step % 3 == 0 {
+                for _ in 0..200 {
+                    if domains == 0 {
+                        net.tick();
+                    } else {
+                        net.tick_domains(&bounds, &mut scratch);
+                    }
                     for d in 0..n as u16 {
                         while let Some(m) = net.eject(NodeId::new(d)) {
                             got.push((d, m.words[1]));
                         }
                     }
                 }
+                assert_eq!(net.in_flight(), 0, "everything drained");
+                (got, net.stats(), net.stats().scan)
+            };
+            tcni_util::par::set_threads(3);
+            let (serial, serial_stats, serial_scan) = run(0);
+            for domains in [1, 2, 3, 5, 12] {
+                let name = topo.name();
+                let (par, par_stats, par_scan) = run(domains);
+                assert_eq!(serial, par, "{name} domains={domains}: delivery order");
+                assert_eq!(serial_stats, par_stats, "{name} domains={domains}: stats");
+                // Stronger than the hot-vs-dense pin: the parallel scan
+                // replays the same visits, so even the effort meters must be
+                // byte-equal.
+                assert_eq!(serial_scan, par_scan, "{name} domains={domains}: scan");
             }
-            for _ in 0..200 {
-                if domains == 0 {
-                    net.tick();
-                } else {
-                    net.tick_domains(&bounds, &mut scratch);
-                }
-                for d in 0..n as u16 {
-                    while let Some(m) = net.eject(NodeId::new(d)) {
-                        got.push((d, m.words[1]));
-                    }
-                }
-            }
-            assert_eq!(net.in_flight(), 0, "everything drained");
-            (got, net.stats(), net.stats().scan)
-        };
-        tcni_util::par::set_threads(3);
-        let (serial, serial_stats, serial_scan) = run(0);
-        for domains in [1, 2, 3, 5, 12] {
-            let (par, par_stats, par_scan) = run(domains);
-            assert_eq!(serial, par, "domains={domains}: delivery order");
-            assert_eq!(serial_stats, par_stats, "domains={domains}: stats");
-            // Stronger than the hot-vs-dense pin: the parallel scan replays
-            // the same visits, so even the effort meters must be byte-equal.
-            assert_eq!(serial_scan, par_scan, "domains={domains}: scan meters");
+            tcni_util::par::set_threads(0);
         }
-        tcni_util::par::set_threads(0);
     }
 
     /// The per-domain inject/eject ranges plus delta absorption must match
@@ -1279,7 +1373,7 @@ mod tests {
     #[test]
     fn node_ranges_match_serial_inject_and_eject() {
         let drive = |split: bool| -> (Vec<(u16, u32)>, NetStats) {
-            let mut net = Mesh2d::new(MeshConfig::new(3, 2));
+            let mut net = Fabric::new(FabricConfig::new(3, 2));
             let n = net.node_count();
             let bounds = [0usize, 2, 4, n];
             let mut got = Vec::new();
@@ -1304,8 +1398,8 @@ mod tests {
                             let _ = range.inject(NodeId::new(node as u16), msg(dst, step));
                         }
                     }
-                    let deltas: Vec<MeshRangeDelta> =
-                        ranges.into_iter().map(MeshRange::into_delta).collect();
+                    let deltas: Vec<FabricRangeDelta> =
+                        ranges.into_iter().map(FabricRange::into_delta).collect();
                     net.absorb_inject_deltas(deltas);
                 } else {
                     for node in 0..n {
@@ -1334,8 +1428,8 @@ mod tests {
                                 }
                             }
                         }
-                        let deltas: Vec<MeshRangeDelta> =
-                            ranges.into_iter().map(MeshRange::into_delta).collect();
+                        let deltas: Vec<FabricRangeDelta> =
+                            ranges.into_iter().map(FabricRange::into_delta).collect();
                         net.absorb_eject_deltas(deltas);
                     } else {
                         for node in 0..n {
@@ -1367,7 +1461,7 @@ mod tests {
     /// that keeps scan counters identical under the quiescence fast-forward.
     #[test]
     fn empty_ticks_count_no_scan_work() {
-        let mut net = Mesh2d::new(MeshConfig::new(4, 4));
+        let mut net = Fabric::new(FabricConfig::new(4, 4));
         for _ in 0..100 {
             net.tick();
         }
@@ -1383,7 +1477,7 @@ mod tests {
 
     #[test]
     fn link_stats_empty_when_not_observing() {
-        let mut net = Mesh2d::new(MeshConfig::new(2, 2));
+        let mut net = Fabric::new(FabricConfig::new(2, 2));
         net.inject(NodeId::new(0), msg(3, 1)).unwrap();
         for _ in 0..8 {
             net.tick();

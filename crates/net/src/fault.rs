@@ -22,7 +22,7 @@
 //! node's own call sequence: two same-seed runs fault identically, and the
 //! draws of one node never depend on how much traffic *other* nodes
 //! offered. That independence is what lets the machine simulator shard a
-//! fault-wrapped mesh across worker threads ([`FaultRange`]) and still
+//! fault-wrapped fabric across worker threads ([`FaultRange`]) and still
 //! reproduce the serial schedule bit for bit. All rates are per-mille; a
 //! zero-rate wrapper is an observably exact pass-through (tested below),
 //! which is what lets the fault-free paper models stay bit-identical.
@@ -31,7 +31,7 @@ use tcni_check::Rng;
 use tcni_core::{Message, NodeId, MSG_WORDS};
 
 use crate::stats::NetStats;
-use crate::{InjectError, MeshRange, MeshRangeDelta, MeshTickScratch, Network, NetworkKind};
+use crate::{FabricRange, FabricRangeDelta, FabricTickScratch, InjectError, Network, NetworkKind};
 
 /// Per-mille fault rates plus the schedule seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,7 +159,7 @@ impl FaultyFabric {
     }
 
     /// Mutable access to the wrapped base fabric (used to toggle per-link
-    /// observability on a wrapped mesh).
+    /// observability on a wrapped fabric).
     pub fn inner_mut(&mut self) -> &mut NetworkKind {
         &mut self.inner
     }
@@ -199,10 +199,10 @@ impl FaultyFabric {
         }
     }
 
-    /// Splits a mesh-based fault-wrapped fabric into per-domain
+    /// Splits a switched-fabric-based fault-wrapped network into per-domain
     /// injection/ejection views for the machine simulator's parallel cycle
-    /// (the fault-layer analogue of [`Mesh2d::split_node_ranges`]). Each
-    /// range gets exclusive access to its nodes' mesh channels *and* their
+    /// (the fault-layer analogue of [`Fabric::split_node_ranges`]). Each
+    /// range gets exclusive access to its nodes' fabric channels *and* their
     /// private per-message fault streams; the stall tables are shared
     /// read-only (the stall schedule only advances at the tick barrier).
     /// Because every fault draw comes from the drawing node's own stream,
@@ -211,7 +211,7 @@ impl FaultyFabric {
     ///
     /// # Panics
     ///
-    /// Panics if the wrapped base fabric is not a mesh.
+    /// Panics if the wrapped base fabric is not a switched fabric (i.e. it is ideal).
     pub fn split_fault_ranges(&mut self, bounds: &[usize]) -> Vec<FaultRange<'_>> {
         let FaultyFabric {
             inner,
@@ -222,19 +222,19 @@ impl FaultyFabric {
             eject_stall,
             ..
         } = self;
-        let mesh = inner
-            .as_mesh_mut()
-            .expect("fault ranges shard a mesh base fabric");
-        let mesh_ranges = mesh.split_node_ranges(bounds);
+        let fabric = inner
+            .as_fabric_mut()
+            .expect("fault ranges shard a switched base fabric");
+        let mesh_ranges = fabric.split_node_ranges(bounds);
         let inject_stall: &[u64] = inject_stall;
         let eject_stall: &[u64] = eject_stall;
         let mut rngs: &mut [Rng] = msg_rng.as_mut_slice();
         let mut out = Vec::with_capacity(mesh_ranges.len());
-        for (w, mesh) in bounds.windows(2).zip(mesh_ranges) {
+        for (w, fabric) in bounds.windows(2).zip(mesh_ranges) {
             let (head, tail) = rngs.split_at_mut(w[1] - w[0]);
             rngs = tail;
             out.push(FaultRange {
-                mesh,
+                fabric,
                 config: *config,
                 now: *now,
                 lo: w[0],
@@ -248,11 +248,11 @@ impl FaultyFabric {
     }
 
     /// Folds injection-phase range deltas back in, in domain order — the
-    /// fault-layer analogue of [`Mesh2d::absorb_inject_deltas`].
+    /// fault-layer analogue of [`Fabric::absorb_inject_deltas`].
     ///
     /// # Panics
     ///
-    /// Panics if the wrapped base fabric is not a mesh.
+    /// Panics if the wrapped base fabric is not a switched fabric (i.e. it is ideal).
     pub fn absorb_inject_deltas(&mut self, deltas: impl IntoIterator<Item = FaultRangeDelta>) {
         let FaultyFabric {
             inner,
@@ -260,16 +260,16 @@ impl FaultyFabric {
             stall_refusals,
             ..
         } = self;
-        let mesh = inner
-            .as_mesh_mut()
-            .expect("fault ranges shard a mesh base fabric");
-        mesh.absorb_inject_deltas(deltas.into_iter().map(|d| {
+        let fabric = inner
+            .as_fabric_mut()
+            .expect("fault ranges shard a switched base fabric");
+        fabric.absorb_inject_deltas(deltas.into_iter().map(|d| {
             counters.dropped += d.counters.dropped;
             counters.duplicated += d.counters.duplicated;
             counters.corrupted += d.counters.corrupted;
             counters.stalls += d.counters.stalls;
             *stall_refusals += d.stall_refusals;
-            d.mesh
+            d.fabric
         }));
     }
 
@@ -277,29 +277,29 @@ impl FaultyFabric {
     ///
     /// # Panics
     ///
-    /// Panics if the wrapped base fabric is not a mesh.
+    /// Panics if the wrapped base fabric is not a switched fabric (i.e. it is ideal).
     pub fn absorb_eject_deltas(&mut self, deltas: impl IntoIterator<Item = FaultRangeDelta>) {
-        let mesh = self
+        let fabric = self
             .inner
-            .as_mesh_mut()
-            .expect("fault ranges shard a mesh base fabric");
-        mesh.absorb_eject_deltas(deltas.into_iter().map(|d| {
+            .as_fabric_mut()
+            .expect("fault ranges shard a switched base fabric");
+        fabric.absorb_eject_deltas(deltas.into_iter().map(|d| {
             debug_assert!(!d.counters.any(), "eject-phase delta carries faults");
             debug_assert_eq!(d.stall_refusals, 0, "eject-phase delta carries refusals");
-            d.mesh
+            d.fabric
         }));
     }
 
-    /// Advances the wrapped mesh by one cycle with the domain-sharded tick,
+    /// Advances the wrapped fabric by one cycle with the domain-sharded tick,
     /// then rolls the stall schedule exactly as [`Network::tick`] would.
     ///
     /// # Panics
     ///
-    /// Panics if the wrapped base fabric is not a mesh.
-    pub fn tick_domains(&mut self, bounds: &[usize], scratch: &mut MeshTickScratch) {
+    /// Panics if the wrapped base fabric is not a switched fabric (i.e. it is ideal).
+    pub fn tick_domains(&mut self, bounds: &[usize], scratch: &mut FabricTickScratch) {
         self.inner
-            .as_mesh_mut()
-            .expect("fault ranges shard a mesh base fabric")
+            .as_fabric_mut()
+            .expect("fault ranges shard a switched base fabric")
             .tick_domains(bounds, scratch);
         self.now += 1;
         self.roll_stalls();
@@ -361,19 +361,19 @@ fn faulted_inject(
 /// callers, who hand them back to the fabric's absorb methods.
 #[derive(Default)]
 pub struct FaultRangeDelta {
-    mesh: MeshRangeDelta,
+    fabric: FabricRangeDelta,
     counters: crate::FaultCounters,
     stall_refusals: u64,
 }
 
 /// Exclusive injection/ejection access to one spatial domain of a
-/// fault-wrapped mesh, produced by [`FaultyFabric::split_fault_ranges`].
+/// fault-wrapped fabric, produced by [`FaultyFabric::split_fault_ranges`].
 /// Mirrors the serial fault-layer [`Network`] entry points byte for byte:
 /// same stall gates, same per-node draw streams, same drop/corrupt/
 /// duplicate order — with shared-counter updates buffered into a
 /// [`FaultRangeDelta`].
 pub struct FaultRange<'a> {
-    mesh: MeshRange<'a>,
+    fabric: FabricRange<'a>,
     config: FaultConfig,
     now: u64,
     lo: usize,
@@ -386,7 +386,7 @@ pub struct FaultRange<'a> {
 impl FaultRange<'_> {
     /// Number of nodes attached to the whole fabric (not just this range).
     pub fn node_count(&self) -> usize {
-        self.mesh.node_count()
+        self.fabric.node_count()
     }
 
     /// Offers a message for injection at `src` (a node of this range);
@@ -401,18 +401,18 @@ impl FaultRange<'_> {
             self.delta.stall_refusals += 1;
             return Err(InjectError::Refused(msg));
         }
-        if msg.dest().index() >= self.mesh.node_count() {
-            return self.mesh.inject(src, msg);
+        if msg.dest().index() >= self.fabric.node_count() {
+            return self.fabric.inject(src, msg);
         }
         let rng = &mut self.msg_rng[src.index() - self.lo];
-        let mesh = &mut self.mesh;
+        let fabric = &mut self.fabric;
         faulted_inject(
             rng,
             &self.config,
             &mut self.delta.counters,
             src,
             msg,
-            |s, m| mesh.inject(s, m),
+            |s, m| fabric.inject(s, m),
         )
     }
 
@@ -422,7 +422,7 @@ impl FaultRange<'_> {
         if self.now < self.eject_stall[dst.index()] {
             return None;
         }
-        self.mesh.peek_eject(dst)
+        self.fabric.peek_eject(dst)
     }
 
     /// Removes and returns the message ready at `dst`; identical semantics
@@ -431,13 +431,13 @@ impl FaultRange<'_> {
         if self.now < self.eject_stall[dst.index()] {
             return None;
         }
-        self.mesh.eject(dst)
+        self.fabric.eject(dst)
     }
 
     /// Consumes the range, releasing its borrows and yielding the buffered
     /// effects for the fabric's absorb methods.
     pub fn into_delta(mut self) -> FaultRangeDelta {
-        self.delta.mesh = self.mesh.into_delta();
+        self.delta.fabric = self.fabric.into_delta();
         self.delta
     }
 }
@@ -535,7 +535,7 @@ impl Network for FaultyFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{IdealNetwork, Mesh2d, MeshConfig};
+    use crate::{Fabric, FabricConfig, IdealNetwork};
     use tcni_isa::MsgType;
 
     fn msg(dst: u16, tag: u32) -> Message {
@@ -692,7 +692,7 @@ mod tests {
     fn schedule_is_a_pure_function_of_the_seed() {
         let run = |seed: u64| {
             let mut net = FaultyFabric::new(
-                Mesh2d::new(MeshConfig::new(2, 2)).into(),
+                Fabric::new(FabricConfig::new(2, 2)).into(),
                 FaultConfig::uniform(seed, 120),
             );
             for i in 0..200u32 {
@@ -733,14 +733,14 @@ mod tests {
         // deliveries, counters, and stats.
         let build = || {
             FaultyFabric::new(
-                Mesh2d::new(MeshConfig::new(4, 2)).into(),
+                Fabric::new(FabricConfig::new(4, 2)).into(),
                 FaultConfig::uniform(99, 180),
             )
         };
         let bounds = [0usize, 3, 6, 8];
         let mut serial = build();
         let mut sharded = build();
-        let mut scratch = MeshTickScratch::new();
+        let mut scratch = FabricTickScratch::new();
         let mut got_serial = Vec::new();
         let mut got_sharded = Vec::new();
         for cycle in 0..300u32 {

@@ -3,7 +3,8 @@
 use tcni_core::{Message, NodeId};
 
 use crate::stats::NetStats;
-use crate::{FaultyFabric, IdealNetwork, InjectError, Mesh2d, Network};
+use crate::topology::Topology as _;
+use crate::{Fabric, FaultyFabric, IdealNetwork, InjectError, Network};
 
 /// The fabrics, as a closed enum.
 ///
@@ -15,8 +16,9 @@ use crate::{FaultyFabric, IdealNetwork, InjectError, Mesh2d, Network};
 pub enum NetworkKind {
     /// Contention-free fixed-latency fabric.
     Ideal(IdealNetwork),
-    /// 2-D mesh with finite buffers and backpressure.
-    Mesh(Mesh2d),
+    /// Switched fabric (mesh/torus/ring/fully-connected) with finite
+    /// buffers and backpressure.
+    Fabric(Fabric),
     /// Either base fabric behind a deterministic fault-injection layer.
     Faulty(FaultyFabric),
 }
@@ -26,27 +28,27 @@ impl NetworkKind {
     pub fn as_ideal(&self) -> Option<&IdealNetwork> {
         match self {
             NetworkKind::Ideal(n) => Some(n),
-            NetworkKind::Mesh(_) => None,
+            NetworkKind::Fabric(_) => None,
             NetworkKind::Faulty(f) => f.inner().as_ideal(),
         }
     }
 
-    /// The mesh fabric — directly or behind a fault layer.
-    pub fn as_mesh(&self) -> Option<&Mesh2d> {
+    /// The switched fabric — directly or behind a fault layer.
+    pub fn as_fabric(&self) -> Option<&Fabric> {
         match self {
             NetworkKind::Ideal(_) => None,
-            NetworkKind::Mesh(n) => Some(n),
-            NetworkKind::Faulty(f) => f.inner().as_mesh(),
+            NetworkKind::Fabric(n) => Some(n),
+            NetworkKind::Faulty(f) => f.inner().as_fabric(),
         }
     }
 
-    /// Mutable access to the mesh fabric — directly or behind a fault layer
-    /// (used to toggle per-link observability).
-    pub fn as_mesh_mut(&mut self) -> Option<&mut Mesh2d> {
+    /// Mutable access to the switched fabric — directly or behind a fault
+    /// layer (used to toggle per-link observability).
+    pub fn as_fabric_mut(&mut self) -> Option<&mut Fabric> {
         match self {
             NetworkKind::Ideal(_) => None,
-            NetworkKind::Mesh(n) => Some(n),
-            NetworkKind::Faulty(f) => f.inner_mut().as_mesh_mut(),
+            NetworkKind::Fabric(n) => Some(n),
+            NetworkKind::Faulty(f) => f.inner_mut().as_fabric_mut(),
         }
     }
 
@@ -58,13 +60,14 @@ impl NetworkKind {
         }
     }
 
-    /// Short name of the *base* fabric (`"ideal"` or `"mesh"`), looking
-    /// through a fault layer: the fault wrapper changes the link behaviour,
-    /// not the topology.
+    /// Short name of the *base* fabric (`"ideal"` or the topology name —
+    /// `"mesh"`, `"torus"`, `"ring"`, `"full"`), looking through a fault
+    /// layer: the fault wrapper changes the link behaviour, not the
+    /// topology.
     pub fn base_name(&self) -> &'static str {
         match self {
             NetworkKind::Ideal(_) => "ideal",
-            NetworkKind::Mesh(_) => "mesh",
+            NetworkKind::Fabric(n) => n.config().topo.name(),
             NetworkKind::Faulty(f) => f.inner().base_name(),
         }
     }
@@ -76,9 +79,9 @@ impl From<IdealNetwork> for NetworkKind {
     }
 }
 
-impl From<Mesh2d> for NetworkKind {
-    fn from(n: Mesh2d) -> NetworkKind {
-        NetworkKind::Mesh(n)
+impl From<Fabric> for NetworkKind {
+    fn from(n: Fabric) -> NetworkKind {
+        NetworkKind::Fabric(n)
     }
 }
 
@@ -92,7 +95,7 @@ macro_rules! delegate {
     ($self:ident, $n:ident => $body:expr) => {
         match $self {
             NetworkKind::Ideal($n) => $body,
-            NetworkKind::Mesh($n) => $body,
+            NetworkKind::Fabric($n) => $body,
             NetworkKind::Faulty($n) => $body,
         }
     };
@@ -145,14 +148,14 @@ mod tests {
     fn delegates_to_the_wrapped_fabric() {
         let mut net = NetworkKind::from(IdealNetwork::new(2, 3));
         assert_eq!(net.node_count(), 2);
-        assert!(net.as_ideal().is_some() && net.as_mesh().is_none());
+        assert!(net.as_ideal().is_some() && net.as_fabric().is_none());
         let m = Message::to(NodeId::new(1), [0, 7, 0, 0, 0], MsgType::new(2).unwrap());
         net.inject(NodeId::new(0), m).unwrap();
         assert_eq!(net.next_arrival(), Some(3));
         net.advance(3);
         assert_eq!(net.eject(NodeId::new(1)).unwrap().words[1], 7);
 
-        let mesh = NetworkKind::from(Mesh2d::new(crate::MeshConfig::new(2, 2)));
+        let mesh = NetworkKind::from(Fabric::new(crate::FabricConfig::new(2, 2)));
         assert_eq!(mesh.node_count(), 4);
         assert_eq!(
             mesh.next_arrival(),
@@ -165,12 +168,15 @@ mod tests {
     fn faulty_accessors_see_through_the_wrapper() {
         use crate::{FaultConfig, FaultyFabric};
         let mut net = NetworkKind::from(FaultyFabric::new(
-            Mesh2d::new(crate::MeshConfig::new(2, 2)).into(),
+            Fabric::new(crate::FabricConfig::new(2, 2)).into(),
             FaultConfig::quiet(9),
         ));
         assert_eq!(net.base_name(), "mesh");
-        assert!(net.as_mesh().is_some(), "mesh visible through the wrapper");
-        assert!(net.as_mesh_mut().is_some());
+        assert!(
+            net.as_fabric().is_some(),
+            "mesh visible through the wrapper"
+        );
+        assert!(net.as_fabric_mut().is_some());
         assert!(net.as_ideal().is_none());
         assert!(net.as_faulty().is_some());
         assert_eq!(net.node_count(), 4);
@@ -184,5 +190,23 @@ mod tests {
         assert!(NetworkKind::from(IdealNetwork::new(2, 1))
             .as_faulty()
             .is_none());
+    }
+
+    #[test]
+    fn base_name_reports_the_topology() {
+        use crate::{FaultConfig, FaultyFabric};
+        for (cfg, name) in [
+            (crate::FabricConfig::torus(2, 2), "torus"),
+            (crate::FabricConfig::ring(4), "ring"),
+            (crate::FabricConfig::full(4), "full"),
+        ] {
+            let direct = NetworkKind::from(Fabric::new(cfg));
+            assert_eq!(direct.base_name(), name);
+            let wrapped = NetworkKind::from(FaultyFabric::new(
+                Fabric::new(cfg).into(),
+                FaultConfig::quiet(1),
+            ));
+            assert_eq!(wrapped.base_name(), name, "seen through the fault layer");
+        }
     }
 }

@@ -12,10 +12,11 @@
 //! * [`IdealNetwork`] — fixed-latency, contention-free delivery; used where
 //!   the paper's methodology explicitly excludes network effects (the
 //!   Figure-12 accounting) and for functional tests;
-//! * [`Mesh2d`] — a 2-D mesh with XY dimension-order routing, one packet per
-//!   link per cycle, finite per-channel FIFOs, and credit-style
-//!   backpressure all the way into the sender's output queue; used by the
-//!   saturation/boundary-condition experiments.
+//! * [`Fabric`] — a switched fabric with dimension-order routing over a
+//!   pluggable [`Topology`] (2-D mesh, wrap-around torus, ring, or
+//!   fully-connected), one packet per link per cycle, finite per-channel
+//!   FIFOs, and credit-style backpressure all the way into the sender's
+//!   output queue; used by the saturation/boundary-condition experiments.
 //!
 //! Either fabric can additionally be wrapped in a [`FaultyFabric`], which
 //! applies a seeded, deterministic schedule of link faults — transient
@@ -29,21 +30,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fabric;
 mod fault;
 mod ideal;
 mod kind;
-mod mesh;
 mod stats;
+mod topology;
 mod tree;
 
+pub use fabric::{
+    Fabric, FabricConfig, FabricRange, FabricRangeDelta, FabricTickScratch, LinkReport, LinkStats,
+};
 pub use fault::{FaultConfig, FaultRange, FaultRangeDelta, FaultyFabric};
 pub use ideal::IdealNetwork;
 pub use kind::NetworkKind;
-pub use mesh::{
-    LinkReport, LinkStats, Mesh2d, MeshConfig, MeshRange, MeshRangeDelta, MeshTickScratch,
-};
 pub use stats::{FaultCounters, LatencyHist, NetStats, ScanStats};
-pub use tree::CombiningTree;
+pub use topology::{FullyConnected, Hop, Mesh2d, Ring, Topology, TopologyKind, Torus2d};
+pub use tree::{CombiningTree, TreeShape};
 
 use tcni_core::{Message, NodeId};
 

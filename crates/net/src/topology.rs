@@ -1,0 +1,626 @@
+//! The topology abstraction: route computation, link enumeration, and
+//! distance metrics, factored out of the fabric so one switched simulator
+//! core ([`Fabric`](crate::Fabric)) serves every interconnect shape.
+//!
+//! A [`Topology`] describes a fabric's static geometry as a set of
+//! *ports* per node. Port `p` of node `n` names the outgoing link FIFO
+//! from `n` to [`port_target(n, p)`](Topology::port_target); the fabric
+//! adds one injection and one ejection FIFO per node around these. The
+//! routing function [`route`](Topology::route) is deterministic and
+//! per-hop: given a packet's current node and destination it names the
+//! single next link (or [`Hop::Eject`] on arrival), so every
+//! source/destination pair follows one fixed path of FIFOs and
+//! point-to-point ordering is preserved on every topology.
+//!
+//! Four shapes are provided:
+//!
+//! * [`Mesh2d`] — the paper's fabric: XY dimension-order routing, four
+//!   ports (east/west/north/south);
+//! * [`Torus2d`] — wrap-around XY with tie-broken minimal routing and
+//!   *dateline* virtual channels (two VCs per direction) for deadlock
+//!   freedom;
+//! * [`Ring`] — a 1-D torus: minimal clockwise/counter-clockwise routing
+//!   with the same dateline discipline;
+//! * [`FullyConnected`] — a dedicated link per ordered pair; the
+//!   contention-bearing analogue of the ideal network.
+//!
+//! # Deadlock freedom
+//!
+//! Dimension-order routing breaks cycles *between* dimensions; within a
+//! wrapped dimension the wrap link closes a channel cycle, which the
+//! classical dateline scheme re-breaks: packets travel on VC 0 until they
+//! cross the wrap edge and on VC 1 after it. Here the VC is a pure
+//! function of position — e.g. eastbound, a packet at `x` bound for `dx`
+//! is pre-wrap iff `x > dx` — so the routing function stays stateless and
+//! the channel dependency graph within each VC class is ordered by
+//! coordinate (acyclic), with VC 0 feeding VC 1, never back.
+
+/// One routing step: the port to take, or delivery at the current node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// Forward on the given port of the current node.
+    Port(usize),
+    /// The packet has arrived; move to the ejection buffer.
+    Eject,
+}
+
+/// A fabric's static geometry: nodes, per-node ports, the deterministic
+/// per-hop routing function, and the induced distance metric.
+///
+/// Implementations must satisfy three contracts the test layer pins:
+///
+/// * **validity** — `route(at, dst)` returns a `Port(p)` with
+///   `p < ports()`, and following `port_target` reaches a real node;
+/// * **minimality** — iterating `route` from `src` to `dst` takes exactly
+///   [`distance(src, dst)`](Topology::distance) link hops;
+/// * **deadlock consistency** — the port sequence along any path obeys a
+///   dimension order, and within a wrapped dimension the VC index never
+///   decreases (dateline discipline).
+pub trait Topology {
+    /// Number of nodes.
+    fn nodes(&self) -> usize;
+
+    /// Number of outgoing link ports per node (uniform across nodes; a
+    /// port may be unused, e.g. the self-port of [`FullyConnected`]).
+    fn ports(&self) -> usize;
+
+    /// The next hop for a packet located at `at` bound for `dst`.
+    fn route(&self, at: usize, dst: usize) -> Hop;
+
+    /// The node at the far end of `node`'s port `port`.
+    fn port_target(&self, node: usize, port: usize) -> usize;
+
+    /// Minimal hop count from `src` to `dst` (0 for `src == dst`).
+    fn distance(&self, src: usize, dst: usize) -> usize;
+
+    /// Short lowercase name (`"mesh"`, `"torus"`, `"ring"`, `"full"`).
+    fn name(&self) -> &'static str;
+
+    /// Display/export name of a port (e.g. `"east"`, `"cw0"`).
+    fn port_name(&self, port: usize) -> &'static str;
+
+    /// Channels per node in the fabric's layout: every port plus the
+    /// injection and ejection FIFOs.
+    fn stride(&self) -> usize {
+        self.ports() + 2
+    }
+
+    /// Movable channels per node: every port plus injection (ejection
+    /// drains via `eject`, never in `tick`).
+    fn move_slots(&self) -> usize {
+        self.ports() + 1
+    }
+}
+
+/// The paper's 2-D mesh: XY dimension-order routing, no wrap links.
+///
+/// Ports: `0` east (+x), `1` west (−x), `2` north (+y), `3` south (−y).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2d {
+    /// Columns.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+}
+
+const MESH_PORTS: [&str; 4] = ["east", "west", "north", "south"];
+
+impl Mesh2d {
+    /// A `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Mesh2d {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        Mesh2d { width, height }
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.width, node / self.width)
+    }
+}
+
+impl Topology for Mesh2d {
+    fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn ports(&self) -> usize {
+        4
+    }
+
+    fn route(&self, at: usize, dst: usize) -> Hop {
+        let (x, y) = self.coords(at);
+        let (dx, dy) = self.coords(dst);
+        if dx > x {
+            Hop::Port(0)
+        } else if dx < x {
+            Hop::Port(1)
+        } else if dy > y {
+            Hop::Port(2)
+        } else if dy < y {
+            Hop::Port(3)
+        } else {
+            Hop::Eject
+        }
+    }
+
+    fn port_target(&self, node: usize, port: usize) -> usize {
+        let (x, y) = self.coords(node);
+        let (tx, ty) = match port {
+            0 => (x + 1, y),
+            1 => (x - 1, y),
+            2 => (x, y + 1),
+            _ => (x, y - 1),
+        };
+        ty * self.width + tx
+    }
+
+    fn distance(&self, src: usize, dst: usize) -> usize {
+        let (x, y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        x.abs_diff(dx) + y.abs_diff(dy)
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn port_name(&self, port: usize) -> &'static str {
+        MESH_PORTS[port]
+    }
+}
+
+/// A 2-D torus: the mesh plus wrap links, tie-broken minimal XY routing,
+/// and two dateline virtual channels per direction.
+///
+/// Ports are `direction * 2 + vc`: `0`/`1` east, `2`/`3` west, `4`/`5`
+/// north, `6`/`7` south. Ties between the two ways around a dimension
+/// (`right == left`, even extents) break toward east/north, so the choice
+/// stays stable along the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus2d {
+    /// Columns.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+}
+
+const TORUS_PORTS: [&str; 8] = [
+    "east0", "east1", "west0", "west1", "north0", "north1", "south0", "south1",
+];
+
+/// Minimal travel around a wrapped extent: `(forward, backward)` hop
+/// counts from `a` to `b` in a cycle of length `len`.
+fn wrap_dist(len: usize, a: usize, b: usize) -> (usize, usize) {
+    let fwd = (b + len - a) % len;
+    (fwd, len - fwd)
+}
+
+impl Torus2d {
+    /// A `width × height` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Torus2d {
+        assert!(width > 0 && height > 0, "torus dimensions must be non-zero");
+        Torus2d { width, height }
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.width, node / self.width)
+    }
+}
+
+impl Topology for Torus2d {
+    fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn ports(&self) -> usize {
+        8
+    }
+
+    fn route(&self, at: usize, dst: usize) -> Hop {
+        let (x, y) = self.coords(at);
+        let (dx, dy) = self.coords(dst);
+        if x != dx {
+            let (right, left) = wrap_dist(self.width, x, dx);
+            return if right <= left {
+                // Eastbound: pre-wrap (still above the destination) on
+                // VC 0, post-wrap on VC 1.
+                Hop::Port(if x > dx { 0 } else { 1 })
+            } else {
+                Hop::Port(2 + usize::from(x >= dx))
+            };
+        }
+        if y != dy {
+            let (up, down) = wrap_dist(self.height, y, dy);
+            return if up <= down {
+                Hop::Port(4 + usize::from(y <= dy))
+            } else {
+                Hop::Port(6 + usize::from(y >= dy))
+            };
+        }
+        Hop::Eject
+    }
+
+    fn port_target(&self, node: usize, port: usize) -> usize {
+        let (x, y) = self.coords(node);
+        let (w, h) = (self.width, self.height);
+        let (tx, ty) = match port / 2 {
+            0 => ((x + 1) % w, y),
+            1 => ((x + w - 1) % w, y),
+            2 => (x, (y + 1) % h),
+            _ => (x, (y + h - 1) % h),
+        };
+        ty * self.width + tx
+    }
+
+    fn distance(&self, src: usize, dst: usize) -> usize {
+        let (x, y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let (r, l) = wrap_dist(self.width, x, dx);
+        let (u, d) = wrap_dist(self.height, y, dy);
+        r.min(l) + u.min(d)
+    }
+
+    fn name(&self) -> &'static str {
+        "torus"
+    }
+
+    fn port_name(&self, port: usize) -> &'static str {
+        TORUS_PORTS[port]
+    }
+}
+
+/// A bidirectional ring (1-D torus): minimal clockwise (+1) /
+/// counter-clockwise (−1) routing with dateline VCs.
+///
+/// Ports: `0`/`1` clockwise VC 0/1, `2`/`3` counter-clockwise VC 0/1.
+/// The tie at exactly half way around breaks clockwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ring {
+    /// Node count.
+    pub nodes: usize,
+}
+
+const RING_PORTS: [&str; 4] = ["cw0", "cw1", "ccw0", "ccw1"];
+
+impl Ring {
+    /// A ring of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Ring {
+        assert!(nodes > 0, "a ring needs at least one node");
+        Ring { nodes }
+    }
+}
+
+impl Topology for Ring {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn ports(&self) -> usize {
+        4
+    }
+
+    fn route(&self, at: usize, dst: usize) -> Hop {
+        let (cw, ccw) = wrap_dist(self.nodes, at, dst);
+        if cw == 0 {
+            Hop::Eject
+        } else if cw <= ccw {
+            Hop::Port(usize::from(at <= dst))
+        } else {
+            Hop::Port(2 + usize::from(at >= dst))
+        }
+    }
+
+    fn port_target(&self, node: usize, port: usize) -> usize {
+        if port < 2 {
+            (node + 1) % self.nodes
+        } else {
+            (node + self.nodes - 1) % self.nodes
+        }
+    }
+
+    fn distance(&self, src: usize, dst: usize) -> usize {
+        let (cw, ccw) = wrap_dist(self.nodes, src, dst);
+        cw.min(ccw)
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn port_name(&self, port: usize) -> &'static str {
+        RING_PORTS[port]
+    }
+}
+
+/// Every node a single hop from every other: one dedicated link per
+/// ordered pair (port `p` of node `n` is the link `n → p`; the self-port
+/// is unused). Channel count grows as `n²`, so construction is capped at
+/// [`FullyConnected::MAX_NODES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullyConnected {
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl FullyConnected {
+    /// The largest supported machine (the `n²` channel table stops being
+    /// a simulator and starts being a memory benchmark past this).
+    pub const MAX_NODES: usize = 512;
+
+    /// A fully-connected fabric of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`. Exceeding [`MAX_NODES`](Self::MAX_NODES)
+    /// is caught as a typed error at machine build time.
+    pub fn new(nodes: usize) -> FullyConnected {
+        assert!(nodes > 0, "a fabric needs at least one node");
+        FullyConnected { nodes }
+    }
+}
+
+impl Topology for FullyConnected {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn ports(&self) -> usize {
+        self.nodes
+    }
+
+    fn route(&self, at: usize, dst: usize) -> Hop {
+        if at == dst {
+            Hop::Eject
+        } else {
+            Hop::Port(dst)
+        }
+    }
+
+    fn port_target(&self, _node: usize, port: usize) -> usize {
+        port
+    }
+
+    fn distance(&self, src: usize, dst: usize) -> usize {
+        usize::from(src != dst)
+    }
+
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn port_name(&self, _port: usize) -> &'static str {
+        "direct"
+    }
+}
+
+/// The topologies, as a closed enum — the static-dispatch mirror of
+/// [`NetworkKind`](crate::NetworkKind) one level down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// 2-D mesh (the paper's fabric).
+    Mesh(Mesh2d),
+    /// 2-D torus with wrap links and dateline VCs.
+    Torus(Torus2d),
+    /// Bidirectional ring.
+    Ring(Ring),
+    /// One dedicated link per ordered pair.
+    Full(FullyConnected),
+}
+
+impl TopologyKind {
+    /// A `width × height` mesh.
+    pub fn mesh(width: usize, height: usize) -> TopologyKind {
+        TopologyKind::Mesh(Mesh2d::new(width, height))
+    }
+
+    /// A `width × height` torus.
+    pub fn torus(width: usize, height: usize) -> TopologyKind {
+        TopologyKind::Torus(Torus2d::new(width, height))
+    }
+
+    /// A ring of `nodes` nodes.
+    pub fn ring(nodes: usize) -> TopologyKind {
+        TopologyKind::Ring(Ring::new(nodes))
+    }
+
+    /// A fully-connected fabric of `nodes` nodes.
+    pub fn full(nodes: usize) -> TopologyKind {
+        TopologyKind::Full(FullyConnected::new(nodes))
+    }
+}
+
+macro_rules! topo_delegate {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            TopologyKind::Mesh($t) => $body,
+            TopologyKind::Torus($t) => $body,
+            TopologyKind::Ring($t) => $body,
+            TopologyKind::Full($t) => $body,
+        }
+    };
+}
+
+impl Topology for TopologyKind {
+    fn nodes(&self) -> usize {
+        topo_delegate!(self, t => t.nodes())
+    }
+
+    fn ports(&self) -> usize {
+        topo_delegate!(self, t => t.ports())
+    }
+
+    fn route(&self, at: usize, dst: usize) -> Hop {
+        topo_delegate!(self, t => t.route(at, dst))
+    }
+
+    fn port_target(&self, node: usize, port: usize) -> usize {
+        topo_delegate!(self, t => t.port_target(node, port))
+    }
+
+    fn distance(&self, src: usize, dst: usize) -> usize {
+        topo_delegate!(self, t => t.distance(src, dst))
+    }
+
+    fn name(&self) -> &'static str {
+        topo_delegate!(self, t => t.name())
+    }
+
+    fn port_name(&self, port: usize) -> &'static str {
+        topo_delegate!(self, t => t.port_name(port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walks the route from `src` to `dst`, asserting validity at each
+    /// hop, and returns the hop-by-hop port sequence.
+    fn walk(topo: &impl Topology, src: usize, dst: usize) -> Vec<usize> {
+        let mut at = src;
+        let mut path = Vec::new();
+        for _ in 0..=2 * (topo.nodes() + 1) {
+            match topo.route(at, dst) {
+                Hop::Eject => {
+                    assert_eq!(at, dst, "ejected away from the destination");
+                    return path;
+                }
+                Hop::Port(p) => {
+                    assert!(p < topo.ports(), "port {p} out of range");
+                    let next = topo.port_target(at, p);
+                    assert!(next < topo.nodes(), "target {next} out of range");
+                    assert_ne!(next, at, "a link must leave the node");
+                    path.push(p);
+                    at = next;
+                }
+            }
+        }
+        panic!("route {src}->{dst} did not terminate");
+    }
+
+    fn check_all_pairs(topo: &impl Topology) {
+        for src in 0..topo.nodes() {
+            for dst in 0..topo.nodes() {
+                let path = walk(topo, src, dst);
+                assert_eq!(
+                    path.len(),
+                    topo.distance(src, dst),
+                    "{}: {src}->{dst} not minimal",
+                    topo.name()
+                );
+                assert_eq!(topo.distance(src, dst), topo.distance(dst, src));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_routes_are_minimal_and_valid() {
+        check_all_pairs(&Mesh2d::new(4, 3));
+        check_all_pairs(&Mesh2d::new(1, 5));
+        check_all_pairs(&Mesh2d::new(5, 1));
+    }
+
+    #[test]
+    fn torus_routes_are_minimal_and_valid() {
+        check_all_pairs(&Torus2d::new(4, 4));
+        check_all_pairs(&Torus2d::new(5, 3));
+        check_all_pairs(&Torus2d::new(2, 2));
+        check_all_pairs(&Torus2d::new(1, 6));
+    }
+
+    #[test]
+    fn ring_routes_are_minimal_and_valid() {
+        for n in [1, 2, 3, 7, 8] {
+            check_all_pairs(&Ring::new(n));
+        }
+    }
+
+    #[test]
+    fn full_routes_are_single_hop() {
+        let t = FullyConnected::new(9);
+        check_all_pairs(&t);
+        assert_eq!(t.distance(3, 3), 0);
+        assert_eq!(t.distance(3, 4), 1);
+    }
+
+    #[test]
+    fn torus_wraps_shorten_paths() {
+        let t = Torus2d::new(8, 8);
+        let m = Mesh2d::new(8, 8);
+        // Corner to corner: mesh walks 14 hops, the torus wraps in 2.
+        assert_eq!(m.distance(0, 63), 14);
+        assert_eq!(t.distance(0, 63), 2);
+    }
+
+    /// The dateline discipline: within each direction run the VC index
+    /// never decreases, and X is fully routed before Y.
+    #[test]
+    fn torus_paths_follow_the_dateline_discipline() {
+        let t = Torus2d::new(5, 4);
+        for src in 0..t.nodes() {
+            for dst in 0..t.nodes() {
+                let path = walk(&t, src, dst);
+                let dims: Vec<usize> = path.iter().map(|p| p / 4).collect();
+                assert!(dims.windows(2).all(|w| w[0] <= w[1]), "X before Y");
+                for dir in 0..4 {
+                    let vcs: Vec<usize> = path
+                        .iter()
+                        .filter(|&&p| p / 2 == dir)
+                        .map(|p| p % 2)
+                        .collect();
+                    assert!(
+                        vcs.windows(2).all(|w| w[0] <= w[1]),
+                        "VC decreased in direction {dir}: {path:?}"
+                    );
+                }
+                // At most one direction per dimension is ever used.
+                let used_e = path.iter().any(|p| p / 2 == 0);
+                let used_w = path.iter().any(|p| p / 2 == 1);
+                assert!(!(used_e && used_w), "mixed east and west: {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_paths_follow_the_dateline_discipline() {
+        for n in [5, 8, 9] {
+            let t = Ring::new(n);
+            for src in 0..n {
+                for dst in 0..n {
+                    let path = walk(&t, src, dst);
+                    let used_cw = path.iter().any(|&p| p < 2);
+                    let used_ccw = path.iter().any(|&p| p >= 2);
+                    assert!(!(used_cw && used_ccw), "mixed directions: {path:?}");
+                    let vcs: Vec<usize> = path.iter().map(|p| p % 2).collect();
+                    assert!(vcs.windows(2).all(|w| w[0] <= w[1]), "VC decreased");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_delegates_and_names() {
+        let k = TopologyKind::torus(4, 4);
+        assert_eq!(k.name(), "torus");
+        assert_eq!(k.nodes(), 16);
+        assert_eq!(k.ports(), 8);
+        assert_eq!(k.stride(), 10);
+        assert_eq!(k.move_slots(), 9);
+        assert_eq!(TopologyKind::mesh(2, 3).name(), "mesh");
+        assert_eq!(TopologyKind::ring(5).name(), "ring");
+        assert_eq!(TopologyKind::full(5).name(), "full");
+        assert_eq!(TopologyKind::mesh(2, 3).port_name(0), "east");
+        assert_eq!(TopologyKind::ring(5).port_name(3), "ccw1");
+    }
+}

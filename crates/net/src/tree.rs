@@ -3,24 +3,104 @@
 //! A [`CombiningTree`] is the static routing skeleton the collective engine
 //! (`tcni-sim::collective`) combines along: every member node knows its
 //! parent (where partially-combined contributions go up) and its children
-//! (where completed results fan down). Two shapes are provided:
+//! (where completed results fan down). Three shapes are provided:
 //!
 //! * [`CombiningTree::star`] — every node a direct child of the root; the
-//!   right shape for [`IdealNetwork`](crate::IdealNetwork), where distance
-//!   is uniform and depth only adds latency;
-//! * [`CombiningTree::mesh`] — a k-ary tree embedded in a
+//!   right shape for [`IdealNetwork`](crate::IdealNetwork) and the
+//!   fully-connected fabric, where distance is uniform and depth only adds
+//!   latency;
+//! * [`CombiningTree::mesh`] — a k-ary tree embedded in a 2-D
 //!   [`Mesh2d`](crate::Mesh2d)'s rows and columns: within each row a k-ary
 //!   tree over the columns rooted at column 0, and a k-ary spine over the
 //!   row heads in column 0. Every tree edge runs along a single mesh row
 //!   or column, so combining traffic never takes a dog-leg through
-//!   unrelated links.
+//!   unrelated links;
+//! * [`CombiningTree::torus`] — the same row/column embedding, but with
+//!   coordinates ranked by *torus* distance from the root, so parent-child
+//!   edges exploit the wrap links and total tree wire length shrinks
+//!   relative to the mesh embedding on the same grid.
+//!
+//! Each tree records the [`TreeShape`] it was built for;
+//! [`TreeShape::embeds_in`] is how the machine builder rejects a tree
+//! mounted on a fabric whose links cannot carry its edges.
 //!
 //! Trees are value objects: construction is pure, membership is explicit,
 //! and the structure never changes after construction (faults are handled
 //! by the delivery protocol underneath, not by re-rooting).
 
+use crate::topology::TopologyKind;
+
 /// Sentinel for "no parent" in the dense parent table.
 const NO_PARENT: u32 = u32::MAX;
+
+/// The fabric geometry a [`CombiningTree`] was constructed for.
+///
+/// A star has no geometric assumptions; a grid tree assumes its edges run
+/// along the rows and columns of a specific `width × height` fabric, and a
+/// wrapped grid additionally assumes the wrap links of a torus exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Every member a direct child of the root; fabric-agnostic.
+    Star,
+    /// Row/column-aligned edges over a `width × height` grid; `wrap` means
+    /// the edge set uses torus wrap links.
+    Grid {
+        /// Grid width the tree was built for.
+        width: usize,
+        /// Grid height the tree was built for.
+        height: usize,
+        /// Whether edges rely on wrap-around links (torus embedding).
+        wrap: bool,
+    },
+}
+
+impl TreeShape {
+    /// Whether a tree of this shape can be mounted on `topo`: every tree
+    /// edge must be carriable by the fabric's links without detours through
+    /// unrelated dimensions. Stars embed everywhere; an unwrapped grid
+    /// embeds in a mesh or torus of the same dimensions (a torus has every
+    /// mesh link); a wrapped grid needs the torus's wrap links.
+    pub fn embeds_in(&self, topo: &TopologyKind) -> bool {
+        match *self {
+            TreeShape::Star => true,
+            TreeShape::Grid {
+                width,
+                height,
+                wrap,
+            } => match *topo {
+                TopologyKind::Mesh(m) => !wrap && m.width == width && m.height == height,
+                TopologyKind::Torus(t) => t.width == width && t.height == height,
+                TopologyKind::Ring(_) | TopologyKind::Full(_) => false,
+            },
+        }
+    }
+
+    /// Short human-readable name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TreeShape::Star => "star",
+            TreeShape::Grid { wrap: false, .. } => "mesh grid",
+            TreeShape::Grid { wrap: true, .. } => "torus grid",
+        }
+    }
+}
+
+/// The coordinate living at each rank when a wrapped dimension of `len`
+/// positions is ordered by torus distance from coordinate 0:
+/// `0, 1, len-1, 2, len-2, …` — nearest first, ties broken toward the
+/// positive direction.
+fn wrap_rank_coords(len: usize) -> Vec<usize> {
+    (0..len)
+        .map(|r| {
+            if r % 2 == 1 {
+                r.div_ceil(2)
+            } else {
+                len - r / 2
+            }
+        })
+        .map(|c| c % len)
+        .collect()
+}
 
 /// A static combining tree over a machine's node index space.
 ///
@@ -35,6 +115,7 @@ pub struct CombiningTree {
     member: Vec<bool>,
     members: usize,
     root: u32,
+    shape: TreeShape,
 }
 
 impl CombiningTree {
@@ -96,6 +177,11 @@ impl CombiningTree {
         assert!(radix >= 2, "combining radix must be at least 2");
         let nodes = width * height;
         let mut tree = CombiningTree::empty(nodes);
+        tree.shape = TreeShape::Grid {
+            width,
+            height,
+            wrap: false,
+        };
         tree.member = vec![true; nodes];
         tree.members = nodes;
         tree.root = 0;
@@ -118,6 +204,55 @@ impl CombiningTree {
         tree
     }
 
+    /// A k-ary tree embedded in a `width × height` torus's rows and
+    /// columns, rooted at node 0. Same row-tree/column-spine structure as
+    /// [`CombiningTree::mesh`], but the coordinates within each dimension
+    /// are ranked by *torus* distance from the root's coordinate
+    /// (`0, 1, width-1, 2, width-2, …`), so a node's parent is always one
+    /// of the coordinates nearer the root under the wrap metric. Parent
+    /// and child still share a row or a column, so every edge runs along
+    /// one torus dimension — possibly over a wrap link — and the total
+    /// wire length of the tree is no worse (usually strictly better) than
+    /// the mesh embedding's length measured on the same torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height == 0` or `radix < 2`.
+    pub fn torus(width: usize, height: usize, radix: usize) -> CombiningTree {
+        assert!(width > 0 && height > 0, "torus tree needs a non-empty grid");
+        assert!(radix >= 2, "combining radix must be at least 2");
+        let nodes = width * height;
+        let mut tree = CombiningTree::empty(nodes);
+        tree.shape = TreeShape::Grid {
+            width,
+            height,
+            wrap: true,
+        };
+        tree.member = vec![true; nodes];
+        tree.members = nodes;
+        tree.root = 0;
+        let col_at = wrap_rank_coords(width);
+        let row_at = wrap_rank_coords(height);
+        for r in 0..height {
+            // Within the row: the coordinate at rank `cr > 0` parents to
+            // the coordinate at rank `(cr - 1) / radix` of the same row.
+            for cr in 1..width {
+                let i = r * width + col_at[cr];
+                let p = r * width + col_at[(cr - 1) / radix];
+                tree.parent[i] = p as u32;
+                tree.children[p].push(i as u32);
+            }
+        }
+        // Column-0 spine over the rows, ranked the same way.
+        for rr in 1..height {
+            let i = row_at[rr] * width;
+            let p = row_at[(rr - 1) / radix] * width;
+            tree.parent[i] = p as u32;
+            tree.children[p].push(i as u32);
+        }
+        tree
+    }
+
     fn empty(nodes: usize) -> CombiningTree {
         assert!(nodes > 0, "a combining tree needs at least one node");
         CombiningTree {
@@ -126,7 +261,13 @@ impl CombiningTree {
             member: vec![false; nodes],
             members: 0,
             root: 0,
+            shape: TreeShape::Star,
         }
+    }
+
+    /// The fabric geometry this tree was built for (see [`TreeShape`]).
+    pub fn shape(&self) -> TreeShape {
+        self.shape
     }
 
     /// The size of the node index space the tree is built over (members
@@ -282,6 +423,121 @@ mod tests {
         assert_eq!(star_fan, 255);
         let max_fan = (0..t.len()).map(|i| t.children(i).len()).max().unwrap();
         assert!(max_fan <= 8, "fan-in {max_fan} too wide");
+    }
+
+    /// Torus distance between two node indices on a `w × h` torus.
+    fn torus_dist(w: usize, h: usize, a: usize, b: usize) -> usize {
+        let wrap = |len: usize, p: usize, q: usize| {
+            let d = p.abs_diff(q);
+            d.min(len - d)
+        };
+        wrap(w, a % w, b % w) + wrap(h, a / w, b / w)
+    }
+
+    #[test]
+    fn torus_tree_spans_and_stays_in_rows_and_columns() {
+        for (w, h, k) in [(4, 4, 2), (8, 8, 4), (5, 3, 3), (1, 7, 2), (7, 1, 2)] {
+            let t = CombiningTree::torus(w, h, k);
+            check_spanning(&t);
+            assert_eq!(t.root(), 0);
+            assert_eq!(t.member_count(), w * h);
+            assert_eq!(
+                t.shape(),
+                TreeShape::Grid {
+                    width: w,
+                    height: h,
+                    wrap: true
+                }
+            );
+            for i in 0..t.len() {
+                if let Some(p) = t.parent(i) {
+                    let (r, c) = (i / w, i % w);
+                    let (pr, pc) = (p / w, p % w);
+                    assert!(
+                        r == pr || c == pc,
+                        "edge {i}->{p} is not row- or column-aligned"
+                    );
+                    // Every edge is carriable by real torus hops in a
+                    // single dimension; the parent is strictly closer to
+                    // the root under the wrap metric, so combining always
+                    // makes progress.
+                    assert!(
+                        torus_dist(w, h, p, 0) < torus_dist(w, h, i, 0)
+                            || torus_dist(w, h, i, 0) == 0,
+                        "edge {i}->{p} moves away from the root"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The point of the torus embedding: ranking coordinates by wrap
+    /// distance makes parent-child edges use the wrap links, so the tree's
+    /// total wire length on the torus beats the mesh embedding's.
+    #[test]
+    fn torus_tree_wrap_edges_shorten_the_wiring() {
+        let (w, h, k) = (8, 8, 4);
+        let wire = |t: &CombiningTree| -> usize {
+            (0..t.len())
+                .filter_map(|i| t.parent(i).map(|p| torus_dist(w, h, i, p)))
+                .sum()
+        };
+        let torus = CombiningTree::torus(w, h, k);
+        let mesh = CombiningTree::mesh(w, h, k);
+        assert!(
+            wire(&torus) < wire(&mesh),
+            "torus wiring {} must beat the mesh embedding's {} on the torus",
+            wire(&torus),
+            wire(&mesh)
+        );
+        // And the torus tree's longest single edge is bounded by the wrap
+        // radius of a dimension — no parent is ever further than half-way
+        // around — while never exceeding the mesh embedding's worst edge.
+        let longest = |t: &CombiningTree| {
+            (0..t.len())
+                .filter_map(|i| t.parent(i).map(|p| torus_dist(w, h, i, p)))
+                .max()
+                .unwrap()
+        };
+        assert!(longest(&torus) <= w.max(h) / 2);
+        assert!(longest(&torus) <= longest(&mesh));
+    }
+
+    #[test]
+    fn shapes_record_their_fabric_assumptions() {
+        use crate::topology::TopologyKind;
+        assert_eq!(CombiningTree::star(4).shape(), TreeShape::Star);
+        assert_eq!(
+            CombiningTree::mesh(4, 2, 2).shape(),
+            TreeShape::Grid {
+                width: 4,
+                height: 2,
+                wrap: false
+            }
+        );
+        let star = TreeShape::Star;
+        let grid = CombiningTree::mesh(4, 2, 2).shape();
+        let wrapped = CombiningTree::torus(4, 2, 2).shape();
+        let mesh42 = TopologyKind::mesh(4, 2);
+        let torus42 = TopologyKind::torus(4, 2);
+        let ring8 = TopologyKind::ring(8);
+        let full8 = TopologyKind::full(8);
+        for topo in [mesh42, torus42, ring8, full8] {
+            assert!(star.embeds_in(&topo), "stars embed everywhere");
+        }
+        assert!(grid.embeds_in(&mesh42));
+        assert!(grid.embeds_in(&torus42), "a torus has every mesh link");
+        assert!(
+            !grid.embeds_in(&TopologyKind::mesh(2, 4)),
+            "dims must match"
+        );
+        assert!(!grid.embeds_in(&ring8) && !grid.embeds_in(&full8));
+        assert!(wrapped.embeds_in(&torus42));
+        assert!(!wrapped.embeds_in(&mesh42), "a mesh has no wrap links");
+        assert!(!wrapped.embeds_in(&ring8) && !wrapped.embeds_in(&full8));
+        assert_eq!(star.name(), "star");
+        assert_eq!(grid.name(), "mesh grid");
+        assert_eq!(wrapped.name(), "torus grid");
     }
 
     #[test]

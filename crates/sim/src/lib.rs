@@ -31,7 +31,7 @@ pub use collective::{CollDone, Collective, CollectiveStats};
 pub use delivery::{Delivery, DeliveryConfig, DeliveryStats};
 pub use driver::CycleDriver;
 pub use env::NodeEnv;
-pub use machine::{BuildError, Machine, MachineBuilder, RunOutcome};
+pub use machine::{BuildError, Machine, MachineBuilder, RunOutcome, TreeMismatch};
 pub use model::{Model, NiMapping};
 pub use node::Node;
 pub use obs::{MsgCounters, MsgSpan, NodeRollup, Obs, ObsReport, TRACE_SCHEMA};

@@ -7,9 +7,9 @@ use tcni_core::{CollectiveOp, FeatureLevel, Message, NiConfig, NodeId, WireForma
 use tcni_cpu::{StepOutcome, TimingConfig};
 use tcni_isa::{MsgType, Program};
 use tcni_net::{
-    CombiningTree, FaultConfig, FaultRange, FaultRangeDelta, FaultyFabric, IdealNetwork,
-    InjectError, Mesh2d, MeshConfig, MeshRange, MeshRangeDelta, MeshTickScratch, NetStats, Network,
-    NetworkKind,
+    CombiningTree, Fabric, FabricConfig, FabricRange, FabricRangeDelta, FabricTickScratch,
+    FaultConfig, FaultRange, FaultRangeDelta, FaultyFabric, FullyConnected, IdealNetwork,
+    InjectError, NetStats, Network, NetworkKind, Topology as _, TopologyKind,
 };
 use tcni_util::par::{domain_bounds, run_tasks};
 
@@ -51,14 +51,25 @@ pub enum BuildError {
         /// The requested node count.
         nodes: usize,
     },
-    /// The configured mesh has fewer slots than the machine has nodes.
-    MeshTooSmall {
-        /// Configured mesh width.
-        width: usize,
-        /// Configured mesh height.
-        height: usize,
+    /// The configured fabric has fewer slots than the machine has nodes.
+    FabricTooSmall {
+        /// Topology name (`"mesh"`, `"torus"`, `"ring"`, `"full"`).
+        topo: &'static str,
+        /// Number of slots the configured fabric provides.
+        fabric_nodes: usize,
         /// The requested node count.
         nodes: usize,
+    },
+    /// The configured fabric exceeds its own scaling ceiling (currently
+    /// only the fully-connected fabric, whose per-node port count grows
+    /// linearly and whose channel count grows quadratically).
+    FabricTooLarge {
+        /// Topology name.
+        topo: &'static str,
+        /// Number of nodes the configured fabric would have.
+        nodes: usize,
+        /// The topology's ceiling.
+        max: usize,
     },
     /// The end-to-end delivery protocol was enabled on a machine beyond its
     /// per-flow state ceiling (32768 nodes — flow indices are `u32` with a
@@ -67,14 +78,35 @@ pub enum BuildError {
         /// The requested node count.
         nodes: usize,
     },
-    /// A combining tree was supplied whose node index space does not match
-    /// the machine's node count: collective wire messages would address
-    /// nodes that do not exist (or leave real nodes unreachable).
-    CollectiveTreeMismatch {
+    /// A combining tree was supplied that cannot be mounted on this
+    /// machine — wrong index-space size, or a geometry the configured
+    /// fabric's links cannot carry (see [`TreeMismatch`]).
+    CollectiveTreeMismatch(TreeMismatch),
+}
+
+/// Why a combining tree cannot be mounted, inside
+/// [`BuildError::CollectiveTreeMismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeMismatch {
+    /// The tree's node index space does not match the machine's node
+    /// count: collective wire messages would address nodes that do not
+    /// exist (or leave real nodes unreachable).
+    Size {
         /// The tree's index-space size.
         tree_nodes: usize,
         /// The requested node count.
         nodes: usize,
+    },
+    /// The tree was built for a different fabric geometry: its edges
+    /// assume links (mesh rows/columns, torus wrap links) the configured
+    /// topology does not have, so combining traffic would dog-leg through
+    /// unrelated links and the embedding guarantees would silently break.
+    /// Ideal networks accept any shape (every pair is one hop).
+    Shape {
+        /// The tree's declared shape ([`TreeShape::name`]).
+        tree: &'static str,
+        /// The configured base fabric's topology name.
+        fabric: &'static str,
     },
 }
 
@@ -96,12 +128,21 @@ impl fmt::Display for BuildError {
                     format.max_nodes()
                 )
             }
-            BuildError::MeshTooSmall {
-                width,
-                height,
+            BuildError::FabricTooSmall {
+                topo,
+                fabric_nodes,
                 nodes,
             } => {
-                write!(f, "mesh ({width}×{height}) smaller than node count {nodes}")
+                write!(
+                    f,
+                    "{topo} fabric ({fabric_nodes} slots) smaller than node count {nodes}"
+                )
+            }
+            BuildError::FabricTooLarge { topo, nodes, max } => {
+                write!(
+                    f,
+                    "{topo} fabric scales to at most {max} nodes ({nodes} requested)"
+                )
             }
             BuildError::DeliveryTooLarge { nodes } => {
                 write!(
@@ -109,10 +150,16 @@ impl fmt::Display for BuildError {
                     "delivery protocol supports at most {DELIVERY_MAX_NODES} nodes ({nodes} requested)"
                 )
             }
-            BuildError::CollectiveTreeMismatch { tree_nodes, nodes } => {
+            BuildError::CollectiveTreeMismatch(TreeMismatch::Size { tree_nodes, nodes }) => {
                 write!(
                     f,
                     "combining tree spans {tree_nodes} nodes but the machine has {nodes}"
+                )
+            }
+            BuildError::CollectiveTreeMismatch(TreeMismatch::Shape { tree, fabric }) => {
+                write!(
+                    f,
+                    "combining tree shaped for a {tree} cannot embed in a {fabric} fabric"
                 )
             }
         }
@@ -331,7 +378,7 @@ impl Machine {
     /// monomorphization: a machine with observability disabled pays nothing.
     pub fn enable_obs(&mut self, span_capacity: usize) {
         self.obs = Some(Obs::new(self.nodes.len(), span_capacity));
-        if let Some(mesh) = self.net.as_mesh_mut() {
+        if let Some(mesh) = self.net.as_fabric_mut() {
             mesh.set_observe(true);
         }
     }
@@ -363,8 +410,8 @@ impl Machine {
             net: self.net_stats(),
             links: self
                 .net
-                .as_mesh()
-                .map(Mesh2d::link_stats)
+                .as_fabric()
+                .map(Fabric::link_stats)
                 .unwrap_or_default(),
             nodes,
             spans: obs.spans().copied().collect(),
@@ -458,7 +505,7 @@ impl Machine {
     /// verify, mirroring [`set_skip_ahead`](Machine::set_skip_ahead).
     pub fn set_dense_scan(&mut self, enabled: bool) {
         self.dense_scan = enabled;
-        if let Some(mesh) = self.net.as_mesh_mut() {
+        if let Some(mesh) = self.net.as_fabric_mut() {
             mesh.set_dense_scan(enabled);
         }
         if let Some(del) = self.delivery.as_mut() {
@@ -1030,8 +1077,8 @@ impl Machine {
             return None;
         }
         let mesh = match &self.net {
-            NetworkKind::Mesh(m) => m,
-            NetworkKind::Faulty(f) => f.inner().as_mesh()?,
+            NetworkKind::Fabric(m) => m,
+            NetworkKind::Faulty(f) => f.inner().as_fabric()?,
             NetworkKind::Ideal(_) => return None,
         };
         if mesh.observe() {
@@ -1058,7 +1105,7 @@ impl Machine {
         Some(ParPlan {
             bounds,
             mbounds,
-            scratch: MeshTickScratch::new(),
+            scratch: FabricTickScratch::new(),
             run_acc: Vec::new(),
             drain_acc: Vec::new(),
         })
@@ -1073,7 +1120,7 @@ impl Machine {
     /// counters, frontier marks, delivery lists, trace events — are buffered
     /// per domain and replayed in domain order, which *is* the serial
     /// ascending-node order). The fabric then ticks via
-    /// [`Mesh2d::tick_domains`], and region B runs the ejection phase the
+    /// [`Fabric::tick_domains`], and region B runs the ejection phase the
     /// same way. The observability path is excluded by
     /// [`make_par_plan`](Self::make_par_plan), so only `TRACED`/`E2E`
     /// instantiations exist.
@@ -1418,7 +1465,7 @@ struct ParPlan {
     /// processor, interface, and delivery phases).
     mbounds: Vec<usize>,
     /// Reusable fabric-tick workspace.
-    scratch: MeshTickScratch,
+    scratch: FabricTickScratch,
     /// Reusable accumulators for the rebuilt running/draining lists.
     run_acc: Vec<usize>,
     drain_acc: Vec<usize>,
@@ -1460,49 +1507,49 @@ struct RegionBTask<'a> {
     events: Vec<TraceEvent>,
 }
 
-/// A domain's view of the fabric for the sharded cycle: either a bare mesh
-/// range or a fault-layer range wrapping one. Same entry points either way,
-/// so the region bodies are fabric-agnostic.
+/// A domain's view of the fabric for the sharded cycle: either a bare
+/// fabric range or a fault-layer range wrapping one. Same entry points
+/// either way, so the region bodies are fabric-agnostic.
 // Built fresh per domain per cycle on the sharded hot path; boxing the
 // fault variant would trade a stack copy for a per-cycle allocation.
 #[allow(clippy::large_enum_variant)]
 enum ParNetRange<'a> {
-    Mesh(MeshRange<'a>),
+    Fabric(FabricRange<'a>),
     Faulty(FaultRange<'a>),
 }
 
 impl ParNetRange<'_> {
     fn node_count(&self) -> usize {
         match self {
-            ParNetRange::Mesh(m) => m.node_count(),
+            ParNetRange::Fabric(m) => m.node_count(),
             ParNetRange::Faulty(f) => f.node_count(),
         }
     }
 
     fn inject(&mut self, src: NodeId, msg: Message) -> Result<(), InjectError> {
         match self {
-            ParNetRange::Mesh(m) => m.inject(src, msg),
+            ParNetRange::Fabric(m) => m.inject(src, msg),
             ParNetRange::Faulty(f) => f.inject(src, msg),
         }
     }
 
     fn peek_eject(&self, dst: NodeId) -> Option<&Message> {
         match self {
-            ParNetRange::Mesh(m) => m.peek_eject(dst),
+            ParNetRange::Fabric(m) => m.peek_eject(dst),
             ParNetRange::Faulty(f) => f.peek_eject(dst),
         }
     }
 
     fn eject(&mut self, dst: NodeId) -> Option<Message> {
         match self {
-            ParNetRange::Mesh(m) => m.eject(dst),
+            ParNetRange::Fabric(m) => m.eject(dst),
             ParNetRange::Faulty(f) => f.eject(dst),
         }
     }
 
     fn into_delta(self) -> ParNetDelta {
         match self {
-            ParNetRange::Mesh(m) => ParNetDelta::Mesh(m.into_delta()),
+            ParNetRange::Fabric(m) => ParNetDelta::Fabric(m.into_delta()),
             ParNetRange::Faulty(f) => ParNetDelta::Faulty(f.into_delta()),
         }
     }
@@ -1510,65 +1557,65 @@ impl ParNetRange<'_> {
 
 /// The buffered per-domain fabric effects matching [`ParNetRange`].
 enum ParNetDelta {
-    Mesh(MeshRangeDelta),
+    Fabric(FabricRangeDelta),
     Faulty(FaultRangeDelta),
 }
 
 /// Splits the fabric into per-domain ranges for one sharded region. The plan
-/// guarantees a mesh-based fabric (bare or fault-wrapped).
+/// guarantees a switched-fabric base (bare or fault-wrapped).
 fn split_net<'a>(net: &'a mut NetworkKind, bounds: &[usize]) -> Vec<ParNetRange<'a>> {
     match net {
-        NetworkKind::Mesh(m) => m
+        NetworkKind::Fabric(m) => m
             .split_node_ranges(bounds)
             .into_iter()
-            .map(ParNetRange::Mesh)
+            .map(ParNetRange::Fabric)
             .collect(),
         NetworkKind::Faulty(f) => f
             .split_fault_ranges(bounds)
             .into_iter()
             .map(ParNetRange::Faulty)
             .collect(),
-        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a switched fabric"),
     }
 }
 
 /// Absorbs region-A (injection-side) fabric deltas in domain order.
 fn absorb_net_inject(net: &mut NetworkKind, deltas: Vec<ParNetDelta>) {
     match net {
-        NetworkKind::Mesh(m) => m.absorb_inject_deltas(deltas.into_iter().map(|d| match d {
-            ParNetDelta::Mesh(d) => d,
+        NetworkKind::Fabric(m) => m.absorb_inject_deltas(deltas.into_iter().map(|d| match d {
+            ParNetDelta::Fabric(d) => d,
             ParNetDelta::Faulty(_) => unreachable!("delta kind follows the fabric kind"),
         })),
         NetworkKind::Faulty(f) => f.absorb_inject_deltas(deltas.into_iter().map(|d| match d {
             ParNetDelta::Faulty(d) => d,
-            ParNetDelta::Mesh(_) => unreachable!("delta kind follows the fabric kind"),
+            ParNetDelta::Fabric(_) => unreachable!("delta kind follows the fabric kind"),
         })),
-        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a switched fabric"),
     }
 }
 
 /// Absorbs region-B (ejection-side) fabric deltas in domain order.
 fn absorb_net_eject(net: &mut NetworkKind, deltas: Vec<ParNetDelta>) {
     match net {
-        NetworkKind::Mesh(m) => m.absorb_eject_deltas(deltas.into_iter().map(|d| match d {
-            ParNetDelta::Mesh(d) => d,
+        NetworkKind::Fabric(m) => m.absorb_eject_deltas(deltas.into_iter().map(|d| match d {
+            ParNetDelta::Fabric(d) => d,
             ParNetDelta::Faulty(_) => unreachable!("delta kind follows the fabric kind"),
         })),
         NetworkKind::Faulty(f) => f.absorb_eject_deltas(deltas.into_iter().map(|d| match d {
             ParNetDelta::Faulty(d) => d,
-            ParNetDelta::Mesh(_) => unreachable!("delta kind follows the fabric kind"),
+            ParNetDelta::Fabric(_) => unreachable!("delta kind follows the fabric kind"),
         })),
-        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a switched fabric"),
     }
 }
 
 /// Advances the fabric one cycle, domain-sliced (serial-equivalent: see the
 /// fabric-level `tick_domains` contracts).
-fn tick_net_domains(net: &mut NetworkKind, bounds: &[usize], scratch: &mut MeshTickScratch) {
+fn tick_net_domains(net: &mut NetworkKind, bounds: &[usize], scratch: &mut FabricTickScratch) {
     match net {
-        NetworkKind::Mesh(m) => m.tick_domains(bounds, scratch),
+        NetworkKind::Fabric(m) => m.tick_domains(bounds, scratch),
         NetworkKind::Faulty(f) => f.tick_domains(bounds, scratch),
-        NetworkKind::Ideal(_) => unreachable!("the plan implies a mesh-based fabric"),
+        NetworkKind::Ideal(_) => unreachable!("the plan implies a switched fabric"),
     }
 }
 
@@ -1933,7 +1980,7 @@ fn region_b<const TRACED: bool, const E2E: bool, const COLL: bool>(
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NetChoice {
     Ideal { latency: u64 },
-    Mesh(MeshConfig),
+    Fabric(FabricConfig),
 }
 
 /// Builds a [`Machine`].
@@ -2055,15 +2102,28 @@ impl MachineBuilder {
         self
     }
 
-    /// Uses a 2-D mesh network.
+    /// Uses a switched network fabric (mesh, torus, ring, or
+    /// fully-connected, per [`FabricConfig::topo`]).
     ///
     /// # Panics
     ///
-    /// Panics at [`build`](Self::build) if the mesh is smaller than the node
-    /// count.
-    pub fn network_mesh(mut self, config: MeshConfig) -> MachineBuilder {
-        self.net = NetChoice::Mesh(config);
+    /// Panics at [`build`](Self::build) if the fabric has fewer slots than
+    /// the node count.
+    pub fn network_fabric(mut self, config: FabricConfig) -> MachineBuilder {
+        self.net = NetChoice::Fabric(config);
         self
+    }
+
+    /// Uses a switched network fabric of the given topology with default
+    /// buffer capacities — the runtime topology-selection surface
+    /// (equivalent to `network_fabric(FabricConfig::of(topo))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`build`](Self::build) if the fabric has fewer slots than
+    /// the node count.
+    pub fn topology(self, topo: TopologyKind) -> MachineBuilder {
+        self.network_fabric(FabricConfig::of(topo))
     }
 
     /// Wraps the chosen fabric in a seeded fault-injection layer (see
@@ -2086,9 +2146,11 @@ impl MachineBuilder {
     /// Enables the in-network collective engine over the given combining
     /// tree (see [`Collective`]): barrier, broadcast, and reduce as NIC
     /// primitives, combined at each tree node's interface instead of at the
-    /// root processor. The tree's index space must match the node count
-    /// ([`BuildError::CollectiveTreeMismatch`] otherwise). Machines built
-    /// without this pay nothing for it.
+    /// root processor. The tree's index space must match the node count,
+    /// and its [`TreeShape`](tcni_net::TreeShape) must embed in the
+    /// configured fabric's topology
+    /// ([`BuildError::CollectiveTreeMismatch`] otherwise; ideal networks
+    /// accept any shape). Machines built without this pay nothing for it.
     pub fn collective(mut self, tree: CombiningTree) -> MachineBuilder {
         self.collective = Some(tree);
         self
@@ -2127,7 +2189,7 @@ impl MachineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the configured mesh is smaller than the node count (see
+    /// Panics if the configured fabric is smaller than the node count (see
     /// [`MachineBuilder::try_build`] for the fallible form).
     pub fn build(self) -> Machine {
         match self.try_build() {
@@ -2141,11 +2203,14 @@ impl MachineBuilder {
     ///
     /// # Errors
     ///
-    /// [`BuildError::MeshTooSmall`] when the configured mesh has fewer slots
-    /// than the machine has nodes; [`BuildError::FormatTooSmall`] when a
-    /// pinned wire format cannot address the node count;
-    /// [`BuildError::DeliveryTooLarge`] when the delivery protocol is
-    /// enabled beyond its 32768-node ceiling.
+    /// [`BuildError::FabricTooSmall`] when the configured fabric has fewer
+    /// slots than the machine has nodes; [`BuildError::FabricTooLarge`]
+    /// when a fully-connected fabric exceeds its scaling ceiling;
+    /// [`BuildError::FormatTooSmall`] when a pinned wire format cannot
+    /// address the node count; [`BuildError::DeliveryTooLarge`] when the
+    /// delivery protocol is enabled beyond its 32768-node ceiling;
+    /// [`BuildError::CollectiveTreeMismatch`] when a combining tree's size
+    /// or shape does not fit the machine and its fabric.
     pub fn try_build(mut self) -> Result<Machine, BuildError> {
         // Resolve the wire format: the pinned one (checked), or the
         // smallest fit (total within try_new's 65536-node ceiling).
@@ -2163,16 +2228,27 @@ impl MachineBuilder {
         self.ni_config.wire_format = wire_format;
         let mut net: NetworkKind = match self.net {
             NetChoice::Ideal { latency } => IdealNetwork::new(self.node_count, latency).into(),
-            NetChoice::Mesh(cfg) => {
-                let mesh = Mesh2d::new(cfg);
-                if mesh.node_count() < self.node_count {
-                    return Err(BuildError::MeshTooSmall {
-                        width: cfg.width,
-                        height: cfg.height,
+            NetChoice::Fabric(cfg) => {
+                // Cap checks run before construction: a too-large
+                // fully-connected fabric would otherwise allocate its
+                // quadratic channel table just to be rejected.
+                if let TopologyKind::Full(fc) = cfg.topo {
+                    if fc.nodes > FullyConnected::MAX_NODES {
+                        return Err(BuildError::FabricTooLarge {
+                            topo: cfg.topo.name(),
+                            nodes: fc.nodes,
+                            max: FullyConnected::MAX_NODES,
+                        });
+                    }
+                }
+                if cfg.topo.nodes() < self.node_count {
+                    return Err(BuildError::FabricTooSmall {
+                        topo: cfg.topo.name(),
+                        fabric_nodes: cfg.topo.nodes(),
                         nodes: self.node_count,
                     });
                 }
-                mesh.into()
+                Fabric::new(cfg).into()
             }
         };
         if let Some(fault) = self.fault {
@@ -2188,10 +2264,21 @@ impl MachineBuilder {
             .map(|cfg| Delivery::new(self.node_count, cfg, wire_format));
         if let Some(tree) = &self.collective {
             if tree.len() != self.node_count {
-                return Err(BuildError::CollectiveTreeMismatch {
+                return Err(BuildError::CollectiveTreeMismatch(TreeMismatch::Size {
                     tree_nodes: tree.len(),
                     nodes: self.node_count,
-                });
+                }));
+            }
+            // The tree's geometry must be carriable by the base fabric's
+            // links; the ideal network embeds any shape (uniform latency,
+            // every pair one hop).
+            if let NetChoice::Fabric(cfg) = self.net {
+                if !tree.shape().embeds_in(&cfg.topo) {
+                    return Err(BuildError::CollectiveTreeMismatch(TreeMismatch::Shape {
+                        tree: tree.shape().name(),
+                        fabric: cfg.topo.name(),
+                    }));
+                }
             }
         }
         let collective = self

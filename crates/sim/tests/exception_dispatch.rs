@@ -147,7 +147,7 @@ fn output_overflow_exception_policy() {
         ))
         .ni_queues(2, 2)
         .program(0, program)
-        .network_mesh(tcni_net::MeshConfig::new(1, 1))
+        .network_fabric(tcni_net::FabricConfig::new(1, 1))
         .build();
     machine
         .node_mut(0)

@@ -20,7 +20,7 @@ use tcni_core::mapping::{
 };
 use tcni_core::{FeatureLevel, InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_isa::{Assembler, Program, Reg};
-use tcni_net::MeshConfig;
+use tcni_net::FabricConfig;
 use tcni_sim::{Machine, MachineBuilder, Model, NiMapping, RunOutcome};
 
 const TABLE_MODEL: Model = Model {
@@ -194,7 +194,7 @@ fn scroll_stream_is_equivalent_on_both_fabrics() {
                 .program(1, scroll_receiver(3))
                 .skip_ahead(skip);
             if mesh {
-                b.network_mesh(MeshConfig::new(2, 1)).build()
+                b.network_fabric(FabricConfig::new(2, 1)).build()
             } else {
                 b.network_ideal(latency).build()
             }
@@ -267,7 +267,7 @@ fn abandoned_scroll_burns_to_the_limit() {
                 .program(1, scroll_receiver(3))
                 .skip_ahead(skip);
             if mesh {
-                b.network_mesh(MeshConfig::new(2, 1)).build()
+                b.network_fabric(FabricConfig::new(2, 1)).build()
             } else {
                 b.network_ideal(latency).build()
             }
@@ -311,7 +311,7 @@ fn clogged_mesh_network_only_loop_is_equivalent() {
                 .model(Model::new(NiMapping::RegisterFile, FeatureLevel::Optimized))
                 .ni_queues(input_cap, output_cap)
                 .program(0, producer.clone())
-                .network_mesh(MeshConfig::new(2, 1))
+                .network_fabric(FabricConfig::new(2, 1))
                 .skip_ahead(skip)
                 .build()
         };

@@ -7,7 +7,7 @@
 use tcni_core::mapping::{cmd_addr, reg_addr, scroll_in_addr, scroll_out_addr, NI_WINDOW_BASE};
 use tcni_core::{InterfaceReg, MsgType, NiCmd, NodeId, WireFormat};
 use tcni_isa::{Assembler, Program, Reg};
-use tcni_net::MeshConfig;
+use tcni_net::FabricConfig;
 use tcni_sim::{MachineBuilder, Model, NiMapping, RunOutcome};
 
 const TABLE: u32 = 0x4000;
@@ -105,7 +105,7 @@ fn fifteen_word_message_streams_across_the_mesh() {
         .model(model)
         .program(0, sender(0))
         .program(1, receiver())
-        .network_mesh(MeshConfig::new(2, 1))
+        .network_fabric(FabricConfig::new(2, 1))
         .build();
     let outcome = machine.run(10_000);
     assert_eq!(outcome, RunOutcome::Quiescent, "{outcome:?}");
@@ -133,7 +133,7 @@ fn scroll_in_waits_for_a_slow_producer() {
         .model(model)
         .program(0, sender(60))
         .program(1, receiver())
-        .network_mesh(MeshConfig::new(2, 1))
+        .network_fabric(FabricConfig::new(2, 1))
         .build();
     assert_eq!(machine.run(10_000), RunOutcome::Quiescent);
     for flit in 0..3u32 {

@@ -29,10 +29,11 @@
 use std::collections::VecDeque;
 
 use tcni_core::{CollectiveOp, InterfaceReg, MsgType, NetworkInterface, NodeId, SendMode};
-use tcni_net::{CombiningTree, FaultConfig, MeshConfig};
+use tcni_net::{CombiningTree, FabricConfig, FaultConfig};
 use tcni_sim::{CycleDriver, DeliveryConfig, Machine, MachineBuilder, Node, RunOutcome};
 
 use crate::pattern::Topology;
+use crate::sweep::Fabric;
 
 /// Which implementation of the collective a point measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,8 +62,12 @@ impl CollMode {
 /// Shared parameters for every point of a collective sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct CollStormConfig {
-    /// Node grid (and mesh geometry).
+    /// Node grid (and switched-fabric geometry).
     pub topo: Topology,
+    /// The fabric under the storm. NIC mode embeds the matching combining
+    /// tree: a grid tree on the mesh, a wrap-aware grid tree on the torus,
+    /// and a star on the ring / fully-connected / ideal fabrics.
+    pub fabric: Fabric,
     /// Master seed for the per-round contribution values.
     pub seed: u64,
     /// Rounds each point completes.
@@ -82,11 +87,12 @@ pub struct CollStormConfig {
 }
 
 impl CollStormConfig {
-    /// Defaults: seed 1, 32 rounds, radix 4, 200k-cycle cap, 8 samples,
-    /// fault-free, no protocol.
+    /// Defaults: mesh fabric, seed 1, 32 rounds, radix 4, 200k-cycle cap,
+    /// 8 samples, fault-free, no protocol.
     pub fn new(topo: Topology) -> CollStormConfig {
         CollStormConfig {
             topo,
+            fabric: Fabric::Mesh,
             seed: 1,
             rounds: 32,
             radix: 4,
@@ -426,8 +432,14 @@ const COLL_FAULT_SALT: u64 = 0x5851_F42D_4C95_7F2D;
 
 fn build_machine(mode: CollMode, cfg: &CollStormConfig) -> Machine {
     let topo = &cfg.topo;
-    let mut b =
-        MachineBuilder::new(topo.nodes()).network_mesh(MeshConfig::new(topo.width, topo.height));
+    let mut b = MachineBuilder::new(topo.nodes());
+    b = match cfg.fabric {
+        Fabric::Ideal { latency } => b.network_ideal(latency),
+        Fabric::Mesh => b.network_fabric(FabricConfig::new(topo.width, topo.height)),
+        Fabric::Torus => b.network_fabric(FabricConfig::torus(topo.width, topo.height)),
+        Fabric::Ring => b.network_fabric(FabricConfig::ring(topo.nodes())),
+        Fabric::Full => b.network_fabric(FabricConfig::full(topo.nodes())),
+    };
     if cfg.fault_pm > 0 {
         b = b.network_fault(FaultConfig::uniform(
             cfg.seed ^ COLL_FAULT_SALT,
@@ -438,7 +450,17 @@ fn build_machine(mode: CollMode, cfg: &CollStormConfig) -> Machine {
         b = b.delivery(DeliveryConfig::default());
     }
     if mode == CollMode::Nic {
-        b = b.collective(CombiningTree::mesh(topo.width, topo.height, cfg.radix));
+        // The tree that actually embeds in the chosen fabric: grid trees
+        // follow the grid links (wrap-aware on the torus); topologies with
+        // no grid at all take the geometry-free star.
+        let tree = match cfg.fabric {
+            Fabric::Ideal { .. } | Fabric::Mesh => {
+                CombiningTree::mesh(topo.width, topo.height, cfg.radix)
+            }
+            Fabric::Torus => CombiningTree::torus(topo.width, topo.height, cfg.radix),
+            Fabric::Ring | Fabric::Full => CombiningTree::star(topo.nodes()),
+        };
+        b = b.collective(tree);
     }
     b.build()
 }
@@ -566,10 +588,12 @@ pub const COLL_SCHEMA: &str = "tcni-coll/1";
 /// }
 /// ```
 ///
-/// Faulted runs additionally carry `"fault_pm"` and `"delivery"` at the
-/// top level; fault-free runs omit both (golden-enforced). Every numeric
-/// field is an integer, so same-config runs serialize byte-identically at
-/// any `TCNI_THREADS`.
+/// Non-mesh runs carry a top-level `"fabric"` key (`"torus"`, `"ring"`,
+/// `"full"`, or `"ideal"`); mesh runs omit it, keeping pre-topology mesh
+/// goldens byte-identical. Faulted runs additionally carry `"fault_pm"`
+/// and `"delivery"` at the top level; fault-free runs omit both
+/// (golden-enforced). Every numeric field is an integer, so same-config
+/// runs serialize byte-identically at any `TCNI_THREADS`.
 #[derive(Debug, Clone)]
 pub struct CollReport {
     /// The shared storm parameters.
@@ -609,6 +633,11 @@ impl CollReport {
         num(&mut o, self.config.radix as u64);
         o.push_str(",\n  \"max_cycles\": ");
         num(&mut o, self.config.max_cycles);
+        if self.config.fabric != Fabric::Mesh {
+            o.push_str(",\n  \"fabric\": \"");
+            o.push_str(self.config.fabric.key());
+            o.push('"');
+        }
         if self.config.fault_pm > 0 {
             o.push_str(",\n  \"fault_pm\": ");
             num(&mut o, u64::from(self.config.fault_pm));
@@ -766,6 +795,57 @@ mod tests {
     }
 
     #[test]
+    fn collectives_complete_on_every_switched_topology() {
+        // The NIC engine rides whatever tree matches the fabric — grid on
+        // mesh, wrap-aware grid on torus, star on ring/full — and every
+        // one of them finishes its rounds with bit-correct results.
+        for fabric in [Fabric::Mesh, Fabric::Torus, Fabric::Ring, Fabric::Full] {
+            let mut c = cfg();
+            c.fabric = fabric;
+            c.rounds = 4;
+            for mode in CollMode::BOTH {
+                let p = run_coll_point(mode, CollectiveOp::Sum, 0, &c);
+                assert_eq!(p.rounds_done, 4, "{fabric:?}/{mode:?}: {p:?}");
+                assert_eq!(p.wrong_results, 0, "{fabric:?}/{mode:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_collective_storm_survives_faults() {
+        // The ISSUE acceptance point: an 8×8 torus collective storm under
+        // 25‰ uniform faults (with the delivery protocol) never reports a
+        // wrong result.
+        let mut c = CollStormConfig::new(Topology::new(8, 8));
+        c.fabric = Fabric::Torus;
+        c.rounds = 4;
+        c.max_cycles = 100_000;
+        c.fault_pm = 25;
+        c.delivery = true;
+        for op in [CollectiveOp::Barrier, CollectiveOp::Sum] {
+            let p = run_coll_point(CollMode::Nic, op, 0, &c);
+            assert_eq!(p.rounds_done, 4, "{op:?}: {p:?}");
+            assert_eq!(p.wrong_results, 0, "{op:?}: {p:?}");
+            assert!(p.combined > 0, "combining happened in-network: {p:?}");
+        }
+    }
+
+    #[test]
+    fn non_mesh_reports_carry_the_fabric_key() {
+        let mut c = cfg();
+        c.fabric = Fabric::Torus;
+        c.rounds = 2;
+        let rates = vec![0];
+        let points = run_coll_sweep(&[CollectiveOp::Barrier], &rates, &c);
+        let report = CollReport {
+            config: c,
+            rates_pm: rates,
+            points,
+        };
+        assert!(report.to_json().contains("\"fabric\": \"torus\""));
+    }
+
+    #[test]
     fn report_json_is_versioned_and_balanced() {
         let mut c = cfg();
         c.rounds = 2;
@@ -784,6 +864,10 @@ mod tests {
         assert!(json.contains("\"op\": \"barrier\""));
         assert!(json.contains("\"lat_mean_x100\": "));
         assert!(!json.contains("fault_pm"), "fault-free runs omit the axis");
+        assert!(
+            !json.contains("\"fabric\""),
+            "mesh runs omit the fabric key"
+        );
         assert!(json.ends_with("]\n}\n"));
         let depth: i64 = json
             .chars()

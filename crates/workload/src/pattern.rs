@@ -1,7 +1,7 @@
 //! Deterministic synthetic traffic patterns.
 //!
 //! Every pattern maps a *source* node to a *destination* node over a logical
-//! `width × height` grid (the same grid the [`Mesh2d`](tcni_net::Mesh2d)
+//! `width × height` grid (the same grid the [`Fabric`](tcni_net::Fabric)
 //! fabric routes on; the ideal fabric simply ignores the geometry). Random
 //! patterns draw from a caller-supplied SplitMix64 [`Rng`] — one independent
 //! stream per node — so a whole run is reproducible from a single seed and
@@ -17,7 +17,7 @@ use tcni_core::NodeId;
 
 /// The logical node grid a pattern addresses.
 ///
-/// Matches [`MeshConfig`](tcni_net::MeshConfig)'s `width × height` when the
+/// Matches [`FabricConfig`](tcni_net::FabricConfig)'s `width × height` when the
 /// fabric is the mesh; on the ideal fabric the grid is only the pattern's
 /// coordinate system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -27,7 +27,7 @@
 //! false negatives (latency creep while throughput still scales); the
 //! shedding arm catches processor-bound saturation the fabric never sees.
 
-use tcni_net::{FaultConfig, LatencyHist, MeshConfig, NetStats};
+use tcni_net::{FabricConfig, FaultConfig, LatencyHist, NetStats};
 use tcni_sim::{DeliveryConfig, DeliveryStats, Machine, MachineBuilder, Model};
 
 use crate::inject::{InjectCounters, Injector, InjectorConfig, LoopMode, ServiceCosts};
@@ -43,6 +43,13 @@ pub enum Fabric {
     },
     /// The 2-D wormhole mesh with finite buffers and backpressure.
     Mesh,
+    /// The wrap-around 2-D torus (same grid, dateline-disciplined wrap
+    /// links).
+    Torus,
+    /// The bidirectional ring over `width × height` nodes.
+    Ring,
+    /// The fully-connected fabric: every pair one hop apart.
+    Full,
 }
 
 /// The ideal fabric's default latency for sweeps (matches the paper's
@@ -63,17 +70,24 @@ impl Fabric {
         match self {
             Fabric::Ideal { .. } => "ideal",
             Fabric::Mesh => "mesh",
+            Fabric::Torus => "torus",
+            Fabric::Ring => "ring",
+            Fabric::Full => "full",
         }
     }
 
     /// Parses a fabric name as accepted by the `loadgen` CLI: `ideal`,
-    /// `ideal:N` (explicit latency), or `mesh`.
+    /// `ideal:N` (explicit latency), or a switched topology — `mesh`,
+    /// `torus`, `ring`, `full`.
     pub fn parse(s: &str) -> Option<Fabric> {
         Some(match s {
             "ideal" => Fabric::Ideal {
                 latency: DEFAULT_IDEAL_LATENCY,
             },
             "mesh" => Fabric::Mesh,
+            "torus" => Fabric::Torus,
+            "ring" => Fabric::Ring,
+            "full" => Fabric::Full,
             _ => Fabric::Ideal {
                 latency: s.strip_prefix("ideal:")?.parse().ok()?,
             },
@@ -104,11 +118,18 @@ pub struct SweepConfig {
     pub fault_pm: u32,
     /// Whether the machine runs the end-to-end delivery protocol.
     pub delivery: bool,
+    /// Replace the per-model Table-1 service costs with
+    /// [`ServiceCosts::unit`]: every send/receive occupies the node for one
+    /// cycle, so the *fabric* is the only bottleneck. This is the topology
+    /// sensitivity mode — on the paper models the processor occupancy caps
+    /// per-node throughput well below any 16×16 fabric's bisection, hiding
+    /// the mesh/torus difference the wrap links create.
+    pub unit_costs: bool,
 }
 
 impl SweepConfig {
     /// Defaults: 4×4 grid, seed 1, 2000-cycle warmup, 6000-cycle window,
-    /// 8 residency samples, backlog 16.
+    /// 8 residency samples, backlog 16, Table-1 service costs.
     pub fn new(topo: Topology) -> SweepConfig {
         SweepConfig {
             topo,
@@ -119,6 +140,7 @@ impl SweepConfig {
             backlog_limit: 16,
             fault_pm: 0,
             delivery: false,
+            unit_costs: false,
         }
     }
 }
@@ -234,7 +256,10 @@ fn build_machine(model: Model, fabric: Fabric, sweep: &SweepConfig) -> Machine {
     let mut b = MachineBuilder::new(topo.nodes()).model(model);
     b = match fabric {
         Fabric::Ideal { latency } => b.network_ideal(latency),
-        Fabric::Mesh => b.network_mesh(MeshConfig::new(topo.width, topo.height)),
+        Fabric::Mesh => b.network_fabric(FabricConfig::new(topo.width, topo.height)),
+        Fabric::Torus => b.network_fabric(FabricConfig::torus(topo.width, topo.height)),
+        Fabric::Ring => b.network_fabric(FabricConfig::ring(topo.nodes())),
+        Fabric::Full => b.network_fabric(FabricConfig::full(topo.nodes())),
     };
     if sweep.fault_pm > 0 {
         b = b.network_fault(FaultConfig::uniform(
@@ -268,7 +293,11 @@ pub fn run_point(
         mode,
         seed: sweep.seed,
         backlog_limit: sweep.backlog_limit,
-        costs: ServiceCosts::for_model(model),
+        costs: if sweep.unit_costs {
+            ServiceCosts::unit()
+        } else {
+            ServiceCosts::for_model(model)
+        },
         format: machine.wire_format(),
     });
     machine.run_driven(&mut injector, sweep.warmup);
@@ -594,7 +623,36 @@ mod tests {
     fn fabric_parse_round_trips() {
         assert_eq!(Fabric::parse("ideal"), Some(Fabric::Ideal { latency: 2 }));
         assert_eq!(Fabric::parse("ideal:7"), Some(Fabric::Ideal { latency: 7 }));
-        assert_eq!(Fabric::parse("mesh"), Some(Fabric::Mesh));
-        assert_eq!(Fabric::parse("torus"), None);
+        for (s, f) in [
+            ("mesh", Fabric::Mesh),
+            ("torus", Fabric::Torus),
+            ("ring", Fabric::Ring),
+            ("full", Fabric::Full),
+        ] {
+            assert_eq!(Fabric::parse(s), Some(f));
+            assert_eq!(f.key(), s);
+        }
+        assert_eq!(Fabric::parse("hypercube"), None);
+    }
+
+    #[test]
+    fn every_switched_topology_sweeps() {
+        // The same steady-state point runs on every switched fabric; light
+        // uniform load delivers on all of them, deterministically.
+        for fabric in [Fabric::Mesh, Fabric::Torus, Fabric::Ring, Fabric::Full] {
+            let go = || {
+                run_point(
+                    Model::ALL_SIX[0],
+                    fabric,
+                    Pattern::Uniform,
+                    LoopMode::Open { rate_pm: 100 },
+                    &sweep(),
+                )
+            };
+            let p = go();
+            assert!(p.delivered > 0, "{fabric:?} delivers: {p:?}");
+            assert_eq!(p.shed, 0, "{fabric:?} light load never sheds");
+            assert_eq!(p, go(), "{fabric:?} points are deterministic");
+        }
     }
 }

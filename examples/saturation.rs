@@ -14,7 +14,7 @@
 use tcni::core::mapping::gpr_alias;
 use tcni::core::{Control, InterfaceReg, MsgType, NiCmd, NodeId};
 use tcni::isa::{AluOp, Assembler, Cond, Program, Reg};
-use tcni::net::MeshConfig;
+use tcni::net::FabricConfig;
 use tcni::sim::{MachineBuilder, Model, RunOutcome};
 use tcni_core::WireFormat;
 
@@ -87,7 +87,7 @@ fn main() {
         .ni_queues(16, 16)
         .program(0, producer())
         .program(1, consumer())
-        .network_mesh(MeshConfig::new(2, 1))
+        .network_fabric(FabricConfig::new(2, 1))
         .build();
     {
         let ni = machine.node_mut(1).ni_mut();

@@ -70,6 +70,37 @@ run_16x16 1 target/BENCH_loadgen_16x16.serial.json
 run_16x16 4 target/BENCH_loadgen_16x16.par4.json
 cmp target/BENCH_loadgen_16x16.serial.json target/BENCH_loadgen_16x16.par4.json
 
+echo "== smoke: topology axis (torus sharded run, ring/full schema, torus collective) =="
+# `--topology` pins the sweep to one switched fabric. The torus 16×16 point
+# shards across workers exactly like the mesh one and must export the same
+# tcni-load/1 bytes serial vs parallel; ring and full get schema smokes; the
+# faulty torus collective proves the wrap-embedded tree computes correctly.
+run_torus_16x16() {
+    TCNI_THREADS="$1" cargo run --release --offline -p tcni-bench --bin loadgen -- \
+        --width 16 --height 16 --models opt-reg --topology torus \
+        --patterns uniform --rates 5 --windows none --warmup 200 \
+        --measure 800 --quiet --out "$2"
+}
+run_torus_16x16 1 target/BENCH_loadgen_torus.serial.json
+run_torus_16x16 4 target/BENCH_loadgen_torus.par4.json
+cmp target/BENCH_loadgen_torus.serial.json target/BENCH_loadgen_torus.par4.json
+grep -q '"fabric": "torus"' target/BENCH_loadgen_torus.serial.json
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --width 4 --height 4 --models opt-reg --topology ring --patterns uniform \
+    --rates 100 --windows none --warmup 500 --measure 1500 --quiet \
+    --out target/BENCH_loadgen_ring.ci.json
+grep -q '"fabric": "ring"' target/BENCH_loadgen_ring.ci.json
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --width 4 --height 4 --models opt-reg --topology full --patterns uniform \
+    --rates 100 --windows none --warmup 500 --measure 1500 --quiet \
+    --out target/BENCH_loadgen_full.ci.json
+grep -q '"fabric": "full"' target/BENCH_loadgen_full.ci.json
+cargo run --release --offline -p tcni-bench --bin loadgen -- \
+    --collective --topology torus --width 8 --height 8 --ops barrier,sum \
+    --rounds 4 --fault 25 --quiet --out target/BENCH_collective_torus.ci.json
+grep -q '"fabric": "torus"' target/BENCH_collective_torus.ci.json
+grep -q '"wrong_results": 0' target/BENCH_collective_torus.ci.json
+
 echo "== smoke: wide-format 64x64 sweep (TCNI_THREADS=4) matches the committed snapshot =="
 # 4096 nodes sits past the compact format's 256-node ceiling, so this run
 # exercises the wide wire format end to end. The tcni-load/1 export is

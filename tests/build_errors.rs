@@ -8,12 +8,16 @@
 //! What remains rejected, with a typed [`BuildError`] from the fallible
 //! constructors or a panic carrying the same message from the infallible
 //! ones: node counts beyond the wide format's 65536-id address space, an
-//! explicitly pinned format that is too small for the machine, and the
-//! delivery protocol past its 32768-node flow-index ceiling.
+//! explicitly pinned format that is too small for the machine, the
+//! delivery protocol past its 32768-node flow-index ceiling, fabrics
+//! (of any topology) with fewer slots than the machine has nodes, the
+//! fully-connected fabric past its quadratic-wiring ceiling, and
+//! combining trees whose size or geometry does not fit the configured
+//! fabric.
 
 use tcni::core::{CollectiveOp, WireFormat};
-use tcni::net::{CombiningTree, InjectError, MeshConfig};
-use tcni::sim::{BuildError, DeliveryConfig, MachineBuilder};
+use tcni::net::{CombiningTree, FabricConfig, FullyConnected, InjectError, TopologyKind};
+use tcni::sim::{BuildError, DeliveryConfig, MachineBuilder, TreeMismatch};
 
 #[test]
 fn more_than_65536_nodes_is_a_typed_error() {
@@ -112,19 +116,127 @@ fn delivery_past_its_flow_ceiling_is_a_typed_error() {
 fn undersized_mesh_is_a_typed_error() {
     let err = MachineBuilder::try_new(9)
         .expect("9 nodes are fine")
-        .network_mesh(MeshConfig::new(2, 2))
+        .network_fabric(FabricConfig::new(2, 2))
         .try_build()
         .err()
         .expect("4-slot mesh cannot host 9 nodes");
     assert_eq!(
         err,
-        BuildError::MeshTooSmall {
-            width: 2,
-            height: 2,
+        BuildError::FabricTooSmall {
+            topo: "mesh",
+            fabric_nodes: 4,
             nodes: 9
         }
     );
     assert!(err.to_string().contains("smaller than node count"), "{err}");
+}
+
+#[test]
+fn undersized_fabrics_of_every_topology_are_typed_errors() {
+    // The same slot-count validation holds on every topology — a ring or
+    // torus workload sized for the wrong machine fails construction, it
+    // does not wrap addresses or panic.
+    for (topo, name, slots) in [
+        (TopologyKind::torus(2, 3), "torus", 6),
+        (TopologyKind::ring(5), "ring", 5),
+        (TopologyKind::full(7), "full", 7),
+    ] {
+        let err = MachineBuilder::try_new(9)
+            .expect("9 nodes are fine")
+            .topology(topo)
+            .try_build()
+            .err()
+            .expect("a smaller fabric cannot host 9 nodes");
+        assert_eq!(
+            err,
+            BuildError::FabricTooSmall {
+                topo: name,
+                fabric_nodes: slots,
+                nodes: 9
+            }
+        );
+        assert!(err.to_string().contains("smaller than node count"), "{err}");
+    }
+}
+
+#[test]
+fn an_oversized_fully_connected_fabric_is_a_typed_error() {
+    // Fully-connected wiring is quadratic in the node count, so the
+    // topology carries an explicit ceiling; exceeding it is a typed error
+    // raised before the channel table would be allocated.
+    let too_many = FullyConnected::MAX_NODES + 1;
+    let err = MachineBuilder::try_new(16)
+        .expect("16 nodes are fine")
+        .topology(TopologyKind::full(too_many))
+        .try_build()
+        .err()
+        .expect("the fully-connected fabric has a scaling ceiling");
+    assert_eq!(
+        err,
+        BuildError::FabricTooLarge {
+            topo: "full",
+            nodes: too_many,
+            max: FullyConnected::MAX_NODES
+        }
+    );
+    assert!(err.to_string().contains("scales to at most"), "{err}");
+}
+
+#[test]
+fn a_grid_tree_on_a_ring_fabric_is_a_typed_shape_error() {
+    // A mesh-shaped combining tree assumes row/column links a ring does
+    // not have; mounting it used to be representable (and silently wrong),
+    // now the geometry mismatch is a typed error.
+    let err = MachineBuilder::try_new(8)
+        .expect("8 nodes are fine")
+        .topology(TopologyKind::ring(8))
+        .collective(CombiningTree::mesh(4, 2, 2))
+        .try_build()
+        .err()
+        .expect("a grid tree cannot embed in a ring");
+    assert_eq!(
+        err,
+        BuildError::CollectiveTreeMismatch(TreeMismatch::Shape {
+            tree: "mesh grid",
+            fabric: "ring"
+        })
+    );
+    assert!(err.to_string().contains("cannot embed"), "{err}");
+}
+
+#[test]
+fn a_torus_tree_on_a_mesh_fabric_is_a_typed_shape_error() {
+    // The torus tree's wrap-aligned edges need wrap links; a mesh of the
+    // same dimensions cannot carry them.
+    let err = MachineBuilder::try_new(8)
+        .expect("8 nodes are fine")
+        .network_fabric(FabricConfig::new(4, 2))
+        .collective(CombiningTree::torus(4, 2, 2))
+        .try_build()
+        .err()
+        .expect("wrap edges need a torus");
+    assert_eq!(
+        err,
+        BuildError::CollectiveTreeMismatch(TreeMismatch::Shape {
+            tree: "torus grid",
+            fabric: "mesh"
+        })
+    );
+
+    // The reverse direction is fine: a torus carries every mesh link, and
+    // stars are geometry-free, so both build on a torus.
+    MachineBuilder::try_new(8)
+        .expect("8 nodes are fine")
+        .topology(TopologyKind::torus(4, 2))
+        .collective(CombiningTree::mesh(4, 2, 2))
+        .try_build()
+        .expect("mesh trees embed in a same-size torus");
+    MachineBuilder::try_new(8)
+        .expect("8 nodes are fine")
+        .topology(TopologyKind::ring(8))
+        .collective(CombiningTree::star(8))
+        .try_build()
+        .expect("stars embed everywhere");
 }
 
 #[test]
@@ -146,10 +258,10 @@ fn a_mismatched_combining_tree_is_a_typed_error() {
         .expect("a 4-node tree cannot span 6 nodes");
     assert_eq!(
         err,
-        BuildError::CollectiveTreeMismatch {
+        BuildError::CollectiveTreeMismatch(TreeMismatch::Size {
             tree_nodes: 4,
             nodes: 6
-        }
+        })
     );
     assert!(
         err.to_string()

@@ -8,7 +8,7 @@
 use tcni::core::mapping::{scroll_in_addr, NI_WINDOW_BASE};
 use tcni::core::{CollectiveOp, FeatureLevel, InterfaceReg};
 use tcni::isa::{Assembler, Reg};
-use tcni::net::{CombiningTree, FaultConfig, MeshConfig};
+use tcni::net::{CombiningTree, FabricConfig, FaultConfig};
 use tcni::sim::{CollDone, Machine, MachineBuilder, Model, NiMapping, RunOutcome};
 use tcni::workload::{run_coll_point, CollMode, CollStormConfig, Topology};
 
@@ -84,7 +84,7 @@ fn storm(machine: &mut Machine, op: CollectiveOp, rounds: u32) -> Vec<Vec<CollDo
 
 fn nic_machine(width: usize, height: usize, fault: Option<(u64, u32)>) -> Machine {
     let mut b = MachineBuilder::new(width * height)
-        .network_mesh(MeshConfig::new(width, height))
+        .network_fabric(FabricConfig::new(width, height))
         .collective(CombiningTree::mesh(width, height, 4));
     if let Some((seed, rate_pm)) = fault {
         b = b
@@ -161,7 +161,7 @@ fn fast_forward_is_invisible_to_collectives() {
         let mut m = MachineBuilder::new(16)
             .model(model)
             .program(0, wedged.clone())
-            .network_mesh(MeshConfig::new(4, 4))
+            .network_fabric(FabricConfig::new(4, 4))
             .collective(CombiningTree::mesh(4, 4, 2))
             .skip_ahead(skip)
             .build();

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use tcni::core::{InterfaceReg, MsgType, NodeId, SendMode};
 use tcni::eval::handlers::remote_read::{self, REMOTE_ADDR, RESULT_ADDR};
 use tcni::isa::Reg;
-use tcni::net::{FaultConfig, MeshConfig};
+use tcni::net::{FabricConfig, FaultConfig};
 use tcni::sim::{CycleDriver, DeliveryConfig, Machine, MachineBuilder, Model, Node, RunOutcome};
 use tcni_check::check;
 use tcni_core::WireFormat;
@@ -170,7 +170,7 @@ fn delivery_is_exactly_once_in_order_under_faults() {
                     retransmit_limit: 10_000,
                 });
             let machine = if mesh {
-                builder.network_mesh(MeshConfig::new(2, 2)).build()
+                builder.network_fabric(FabricConfig::new(2, 2)).build()
             } else {
                 builder.network_ideal(1).build()
             };
@@ -260,7 +260,7 @@ fn remote_read_machine(model: Model, mesh: bool, latency: u64, faulty_wrapper: b
         .program(0, remote_read::requester(model, NodeId::new(1)))
         .program(1, remote_read::server(model));
     b = if mesh {
-        b.network_mesh(MeshConfig::new(2, 1))
+        b.network_fabric(FabricConfig::new(2, 1))
     } else {
         b.network_ideal(latency)
     };

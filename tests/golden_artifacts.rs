@@ -162,6 +162,69 @@ fn golden_loadgen() {
     assert_golden("loadgen.json", &report.to_json());
 }
 
+/// The topology sensitivity goldens: the same paper-scale 16×16 machine on
+/// the wrap-around torus and on the 256-node ring, pinned as serialized
+/// `tcni-load/1` artifacts. Together with `golden_loadgen` (mesh + ideal)
+/// they pin "bit-identical at any thread count, dense vs hot-set, on every
+/// topology": ci.sh reruns all of them at `TCNI_THREADS=1` and `=4` and the
+/// bytes must not move.
+#[test]
+fn golden_loadgen_torus_16x16() {
+    let mut sweep = SweepConfig::new(Topology::new(16, 16));
+    sweep.warmup = 200;
+    sweep.measure = 800;
+    sweep.samples = 4;
+    let rates = vec![5, 20];
+    let curves = vec![run_open_curve(
+        Model::ALL_SIX[3],
+        Fabric::Torus,
+        Pattern::Uniform,
+        &rates,
+        &sweep,
+    )];
+    let report = LoadReport {
+        topo: sweep.topo,
+        seed: sweep.seed,
+        warmup: sweep.warmup,
+        measure: sweep.measure,
+        rates_pm: rates,
+        windows: Vec::new(),
+        fault_rates_pm: Vec::new(),
+        curves,
+    };
+    assert_golden("loadgen_torus_16x16.json", &report.to_json());
+}
+
+/// The ring point of the topology golden suite (see
+/// [`golden_loadgen_torus_16x16`]): 256 nodes on a bidirectional ring is
+/// the high-diameter extreme of the topology axis.
+#[test]
+fn golden_loadgen_ring_16x16() {
+    let mut sweep = SweepConfig::new(Topology::new(16, 16));
+    sweep.warmup = 200;
+    sweep.measure = 800;
+    sweep.samples = 4;
+    let rates = vec![5];
+    let curves = vec![run_open_curve(
+        Model::ALL_SIX[3],
+        Fabric::Ring,
+        Pattern::Uniform,
+        &rates,
+        &sweep,
+    )];
+    let report = LoadReport {
+        topo: sweep.topo,
+        seed: sweep.seed,
+        warmup: sweep.warmup,
+        measure: sweep.measure,
+        rates_pm: rates,
+        windows: Vec::new(),
+        fault_rates_pm: Vec::new(),
+        curves,
+    };
+    assert_golden("loadgen_ring_16x16.json", &report.to_json());
+}
+
 /// The paper-scale collective comparison, pinned as the serialized
 /// `tcni-coll/1` artifact: NIC combining vs the flat software emulation for
 /// barrier and reduce on the 16×16 mesh. Every latency, occupancy, and

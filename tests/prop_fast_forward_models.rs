@@ -11,7 +11,7 @@
 use tcni::core::NodeId;
 use tcni::eval::handlers::remote_read::{self, REMOTE_ADDR, RESULT_ADDR};
 use tcni::isa::Reg;
-use tcni::net::MeshConfig;
+use tcni::net::FabricConfig;
 use tcni::sim::{Machine, MachineBuilder, Model, RunOutcome};
 use tcni_check::check;
 
@@ -24,7 +24,7 @@ fn build(model: Model, mesh: bool, latency: u64, skip: bool) -> Machine {
         .program(1, remote_read::server(model))
         .skip_ahead(skip);
     let mut machine = if mesh {
-        b.network_mesh(MeshConfig::new(2, 1)).build()
+        b.network_fabric(FabricConfig::new(2, 1)).build()
     } else {
         b.network_ideal(latency).build()
     };

@@ -15,7 +15,7 @@
 use tcni::core::NodeId;
 use tcni::eval::handlers::remote_read::{self, REMOTE_ADDR, RESULT_ADDR};
 use tcni::isa::Reg;
-use tcni::net::{FaultConfig, MeshConfig, ScanStats};
+use tcni::net::{FabricConfig, FaultConfig, ScanStats};
 use tcni::sim::{DeliveryConfig, Machine, MachineBuilder, Model, RunOutcome};
 use tcni_check::check;
 
@@ -49,7 +49,7 @@ fn build(cfg: &Config, dense: bool) -> Machine {
         b = b.network_fault(FaultConfig::uniform(seed, rate_pm));
     }
     let mut machine = if cfg.mesh {
-        b.network_mesh(MeshConfig::new(2, 1)).build()
+        b.network_fabric(FabricConfig::new(2, 1)).build()
     } else {
         b.network_ideal(cfg.latency).build()
     };

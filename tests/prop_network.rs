@@ -4,7 +4,7 @@
 //! is loss-free under arbitrary traffic.
 
 use tcni::core::{Message, MsgType, NetworkInterface, NiConfig, NodeId};
-use tcni::net::{IdealNetwork, Mesh2d, MeshConfig, Network};
+use tcni::net::{Fabric, FabricConfig, IdealNetwork, Network};
 use tcni_check::{check, Rng};
 
 const CASES: u64 = 64;
@@ -68,7 +68,7 @@ fn push_through(net: &mut dyn Network, traffic: &[Traffic]) -> Vec<(u16, u32)> {
 fn mesh_and_ideal_deliver_the_same_messages() {
     check("mesh_and_ideal_deliver_the_same_messages", CASES, |rng| {
         let traffic = arb_traffic(rng, 9, 60);
-        let mut mesh = Mesh2d::new(MeshConfig::new(3, 3));
+        let mut mesh = Fabric::new(FabricConfig::new(3, 3));
         let mut ideal = IdealNetwork::new(9, 2);
         let mut got_mesh = push_through(&mut mesh, &traffic);
         let mut got_ideal = push_through(&mut ideal, &traffic);
@@ -85,7 +85,7 @@ fn mesh_and_ideal_deliver_the_same_messages() {
 fn mesh_preserves_pairwise_order() {
     check("mesh_preserves_pairwise_order", CASES, |rng| {
         let count = rng.range(1, 24) as u32;
-        let mut mesh = Mesh2d::new(MeshConfig::new(3, 2));
+        let mut mesh = Fabric::new(FabricConfig::new(3, 2));
         let traffic: Vec<Traffic> = (0..count)
             .map(|i| Traffic {
                 src: 0,

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use tcni::core::{InterfaceReg, Message, MsgType, NodeId, SendMode, WireFormat};
-use tcni::net::{FaultConfig, MeshConfig};
+use tcni::net::{FabricConfig, FaultConfig};
 use tcni::sim::{CycleDriver, DeliveryConfig, Machine, MachineBuilder, Model, Node, RunOutcome};
 use tcni::workload::{InjectCounters, Injector, InjectorConfig, LoopMode, Pattern, Topology};
 use tcni_check::check;
@@ -85,7 +85,7 @@ fn run_64x64_sweep(dense: bool, par: usize, cycles: u64) -> (Machine, InjectCoun
     let side = 64usize;
     let mut machine = MachineBuilder::new(side * side)
         .model(Model::ALL_SIX[0])
-        .network_mesh(MeshConfig::new(side, side))
+        .network_fabric(FabricConfig::new(side, side))
         .dense_scan(dense)
         .build();
     assert_eq!(machine.wire_format(), WireFormat::Wide);
@@ -207,7 +207,7 @@ fn wide_delivery_is_exactly_once_in_order_under_faults() {
     // Disjoint node sets; every index on at least one side is >255.
     let pairs = [(0usize, 4095usize), (17, 300), (4094, 1), (600, 2600)];
     let mut machine = MachineBuilder::new(side * side)
-        .network_mesh(MeshConfig::new(side, side))
+        .network_fabric(FabricConfig::new(side, side))
         .network_fault(FaultConfig::uniform(0x57AB, 60))
         .delivery(DeliveryConfig {
             window: 4,
