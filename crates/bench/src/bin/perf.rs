@@ -263,10 +263,12 @@ fn main() {
     // to read the speedup, and their `host_threads` metadata for how many
     // cores the host could actually offer.
     // The wide-format points (64×64, 128×128) divide the cycle budget —
-    // per-cycle injector work is O(n), so equal budgets would swamp the run
-    // — and drop the delivery protocol, whose flow state is quadratic in
-    // the node count. They exist to pin the scaling of the machine loop and
-    // mesh fabric past the compact format's 256-node ceiling.
+    // per-cycle injector work is O(n), so equal budgets would swamp the run.
+    // They pin the scaling of the machine loop and mesh fabric past the
+    // compact format's 256-node ceiling; the `_e2e` pair additionally runs
+    // the delivery protocol, whose sparse flow store keys state by active
+    // (src, dst) pair — the `active_flows`/`peak_flows` counters record the
+    // footprint that the retired dense tables would have pinned at 2·n².
     for (name, side, dense, delivery, par, div) in [
         (
             "large_mesh/16x16_uniform5pm_hotset",
@@ -302,6 +304,15 @@ fn main() {
             4,
             5,
         ),
+        ("large_mesh/64x64_uniform5pm_e2e", 64, false, true, 1, 5),
+        (
+            "large_mesh/64x64_uniform5pm_e2e_par4",
+            64,
+            false,
+            true,
+            4,
+            5,
+        ),
         (
             "large_mesh/128x128_uniform5pm_hotset",
             128,
@@ -333,6 +344,9 @@ fn main() {
             ("scanned_flows".into(), scan.scanned_flows),
             ("skipped_work".into(), scan.skipped_work),
             ("dense_cost".into(), dense_cost),
+            ("active_flows".into(), scan.active_flows),
+            ("peak_flows".into(), scan.peak_flows),
+            ("flow_probes".into(), scan.flow_probes),
         ];
         report.results.push(meas);
     }

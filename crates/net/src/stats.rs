@@ -208,6 +208,18 @@ pub struct ScanStats {
     /// Dense-scan slots/flows the active-set frontier skipped (the saved
     /// work: dense cost minus what was scanned).
     pub skipped_work: u64,
+    /// Live delivery flow-table entries (tx + rx) at sampling time — the
+    /// sparse flow store's current footprint. Zero under the dense
+    /// cross-check layout, whose rows are not entry-counted.
+    pub active_flows: u64,
+    /// Sum of the per-node flow-table high-water marks — an upper bound on
+    /// the sparse store's peak footprint, deterministic at any worker count
+    /// (each node's table evolves locally).
+    pub peak_flows: u64,
+    /// Open-addressing probe steps spent on flow-table lookups, inserts,
+    /// and evictions (resize rehashes excluded). Zero under the dense
+    /// cross-check layout.
+    pub flow_probes: u64,
 }
 
 impl ScanStats {
@@ -217,6 +229,9 @@ impl ScanStats {
         self.scanned_channels += other.scanned_channels;
         self.scanned_flows += other.scanned_flows;
         self.skipped_work += other.skipped_work;
+        self.active_flows += other.active_flows;
+        self.peak_flows += other.peak_flows;
+        self.flow_probes += other.flow_probes;
     }
 }
 
@@ -334,6 +349,9 @@ mod tests {
         let mut b = a;
         b.scan.scanned_channels = 100;
         b.scan.skipped_work = 900;
+        b.scan.active_flows = 7;
+        b.scan.peak_flows = 9;
+        b.scan.flow_probes = 11;
         assert_eq!(a, b, "scan counters measure effort, not behaviour");
         b.injected = 6;
         assert_ne!(a, b, "behavioural fields still compare");
@@ -345,15 +363,24 @@ mod tests {
             scanned_channels: 1,
             scanned_flows: 2,
             skipped_work: 3,
+            active_flows: 4,
+            peak_flows: 5,
+            flow_probes: 6,
         };
         a.merge(ScanStats {
             scanned_channels: 10,
             scanned_flows: 20,
             skipped_work: 30,
+            active_flows: 40,
+            peak_flows: 50,
+            flow_probes: 60,
         });
         assert_eq!(a.scanned_channels, 11);
         assert_eq!(a.scanned_flows, 22);
         assert_eq!(a.skipped_work, 33);
+        assert_eq!(a.active_flows, 44);
+        assert_eq!(a.peak_flows, 55);
+        assert_eq!(a.flow_probes, 66);
     }
 
     #[test]

@@ -25,41 +25,74 @@
 //! Protocol copies (acks, retransmits) contend for the same injection slot
 //! and fabric bandwidth as first sends — one injection per node per cycle —
 //! so the protocol's cost is visible in the load curves, not hidden.
-//! Everything here is deterministic: state lives in per-node flow rows,
-//! materialised lazily as flows first speak (an absent row reads as all
-//! defaults, so the layout is invisible to behaviour).
+//!
+//! ## Sparse flow store
+//!
+//! Flow state is keyed by the packed pair key `(major << 16) | minor`
+//! ([`pair`]; tx is source-major, rx destination-major) and lives in one
+//! [`NodeFlows`] open-addressing table per major node: SplitMix64-hashed
+//! linear probing over a power-of-two index whose entries point into a
+//! slab of flow slots. Memory is proportional to the *active* pairs — the
+//! invariant a real NIC lives under, its per-flow state bounded by scarce
+//! NIC memory — instead of the dense `nodes²` table a wide-format machine
+//! could never afford. An absent entry reads as a default flow, so the
+//! layout is invisible to behaviour, and the pre-sparse row-lazy dense
+//! layout survives as a build-time cross-check
+//! ([`MachineBuilder::dense_flows`](crate::MachineBuilder::dense_flows),
+//! capped at [`DENSE_FLOWS_MAX_NODES`]): both storages are bit-identical
+//! wherever both can run.
+//!
+//! **Eviction semantics.** A tx flow is *never* evicted: its `next_psn`
+//! seeds every future stamp and its `rounds` budget must not silently
+//! reset, so the slot stays live once a first transmission commits. An rx
+//! flow is evicted exactly when it returns to its default state — its
+//! pending ack drains while `expected` is still 0 (only gap or duplicate
+//! arrivals ever reached it) — which a fresh default slot represents
+//! identically. Long-running uniform traffic therefore converges to one
+//! live tx slot per communicating pair and rx slots for in-progress
+//! receives.
+//!
+//! **Determinism.** Table lookups are metered (`ScanStats::flow_probes`),
+//! and the meter is invariant under the sharded tick: every metered lookup
+//! is driven by its major node's own phase work in per-node program order,
+//! serial and sharded alike, and a linear-probe lookup of an existing key
+//! is unaffected by later inserts (they only fill cells off its probe
+//! path). Timeout-list maintenance, whose neighbour lookups replay at a
+//! different point of the cycle under the sharded tick, is excluded from
+//! the meter (see [`flow_quiet`]), as are resize rehashes.
 //!
 //! ## Hot-set scheduling
 //!
-//! The per-cycle retransmission pump does **not** scan all N² flows: flows
-//! holding unacked data are linked on an intrusive *timeout list* ordered by
-//! `last_send`. Every `last_send` update stamps the current cycle and moves
-//! the flow to the tail, so the list stays sorted without ever being sorted —
-//! the pump walks from the oldest end and stops at the first flow that is
-//! not yet due. The flows due on one cycle are then fired in ascending flow
-//! index, which is exactly the (src, dst) order of the old dense scan, so
-//! retransmit copies enter each outbox bit-identically. A flow joins the
-//! list when its first unacked message is committed and leaves when its
-//! window fully acks or is abandoned. The old per-fire outbox rescan
-//! ("copies from the previous round still pending?") is a per-flow
-//! `pending_copies` counter maintained at outbox push/pop. The dense scan
-//! survives as a cross-check behind
-//! [`Machine::set_dense_scan`](crate::Machine::set_dense_scan).
-
+//! The per-cycle retransmission pump does **not** scan all active flows:
+//! flows holding unacked data are linked on an intrusive *timeout list*
+//! ordered by `last_send`. Every `last_send` update stamps the current
+//! cycle and moves the flow to the tail, so the list stays sorted without
+//! ever being sorted — the pump walks from the oldest end and stops at the
+//! first flow that is not yet due. The flows due on one cycle are then
+//! fired in ascending pair key, which is exactly the (src, dst) order of
+//! the old dense scan, so retransmit copies enter each outbox
+//! bit-identically. A flow joins the list when its first unacked message
+//! is committed and leaves when its window fully acks or is abandoned. The
+//! old per-fire outbox rescan ("copies from the previous round still
+//! pending?") is a per-flow `pending_copies` counter maintained at outbox
+//! push/pop. The dense scan survives as a cross-check behind
+//! [`Machine::set_dense_scan`](crate::Machine::set_dense_scan), examining
+//! the dense `nodes²` cost regardless of storage.
 //!
 //! ## Parallel cycle
 //!
-//! Under the machine's sharded tick, each spatial domain operates on its own
-//! rows of the flat state through a [`DeliveryRange`]: `tx`/`outbox` are
-//! source-major and `rx` destination-major, so a domain's CPU-side sends and
-//! NI-side receives touch only its slice. Whatever is *not* sliceable — the
-//! aggregate counters, the sorted active-outbox list, and the intrusive
+//! Under the machine's sharded tick, each spatial domain operates on its
+//! own per-node tables through a [`DeliveryRange`]: `tx`/`outbox` are
+//! source-major and `rx` destination-major, so a domain's CPU-side sends
+//! and NI-side receives touch only its slice. Whatever is *not* sliceable —
+//! the aggregate counters, the active-outbox set, and the intrusive
 //! timeout list — is buffered as a [`DeliveryDelta`] and replayed by
 //! [`Delivery::absorb_deltas`] in domain order, which is ascending node
-//! order, i.e. exactly the serial walk. The timeout pump keeps its due-flow
-//! *collection* serial (the list walk is global and meters `scanned_flows`),
-//! then fires due flows per-domain in parallel.
+//! order, i.e. exactly the serial walk. The timeout pump keeps its
+//! due-flow *collection* serial (the list walk is global and meters
+//! `scanned_flows`), then fires due flows per-domain in parallel.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use tcni_core::{payload_crc, E2eHeader, E2eKind, Message, NodeId, WireFormat};
@@ -71,14 +104,60 @@ use tcni_util::par::run_tasks;
 /// this, per-task bookkeeping costs more than it saves.
 const PAR_FIRE_MIN: usize = 8;
 
-/// Null link of the intrusive timeout list.
-const NONE: u32 = u32::MAX;
+/// Null link of the intrusive timeout list. Links carry pair keys widened
+/// to `u64`: the widest legal pair key (65535, 65535) is `u32::MAX`, so a
+/// 32-bit sentinel would collide with a real flow on a 65536-node machine.
+const NONE_LINK: u64 = u64::MAX;
 
-/// Ceiling on delivery-protocol machines. Keeps every global flow index
-/// `src * nodes + dst` strictly below the `u32` [`NONE`] sentinel of the
-/// intrusive timeout list (at 65536 nodes the last flow's index *is* the
-/// sentinel), with an order of magnitude to spare.
-pub(crate) const DELIVERY_MAX_NODES: usize = 32_768;
+/// Ceiling on machines using the dense cross-check flow layout
+/// ([`MachineBuilder::dense_flows`](crate::MachineBuilder::dense_flows)):
+/// dense rows are `nodes` slots each, quadratic in the machine. The
+/// default sparse store has no ceiling below the wire format's 65536-node
+/// address space.
+pub(crate) const DENSE_FLOWS_MAX_NODES: usize = 32_768;
+
+/// Vacant cell of a [`NodeFlows`] probe index.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Slab slot on the free list (no pair owns it). `u64` for the same
+/// sentinel-collision reason as [`NONE_LINK`].
+const FREE_PAIR: u64 = u64::MAX;
+
+/// Expect message for lookups of flows the timeout list proves live.
+const LIVE: &str = "timeout-list flow is live";
+
+/// Packs a (major, minor) node pair into the 32-bit flow key. Ascending
+/// key order is lexicographic (major, minor) order — the dense scan's
+/// (src, dst) fire order — because each index fits 16 bits.
+#[inline]
+fn pair(major: usize, minor: usize) -> u32 {
+    debug_assert!(major < (1 << 16) && minor < (1 << 16));
+    ((major as u32) << 16) | minor as u32
+}
+
+#[inline]
+fn pair_major(pr: u32) -> usize {
+    (pr >> 16) as usize
+}
+
+#[inline]
+fn pair_minor(pr: u32) -> usize {
+    (pr & 0xFFFF) as usize
+}
+
+/// SplitMix64 finalizer, spreading the 32-bit pair key over a
+/// power-of-two bucket space. Hashing the *global* key (not a row-local
+/// one) keeps serial and sharded probes on the same cells.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
 
 /// Tuning knobs of the delivery protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,9 +257,9 @@ struct FlowTx {
     /// sender's outbox (maintained at push/pop; replaces the old per-pump
     /// outbox rescan).
     pending_copies: u32,
-    /// Intrusive timeout-list links (flow indices; [`NONE`] at the ends).
-    prev: u32,
-    next: u32,
+    /// Intrusive timeout-list links (pair keys; [`NONE_LINK`] at the ends).
+    prev: u64,
+    next: u64,
     /// Whether the flow is on the timeout list (⟺ `unacked` is non-empty).
     linked: bool,
 }
@@ -193,8 +272,8 @@ impl Default for FlowTx {
             last_send: 0,
             rounds: 0,
             pending_copies: 0,
-            prev: NONE,
-            next: NONE,
+            prev: NONE_LINK,
+            next: NONE_LINK,
             linked: false,
         }
     }
@@ -209,33 +288,313 @@ struct FlowRx {
     ack_pending: bool,
 }
 
-// --- row-lazy flow tables ----------------------------------------------------
+// --- sparse flow store -------------------------------------------------------
+
+/// One major node's flow table: SplitMix64-hashed linear probing over a
+/// power-of-two `index` whose cells hold slab slot numbers. Removed slots
+/// go on a free list and are reset to `T::default()`, so a recycled slot
+/// is indistinguishable from a fresh one. The table starts empty and
+/// allocates its first 8-cell index on the first insert, so a silent node
+/// costs a few pointers.
+#[derive(Debug)]
+struct NodeFlows<T> {
+    /// Probe index: slab slot numbers, [`EMPTY_SLOT`] for vacant cells.
+    /// Power-of-two length, load factor at most 1/2.
+    index: Box<[u32]>,
+    /// Flow slots, addressed by the index cells.
+    slab: Vec<T>,
+    /// The pair key owning each slab slot ([`FREE_PAIR`] when free).
+    pair_of: Vec<u64>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Live entries.
+    live: u32,
+    /// High-water mark of `live`.
+    peak: u32,
+    /// Probe steps spent on metered lookups (`Cell`: read paths through
+    /// `&self` must count too; tables are reached through disjoint `&mut`
+    /// slices per worker, so no `Sync` is ever required of the cell).
+    probes: Cell<u64>,
+}
+
+impl<T: Default> NodeFlows<T> {
+    fn new() -> NodeFlows<T> {
+        NodeFlows {
+            index: Box::new([]),
+            slab: Vec::new(),
+            pair_of: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak: 0,
+            probes: Cell::new(0),
+        }
+    }
+
+    /// Index cell holding `pr`, metering one probe per cell examined. An
+    /// empty table answers without probing.
+    fn find_pos(&self, pr: u32) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = (splitmix64(u64::from(pr)) as usize) & mask;
+        loop {
+            self.probes.set(self.probes.get() + 1);
+            let slot = self.index[i];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            if self.pair_of[slot as usize] == u64::from(pr) {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// [`find_pos`](Self::find_pos) without touching the probe meter
+    /// (timeout-list maintenance; see [`flow_quiet`]).
+    fn find_quiet(&self, pr: u32) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = (splitmix64(u64::from(pr)) as usize) & mask;
+        loop {
+            let slot = self.index[i];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            if self.pair_of[slot as usize] == u64::from(pr) {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, pr: u32) -> Option<&T> {
+        self.find_pos(pr)
+            .map(|i| &self.slab[self.index[i] as usize])
+    }
+
+    fn get_mut(&mut self, pr: u32) -> Option<&mut T> {
+        match self.find_pos(pr) {
+            Some(i) => {
+                let slot = self.index[i] as usize;
+                Some(&mut self.slab[slot])
+            }
+            None => None,
+        }
+    }
+
+    fn get_quiet(&mut self, pr: u32) -> Option<&mut T> {
+        match self.find_quiet(pr) {
+            Some(i) => {
+                let slot = self.index[i] as usize;
+                Some(&mut self.slab[slot])
+            }
+            None => None,
+        }
+    }
+
+    fn peek(&self, pr: u32) -> Option<&T> {
+        self.find_quiet(pr)
+            .map(|i| &self.slab[self.index[i] as usize])
+    }
+
+    fn get_or_insert(&mut self, pr: u32) -> &mut T {
+        if let Some(i) = self.find_pos(pr) {
+            let slot = self.index[i] as usize;
+            return &mut self.slab[slot];
+        }
+        if (self.live as usize + 1) * 2 > self.index.len() {
+            self.grow();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert_eq!(self.pair_of[s as usize], FREE_PAIR);
+                self.pair_of[s as usize] = u64::from(pr);
+                s
+            }
+            None => {
+                self.slab.push(T::default());
+                self.pair_of.push(u64::from(pr));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let mask = self.index.len() - 1;
+        let mut i = (splitmix64(u64::from(pr)) as usize) & mask;
+        loop {
+            self.probes.set(self.probes.get() + 1);
+            if self.index[i] == EMPTY_SLOT {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        self.index[i] = slot;
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        &mut self.slab[slot as usize]
+    }
+
+    /// Doubles the probe index (at least 8 cells) and rehashes every live
+    /// slot. Resize rehashes are excluded from the probe meter.
+    fn grow(&mut self) {
+        let cap = (self.index.len() * 2).max(8);
+        let mut index = vec![EMPTY_SLOT; cap].into_boxed_slice();
+        let mask = cap - 1;
+        for (slot, &pr) in self.pair_of.iter().enumerate() {
+            if pr == FREE_PAIR {
+                continue;
+            }
+            let mut i = (splitmix64(pr) as usize) & mask;
+            while index[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            index[i] = slot as u32;
+        }
+        self.index = index;
+    }
+
+    /// Removes `pr`, resetting its slab slot to `T::default()` and closing
+    /// the probe chain by backward-shift deletion (no tombstones, so probe
+    /// lengths never degrade).
+    fn remove(&mut self, pr: u32) {
+        let Some(pos) = self.find_pos(pr) else {
+            debug_assert!(false, "remove of an absent flow");
+            return;
+        };
+        let mask = self.index.len() - 1;
+        let slot = self.index[pos] as usize;
+        self.slab[slot] = T::default();
+        self.pair_of[slot] = FREE_PAIR;
+        self.free.push(slot as u32);
+        self.live -= 1;
+        let mut hole = pos;
+        let mut j = pos;
+        loop {
+            j = (j + 1) & mask;
+            self.probes.set(self.probes.get() + 1);
+            let s = self.index[j];
+            if s == EMPTY_SLOT {
+                break;
+            }
+            let home = (splitmix64(self.pair_of[s as usize]) as usize) & mask;
+            // `s` may shift back iff the hole lies on its probe path, i.e.
+            // its home is at or before the hole (cyclic distance).
+            if j.wrapping_sub(home) & mask >= j.wrapping_sub(hole) & mask {
+                self.index[hole] = s;
+                hole = j;
+            }
+        }
+        self.index[hole] = EMPTY_SLOT;
+    }
+
+    /// Live entries in slab-slot order (deterministic: the slot layout is a
+    /// pure function of the table's operation history, which the sharded
+    /// tick replays identically). Callers who need key order sort.
+    fn iter(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
+        self.pair_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &pr)| pr != FREE_PAIR)
+            .map(|(slot, &pr)| (pr as u32, &self.slab[slot]))
+    }
+
+    /// Adds this table's footprint to the scan meters.
+    fn account(&self, s: &mut ScanStats) {
+        s.active_flows += u64::from(self.live);
+        s.peak_flows += u64::from(self.peak);
+        s.flow_probes += self.probes.get();
+    }
+}
+
+/// One major node's flow storage: the sparse table, or the pre-sparse
+/// row-lazy dense row kept as a build-time cross-check
+/// ([`MachineBuilder::dense_flows`](crate::MachineBuilder::dense_flows)).
+/// An absent dense row — like an absent sparse entry — reads as all
+/// defaults, so the two layouts are bit-identical in behaviour.
+#[derive(Debug)]
+enum FlowRow<T> {
+    Dense(Option<Box<[T]>>),
+    Sparse(NodeFlows<T>),
+}
+
+impl<T: Default> FlowRow<T> {
+    fn account(&self, s: &mut ScanStats) {
+        if let FlowRow::Sparse(map) = self {
+            map.account(s);
+        }
+    }
+}
+
+// --- flow accessors ----------------------------------------------------------
 //
-// Flow state is one lazily-allocated row per major node (tx: source-major,
-// rx: destination-major); a row materialises on its first mutable touch, so
-// memory tracks the machine's active communication pattern instead of the
-// dense `nodes²` table — which a wide-format machine could never afford
-// (4096 nodes ≈ 1.6 GiB of dense `FlowTx`). An absent row reads as all
-// defaults, so behaviour is bit-identical to the dense layout. These are
-// free functions rather than methods so call sites borrow only the table
-// field, leaving the rest of the struct (counters, outboxes) free.
+// Free functions rather than methods so call sites borrow only the table
+// field, leaving the rest of the struct (counters, outboxes) free. All
+// take the *global* pair key plus the local row index (`major` for the
+// whole-machine [`Delivery`], `major - lo` inside a [`DeliveryRange`]):
+// hashing the global key keeps serial and sharded probe sequences equal.
 
-fn tx_flow(tx: &[Option<Box<[FlowTx]>>], nodes: usize, f: usize) -> Option<&FlowTx> {
-    tx[f / nodes].as_deref().map(|row| &row[f % nodes])
+/// Metered read.
+fn flow_ref<T: Default>(rows: &[FlowRow<T>], local: usize, pr: u32) -> Option<&T> {
+    match &rows[local] {
+        FlowRow::Dense(row) => row.as_deref().map(|r| &r[pair_minor(pr)]),
+        FlowRow::Sparse(map) => map.get(pr),
+    }
 }
 
-fn tx_flow_mut(tx: &mut [Option<Box<[FlowTx]>>], nodes: usize, f: usize) -> &mut FlowTx {
-    let row = tx[f / nodes].get_or_insert_with(|| (0..nodes).map(|_| FlowTx::default()).collect());
-    &mut row[f % nodes]
+/// Unmetered read (debug assertions only — the probe meter must not move
+/// between debug and release builds).
+fn flow_peek<T: Default>(rows: &[FlowRow<T>], local: usize, pr: u32) -> Option<&T> {
+    match &rows[local] {
+        FlowRow::Dense(row) => row.as_deref().map(|r| &r[pair_minor(pr)]),
+        FlowRow::Sparse(map) => map.peek(pr),
+    }
 }
 
-fn rx_flow(rx: &[Option<Box<[FlowRx]>>], nodes: usize, f: usize) -> Option<&FlowRx> {
-    rx[f / nodes].as_deref().map(|row| &row[f % nodes])
+/// Metered creating lookup: materialises the flow (and, under the dense
+/// cross-check, its whole row) on first touch.
+fn flow_mut<T: Default>(rows: &mut [FlowRow<T>], nodes: usize, local: usize, pr: u32) -> &mut T {
+    match &mut rows[local] {
+        FlowRow::Dense(row) => {
+            let r = row.get_or_insert_with(|| (0..nodes).map(|_| T::default()).collect());
+            &mut r[pair_minor(pr)]
+        }
+        FlowRow::Sparse(map) => map.get_or_insert(pr),
+    }
 }
 
-fn rx_flow_mut(rx: &mut [Option<Box<[FlowRx]>>], nodes: usize, f: usize) -> &mut FlowRx {
-    let row = rx[f / nodes].get_or_insert_with(|| (0..nodes).map(|_| FlowRx::default()).collect());
-    &mut row[f % nodes]
+/// Metered non-creating lookup. Under the dense cross-check an allocated
+/// row answers `Some` for every pair (the slot reads as default state),
+/// which is observationally the same as the sparse `None`: every caller
+/// either proves the flow live or treats a default flow as a no-op.
+fn flow_edit<T: Default>(rows: &mut [FlowRow<T>], local: usize, pr: u32) -> Option<&mut T> {
+    match &mut rows[local] {
+        FlowRow::Dense(row) => row.as_deref_mut().map(|r| &mut r[pair_minor(pr)]),
+        FlowRow::Sparse(map) => map.get_mut(pr),
+    }
+}
+
+/// Unmetered non-creating lookup, for timeout-list maintenance only.
+/// Under the sharded tick, list operations replay in [`Delivery::absorb_deltas`]
+/// after the phase that recorded them, when neighbouring tables may have
+/// grown past the state a serial tick saw inline — metering these lookups
+/// would make `flow_probes` depend on the worker count.
+fn flow_quiet<T: Default>(rows: &mut [FlowRow<T>], local: usize, pr: u32) -> Option<&mut T> {
+    match &mut rows[local] {
+        FlowRow::Dense(row) => row.as_deref_mut().map(|r| &mut r[pair_minor(pr)]),
+        FlowRow::Sparse(map) => map.get_quiet(pr),
+    }
+}
+
+/// Releases a flow slot (metered). The dense cross-check keeps its slot —
+/// eviction only ever fires on default-state flows, which a dense slot
+/// already reads as.
+fn flow_evict<T: Default>(rows: &mut [FlowRow<T>], local: usize, pr: u32) {
+    match &mut rows[local] {
+        FlowRow::Dense(_) => {}
+        FlowRow::Sparse(map) => map.remove(pr),
+    }
 }
 
 /// Protocol state for a whole machine. Driven by [`crate::Machine`]; exposed
@@ -247,63 +606,98 @@ pub struct Delivery {
     nodes: usize,
     /// The machine's wire format: protocol-originated messages (acks) are
     /// composed under it. [`E2eHeader`] carries full [`NodeId`]s, so no flow
-    /// index is ever narrowed through a `u8` on its way into a header — the
+    /// key is ever narrowed through a `u8` on its way into a header — the
     /// type system retired that cast family along with the 256-node builder
     /// ceiling.
     format: WireFormat,
-    /// Sender state: one lazily-allocated row per source node, row `src`
-    /// indexed by `dst` (global flow index `src * nodes + dst`). See the
-    /// row-lazy accessors above.
-    tx: Vec<Option<Box<[FlowTx]>>>,
-    /// Receiver state: one lazily-allocated row per destination node, row
-    /// `dst` indexed by `src` (global flow index `dst * nodes + src`).
-    rx: Vec<Option<Box<[FlowRx]>>>,
+    /// Sender state, source-major: `tx[src]` holds flows keyed
+    /// `pair(src, dst)`.
+    tx: Vec<FlowRow<FlowTx>>,
+    /// Receiver state, destination-major: `rx[dst]` holds flows keyed
+    /// `pair(dst, src)`.
+    rx: Vec<FlowRow<FlowRx>>,
     /// Per-node protocol traffic (acks, retransmits) awaiting injection.
     /// Drains at one message per node per cycle, ahead of fresh NI sends.
     outbox: Vec<VecDeque<Message>>,
-    /// Nodes with a non-empty outbox, ascending (the injection phase visits
-    /// only these instead of every node).
+    /// Nodes with a non-empty outbox, *unsorted* (swap-remove set; the
+    /// machine sorts its per-cycle snapshot). O(1) in and out via
+    /// `outbox_pos`.
     outbox_active: Vec<u32>,
+    /// Each node's position in `outbox_active` ([`EMPTY_SLOT`] when
+    /// inactive).
+    outbox_pos: Vec<u32>,
     /// Total messages across all outboxes (O(1) `active`/`residency`).
     outbox_msgs: u64,
     /// Total unacked messages across all flows.
     unacked_msgs: u64,
     /// Head/tail of the intrusive timeout list: flows with unacked data,
-    /// oldest `last_send` first (see the module docs).
-    to_head: u32,
-    to_tail: u32,
-    /// Reusable scratch of due flow indices (no allocation per pump in the
+    /// oldest `last_send` first (see the module docs). Pair keys widened to
+    /// `u64` ([`NONE_LINK`] when empty).
+    to_head: u64,
+    to_tail: u64,
+    /// Reusable scratch of due pair keys (no allocation per pump in the
     /// steady state).
     due_scratch: Vec<u32>,
     /// Simulator effort meters (merged into `NetStats::scan` by the
-    /// machine).
+    /// machine). Flow-footprint meters are computed on demand from the
+    /// per-node tables; see [`scan_stats`](Self::scan_stats).
     scan: ScanStats,
-    /// Cross-check mode: the pump examines all N² flows like the
+    /// Cross-check mode: the pump examines the dense N² flow cost like the
     /// pre-timeout-list code. Behaviour is bit-identical; only the scan
     /// counters differ.
     dense_scan: bool,
 }
 
 impl Delivery {
-    pub(crate) fn new(nodes: usize, config: DeliveryConfig, format: WireFormat) -> Delivery {
+    pub(crate) fn new(
+        nodes: usize,
+        config: DeliveryConfig,
+        format: WireFormat,
+        dense_flows: bool,
+    ) -> Delivery {
         assert!(config.window >= 1, "delivery window must be at least 1");
         assert!(
-            nodes <= DELIVERY_MAX_NODES,
-            "delivery protocol supports at most {DELIVERY_MAX_NODES} nodes"
+            nodes <= 1 << 16,
+            "pair keys pack two 16-bit node indices ({nodes} nodes requested)"
         );
+        if dense_flows {
+            assert!(
+                nodes <= DENSE_FLOWS_MAX_NODES,
+                "dense flow tables support at most {DENSE_FLOWS_MAX_NODES} nodes"
+            );
+        }
+        let tx = (0..nodes)
+            .map(|_| {
+                if dense_flows {
+                    FlowRow::Dense(None)
+                } else {
+                    FlowRow::Sparse(NodeFlows::new())
+                }
+            })
+            .collect();
+        let rx = (0..nodes)
+            .map(|_| {
+                if dense_flows {
+                    FlowRow::Dense(None)
+                } else {
+                    FlowRow::Sparse(NodeFlows::new())
+                }
+            })
+            .collect();
         Delivery {
             config,
             stats: DeliveryStats::default(),
             nodes,
             format,
-            tx: (0..nodes).map(|_| None).collect(),
-            rx: (0..nodes).map(|_| None).collect(),
+            tx,
+            rx,
             outbox: vec![VecDeque::new(); nodes],
             outbox_active: Vec::new(),
+            outbox_pos: vec![EMPTY_SLOT; nodes],
             outbox_msgs: 0,
             unacked_msgs: 0,
-            to_head: NONE,
-            to_tail: NONE,
+            to_head: NONE_LINK,
+            to_tail: NONE_LINK,
             due_scratch: Vec::new(),
             scan: ScanStats::default(),
             dense_scan: false,
@@ -315,10 +709,18 @@ impl Delivery {
         self.stats
     }
 
-    /// Flow-scan effort counters (merged into the machine's
-    /// `NetStats::scan`).
+    /// Flow-scan effort and footprint counters (merged into the machine's
+    /// `NetStats::scan`): the pump meters plus, summed over the per-node
+    /// sparse tables, live entries, high-water marks, and probe steps.
     pub(crate) fn scan_stats(&self) -> ScanStats {
-        self.scan
+        let mut s = self.scan;
+        for row in &self.tx {
+            row.account(&mut s);
+        }
+        for row in &self.rx {
+            row.account(&mut s);
+        }
+        s
     }
 
     /// Enables or disables the dense-pump cross-check.
@@ -341,49 +743,50 @@ impl Delivery {
 
     // --- timeout list ---------------------------------------------------------
 
-    /// Appends flow `f` at the tail (it has the newest `last_send`).
-    fn link_tail(&mut self, f: u32) {
+    /// Appends flow `pr` at the tail (it has the newest `last_send`).
+    fn link_tail(&mut self, pr: u32) {
         let tail = self.to_tail;
-        let nodes = self.nodes;
-        let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
+        let flow = flow_quiet(&mut self.tx, pair_major(pr), pr).expect(LIVE);
         debug_assert!(!flow.linked, "double link");
         flow.linked = true;
         flow.prev = tail;
-        flow.next = NONE;
-        if tail == NONE {
-            self.to_head = f;
+        flow.next = NONE_LINK;
+        if tail == NONE_LINK {
+            self.to_head = u64::from(pr);
         } else {
-            tx_flow_mut(&mut self.tx, nodes, tail as usize).next = f;
+            let t = tail as u32;
+            flow_quiet(&mut self.tx, pair_major(t), t).expect(LIVE).next = u64::from(pr);
         }
-        self.to_tail = f;
+        self.to_tail = u64::from(pr);
     }
 
-    /// Removes flow `f` from the list.
-    fn unlink(&mut self, f: u32) {
-        let nodes = self.nodes;
-        let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
+    /// Removes flow `pr` from the list.
+    fn unlink(&mut self, pr: u32) {
+        let flow = flow_quiet(&mut self.tx, pair_major(pr), pr).expect(LIVE);
         debug_assert!(flow.linked, "unlink of an unlinked flow");
         let (prev, next) = (flow.prev, flow.next);
         flow.linked = false;
-        flow.prev = NONE;
-        flow.next = NONE;
-        if prev == NONE {
+        flow.prev = NONE_LINK;
+        flow.next = NONE_LINK;
+        if prev == NONE_LINK {
             self.to_head = next;
         } else {
-            tx_flow_mut(&mut self.tx, nodes, prev as usize).next = next;
+            let p = prev as u32;
+            flow_quiet(&mut self.tx, pair_major(p), p).expect(LIVE).next = next;
         }
-        if next == NONE {
+        if next == NONE_LINK {
             self.to_tail = prev;
         } else {
-            tx_flow_mut(&mut self.tx, nodes, next as usize).prev = prev;
+            let n = next as u32;
+            flow_quiet(&mut self.tx, pair_major(n), n).expect(LIVE).prev = prev;
         }
     }
 
-    /// Re-appends `f` at the tail after a `last_send` refresh, keeping the
+    /// Re-appends `pr` at the tail after a `last_send` refresh, keeping the
     /// list sorted (the new stamp is the maximum so far).
-    fn move_to_tail(&mut self, f: u32) {
-        self.unlink(f);
-        self.link_tail(f);
+    fn move_to_tail(&mut self, pr: u32) {
+        self.unlink(pr);
+        self.link_tail(pr);
     }
 
     // --- sender side ---------------------------------------------------------
@@ -392,21 +795,38 @@ impl Delivery {
         self.outbox[node].front()
     }
 
-    /// The sorted list of nodes whose outbox is non-empty. The machine's
-    /// injection phase merges this with its running/draining lists instead
-    /// of visiting every node.
+    /// The nodes whose outbox is non-empty, in no particular order (O(1)
+    /// activation/deactivation). The machine's injection phase sorts its
+    /// snapshot before merging with its running/draining lists.
     pub(crate) fn outbox_nodes(&self) -> &[u32] {
         &self.outbox_active
     }
 
+    /// Marks `node`'s outbox non-empty: O(1) append plus position record.
+    fn activate(&mut self, node: usize) {
+        debug_assert_eq!(self.outbox_pos[node], EMPTY_SLOT, "double activate");
+        self.outbox_pos[node] = self.outbox_active.len() as u32;
+        self.outbox_active.push(node as u32);
+    }
+
+    /// Marks `node`'s outbox empty: O(1) swap-remove via the position map.
+    fn deactivate(&mut self, node: usize) {
+        let pos = self.outbox_pos[node] as usize;
+        debug_assert_eq!(self.outbox_active.get(pos), Some(&(node as u32)));
+        self.outbox_active.swap_remove(pos);
+        self.outbox_pos[node] = EMPTY_SLOT;
+        if let Some(&moved) = self.outbox_active.get(pos) {
+            self.outbox_pos[moved as usize] = pos as u32;
+        }
+    }
+
     /// Appends a protocol message to `node`'s outbox, maintaining the
-    /// active-node list and the message total.
+    /// active-node set and the message total.
     fn outbox_push(&mut self, node: usize, msg: Message) {
         self.outbox[node].push_back(msg);
         self.outbox_msgs += 1;
         if self.outbox[node].len() == 1 {
-            let pos = self.outbox_active.partition_point(|&x| (x as usize) < node);
-            self.outbox_active.insert(pos, node as u32);
+            self.activate(node);
         }
     }
 
@@ -416,25 +836,28 @@ impl Delivery {
         };
         self.outbox_msgs -= 1;
         if self.outbox[node].is_empty() {
-            let pos = self.outbox_active.partition_point(|&x| (x as usize) < node);
-            debug_assert_eq!(self.outbox_active.get(pos), Some(&(node as u32)));
-            self.outbox_active.remove(pos);
+            self.deactivate(node);
         }
         match m.e2e {
             // A retransmit copy left the outbox: credit the flow's pending
-            // counter (protocol peers are real nodes, so the dest indexes
-            // `tx` in range).
+            // counter (tx flows are never evicted, so the slot is live).
             Some(h) if h.kind == E2eKind::Data => {
-                let f = node * self.nodes + m.dest().index();
-                let flow = tx_flow_mut(&mut self.tx, self.nodes, f);
+                let pr = pair(node, m.dest().index());
+                let flow = flow_edit(&mut self.tx, node, pr).expect("pending copy's flow is live");
                 debug_assert!(flow.pending_copies > 0, "pop without a push");
                 flow.pending_copies -= 1;
             }
             // The flow's pending ack left: the next arrival queues a fresh
-            // one instead of coalescing.
+            // one instead of coalescing. An rx flow whose state is all
+            // defaults again (nothing ever delivered in order, no ack
+            // pending) is evicted — its slot reads back identically.
             Some(h) if h.kind == E2eKind::Ack => {
-                let f = node * self.nodes + m.dest().index();
-                rx_flow_mut(&mut self.rx, self.nodes, f).ack_pending = false;
+                let pr = pair(node, m.dest().index());
+                let flow = flow_edit(&mut self.rx, node, pr).expect("pending ack's flow is live");
+                flow.ack_pending = false;
+                if flow.expected == 0 {
+                    flow_evict(&mut self.rx, node, pr);
+                }
             }
             _ => {}
         }
@@ -442,7 +865,7 @@ impl Delivery {
 
     /// Whether flow (src, dst) can take another first transmission.
     pub(crate) fn can_admit(&self, src: usize, dst: usize) -> bool {
-        tx_flow(&self.tx, self.nodes, src * self.nodes + dst)
+        flow_ref(&self.tx, src, pair(src, dst))
             .is_none_or(|flow| flow.unacked.len() < self.config.window)
     }
 
@@ -450,8 +873,7 @@ impl Delivery {
     /// state: nothing advances until [`commit`](Self::commit), so a refused
     /// injection retries with the same sequence number.
     pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
-        let psn =
-            tx_flow(&self.tx, self.nodes, src * self.nodes + dst).map_or(0, |flow| flow.next_psn);
+        let psn = flow_ref(&self.tx, src, pair(src, dst)).map_or(0, |flow| flow.next_psn);
         let crc = payload_crc(&msg.words, msg.mtype);
         // The header carries the full node id — no cast, no node-count caveat.
         msg.e2e = Some(E2eHeader::data(NodeId::from_index(src), psn, crc));
@@ -459,8 +881,8 @@ impl Delivery {
 
     /// Records an accepted first transmission of a stamped message.
     pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
-        let f = (src * self.nodes + dst) as u32;
-        let flow = tx_flow_mut(&mut self.tx, self.nodes, f as usize);
+        let pr = pair(src, dst);
+        let flow = flow_mut(&mut self.tx, self.nodes, src, pr);
         let hdr = msg.e2e.expect("committed message is stamped");
         debug_assert_eq!(hdr.psn, flow.next_psn);
         let was_empty = flow.unacked.is_empty();
@@ -475,9 +897,69 @@ impl Delivery {
         if was_empty {
             // First unacked message: the flow joins the timeout list with
             // the newest stamp, i.e. at the tail.
-            debug_assert!(tx_flow(&self.tx, self.nodes, f as usize).is_some_and(|fl| !fl.linked));
-            self.link_tail(f);
+            debug_assert!(flow_peek(&self.tx, src, pr).is_some_and(|fl| !fl.linked));
+            self.link_tail(pr);
         }
+    }
+
+    /// Collects the pair keys due for a timeout at `cycle`, ascending, and
+    /// the number of flows examined. Shared by [`pump`](Self::pump) and
+    /// [`pump_par`](Self::pump_par) so both modes meter identically.
+    fn collect_due(&mut self, cycle: u64) -> (Vec<u32>, u64) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        debug_assert!(due.is_empty());
+        let mut examined: u64 = 0;
+        if self.dense_scan {
+            // The cross-check examines the dense N² flow cost regardless of
+            // storage, preserving the scheduler's conservation law
+            // (`scanned + skipped == dense cost`).
+            examined = (self.nodes * self.nodes) as u64;
+            for (src, row) in self.tx.iter().enumerate() {
+                match row {
+                    FlowRow::Dense(r) => {
+                        let Some(r) = r.as_deref() else { continue };
+                        for (dst, flow) in r.iter().enumerate() {
+                            if !flow.unacked.is_empty()
+                                && cycle.saturating_sub(flow.last_send) >= self.config.timeout
+                            {
+                                due.push(pair(src, dst));
+                            }
+                        }
+                    }
+                    FlowRow::Sparse(map) => {
+                        for (pr, flow) in map.iter() {
+                            if !flow.unacked.is_empty()
+                                && cycle.saturating_sub(flow.last_send) >= self.config.timeout
+                            {
+                                due.push(pr);
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            // Walk from the oldest end; the list is sorted by `last_send`
+            // (every update stamps the current cycle and moves the flow to
+            // the tail), so the first not-yet-due flow ends the walk.
+            let mut cur = self.to_head;
+            while cur != NONE_LINK {
+                examined += 1;
+                let pr = cur as u32;
+                let flow = flow_ref(&self.tx, pair_major(pr), pr).expect(LIVE);
+                debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
+                if cycle.saturating_sub(flow.last_send) < self.config.timeout {
+                    break;
+                }
+                due.push(pr);
+                cur = flow.next;
+            }
+        }
+        // Fire in ascending pair key — the (src, dst) order of the dense
+        // scan — so retransmit copies append to each outbox bit-identically
+        // (the sparse iteration above is slab order, the list walk is
+        // `last_send` order; both need the sort).
+        due.sort_unstable();
+        (due, examined)
     }
 
     /// Fires due retransmission timeouts (called once per cycle, before the
@@ -487,48 +969,13 @@ impl Delivery {
         // any counting keeps the scan counters identical between the naive
         // loop and the fast-forward (both only reach a non-trivial pump
         // while the protocol is active, which forces step-by-step cycles).
-        if self.to_head == NONE {
+        if self.to_head == NONE_LINK {
             return;
         }
         let dense_cost = (self.nodes * self.nodes) as u64;
-        let mut examined: u64 = 0;
-        let mut due = std::mem::take(&mut self.due_scratch);
-        debug_assert!(due.is_empty());
-        if self.dense_scan {
-            examined = dense_cost;
-            for (src, row) in self.tx.iter().enumerate() {
-                let Some(row) = row.as_deref() else { continue };
-                for (dst, flow) in row.iter().enumerate() {
-                    if !flow.unacked.is_empty()
-                        && cycle.saturating_sub(flow.last_send) >= self.config.timeout
-                    {
-                        due.push((src * self.nodes + dst) as u32);
-                    }
-                }
-            }
-        } else {
-            // Walk from the oldest end; the list is sorted by `last_send`
-            // (every update stamps the current cycle and moves the flow to
-            // the tail), so the first not-yet-due flow ends the walk.
-            let mut cur = self.to_head;
-            while cur != NONE {
-                examined += 1;
-                let flow = tx_flow(&self.tx, self.nodes, cur as usize)
-                    .expect("linked flow's row is allocated");
-                debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
-                if cycle.saturating_sub(flow.last_send) < self.config.timeout {
-                    break;
-                }
-                due.push(cur);
-                cur = flow.next;
-            }
-            // Fire in ascending flow index — the (src, dst) order of the
-            // dense scan — so retransmit copies append to each outbox
-            // bit-identically.
-            due.sort_unstable();
-        }
-        for &f in &due {
-            self.fire_timeout(f, cycle);
+        let (mut due, examined) = self.collect_due(cycle);
+        for &pr in &due {
+            self.fire_timeout(pr, cycle);
         }
         due.clear();
         self.due_scratch = due;
@@ -539,59 +986,29 @@ impl Delivery {
     /// [`pump`](Self::pump), sharded: due-flow collection (and the scan
     /// meters) stay serial and byte-identical, while the firing of due flows
     /// is fanned across spatial domains when there are enough of them.
-    /// Sound because a flow's row state is source-major (each due flow fires
+    /// Sound because a flow's table is source-major (each due flow fires
     /// entirely inside its source's domain), the due list is ascending by
-    /// flow index (so per-domain chunks are contiguous), and every global
+    /// pair key (so per-domain chunks are contiguous), and every global
     /// effect is buffered and replayed in domain order — which *is* the
-    /// serial ascending-flow fire order.
+    /// serial ascending-key fire order.
     pub(crate) fn pump_par(&mut self, cycle: u64, bounds: &[usize]) {
-        if self.to_head == NONE {
+        if self.to_head == NONE_LINK {
             return;
         }
         let dense_cost = (self.nodes * self.nodes) as u64;
-        let mut examined: u64 = 0;
-        let mut due = std::mem::take(&mut self.due_scratch);
-        debug_assert!(due.is_empty());
-        if self.dense_scan {
-            examined = dense_cost;
-            for (src, row) in self.tx.iter().enumerate() {
-                let Some(row) = row.as_deref() else { continue };
-                for (dst, flow) in row.iter().enumerate() {
-                    if !flow.unacked.is_empty()
-                        && cycle.saturating_sub(flow.last_send) >= self.config.timeout
-                    {
-                        due.push((src * self.nodes + dst) as u32);
-                    }
-                }
-            }
-        } else {
-            let mut cur = self.to_head;
-            while cur != NONE {
-                examined += 1;
-                let flow = tx_flow(&self.tx, self.nodes, cur as usize)
-                    .expect("linked flow's row is allocated");
-                debug_assert!(!flow.unacked.is_empty(), "linked flow has no unacked");
-                if cycle.saturating_sub(flow.last_send) < self.config.timeout {
-                    break;
-                }
-                due.push(cur);
-                cur = flow.next;
-            }
-            due.sort_unstable();
-        }
+        let (mut due, examined) = self.collect_due(cycle);
         let domains = bounds.len().saturating_sub(1);
         if domains < 2 || due.len() < PAR_FIRE_MIN {
-            for &f in &due {
-                self.fire_timeout(f, cycle);
+            for &pr in &due {
+                self.fire_timeout(pr, cycle);
             }
         } else {
-            // `due` is ascending by flow index and flows are source-major,
-            // so each domain's due flows form one contiguous chunk.
-            let nodes = self.nodes;
+            // `due` is ascending by pair key and keys are source-major, so
+            // each domain's due flows form one contiguous chunk.
             let mut chunks: Vec<&[u32]> = Vec::with_capacity(domains);
             let mut rest: &[u32] = &due;
             for w in bounds.windows(2) {
-                let cut = rest.partition_point(|&f| (f as usize) < w[1] * nodes);
+                let cut = rest.partition_point(|&pr| pair_major(pr) < w[1]);
                 let (head, tail) = rest.split_at(cut);
                 chunks.push(head);
                 rest = tail;
@@ -604,8 +1021,8 @@ impl Delivery {
                 .map(|(range, chunk)| FireTask { range, chunk })
                 .collect();
             run_tasks(&mut tasks, |_, t| {
-                for &f in t.chunk {
-                    t.range.fire_timeout(f, cycle);
+                for &pr in t.chunk {
+                    t.range.fire_timeout(pr, cycle);
                 }
             });
             let deltas: Vec<DeliveryDelta> =
@@ -628,8 +1045,8 @@ impl Delivery {
         let config = self.config;
         let format = self.format;
         let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
-        let mut tx: &mut [Option<Box<[FlowTx]>>] = self.tx.as_mut_slice();
-        let mut rx: &mut [Option<Box<[FlowRx]>>] = self.rx.as_mut_slice();
+        let mut tx: &mut [FlowRow<FlowTx>] = self.tx.as_mut_slice();
+        let mut rx: &mut [FlowRow<FlowRx>] = self.rx.as_mut_slice();
         let mut outbox: &mut [VecDeque<Message>] = self.outbox.as_mut_slice();
         for w in bounds.windows(2) {
             let span = w[1] - w[0];
@@ -656,8 +1073,8 @@ impl Delivery {
     /// Replays per-domain deltas, in domain order. Because domains are
     /// contiguous ascending node ranges and each worker recorded its ops in
     /// its own visit order, the concatenation is exactly the serial
-    /// ascending-node op sequence — the sorted active list and the intrusive
-    /// timeout list end up byte-identical to a serial cycle.
+    /// ascending-node op sequence — the active-outbox set and the intrusive
+    /// timeout list end up identical to a serial cycle.
     pub(crate) fn absorb_deltas(&mut self, deltas: impl IntoIterator<Item = DeliveryDelta>) {
         for d in deltas {
             self.stats.add(&d.stats);
@@ -666,19 +1083,16 @@ impl Delivery {
             self.unacked_msgs = u64::try_from(self.unacked_msgs as i64 + d.unacked_msgs)
                 .expect("unacked total cannot go negative");
             for &node in &d.active_remove {
-                let pos = self.outbox_active.partition_point(|&x| x < node);
-                debug_assert_eq!(self.outbox_active.get(pos), Some(&node));
-                self.outbox_active.remove(pos);
+                self.deactivate(node as usize);
             }
             for &node in &d.active_add {
-                let pos = self.outbox_active.partition_point(|&x| x < node);
-                self.outbox_active.insert(pos, node);
+                self.activate(node as usize);
             }
-            for &(f, op) in &d.ops {
+            for &(pr, op) in &d.ops {
                 match op {
-                    ListOp::LinkTail => self.link_tail(f),
-                    ListOp::Unlink => self.unlink(f),
-                    ListOp::MoveToTail => self.move_to_tail(f),
+                    ListOp::LinkTail => self.link_tail(pr),
+                    ListOp::Unlink => self.unlink(pr),
+                    ListOp::MoveToTail => self.move_to_tail(pr),
                 }
             }
         }
@@ -686,45 +1100,46 @@ impl Delivery {
 
     /// One due flow's timeout: requeue the window (go-back-N), or just reset
     /// the timer if the previous round's copies are still queued, or abandon
-    /// once the budget is spent.
-    fn fire_timeout(&mut self, f: u32, cycle: u64) {
-        let nodes = self.nodes;
-        let src = f as usize / nodes;
+    /// once the budget is spent. Lookup-for-lookup identical to the
+    /// [`DeliveryRange`] twin so the probe meter cannot tell them apart.
+    fn fire_timeout(&mut self, pr: u32, cycle: u64) {
+        let src = pair_major(pr);
         // Copies from the previous round still await injection: the outbox
         // is congested, not the receiver unresponsive. Reset the timer
         // without burning a budget round.
-        if tx_flow_mut(&mut self.tx, nodes, f as usize).pending_copies > 0 {
-            tx_flow_mut(&mut self.tx, nodes, f as usize).last_send = cycle;
-            self.move_to_tail(f);
+        if flow_edit(&mut self.tx, src, pr).expect(LIVE).pending_copies > 0 {
+            flow_edit(&mut self.tx, src, pr).expect(LIVE).last_send = cycle;
+            self.move_to_tail(pr);
             return;
         }
         {
-            let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
+            let flow = flow_edit(&mut self.tx, src, pr).expect(LIVE);
             flow.rounds += 1;
             flow.last_send = cycle;
         }
         self.stats.timeout_rounds += 1;
-        if tx_flow_mut(&mut self.tx, nodes, f as usize).rounds > self.config.retransmit_limit {
+        if flow_edit(&mut self.tx, src, pr).expect(LIVE).rounds > self.config.retransmit_limit {
             // Budget exhausted: the receiver is unreachable. Abandon the
-            // window rather than wedging the machine.
-            let len = tx_flow_mut(&mut self.tx, nodes, f as usize).unacked.len() as u64;
+            // window rather than wedging the machine. The flow slot (and
+            // its spent budget) stays live — see the eviction semantics.
+            let len = flow_edit(&mut self.tx, src, pr).expect(LIVE).unacked.len() as u64;
             self.stats.abandoned += len;
             self.unacked_msgs -= len;
-            let flow = tx_flow_mut(&mut self.tx, nodes, f as usize);
+            let flow = flow_edit(&mut self.tx, src, pr).expect(LIVE);
             flow.unacked.clear();
             flow.rounds = 0;
-            self.unlink(f);
+            self.unlink(pr);
             return;
         }
         // Go-back-N: requeue the whole window.
-        let count = tx_flow_mut(&mut self.tx, nodes, f as usize).unacked.len();
+        let count = flow_edit(&mut self.tx, src, pr).expect(LIVE).unacked.len();
         for k in 0..count {
-            let m = tx_flow_mut(&mut self.tx, nodes, f as usize).unacked[k].1;
+            let m = flow_edit(&mut self.tx, src, pr).expect(LIVE).unacked[k].1;
             self.outbox_push(src, m);
         }
-        tx_flow_mut(&mut self.tx, nodes, f as usize).pending_copies += count as u32;
+        flow_edit(&mut self.tx, src, pr).expect(LIVE).pending_copies += count as u32;
         self.stats.retransmits += count as u64;
-        self.move_to_tail(f);
+        self.move_to_tail(pr);
     }
 
     // --- receiver side -------------------------------------------------------
@@ -739,7 +1154,7 @@ impl Delivery {
         match hdr.kind {
             E2eKind::Ack => RxAction::Consume,
             E2eKind::Data => {
-                let expected = rx_flow(&self.rx, self.nodes, dst * self.nodes + hdr.src.index())
+                let expected = flow_ref(&self.rx, dst, pair(dst, hdr.src.index()))
                     .map_or(0, |flow| flow.expected);
                 if hdr.psn == expected {
                     RxAction::Deliver
@@ -754,7 +1169,7 @@ impl Delivery {
     /// cumulative ack.
     pub(crate) fn on_delivered(&mut self, dst: usize, msg: &Message, cycle: u64) {
         let hdr = msg.e2e.expect("delivered message has a header");
-        let flow = rx_flow_mut(&mut self.rx, self.nodes, dst * self.nodes + hdr.src.index());
+        let flow = flow_mut(&mut self.rx, self.nodes, dst, pair(dst, hdr.src.index()));
         debug_assert_eq!(hdr.psn, flow.expected);
         flow.expected += 1;
         self.stats.delivered_unique += 1;
@@ -774,9 +1189,14 @@ impl Delivery {
         match hdr.kind {
             E2eKind::Ack => {
                 // `dst` is the flow's sender; the header names the acker.
+                // Non-creating on purpose: an ack for a flow that never
+                // committed (possible only in synthetic scenarios) must not
+                // materialise sender state.
                 self.stats.acks_received += 1;
-                let f = (dst * self.nodes + hdr.src.index()) as u32;
-                let flow = tx_flow_mut(&mut self.tx, self.nodes, f as usize);
+                let pr = pair(dst, hdr.src.index());
+                let Some(flow) = flow_edit(&mut self.tx, dst, pr) else {
+                    return;
+                };
                 let mut progressed = false;
                 while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
                     flow.unacked.pop_front();
@@ -789,15 +1209,15 @@ impl Delivery {
                     let fully_acked = flow.unacked.is_empty();
                     if fully_acked {
                         // Fully acked: off the timeout list.
-                        self.unlink(f);
+                        self.unlink(pr);
                     } else {
                         // Timer restarted at the newest stamp: tail.
-                        self.move_to_tail(f);
+                        self.move_to_tail(pr);
                     }
                 }
             }
             E2eKind::Data => {
-                let expected = rx_flow(&self.rx, self.nodes, dst * self.nodes + hdr.src.index())
+                let expected = flow_ref(&self.rx, dst, pair(dst, hdr.src.index()))
                     .map_or(0, |flow| flow.expected);
                 if hdr.psn < expected {
                     self.stats.dup_suppressed += 1;
@@ -817,15 +1237,15 @@ impl Delivery {
     /// number wins) instead of enqueueing another — without this, every
     /// data arrival on a congested outbox would add an ack (an ack flood).
     fn queue_ack(&mut self, receiver: usize, sender: usize) {
-        let nodes = self.nodes;
-        let psn = rx_flow(&self.rx, nodes, receiver * nodes + sender).map_or(0, |f| f.expected);
+        let pr = pair(receiver, sender);
+        let psn = flow_ref(&self.rx, receiver, pr).map_or(0, |f| f.expected);
         // Full node ids end to end: the ack names its flow without casts,
         // and is composed under the machine's wire format.
         let sender_id = NodeId::from_index(sender);
         let mut ack = Message::to_in(self.format, sender_id, [0; 5], MsgType::default());
         let crc = payload_crc(&ack.words, ack.mtype);
         ack.e2e = Some(E2eHeader::ack(NodeId::from_index(receiver), psn, crc));
-        if rx_flow(&self.rx, nodes, receiver * nodes + sender).is_some_and(|f| f.ack_pending) {
+        if flow_ref(&self.rx, receiver, pr).is_some_and(|f| f.ack_pending) {
             for m in self.outbox[receiver].iter_mut() {
                 if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
                     // Cumulative: only ever move the acked prefix forward
@@ -840,7 +1260,7 @@ impl Delivery {
             }
             debug_assert!(false, "ack_pending set but no ack queued");
         }
-        rx_flow_mut(&mut self.rx, nodes, receiver * nodes + sender).ack_pending = true;
+        flow_mut(&mut self.rx, self.nodes, receiver, pr).ack_pending = true;
         self.outbox_push(receiver, ack);
         self.stats.acks_sent += 1;
     }
@@ -851,7 +1271,7 @@ impl Delivery {
 /// A deferred intrusive-timeout-list operation, recorded by a worker in its
 /// visit order and replayed serially by [`Delivery::absorb_deltas`]. Workers
 /// never touch the `prev`/`next`/`linked` links directly — those thread
-/// through rows owned by other domains.
+/// through tables owned by other domains.
 #[derive(Debug, Clone, Copy)]
 enum ListOp {
     /// Replays as [`Delivery::link_tail`].
@@ -877,7 +1297,7 @@ pub(crate) struct DeliveryDelta {
     active_add: Vec<u32>,
     /// Nodes whose outbox drained empty this phase.
     active_remove: Vec<u32>,
-    /// Timeout-list operations, in this domain's visit order.
+    /// Timeout-list operations (pair keys), in this domain's visit order.
     ops: Vec<(u32, ListOp)>,
 }
 
@@ -889,11 +1309,11 @@ struct FireTask<'a> {
 }
 
 /// One spatial domain's mutable view of the protocol state during a parallel
-/// phase: the domain's own `tx`/`outbox` rows (source-major) and `rx` rows
-/// (destination-major), with every machine-global effect buffered in a
-/// [`DeliveryDelta`]. Methods mirror the serial [`Delivery`] entry points
-/// and take the same *global* node and flow indices; out-of-domain indices
-/// panic on the slice bounds.
+/// phase: the domain's own `tx`/`outbox` tables (source-major) and `rx`
+/// tables (destination-major), with every machine-global effect buffered in
+/// a [`DeliveryDelta`]. Methods mirror the serial [`Delivery`] entry points
+/// and take the same *global* node indices and pair keys; out-of-domain
+/// indices panic on the slice bounds.
 pub(crate) struct DeliveryRange<'a> {
     config: DeliveryConfig,
     nodes: usize,
@@ -901,18 +1321,17 @@ pub(crate) struct DeliveryRange<'a> {
     format: WireFormat,
     /// First node of the domain (row offset of the slices).
     lo: usize,
-    tx: &'a mut [Option<Box<[FlowTx]>>],
-    rx: &'a mut [Option<Box<[FlowRx]>>],
+    tx: &'a mut [FlowRow<FlowTx>],
+    rx: &'a mut [FlowRow<FlowRx>],
     outbox: &'a mut [VecDeque<Message>],
     delta: DeliveryDelta,
 }
 
 impl DeliveryRange<'_> {
-    /// Local flat index of global flow index `f` (tx: `src*nodes + dst`,
-    /// rx: `dst*nodes + src`; the major node must lie in this domain). The
-    /// row-lazy accessors split it back into (local row, offset).
-    fn row(&self, f: usize) -> usize {
-        f - self.lo * self.nodes
+    /// Local table index of global major node `major` (the node must lie in
+    /// this domain).
+    fn l(&self, major: usize) -> usize {
+        major - self.lo
     }
 
     /// Local outbox slot of global node index `node`.
@@ -930,7 +1349,7 @@ impl DeliveryRange<'_> {
         self.outbox[self.ob(node)].front()
     }
 
-    /// [`Delivery::outbox_pop`] with the active-list update buffered.
+    /// [`Delivery::outbox_pop`] with the active-set update buffered.
     pub(crate) fn outbox_pop(&mut self, node: usize) {
         let ob = self.ob(node);
         let Some(m) = self.outbox[ob].pop_front() else {
@@ -942,14 +1361,20 @@ impl DeliveryRange<'_> {
         }
         match m.e2e {
             Some(h) if h.kind == E2eKind::Data => {
-                let lf = self.row(node * self.nodes + m.dest().index());
-                let flow = tx_flow_mut(self.tx, self.nodes, lf);
+                let pr = pair(node, m.dest().index());
+                let local = self.l(node);
+                let flow = flow_edit(self.tx, local, pr).expect("pending copy's flow is live");
                 debug_assert!(flow.pending_copies > 0, "pop without a push");
                 flow.pending_copies -= 1;
             }
             Some(h) if h.kind == E2eKind::Ack => {
-                let lr = self.row(node * self.nodes + m.dest().index());
-                rx_flow_mut(self.rx, self.nodes, lr).ack_pending = false;
+                let pr = pair(node, m.dest().index());
+                let local = self.l(node);
+                let flow = flow_edit(self.rx, local, pr).expect("pending ack's flow is live");
+                flow.ack_pending = false;
+                if flow.expected == 0 {
+                    flow_evict(self.rx, local, pr);
+                }
             }
             _ => {}
         }
@@ -957,14 +1382,13 @@ impl DeliveryRange<'_> {
 
     /// [`Delivery::can_admit`] for a source node of this domain.
     pub(crate) fn can_admit(&self, src: usize, dst: usize) -> bool {
-        tx_flow(self.tx, self.nodes, self.row(src * self.nodes + dst))
+        flow_ref(self.tx, self.l(src), pair(src, dst))
             .is_none_or(|flow| flow.unacked.len() < self.config.window)
     }
 
     /// [`Delivery::stamp`] for a source node of this domain.
     pub(crate) fn stamp(&self, src: usize, dst: usize, msg: &mut Message) {
-        let psn = tx_flow(self.tx, self.nodes, self.row(src * self.nodes + dst))
-            .map_or(0, |flow| flow.next_psn);
+        let psn = flow_ref(self.tx, self.l(src), pair(src, dst)).map_or(0, |flow| flow.next_psn);
         let crc = payload_crc(&msg.words, msg.mtype);
         // The header carries the full node id — no cast, no node-count caveat.
         msg.e2e = Some(E2eHeader::data(NodeId::from_index(src), psn, crc));
@@ -972,9 +1396,9 @@ impl DeliveryRange<'_> {
 
     /// [`Delivery::commit`] with the timeout-list link buffered.
     pub(crate) fn commit(&mut self, src: usize, dst: usize, msg: Message, cycle: u64) {
-        let f = (src * self.nodes + dst) as u32;
-        let lf = self.row(f as usize);
-        let flow = tx_flow_mut(self.tx, self.nodes, lf);
+        let pr = pair(src, dst);
+        let local = self.l(src);
+        let flow = flow_mut(self.tx, self.nodes, local, pr);
         let hdr = msg.e2e.expect("committed message is stamped");
         debug_assert_eq!(hdr.psn, flow.next_psn);
         let was_empty = flow.unacked.is_empty();
@@ -989,48 +1413,50 @@ impl DeliveryRange<'_> {
         if was_empty {
             // The pre-phase link flag is trustworthy: only the sender's own
             // phase commits, and it does so at most once per flow per cycle.
-            debug_assert!(tx_flow(self.tx, self.nodes, lf).is_some_and(|fl| !fl.linked));
-            self.delta.ops.push((f, ListOp::LinkTail));
+            debug_assert!(flow_peek(self.tx, local, pr).is_some_and(|fl| !fl.linked));
+            self.delta.ops.push((pr, ListOp::LinkTail));
         }
     }
 
-    /// [`Delivery::fire_timeout`] with outbox/list effects buffered.
-    fn fire_timeout(&mut self, f: u32, cycle: u64) {
-        let nodes = self.nodes;
-        let src = f as usize / nodes;
-        let lf = self.row(f as usize);
+    /// [`Delivery::fire_timeout`] with outbox/list effects buffered,
+    /// lookup-for-lookup identical to the serial twin (tables are static
+    /// during the pump, so the probe meter advances identically whichever
+    /// twin fires).
+    fn fire_timeout(&mut self, pr: u32, cycle: u64) {
+        let src = pair_major(pr);
+        let lf = self.l(src);
         // Copies from the previous round still await injection: reset the
         // timer without burning a budget round (see the serial twin).
-        if tx_flow_mut(self.tx, nodes, lf).pending_copies > 0 {
-            tx_flow_mut(self.tx, nodes, lf).last_send = cycle;
-            self.delta.ops.push((f, ListOp::MoveToTail));
+        if flow_edit(self.tx, lf, pr).expect(LIVE).pending_copies > 0 {
+            flow_edit(self.tx, lf, pr).expect(LIVE).last_send = cycle;
+            self.delta.ops.push((pr, ListOp::MoveToTail));
             return;
         }
         {
-            let flow = tx_flow_mut(self.tx, nodes, lf);
+            let flow = flow_edit(self.tx, lf, pr).expect(LIVE);
             flow.rounds += 1;
             flow.last_send = cycle;
         }
         self.delta.stats.timeout_rounds += 1;
-        if tx_flow_mut(self.tx, nodes, lf).rounds > self.config.retransmit_limit {
-            let len = tx_flow_mut(self.tx, nodes, lf).unacked.len() as u64;
+        if flow_edit(self.tx, lf, pr).expect(LIVE).rounds > self.config.retransmit_limit {
+            let len = flow_edit(self.tx, lf, pr).expect(LIVE).unacked.len() as u64;
             self.delta.stats.abandoned += len;
             self.delta.unacked_msgs -= len as i64;
-            let flow = tx_flow_mut(self.tx, nodes, lf);
+            let flow = flow_edit(self.tx, lf, pr).expect(LIVE);
             flow.unacked.clear();
             flow.rounds = 0;
-            self.delta.ops.push((f, ListOp::Unlink));
+            self.delta.ops.push((pr, ListOp::Unlink));
             return;
         }
         // Go-back-N: requeue the whole window.
-        let count = tx_flow_mut(self.tx, nodes, lf).unacked.len();
+        let count = flow_edit(self.tx, lf, pr).expect(LIVE).unacked.len();
         for k in 0..count {
-            let m = tx_flow_mut(self.tx, nodes, lf).unacked[k].1;
+            let m = flow_edit(self.tx, lf, pr).expect(LIVE).unacked[k].1;
             self.outbox_push_local(src, m);
         }
-        tx_flow_mut(self.tx, nodes, lf).pending_copies += count as u32;
+        flow_edit(self.tx, lf, pr).expect(LIVE).pending_copies += count as u32;
         self.delta.stats.retransmits += count as u64;
-        self.delta.ops.push((f, ListOp::MoveToTail));
+        self.delta.ops.push((pr, ListOp::MoveToTail));
     }
 
     /// [`Delivery::rx_action`] for a destination node of this domain.
@@ -1042,8 +1468,8 @@ impl DeliveryRange<'_> {
         match hdr.kind {
             E2eKind::Ack => RxAction::Consume,
             E2eKind::Data => {
-                let lr = self.row(dst * self.nodes + hdr.src.index());
-                let expected = rx_flow(self.rx, self.nodes, lr).map_or(0, |flow| flow.expected);
+                let expected = flow_ref(self.rx, self.l(dst), pair(dst, hdr.src.index()))
+                    .map_or(0, |flow| flow.expected);
                 if hdr.psn == expected {
                     RxAction::Deliver
                 } else {
@@ -1056,8 +1482,8 @@ impl DeliveryRange<'_> {
     /// [`Delivery::on_delivered`] for a destination node of this domain.
     pub(crate) fn on_delivered(&mut self, dst: usize, msg: &Message, cycle: u64) {
         let hdr = msg.e2e.expect("delivered message has a header");
-        let lr = self.row(dst * self.nodes + hdr.src.index());
-        let flow = rx_flow_mut(self.rx, self.nodes, lr);
+        let local = self.l(dst);
+        let flow = flow_mut(self.rx, self.nodes, local, pair(dst, hdr.src.index()));
         debug_assert_eq!(hdr.psn, flow.expected);
         flow.expected += 1;
         self.delta.stats.delivered_unique += 1;
@@ -1066,8 +1492,8 @@ impl DeliveryRange<'_> {
     }
 
     /// [`Delivery::on_consumed`] for a destination node of this domain. The
-    /// ack branch touches `tx[dst*nodes + src]` — `dst` is the flow's
-    /// *sender* receiving the ack, so the row is source-major and local.
+    /// ack branch touches `tx[dst]` — `dst` is the flow's *sender*
+    /// receiving the ack, so the table is source-major and local.
     pub(crate) fn on_consumed(&mut self, dst: usize, msg: &Message, cycle: u64) {
         let hdr = msg.e2e.expect("consumed message has a header");
         if payload_crc(&msg.words, msg.mtype) != hdr.crc {
@@ -1077,9 +1503,11 @@ impl DeliveryRange<'_> {
         match hdr.kind {
             E2eKind::Ack => {
                 self.delta.stats.acks_received += 1;
-                let f = (dst * self.nodes + hdr.src.index()) as u32;
-                let lf = self.row(f as usize);
-                let flow = tx_flow_mut(self.tx, self.nodes, lf);
+                let pr = pair(dst, hdr.src.index());
+                let local = self.l(dst);
+                let Some(flow) = flow_edit(self.tx, local, pr) else {
+                    return;
+                };
                 let mut progressed = false;
                 while flow.unacked.front().is_some_and(|&(psn, _)| psn < hdr.psn) {
                     flow.unacked.pop_front();
@@ -1090,15 +1518,15 @@ impl DeliveryRange<'_> {
                     flow.rounds = 0;
                     flow.last_send = cycle;
                     if flow.unacked.is_empty() {
-                        self.delta.ops.push((f, ListOp::Unlink));
+                        self.delta.ops.push((pr, ListOp::Unlink));
                     } else {
-                        self.delta.ops.push((f, ListOp::MoveToTail));
+                        self.delta.ops.push((pr, ListOp::MoveToTail));
                     }
                 }
             }
             E2eKind::Data => {
-                let lr = self.row(dst * self.nodes + hdr.src.index());
-                let expected = rx_flow(self.rx, self.nodes, lr).map_or(0, |flow| flow.expected);
+                let expected = flow_ref(self.rx, self.l(dst), pair(dst, hdr.src.index()))
+                    .map_or(0, |flow| flow.expected);
                 if hdr.psn < expected {
                     self.delta.stats.dup_suppressed += 1;
                 } else {
@@ -1111,15 +1539,16 @@ impl DeliveryRange<'_> {
 
     /// [`Delivery::queue_ack`] with outbox effects buffered.
     fn queue_ack(&mut self, receiver: usize, sender: usize) {
-        let lr = self.row(receiver * self.nodes + sender);
-        let psn = rx_flow(self.rx, self.nodes, lr).map_or(0, |f| f.expected);
+        let pr = pair(receiver, sender);
+        let local = self.l(receiver);
+        let psn = flow_ref(self.rx, local, pr).map_or(0, |f| f.expected);
         // Full node ids end to end: the ack names its flow without casts,
         // and is composed under the machine's wire format.
         let sender_id = NodeId::from_index(sender);
         let mut ack = Message::to_in(self.format, sender_id, [0; 5], MsgType::default());
         let crc = payload_crc(&ack.words, ack.mtype);
         ack.e2e = Some(E2eHeader::ack(NodeId::from_index(receiver), psn, crc));
-        if rx_flow(self.rx, self.nodes, lr).is_some_and(|f| f.ack_pending) {
+        if flow_ref(self.rx, local, pr).is_some_and(|f| f.ack_pending) {
             let ob = self.ob(receiver);
             for m in self.outbox[ob].iter_mut() {
                 if matches!(m.e2e, Some(h) if h.kind == E2eKind::Ack) && m.dest() == sender_id {
@@ -1132,12 +1561,12 @@ impl DeliveryRange<'_> {
             }
             debug_assert!(false, "ack_pending set but no ack queued");
         }
-        rx_flow_mut(self.rx, self.nodes, lr).ack_pending = true;
+        flow_mut(self.rx, self.nodes, local, pr).ack_pending = true;
         self.outbox_push_local(receiver, ack);
         self.delta.stats.acks_sent += 1;
     }
 
-    /// [`Delivery::outbox_push`] with the active-list update buffered.
+    /// [`Delivery::outbox_push`] with the active-set update buffered.
     fn outbox_push_local(&mut self, node: usize, msg: Message) {
         let ob = self.ob(node);
         self.outbox[ob].push_back(msg);
@@ -1160,6 +1589,29 @@ mod tests {
         )
     }
 
+    impl Delivery {
+        /// Builds the header psn 0..N stamping used by unit tests without
+        /// touching tx state.
+        fn stamp_for_test(&self, src: u16, msg: &mut Message, psn: u32) {
+            let crc = payload_crc(&msg.words, msg.mtype);
+            msg.e2e = Some(E2eHeader::data(NodeId::new(src), psn, crc));
+        }
+
+        /// Oldest unacked (psn, message) of flow (src, dst), for scenario
+        /// drivers (unmetered, so paired runs meter identically even when
+        /// only one of them calls this).
+        fn unacked_front(&self, src: usize, dst: usize) -> Option<(u32, Message)> {
+            flow_peek(&self.tx, src, pair(src, dst)).and_then(|fl| fl.unacked.front().copied())
+        }
+
+        /// The active-outbox set, sorted (the live set is order-free).
+        fn active_sorted(&self) -> Vec<u32> {
+            let mut v = self.outbox_active.clone();
+            v.sort_unstable();
+            v
+        }
+    }
+
     #[test]
     fn stamp_commit_window_and_ack_roundtrip() {
         let mut d = Delivery::new(
@@ -1170,6 +1622,7 @@ mod tests {
                 retransmit_limit: 3,
             },
             WireFormat::Compact,
+            false,
         );
         assert!(!d.active());
         // Fill the window.
@@ -1201,18 +1654,9 @@ mod tests {
         assert_eq!(d.stats().delivered_unique, 1);
     }
 
-    impl Delivery {
-        /// Builds the header psn 0..N stamping used by unit tests without
-        /// touching tx state.
-        fn stamp_for_test(&self, src: u16, msg: &mut Message, psn: u32) {
-            let crc = payload_crc(&msg.words, msg.mtype);
-            msg.e2e = Some(E2eHeader::data(NodeId::new(src), psn, crc));
-        }
-    }
-
     #[test]
     fn duplicates_and_gaps_are_consumed_and_reacked() {
-        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact);
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact, false);
         let mut m0 = data(1, 7);
         d.stamp_for_test(0, &mut m0, 0);
         d.on_delivered(1, &m0, 1);
@@ -1239,7 +1683,7 @@ mod tests {
 
     #[test]
     fn coalesced_ack_keeps_the_highest_psn() {
-        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact);
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact, false);
         // Deliver psn 0 and 1 in order without draining the outbox: the
         // second cumulative ack (psn 2) must replace the first (psn 1).
         for psn in 0..2 {
@@ -1255,7 +1699,7 @@ mod tests {
 
     #[test]
     fn corruption_fails_the_checksum_and_is_silent() {
-        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact);
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact, false);
         let mut m = data(1, 7);
         d.stamp_for_test(0, &mut m, 0);
         m.words[2] ^= 1 << 9; // fabric corruption after stamping
@@ -1272,7 +1716,7 @@ mod tests {
             timeout: 10,
             retransmit_limit: 2,
         };
-        let mut d = Delivery::new(2, cfg, WireFormat::Compact);
+        let mut d = Delivery::new(2, cfg, WireFormat::Compact, false);
         for tag in 0..2 {
             let mut m = data(1, tag);
             d.stamp(0, 1, &mut m);
@@ -1299,6 +1743,165 @@ mod tests {
         assert!(!d.active());
     }
 
+    #[test]
+    fn rx_state_is_evicted_when_it_returns_to_default() {
+        let mut d = Delivery::new(2, DeliveryConfig::default(), WireFormat::Compact, false);
+        // A gap arrival creates rx state only to carry the pending re-ack:
+        // expected stays 0, so draining the ack returns the flow to its
+        // default state and the slot is released.
+        let mut m5 = data(1, 8);
+        d.stamp_for_test(0, &mut m5, 5);
+        d.on_consumed(1, &m5, 1);
+        assert_eq!(d.scan_stats().active_flows, 1, "rx slot carries the ack");
+        d.outbox_pop(1);
+        assert_eq!(d.scan_stats().active_flows, 0, "default rx state evicted");
+        assert_eq!(d.scan_stats().peak_flows, 1, "high-water mark survives");
+
+        // An in-order delivery advances `expected`: that state is
+        // load-bearing (it defines the flow's duplicate horizon) and must
+        // survive the ack draining.
+        let mut m0 = data(1, 7);
+        d.stamp_for_test(0, &mut m0, 0);
+        d.on_delivered(1, &m0, 2);
+        d.outbox_pop(1);
+        assert_eq!(d.scan_stats().active_flows, 1, "advanced rx state stays");
+        assert_eq!(d.rx_action(1, &m0), RxAction::Consume, "still a duplicate");
+    }
+
+    #[test]
+    fn used_tx_flows_are_never_evicted_and_keep_their_budget() {
+        let cfg = DeliveryConfig {
+            window: 4,
+            timeout: 10,
+            retransmit_limit: 2,
+        };
+        let mut d = Delivery::new(2, cfg, WireFormat::Compact, false);
+        let mut m = data(1, 0);
+        d.stamp(0, 1, &mut m);
+        d.commit(0, 1, m, 0);
+        // Burn the whole retransmit budget until the window abandons.
+        let mut cycle = 0;
+        while d.active() {
+            cycle += 10;
+            d.pump(cycle);
+            while d.outbox_front(0).is_some() {
+                d.outbox_pop(0);
+            }
+        }
+        assert_eq!(d.stats().abandoned, 1);
+        // The spent flow keeps its slot: its sequence numbering must
+        // survive (a fresh slot would re-stamp psn 0 and corrupt the
+        // receiver's duplicate horizon).
+        assert_eq!(d.scan_stats().active_flows, 1, "tx slot survives abandon");
+        let mut m2 = data(1, 1);
+        d.stamp(0, 1, &mut m2);
+        assert_eq!(m2.e2e.unwrap().psn, 1, "psn continues, not reset");
+        // Fully acked flows keep their slot too.
+        d.commit(0, 1, m2, cycle);
+        let mut ack = Message::to(NodeId::from_index(0), [0; 5], MsgType::default());
+        let crc = payload_crc(&ack.words, ack.mtype);
+        ack.e2e = Some(E2eHeader::ack(NodeId::from_index(1), 2, crc));
+        d.on_consumed(0, &ack, cycle + 1);
+        assert!(!d.active(), "window fully acked");
+        assert_eq!(d.scan_stats().active_flows, 1, "tx slot survives full ack");
+        let mut m3 = data(1, 2);
+        d.stamp(0, 1, &mut m3);
+        assert_eq!(m3.e2e.unwrap().psn, 2, "psn continues after full ack");
+    }
+
+    #[test]
+    fn the_sparse_table_survives_churn() {
+        // Insert/remove churn across growth: every surviving key reads its
+        // own value, removed keys read absent, and the free list recycles
+        // slots without leaking.
+        let mut t: NodeFlows<FlowRx> = NodeFlows::new();
+        assert!(t.get(pair(7, 7)).is_none(), "empty table answers clean");
+        for minor in 0..64usize {
+            t.get_or_insert(pair(3, minor)).expected = minor as u32 + 1;
+        }
+        assert_eq!(t.live, 64);
+        assert_eq!(t.peak, 64);
+        for minor in (0..64usize).step_by(2) {
+            t.remove(pair(3, minor));
+        }
+        assert_eq!(t.live, 32);
+        assert_eq!(t.peak, 64, "peak is a high-water mark");
+        for minor in 0..64usize {
+            let got = t.get(pair(3, minor));
+            if minor % 2 == 0 {
+                assert!(got.is_none(), "removed key {minor} still present");
+            } else {
+                assert_eq!(got.unwrap().expected, minor as u32 + 1);
+            }
+        }
+        // Reinsert into recycled slots: state starts from default.
+        for minor in (0..64usize).step_by(2) {
+            assert_eq!(t.get_or_insert(pair(3, minor)).expected, 0);
+        }
+        assert_eq!(t.live, 64);
+        assert_eq!(t.slab.len(), 64, "recycled slots, no slab growth");
+        assert!(t.probes.get() > 0, "lookups were metered");
+    }
+
+    /// A long adversarial scenario (interleaved commits, partial acks,
+    /// congestion resets, abandons) driven identically against both
+    /// storage layouts must be bit-identical in counters and outbox drain
+    /// order — the dense cross-check proves the sparse store invisible.
+    #[test]
+    fn sparse_store_matches_the_dense_cross_check() {
+        let cfg = DeliveryConfig {
+            window: 4,
+            timeout: 8,
+            retransmit_limit: 3,
+        };
+        let run = |dense_flows: bool| -> (DeliveryStats, Vec<(usize, u32, u32)>, Vec<u32>) {
+            let nodes = 5usize;
+            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact, dense_flows);
+            let mut drained = Vec::new();
+            let mut x = 0xdead_beef_cafe_f00du64;
+            for cycle in 0..400u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let src = ((x >> 33) % nodes as u64) as usize;
+                let dst = ((x >> 13) % nodes as u64) as usize;
+                if src != dst && d.can_admit(src, dst) && cycle % 3 == 0 {
+                    let mut m = data(dst as u16, cycle as u32);
+                    d.stamp(src, dst, &mut m);
+                    d.commit(src, dst, m, cycle);
+                }
+                d.pump(cycle);
+                let node = (cycle % nodes as u64) as usize;
+                if let Some(m) = d.outbox_front(node).copied() {
+                    let h = m.e2e.unwrap();
+                    drained.push((node, m.dest().index() as u32, h.psn));
+                    d.outbox_pop(node);
+                }
+                if cycle % 7 == 0 {
+                    let sender = ((x >> 49) % nodes as u64) as usize;
+                    let acker = ((x >> 41) % nodes as u64) as usize;
+                    if sender != acker {
+                        if let Some((psn, _)) = d.unacked_front(sender, acker) {
+                            let mut ack =
+                                Message::to(NodeId::from_index(sender), [0; 5], MsgType::default());
+                            let crc = payload_crc(&ack.words, ack.mtype);
+                            ack.e2e = Some(E2eHeader::ack(NodeId::from_index(acker), psn + 1, crc));
+                            d.on_consumed(sender, &ack, cycle);
+                        }
+                    }
+                }
+            }
+            (d.stats(), drained, d.active_sorted())
+        };
+        let (sparse, sparse_order, sparse_active) = run(false);
+        let (dense, dense_order, dense_active) = run(true);
+        assert_eq!(sparse, dense, "protocol counters must be bit-identical");
+        assert_eq!(sparse_order, dense_order, "outbox drain order must match");
+        assert_eq!(sparse_active, dense_active, "active sets must match");
+        assert!(sparse.retransmits > 0, "the scenario exercised timeouts");
+        assert!(sparse.abandoned > 0, "the scenario exercised abandons");
+    }
+
     /// The intrusive timeout list and the dense N²-flow scan must fire the
     /// same retransmissions in the same order across interleaved commits,
     /// partial acks, congestion resets, and abandons.
@@ -1311,7 +1914,7 @@ mod tests {
         };
         let run = |dense: bool| -> (DeliveryStats, Vec<(usize, u32, u32)>) {
             let nodes = 5usize;
-            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact);
+            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact, false);
             d.set_dense_scan(dense);
             let mut drained = Vec::new();
             let mut x = 0xdead_beef_cafe_f00du64;
@@ -1340,9 +1943,7 @@ mod tests {
                     let sender = ((x >> 49) % nodes as u64) as usize;
                     let acker = ((x >> 41) % nodes as u64) as usize;
                     if sender != acker {
-                        let front = tx_flow(&d.tx, nodes, sender * nodes + acker)
-                            .and_then(|flow| flow.unacked.front().copied());
-                        if let Some((psn, _)) = front {
+                        if let Some((psn, _)) = d.unacked_front(sender, acker) {
                             let mut ack =
                                 Message::to(NodeId::from_index(sender), [0; 5], MsgType::default());
                             let crc = payload_crc(&ack.words, ack.mtype);
@@ -1364,7 +1965,7 @@ mod tests {
 
     /// The parallel pump (serial due collection, sharded firing, delta
     /// replay) must be bit-identical to the serial pump — counters, outbox
-    /// drain order, active list, and scan meters alike.
+    /// drain order, active set, and scan meters alike.
     #[test]
     fn parallel_pump_matches_serial_pump() {
         let cfg = DeliveryConfig {
@@ -1375,7 +1976,7 @@ mod tests {
         let nodes = 8usize;
         let bounds = [0usize, 3, 5, 8];
         let run = |par: bool| -> (DeliveryStats, ScanStats, Vec<(usize, u32, u32)>, Vec<u32>) {
-            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact);
+            let mut d = Delivery::new(nodes, cfg, WireFormat::Compact, false);
             let mut drained = Vec::new();
             // A burst across every source domain so one pump sees well over
             // PAR_FIRE_MIN due flows at once (the parallel fire path).
@@ -1413,9 +2014,7 @@ mod tests {
                     let sender = ((x >> 49) % nodes as u64) as usize;
                     let acker = ((x >> 41) % nodes as u64) as usize;
                     if sender != acker {
-                        let front = tx_flow(&d.tx, nodes, sender * nodes + acker)
-                            .and_then(|flow| flow.unacked.front().copied());
-                        if let Some((psn, _)) = front {
+                        if let Some((psn, _)) = d.unacked_front(sender, acker) {
                             let mut ack =
                                 Message::to(NodeId::from_index(sender), [0; 5], MsgType::default());
                             let crc = payload_crc(&ack.words, ack.mtype);
@@ -1425,7 +2024,7 @@ mod tests {
                     }
                 }
             }
-            (d.stats(), d.scan_stats(), drained, d.outbox_active.clone())
+            (d.stats(), d.scan_stats(), drained, d.active_sorted())
         };
         // Force helper threads so the sharded path really runs concurrently.
         tcni_util::par::set_threads(3);
@@ -1435,7 +2034,7 @@ mod tests {
         assert_eq!(ss, ps, "protocol counters must be bit-identical");
         assert_eq!(sscan, pscan, "scan meters must be bit-identical");
         assert_eq!(sorder, porder, "outbox drain order must match");
-        assert_eq!(sactive, pactive, "active-outbox list must match");
+        assert_eq!(sactive, pactive, "active-outbox set must match");
         assert!(ss.retransmits > 0, "the scenario exercised timeouts");
         assert!(ss.abandoned > 0, "the scenario exercised abandons");
     }

@@ -16,7 +16,7 @@ use tcni_util::par::{domain_bounds, run_tasks};
 use crate::collective::{CollDelta, CollRange, Collective, CollectiveStats};
 use crate::delivery::{
     Delivery, DeliveryConfig, DeliveryDelta, DeliveryRange, DeliveryStats, RxAction,
-    DELIVERY_MAX_NODES,
+    DENSE_FLOWS_MAX_NODES,
 };
 use crate::driver::CycleDriver;
 use crate::model::{Model, NiMapping};
@@ -71,9 +71,11 @@ pub enum BuildError {
         /// The topology's ceiling.
         max: usize,
     },
-    /// The end-to-end delivery protocol was enabled on a machine beyond its
-    /// per-flow state ceiling (32768 nodes — flow indices are `u32` with a
-    /// reserved sentinel).
+    /// The delivery protocol's *dense* cross-check flow layout
+    /// ([`MachineBuilder::dense_flows`]) was requested beyond its ceiling
+    /// (32768 nodes — dense rows are quadratic in the machine). The default
+    /// sparse flow store has no ceiling below the wide wire format's 65536
+    /// nodes.
     DeliveryTooLarge {
         /// The requested node count.
         nodes: usize,
@@ -147,7 +149,8 @@ impl fmt::Display for BuildError {
             BuildError::DeliveryTooLarge { nodes } => {
                 write!(
                     f,
-                    "delivery protocol supports at most {DELIVERY_MAX_NODES} nodes ({nodes} requested)"
+                    "dense delivery flow tables support at most {DENSE_FLOWS_MAX_NODES} nodes \
+                     ({nodes} requested); the default sparse store scales to the full address space"
                 )
             }
             BuildError::CollectiveTreeMismatch(TreeMismatch::Size { tree_nodes, nodes }) => {
@@ -682,6 +685,9 @@ impl Machine {
         if E2E {
             if let Some(del) = self.delivery.as_ref() {
                 ob.extend(del.outbox_nodes().iter().map(|&n| n as usize));
+                // The active set is unordered (O(1) maintenance); the
+                // injection merge below needs ascending node order.
+                ob.sort_unstable();
             }
         }
         let mut cob = std::mem::take(&mut self.coll_scan);
@@ -1144,6 +1150,9 @@ impl Machine {
             let del = self.delivery.as_mut().expect("E2E implies delivery");
             del.pump_par(cycle, &plan.mbounds);
             ob.extend(del.outbox_nodes().iter().map(|&n| n as usize));
+            // The active set is unordered (O(1) maintenance); the injection
+            // merge needs ascending node order.
+            ob.sort_unstable();
         }
         let mut cob = std::mem::take(&mut self.coll_scan);
         cob.clear();
@@ -2003,6 +2012,7 @@ pub struct MachineBuilder {
     collective: Option<CombiningTree>,
     skip_ahead: bool,
     dense_scan: bool,
+    dense_flows: bool,
 }
 
 impl MachineBuilder {
@@ -2056,6 +2066,7 @@ impl MachineBuilder {
             collective: None,
             skip_ahead: true,
             dense_scan: false,
+            dense_flows: false,
         })
     }
 
@@ -2169,6 +2180,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Selects the delivery protocol's *dense* flow-table layout — the
+    /// pre-sparse row-lazy `nodes²` tables — as a cross-check of the
+    /// default sparse flow store (default: disabled). Behaviour is
+    /// bit-identical between the two layouts; only memory footprint and
+    /// the flow-footprint scan meters differ. Dense tables cap the machine
+    /// at 32768 nodes ([`BuildError::DeliveryTooLarge`]).
+    pub fn dense_flows(mut self, enabled: bool) -> MachineBuilder {
+        self.dense_flows = enabled;
+        self
+    }
+
     /// Loads a program on one node.
     ///
     /// # Panics
@@ -2208,7 +2230,9 @@ impl MachineBuilder {
     /// when a fully-connected fabric exceeds its scaling ceiling;
     /// [`BuildError::FormatTooSmall`] when a pinned wire format cannot
     /// address the node count; [`BuildError::DeliveryTooLarge`] when the
-    /// delivery protocol is enabled beyond its 32768-node ceiling;
+    /// delivery protocol's dense cross-check layout
+    /// ([`dense_flows`](Self::dense_flows)) is requested beyond its
+    /// 32768-node ceiling (the default sparse store has none);
     /// [`BuildError::CollectiveTreeMismatch`] when a combining tree's size
     /// or shape does not fit the machine and its fabric.
     pub fn try_build(mut self) -> Result<Machine, BuildError> {
@@ -2254,14 +2278,14 @@ impl MachineBuilder {
         if let Some(fault) = self.fault {
             net = FaultyFabric::new(net, fault).into();
         }
-        if self.delivery.is_some() && self.node_count > DELIVERY_MAX_NODES {
+        if self.delivery.is_some() && self.dense_flows && self.node_count > DENSE_FLOWS_MAX_NODES {
             return Err(BuildError::DeliveryTooLarge {
                 nodes: self.node_count,
             });
         }
         let delivery = self
             .delivery
-            .map(|cfg| Delivery::new(self.node_count, cfg, wire_format));
+            .map(|cfg| Delivery::new(self.node_count, cfg, wire_format, self.dense_flows));
         if let Some(tree) = &self.collective {
             if tree.len() != self.node_count {
                 return Err(BuildError::CollectiveTreeMismatch(TreeMismatch::Size {

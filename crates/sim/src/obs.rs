@@ -436,6 +436,12 @@ impl ObsReport {
         push_num(&mut o, self.net.scan.scanned_flows);
         o.push_str(", \"skipped_work\": ");
         push_num(&mut o, self.net.scan.skipped_work);
+        o.push_str(", \"active_flows\": ");
+        push_num(&mut o, self.net.scan.active_flows);
+        o.push_str(", \"peak_flows\": ");
+        push_num(&mut o, self.net.scan.peak_flows);
+        o.push_str(", \"flow_probes\": ");
+        push_num(&mut o, self.net.scan.flow_probes);
         o.push_str("}},\n  \"links\": [");
         for (i, l) in self.links.iter().enumerate() {
             if i > 0 {

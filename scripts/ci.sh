@@ -117,6 +117,22 @@ run_64x64 4 target/BENCH_loadgen_64x64.par4.json
 cmp tests/golden/loadgen_64x64.json target/BENCH_loadgen_64x64.serial.json
 cmp tests/golden/loadgen_64x64.json target/BENCH_loadgen_64x64.par4.json
 
+echo "== smoke: delivery-enabled 64x64 sweep (sparse flow store, TCNI_THREADS=4) matches serial =="
+# 4096 nodes with the end-to-end delivery protocol on: the old dense flow
+# tables would pin 2*4096^2 slots here; the sparse store keys state by
+# active pair. The serial and 4-worker exports must be byte-identical —
+# including the delivery counters the protocol adds to the artifact.
+run_64x64_e2e() {
+    TCNI_THREADS="$1" cargo run --release --offline -p tcni-bench --bin loadgen -- \
+        --width 64 --height 64 --models opt-reg --fabrics mesh \
+        --patterns uniform --rates 5 --windows none --fault-rates 20 \
+        --warmup 200 --measure 800 --quiet --out "$2"
+}
+run_64x64_e2e 1 target/BENCH_loadgen_64x64_e2e.serial.json
+run_64x64_e2e 4 target/BENCH_loadgen_64x64_e2e.par4.json
+cmp target/BENCH_loadgen_64x64_e2e.serial.json target/BENCH_loadgen_64x64_e2e.par4.json
+grep -q '"goodput_pm": ' target/BENCH_loadgen_64x64_e2e.serial.json
+
 echo "== smoke: tcni-trace/1 export unchanged under TCNI_THREADS=4 =="
 # Observability pins the serial fallback by design, so the instrumented
 # 16×16 export must not move at all when the env var asks for workers.
